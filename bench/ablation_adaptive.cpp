@@ -1,0 +1,40 @@
+// Ablation: the self-tuning ADAPTIVE strategy (future-work items 1 and 3)
+// against its static ingredients (SJF, CF) and the hand-blended COMBINED,
+// across Data Store sizes. ADAPTIVE learns how much to trust reuse from
+// the achieved-overlap stream and the disk-congestion signal, so it should
+// track the best static strategy on each configuration without tuning.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_adaptive");
+  ctx.printHeader();
+
+  const auto dsMb = ctx.options().getIntList("dsmem", {32, 64, 256});
+  const std::vector<std::string> policies = {"SJF", "CF", "COMBINED",
+                                             "ADAPTIVE"};
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("ADAPTIVE vs static strategies, ") +
+                bench::opName(op));
+    table.setColumns({"policy", "DS(MB)", "trimmed-response(s)",
+                      "avg-overlap", "batch-total(s)"});
+    for (const auto& policy : policies) {
+      for (const auto mb : dsMb) {
+        const auto cfg = ctx.server(
+            policy, 4, static_cast<std::uint64_t>(mb) * MiB, 32 * MiB);
+        const auto inter =
+            driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+        const auto batch =
+            driver::SimExperiment::runBatch(ctx.workload(op), cfg);
+        table.addRow({policy, std::to_string(mb),
+                      formatDouble(inter.summary.trimmedResponse, 3),
+                      formatDouble(inter.summary.avgOverlap, 3),
+                      formatDouble(batch.summary.makespan, 2)});
+      }
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation A1: sensitivity of Closest First to its hand-tuned alpha (the
+// weight of dependencies on still-executing queries). The paper fixes
+// alpha = 0.2 without exploring it; this sweep shows how much it matters.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_cf_alpha");
+  ctx.printHeader();
+
+  const std::vector<double> alphas = {0.05, 0.2, 0.5, 0.8, 0.95};
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("CF alpha sweep — interactive response & batch time, ") +
+                bench::opName(op));
+    table.setColumns({"alpha", "trimmed-response(s)", "avg-overlap",
+                      "batch-total(s)"});
+    for (const double alpha : alphas) {
+      auto cfg = ctx.server("CF", 4, 64 * MiB, 32 * MiB);
+      cfg.alpha = alpha;
+      const auto inter =
+          driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+      const auto batch = driver::SimExperiment::runBatch(ctx.workload(op), cfg);
+      table.addRow({formatDouble(alpha, 2),
+                    formatDouble(inter.summary.trimmedResponse, 3),
+                    formatDouble(inter.summary.avgOverlap, 3),
+                    formatDouble(batch.summary.makespan, 2)});
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

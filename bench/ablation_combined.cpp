@@ -1,0 +1,32 @@
+// Ablation A2: the COMBINED strategy (shortest *effective* job first —
+// SJF discounted by reuse coverage), the paper's future-work item 1
+// ("a combination of SJF and the other ranking strategies would provide a
+// viable solution"), against all six paper strategies on both the
+// interactive and batch scenarios.
+#include "bench_common.hpp"
+#include "sched/policy.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_combined");
+  ctx.printHeader();
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("COMBINED vs paper strategies, ") +
+                bench::opName(op));
+    table.setColumns({"policy", "trimmed-response(s)", "avg-overlap",
+                      "batch-total(s)"});
+    for (const auto& policy : sched::allPolicyNames()) {
+      const auto inter = driver::SimExperiment::runInteractive(
+          ctx.workload(op), ctx.server(policy, 4, 64 * MiB, 32 * MiB));
+      const auto batch = driver::SimExperiment::runBatch(
+          ctx.workload(op), ctx.server(policy, 4, 64 * MiB, 32 * MiB));
+      table.addRow({policy, formatDouble(inter.summary.trimmedResponse, 3),
+                    formatDouble(inter.summary.avgOverlap, 3),
+                    formatDouble(batch.summary.makespan, 2)});
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

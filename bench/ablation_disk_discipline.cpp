@@ -1,0 +1,44 @@
+// Ablation: disk-queue model. Figure 4's degradation is driven by seek
+// thrash under interleaved query streams; this sweep compares the default
+// analytic k-stream approximation against the explicit positional head
+// model with FIFO and elevator (C-SCAN) disciplines. The elevator — which
+// is what the Page Space Manager's "requests are reordered" buys — should
+// soften (but not remove) the degradation past the optimum thread count.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_disk_discipline");
+  ctx.printHeader();
+
+  const auto threadCounts = ctx.options().getIntList("threads", {1, 2, 4, 8, 16});
+  const std::vector<std::string> models = {"kstream", "fifo", "elevator"};
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("trimmed-mean response (s) vs #threads by disk model (SJF), ") +
+                bench::opName(op));
+    table.setColumns({"threads", "kstream", "fifo", "elevator",
+                      "elev-seq-frac"});
+    for (const auto threads : threadCounts) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      double elevSeqFrac = 0.0;
+      for (const auto& model : models) {
+        auto cfg = ctx.server("SJF", static_cast<int>(threads), 64 * MiB,
+                              32 * MiB);
+        cfg.ioModel = model;
+        const auto result =
+            driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+        row.push_back(formatDouble(result.summary.trimmedResponse, 3));
+        if (model == "elevator" && result.io.pageReads > 0) {
+          elevSeqFrac = static_cast<double>(result.io.sequentialReads) /
+                        static_cast<double>(result.io.pageReads);
+        }
+      }
+      row.push_back(formatDouble(elevSeqFrac, 2));
+      table.addRow(std::move(row));
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: Data Store replacement policy. The paper reclaims DS memory
+// without specifying the victim-selection rule; this sweep compares LRU
+// (our default) against LFU and largest-first under cache pressure, for
+// both client modes.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_ds_eviction");
+  ctx.printHeader();
+
+  const auto dsMb = ctx.options().getIntList("dsmem", {32, 64});
+  const std::vector<std::string> policies = {"LRU", "LFU", "LARGEST"};
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("DS eviction policy sweep (CF scheduling), ") +
+                bench::opName(op));
+    table.setColumns({"eviction", "DS(MB)", "trimmed-response(s)",
+                      "avg-overlap", "batch-total(s)", "evictions"});
+    for (const auto& eviction : policies) {
+      for (const auto mb : dsMb) {
+        auto cfg = ctx.server("CF", 4,
+                              static_cast<std::uint64_t>(mb) * MiB, 32 * MiB);
+        cfg.dsEviction = eviction;
+        const auto inter =
+            driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+        const auto batch =
+            driver::SimExperiment::runBatch(ctx.workload(op), cfg);
+        table.addRow({eviction, std::to_string(mb),
+                      formatDouble(inter.summary.trimmedResponse, 3),
+                      formatDouble(inter.summary.avgOverlap, 3),
+                      formatDouble(batch.summary.makespan, 2),
+                      std::to_string(batch.dsStats.evictions)});
+      }
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: nested reuse depth. Sub-queries are "processed just like any
+// other query" (§2) — including their own Data Store lookups. This sweep
+// quantifies how much that recursive reuse is worth, from none (remainders
+// always recompute from raw data) to deep nesting.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_nested_reuse");
+  ctx.printHeader();
+
+  const auto depths = ctx.options().getIntList("depth", {0, 1, 2, 4});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("nested reuse depth (CF scheduling), ") +
+                bench::opName(op));
+    table.setColumns({"depth", "trimmed-response(s)", "batch-total(s)",
+                      "device-GB"});
+    for (const auto depth : depths) {
+      auto cfg = ctx.server("CF", 4, 64 * MiB, 32 * MiB);
+      cfg.maxNestedReuseDepth = static_cast<int>(depth);
+      const auto inter =
+          driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+      const auto batch =
+          driver::SimExperiment::runBatch(ctx.workload(op), cfg);
+      table.addRow({std::to_string(depth),
+                    formatDouble(inter.summary.trimmedResponse, 3),
+                    formatDouble(batch.summary.makespan, 2),
+                    formatDouble(static_cast<double>(inter.io.bytesRead) /
+                                     (1ULL << 30),
+                                 2)});
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

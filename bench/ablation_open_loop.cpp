@@ -1,0 +1,40 @@
+// Ablation: open-loop (Poisson) arrivals. The paper's clients are
+// closed-loop (wait-for-completion); web-driven servers (its ref [11],
+// Waas & Kersten) see an offered load instead. Sweeping the arrival rate
+// exposes each strategy's saturation point: response times stay flat until
+// the reuse-adjusted service capacity is exceeded, then blow up — and
+// strategies that manufacture more reuse saturate later.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_open_loop");
+  ctx.printHeader();
+
+  const std::vector<std::string> policies = {"FIFO", "SJF", "CF", "COMBINED"};
+  const auto ratesX10 =
+      ctx.options().getIntList("ratesx10", {5, 10, 20, 40, 80});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("mean response (s) vs Poisson arrival rate (4 threads), ") +
+                bench::opName(op));
+    std::vector<std::string> cols = {"rate(q/s)"};
+    for (const auto& p : policies) cols.push_back(p);
+    table.setColumns(cols);
+
+    for (const auto rx10 : ratesX10) {
+      const double rate = static_cast<double>(rx10) / 10.0;
+      std::vector<double> row;
+      for (const auto& policy : policies) {
+        const auto result = driver::SimExperiment::runOpenLoop(
+            ctx.workload(op), ctx.server(policy, 4, 64 * MiB, 32 * MiB),
+            rate);
+        row.push_back(result.summary.meanResponse);
+      }
+      table.addRow(formatDouble(rate, 1), row);
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: per-query readahead depth under the positional elevator disk.
+// Prefetching deepens the device queue with the query's own future pages,
+// letting C-SCAN rebuild the sequential runs that synchronous interleaved
+// streams destroy — the "data prefetching and caching" optimization the
+// paper's introduction groups with scheduling.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "ablation_prefetch");
+  ctx.printHeader();
+
+  const auto depths = ctx.options().getIntList("prefetch", {0, 2, 8, 32});
+  const int threads = static_cast<int>(ctx.options().getInt("threads", 8));
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("readahead depth under the elevator disk (SJF, ") +
+                std::to_string(threads) + " threads), " + bench::opName(op));
+    table.setColumns({"prefetch", "trimmed-response(s)", "seq-frac",
+                      "device-bytes"});
+    for (const auto depth : depths) {
+      auto cfg = ctx.server("SJF", threads, 64 * MiB, 32 * MiB);
+      cfg.ioModel = "elevator";
+      cfg.prefetchPages = static_cast<int>(depth);
+      const auto result =
+          driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+      const double seqFrac =
+          result.io.pageReads > 0
+              ? static_cast<double>(result.io.sequentialReads) /
+                    static_cast<double>(result.io.pageReads)
+              : 0.0;
+      table.addRow({std::to_string(depth),
+                    formatDouble(result.summary.trimmedResponse, 3),
+                    formatDouble(seqFrac, 2),
+                    formatBytes(result.io.bytesRead)});
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

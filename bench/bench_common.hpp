@@ -1,0 +1,122 @@
+// Shared harness utilities for the figure benches.
+//
+// Every bench runs at a scale-reduced default so the whole suite finishes
+// in seconds, and accepts --full to run the paper-scale configuration
+// (3 x 30000^2 slides, 16 clients x 16 queries, 1024^2 outputs). In reduced
+// mode outputs are 256^2 (1/16 of the paper's bytes), so all Data Store /
+// Page Space budgets are scaled by the same 1/16 — the x-axis labels keep
+// the paper's MB values to stay comparable with the original figures.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "driver/sim_experiment.hpp"
+#include "driver/workload.hpp"
+#include "sim/sim_server.hpp"
+
+namespace mqs::bench {
+
+class Context {
+ public:
+  Context(int argc, const char* const* argv, const std::string& benchName)
+      : opts_(argc, argv), name_(benchName) {
+    full_ = opts_.getBool("full", false);
+    seed_ = static_cast<std::uint64_t>(opts_.getInt("seed", 20020415));
+  }
+
+  [[nodiscard]] bool full() const { return full_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Paper-labelled bytes -> actual simulated bytes at this scale.
+  [[nodiscard]] std::uint64_t scaleBytes(std::uint64_t paperBytes) const {
+    return full_ ? paperBytes : paperBytes / 16;
+  }
+
+  /// The paper's client workload (§5): 16 clients split 8/6/2 over three
+  /// slides, 16 queries each, 1024^2 outputs at various magnifications.
+  [[nodiscard]] driver::WorkloadConfig workload(vm::VMOp op) const {
+    driver::WorkloadConfig cfg;
+    if (full_) {
+      cfg.datasets = {driver::DatasetSpec{30000, 30000, 146, 11},
+                      driver::DatasetSpec{30000, 30000, 146, 22},
+                      driver::DatasetSpec{30000, 30000, 146, 33}};
+      cfg.outputSide = 1024;
+    } else {
+      cfg.datasets = {driver::DatasetSpec{8192, 8192, 146, 11},
+                      driver::DatasetSpec{8192, 8192, 146, 22},
+                      driver::DatasetSpec{8192, 8192, 146, 33}};
+      cfg.outputSide = 256;
+    }
+    cfg.clientsPerDataset = {8, 6, 2};
+    cfg.queriesPerClient = static_cast<int>(
+        opts_.getInt("queries", full_ ? 16 : 16));
+    cfg.zoomLevels = {2, 4, 8, 16};
+    cfg.zoomWeights = {2.0, 3.0, 2.0, 1.0};
+    cfg.alignGrid = 32;
+    cfg.op = op;
+    cfg.seed = seed_;
+    return cfg;
+  }
+
+  /// The paper's machine: 24-processor SMP, local disk farm, DS/PS budgets
+  /// given in paper-label bytes.
+  [[nodiscard]] sim::SimConfig server(const std::string& policy, int threads,
+                                      std::uint64_t dsPaperBytes,
+                                      std::uint64_t psPaperBytes) const {
+    sim::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.threads = threads;
+    cfg.cpus = 24;
+    cfg.diskFarm.disks = static_cast<int>(opts_.getInt("disks", 1));
+    cfg.dsBytes = scaleBytes(dsPaperBytes);
+    cfg.psBytes = scaleBytes(psPaperBytes);
+    cfg.alpha = opts_.getDouble("alpha", 0.2);
+    return cfg;
+  }
+
+  void printHeader() const {
+    std::cout << "# " << name_ << " — "
+              << (full_ ? "PAPER scale (--full)" : "reduced scale (default; pass --full for paper scale)")
+              << ", seed " << seed_ << "\n"
+              << "# memory labels are paper-scale values"
+              << (full_ ? "" : "; actual budgets scaled by 1/16 with the 1/16-size outputs")
+              << "\n\n";
+  }
+
+  void emit(const Table& table) const {
+    table.print(std::cout);
+    std::cout << '\n';
+    if (opts_.has("csv-dir")) {
+      const std::string path = opts_.getString("csv-dir", ".") + "/" + name_ +
+                               "_" + sanitize(table.title()) + ".csv";
+      if (table.writeCsv(path)) {
+        std::cout << "# wrote " << path << "\n\n";
+      }
+    }
+  }
+
+ private:
+  static std::string sanitize(std::string s) {
+    for (char& c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return s;
+  }
+
+  Options opts_;
+  std::string name_;
+  bool full_ = false;
+  std::uint64_t seed_ = 0;
+};
+
+inline const char* opName(vm::VMOp op) {
+  return op == vm::VMOp::Subsample ? "subsampling" : "pixel averaging";
+}
+
+}  // namespace mqs::bench

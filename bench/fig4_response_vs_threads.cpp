@@ -1,0 +1,37 @@
+// Figure 4 (a, b): 95%-trimmed mean query response time vs the maximum
+// number of concurrent queries (query-server threads), for all six ranking
+// strategies, with 64MB Data Store and 32MB Page Space, interactive
+// clients. (a) = subsampling (I/O-intensive), (b) = pixel averaging.
+#include "bench_common.hpp"
+#include "sched/policy.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "fig4");
+  ctx.printHeader();
+
+  const auto threadCounts =
+      ctx.options().getIntList("threads", {1, 2, 4, 8, 16, 24});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("Figure 4 — trimmed-mean response time (s) vs #threads, ") +
+                bench::opName(op));
+    std::vector<std::string> cols = {"threads"};
+    for (const auto& p : sched::paperPolicyNames()) cols.push_back(p);
+    table.setColumns(cols);
+
+    for (const auto threads : threadCounts) {
+      std::vector<double> row;
+      for (const auto& policy : sched::paperPolicyNames()) {
+        const auto result = driver::SimExperiment::runInteractive(
+            ctx.workload(op),
+            ctx.server(policy, static_cast<int>(threads), 64 * MiB, 32 * MiB));
+        row.push_back(result.summary.trimmedResponse);
+      }
+      table.addRow(std::to_string(threads), row);
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

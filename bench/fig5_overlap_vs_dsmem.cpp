@@ -1,0 +1,36 @@
+// Figure 5 (a, b): average overlap achieved as the Data Store memory is
+// varied, up to 4 concurrent queries, interactive clients. CF and CNBF
+// should achieve the highest overlap at small cache sizes.
+#include "bench_common.hpp"
+#include "sched/policy.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "fig5");
+  ctx.printHeader();
+
+  const auto dsMb = ctx.options().getIntList("dsmem", {32, 64, 128, 256});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("Figure 5 — average overlap vs DS memory, ") +
+                bench::opName(op));
+    std::vector<std::string> cols = {"DS(MB)"};
+    for (const auto& p : sched::paperPolicyNames()) cols.push_back(p);
+    table.setColumns(cols);
+
+    for (const auto mb : dsMb) {
+      std::vector<double> row;
+      for (const auto& policy : sched::paperPolicyNames()) {
+        const auto result = driver::SimExperiment::runInteractive(
+            ctx.workload(op),
+            ctx.server(policy, 4, static_cast<std::uint64_t>(mb) * MiB,
+                       32 * MiB));
+        row.push_back(result.summary.avgOverlap);
+      }
+      table.addRow(std::to_string(mb), row);
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7 (a, b): total execution time of the whole 256-query workload
+// submitted as a single batch, as Data Store memory is varied, up to 4
+// concurrent queries. CF and CNBF should win, especially with a small DS.
+#include "bench_common.hpp"
+#include "sched/policy.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "fig7");
+  ctx.printHeader();
+
+  const auto dsMb = ctx.options().getIntList("dsmem", {32, 64, 128, 256});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("Figure 7 — batch total execution time (s) vs DS memory, ") +
+                bench::opName(op));
+    std::vector<std::string> cols = {"DS(MB)"};
+    for (const auto& p : sched::paperPolicyNames()) cols.push_back(p);
+    table.setColumns(cols);
+
+    for (const auto mb : dsMb) {
+      std::vector<double> row;
+      for (const auto& policy : sched::paperPolicyNames()) {
+        const auto result = driver::SimExperiment::runBatch(
+            ctx.workload(op),
+            ctx.server(policy, 4, static_cast<std::uint64_t>(mb) * MiB,
+                       32 * MiB));
+        row.push_back(result.summary.makespan);
+      }
+      table.addRow(std::to_string(mb), row);
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

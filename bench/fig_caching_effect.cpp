@@ -1,0 +1,45 @@
+// E1 (§5, text): the effect of caching intermediate results on FIFO and
+// SJF — strategies that do not consult the cache when ranking. The paper
+// reports overall performance improvements of up to ~35%/70% (FIFO) and
+// ~40%/70% (SJF) for the subsampling/averaging implementations, growing
+// with the Data Store size.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "fig_caching");
+  ctx.printHeader();
+
+  const auto dsMb = ctx.options().getIntList("dsmem", {32, 64, 128});
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("Caching effect — batch total time (s) with DS off/on, ") +
+                bench::opName(op));
+    table.setColumns({"policy", "DS(MB)", "cache-off", "cache-on",
+                      "improvement%"});
+
+    for (const std::string policy : {"FIFO", "SJF"}) {
+      auto offCfg = ctx.server(policy, 4, 64 * MiB, 32 * MiB);
+      offCfg.dataStoreEnabled = false;
+      const auto off =
+          driver::SimExperiment::runBatch(ctx.workload(op), offCfg);
+
+      for (const auto mb : dsMb) {
+        const auto on = driver::SimExperiment::runBatch(
+            ctx.workload(op),
+            ctx.server(policy, 4, static_cast<std::uint64_t>(mb) * MiB,
+                       32 * MiB));
+        const double gain = 100.0 *
+                            (off.summary.makespan - on.summary.makespan) /
+                            off.summary.makespan;
+        table.addRow({policy, std::to_string(mb),
+                      formatDouble(off.summary.makespan, 2),
+                      formatDouble(on.summary.makespan, 2),
+                      formatDouble(gain, 1)});
+      }
+    }
+    ctx.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Micro-benchmarks of the *threaded* runtime: end-to-end latency of the
+// three fundamental paths a query can take — cold (all disk), page-space
+// warm (disk cached, recompute), and data-store hit (pure projection).
+#include <benchmark/benchmark.h>
+
+#include "server/query_server.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace {
+
+using namespace mqs;
+
+struct Rig {
+  vm::VMSemantics semantics;
+  std::unique_ptr<storage::SyntheticSlideSource> slide;
+  std::unique_ptr<vm::VMExecutor> executor;
+  std::unique_ptr<server::QueryServer> server;
+
+  explicit Rig(bool cachingEnabled, std::uint64_t psBytes = 256ULL << 20) {
+    const auto id = semantics.addDataset(index::ChunkLayout(4096, 4096, 146));
+    slide = std::make_unique<storage::SyntheticSlideSource>(
+        semantics.layout(id), 7);
+    executor = std::make_unique<vm::VMExecutor>(&semantics);
+    server::ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.policy = "CF";
+    cfg.dataStoreEnabled = cachingEnabled;
+    cfg.dsBytes = 256ULL << 20;
+    cfg.psBytes = psBytes;
+    server = std::make_unique<server::QueryServer>(&semantics, executor.get(),
+                                                   cfg);
+    server->attach(id, slide.get());
+  }
+};
+
+vm::VMPredicate probe(std::int64_t x) {
+  return vm::VMPredicate(0, Rect::ofSize(x, 0, 512, 512), 4,
+                         vm::VMOp::Average);
+}
+
+void BM_ServerDataStoreHit(benchmark::State& state) {
+  Rig rig(true);
+  (void)rig.server->execute(probe(0).clone(), 0);  // prime the DS
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.server->execute(probe(0).clone(), 0));
+  }
+  state.SetBytesProcessed(state.iterations() * 128 * 128 * 3);
+}
+BENCHMARK(BM_ServerDataStoreHit);
+
+void BM_ServerPageSpaceWarm(benchmark::State& state) {
+  Rig rig(false);  // no DS: recompute every time, pages stay cached
+  (void)rig.server->execute(probe(0).clone(), 0);  // prime the PS
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.server->execute(probe(0).clone(), 0));
+  }
+  state.SetBytesProcessed(state.iterations() * 2048 * 2048 * 3);
+}
+BENCHMARK(BM_ServerPageSpaceWarm);
+
+void BM_ServerColdPath(benchmark::State& state) {
+  // No result cache, one-page page space: every execute takes the full
+  // index + source-read + compute path.
+  Rig rig(false, /*psBytes=*/1);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.server->execute(probe(x).clone(), 0));
+    x = (x + 512) % 2048;
+  }
+  state.SetBytesProcessed(state.iterations() * 2048 * 2048 * 3);
+}
+BENCHMARK(BM_ServerColdPath);
+
+}  // namespace

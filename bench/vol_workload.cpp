@@ -1,0 +1,108 @@
+// Scheduling the 3-D visualization application (future-work item 2) on the
+// DES: a cohort of analysts, each computing an LOD overview of a shared
+// volume and then sweeping view-plane slices and drilling into sub-boxes.
+// Shows the ranking strategies generalize beyond the Virtual Microscope.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sched/policy.hpp"
+#include "sim/vol_model.hpp"
+#include "vol/vol_semantics.hpp"
+
+using namespace mqs;
+
+namespace {
+
+struct VolClient {
+  int id = 0;
+  std::vector<vol::VolPredicate> queries;
+};
+
+std::vector<VolClient> makeWorkload(storage::DatasetId ds,
+                                    const vol::VolumeLayout& layout,
+                                    int clients, int queriesPerClient,
+                                    std::uint64_t seed) {
+  Rng master(seed);
+  std::vector<VolClient> out;
+  for (int c = 0; c < clients; ++c) {
+    Rng rng = master.fork();
+    VolClient cl;
+    cl.id = c;
+    // Everyone starts from the shared overview.
+    cl.queries.emplace_back(ds,
+                            Box3::ofSize(0, 0, 0, layout.width(),
+                                         layout.height(), layout.depth()),
+                            8, vol::VolOp::Subvolume);
+    for (int q = 1; q < queriesPerClient; ++q) {
+      if (rng.bernoulli(0.5)) {
+        // Slice sweep at lod 4.
+        const std::int64_t z = rng.uniformInt(0, layout.depth() / 4 - 1) * 4;
+        cl.queries.push_back(vol::VolPredicate::slice(
+            ds, Rect::ofSize(0, 0, layout.width(), layout.height()), z, 4));
+      } else {
+        // Drill into a random aligned sub-box at lod 2.
+        auto snap = [&](std::int64_t v) { return (v / 8) * 8; };
+        const std::int64_t w = 128, h = 128, d = 64;
+        cl.queries.emplace_back(
+            ds,
+            Box3::ofSize(snap(rng.uniformInt(0, layout.width() - w)),
+                         snap(rng.uniformInt(0, layout.height() - h)),
+                         snap(rng.uniformInt(0, layout.depth() - d)), w, h,
+                         d),
+            2, vol::VolOp::Subvolume);
+      }
+    }
+    out.push_back(std::move(cl));
+  }
+  return out;
+}
+
+sim::Task<void> volClient(sim::SimServer& server, const VolClient* cl) {
+  for (const vol::VolPredicate& q : cl->queries) {
+    co_await server.executeAndWait(std::make_unique<vol::VolPredicate>(q),
+                                   cl->id);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "vol_workload");
+  ctx.printHeader();
+
+  const int clients = static_cast<int>(ctx.options().getInt("clients", 6));
+  const int queries = static_cast<int>(ctx.options().getInt("queries", 8));
+
+  Table table("3-D visualization workload — per-policy outcome (DES)");
+  table.setColumns({"policy", "trimmed-response(s)", "avg-overlap",
+                    "makespan(s)", "disk-bytes"});
+  for (const auto& policy : sched::allPolicyNames()) {
+    vol::VolSemantics sem;
+    const auto ds = sem.addDataset(
+        ctx.full() ? vol::VolumeLayout(1024, 1024, 1024, 40)
+                   : vol::VolumeLayout(512, 512, 256, 40));
+    sim::VolModel model(&sem);
+    sim::Simulator simr;
+    sim::SimConfig cfg;
+    cfg.threads = 4;
+    cfg.policy = policy;
+    cfg.dsBytes = ctx.scaleBytes(64 * MiB);
+    cfg.psBytes = ctx.scaleBytes(32 * MiB);
+    sim::SimServer server(simr, &sem, &model, cfg);
+
+    const auto workload =
+        makeWorkload(ds, sem.layout(ds), clients, queries, 1234);
+    for (const VolClient& cl : workload) {
+      simr.spawn(volClient(server, &cl));
+    }
+    simr.run();
+    const auto summary = metrics::summarize(server.collector().records());
+    table.addRow({policy, formatDouble(summary.trimmedResponse, 3),
+                  formatDouble(summary.avgOverlap, 3),
+                  formatDouble(summary.makespan, 2),
+                  formatBytes(summary.totalDiskBytes)});
+  }
+  ctx.emit(table);
+  return 0;
+}

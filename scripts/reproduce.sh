@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# figure/table of the paper plus the ablations. Pass --full to run the
+# figure benches at paper scale (minutes instead of seconds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_FLAG="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== figures and ablations =="
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "--- $b $SCALE_FLAG ---"
+  "$b" $SCALE_FLAG
+done
+
+echo "== examples (smoke) =="
+build/examples/quickstart
+build/examples/timeseries_app
+build/examples/volume_explorer --slices 2
+build/examples/replay_trace

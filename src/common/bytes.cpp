@@ -1,0 +1,67 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mqs {
+
+std::uint64_t parseBytes(std::string_view text) {
+  MQS_CHECK_MSG(!text.empty(), "empty byte size");
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  MQS_CHECK_MSG(ec == std::errc() && value >= 0.0,
+                "malformed byte size: " + std::string(text));
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  while (!suffix.empty() && suffix.front() == ' ') suffix.remove_prefix(1);
+
+  std::uint64_t mult = 1;
+  if (!suffix.empty()) {
+    const char unit = static_cast<char>(std::toupper(suffix.front()));
+    switch (unit) {
+      case 'B': mult = 1; break;
+      case 'K': mult = KiB; break;
+      case 'M': mult = MiB; break;
+      case 'G': mult = GiB; break;
+      case 'T': mult = 1024ULL * GiB; break;
+      default:
+        MQS_CHECK_MSG(false, "unknown byte suffix: " + std::string(text));
+    }
+    // Remainder must be one of "", "B", "iB" (case-insensitive).
+    std::string_view rest = suffix.substr(1);
+    const bool ok = rest.empty() ||
+                    (rest.size() == 1 && (rest[0] == 'B' || rest[0] == 'b')) ||
+                    (rest.size() == 2 && (rest[0] == 'i' || rest[0] == 'I') &&
+                     (rest[1] == 'B' || rest[1] == 'b'));
+    MQS_CHECK_MSG(ok && !(unit == 'B' && !rest.empty()),
+                  "malformed byte suffix: " + std::string(text));
+  }
+  return static_cast<std::uint64_t>(std::llround(value * static_cast<double>(mult)));
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KB", "MB", "GB",
+                                                       "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (v == std::floor(v)) {
+    os << static_cast<std::uint64_t>(v) << units[u];
+  } else {
+    os.precision(1);
+    os << std::fixed << v << units[u];
+  }
+  return os.str();
+}
+
+}  // namespace mqs

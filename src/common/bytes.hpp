@@ -1,0 +1,25 @@
+// Byte-size parsing and formatting ("64MB", "1.5GiB", ...).
+//
+// Suffixes KB/MB/GB are treated as binary multiples (as the paper does when
+// it speaks of 64KB pages and 64MB caches); KiB/MiB/GiB are accepted too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mqs {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Parse a byte count: plain integer or number with [KMGT](i)?B suffix.
+/// Throws CheckFailure on malformed input.
+std::uint64_t parseBytes(std::string_view text);
+
+/// Human-readable rendering, e.g. "64.0MB". Exact integers of a unit render
+/// without a fractional part ("64MB").
+std::string formatBytes(std::uint64_t bytes);
+
+}  // namespace mqs

@@ -1,0 +1,47 @@
+// Lightweight runtime-invariant checks.
+//
+// MQS_CHECK is always on (these guard API contracts, not hot loops);
+// MQS_DCHECK compiles out in NDEBUG builds and may be used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mqs {
+
+/// Thrown when a checked invariant or API precondition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace mqs
+
+#define MQS_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::mqs::detail::checkFail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MQS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::mqs::detail::checkFail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define MQS_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define MQS_DCHECK(expr) MQS_CHECK(expr)
+#endif

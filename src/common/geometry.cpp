@@ -1,0 +1,128 @@
+#include "common/geometry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mqs {
+
+Rect Rect::intersection(const Rect& a, const Rect& b) {
+  Rect r{std::max(a.x0, b.x0), std::max(a.y0, b.y0), std::min(a.x1, b.x1),
+         std::min(a.y1, b.y1)};
+  if (r.empty()) return Rect{};
+  return r;
+}
+
+Rect Rect::bounding(const Rect& a, const Rect& b) {
+  if (a.empty()) return b.empty() ? Rect{} : b;
+  if (b.empty()) return a;
+  return Rect{std::min(a.x0, b.x0), std::min(a.y0, b.y0), std::max(a.x1, b.x1),
+              std::max(a.y1, b.y1)};
+}
+
+std::vector<Rect> Rect::subtract(const Rect& hole) const {
+  if (empty()) return {};
+  const Rect in = intersection(*this, hole);
+  if (in.empty()) return {*this};
+  if (in == *this) return {};
+
+  std::vector<Rect> out;
+  out.reserve(4);
+  // Band above the hole (full width).
+  if (in.y0 > y0) out.push_back(Rect{x0, y0, x1, in.y0});
+  // Band below the hole (full width).
+  if (in.y1 < y1) out.push_back(Rect{x0, in.y1, x1, y1});
+  // Left and right slivers within the hole's vertical band.
+  if (in.x0 > x0) out.push_back(Rect{x0, in.y0, in.x0, in.y1});
+  if (in.x1 < x1) out.push_back(Rect{in.x1, in.y0, x1, in.y1});
+  return out;
+}
+
+std::string Rect::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x0 << ',' << r.y0 << ' ' << r.width() << 'x'
+            << r.height() << ']';
+}
+
+std::int64_t totalArea(const std::vector<Rect>& rects) {
+  std::int64_t a = 0;
+  for (const Rect& r : rects) a += r.area();
+  return a;
+}
+
+bool exactlyCovers(const Rect& whole, const std::vector<Rect>& parts) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) return false;
+    if (!whole.contains(parts[i])) return false;
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      if (!Rect::intersection(parts[i], parts[j]).empty()) return false;
+    }
+    sum += parts[i].area();
+  }
+  return sum == whole.area();
+}
+
+Box3 Box3::intersection(const Box3& a, const Box3& b) {
+  Box3 r{std::max(a.x0, b.x0), std::max(a.y0, b.y0), std::max(a.z0, b.z0),
+         std::min(a.x1, b.x1), std::min(a.y1, b.y1), std::min(a.z1, b.z1)};
+  if (r.empty()) return Box3{};
+  return r;
+}
+
+std::vector<Box3> Box3::subtract(const Box3& hole) const {
+  if (empty()) return {};
+  const Box3 in = intersection(*this, hole);
+  if (in.empty()) return {*this};
+  if (in == *this) return {};
+
+  std::vector<Box3> out;
+  out.reserve(6);
+  // Slabs below / above the hole (full xy extent).
+  if (in.z0 > z0) out.push_back(Box3{x0, y0, z0, x1, y1, in.z0});
+  if (in.z1 < z1) out.push_back(Box3{x0, y0, in.z1, x1, y1, z1});
+  // Within the hole's z band: y bands at full x extent.
+  if (in.y0 > y0) out.push_back(Box3{x0, y0, in.z0, x1, in.y0, in.z1});
+  if (in.y1 < y1) out.push_back(Box3{x0, in.y1, in.z0, x1, y1, in.z1});
+  // Finally x slivers within the hole's y/z bands.
+  if (in.x0 > x0) out.push_back(Box3{x0, in.y0, in.z0, in.x0, in.y1, in.z1});
+  if (in.x1 < x1) out.push_back(Box3{in.x1, in.y0, in.z0, x1, in.y1, in.z1});
+  return out;
+}
+
+std::string Box3::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box3& b) {
+  return os << '[' << b.x0 << ',' << b.y0 << ',' << b.z0 << ' ' << b.width()
+            << 'x' << b.height() << 'x' << b.depth() << ']';
+}
+
+std::int64_t totalVolume(const std::vector<Box3>& boxes) {
+  std::int64_t v = 0;
+  for (const Box3& b : boxes) v += b.volume();
+  return v;
+}
+
+bool exactlyCovers(const Box3& whole, const std::vector<Box3>& parts) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) return false;
+    if (!whole.contains(parts[i])) return false;
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      if (!Box3::intersection(parts[i], parts[j]).empty()) return false;
+    }
+    sum += parts[i].volume();
+  }
+  return sum == whole.volume();
+}
+
+}  // namespace mqs

@@ -1,0 +1,134 @@
+// 2-D integer geometry used throughout the system.
+//
+// All rectangles are half-open: a Rect covers pixels with
+// x in [x0, x1) and y in [y0, y1). Datasets, chunks, query regions and
+// cached-result bounding boxes are all expressed in base-resolution pixel
+// coordinates of the dataset they belong to.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mqs {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Half-open axis-aligned rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  std::int64_t x0 = 0;
+  std::int64_t y0 = 0;
+  std::int64_t x1 = 0;
+  std::int64_t y1 = 0;
+
+  static Rect ofSize(std::int64_t x, std::int64_t y, std::int64_t w,
+                     std::int64_t h) {
+    return Rect{x, y, x + w, y + h};
+  }
+
+  [[nodiscard]] std::int64_t width() const { return x1 - x0; }
+  [[nodiscard]] std::int64_t height() const { return y1 - y0; }
+  [[nodiscard]] bool empty() const { return x1 <= x0 || y1 <= y0; }
+  /// Area in pixels; empty rectangles (including inverted ones) have area 0.
+  [[nodiscard]] std::int64_t area() const {
+    return empty() ? 0 : width() * height();
+  }
+
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+  [[nodiscard]] bool contains(const Rect& r) const {
+    return !r.empty() && r.x0 >= x0 && r.y0 >= y0 && r.x1 <= x1 && r.y1 <= y1;
+  }
+  [[nodiscard]] bool intersects(const Rect& r) const {
+    return !intersection(*this, r).empty();
+  }
+
+  /// Intersection of two rectangles (possibly empty).
+  static Rect intersection(const Rect& a, const Rect& b);
+
+  /// Smallest rectangle covering both inputs (empty inputs are ignored).
+  static Rect bounding(const Rect& a, const Rect& b);
+
+  /// Translate by (dx, dy).
+  [[nodiscard]] Rect shifted(std::int64_t dx, std::int64_t dy) const {
+    return Rect{x0 + dx, y0 + dy, x1 + dx, y1 + dy};
+  }
+
+  /// This rectangle minus `hole`, decomposed into at most four disjoint
+  /// rectangles (the classic guillotine split around the intersection).
+  /// If the hole does not intersect, returns {*this}; if it covers, {}.
+  [[nodiscard]] std::vector<Rect> subtract(const Rect& hole) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Total area of a set of pairwise-disjoint rectangles.
+std::int64_t totalArea(const std::vector<Rect>& rects);
+
+/// True if the rectangles in `parts` are pairwise disjoint and their union
+/// equals `whole`. O(n^2) — intended for tests and checked paths.
+bool exactlyCovers(const Rect& whole, const std::vector<Rect>& parts);
+
+/// Half-open axis-aligned box [x0,x1) x [y0,y1) x [z0,z1) — the 3-D
+/// counterpart of Rect, used by the volume-visualization application.
+struct Box3 {
+  std::int64_t x0 = 0, y0 = 0, z0 = 0;
+  std::int64_t x1 = 0, y1 = 0, z1 = 0;
+
+  static Box3 ofSize(std::int64_t x, std::int64_t y, std::int64_t z,
+                     std::int64_t w, std::int64_t h, std::int64_t d) {
+    return Box3{x, y, z, x + w, y + h, z + d};
+  }
+
+  [[nodiscard]] std::int64_t width() const { return x1 - x0; }
+  [[nodiscard]] std::int64_t height() const { return y1 - y0; }
+  [[nodiscard]] std::int64_t depth() const { return z1 - z0; }
+  [[nodiscard]] bool empty() const {
+    return x1 <= x0 || y1 <= y0 || z1 <= z0;
+  }
+  /// Voxel count; empty boxes have volume 0.
+  [[nodiscard]] std::int64_t volume() const {
+    return empty() ? 0 : width() * height() * depth();
+  }
+
+  [[nodiscard]] bool contains(const Box3& b) const {
+    return !b.empty() && b.x0 >= x0 && b.y0 >= y0 && b.z0 >= z0 &&
+           b.x1 <= x1 && b.y1 <= y1 && b.z1 <= z1;
+  }
+
+  static Box3 intersection(const Box3& a, const Box3& b);
+
+  /// The xy footprint as a Rect (used for 2-D spatial indexing of
+  /// volume predicates).
+  [[nodiscard]] Rect footprint() const { return Rect{x0, y0, x1, y1}; }
+
+  /// This box minus `hole`, decomposed into at most six disjoint boxes
+  /// (z slabs, then y bands, then x slivers).
+  [[nodiscard]] std::vector<Box3> subtract(const Box3& hole) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Box3&, const Box3&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box3& b);
+
+/// Total volume of a set of pairwise-disjoint boxes.
+std::int64_t totalVolume(const std::vector<Box3>& boxes);
+
+/// True if the boxes in `parts` are pairwise disjoint and their union
+/// equals `whole`. O(n^2) — for tests and checked paths.
+bool exactlyCovers(const Box3& whole, const std::vector<Box3>& parts);
+
+}  // namespace mqs

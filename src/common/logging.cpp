@@ -1,0 +1,36 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace mqs {
+
+namespace {
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+std::mutex gMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { gLevel.store(level); }
+LogLevel logLevel() { return gLevel.load(); }
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& message) {
+  if (level < gLevel.load()) return;
+  std::lock_guard lock(gMutex);
+  std::clog << '[' << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace mqs

@@ -1,0 +1,44 @@
+// Leveled, thread-safe logging. Off (Warn) by default so benches stay quiet;
+// tests and examples can raise the level for tracing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mqs {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& message);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::logEmit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace mqs
+
+#define MQS_LOG(level)                           \
+  if (::mqs::LogLevel::level < ::mqs::logLevel()) \
+    ;                                             \
+  else                                            \
+    ::mqs::LogLine(::mqs::LogLevel::level)

@@ -1,0 +1,79 @@
+#include "common/options.hpp"
+
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+
+namespace mqs {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Options::getString(const std::string& key,
+                               const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Options::getInt(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Options::getDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool Options::getBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::uint64_t Options::getBytes(const std::string& key,
+                                std::uint64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return parseBytes(it->second);
+}
+
+std::vector<std::int64_t> Options::getIntList(
+    const std::string& key, std::vector<std::int64_t> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  std::istringstream is(it->second);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  }
+  MQS_CHECK_MSG(!out.empty(), "empty list for --" + key);
+  return out;
+}
+
+}  // namespace mqs

@@ -1,0 +1,43 @@
+// Minimal command-line option parsing for benches and examples.
+//
+// Accepts --key=value, --key value, and boolean flags --key. Typed getters
+// carry defaults so every binary is runnable with no arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mqs {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& def) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& key,
+                                    std::int64_t def) const;
+  [[nodiscard]] double getDouble(const std::string& key, double def) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool def) const;
+  /// Byte size with suffix support ("64MB").
+  [[nodiscard]] std::uint64_t getBytes(const std::string& key,
+                                       std::uint64_t def) const;
+  /// Comma-separated integer list, e.g. --threads=1,2,4,8.
+  [[nodiscard]] std::vector<std::int64_t> getIntList(
+      const std::string& key, std::vector<std::int64_t> def) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mqs

@@ -1,0 +1,116 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All experiment randomness flows through Rng so that a (seed, parameters)
+// pair fully determines a workload. The core generator is xoshiro256**,
+// seeded via SplitMix64 — fast, well-distributed, and reproducible across
+// platforms (unlike std::default_random_engine).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+#include "common/check.hpp"
+
+namespace mqs {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), plus convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6d71735f73656564ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    MQS_CHECK(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    const std::uint64_t threshold = (0 - range) % range;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Index drawn according to non-negative weights (at least one positive).
+  std::size_t weightedIndex(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      MQS_CHECK(w >= 0.0);
+      total += w;
+    }
+    MQS_CHECK(total > 0.0);
+    double x = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  std::size_t weightedIndex(std::initializer_list<double> weights) {
+    return weightedIndex(std::span<const double>(weights.begin(), weights.size()));
+  }
+
+  /// Derive an independent child generator (for per-client streams).
+  Rng fork() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace mqs

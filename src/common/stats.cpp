@@ -1,0 +1,72 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mqs {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  MQS_CHECK(!xs.empty());
+  MQS_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double trimmedMean(std::vector<double> xs, double keepFraction) {
+  MQS_CHECK(!xs.empty());
+  MQS_CHECK(keepFraction > 0.0 && keepFraction <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double dropEachSide = (1.0 - keepFraction) / 2.0;
+  const auto drop = static_cast<std::size_t>(
+      std::floor(dropEachSide * static_cast<double>(xs.size())));
+  const std::size_t lo = drop;
+  const std::size_t hi = xs.size() - drop;  // exclusive
+  MQS_CHECK(hi > lo);
+  double acc = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) acc += xs[i];
+  return acc / static_cast<double>(hi - lo);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace mqs

@@ -1,0 +1,49 @@
+// Statistical summaries used by the experiment harness.
+//
+// The paper reports the 95%-trimmed mean of query response times: the mean
+// of the sample after discarding the lowest and highest 2.5% of scores.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mqs {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+/// Requires a non-empty sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Trimmed mean keeping the central `keepFraction` of the sorted sample
+/// (keepFraction = 0.95 discards the lowest and highest 2.5%).
+/// Requires a non-empty sample and 0 < keepFraction <= 1.
+double trimmedMean(std::vector<double> xs, double keepFraction);
+
+/// The paper's summary statistic: trimmedMean(xs, 0.95).
+inline double trimmedMean95(std::vector<double> xs) {
+  return trimmedMean(std::move(xs), 0.95);
+}
+
+/// Streaming mean/variance (Welford). Suitable for long runs where storing
+/// every sample is unnecessary.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mqs

@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mqs {
+
+std::string formatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::setColumns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  MQS_CHECK_MSG(columns_.empty() || cells.size() == columns_.size(),
+                "row width mismatch in table " + title_);
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addRow(const std::string& x, const std::vector<double>& ys,
+                   int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(ys.size() + 1);
+  cells.push_back(x);
+  for (double y : ys) cells.push_back(formatDouble(y, precision));
+  addRow(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  if (!columns_.empty()) {
+    printRow(columns_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) printRow(row);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << '\n';
+  };
+  if (!columns_.empty()) printRow(columns_);
+  for (const auto& row : rows_) printRow(row);
+}
+
+bool Table::writeCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  printCsv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mqs

@@ -1,0 +1,49 @@
+// ASCII table / CSV emission for the benchmark harnesses.
+//
+// Every figure bench prints one Table per chart: a header row naming the
+// series (ranking strategies) and one data row per x-axis point. The same
+// Table can be dumped as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mqs {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void setColumns(std::vector<std::string> names);
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is the x value, remaining are doubles.
+  void addRow(const std::string& x, const std::vector<double>& ys,
+              int precision = 3);
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Pretty-printed, column-aligned table.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void printCsv(std::ostream& os) const;
+  /// Write CSV to `path` (creating parent-less file); returns success.
+  bool writeCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string formatDouble(double v, int precision);
+
+}  // namespace mqs

@@ -1,0 +1,32 @@
+#include "common/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  MQS_CHECK(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  workers_.clear();  // jthread joins on destruction
+}
+
+void ThreadPool::workerLoop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace mqs

@@ -1,0 +1,50 @@
+// Fixed-size worker pool, mirroring the paper's query-server thread pool
+// ("typically the number of threads is the number of processors available
+// in the SMP").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+
+namespace mqs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Enqueue a task and obtain its result as a future.
+  template <typename F>
+  auto submitWithResult(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Stop accepting work, drain pending tasks, join all workers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace mqs

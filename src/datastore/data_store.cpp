@@ -1,0 +1,235 @@
+#include "datastore/data_store.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mqs::datastore {
+
+EvictionPolicy parseEvictionPolicy(std::string_view name) {
+  if (name == "LRU") return EvictionPolicy::Lru;
+  if (name == "LFU") return EvictionPolicy::Lfu;
+  if (name == "LARGEST") return EvictionPolicy::Largest;
+  MQS_CHECK_MSG(false, "unknown eviction policy: " + std::string(name));
+  return EvictionPolicy::Lru;  // unreachable
+}
+
+std::string_view toString(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::Lru: return "LRU";
+    case EvictionPolicy::Lfu: return "LFU";
+    case EvictionPolicy::Largest: return "LARGEST";
+  }
+  return "?";
+}
+
+DataStore::DataStore(std::uint64_t capacityBytes,
+                     const query::QuerySemantics* semantics,
+                     EvictionPolicy eviction)
+    : capacity_(capacityBytes), eviction_(eviction), semantics_(semantics) {
+  MQS_CHECK(semantics_ != nullptr);
+}
+
+void DataStore::setEvictionListener(
+    std::function<void(BlobId, const query::Predicate&)> listener) {
+  std::lock_guard lock(mu_);
+  evictionListener_ = std::move(listener);
+}
+
+std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
+                                        std::vector<std::byte> payload,
+                                        std::uint64_t logicalBytes) {
+  MQS_CHECK(predicate != nullptr);
+  // (id, predicate) pairs evicted to make room; listener runs unlocked.
+  std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  std::optional<BlobId> result;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.inserts;
+    if (logicalBytes > capacity_ || !makeRoom(logicalBytes)) {
+      ++stats_.uncacheable;
+    } else {
+      const BlobId id = nextId_++;
+      Blob blob;
+      blob.predicate = std::move(predicate);
+      blob.payload = std::move(payload);
+      blob.logicalBytes = logicalBytes;
+      lru_.push_front(id);
+      blob.lruIt = lru_.begin();
+      spatial_.insert(blob.predicate->boundingBox(), id);
+      blobs_.emplace(id, std::move(blob));
+      resident_ += logicalBytes;
+      result = id;
+    }
+    evicted.swap(pendingEvictions_);
+  }
+  for (auto& [id, pred] : evicted) {
+    if (evictionListener_) evictionListener_(id, *pred);
+  }
+  return result;
+}
+
+BlobId DataStore::pickVictimLocked() const {
+  constexpr BlobId kNone = 0;
+  if (eviction_ == EvictionPolicy::Lru) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const auto bit = blobs_.find(*it);
+      MQS_DCHECK(bit != blobs_.end());
+      if (bit->second.pins == 0) return *it;
+    }
+    return kNone;
+  }
+  // LFU / LARGEST: scan candidates, breaking ties toward the LRU end by
+  // walking the recency list from least recent to most recent.
+  BlobId best = kNone;
+  std::uint64_t bestKey = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const auto bit = blobs_.find(*it);
+    MQS_DCHECK(bit != blobs_.end());
+    const Blob& blob = bit->second;
+    if (blob.pins > 0) continue;
+    const std::uint64_t key = eviction_ == EvictionPolicy::Lfu
+                                  ? blob.uses
+                                  : ~blob.logicalBytes;  // max bytes = min key
+    if (best == kNone || key < bestKey) {
+      best = *it;
+      bestKey = key;
+    }
+  }
+  return best;
+}
+
+bool DataStore::makeRoom(std::uint64_t need) {
+  if (need > capacity_) return false;
+  while (resident_ + need > capacity_) {
+    const BlobId victim = pickVictimLocked();
+    if (victim == 0) return false;  // everything pinned
+    eraseLocked(victim, /*countEviction=*/true);
+  }
+  return true;
+}
+
+void DataStore::eraseLocked(BlobId id, bool countEviction) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return;
+  MQS_CHECK_MSG(it->second.pins == 0, "evicting a pinned blob");
+  resident_ -= it->second.logicalBytes;
+  lru_.erase(it->second.lruIt);
+  const bool erased =
+      spatial_.erase(it->second.predicate->boundingBox(), id);
+  MQS_DCHECK(erased);
+  (void)erased;
+  if (countEviction) ++stats_.evictions;
+  pendingEvictions_.emplace_back(id, std::move(it->second.predicate));
+  blobs_.erase(it);
+}
+
+std::optional<DataStore::Match> DataStore::lookup(const query::Predicate& q,
+                                                  double minOverlap) {
+  return lookupImpl(q, minOverlap, /*pin=*/false);
+}
+
+std::optional<DataStore::Match> DataStore::lookupAndPin(
+    const query::Predicate& q, double minOverlap) {
+  return lookupImpl(q, minOverlap, /*pin=*/true);
+}
+
+std::optional<DataStore::Match> DataStore::lookupImpl(
+    const query::Predicate& q, double minOverlap, bool pinMatch) {
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+  BlobId bestId = 0;
+  double bestOverlap = minOverlap;
+  bool found = false;
+  // Spatial pre-filter: overlap needs intersecting bounding boxes.
+  spatial_.queryIntersecting(
+      q.boundingBox(), [&](const Rect&, std::uint64_t id) {
+        const auto it = blobs_.find(id);
+        MQS_DCHECK(it != blobs_.end());
+        const double ov = semantics_->overlap(*it->second.predicate, q);
+        if (ov > bestOverlap) {
+          bestOverlap = ov;
+          bestId = id;
+          found = true;
+        }
+      });
+  if (!found) return std::nullopt;
+  auto it = blobs_.find(bestId);
+  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  ++it->second.uses;
+  if (pinMatch) ++it->second.pins;
+  ++stats_.hits;
+  if (bestOverlap >= 1.0) ++stats_.fullHits;
+  return Match{bestId, bestOverlap};
+}
+
+bool DataStore::contains(BlobId id) const {
+  std::lock_guard lock(mu_);
+  return blobs_.contains(id);
+}
+
+const query::Predicate& DataStore::predicate(BlobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  MQS_CHECK_MSG(it != blobs_.end(), "predicate() of absent blob");
+  return *it->second.predicate;
+}
+
+std::span<const std::byte> DataStore::payload(BlobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  MQS_CHECK_MSG(it != blobs_.end(), "payload() of absent blob");
+  return it->second.payload;
+}
+
+void DataStore::pin(BlobId id) {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  MQS_CHECK_MSG(it != blobs_.end(), "pin() of absent blob");
+  ++it->second.pins;
+}
+
+bool DataStore::tryPin(BlobId id) {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return false;
+  ++it->second.pins;
+  return true;
+}
+
+void DataStore::unpin(BlobId id) {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  MQS_CHECK_MSG(it != blobs_.end(), "unpin() of absent blob");
+  MQS_CHECK_MSG(it->second.pins > 0, "unbalanced unpin");
+  --it->second.pins;
+}
+
+void DataStore::erase(BlobId id) {
+  std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  {
+    std::lock_guard lock(mu_);
+    eraseLocked(id, /*countEviction=*/false);
+    evicted.swap(pendingEvictions_);
+  }
+  for (auto& [bid, pred] : evicted) {
+    if (evictionListener_) evictionListener_(bid, *pred);
+  }
+}
+
+DataStore::Stats DataStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t DataStore::residentBytes() const {
+  std::lock_guard lock(mu_);
+  return resident_;
+}
+
+std::size_t DataStore::residentBlobs() const {
+  std::lock_guard lock(mu_);
+  return blobs_.size();
+}
+
+}  // namespace mqs::datastore

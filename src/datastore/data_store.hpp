@@ -1,0 +1,186 @@
+// Data Store Manager (§2): dynamic storage for intermediate results with
+// semantic metadata.
+//
+// Each blob is a query result (or sub-query result) annotated with its
+// predicate. lookup() implements the system's reuse test: find the resident
+// blob whose user-defined overlap with the incoming query is highest.
+// Blobs are evicted LRU under a byte budget; the scheduler is notified so
+// it can move the corresponding graph node to SWAPPED_OUT and drop it.
+//
+// Sizes are accounted in *logical* bytes (qoutsize) so the discrete-event
+// engine — which stores no payloads — sees exactly the same residency
+// behaviour as the threaded runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "index/rtree.hpp"
+#include "query/predicate.hpp"
+#include "query/semantics.hpp"
+
+namespace mqs::datastore {
+
+using BlobId = std::uint64_t;
+
+/// Replacement policy for intermediate results. The paper does not pin one
+/// down; LRU is the default, the alternatives feed the eviction ablation.
+enum class EvictionPolicy {
+  Lru,      ///< least recently used (lookup hits and inserts refresh)
+  Lfu,      ///< fewest lookup hits (ties broken toward LRU)
+  Largest,  ///< biggest blob first (maximizes freed bytes per eviction)
+};
+
+/// Parse "LRU" / "LFU" / "LARGEST" (case-sensitive); throws CheckFailure.
+EvictionPolicy parseEvictionPolicy(std::string_view name);
+std::string_view toString(EvictionPolicy policy);
+
+class DataStore {
+ public:
+  /// `semantics` provides the user-defined overlap operator used by lookup.
+  DataStore(std::uint64_t capacityBytes, const query::QuerySemantics* semantics,
+            EvictionPolicy eviction = EvictionPolicy::Lru);
+
+  /// Called with (id, predicate) whenever a blob is evicted. Must not call
+  /// back into the data store.
+  void setEvictionListener(
+      std::function<void(BlobId, const query::Predicate&)> listener);
+
+  /// Store a result. `payload` may be empty (simulation mode);
+  /// `logicalBytes` is the result's qoutsize and drives the byte budget.
+  /// Returns the blob id, or std::nullopt if the blob cannot be cached
+  /// (larger than the whole store, or everything else is pinned).
+  std::optional<BlobId> insert(query::PredicatePtr predicate,
+                               std::vector<std::byte> payload,
+                               std::uint64_t logicalBytes);
+
+  struct Match {
+    BlobId id = 0;
+    double overlap = 0.0;
+  };
+
+  /// Best-overlap resident blob for query predicate `q` with overlap
+  /// strictly greater than `minOverlap`. Refreshes the match's LRU
+  /// position. Ties break toward the most recently used blob.
+  [[nodiscard]] std::optional<Match> lookup(const query::Predicate& q,
+                                            double minOverlap = 0.0);
+
+  /// lookup() that atomically pins the match, so concurrent evictions can
+  /// never invalidate the returned blob before the caller reads it. The
+  /// caller must unpin() when done.
+  [[nodiscard]] std::optional<Match> lookupAndPin(const query::Predicate& q,
+                                                  double minOverlap = 0.0);
+
+  [[nodiscard]] bool contains(BlobId id) const;
+
+  /// Predicate of a resident blob. The reference is valid while the blob is
+  /// pinned (or, single-threadedly, until the next mutating call).
+  [[nodiscard]] const query::Predicate& predicate(BlobId id) const;
+
+  /// Payload bytes of a resident blob (empty span in simulation mode).
+  [[nodiscard]] std::span<const std::byte> payload(BlobId id) const;
+
+  /// Pinned blobs are never evicted. Pins nest.
+  void pin(BlobId id);
+  void unpin(BlobId id);
+  /// Pin if still resident; returns whether the pin was taken.
+  bool tryPin(BlobId id);
+
+  /// RAII unpin: holds one pin on a blob and releases it on destruction
+  /// (exception-safe counterpart to lookupAndPin/tryPin).
+  class PinGuard {
+   public:
+    PinGuard() = default;
+    PinGuard(DataStore& ds, BlobId id) : ds_(&ds), id_(id) {}
+    PinGuard(PinGuard&& other) noexcept
+        : ds_(std::exchange(other.ds_, nullptr)), id_(other.id_) {}
+    PinGuard& operator=(PinGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        ds_ = std::exchange(other.ds_, nullptr);
+        id_ = other.id_;
+      }
+      return *this;
+    }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    ~PinGuard() { release(); }
+
+    void release() {
+      if (ds_ != nullptr) {
+        ds_->unpin(id_);
+        ds_ = nullptr;
+      }
+    }
+    [[nodiscard]] bool held() const { return ds_ != nullptr; }
+
+   private:
+    DataStore* ds_ = nullptr;
+    BlobId id_ = 0;
+  };
+
+  /// Explicitly drop a blob (used by tests and by administrative paths).
+  /// No-op if absent; the eviction listener fires.
+  void erase(BlobId id);
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;        ///< lookups that found a usable blob
+    std::uint64_t fullHits = 0;    ///< hits with overlap >= 1
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t uncacheable = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::uint64_t capacityBytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t residentBytes() const;
+  [[nodiscard]] std::size_t residentBlobs() const;
+
+ private:
+  struct Blob {
+    query::PredicatePtr predicate;
+    std::vector<std::byte> payload;
+    std::uint64_t logicalBytes = 0;
+    std::uint64_t uses = 0;  ///< lookup hits (LFU)
+    int pins = 0;
+    std::list<BlobId>::iterator lruIt;
+  };
+
+  /// Next eviction victim under the configured policy, or kNoVictim.
+  BlobId pickVictimLocked() const;
+
+  std::optional<Match> lookupImpl(const query::Predicate& q,
+                                  double minOverlap, bool pinMatch);
+
+  /// Evict LRU unpinned blobs until `need` bytes are free; returns false if
+  /// impossible. Caller holds the lock.
+  bool makeRoom(std::uint64_t need);
+  void eraseLocked(BlobId id, bool countEviction);
+
+  mutable std::mutex mu_;
+  std::uint64_t capacity_;
+  std::uint64_t resident_ = 0;
+  EvictionPolicy eviction_;
+  const query::QuerySemantics* semantics_;
+  std::function<void(BlobId, const query::Predicate&)> evictionListener_;
+  BlobId nextId_ = 1;
+  std::list<BlobId> lru_;  ///< front = most recent
+  std::unordered_map<BlobId, Blob> blobs_;
+  index::RTree spatial_;   ///< bounding boxes -> blob ids
+  /// Evictions performed under the lock, drained and reported to the
+  /// listener after unlocking (the listener takes the scheduler lock).
+  std::vector<std::pair<BlobId, query::PredicatePtr>> pendingEvictions_;
+  Stats stats_;
+};
+
+}  // namespace mqs::datastore

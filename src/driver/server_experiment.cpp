@@ -1,0 +1,100 @@
+#include "driver/server_experiment.hpp"
+
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "storage/synthetic_source.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs::driver {
+
+namespace {
+
+struct Rig {
+  vm::VMSemantics semantics;
+  std::vector<ClientWorkload> workloads;
+  std::vector<std::unique_ptr<storage::SyntheticSlideSource>> sources;
+};
+
+Rig buildRig(const WorkloadConfig& workload) {
+  Rig rig;
+  rig.workloads = WorkloadGenerator::generate(workload, rig.semantics);
+  for (std::size_t d = 0; d < workload.datasets.size(); ++d) {
+    rig.sources.push_back(std::make_unique<storage::SyntheticSlideSource>(
+        rig.semantics.layout(static_cast<storage::DatasetId>(d)),
+        workload.datasets[d].seed));
+  }
+  return rig;
+}
+
+ServerRunResult gather(const server::QueryServer& server) {
+  ServerRunResult r;
+  r.records = server.collector().records();
+  r.summary = metrics::summarize(r.records);
+  r.dsStats = server.dataStore().stats();
+  r.schedStats = server.scheduler().stats();
+  return r;
+}
+
+}  // namespace
+
+ServerRunResult ServerExperiment::runInteractive(
+    const WorkloadConfig& workload, const server::ServerConfig& serverCfg) {
+  Rig rig = buildRig(workload);
+  vm::VMExecutor executor(&rig.semantics);
+  server::QueryServer server(&rig.semantics, &executor, serverCfg);
+  for (std::size_t d = 0; d < rig.sources.size(); ++d) {
+    server.attach(static_cast<storage::DatasetId>(d), rig.sources[d].get());
+  }
+
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(rig.workloads.size());
+    for (const ClientWorkload& wl : rig.workloads) {
+      clients.emplace_back([&server, &wl] {
+        for (const vm::VMPredicate& q : wl.queries) {
+          (void)server.execute(std::make_unique<vm::VMPredicate>(q),
+                               wl.client);
+        }
+      });
+    }
+  }  // join clients
+
+  ServerRunResult result = gather(server);
+  result.psStats = server.pageSpace().stats();
+  server.shutdown();
+  return result;
+}
+
+ServerRunResult ServerExperiment::runBatch(
+    const WorkloadConfig& workload, const server::ServerConfig& serverCfg) {
+  Rig rig = buildRig(workload);
+  vm::VMExecutor executor(&rig.semantics);
+  server::QueryServer server(&rig.semantics, &executor, serverCfg);
+  for (std::size_t d = 0; d < rig.sources.size(); ++d) {
+    server.attach(static_cast<storage::DatasetId>(d), rig.sources[d].get());
+  }
+
+  std::vector<std::future<server::QueryResult>> futures;
+  std::size_t maxLen = 0;
+  for (const auto& wl : rig.workloads) {
+    maxLen = std::max(maxLen, wl.queries.size());
+  }
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    for (const ClientWorkload& wl : rig.workloads) {
+      if (i < wl.queries.size()) {
+        futures.push_back(server.submit(
+            std::make_unique<vm::VMPredicate>(wl.queries[i]), wl.client));
+      }
+    }
+  }
+  for (auto& f : futures) (void)f.get();
+
+  ServerRunResult result = gather(server);
+  result.psStats = server.pageSpace().stats();
+  server.shutdown();
+  return result;
+}
+
+}  // namespace mqs::driver

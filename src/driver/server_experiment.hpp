@@ -1,0 +1,36 @@
+// Experiment runner for the threaded runtime: real bytes, real threads.
+// Used by integration tests and examples (the figure benches use the
+// deterministic DES runner instead).
+#pragma once
+
+#include <vector>
+
+#include "datastore/data_store.hpp"
+#include "driver/workload.hpp"
+#include "metrics/metrics.hpp"
+#include "server/query_server.hpp"
+
+namespace mqs::driver {
+
+struct ServerRunResult {
+  metrics::Summary summary;
+  std::vector<metrics::QueryRecord> records;
+  datastore::DataStore::Stats dsStats;
+  pagespace::PageSpaceManager::Stats psStats;
+  sched::QueryScheduler::Stats schedStats;
+};
+
+class ServerExperiment {
+ public:
+  /// Interactive clients: one thread per client, each waits for its result
+  /// before issuing the next query. Synthetic slide sources are created
+  /// from the workload's dataset specs.
+  static ServerRunResult runInteractive(const WorkloadConfig& workload,
+                                        const server::ServerConfig& server);
+
+  /// Batch submission of the interleaved workload.
+  static ServerRunResult runBatch(const WorkloadConfig& workload,
+                                  const server::ServerConfig& server);
+};
+
+}  // namespace mqs::driver

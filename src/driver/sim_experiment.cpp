@@ -1,0 +1,129 @@
+#include "driver/sim_experiment.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mqs::driver {
+
+namespace {
+
+sim::Task<void> interactiveClient(sim::Simulator& simr,
+                                  sim::SimServer& server,
+                                  const ClientWorkload* wl,
+                                  double thinkMean, std::uint64_t seed) {
+  Rng rng(seed);
+  for (const vm::VMPredicate& q : wl->queries) {
+    co_await server.executeAndWait(std::make_unique<vm::VMPredicate>(q),
+                                   wl->client);
+    if (thinkMean > 0.0) {
+      // Exponential think time, inverse-CDF sampled.
+      const double u = std::max(1e-12, 1.0 - rng.uniform01());
+      co_await simr.delay(-thinkMean * std::log(u));
+    }
+  }
+}
+
+SimRunResult gather(const sim::Simulator& simr, const sim::SimServer& server) {
+  SimRunResult r;
+  r.records = server.collector().records();
+  r.summary = metrics::summarize(r.records);
+  r.io = server.ioStats();
+  r.dsStats = server.dataStore().stats();
+  r.psStats = server.pageCache().stats();
+  r.schedStats = server.scheduler().stats();
+  r.simulatedSeconds = simr.now();
+  r.events = simr.processedEvents();
+  return r;
+}
+
+}  // namespace
+
+SimRunResult SimExperiment::runInteractive(const WorkloadConfig& workload,
+                                           const sim::SimConfig& serverCfg) {
+  vm::VMSemantics semantics;
+  const std::vector<ClientWorkload> workloads =
+      WorkloadGenerator::generate(workload, semantics);
+
+  sim::Simulator simr;
+  sim::SimServer server(simr, &semantics, serverCfg);
+  Rng thinkSeeds(workload.seed ^ 0x7468696e6bULL);
+  for (const ClientWorkload& wl : workloads) {
+    simr.spawn(interactiveClient(simr, server, &wl,
+                                 workload.thinkTimeMeanSec,
+                                 thinkSeeds.next()));
+  }
+  simr.run();
+  return gather(simr, server);
+}
+
+SimRunResult SimExperiment::runOpenLoop(const WorkloadConfig& workload,
+                                        const sim::SimConfig& serverCfg,
+                                        double arrivalsPerSecond) {
+  MQS_CHECK(arrivalsPerSecond > 0.0);
+  vm::VMSemantics semantics;
+  const std::vector<ClientWorkload> workloads =
+      WorkloadGenerator::generate(workload, semantics);
+
+  sim::Simulator simr;
+  sim::SimServer server(simr, &semantics, serverCfg);
+
+  // Deterministic Poisson arrivals over the interleaved stream.
+  struct Arrival {
+    const vm::VMPredicate* query;
+    int client;
+  };
+  std::vector<Arrival> arrivals;
+  std::size_t maxLen = 0;
+  for (const auto& wl : workloads) {
+    maxLen = std::max(maxLen, wl.queries.size());
+  }
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    for (const ClientWorkload& wl : workloads) {
+      if (i < wl.queries.size()) {
+        arrivals.push_back(Arrival{&wl.queries[i], wl.client});
+      }
+    }
+  }
+  Rng rng(workload.seed ^ 0x6f70656eULL);
+  double at = 0.0;
+  for (const Arrival& a : arrivals) {
+    const double u = std::max(1e-12, 1.0 - rng.uniform01());
+    at += -std::log(u) / arrivalsPerSecond;
+    simr.schedule(at, [&server, a] {
+      server.submit(std::make_unique<vm::VMPredicate>(*a.query), a.client);
+    });
+  }
+  simr.run();
+  return gather(simr, server);
+}
+
+SimRunResult SimExperiment::runBatch(const WorkloadConfig& workload,
+                                     const sim::SimConfig& serverCfg) {
+  vm::VMSemantics semantics;
+  const std::vector<ClientWorkload> workloads =
+      WorkloadGenerator::generate(workload, semantics);
+
+  sim::Simulator simr;
+  sim::SimServer server(simr, &semantics, serverCfg);
+  // Round-robin interleaving preserves per-client arrival order while
+  // presenting the batch the way concurrent clients would.
+  std::size_t maxLen = 0;
+  for (const auto& wl : workloads) {
+    maxLen = std::max(maxLen, wl.queries.size());
+  }
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    for (const ClientWorkload& wl : workloads) {
+      if (i < wl.queries.size()) {
+        server.submit(std::make_unique<vm::VMPredicate>(wl.queries[i]),
+                      wl.client);
+      }
+    }
+  }
+  simr.run();
+  return gather(simr, server);
+}
+
+}  // namespace mqs::driver

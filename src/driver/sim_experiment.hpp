@@ -1,0 +1,48 @@
+// Experiment runner for the discrete-event engine: builds a workload,
+// stands up a SimServer, emulates the paper's clients (interactive or
+// batch), runs to completion in virtual time, and returns all measurements.
+#pragma once
+
+#include <vector>
+
+#include "datastore/data_store.hpp"
+#include "driver/workload.hpp"
+#include "metrics/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/sim_server.hpp"
+
+namespace mqs::driver {
+
+struct SimRunResult {
+  metrics::Summary summary;
+  std::vector<metrics::QueryRecord> records;
+  sim::SimServer::IoStats io;
+  datastore::DataStore::Stats dsStats;
+  pagespace::PageCacheCore::Stats psStats;
+  sched::QueryScheduler::Stats schedStats;
+  double simulatedSeconds = 0.0;  ///< virtual makespan of the run
+  std::uint64_t events = 0;       ///< DES events processed
+};
+
+class SimExperiment {
+ public:
+  /// Interactive mode (§5, Figures 4-6): every client waits for the
+  /// completion of a query before submitting the next one.
+  static SimRunResult runInteractive(const WorkloadConfig& workload,
+                                     const sim::SimConfig& server);
+
+  /// Batch mode (§5, Figure 7): the whole workload is submitted at t=0 and
+  /// the metric of interest is the total execution time.
+  static SimRunResult runBatch(const WorkloadConfig& workload,
+                               const sim::SimConfig& server);
+
+  /// Open-loop mode (extension; the web-driven scenario of the paper's
+  /// ref [11]): the interleaved workload arrives as a Poisson stream at
+  /// `arrivalsPerSecond`, regardless of completions — response times under
+  /// offered load, saturation visible as unbounded queueing.
+  static SimRunResult runOpenLoop(const WorkloadConfig& workload,
+                                  const sim::SimConfig& server,
+                                  double arrivalsPerSecond);
+};
+
+}  // namespace mqs::driver

@@ -1,0 +1,76 @@
+#include "driver/trace.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mqs::driver {
+
+void writeTrace(std::ostream& os,
+                const std::vector<ClientWorkload>& workloads) {
+  os << "# mqs-trace v1: client dataset x0 y0 width height zoom op\n";
+  for (const ClientWorkload& wl : workloads) {
+    for (const vm::VMPredicate& q : wl.queries) {
+      os << wl.client << ' ' << q.dataset() << ' ' << q.region().x0 << ' '
+         << q.region().y0 << ' ' << q.region().width() << ' '
+         << q.region().height() << ' ' << q.zoom() << ' '
+         << toString(q.op()) << '\n';
+    }
+  }
+}
+
+std::vector<ClientWorkload> readTrace(std::istream& is) {
+  // Preserve per-client query order; clients ordered by first appearance.
+  std::vector<ClientWorkload> out;
+  std::map<int, std::size_t> indexOf;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    int client = 0;
+    storage::DatasetId dataset = 0;
+    std::int64_t x0 = 0, y0 = 0, w = 0, h = 0;
+    std::uint32_t zoom = 0;
+    std::string op;
+    if (!(ls >> client)) continue;  // blank / comment-only line
+    MQS_CHECK_MSG(
+        static_cast<bool>(ls >> dataset >> x0 >> y0 >> w >> h >> zoom >> op),
+        "malformed trace line " + std::to_string(lineNo));
+    MQS_CHECK_MSG(op == "subsample" || op == "average",
+                  "unknown op in trace line " + std::to_string(lineNo));
+    const vm::VMOp vmop =
+        op == "subsample" ? vm::VMOp::Subsample : vm::VMOp::Average;
+
+    auto [it, inserted] = indexOf.try_emplace(client, out.size());
+    if (inserted) {
+      out.push_back(ClientWorkload{client, dataset, {}});
+    }
+    ClientWorkload& wl = out[it->second];
+    MQS_CHECK_MSG(wl.dataset == dataset,
+                  "client switches dataset at trace line " +
+                      std::to_string(lineNo));
+    wl.queries.emplace_back(dataset, Rect::ofSize(x0, y0, w, h), zoom, vmop);
+  }
+  return out;
+}
+
+bool saveTrace(const std::filesystem::path& path,
+               const std::vector<ClientWorkload>& workloads) {
+  std::ofstream out(path);
+  if (!out) return false;
+  writeTrace(out, workloads);
+  return static_cast<bool>(out);
+}
+
+std::vector<ClientWorkload> loadTrace(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  MQS_CHECK_MSG(static_cast<bool>(in), "cannot open trace " + path.string());
+  return readTrace(in);
+}
+
+}  // namespace mqs::driver

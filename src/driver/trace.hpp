@@ -1,0 +1,31 @@
+// Workload trace persistence.
+//
+// The paper's evaluation uses an emulator because "extensive real user
+// traces are very difficult to acquire" (§5). This module makes workloads
+// exchangeable: any generated (or captured) workload can be written to a
+// plain-text trace and replayed bit-identically later, so experiments are
+// shareable and real traces can be slotted in when available.
+//
+// Format (one query per line, '#' comments ignored):
+//   client dataset x0 y0 width height zoom op
+// with op in {subsample, average}.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "driver/workload.hpp"
+
+namespace mqs::driver {
+
+void writeTrace(std::ostream& os, const std::vector<ClientWorkload>& workloads);
+std::vector<ClientWorkload> readTrace(std::istream& is);
+
+/// File variants; save returns success, load throws CheckFailure on
+/// malformed input or I/O failure.
+bool saveTrace(const std::filesystem::path& path,
+               const std::vector<ClientWorkload>& workloads);
+std::vector<ClientWorkload> loadTrace(const std::filesystem::path& path);
+
+}  // namespace mqs::driver

@@ -1,0 +1,140 @@
+#include "driver/workload.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mqs::driver {
+
+namespace {
+
+/// Snap v to the alignment grid, clamped so [v, v + extent) fits in
+/// [0, limit).
+std::int64_t snapOrigin(std::int64_t v, std::int64_t grid, std::int64_t extent,
+                        std::int64_t limit) {
+  const std::int64_t maxOrigin = ((limit - extent) / grid) * grid;
+  v = (v / grid) * grid;
+  return std::clamp<std::int64_t>(v, 0, std::max<std::int64_t>(0, maxOrigin));
+}
+
+struct BrowseState {
+  std::int64_t cx = 0;  ///< focus point (base-resolution coords)
+  std::int64_t cy = 0;
+  std::size_t zoomIdx = 0;
+};
+
+}  // namespace
+
+std::vector<ClientWorkload> WorkloadGenerator::generate(
+    const WorkloadConfig& cfg, vm::VMSemantics& semantics) {
+  MQS_CHECK(cfg.datasets.size() == cfg.clientsPerDataset.size());
+  MQS_CHECK(!cfg.zoomLevels.empty());
+  MQS_CHECK(cfg.zoomLevels.size() == cfg.zoomWeights.size());
+  for (std::uint32_t z : cfg.zoomLevels) {
+    MQS_CHECK_MSG(cfg.alignGrid % z == 0,
+                  "alignGrid must be a multiple of every zoom level");
+  }
+
+  std::vector<storage::DatasetId> ids;
+  ids.reserve(cfg.datasets.size());
+  for (const DatasetSpec& d : cfg.datasets) {
+    ids.push_back(semantics.addDataset(
+        index::ChunkLayout(d.width, d.height, d.chunkSide)));
+  }
+
+  Rng master(cfg.seed);
+
+  // Shared hotspots per dataset — the slide features everyone looks at.
+  std::vector<std::vector<Point>> hotspots(cfg.datasets.size());
+  for (std::size_t d = 0; d < cfg.datasets.size(); ++d) {
+    Rng hs = master.fork();
+    for (int i = 0; i < cfg.hotspotsPerDataset; ++i) {
+      hotspots[d].push_back(Point{hs.uniformInt(0, cfg.datasets[d].width - 1),
+                                  hs.uniformInt(0, cfg.datasets[d].height - 1)});
+    }
+  }
+
+  std::vector<ClientWorkload> out;
+  int clientId = 0;
+  for (std::size_t d = 0; d < cfg.datasets.size(); ++d) {
+    const DatasetSpec& spec = cfg.datasets[d];
+    for (int c = 0; c < cfg.clientsPerDataset[d]; ++c, ++clientId) {
+      Rng rng = master.fork();
+      ClientWorkload wl;
+      wl.client = clientId;
+      wl.dataset = ids[d];
+
+      BrowseState st;
+      st.cx = rng.uniformInt(0, spec.width - 1);
+      st.cy = rng.uniformInt(0, spec.height - 1);
+      st.zoomIdx = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(cfg.zoomLevels.size()) - 1));
+
+      for (int q = 0; q < cfg.queriesPerClient; ++q) {
+        if (!rng.bernoulli(cfg.browseProbability)) {
+          // Jump to a shared hotspot and re-draw the zoom level.
+          const auto& hs = hotspots[d];
+          const Point p = hs[static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<std::int64_t>(hs.size()) - 1))];
+          st.cx = p.x;
+          st.cy = p.y;
+          st.zoomIdx = rng.weightedIndex(cfg.zoomWeights);
+        } else {
+          // Continue browsing: small pan, sometimes a zoom step.
+          const auto zoom =
+              static_cast<std::int64_t>(cfg.zoomLevels[st.zoomIdx]);
+          const std::int64_t view = cfg.outputSide * zoom;
+          st.cx += rng.uniformInt(-view / 2, view / 2);
+          st.cy += rng.uniformInt(-view / 2, view / 2);
+          const double roll = rng.uniform01();
+          if (roll < 0.25 && st.zoomIdx + 1 < cfg.zoomLevels.size()) {
+            ++st.zoomIdx;  // zoom out
+          } else if (roll < 0.5 && st.zoomIdx > 0) {
+            --st.zoomIdx;  // zoom in
+          }
+        }
+        // Cap the zoom so the viewport fits the dataset (small test slides).
+        auto fits = [&](std::size_t zi) {
+          const std::int64_t e =
+              cfg.outputSide * static_cast<std::int64_t>(cfg.zoomLevels[zi]);
+          return e <= spec.width && e <= spec.height;
+        };
+        while (st.zoomIdx > 0 && !fits(st.zoomIdx)) --st.zoomIdx;
+        MQS_CHECK_MSG(fits(st.zoomIdx),
+                      "smallest zoom level does not fit the dataset");
+        const auto zoom = cfg.zoomLevels[st.zoomIdx];
+        const std::int64_t extentW =
+            cfg.outputSide * static_cast<std::int64_t>(zoom);
+        st.cx = std::clamp<std::int64_t>(st.cx, 0, spec.width - 1);
+        st.cy = std::clamp<std::int64_t>(st.cy, 0, spec.height - 1);
+        const std::int64_t x0 = snapOrigin(st.cx - extentW / 2, cfg.alignGrid,
+                                           extentW, spec.width);
+        const std::int64_t y0 = snapOrigin(st.cy - extentW / 2, cfg.alignGrid,
+                                           extentW, spec.height);
+        MQS_CHECK_MSG(x0 + extentW <= spec.width && y0 + extentW <= spec.height,
+                      "workload region exceeds dataset extent; increase the "
+                      "dataset size or lower outputSide/zoom");
+        wl.queries.emplace_back(wl.dataset,
+                                Rect::ofSize(x0, y0, extentW, extentW), zoom,
+                                cfg.op);
+      }
+      out.push_back(std::move(wl));
+    }
+  }
+  return out;
+}
+
+std::vector<vm::VMPredicate> WorkloadGenerator::interleave(
+    const std::vector<ClientWorkload>& workloads) {
+  std::vector<vm::VMPredicate> out;
+  std::size_t maxLen = 0;
+  for (const auto& wl : workloads) maxLen = std::max(maxLen, wl.queries.size());
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    for (const auto& wl : workloads) {
+      if (i < wl.queries.size()) out.push_back(wl.queries[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mqs::driver

@@ -1,0 +1,79 @@
+// Client emulator workloads (§5).
+//
+// The paper drives the server with 16 emulated clients, each issuing 16
+// queries for 1024x1024 output images at various magnification levels over
+// three datasets (8/6/2 client split). We reproduce that structure with a
+// browsing model: each client pans/zooms around a focus point and
+// occasionally jumps to one of the dataset's shared hotspots (the classroom
+// scenario: many students inspecting the same features), which is what
+// creates inter-client overlap for the scheduler to exploit.
+//
+// All query origins snap to a grid that every zoom level divides, so any
+// two results over the same dataset/op are mutually alignable (the Eq. 4
+// alignment precondition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::driver {
+
+struct DatasetSpec {
+  std::int64_t width = 30000;
+  std::int64_t height = 30000;
+  std::int64_t chunkSide = 146;  ///< ~64KB pages at 3 B/pixel
+  std::uint64_t seed = 1;        ///< synthetic pixel seed
+};
+
+struct WorkloadConfig {
+  std::vector<DatasetSpec> datasets = {DatasetSpec{.seed = 11},
+                                       DatasetSpec{.seed = 22},
+                                       DatasetSpec{.seed = 33}};
+  /// Clients per dataset (paper: 8, 6, 2). Must match datasets.size().
+  std::vector<int> clientsPerDataset = {8, 6, 2};
+  int queriesPerClient = 16;
+
+  std::int64_t outputSide = 1024;  ///< output images are outputSide^2 RGB
+  std::vector<std::uint32_t> zoomLevels = {2, 4, 8, 16, 32};
+  std::vector<double> zoomWeights = {1.0, 2.0, 3.0, 2.0, 1.0};
+
+  vm::VMOp op = vm::VMOp::Subsample;
+
+  /// Origin snap grid; must be a multiple of every zoom level.
+  std::int64_t alignGrid = 32;
+  /// Probability the next query continues browsing near the previous one
+  /// (pan / zoom step) rather than jumping to a shared hotspot.
+  double browseProbability = 0.6;
+  int hotspotsPerDataset = 4;
+
+  /// Mean think time between a result and the client's next query
+  /// (exponential; 0 = the paper's zero-think emulated clients).
+  double thinkTimeMeanSec = 0.0;
+
+  std::uint64_t seed = 42;
+};
+
+struct ClientWorkload {
+  int client = 0;
+  storage::DatasetId dataset = 0;
+  std::vector<vm::VMPredicate> queries;
+};
+
+class WorkloadGenerator {
+ public:
+  /// Register the config's datasets in `semantics` (ids 0..n-1) and
+  /// generate per-client query streams. Deterministic in config.seed.
+  static std::vector<ClientWorkload> generate(const WorkloadConfig& cfg,
+                                              vm::VMSemantics& semantics);
+
+  /// Flattened round-robin interleaving of all client streams — the order
+  /// a batch submission presents queries to the server.
+  static std::vector<vm::VMPredicate> interleave(
+      const std::vector<ClientWorkload>& workloads);
+};
+
+}  // namespace mqs::driver

@@ -1,0 +1,72 @@
+#include "index/chunk_layout.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::index {
+
+ChunkLayout::ChunkLayout(std::int64_t width, std::int64_t height,
+                         std::int64_t chunkSide, int bytesPerPixel)
+    : width_(width),
+      height_(height),
+      chunkSide_(chunkSide),
+      bytesPerPixel_(bytesPerPixel) {
+  MQS_CHECK(width > 0 && height > 0);
+  MQS_CHECK(chunkSide > 0);
+  MQS_CHECK(bytesPerPixel > 0);
+  chunksPerRow_ = (width + chunkSide - 1) / chunkSide;
+  chunksPerCol_ = (height + chunkSide - 1) / chunkSide;
+}
+
+Rect ChunkLayout::chunkRect(std::uint64_t id) const {
+  MQS_CHECK(id < chunkCount());
+  const auto row = static_cast<std::int64_t>(id) / chunksPerRow_;
+  const auto col = static_cast<std::int64_t>(id) % chunksPerRow_;
+  const std::int64_t x0 = col * chunkSide_;
+  const std::int64_t y0 = row * chunkSide_;
+  return Rect{x0, y0, std::min(x0 + chunkSide_, width_),
+              std::min(y0 + chunkSide_, height_)};
+}
+
+std::size_t ChunkLayout::chunkBytes(std::uint64_t id) const {
+  return static_cast<std::size_t>(chunkRect(id).area()) *
+         static_cast<std::size_t>(bytesPerPixel_);
+}
+
+std::uint64_t ChunkLayout::chunkAt(std::int64_t x, std::int64_t y) const {
+  MQS_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return static_cast<std::uint64_t>((y / chunkSide_) * chunksPerRow_ +
+                                    (x / chunkSide_));
+}
+
+std::vector<ChunkRef> ChunkLayout::chunksIntersecting(
+    const Rect& region) const {
+  const Rect r = Rect::intersection(region, extent());
+  if (r.empty()) return {};
+  const std::int64_t c0 = r.x0 / chunkSide_;
+  const std::int64_t c1 = (r.x1 - 1) / chunkSide_;
+  const std::int64_t r0 = r.y0 / chunkSide_;
+  const std::int64_t r1 = (r.y1 - 1) / chunkSide_;
+  std::vector<ChunkRef> out;
+  out.reserve(static_cast<std::size_t>((c1 - c0 + 1) * (r1 - r0 + 1)));
+  for (std::int64_t row = r0; row <= r1; ++row) {
+    for (std::int64_t col = c0; col <= c1; ++col) {
+      const auto id = static_cast<std::uint64_t>(row * chunksPerRow_ + col);
+      out.push_back(ChunkRef{id, chunkRect(id)});
+    }
+  }
+  return out;
+}
+
+std::uint64_t ChunkLayout::inputBytes(const Rect& region) const {
+  const Rect r = Rect::intersection(region, extent());
+  if (r.empty()) return 0;
+  // Closed chunk index ranges; edge chunks are shorter, so sum exactly.
+  std::uint64_t total = 0;
+  for (const ChunkRef& c : chunksIntersecting(r)) {
+    total += static_cast<std::uint64_t>(c.rect.area()) *
+             static_cast<std::uint64_t>(bytesPerPixel_);
+  }
+  return total;
+}
+
+}  // namespace mqs::index

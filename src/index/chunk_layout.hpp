@@ -1,0 +1,76 @@
+// Index Manager: regular chunking of a 2-D dataset.
+//
+// "each slide is regularly partitioned into data chunks, each of which is a
+//  rectangular subregion of the 2D image" — §3. Chunks are stored one per
+// page; chunk id == page id, row-major. The layout answers the index-lookup
+// step of query planning: which chunks intersect a query region, and how
+// many input bytes they hold (used as qinputsize by the SJF policy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace mqs::index {
+
+/// Reference to one chunk returned by an index lookup.
+struct ChunkRef {
+  std::uint64_t id = 0;  ///< page id within the dataset
+  Rect rect;             ///< region covered, clipped to the image extent
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
+class ChunkLayout {
+ public:
+  /// A width x height image of bytesPerPixel-byte pixels, cut into
+  /// chunkSide x chunkSide tiles (edge tiles clipped).
+  ChunkLayout(std::int64_t width, std::int64_t height, std::int64_t chunkSide,
+              int bytesPerPixel = 3);
+
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t chunkSide() const { return chunkSide_; }
+  [[nodiscard]] int bytesPerPixel() const { return bytesPerPixel_; }
+  [[nodiscard]] Rect extent() const { return Rect{0, 0, width_, height_}; }
+
+  [[nodiscard]] std::int64_t chunksPerRow() const { return chunksPerRow_; }
+  [[nodiscard]] std::int64_t chunksPerCol() const { return chunksPerCol_; }
+  [[nodiscard]] std::uint64_t chunkCount() const {
+    return static_cast<std::uint64_t>(chunksPerRow_ * chunksPerCol_);
+  }
+
+  /// Full (unclipped) page capacity in bytes: chunkSide^2 * bytesPerPixel.
+  [[nodiscard]] std::size_t fullChunkBytes() const {
+    return static_cast<std::size_t>(chunkSide_ * chunkSide_ * bytesPerPixel_);
+  }
+
+  /// Region covered by chunk `id`, clipped to the image.
+  [[nodiscard]] Rect chunkRect(std::uint64_t id) const;
+
+  /// Bytes of pixel data held by chunk `id` (edge chunks are short).
+  [[nodiscard]] std::size_t chunkBytes(std::uint64_t id) const;
+
+  /// Chunk containing pixel (x, y).
+  [[nodiscard]] std::uint64_t chunkAt(std::int64_t x, std::int64_t y) const;
+
+  /// All chunks intersecting `region` (clipped to the image extent), in
+  /// row-major order. Empty if the region misses the image.
+  [[nodiscard]] std::vector<ChunkRef> chunksIntersecting(const Rect& region) const;
+
+  /// Total bytes of the chunks intersecting `region` — the paper's
+  /// qinputsize estimate ("the total size of the data chunks that intersect
+  /// the query window").
+  [[nodiscard]] std::uint64_t inputBytes(const Rect& region) const;
+
+ private:
+  std::int64_t width_;
+  std::int64_t height_;
+  std::int64_t chunkSide_;
+  int bytesPerPixel_;
+  std::int64_t chunksPerRow_;
+  std::int64_t chunksPerCol_;
+};
+
+}  // namespace mqs::index

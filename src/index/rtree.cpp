@@ -1,0 +1,381 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mqs::index {
+
+struct RTree::Entry {
+  Rect rect;
+  std::unique_ptr<Node> child;  ///< non-null in internal nodes
+  std::uint64_t value = 0;      ///< payload in leaf nodes
+};
+
+struct RTree::Node {
+  int level = 0;  ///< 0 = leaf
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+};
+
+namespace {
+
+Rect nodeRect(const RTree::Node& node);
+
+std::int64_t enlargement(const Rect& base, const Rect& extra) {
+  return Rect::bounding(base, extra).area() - base.area();
+}
+
+}  // namespace
+
+namespace {
+Rect nodeRect(const RTree::Node& node) {
+  Rect r{};
+  bool first = true;
+  for (const auto& e : node.entries) {
+    r = first ? e.rect : Rect::bounding(r, e.rect);
+    first = false;
+  }
+  return r;
+}
+}  // namespace
+
+RTree::RTree(std::size_t maxEntries)
+    : root_(std::make_unique<Node>()), maxEntries_(maxEntries) {
+  MQS_CHECK(maxEntries_ >= 4);
+  minEntries_ = std::max<std::size_t>(2, maxEntries_ * 2 / 5);
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree::Node* RTree::chooseSubtree(Node* node, const Rect& rect,
+                                  int targetLevel) const {
+  while (node->level > targetLevel) {
+    Entry* best = nullptr;
+    std::int64_t bestEnlarge = std::numeric_limits<std::int64_t>::max();
+    std::int64_t bestArea = std::numeric_limits<std::int64_t>::max();
+    for (auto& e : node->entries) {
+      const std::int64_t grow = enlargement(e.rect, rect);
+      const std::int64_t area = e.rect.area();
+      if (grow < bestEnlarge || (grow == bestEnlarge && area < bestArea)) {
+        best = &e;
+        bestEnlarge = grow;
+        bestArea = area;
+      }
+    }
+    MQS_CHECK(best != nullptr);
+    node = best->child.get();
+  }
+  return node;
+}
+
+void RTree::insert(const Rect& rect, std::uint64_t value) {
+  MQS_CHECK_MSG(!rect.empty(), "RTree does not index empty rectangles");
+  Entry e;
+  e.rect = rect;
+  e.value = value;
+  insertEntry(std::move(e), /*targetLevel=*/0);
+  ++size_;
+}
+
+void RTree::insertEntry(Entry entry, int targetLevel) {
+  Node* node = chooseSubtree(root_.get(), entry.rect, targetLevel);
+  if (entry.child) entry.child->parent = node;
+  node->entries.push_back(std::move(entry));
+  if (node->entries.size() > maxEntries_) {
+    splitNode(node);
+  } else {
+    adjustUpward(node);
+  }
+}
+
+void RTree::splitNode(Node* node) {
+  auto entries = std::move(node->entries);
+  node->entries.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->level = node->level;
+
+  // Quadratic seed pick: the pair wasting the most area together.
+  std::size_t seedA = 0, seedB = 1;
+  std::int64_t worst = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const std::int64_t waste =
+          Rect::bounding(entries[i].rect, entries[j].rect).area() -
+          entries[i].rect.area() - entries[j].rect.area();
+      if (waste > worst) {
+        worst = waste;
+        seedA = i;
+        seedB = j;
+      }
+    }
+  }
+
+  Rect rectA = entries[seedA].rect;
+  Rect rectB = entries[seedB].rect;
+  std::vector<Entry> groupA, groupB;
+  groupA.push_back(std::move(entries[seedA]));
+  groupB.push_back(std::move(entries[seedB]));
+  std::vector<Entry> rest;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != seedA && i != seedB) rest.push_back(std::move(entries[i]));
+  }
+
+  while (!rest.empty()) {
+    // If one group must absorb all remaining entries to reach min fill:
+    if (groupA.size() + rest.size() == minEntries_) {
+      for (auto& e : rest) {
+        rectA = Rect::bounding(rectA, e.rect);
+        groupA.push_back(std::move(e));
+      }
+      rest.clear();
+      break;
+    }
+    if (groupB.size() + rest.size() == minEntries_) {
+      for (auto& e : rest) {
+        rectB = Rect::bounding(rectB, e.rect);
+        groupB.push_back(std::move(e));
+      }
+      rest.clear();
+      break;
+    }
+    // Pick the entry with the strongest group preference.
+    std::size_t pick = 0;
+    std::int64_t bestDiff = -1;
+    std::int64_t pickDa = 0, pickDb = 0;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      const std::int64_t da = enlargement(rectA, rest[i].rect);
+      const std::int64_t db = enlargement(rectB, rest[i].rect);
+      const std::int64_t diff = std::abs(da - db);
+      if (diff > bestDiff) {
+        bestDiff = diff;
+        pick = i;
+        pickDa = da;
+        pickDb = db;
+      }
+    }
+    Entry chosen = std::move(rest[pick]);
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pick));
+    const bool toA =
+        pickDa < pickDb ||
+        (pickDa == pickDb && (rectA.area() < rectB.area() ||
+                              (rectA.area() == rectB.area() &&
+                               groupA.size() <= groupB.size())));
+    if (toA) {
+      rectA = Rect::bounding(rectA, chosen.rect);
+      groupA.push_back(std::move(chosen));
+    } else {
+      rectB = Rect::bounding(rectB, chosen.rect);
+      groupB.push_back(std::move(chosen));
+    }
+  }
+
+  node->entries = std::move(groupA);
+  sibling->entries = std::move(groupB);
+  for (auto& e : node->entries) {
+    if (e.child) e.child->parent = node;
+  }
+  for (auto& e : sibling->entries) {
+    if (e.child) e.child->parent = sibling.get();
+  }
+
+  if (node == root_.get()) {
+    auto newRoot = std::make_unique<Node>();
+    newRoot->level = node->level + 1;
+    Entry left;
+    left.rect = nodeRect(*node);
+    left.child = std::move(root_);
+    Entry right;
+    right.rect = nodeRect(*sibling);
+    right.child = std::move(sibling);
+    left.child->parent = newRoot.get();
+    right.child->parent = newRoot.get();
+    newRoot->entries.push_back(std::move(left));
+    newRoot->entries.push_back(std::move(right));
+    root_ = std::move(newRoot);
+    return;
+  }
+
+  Node* parent = node->parent;
+  for (auto& e : parent->entries) {
+    if (e.child.get() == node) {
+      e.rect = nodeRect(*node);
+      break;
+    }
+  }
+  Entry sibEntry;
+  sibEntry.rect = nodeRect(*sibling);
+  sibling->parent = parent;
+  sibEntry.child = std::move(sibling);
+  parent->entries.push_back(std::move(sibEntry));
+  if (parent->entries.size() > maxEntries_) {
+    splitNode(parent);
+  } else {
+    adjustUpward(parent);
+  }
+}
+
+void RTree::adjustUpward(Node* node) {
+  while (node != root_.get()) {
+    Node* parent = node->parent;
+    for (auto& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = nodeRect(*node);
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+namespace {
+
+RTree::Node* findLeaf(RTree::Node* node, const Rect& rect,
+                      std::uint64_t value, std::size_t& indexOut) {
+  if (node->level == 0) {
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].value == value && node->entries[i].rect == rect) {
+        indexOut = i;
+        return node;
+      }
+    }
+    return nullptr;
+  }
+  for (auto& e : node->entries) {
+    if (e.rect.contains(rect) || e.rect.intersects(rect)) {
+      if (RTree::Node* found = findLeaf(e.child.get(), rect, value, indexOut)) {
+        return found;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void gatherLeafEntries(RTree::Node* node,
+                       std::vector<std::pair<Rect, std::uint64_t>>& out) {
+  if (node->level == 0) {
+    for (const auto& e : node->entries) out.emplace_back(e.rect, e.value);
+    return;
+  }
+  for (const auto& e : node->entries) gatherLeafEntries(e.child.get(), out);
+}
+
+}  // namespace
+
+bool RTree::erase(const Rect& rect, std::uint64_t value) {
+  std::size_t index = 0;
+  Node* leaf = findLeaf(root_.get(), rect, value, index);
+  if (leaf == nullptr) return false;
+  leaf->entries.erase(leaf->entries.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+  --size_;
+  condenseTree(leaf);
+  return true;
+}
+
+void RTree::condenseTree(Node* leaf) {
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node != root_.get()) {
+    Node* parent = node->parent;
+    if (node->entries.size() < minEntries_) {
+      for (std::size_t i = 0; i < parent->entries.size(); ++i) {
+        if (parent->entries[i].child.get() == node) {
+          orphans.push_back(std::move(parent->entries[i].child));
+          parent->entries.erase(parent->entries.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      for (auto& e : parent->entries) {
+        if (e.child.get() == node) {
+          e.rect = nodeRect(*node);
+          break;
+        }
+      }
+    }
+    node = parent;
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (root_->level > 0 && root_->entries.size() == 1) {
+    auto child = std::move(root_->entries[0].child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (root_->entries.empty()) root_->level = 0;
+
+  // Reinsert the leaf entries of every orphaned subtree.
+  std::vector<std::pair<Rect, std::uint64_t>> entries;
+  for (const auto& orphan : orphans) gatherLeafEntries(orphan.get(), entries);
+  size_ -= entries.size();
+  for (const auto& [r, v] : entries) insert(r, v);
+}
+
+namespace {
+void queryRec(const RTree::Node* node, const Rect& region,
+              const std::function<void(const Rect&, std::uint64_t)>& fn) {
+  for (const auto& e : node->entries) {
+    if (Rect::intersection(e.rect, region).empty()) continue;
+    if (node->level == 0) {
+      fn(e.rect, e.value);
+    } else {
+      queryRec(e.child.get(), region, fn);
+    }
+  }
+}
+}  // namespace
+
+void RTree::queryIntersecting(
+    const Rect& region,
+    const std::function<void(const Rect&, std::uint64_t)>& fn) const {
+  if (region.empty()) return;
+  queryRec(root_.get(), region, fn);
+}
+
+std::vector<std::uint64_t> RTree::findIntersecting(const Rect& region) const {
+  std::vector<std::uint64_t> out;
+  queryIntersecting(region,
+                    [&](const Rect&, std::uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+namespace {
+bool checkRec(const RTree::Node* node, const RTree::Node* root,
+              std::size_t maxEntries, std::size_t minEntries,
+              std::size_t& leafCount) {
+  if (node->entries.size() > maxEntries) return false;
+  if (node != root && node->entries.size() < minEntries) return false;
+  for (const auto& e : node->entries) {
+    if (node->level == 0) {
+      if (e.child) return false;
+      ++leafCount;
+    } else {
+      if (!e.child) return false;
+      if (e.child->level != node->level - 1) return false;
+      if (e.child->parent != node) return false;
+      if (!(e.rect == nodeRect(*e.child))) return false;
+      if (!checkRec(e.child.get(), root, maxEntries, minEntries, leafCount)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+}  // namespace
+
+bool RTree::checkInvariants() const {
+  std::size_t leafCount = 0;
+  if (!checkRec(root_.get(), root_.get(), maxEntries_, minEntries_,
+                leafCount)) {
+    return false;
+  }
+  return leafCount == size_;
+}
+
+}  // namespace mqs::index

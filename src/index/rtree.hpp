@@ -1,0 +1,66 @@
+// Dynamic R-tree over integer rectangles (Guttman, quadratic split).
+//
+// Used by the Data Store Manager to find cached blobs whose bounding boxes
+// intersect a query region without scanning every resident blob, and
+// available as a general spatial index for irregularly chunked datasets.
+// Values are opaque 64-bit ids; (id, rect) pairs must be unique.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace mqs::index {
+
+class RTree {
+ public:
+  struct Node;   // opaque; defined in rtree.cpp
+  struct Entry;  // opaque; defined in rtree.cpp
+
+  /// maxEntries >= 4; minEntries defaults to maxEntries * 0.4.
+  explicit RTree(std::size_t maxEntries = 8);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void insert(const Rect& rect, std::uint64_t value);
+
+  /// Removes the entry with exactly this (rect, value); returns whether an
+  /// entry was found.
+  bool erase(const Rect& rect, std::uint64_t value);
+
+  /// Invoke `fn` for every entry whose rect intersects `region`.
+  void queryIntersecting(
+      const Rect& region,
+      const std::function<void(const Rect&, std::uint64_t)>& fn) const;
+
+  /// Convenience collecting variant.
+  [[nodiscard]] std::vector<std::uint64_t> findIntersecting(
+      const Rect& region) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Structural invariants (entry counts, bounding boxes). For tests.
+  [[nodiscard]] bool checkInvariants() const;
+
+ private:
+  void insertEntry(Entry entry, int targetLevel);
+  Node* chooseSubtree(Node* node, const Rect& rect, int targetLevel) const;
+  void splitNode(Node* node);
+  void adjustUpward(Node* node);
+  void condenseTree(Node* leaf);
+
+  std::unique_ptr<Node> root_;
+  std::size_t maxEntries_;
+  std::size_t minEntries_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mqs::index

@@ -1,0 +1,84 @@
+// Experiment measurement: per-query records and run-level summaries.
+//
+// The paper reports (a) the 95%-trimmed mean of query response time (wait in
+// queue + execution), (b) the average overlap achieved, and (c) total batch
+// execution time. QueryRecord captures everything needed for all three plus
+// the reuse/I/O accounting used by the caching-effect experiment (E1).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mqs::metrics {
+
+struct QueryRecord {
+  std::uint64_t queryId = 0;
+  int client = -1;
+  std::string predicate;
+
+  double arrivalTime = 0.0;  ///< submitted to the scheduler
+  double startTime = 0.0;    ///< dequeued (begins executing)
+  double finishTime = 0.0;   ///< result delivered
+
+  double overlapUsed = 0.0;      ///< Eq. 4 value of the reuse source (0 = none)
+  bool reusedExecuting = false;  ///< blocked on a still-executing source
+  double blockedTime = 0.0;      ///< time spent waiting on that source
+
+  std::uint64_t inputBytes = 0;    ///< qinputsize
+  std::uint64_t outputBytes = 0;   ///< qoutsize
+  std::uint64_t bytesFromDisk = 0; ///< raw bytes actually read for this query
+  std::uint64_t bytesReused = 0;   ///< output bytes satisfied via projection
+
+  [[nodiscard]] double waitTime() const { return startTime - arrivalTime; }
+  [[nodiscard]] double execTime() const { return finishTime - startTime; }
+  [[nodiscard]] double responseTime() const { return finishTime - arrivalTime; }
+};
+
+/// Thread-safe collector; one per experiment run.
+class Collector {
+ public:
+  void add(QueryRecord record);
+
+  [[nodiscard]] std::vector<QueryRecord> records() const;
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryRecord> records_;
+};
+
+/// Run-level summary over a set of query records.
+struct Summary {
+  std::size_t queries = 0;
+  double trimmedResponse = 0.0;  ///< 95%-trimmed mean response time
+  double meanResponse = 0.0;
+  double meanWait = 0.0;
+  double meanExec = 0.0;
+  double makespan = 0.0;         ///< last finish - first arrival
+  double avgOverlap = 0.0;       ///< mean overlapUsed across queries
+  double reuseRate = 0.0;        ///< fraction of queries with overlap > 0
+  std::uint64_t totalDiskBytes = 0;
+  std::uint64_t totalReusedBytes = 0;
+  /// Jain fairness index over per-client mean response times, in
+  /// (0, 1]; 1 = every client experienced the same mean response. FIFO
+  /// "targets fairness" (§4) — this makes the claim measurable. 0 when no
+  /// client ids were recorded.
+  double clientFairness = 0.0;
+  /// Response-time tail: median / 95th / 99th percentiles.
+  double p50Response = 0.0;
+  double p95Response = 0.0;
+  double p99Response = 0.0;
+};
+
+Summary summarize(const std::vector<QueryRecord>& records);
+
+/// Per-client mean response times (clients with id >= 0), keyed by id.
+std::vector<std::pair<int, double>> perClientMeanResponse(
+    const std::vector<QueryRecord>& records);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2) for positive samples.
+double jainFairness(const std::vector<double>& xs);
+
+}  // namespace mqs::metrics

@@ -1,0 +1,52 @@
+// Umbrella header: the full public API of the multi-query scheduling
+// middleware. Fine-grained headers remain available for faster builds.
+#pragma once
+
+// Substrate
+#include "common/bytes.hpp"
+#include "common/geometry.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+// Storage & indexing
+#include "index/chunk_layout.hpp"
+#include "index/rtree.hpp"
+#include "storage/data_source.hpp"
+#include "storage/delayed_source.hpp"
+#include "storage/disk_model.hpp"
+#include "storage/file_source.hpp"
+#include "storage/synthetic_source.hpp"
+
+// Middleware services
+#include "datastore/data_store.hpp"
+#include "pagespace/page_space_manager.hpp"
+
+// Query framework & scheduling (the paper's core)
+#include "query/executor.hpp"
+#include "query/predicate.hpp"
+#include "query/semantics.hpp"
+#include "sched/graph.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+
+// Runtimes
+#include "server/query_server.hpp"
+#include "sim/sim_server.hpp"
+
+// Network front-end
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
+
+// Applications
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+#include "vol/vol_executor.hpp"
+
+// Experiment tooling
+#include "driver/server_experiment.hpp"
+#include "driver/sim_experiment.hpp"
+#include "driver/trace.hpp"
+#include "driver/workload.hpp"
+#include "metrics/metrics.hpp"

@@ -1,0 +1,114 @@
+#include "net/codecs.hpp"
+
+#include "common/check.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vol/vol_predicate.hpp"
+
+namespace mqs::net {
+
+namespace {
+
+class VmCodec final : public PredicateCodec {
+ public:
+  [[nodiscard]] std::string_view kind() const override { return "vm"; }
+
+  void encode(const query::Predicate& pred, Writer& out) const override {
+    const vm::VMPredicate& p = vm::asVM(pred);
+    out.u32(p.dataset());
+    out.i64(p.region().x0);
+    out.i64(p.region().y0);
+    out.i64(p.region().x1);
+    out.i64(p.region().y1);
+    out.u32(p.zoom());
+    out.u8(static_cast<std::uint8_t>(p.op()));
+  }
+
+  [[nodiscard]] query::PredicatePtr decode(Reader& in) const override {
+    const auto dataset = in.u32();
+    Rect r;
+    r.x0 = in.i64();
+    r.y0 = in.i64();
+    r.x1 = in.i64();
+    r.y1 = in.i64();
+    const auto zoom = in.u32();
+    const auto op = static_cast<vm::VMOp>(in.u8());
+    MQS_CHECK_MSG(op == vm::VMOp::Subsample || op == vm::VMOp::Average,
+                  "bad VM op on the wire");
+    return std::make_unique<vm::VMPredicate>(dataset, r, zoom, op);
+  }
+};
+
+class VolCodec final : public PredicateCodec {
+ public:
+  [[nodiscard]] std::string_view kind() const override { return "vol"; }
+
+  void encode(const query::Predicate& pred, Writer& out) const override {
+    const vol::VolPredicate& p = vol::asVol(pred);
+    out.u32(p.dataset());
+    out.i64(p.box().x0);
+    out.i64(p.box().y0);
+    out.i64(p.box().z0);
+    out.i64(p.box().x1);
+    out.i64(p.box().y1);
+    out.i64(p.box().z1);
+    out.u32(p.lod());
+    out.u8(static_cast<std::uint8_t>(p.op()));
+  }
+
+  [[nodiscard]] query::PredicatePtr decode(Reader& in) const override {
+    const auto dataset = in.u32();
+    Box3 b;
+    b.x0 = in.i64();
+    b.y0 = in.i64();
+    b.z0 = in.i64();
+    b.x1 = in.i64();
+    b.y1 = in.i64();
+    b.z1 = in.i64();
+    const auto lod = in.u32();
+    const auto op = static_cast<vol::VolOp>(in.u8());
+    MQS_CHECK_MSG(op == vol::VolOp::Subvolume || op == vol::VolOp::Slice,
+                  "bad volume op on the wire");
+    return std::make_unique<vol::VolPredicate>(dataset, b, lod, op);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PredicateCodec> makeVmCodec() {
+  return std::make_unique<VmCodec>();
+}
+std::unique_ptr<PredicateCodec> makeVolCodec() {
+  return std::make_unique<VolCodec>();
+}
+
+void CodecRegistry::add(std::unique_ptr<PredicateCodec> codec) {
+  MQS_CHECK(codec != nullptr);
+  const std::string kind(codec->kind());
+  codecs_[kind] = std::move(codec);
+}
+
+void CodecRegistry::encode(const query::Predicate& pred, Writer& out) const {
+  const auto it = codecs_.find(pred.kind());
+  MQS_CHECK_MSG(it != codecs_.end(),
+                "no codec registered for predicate kind '" +
+                    std::string(pred.kind()) + "'");
+  out.str(pred.kind());
+  it->second->encode(pred, out);
+}
+
+query::PredicatePtr CodecRegistry::decode(Reader& in) const {
+  const std::string kind = in.str();
+  const auto it = codecs_.find(kind);
+  MQS_CHECK_MSG(it != codecs_.end(),
+                "no codec registered for wire kind '" + kind + "'");
+  return it->second->decode(in);
+}
+
+CodecRegistry CodecRegistry::standard() {
+  CodecRegistry reg;
+  reg.add(makeVmCodec());
+  reg.add(makeVolCodec());
+  return reg;
+}
+
+}  // namespace mqs::net

@@ -1,0 +1,44 @@
+// Predicate serialization for the wire: applications register a codec per
+// predicate kind; the registry dispatches on the kind string that travels
+// in each Query frame.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/wire.hpp"
+#include "query/predicate.hpp"
+
+namespace mqs::net {
+
+class PredicateCodec {
+ public:
+  virtual ~PredicateCodec() = default;
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+  virtual void encode(const query::Predicate& pred, Writer& out) const = 0;
+  [[nodiscard]] virtual query::PredicatePtr decode(Reader& in) const = 0;
+};
+
+class CodecRegistry {
+ public:
+  void add(std::unique_ptr<PredicateCodec> codec);
+
+  /// Kind + body, for a Query frame. Throws on unregistered kinds.
+  void encode(const query::Predicate& pred, Writer& out) const;
+  /// Inverse of encode().
+  [[nodiscard]] query::PredicatePtr decode(Reader& in) const;
+
+  /// Registry with the built-in applications (vm, vol).
+  static CodecRegistry standard();
+
+ private:
+  std::map<std::string, std::unique_ptr<PredicateCodec>, std::less<>> codecs_;
+};
+
+/// Built-in codecs.
+std::unique_ptr<PredicateCodec> makeVmCodec();
+std::unique_ptr<PredicateCodec> makeVolCodec();
+
+}  // namespace mqs::net

@@ -1,0 +1,73 @@
+#include "net/net_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace mqs::net {
+
+NetClient::NetClient(const std::string& host, std::uint16_t port,
+                     const CodecRegistry* codecs)
+    : codecs_(codecs) {
+  MQS_CHECK(codecs_ != nullptr);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MQS_CHECK_MSG(fd_ >= 0, "cannot create client socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  MQS_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "bad host address: " + host);
+  MQS_CHECK_MSG(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0,
+                "cannot connect to query server");
+}
+
+NetClient::~NetClient() { close(); }
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t NetClient::send(const query::Predicate& pred) {
+  const std::uint64_t id = nextId_++;
+  Writer w;
+  w.u64(id);
+  codecs_->encode(pred, w);
+  if (!writeAll(fd_, packFrame(FrameType::Query, w.bytes()))) {
+    throw std::runtime_error("query server connection lost on send");
+  }
+  return id;
+}
+
+NetClient::Response NetClient::receive() {
+  Frame frame;
+  if (!readFrame(fd_, frame)) {
+    throw std::runtime_error("query server connection lost on receive");
+  }
+  Reader r(frame.payload);
+  Response resp;
+  resp.requestId = r.u64();
+  if (frame.type == FrameType::Error) {
+    throw std::runtime_error("remote query failed: " + r.str());
+  }
+  MQS_CHECK_MSG(frame.type == FrameType::Result, "unexpected frame type");
+  resp.bytes = r.blob();
+  return resp;
+}
+
+std::vector<std::byte> NetClient::execute(const query::Predicate& pred) {
+  const std::uint64_t id = send(pred);
+  Response resp = receive();
+  MQS_CHECK_MSG(resp.requestId == id, "response out of order");
+  return std::move(resp.bytes);
+}
+
+}  // namespace mqs::net

@@ -1,0 +1,46 @@
+// Blocking TCP client for the query server: the role the paper's emulated
+// clients play from their PC cluster. Supports both interactive use
+// (execute = send + receive) and pipelined batches (send everything, then
+// drain responses in order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codecs.hpp"
+
+namespace mqs::net {
+
+class NetClient {
+ public:
+  NetClient(const std::string& host, std::uint16_t port,
+            const CodecRegistry* codecs);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Send a query frame; returns its request id.
+  std::uint64_t send(const query::Predicate& pred);
+
+  struct Response {
+    std::uint64_t requestId = 0;
+    std::vector<std::byte> bytes;
+  };
+  /// Block for the next response. Throws std::runtime_error carrying the
+  /// server's message for Error frames or on disconnect.
+  Response receive();
+
+  /// Interactive convenience: send + receive.
+  std::vector<std::byte> execute(const query::Predicate& pred);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t nextId_ = 1;
+  const CodecRegistry* codecs_;
+};
+
+}  // namespace mqs::net

@@ -1,0 +1,139 @@
+#include "net/net_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/blocking_queue.hpp"
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace mqs::net {
+
+struct NetServer::Connection {
+  int fd = -1;
+  /// (requestId, future) pairs flowing from the reader to the writer, in
+  /// submission order.
+  BlockingQueue<std::pair<std::uint64_t, std::future<server::QueryResult>>>
+      pending;
+  std::jthread reader;
+  std::jthread writer;
+
+  ~Connection() {
+    reader = {};
+    writer = {};
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+NetServer::NetServer(server::QueryServer& queryServer,
+                     const CodecRegistry* codecs, std::uint16_t port)
+    : queryServer_(queryServer), codecs_(codecs) {
+  MQS_CHECK(codecs_ != nullptr);
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MQS_CHECK_MSG(listenFd_ >= 0, "cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  MQS_CHECK_MSG(::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "cannot bind query-server port");
+  MQS_CHECK_MSG(::listen(listenFd_, 64) == 0, "cannot listen");
+
+  socklen_t len = sizeof addr;
+  MQS_CHECK(::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::jthread([this] { acceptLoop(); });
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  acceptor_ = {};  // join
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(mu_);
+    conns.swap(connections_);
+  }
+  for (auto& c : conns) {
+    ::shutdown(c->fd, SHUT_RDWR);  // unblock the reader
+  }
+  conns.clear();  // joins reader/writer threads, closes fds
+}
+
+void NetServer::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    ++accepted_;
+    serveConnection(fd);
+  }
+}
+
+void NetServer::serveConnection(int fd) {
+  auto conn = std::make_unique<Connection>();
+  Connection* c = conn.get();
+  c->fd = fd;
+
+  c->reader = std::jthread([this, c] {
+    Frame frame;
+    while (readFrame(c->fd, frame)) {
+      if (frame.type != FrameType::Query) break;
+      std::uint64_t id = 0;
+      try {
+        Reader r(frame.payload);
+        id = r.u64();
+        query::PredicatePtr pred = codecs_->decode(r);
+        c->pending.push({id, queryServer_.submit(std::move(pred))});
+      } catch (const std::exception& e) {
+        // Malformed predicate: report instead of dying.
+        std::promise<server::QueryResult> p;
+        p.set_exception(std::current_exception());
+        c->pending.push({id, p.get_future()});
+      }
+    }
+    c->pending.close();  // writer drains what was accepted, then exits
+  });
+
+  c->writer = std::jthread([c] {
+    while (auto item = c->pending.pop()) {
+      Writer w;
+      w.u64(item->first);
+      try {
+        server::QueryResult result = item->second.get();
+        w.blob(result.bytes);
+        if (!writeAll(c->fd, packFrame(FrameType::Result, w.bytes()))) break;
+      } catch (const std::exception& e) {
+        w.str(e.what());
+        if (!writeAll(c->fd, packFrame(FrameType::Error, w.bytes()))) break;
+      }
+    }
+    ::shutdown(c->fd, SHUT_WR);
+  });
+
+  std::lock_guard lock(mu_);
+  connections_.push_back(std::move(conn));
+}
+
+}  // namespace mqs::net

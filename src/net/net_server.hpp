@@ -1,0 +1,60 @@
+// TCP front-end for the query server.
+//
+// One listener thread accepts connections; each connection gets a reader
+// thread (decode Query frames, submit to the QueryServer) and a writer
+// thread (resolve the submitted futures in request order, emit
+// Result/Error frames). Pipelining therefore works: a client may pour a
+// whole batch down the socket and read results back as they complete —
+// the paper's batch scenario over a real transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/codecs.hpp"
+#include "server/query_server.hpp"
+
+namespace mqs::net {
+
+class NetServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  NetServer(server::QueryServer& queryServer, const CodecRegistry* codecs,
+            std::uint16_t port = 0);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, close all connections, join all threads.
+  void stop();
+
+  [[nodiscard]] std::uint64_t connectionsAccepted() const {
+    return accepted_.load();
+  }
+
+ private:
+  struct Connection;
+
+  void acceptLoop();
+  void serveConnection(int fd);
+
+  server::QueryServer& queryServer_;
+  const CodecRegistry* codecs_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::jthread acceptor_;
+};
+
+}  // namespace mqs::net

@@ -1,0 +1,112 @@
+#include "net/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mqs::net {
+
+void Writer::raw(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  bytes_.insert(bytes_.end(), b, b + n);
+}
+
+void Reader::raw(void* p, std::size_t n) {
+  MQS_CHECK_MSG(offset_ + n <= data_.size(), "wire underrun");
+  std::memcpy(p, data_.data() + offset_, n);
+  offset_ += n;
+}
+
+std::uint8_t Reader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint16_t Reader::u16() {
+  std::uint16_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t Reader::u32() {
+  std::uint32_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t Reader::u64() {
+  std::uint64_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::int64_t Reader::i64() {
+  std::int64_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::string Reader::str() {
+  const std::uint16_t n = u16();
+  std::string s(n, '\0');
+  raw(s.data(), n);
+  return s;
+}
+std::vector<std::byte> Reader::blob() {
+  const std::uint64_t n = u64();
+  MQS_CHECK_MSG(n <= remaining(), "wire blob underrun");
+  std::vector<std::byte> out(static_cast<std::size_t>(n));
+  raw(out.data(), out.size());
+  return out;
+}
+
+std::vector<std::byte> packFrame(FrameType type,
+                                 std::span<const std::byte> payload) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u8(static_cast<std::uint8_t>(type));
+  std::vector<std::byte> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool writeAll(int fd, std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool readAll(int fd, std::span<std::byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd, out.data() + got, out.size() - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool readFrame(int fd, Frame& out, std::uint32_t maxPayload) {
+  std::byte header[5];
+  if (!readAll(fd, header)) return false;
+  Reader r(header);
+  const std::uint32_t len = r.u32();
+  const auto type = static_cast<FrameType>(r.u8());
+  if (len > maxPayload) return false;
+  out.type = type;
+  out.payload.assign(len, std::byte{0});
+  return len == 0 || readAll(fd, out.payload);
+}
+
+}  // namespace mqs::net

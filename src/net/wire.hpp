@@ -1,0 +1,94 @@
+// Wire protocol between remote clients and the query server (Figure 1:
+// "Client -> Query / Query Result <- Query Server"; the paper's emulated
+// clients ran on a PC cluster connected over Fast Ethernet).
+//
+// Frames are length-prefixed:
+//   u32 payloadLength | u8 type | payload
+// with types:
+//   Query  — u64 requestId | u16 kindLen | kind | predicate bytes
+//   Result — u64 requestId | u64 resultLen | result bytes
+//   Error  — u64 requestId | u16 messageLen | message
+//
+// Integers are little-endian. Predicate bodies are produced by
+// application-registered PredicateCodecs (see codecs.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqs::net {
+
+enum class FrameType : std::uint8_t { Query = 1, Result = 2, Error = 3 };
+
+/// Growing byte sink with little-endian primitive writers.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void blob(std::span<const std::byte> b) {
+    u64(b.size());
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked little-endian reader; throws CheckFailure on underrun.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::byte> blob();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - offset_;
+  }
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// A parsed frame.
+struct Frame {
+  FrameType type = FrameType::Query;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize a frame (header + payload).
+std::vector<std::byte> packFrame(FrameType type,
+                                 std::span<const std::byte> payload);
+
+// --- blocking socket helpers -------------------------------------------
+
+/// Write all bytes to fd; returns false on error/peer close.
+bool writeAll(int fd, std::span<const std::byte> data);
+/// Read exactly n bytes; returns false on EOF/error.
+bool readAll(int fd, std::span<std::byte> out);
+/// Read one frame; returns false on clean EOF or error.
+bool readFrame(int fd, Frame& out, std::uint32_t maxPayload = 1u << 30);
+
+}  // namespace mqs::net

@@ -1,0 +1,102 @@
+#include "pagespace/page_space_manager.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::pagespace {
+
+namespace {
+thread_local std::uint64_t tlsDeviceBytes = 0;
+}
+
+void PageSpaceManager::resetThreadCounters() { tlsDeviceBytes = 0; }
+std::uint64_t PageSpaceManager::threadDeviceBytes() { return tlsDeviceBytes; }
+
+PageSpaceManager::PageSpaceManager(std::uint64_t capacityBytes)
+    : core_(capacityBytes) {}
+
+void PageSpaceManager::attach(storage::DatasetId dataset,
+                              const storage::DataSource* source) {
+  MQS_CHECK(source != nullptr);
+  sources_[dataset] = source;
+}
+
+const storage::DataSource* PageSpaceManager::sourceFor(
+    storage::DatasetId dataset) const {
+  auto it = sources_.find(dataset);
+  MQS_CHECK_MSG(it != sources_.end(), "fetch from unattached dataset");
+  return it->second;
+}
+
+PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
+  std::promise<PagePtr> promise;
+  std::shared_future<PagePtr> toWait;
+  const storage::DataSource* source = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (core_.touch(key)) {
+      auto it = resident_.find(key);
+      MQS_DCHECK(it != resident_.end());
+      return it->second;
+    }
+    auto inIt = inflight_.find(key);
+    if (inIt != inflight_.end()) {
+      // Another query thread is already reading this page: merge.
+      ++merged_;
+      toWait = inIt->second;
+    } else {
+      source = sourceFor(key.dataset);
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+
+  if (source == nullptr) {
+    return toWait.get();  // join the in-flight read
+  }
+
+  // Perform the device read outside the lock.
+  const std::size_t n = source->pageBytes(key.page);
+  auto buffer = std::make_shared<std::vector<std::byte>>(n);
+  source->readPage(key.page, *buffer);
+  tlsDeviceBytes += n;
+  PagePtr page = std::move(buffer);
+
+  {
+    std::lock_guard lock(mu_);
+    bytesRead_ += n;
+    for (const auto& victim : core_.insert(key, n)) {
+      resident_.erase(victim);
+    }
+    if (core_.contains(key)) {
+      resident_[key] = page;
+    }
+    inflight_.erase(key);
+  }
+  promise.set_value(page);
+  return page;
+}
+
+PageSpaceManager::Stats PageSpaceManager::stats() const {
+  std::lock_guard lock(mu_);
+  const auto& c = core_.stats();
+  Stats s;
+  s.hits = c.hits;
+  // Core counts a merged fetch as a miss too; report device reads and
+  // merges separately so hits + misses + merged == fetches.
+  s.misses = c.misses - merged_;
+  s.merged = merged_;
+  s.bytesRead = bytesRead_;
+  s.evictions = c.evictions;
+  return s;
+}
+
+std::uint64_t PageSpaceManager::capacityBytes() const {
+  std::lock_guard lock(mu_);
+  return core_.capacityBytes();
+}
+
+std::uint64_t PageSpaceManager::residentBytes() const {
+  std::lock_guard lock(mu_);
+  return core_.residentBytes();
+}
+
+}  // namespace mqs::pagespace

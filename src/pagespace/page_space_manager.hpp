@@ -1,0 +1,70 @@
+// Page Space Manager (§2): buffer space for input data in fixed-size pages.
+//
+// All interactions with data sources go through here. Pages are cached in
+// memory under a byte budget; concurrent requests for the same page are
+// merged so the device sees a single I/O ("duplicate requests are
+// eliminated, to minimize I/O overhead").
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pagespace/page_cache_core.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::pagespace {
+
+/// Immutable page payload shared between the cache and readers. A reader
+/// holding a PagePtr keeps the bytes alive even if the cache evicts the
+/// page meanwhile.
+using PagePtr = std::shared_ptr<const std::vector<std::byte>>;
+
+class PageSpaceManager {
+ public:
+  explicit PageSpaceManager(std::uint64_t capacityBytes);
+
+  /// Register the raw storage behind a dataset id. Not thread-safe with
+  /// concurrent fetches; attach all sources before serving queries.
+  void attach(storage::DatasetId dataset, const storage::DataSource* source);
+
+  /// Read-through fetch. Blocks the calling query thread on a miss while
+  /// the page is read from its data source; concurrent fetches of the same
+  /// page wait for the one in-flight I/O instead of duplicating it.
+  PagePtr fetch(const storage::PageKey& key);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        ///< fetches that started a device read
+    std::uint64_t merged = 0;        ///< fetches that joined an in-flight read
+    std::uint64_t bytesRead = 0;     ///< bytes transferred from sources
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::uint64_t capacityBytes() const;
+  [[nodiscard]] std::uint64_t residentBytes() const;
+
+  /// Per-thread device-read accounting for per-query metrics: a query (and
+  /// its sub-queries) runs on one query thread, so the server resets the
+  /// counter before execution and reads it afterwards.
+  static void resetThreadCounters();
+  [[nodiscard]] static std::uint64_t threadDeviceBytes();
+
+ private:
+  const storage::DataSource* sourceFor(storage::DatasetId dataset) const;
+
+  mutable std::mutex mu_;
+  PageCacheCore core_;
+  std::unordered_map<storage::DatasetId, const storage::DataSource*> sources_;
+  std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash> resident_;
+  std::unordered_map<storage::PageKey, std::shared_future<PagePtr>,
+                     storage::PageKeyHash>
+      inflight_;
+  std::uint64_t merged_ = 0;
+  std::uint64_t bytesRead_ = 0;
+};
+
+}  // namespace mqs::pagespace

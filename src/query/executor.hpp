@@ -1,0 +1,37 @@
+// Real-execution interface: how a query object computes bytes.
+//
+// execute() materializes a result from raw data, pulling pages through the
+// Page Space Manager (the only legal path to data sources). project() is
+// Eq. 3: transform a cached intermediate result I (described by `cached`)
+// into the portion of `out`'s result it covers, writing into the caller's
+// output buffer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pagespace/page_space_manager.hpp"
+#include "query/predicate.hpp"
+
+namespace mqs::query {
+
+class QueryExecutor {
+ public:
+  virtual ~QueryExecutor() = default;
+
+  /// Compute the full result of `pred` from raw data. The returned buffer
+  /// has qoutsize(pred) bytes.
+  [[nodiscard]] virtual std::vector<std::byte> execute(
+      const Predicate& pred, pagespace::PageSpaceManager& ps) const = 0;
+
+  /// Project the cached result (`cached`, `cachedPayload`) into the output
+  /// buffer of `out` (sized qoutsize(out)), filling exactly the covered
+  /// region. Requires overlap(cached, out) > 0.
+  virtual void project(const Predicate& cached,
+                       std::span<const std::byte> cachedPayload,
+                       const Predicate& out,
+                       std::span<std::byte> outBuffer) const = 0;
+};
+
+}  // namespace mqs::query

@@ -1,0 +1,37 @@
+// Query predicate meta-information (the "M" objects of §2).
+//
+// A predicate fully describes what a query computes: for the Virtual
+// Microscope it is (dataset, region, magnification, processing function).
+// The runtime treats predicates as opaque; applications define the
+// user-defined functions over them via QuerySemantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/geometry.hpp"
+
+namespace mqs::query {
+
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<Predicate> clone() const = 0;
+
+  /// Application discriminator; predicates of different kinds never match.
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  /// Spatial bounding box used to index cached results (Data Store R-tree).
+  /// Predicates of non-spatial applications may return a degenerate box.
+  [[nodiscard]] virtual Rect boundingBox() const = 0;
+
+  /// Human-readable form for logs and test diagnostics.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+}  // namespace mqs::query

@@ -1,0 +1,66 @@
+// The user-defined functions an application developer implements (§2):
+//
+//   cmp(M_i, M_j)              -> bool          (Eq. 1)
+//   overlap_project(M_i, M_j)  -> k in [0, 1]   (Eq. 2)
+//   project(M_i, M_j, I)       -> J             (Eq. 3, see QueryExecutor)
+//   qoutsize(M_i)              -> bytes         (scheduler)
+//   qinputsize(M_i)            -> bytes         (SJF rank)
+//
+// plus remainder(): the sub-query predicates covering the part of a query
+// that a cached result cannot answer (S_{j,1..4} in Figure 1b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.hpp"
+
+namespace mqs::query {
+
+class QuerySemantics {
+ public:
+  virtual ~QuerySemantics() = default;
+
+  /// Eq. 1 — true iff a result for `a` completely answers `b` as-is
+  /// (common-subexpression elimination). Default: overlap == 1 and the
+  /// result needs no transformation is application-specific, so the default
+  /// simply tests overlap(a, b) >= 1.
+  [[nodiscard]] virtual bool cmp(const Predicate& a, const Predicate& b) const {
+    return overlap(a, b) >= 1.0;
+  }
+
+  /// Eq. 2 — fraction in [0, 1] of query `q` answerable by projecting the
+  /// cached result described by `cached`. 0 when no transformation exists
+  /// (wrong dataset/operator, non-multiple zoom, misalignment, ...).
+  [[nodiscard]] virtual double overlap(const Predicate& cached,
+                                       const Predicate& q) const = 0;
+
+  /// Output size in bytes of the query result (estimate allowed — §2).
+  [[nodiscard]] virtual std::uint64_t qoutsize(const Predicate& p) const = 0;
+
+  /// Input size in bytes: total size of data chunks the query must read.
+  /// Used by SJF as a relative execution-time estimate.
+  [[nodiscard]] virtual std::uint64_t qinputsize(const Predicate& p) const = 0;
+
+  /// Region of `q` that projecting `cached` answers (used for remainder
+  /// decomposition and reuse accounting). Empty when overlap is 0.
+  [[nodiscard]] virtual Rect coveredRegion(const Predicate& cached,
+                                           const Predicate& q) const = 0;
+
+  /// Sub-query predicates for the portion of `q` not answerable from
+  /// `cached`; at most four for rectangular predicates. Together with
+  /// coveredRegion they must tile q's region exactly.
+  [[nodiscard]] virtual std::vector<PredicatePtr> remainder(
+      const Predicate& cached, const Predicate& q) const = 0;
+
+  /// Output bytes of `q` that projecting `cached` produces (metric
+  /// accounting). Default estimates overlap * qoutsize; applications can
+  /// compute it exactly.
+  [[nodiscard]] virtual std::uint64_t reusedOutputBytes(
+      const Predicate& cached, const Predicate& q) const {
+    return static_cast<std::uint64_t>(overlap(cached, q) *
+                                      static_cast<double>(qoutsize(q)));
+  }
+};
+
+}  // namespace mqs::query

@@ -1,0 +1,199 @@
+#include "sched/graph.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "sched/state.hpp"
+
+namespace mqs::sched {
+
+SchedulingGraph::SchedulingGraph(const query::QuerySemantics* semantics)
+    : semantics_(semantics) {
+  MQS_CHECK(semantics_ != nullptr);
+}
+
+const SchedulingGraph::Node& SchedulingGraph::node(NodeId n) const {
+  auto it = nodes_.find(n);
+  MQS_CHECK_MSG(it != nodes_.end(), "unknown scheduling-graph node");
+  return it->second;
+}
+
+SchedulingGraph::Node& SchedulingGraph::node(NodeId n) {
+  auto it = nodes_.find(n);
+  MQS_CHECK_MSG(it != nodes_.end(), "unknown scheduling-graph node");
+  return it->second;
+}
+
+NodeId SchedulingGraph::insert(query::PredicatePtr predicate) {
+  MQS_CHECK(predicate != nullptr);
+  const NodeId id = nextId_++;
+  Node fresh;
+  fresh.predicate = std::move(predicate);
+  fresh.state = QueryState::Waiting;
+  fresh.outBytes = semantics_->qoutsize(*fresh.predicate);
+  fresh.inBytes = semantics_->qinputsize(*fresh.predicate);
+  fresh.arrival = nextArrival_++;
+  const Rect bbox = fresh.predicate->boundingBox();
+
+  // Connect to every node with a usable transformation in either direction.
+  // Overlap requires intersecting bounding boxes, so the spatial index
+  // narrows the candidate set (§4: graph updates are incremental).
+  std::vector<NodeId> candidates;
+  spatial_.queryIntersecting(
+      bbox, [&](const Rect&, std::uint64_t v) {
+        candidates.push_back(static_cast<NodeId>(v));
+      });
+  for (NodeId k : candidates) {
+    Node& other = node(k);
+    // e(k, id): the new query reuses k's result.
+    const double ovKtoNew =
+        semantics_->overlap(*other.predicate, *fresh.predicate);
+    if (ovKtoNew > 0.0) {
+      const double w = ovKtoNew * static_cast<double>(other.outBytes);
+      other.out.push_back(Edge{id, ovKtoNew, w});
+      fresh.in.push_back(Edge{k, ovKtoNew, w});
+    }
+    // e(id, k): k can reuse the new query's result.
+    const double ovNewToK =
+        semantics_->overlap(*fresh.predicate, *other.predicate);
+    if (ovNewToK > 0.0) {
+      const double w = ovNewToK * static_cast<double>(fresh.outBytes);
+      fresh.out.push_back(Edge{k, ovNewToK, w});
+      other.in.push_back(Edge{id, ovNewToK, w});
+    }
+  }
+
+  spatial_.insert(bbox, id);
+  nodes_.emplace(id, std::move(fresh));
+  return id;
+}
+
+void SchedulingGraph::setState(NodeId n, QueryState s) { node(n).state = s; }
+
+void SchedulingGraph::remove(NodeId n) {
+  auto it = nodes_.find(n);
+  MQS_CHECK_MSG(it != nodes_.end(), "remove of unknown node");
+  MQS_CHECK_MSG(it->second.state != QueryState::Executing,
+                "cannot remove an executing query");
+  Node& victim = it->second;
+  auto dropPeerEdges = [n](std::vector<Edge>& edges) {
+    std::erase_if(edges, [n](const Edge& e) { return e.peer == n; });
+  };
+  for (const Edge& e : victim.out) dropPeerEdges(node(e.peer).in);
+  for (const Edge& e : victim.in) dropPeerEdges(node(e.peer).out);
+  const bool erased = spatial_.erase(victim.predicate->boundingBox(), n);
+  MQS_DCHECK(erased);
+  (void)erased;
+  nodes_.erase(it);
+}
+
+bool SchedulingGraph::contains(NodeId n) const { return nodes_.contains(n); }
+
+QueryState SchedulingGraph::state(NodeId n) const { return node(n).state; }
+
+const query::Predicate& SchedulingGraph::predicate(NodeId n) const {
+  return *node(n).predicate;
+}
+
+std::uint64_t SchedulingGraph::qoutsize(NodeId n) const {
+  return node(n).outBytes;
+}
+
+std::uint64_t SchedulingGraph::qinputsize(NodeId n) const {
+  return node(n).inBytes;
+}
+
+std::uint64_t SchedulingGraph::arrivalSeq(NodeId n) const {
+  return node(n).arrival;
+}
+
+const std::vector<Edge>& SchedulingGraph::outEdges(NodeId n) const {
+  return node(n).out;
+}
+
+const std::vector<Edge>& SchedulingGraph::inEdges(NodeId n) const {
+  return node(n).in;
+}
+
+std::vector<NodeId> SchedulingGraph::neighbors(NodeId n) const {
+  const Node& nd = node(n);
+  std::vector<NodeId> out;
+  out.reserve(nd.out.size() + nd.in.size());
+  for (const Edge& e : nd.out) out.push_back(e.peer);
+  for (const Edge& e : nd.in) out.push_back(e.peer);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SchedulingGraph::forEachNode(
+    const std::function<void(NodeId)>& fn) const {
+  for (const auto& [id, nd] : nodes_) fn(id);
+}
+
+std::size_t SchedulingGraph::edgeCount() const {
+  std::size_t total = 0;
+  for (const auto& [id, nd] : nodes_) total += nd.out.size();
+  return total;
+}
+
+void SchedulingGraph::writeDot(std::ostream& os) const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, nd] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  auto color = [](QueryState s) {
+    switch (s) {
+      case QueryState::Waiting: return "lightyellow";
+      case QueryState::Executing: return "lightblue";
+      case QueryState::Cached: return "palegreen";
+      case QueryState::SwappedOut: return "lightgray";
+    }
+    return "white";
+  };
+
+  os << "digraph scheduling_graph {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, style=filled];\n";
+  for (const NodeId id : ids) {
+    const Node& nd = nodes_.at(id);
+    os << "  q" << id << " [fillcolor=" << color(nd.state) << ", label=\"q"
+       << id << " [" << toString(nd.state) << "]\\n"
+       << nd.predicate->describe() << "\"];\n";
+  }
+  for (const NodeId id : ids) {
+    for (const Edge& e : nodes_.at(id).out) {
+      os << "  q" << id << " -> q" << e.peer << " [label=\"" << std::fixed
+         << std::setprecision(2) << e.overlap << " / "
+         << static_cast<std::uint64_t>(e.weight) << "B\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+bool SchedulingGraph::checkInvariants() const {
+  for (const auto& [id, nd] : nodes_) {
+    for (const Edge& e : nd.out) {
+      if (e.weight < 0.0 || e.overlap <= 0.0 || e.overlap > 1.0) return false;
+      auto pit = nodes_.find(e.peer);
+      if (pit == nodes_.end()) return false;
+      // Mirror in-edge must exist with the same weight.
+      const auto& peerIn = pit->second.in;
+      const bool mirrored =
+          std::any_of(peerIn.begin(), peerIn.end(), [&](const Edge& m) {
+            return m.peer == id && m.weight == e.weight &&
+                   m.overlap == e.overlap;
+          });
+      if (!mirrored) return false;
+    }
+    for (const Edge& e : nd.in) {
+      if (!nodes_.contains(e.peer)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mqs::sched

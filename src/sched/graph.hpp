@@ -1,0 +1,103 @@
+// The query scheduling graph G(V, E) of §4.
+//
+// Vertices are queries; a directed edge e(i,j) with weight
+//   w(i,j) = overlap(q_i, q_j) * qoutsize(q_i)
+// means the results of q_j can be (partially) computed from the results of
+// q_i; the weight measures the number of bytes reusable through the best
+// available transformation. Because transformations need not be invertible
+// (a low-magnification image cannot recreate a high-magnification one),
+// edges exist independently per direction.
+//
+// The graph is not thread-safe; QueryScheduler serializes access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "index/rtree.hpp"
+#include "query/predicate.hpp"
+#include "query/semantics.hpp"
+#include "sched/state.hpp"
+
+namespace mqs::sched {
+
+/// One directed edge endpoint. For out-edges `peer` is the destination j of
+/// e(i,j); for in-edges it is the source. `overlap` is the raw Eq. 2 value;
+/// `weight` is overlap * qoutsize(source).
+struct Edge {
+  NodeId peer = kInvalidNode;
+  double overlap = 0.0;
+  double weight = 0.0;
+};
+
+class SchedulingGraph {
+ public:
+  explicit SchedulingGraph(const query::QuerySemantics* semantics);
+
+  /// Add a query in WAITING state; connects it to every node it overlaps
+  /// with (in both directions where a transformation exists). Returns the
+  /// new node id.
+  NodeId insert(query::PredicatePtr predicate);
+
+  /// Update a node's state (does not touch edges).
+  void setState(NodeId n, QueryState s);
+
+  /// Remove a node and all incident edges (swap-out, §4: "the scheduler
+  /// removes the node q_i and all edges whose source or destination is
+  /// q_i"). Invalid on EXECUTING nodes.
+  void remove(NodeId n);
+
+  [[nodiscard]] bool contains(NodeId n) const;
+  [[nodiscard]] QueryState state(NodeId n) const;
+  [[nodiscard]] const query::Predicate& predicate(NodeId n) const;
+  [[nodiscard]] std::uint64_t qoutsize(NodeId n) const;
+  [[nodiscard]] std::uint64_t qinputsize(NodeId n) const;
+  /// Monotone arrival sequence number (1, 2, ...) — FIFO order.
+  [[nodiscard]] std::uint64_t arrivalSeq(NodeId n) const;
+
+  /// Edges e(n, k): queries computable from n's result.
+  [[nodiscard]] const std::vector<Edge>& outEdges(NodeId n) const;
+  /// Edges e(k, n): queries whose results n can reuse.
+  [[nodiscard]] const std::vector<Edge>& inEdges(NodeId n) const;
+
+  /// All nodes adjacent to n in either direction (deduplicated).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+
+  void forEachNode(const std::function<void(NodeId)>& fn) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const;
+
+  /// Structural invariants (edge symmetry of storage, weights >= 0,
+  /// spatial-index consistency). For tests.
+  [[nodiscard]] bool checkInvariants() const;
+
+  /// Graphviz DOT rendering of the current graph — nodes labelled with
+  /// state and predicate, edges with their reuse weights (Figure 3's
+  /// diagram, generated live). Deterministic node order.
+  void writeDot(std::ostream& os) const;
+
+ private:
+  struct Node {
+    query::PredicatePtr predicate;
+    QueryState state = QueryState::Waiting;
+    std::uint64_t outBytes = 0;
+    std::uint64_t inBytes = 0;
+    std::uint64_t arrival = 0;
+    std::vector<Edge> out;  ///< e(n, k)
+    std::vector<Edge> in;   ///< e(k, n)
+  };
+
+  const Node& node(NodeId n) const;
+  Node& node(NodeId n);
+
+  const query::QuerySemantics* semantics_;
+  std::unordered_map<NodeId, Node> nodes_;
+  index::RTree spatial_;
+  NodeId nextId_ = 1;
+  std::uint64_t nextArrival_ = 1;
+};
+
+}  // namespace mqs::sched

@@ -1,0 +1,216 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sched/policy.hpp"
+
+namespace mqs::sched {
+
+namespace {
+
+/// 1. First in First out — fairness; queries run in arrival order.
+class FifoPolicy final : public RankingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "FIFO"; }
+  [[nodiscard]] bool ranksDependOnGraph() const override { return false; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    return -static_cast<double>(g.arrivalSeq(n));
+  }
+};
+
+/// 2. Most Useful First — how many bytes of q_i other *waiting* queries
+/// could reuse if q_i ran next:  r_i = sum over e(i,k), s_k = WAITING of
+/// w(i,k).
+class MufPolicy final : public RankingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "MUF"; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double r = 0.0;
+    for (const Edge& e : g.outEdges(n)) {
+      if (g.state(e.peer) == QueryState::Waiting) r += e.weight;
+    }
+    return r;
+  }
+};
+
+/// 3. Farthest First — prefer queries unlikely to block on someone else's
+/// pending result:  r_i = - sum over e(k,i), s_k in {WAITING, EXECUTING}
+/// of w(k,i).
+class FfPolicy final : public RankingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "FF"; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double r = 0.0;
+    for (const Edge& e : g.inEdges(n)) {
+      const QueryState s = g.state(e.peer);
+      if (s == QueryState::Waiting || s == QueryState::Executing) {
+        r -= e.weight;
+      }
+    }
+    return r;
+  }
+};
+
+/// 4. Closest First — prefer queries whose dependencies are already (or
+/// almost) materialized:  r_i = sum_{cached} w(j,i) + alpha *
+/// sum_{executing} w(k,i), 0 < alpha < 1.
+class CfPolicy final : public RankingPolicy {
+ public:
+  explicit CfPolicy(double alpha) : alpha_(alpha) {
+    MQS_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "CF requires 0 < alpha < 1");
+  }
+  [[nodiscard]] std::string_view name() const override { return "CF"; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double r = 0.0;
+    for (const Edge& e : g.inEdges(n)) {
+      switch (g.state(e.peer)) {
+        case QueryState::Cached: r += e.weight; break;
+        case QueryState::Executing: r += alpha_ * e.weight; break;
+        default: break;
+      }
+    }
+    return r;
+  }
+
+ private:
+  double alpha_;
+};
+
+/// 5. Closest and Non-Blocking First — like CF but *subtract* executing
+/// dependencies to avoid interlocks:  r_i = sum_{cached} w(k,i) -
+/// sum_{executing} w(j,i).
+class CnbfPolicy final : public RankingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "CNBF"; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double r = 0.0;
+    for (const Edge& e : g.inEdges(n)) {
+      switch (g.state(e.peer)) {
+        case QueryState::Cached: r += e.weight; break;
+        case QueryState::Executing: r -= e.weight; break;
+        default: break;
+      }
+    }
+    return r;
+  }
+};
+
+/// 6. Shortest Job First — qinputsize as a relative execution-time
+/// estimate; shorter queries rank higher.
+class SjfPolicy final : public RankingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "SJF"; }
+  [[nodiscard]] bool ranksDependOnGraph() const override { return false; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    return -static_cast<double>(g.qinputsize(n));
+  }
+};
+
+/// 7. COMBINED (extension; the paper's conclusion suggests "a combination
+/// of SJF and the other ranking strategies"). Shortest *effective* job
+/// first: rank by the input bytes that remain after discounting what
+/// cached (and, at a discount, executing) results already cover.
+///   r_i = -qinputsize(i) * (1 - min(1, sum_{cached} ov(j,i)
+///                                       + alpha * sum_{executing} ov(k,i)))
+class CombinedPolicy final : public RankingPolicy {
+ public:
+  explicit CombinedPolicy(double alpha) : alpha_(alpha) {
+    MQS_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0,
+                  "COMBINED requires 0 <= alpha <= 1");
+  }
+  [[nodiscard]] std::string_view name() const override { return "COMBINED"; }
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double covered = 0.0;
+    for (const Edge& e : g.inEdges(n)) {
+      switch (g.state(e.peer)) {
+        case QueryState::Cached: covered += e.overlap; break;
+        case QueryState::Executing: covered += alpha_ * e.overlap; break;
+        default: break;
+      }
+    }
+    covered = std::min(covered, 1.0);
+    return -static_cast<double>(g.qinputsize(n)) * (1.0 - covered);
+  }
+
+ private:
+  double alpha_;
+};
+
+/// 8. ADAPTIVE (extension; the paper's future work asks for "the
+/// development of a combined strategy and of the capability for
+/// self-tuning" plus "the incorporation of low level metrics ... into the
+/// query scheduling model"). Like COMBINED, but the weight given to reuse
+/// coverage is learned online: an EMA of the overlap queries actually
+/// achieved (is reuse paying off on this workload?) blended with the
+/// current I/O congestion (reuse saves exactly the resource that is
+/// scarce). With no feedback it degenerates to SJF; on reuse-rich,
+/// I/O-bound workloads it approaches COMBINED.
+class AdaptivePolicy final : public RankingPolicy {
+ public:
+  explicit AdaptivePolicy(double alpha) : alpha_(alpha) {
+    MQS_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0,
+                  "ADAPTIVE requires 0 <= alpha <= 1");
+  }
+  [[nodiscard]] std::string_view name() const override { return "ADAPTIVE"; }
+  [[nodiscard]] bool ranksDependOnFeedback() const override { return true; }
+
+  void onQueryOutcome(double achievedOverlap) override {
+    overlapEma_ = (1.0 - kGain) * overlapEma_ +
+                  kGain * std::clamp(achievedOverlap, 0.0, 1.0);
+  }
+  void onResourceSignal(double ioCongestion) override {
+    ioCongestion_ = std::clamp(ioCongestion, 0.0, 1.0);
+  }
+
+  [[nodiscard]] double rank(const SchedulingGraph& g, NodeId n) const override {
+    double covered = 0.0;
+    for (const Edge& e : g.inEdges(n)) {
+      switch (g.state(e.peer)) {
+        case QueryState::Cached: covered += e.overlap; break;
+        case QueryState::Executing: covered += alpha_ * e.overlap; break;
+        default: break;
+      }
+    }
+    covered = std::min(covered, 1.0);
+    const double weight =
+        std::min(1.0, 0.6 * overlapEma_ + 0.4 * ioCongestion_);
+    return -static_cast<double>(g.qinputsize(n)) * (1.0 - weight * covered);
+  }
+
+  [[nodiscard]] double overlapEma() const { return overlapEma_; }
+  [[nodiscard]] double ioCongestion() const { return ioCongestion_; }
+
+ private:
+  static constexpr double kGain = 0.1;
+  double alpha_;
+  double overlapEma_ = 0.0;
+  double ioCongestion_ = 0.0;
+};
+
+}  // namespace
+
+PolicyPtr makePolicy(std::string_view name, double alpha) {
+  if (name == "FIFO") return std::make_unique<FifoPolicy>();
+  if (name == "MUF") return std::make_unique<MufPolicy>();
+  if (name == "FF") return std::make_unique<FfPolicy>();
+  if (name == "CF") return std::make_unique<CfPolicy>(alpha);
+  if (name == "CNBF") return std::make_unique<CnbfPolicy>();
+  if (name == "SJF") return std::make_unique<SjfPolicy>();
+  if (name == "COMBINED") return std::make_unique<CombinedPolicy>(alpha);
+  if (name == "ADAPTIVE") return std::make_unique<AdaptivePolicy>(alpha);
+  MQS_CHECK_MSG(false, "unknown ranking policy: " + std::string(name));
+  return nullptr;  // unreachable
+}
+
+const std::vector<std::string>& paperPolicyNames() {
+  static const std::vector<std::string> names = {"FIFO", "MUF",  "FF",
+                                                 "CF",   "CNBF", "SJF"};
+  return names;
+}
+
+const std::vector<std::string>& allPolicyNames() {
+  static const std::vector<std::string> names = {
+      "FIFO", "MUF", "FF", "CF", "CNBF", "SJF", "COMBINED", "ADAPTIVE"};
+  return names;
+}
+
+}  // namespace mqs::sched

@@ -1,0 +1,60 @@
+// Ranking strategies (§4). A policy maps a WAITING node to a scalar rank;
+// the scheduler always dequeues the highest-ranked waiting query (ties break
+// by arrival order, i.e. every policy degenerates to FIFO on its ties).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/graph.hpp"
+#include "sched/state.hpp"
+
+namespace mqs::sched {
+
+class RankingPolicy {
+ public:
+  virtual ~RankingPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Rank of WAITING node `n`; higher runs sooner.
+  [[nodiscard]] virtual double rank(const SchedulingGraph& g,
+                                    NodeId n) const = 0;
+
+  /// False for policies (FIFO, SJF) whose ranks never change after
+  /// insertion — the scheduler then skips neighborhood re-ranking.
+  [[nodiscard]] virtual bool ranksDependOnGraph() const { return true; }
+
+  /// True for self-tuning policies whose ranks shift with the feedback
+  /// below; the scheduler then re-ranks all waiting queries when feedback
+  /// arrives.
+  [[nodiscard]] virtual bool ranksDependOnFeedback() const { return false; }
+
+  /// Feedback hooks (invoked under the scheduler lock). The runtime reports
+  /// each finished query's achieved Eq.-2 overlap, and — where available —
+  /// a normalized I/O-congestion signal (§6 future work: "incorporation of
+  /// low level metrics ... into the query scheduling model").
+  virtual void onQueryOutcome(double achievedOverlap) {
+    (void)achievedOverlap;
+  }
+  virtual void onResourceSignal(double ioCongestion) { (void)ioCongestion; }
+};
+
+using PolicyPtr = std::unique_ptr<RankingPolicy>;
+
+/// Factory for the paper's six strategies plus extensions: "FIFO", "MUF",
+/// "FF", "CF", "CNBF", "SJF", "COMBINED", "ADAPTIVE" (case-sensitive).
+/// `alpha` is CF's hand-tuned weight for still-executing dependencies
+/// (the paper fixes 0.2 in the experiments) and the executing-source
+/// discount of COMBINED/ADAPTIVE. Throws CheckFailure for unknown names.
+PolicyPtr makePolicy(std::string_view name, double alpha = 0.2);
+
+/// The six strategies evaluated in the paper, in presentation order.
+const std::vector<std::string>& paperPolicyNames();
+
+/// Paper policies plus extensions (COMBINED, ADAPTIVE).
+const std::vector<std::string>& allPolicyNames();
+
+}  // namespace mqs::sched

@@ -1,0 +1,213 @@
+#include "sched/scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::sched {
+
+QueryScheduler::QueryScheduler(const query::QuerySemantics* semantics,
+                               PolicyPtr policy, bool incremental)
+    : graph_(semantics), policy_(std::move(policy)), incremental_(incremental) {
+  MQS_CHECK(policy_ != nullptr);
+}
+
+void QueryScheduler::rerankLocked(NodeId n) {
+  NodeRt& rt = rt_[n];
+  ++rt.version;
+  if (graph_.state(n) != QueryState::Waiting) return;
+  ++stats_.rankEvaluations;
+  const double r = policy_->rank(graph_, n);
+  heap_.push(HeapEntry{r, graph_.arrivalSeq(n), rt.version, n});
+}
+
+void QueryScheduler::rerankNeighborsLocked(NodeId n) {
+  for (NodeId k : graph_.neighbors(n)) {
+    if (graph_.state(k) == QueryState::Waiting) rerankLocked(k);
+  }
+}
+
+void QueryScheduler::rerankAllWaitingLocked() {
+  graph_.forEachNode([&](NodeId k) {
+    if (graph_.state(k) == QueryState::Waiting) rerankLocked(k);
+  });
+}
+
+void QueryScheduler::afterEventLocked(NodeId n) {
+  if (!policy_->ranksDependOnGraph()) return;
+  if (incremental_) {
+    rerankNeighborsLocked(n);
+  } else {
+    rerankAllWaitingLocked();
+  }
+}
+
+NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
+  std::lock_guard lock(mu_);
+  const NodeId n = graph_.insert(std::move(predicate));
+  ++stats_.submitted;
+  ++waiting_;
+  rt_.emplace(n, NodeRt{});
+  rerankLocked(n);
+  afterEventLocked(n);
+  return n;
+}
+
+std::optional<NodeId> QueryScheduler::dequeue() {
+  std::lock_guard lock(mu_);
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = rt_.find(top.node);
+    if (it == rt_.end() || it->second.version != top.version ||
+        !graph_.contains(top.node) ||
+        graph_.state(top.node) != QueryState::Waiting) {
+      ++stats_.staleHeapPops;
+      continue;
+    }
+    graph_.setState(top.node, QueryState::Executing);
+    it->second.version++;  // invalidate any remaining heap entries
+    it->second.execSeq = nextExecSeq_++;
+    --waiting_;
+    ++executing_;
+    ++stats_.dequeued;
+    afterEventLocked(top.node);
+    return top.node;
+  }
+  return std::nullopt;
+}
+
+void QueryScheduler::completed(NodeId n) {
+  std::lock_guard lock(mu_);
+  MQS_CHECK_MSG(graph_.contains(n), "completed() on unknown node");
+  MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
+                "completed() on a non-executing node");
+  graph_.setState(n, QueryState::Cached);
+  --executing_;
+  ++stats_.completedCount;
+  afterEventLocked(n);
+}
+
+void QueryScheduler::swappedOut(NodeId n) {
+  std::lock_guard lock(mu_);
+  MQS_CHECK_MSG(graph_.contains(n), "swappedOut() on unknown node");
+  MQS_CHECK_MSG(graph_.state(n) == QueryState::Cached,
+                "swappedOut() on a non-cached node");
+  graph_.setState(n, QueryState::SwappedOut);
+  const std::vector<NodeId> affected = graph_.neighbors(n);
+  graph_.remove(n);
+  rt_.erase(n);
+  ++stats_.swappedOutCount;
+  if (policy_->ranksDependOnGraph()) {
+    if (incremental_) {
+      for (NodeId k : affected) {
+        if (graph_.contains(k) && graph_.state(k) == QueryState::Waiting) {
+          rerankLocked(k);
+        }
+      }
+    } else {
+      rerankAllWaitingLocked();
+    }
+  }
+}
+
+void QueryScheduler::reportQueryOutcome(double achievedOverlap) {
+  std::lock_guard lock(mu_);
+  policy_->onQueryOutcome(achievedOverlap);
+  if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
+}
+
+void QueryScheduler::reportResourceSignal(double ioCongestion) {
+  std::lock_guard lock(mu_);
+  policy_->onResourceSignal(ioCongestion);
+  if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
+}
+
+std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestExecutingSource(
+    NodeId n) const {
+  std::lock_guard lock(mu_);
+  if (!graph_.contains(n)) return std::nullopt;
+  const auto myIt = rt_.find(n);
+  const std::uint64_t mySeq = myIt == rt_.end() ? 0 : myIt->second.execSeq;
+  std::optional<ReuseSource> best;
+  for (const Edge& e : graph_.inEdges(n)) {
+    if (graph_.state(e.peer) != QueryState::Executing) continue;
+    const auto it = rt_.find(e.peer);
+    const std::uint64_t peerSeq = it == rt_.end() ? 0 : it->second.execSeq;
+    // Deadlock avoidance: wait only on queries that started earlier.
+    if (mySeq == 0 || peerSeq == 0 || peerSeq >= mySeq) continue;
+    if (!best || e.overlap > best->overlap) {
+      best = ReuseSource{e.peer, e.overlap, QueryState::Executing};
+    }
+  }
+  return best;
+}
+
+std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestReuseSource(
+    NodeId n, bool allowExecuting) const {
+  std::lock_guard lock(mu_);
+  if (!graph_.contains(n)) return std::nullopt;
+  const std::uint64_t mySeq = [&] {
+    auto it = rt_.find(n);
+    return it == rt_.end() ? 0ULL : it->second.execSeq;
+  }();
+
+  std::optional<ReuseSource> best;
+  for (const Edge& e : graph_.inEdges(n)) {
+    const QueryState s = graph_.state(e.peer);
+    if (s == QueryState::Cached) {
+      // usable as-is
+    } else if (s == QueryState::Executing && allowExecuting) {
+      // Deadlock avoidance: only wait on queries that started earlier.
+      const auto it = rt_.find(e.peer);
+      const std::uint64_t peerSeq =
+          it == rt_.end() ? 0ULL : it->second.execSeq;
+      if (mySeq == 0 || peerSeq == 0 || peerSeq >= mySeq) continue;
+    } else {
+      continue;
+    }
+    const bool better =
+        !best || e.overlap > best->overlap ||
+        (e.overlap == best->overlap && s == QueryState::Cached &&
+         best->state == QueryState::Executing);
+    if (better) best = ReuseSource{e.peer, e.overlap, s};
+  }
+  return best;
+}
+
+std::optional<QueryState> QueryScheduler::stateOf(NodeId n) const {
+  std::lock_guard lock(mu_);
+  if (!graph_.contains(n)) return std::nullopt;
+  return graph_.state(n);
+}
+
+query::PredicatePtr QueryScheduler::predicateOf(NodeId n) const {
+  std::lock_guard lock(mu_);
+  return graph_.predicate(n).clone();
+}
+
+double QueryScheduler::rankOf(NodeId n) const {
+  std::lock_guard lock(mu_);
+  return policy_->rank(graph_, n);
+}
+
+std::size_t QueryScheduler::waitingCount() const {
+  std::lock_guard lock(mu_);
+  return waiting_;
+}
+
+std::size_t QueryScheduler::executingCount() const {
+  std::lock_guard lock(mu_);
+  return executing_;
+}
+
+std::uint64_t QueryScheduler::execSeq(NodeId n) const {
+  std::lock_guard lock(mu_);
+  const auto it = rt_.find(n);
+  return it == rt_.end() ? 0 : it->second.execSeq;
+}
+
+QueryScheduler::Stats QueryScheduler::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace mqs::sched

@@ -1,0 +1,143 @@
+// QueryScheduler: the priority queue of §4, implemented over the scheduling
+// graph with incremental rank maintenance.
+//
+// Ranks live in a lazy max-heap: every (re)ranking pushes a fresh entry
+// stamped with the node's current version; dequeue pops entries until it
+// finds one whose stamp is still valid. Graph events re-rank only the
+// affected node's waiting neighborhood ("updates to the query scheduling
+// graph and topological sort are done in an incremental fashion"); a
+// full-recompute mode exists for the A3 ablation and for property tests.
+//
+// Thread-safe: the threaded query server calls into one instance from many
+// query threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "query/predicate.hpp"
+#include "query/semantics.hpp"
+#include "sched/graph.hpp"
+#include "sched/policy.hpp"
+#include "sched/state.hpp"
+
+namespace mqs::sched {
+
+class QueryScheduler {
+ public:
+  QueryScheduler(const query::QuerySemantics* semantics, PolicyPtr policy,
+                 bool incremental = true);
+
+  /// Enqueue a new query (WAITING). Returns its graph node id.
+  NodeId submit(query::PredicatePtr predicate);
+
+  /// Highest-ranked waiting query, moved to EXECUTING; std::nullopt when no
+  /// query is waiting. Assigns the node's execution sequence number.
+  std::optional<NodeId> dequeue();
+
+  /// EXECUTING -> CACHED (results now reusable).
+  void completed(NodeId n);
+
+  /// CACHED -> SWAPPED_OUT: results reclaimed; node and edges leave the
+  /// graph, neighbors are re-ranked (§4).
+  void swappedOut(NodeId n);
+
+  /// Runtime feedback for self-tuning policies: the achieved Eq.-2 overlap
+  /// of a finished query, and a normalized I/O-congestion signal. No-ops
+  /// for the static policies.
+  void reportQueryOutcome(double achievedOverlap);
+  void reportResourceSignal(double ioCongestion);
+
+  struct ReuseSource {
+    NodeId node = kInvalidNode;
+    double overlap = 0.0;
+    QueryState state = QueryState::Cached;
+  };
+
+  /// Best reuse source for executing query `n` among CACHED neighbors and —
+  /// when `allowExecuting` — EXECUTING neighbors that began executing
+  /// before `n` (the deadlock-avoidance rule: wait-for edges always point
+  /// to older executions, so the wait graph is acyclic).
+  [[nodiscard]] std::optional<ReuseSource> bestReuseSource(
+      NodeId n, bool allowExecuting) const;
+
+  /// Best reuse source among EXECUTING neighbors only (subject to the same
+  /// deadlock-avoidance rule). The runtime combines this with a Data Store
+  /// lookup, which also sees cached sub-query results that have no graph
+  /// node.
+  [[nodiscard]] std::optional<ReuseSource> bestExecutingSource(NodeId n) const;
+
+  /// Snapshot of a node's current state (nullopt if no longer in graph).
+  [[nodiscard]] std::optional<QueryState> stateOf(NodeId n) const;
+
+  /// Clone of a node's predicate, taken under the scheduler lock (safe
+  /// against concurrent graph mutation).
+  [[nodiscard]] query::PredicatePtr predicateOf(NodeId n) const;
+
+  /// Current policy rank of a waiting node (test/diagnostic hook).
+  [[nodiscard]] double rankOf(NodeId n) const;
+
+  [[nodiscard]] std::size_t waitingCount() const;
+  [[nodiscard]] std::size_t executingCount() const;
+
+  /// Order in which the query started executing (1, 2, ...); 0 if it has
+  /// not been dequeued yet.
+  [[nodiscard]] std::uint64_t execSeq(NodeId n) const;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t completedCount = 0;
+    std::uint64_t swappedOutCount = 0;
+    std::uint64_t rankEvaluations = 0;  ///< policy->rank() calls
+    std::uint64_t staleHeapPops = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Access to the underlying graph for tests and diagnostics. The caller
+  /// must not use this concurrently with mutating scheduler calls.
+  [[nodiscard]] const SchedulingGraph& graphUnsafe() const { return graph_; }
+
+  [[nodiscard]] const RankingPolicy& policy() const { return *policy_; }
+
+ private:
+  struct HeapEntry {
+    double rank = 0.0;
+    std::uint64_t arrival = 0;
+    std::uint64_t version = 0;
+    NodeId node = kInvalidNode;
+  };
+  struct HeapCmp {
+    // std::priority_queue keeps the *largest* on top under this "less".
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.arrival > b.arrival;  // older queries win ties
+    }
+  };
+  struct NodeRt {
+    std::uint64_t version = 0;
+    std::uint64_t execSeq = 0;
+  };
+
+  void rerankLocked(NodeId n);
+  void rerankNeighborsLocked(NodeId n);
+  void rerankAllWaitingLocked();
+  void afterEventLocked(NodeId n);
+
+  mutable std::mutex mu_;
+  SchedulingGraph graph_;
+  PolicyPtr policy_;
+  bool incremental_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
+  std::unordered_map<NodeId, NodeRt> rt_;
+  std::uint64_t nextExecSeq_ = 1;
+  std::size_t waiting_ = 0;
+  std::size_t executing_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mqs::sched

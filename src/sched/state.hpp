@@ -1,0 +1,32 @@
+// Query lifecycle states (§4): a graph vertex is a query that is waiting to
+// be computed, is being computed, or was recently computed and cached; a
+// cached query whose result the Data Store reclaims is swapped out and the
+// node leaves the graph.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mqs::sched {
+
+enum class QueryState : std::uint8_t {
+  Waiting = 0,
+  Executing = 1,
+  Cached = 2,
+  SwappedOut = 3,
+};
+
+constexpr std::string_view toString(QueryState s) {
+  switch (s) {
+    case QueryState::Waiting: return "WAITING";
+    case QueryState::Executing: return "EXECUTING";
+    case QueryState::Cached: return "CACHED";
+    case QueryState::SwappedOut: return "SWAPPED_OUT";
+  }
+  return "?";
+}
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;  ///< node ids start at 1
+
+}  // namespace mqs::sched

@@ -1,0 +1,291 @@
+#include "server/query_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace mqs::server {
+
+QueryServer::QueryServer(const query::QuerySemantics* semantics,
+                         const query::QueryExecutor* executor,
+                         ServerConfig cfg)
+    : sem_(semantics),
+      exec_(executor),
+      cfg_(std::move(cfg)),
+      scheduler_(semantics, sched::makePolicy(cfg_.policy, cfg_.alpha),
+                 cfg_.incrementalRanking),
+      ds_(cfg_.dsBytes, semantics,
+          datastore::parseEvictionPolicy(cfg_.dsEviction)),
+      ps_(cfg_.psBytes),
+      epoch_(std::chrono::steady_clock::now()) {
+  MQS_CHECK(sem_ != nullptr && exec_ != nullptr);
+  MQS_CHECK(cfg_.threads >= 1);
+  ds_.setEvictionListener(
+      [this](datastore::BlobId id, const query::Predicate&) {
+        onBlobEvicted(id);
+      });
+  workers_.reserve(static_cast<std::size_t>(cfg_.threads));
+  for (int i = 0; i < cfg_.threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { shutdown(); }
+
+double QueryServer::nowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void QueryServer::attach(storage::DatasetId dataset,
+                         const storage::DataSource* source) {
+  ps_.attach(dataset, source);
+}
+
+std::future<QueryResult> QueryServer::submit(query::PredicatePtr pred,
+                                             int client) {
+  MQS_CHECK(pred != nullptr);
+  PendingQuery pq;
+  pq.record.client = client;
+  pq.record.predicate = pred->describe();
+  pq.record.arrivalTime = nowSeconds();
+  pq.record.inputBytes = sem_->qinputsize(*pred);
+  pq.record.outputBytes = sem_->qoutsize(*pred);
+  auto future = pq.promise.get_future();
+
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      pq.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("query server is shutting down")));
+      return future;
+    }
+    const sched::NodeId node = scheduler_.submit(std::move(pred));
+    pq.record.queryId = node;
+    latches_.emplace(node, std::make_shared<DoneLatch>());
+    pending_.emplace(node, std::move(pq));
+  }
+  workAvailable_.notify_one();
+  return future;
+}
+
+QueryResult QueryServer::execute(query::PredicatePtr pred, int client) {
+  return submit(std::move(pred), client).get();
+}
+
+void QueryServer::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  workAvailable_.notify_all();
+  workers_.clear();  // jthread joins
+}
+
+void QueryServer::workerLoop() {
+  for (;;) {
+    sched::NodeId node = sched::kInvalidNode;
+    PendingQuery pq;
+    {
+      std::unique_lock lock(mu_);
+      workAvailable_.wait(lock, [&] {
+        return stopping_ || scheduler_.waitingCount() > 0;
+      });
+      if (scheduler_.waitingCount() == 0) {
+        if (stopping_) return;
+        continue;
+      }
+      auto n = scheduler_.dequeue();
+      if (!n) continue;  // raced with another worker
+      node = *n;
+      auto it = pending_.find(node);
+      MQS_CHECK_MSG(it != pending_.end(), "dequeued query without record");
+      pq = std::move(it->second);
+      pending_.erase(it);
+    }
+    runQuery(node, std::move(pq));
+  }
+}
+
+std::shared_future<void> QueryServer::doneFutureOf(sched::NodeId node) {
+  std::lock_guard lock(mu_);
+  auto it = latches_.find(node);
+  MQS_CHECK_MSG(it != latches_.end(), "no completion latch for node");
+  return it->second->future;
+}
+
+std::vector<std::byte> QueryServer::computePart(const query::Predicate& part,
+                                                int depth,
+                                                metrics::QueryRecord& rec) {
+  if (cfg_.dataStoreEnabled && depth <= cfg_.maxNestedReuseDepth) {
+    if (auto m = ds_.lookupAndPin(part)) {
+      datastore::DataStore::PinGuard pin(ds_, m->id);
+      std::vector<std::byte> out(sem_->qoutsize(part));
+      const query::PredicatePtr cachedPred = ds_.predicate(m->id).clone();
+      exec_->project(*cachedPred, ds_.payload(m->id), part, out);
+      pin.release();
+      rec.bytesReused += sem_->reusedOutputBytes(*cachedPred, part);
+      for (const auto& rem : sem_->remainder(*cachedPred, part)) {
+        const std::vector<std::byte> sub = computePart(*rem, depth + 1, rec);
+        exec_->project(*rem, sub, part, out);
+      }
+      if (cfg_.cacheSubqueryResults) {
+        (void)ds_.insert(part.clone(), std::vector<std::byte>(out),
+                         sem_->qoutsize(part));
+      }
+      return out;
+    }
+  }
+  std::vector<std::byte> out = exec_->execute(part, ps_);
+  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults && depth >= 1) {
+    (void)ds_.insert(part.clone(), std::vector<std::byte>(out),
+                     sem_->qoutsize(part));
+  }
+  return out;
+}
+
+std::optional<datastore::BlobId> QueryServer::cacheResult(
+    const query::Predicate& pred, std::span<const std::byte> out) {
+  if (!cfg_.dataStoreEnabled) return std::nullopt;
+  return ds_.insert(pred.clone(),
+                    std::vector<std::byte>(out.begin(), out.end()),
+                    sem_->qoutsize(pred));
+}
+
+std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
+                                                 const query::Predicate& pred,
+                                                 metrics::QueryRecord& rec) {
+  std::vector<std::byte> out(sem_->qoutsize(pred));
+
+  // --- choose a reuse source -------------------------------------------
+  std::optional<datastore::DataStore::Match> match;
+  datastore::DataStore::PinGuard pin;
+  if (cfg_.dataStoreEnabled) {
+    match = ds_.lookupAndPin(pred);
+    if (match) pin = datastore::DataStore::PinGuard(ds_, match->id);
+    if (cfg_.allowWaitOnExecuting) {
+      if (auto e = scheduler_.bestExecutingSource(node);
+          e && (!match || e->overlap > match->overlap)) {
+        pin.release();
+        match.reset();
+        // Block on the older executing query's completion latch; the
+        // thread-pool slot stays occupied while we wait (§4).
+        rec.reusedExecuting = true;
+        const double t0 = nowSeconds();
+        doneFutureOf(e->node).wait();
+        rec.blockedTime += nowSeconds() - t0;
+
+        datastore::BlobId blob = 0;
+        bool haveBlob = false;
+        {
+          std::lock_guard lock(mu_);
+          if (auto it = nodeBlob_.find(e->node); it != nodeBlob_.end()) {
+            blob = it->second;
+            haveBlob = true;
+          }
+        }
+        if (haveBlob && ds_.tryPin(blob)) {
+          match = datastore::DataStore::Match{
+              blob, sem_->overlap(ds_.predicate(blob), pred)};
+          pin = datastore::DataStore::PinGuard(ds_, blob);
+        } else if ((match = ds_.lookupAndPin(pred))) {
+          pin = datastore::DataStore::PinGuard(ds_, match->id);
+        }
+      }
+    }
+  }
+
+  // --- project + remainder / full computation --------------------------
+  if (match) {
+    rec.overlapUsed = match->overlap;
+    const query::PredicatePtr cachedPred = ds_.predicate(match->id).clone();
+    exec_->project(*cachedPred, ds_.payload(match->id), pred, out);
+    pin.release();
+    rec.bytesReused += sem_->reusedOutputBytes(*cachedPred, pred);
+    for (const auto& part : sem_->remainder(*cachedPred, pred)) {
+      const std::vector<std::byte> sub = computePart(*part, /*depth=*/1, rec);
+      exec_->project(*part, sub, pred, out);
+    }
+  } else {
+    out = exec_->execute(pred, ps_);
+  }
+  return out;
+}
+
+void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
+  metrics::QueryRecord rec = std::move(pq.record);
+  rec.startTime = nowSeconds();
+  pagespace::PageSpaceManager::resetThreadCounters();
+
+  const query::PredicatePtr predPtr = scheduler_.predicateOf(node);
+  const query::Predicate& pred = *predPtr;
+
+  // Application code (executors, user-defined operators) may throw; the
+  // failure is delivered through the client future and the graph node is
+  // retired so dependents and the scheduler stay consistent.
+  std::vector<std::byte> out;
+  std::exception_ptr failure;
+  try {
+    out = computeQuery(node, pred, rec);
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  rec.bytesFromDisk = pagespace::PageSpaceManager::threadDeviceBytes();
+
+  // --- cache the result & transition the graph node --------------------
+  std::optional<datastore::BlobId> blob;
+  if (!failure && rec.overlapUsed < 1.0) blob = cacheResult(pred, out);
+  if (blob) {
+    std::lock_guard lock(mu_);
+    nodeBlob_[node] = *blob;
+    blobNode_[*blob] = node;
+  }
+  scheduler_.completed(node);
+  if (!blob) {
+    // Nothing cached (failed, duplicate result, or DS full/disabled): the
+    // node cannot serve reuse, so it leaves the graph at once.
+    scheduler_.swappedOut(node);
+  } else {
+    std::lock_guard lock(mu_);
+    if (evictedWhileExecuting_.erase(node) > 0) {
+      nodeBlob_.erase(node);
+      blobNode_.erase(*blob);
+      scheduler_.swappedOut(node);
+    }
+  }
+
+  // --- deliver ----------------------------------------------------------
+  {
+    std::lock_guard lock(mu_);
+    latches_[node]->promise.set_value();
+  }
+  scheduler_.reportQueryOutcome(rec.overlapUsed);
+
+  rec.finishTime = nowSeconds();
+  collector_.add(rec);
+  if (failure) {
+    pq.promise.set_exception(failure);
+  } else {
+    pq.promise.set_value(QueryResult{std::move(out), rec});
+  }
+}
+
+void QueryServer::onBlobEvicted(datastore::BlobId blob) {
+  std::lock_guard lock(mu_);
+  const auto it = blobNode_.find(blob);
+  if (it == blobNode_.end()) return;  // sub-query blob without a graph node
+  const sched::NodeId node = it->second;
+  blobNode_.erase(it);
+  nodeBlob_.erase(node);
+  if (scheduler_.stateOf(node) == sched::QueryState::Cached) {
+    scheduler_.swappedOut(node);
+  } else {
+    evictedWhileExecuting_.insert(node);
+  }
+}
+
+}  // namespace mqs::server

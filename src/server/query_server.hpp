@@ -1,0 +1,140 @@
+// The multithreaded query server (§2, Figure 1) — real execution.
+//
+// A fixed-size pool of query threads pulls work from the QueryScheduler.
+// Each query: (1) looks for a reusable intermediate result in the Data
+// Store (or a still-executing query via the scheduling graph), (2) projects
+// it into the output, (3) computes remainder sub-queries from raw data
+// through the Page Space Manager, (4) caches its own result, (5) delivers
+// bytes to the client future.
+//
+// Deadlock avoidance: a query may block on the completion latch of an
+// EXECUTING query only if that query started earlier (enforced by
+// QueryScheduler::bestExecutingSource), so wait-for edges always point to
+// older executions and the wait graph is acyclic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datastore/data_store.hpp"
+#include "metrics/metrics.hpp"
+#include "pagespace/page_space_manager.hpp"
+#include "query/executor.hpp"
+#include "sched/scheduler.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::server {
+
+struct ServerConfig {
+  int threads = 4;
+  std::uint64_t dsBytes = 64ULL << 20;
+  std::uint64_t psBytes = 32ULL << 20;
+  std::string dsEviction = "LRU";  ///< LRU | LFU | LARGEST
+  std::string policy = "FIFO";
+  double alpha = 0.2;
+  bool incrementalRanking = true;
+  bool dataStoreEnabled = true;
+  bool cacheSubqueryResults = true;
+  int maxNestedReuseDepth = 2;
+  bool allowWaitOnExecuting = true;
+};
+
+struct QueryResult {
+  std::vector<std::byte> bytes;
+  metrics::QueryRecord record;
+};
+
+class QueryServer {
+ public:
+  QueryServer(const query::QuerySemantics* semantics,
+              const query::QueryExecutor* executor, ServerConfig cfg);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Attach raw storage for a dataset (before submitting queries on it).
+  void attach(storage::DatasetId dataset, const storage::DataSource* source);
+
+  /// Enqueue a query; the future resolves when the result is computed.
+  std::future<QueryResult> submit(query::PredicatePtr pred, int client = -1);
+
+  /// Blocking convenience (interactive clients).
+  QueryResult execute(query::PredicatePtr pred, int client = -1);
+
+  /// Stop accepting queries, finish everything queued, join workers.
+  void shutdown();
+
+  [[nodiscard]] const metrics::Collector& collector() const {
+    return collector_;
+  }
+  [[nodiscard]] const sched::QueryScheduler& scheduler() const {
+    return scheduler_;
+  }
+  [[nodiscard]] const datastore::DataStore& dataStore() const { return ds_; }
+  [[nodiscard]] pagespace::PageSpaceManager& pageSpace() { return ps_; }
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  /// Seconds since server start (the experiment clock).
+  [[nodiscard]] double nowSeconds() const;
+
+ private:
+  struct PendingQuery {
+    std::promise<QueryResult> promise;
+    metrics::QueryRecord record;
+  };
+  struct DoneLatch {
+    std::promise<void> promise;
+    std::shared_future<void> future;
+    DoneLatch() : future(promise.get_future().share()) {}
+  };
+
+  void workerLoop();
+  void runQuery(sched::NodeId node, PendingQuery pending);
+  /// The reuse-or-compute pipeline; throws whatever application code
+  /// throws (runQuery converts that into a failed client future).
+  std::vector<std::byte> computeQuery(sched::NodeId node,
+                                      const query::Predicate& pred,
+                                      metrics::QueryRecord& rec);
+  /// Compute one part (whole query or remainder rect) from DS-reuse /
+  /// raw data; returns its full output buffer.
+  std::vector<std::byte> computePart(const query::Predicate& part, int depth,
+                                     metrics::QueryRecord& rec);
+  std::optional<datastore::BlobId> cacheResult(const query::Predicate& pred,
+                                               std::span<const std::byte> out);
+  void onBlobEvicted(datastore::BlobId blob);
+  std::shared_future<void> doneFutureOf(sched::NodeId node);
+
+  const query::QuerySemantics* sem_;
+  const query::QueryExecutor* exec_;
+  ServerConfig cfg_;
+  sched::QueryScheduler scheduler_;
+  datastore::DataStore ds_;
+  pagespace::PageSpaceManager ps_;
+  metrics::Collector collector_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;  ///< guards the maps below + dispatch state
+  std::condition_variable workAvailable_;
+  std::unordered_map<sched::NodeId, PendingQuery> pending_;
+  std::unordered_map<sched::NodeId, std::shared_ptr<DoneLatch>> latches_;
+  std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_;
+  std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_;
+  std::unordered_set<sched::NodeId> evictedWhileExecuting_;
+  bool stopping_ = false;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace mqs::server

@@ -1,0 +1,34 @@
+// Application cost model for the discrete-event engine.
+//
+// The DES shares all *decision* logic (scheduler, Data Store, page cache)
+// with the threaded runtime; what it needs from an application is only the
+// resource demand of computing a query part from raw data: which pages are
+// fetched (through the simulated Page Space + disks) and how much CPU each
+// chunk's processing burns. One adapter per application (vm_model.hpp,
+// vol_model.hpp) derives this from the same layouts the real executors use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "query/predicate.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::sim {
+
+struct ChunkDemand {
+  storage::PageKey page;     ///< page to fetch (cached in the Page Space)
+  std::size_t pageBytes = 0; ///< device transfer size on a miss
+  double cpuSeconds = 0.0;   ///< processing burst after the page arrives
+};
+
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  /// Resource demand to compute `part` from raw data, in execution order.
+  [[nodiscard]] virtual std::vector<ChunkDemand> demandFor(
+      const query::Predicate& part) const = 0;
+};
+
+}  // namespace mqs::sim

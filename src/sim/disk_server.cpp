@@ -1,0 +1,86 @@
+#include "sim/disk_server.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+DiskServer::DiskServer(Simulator& sim, storage::DiskModel model,
+                       DiskDiscipline discipline,
+                       std::uint64_t contiguityWindow)
+    : sim_(&sim),
+      model_(model),
+      discipline_(discipline),
+      window_(contiguityWindow) {
+  MQS_CHECK(contiguityWindow >= 1);
+}
+
+void DiskServer::enqueue(std::uint64_t pos, std::size_t bytes,
+                         std::coroutine_handle<> h) {
+  queue_.push_back(Request{pos, bytes, nextArrival_++, h});
+  if (!busy_) startNext();
+}
+
+std::size_t DiskServer::pickNext() const {
+  MQS_DCHECK(!queue_.empty());
+  if (discipline_ == DiskDiscipline::Fifo || !headValid_) {
+    // Oldest request.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].arrival < queue_[best].arrival) best = i;
+    }
+    return best;
+  }
+  // C-SCAN: the smallest position at or above the head; wrap to the
+  // globally smallest when the sweep tops out.
+  std::size_t bestUp = queue_.size();
+  std::size_t bestAll = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].pos < queue_[bestAll].pos ||
+        (queue_[i].pos == queue_[bestAll].pos &&
+         queue_[i].arrival < queue_[bestAll].arrival)) {
+      bestAll = i;
+    }
+    if (queue_[i].pos >= headPos_) {
+      if (bestUp == queue_.size() || queue_[i].pos < queue_[bestUp].pos ||
+          (queue_[i].pos == queue_[bestUp].pos &&
+           queue_[i].arrival < queue_[bestUp].arrival)) {
+        bestUp = i;
+      }
+    }
+  }
+  return bestUp != queue_.size() ? bestUp : bestAll;
+}
+
+void DiskServer::startNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const std::size_t idx = pickNext();
+  const Request req = queue_[idx];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // Sequential if the request continues the current sweep within the
+  // contiguity window (track-buffer / readahead reach).
+  const bool sequential = headValid_ && req.pos >= headPos_ &&
+                          req.pos - headPos_ <= window_;
+  const double duration =
+      model_.transferTime(req.bytes) + (sequential
+                                            ? model_.sequentialOverheadSec
+                                            : model_.seekOverheadSec);
+  headValid_ = true;
+  headPos_ = req.pos + 1;
+  busyIntegral_ += duration;
+  ++served_;
+  if (sequential) ++sequential_;
+
+  sim_->scheduleAfter(duration, [this, h = req.handle] {
+    h.resume();
+    startNext();
+  });
+}
+
+}  // namespace mqs::sim

@@ -1,0 +1,61 @@
+#include "sim/primitives.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  // Resume via the event queue so firing inside arbitrary code cannot
+  // reenter the waiters' frames synchronously.
+  for (auto h : waiters_) {
+    sim_->scheduleAfter(0.0, [h] { h.resume(); });
+  }
+  waiters_.clear();
+}
+
+Semaphore::Semaphore(Simulator& sim, int permits)
+    : sim_(&sim), capacity_(permits), permits_(permits) {
+  MQS_CHECK(permits > 0);
+}
+
+void Semaphore::accrue() {
+  const int busy = capacity_ - permits_;
+  busyIntegral_ += static_cast<double>(busy) * (sim_->now() - lastChange_);
+  lastChange_ = sim_->now();
+}
+
+void Semaphore::take() {
+  accrue();
+  MQS_DCHECK(permits_ > 0);
+  --permits_;
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    // Hand the permit to the head waiter; busy count is unchanged.
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->scheduleAfter(0.0, [h] { h.resume(); });
+    return;
+  }
+  accrue();
+  ++permits_;
+  MQS_CHECK_MSG(permits_ <= capacity_, "semaphore over-release");
+}
+
+double Semaphore::busyIntegral() const {
+  const int busy = capacity_ - permits_;
+  return busyIntegral_ +
+         static_cast<double>(busy) * (sim_->now() - lastChange_);
+}
+
+Task<void> FcfsServer::service(Time duration) {
+  co_await gate_.acquire();
+  co_await sim_->delay(duration);
+  ++served_;
+  gate_.release();
+}
+
+}  // namespace mqs::sim

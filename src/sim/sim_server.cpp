@@ -1,0 +1,319 @@
+#include "sim/sim_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/vm_model.hpp"
+
+namespace mqs::sim {
+
+SimServer::SimServer(Simulator& sim, const vm::VMSemantics* semantics,
+                     SimConfig cfg)
+    : SimServer(sim, static_cast<const query::QuerySemantics*>(semantics),
+                nullptr, std::move(cfg)) {
+  ownedModel_ = std::make_unique<VMModel>(semantics, cfg_.cpuPerByteSubsample,
+                                          cfg_.cpuPerByteAverage);
+  model_ = ownedModel_.get();
+}
+
+SimServer::SimServer(Simulator& sim, const query::QuerySemantics* semantics,
+                     const AppModel* model, SimConfig cfg)
+    : sim_(&sim),
+      sem_(semantics),
+      model_(model),
+      cfg_(std::move(cfg)),
+      scheduler_(semantics, sched::makePolicy(cfg_.policy, cfg_.alpha),
+                 cfg_.incrementalRanking),
+      ds_(cfg_.dsBytes, semantics,
+          datastore::parseEvictionPolicy(cfg_.dsEviction)),
+      psCore_(cfg_.psBytes),
+      cpus_(sim, cfg_.cpus) {
+  MQS_CHECK(sem_ != nullptr);
+  MQS_CHECK(cfg_.threads >= 1);
+  MQS_CHECK(cfg_.diskFarm.disks >= 1);
+  if (cfg_.ioModel == "kstream") {
+    disks_.reserve(static_cast<std::size_t>(cfg_.diskFarm.disks));
+    for (int i = 0; i < cfg_.diskFarm.disks; ++i) {
+      disks_.push_back(std::make_unique<FcfsServer>(sim));
+    }
+  } else {
+    MQS_CHECK_MSG(cfg_.ioModel == "fifo" || cfg_.ioModel == "elevator",
+                  "ioModel must be kstream, fifo, or elevator");
+    const DiskDiscipline disc = cfg_.ioModel == "fifo"
+                                    ? DiskDiscipline::Fifo
+                                    : DiskDiscipline::Elevator;
+    posDisks_.reserve(static_cast<std::size_t>(cfg_.diskFarm.disks));
+    for (int i = 0; i < cfg_.diskFarm.disks; ++i) {
+      posDisks_.push_back(
+          std::make_unique<DiskServer>(sim, cfg_.diskFarm.disk, disc));
+    }
+  }
+  ds_.setEvictionListener(
+      [this](datastore::BlobId id, const query::Predicate&) {
+        onBlobEvicted(id);
+      });
+}
+
+sched::NodeId SimServer::submit(query::PredicatePtr pred, int client) {
+  MQS_CHECK(pred != nullptr);
+  MQS_CHECK_MSG(model_ != nullptr, "SimServer needs an application model");
+  metrics::QueryRecord rec;
+  rec.client = client;
+  rec.predicate = pred->describe();
+  rec.arrivalTime = sim_->now();
+  rec.inputBytes = sem_->qinputsize(*pred);
+  rec.outputBytes = sem_->qoutsize(*pred);
+
+  const sched::NodeId node = scheduler_.submit(std::move(pred));
+  rec.queryId = node;
+  pending_.emplace(node, std::move(rec));
+  completion_.emplace(node, std::make_unique<Trigger>(*sim_));
+  pump();
+  return node;
+}
+
+Trigger& SimServer::completionOf(sched::NodeId node) {
+  auto it = completion_.find(node);
+  MQS_CHECK_MSG(it != completion_.end(), "completionOf unknown query");
+  return *it->second;
+}
+
+Task<void> SimServer::executeAndWait(query::PredicatePtr pred, int client) {
+  const sched::NodeId node = submit(std::move(pred), client);
+  co_await completionOf(node).wait();
+}
+
+void SimServer::pump() {
+  while (active_ < cfg_.threads) {
+    auto node = scheduler_.dequeue();
+    if (!node) break;
+    auto it = pending_.find(*node);
+    MQS_DCHECK(it != pending_.end());
+    metrics::QueryRecord rec = std::move(it->second);
+    pending_.erase(it);
+    rec.startTime = sim_->now();
+    ++active_;
+    sim_->spawn(queryTask(*node, std::move(rec)));
+  }
+}
+
+Task<void> SimServer::cpuRun(double seconds) {
+  if (seconds <= 0.0) co_return;
+  co_await cpus_.acquire();
+  co_await sim_->delay(seconds);
+  cpus_.release();
+}
+
+std::optional<SimServer::ReuseChoice> SimServer::chooseReuse(
+    sched::NodeId node, const query::Predicate& pred) {
+  if (!cfg_.dataStoreEnabled) return std::nullopt;
+  std::optional<ReuseChoice> best;
+  if (auto m = ds_.lookup(pred)) {
+    best = ReuseChoice{ds_.predicate(m->id).clone(), m->overlap, std::nullopt};
+  }
+  if (cfg_.allowWaitOnExecuting) {
+    if (auto e = scheduler_.bestExecutingSource(node)) {
+      if (!best || e->overlap > best->overlap) {
+        best = ReuseChoice{scheduler_.graphUnsafe().predicate(e->node).clone(),
+                           e->overlap, e->node};
+      }
+    }
+  }
+  return best;
+}
+
+Task<void> SimServer::fetchChunk(storage::PageKey key, std::size_t bytes,
+                                 metrics::QueryRecord* rec) {
+  if (psCore_.touch(key)) co_return;  // page space hit
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    ++pageMerges_;
+    co_await it->second->wait();
+    co_return;
+  }
+  auto trig = std::make_unique<Trigger>(*sim_);
+  Trigger* t = trig.get();
+  inflight_.emplace(key, std::move(trig));
+  // Host-side request path (doesn't occupy the device).
+  co_await sim_->delay(cfg_.hostOverheadPerPageSec);
+  const int disk = cfg_.diskFarm.diskFor(key.page);
+  if (!posDisks_.empty()) {
+    // Positional head model: datasets laid out back-to-back on the device.
+    const std::uint64_t pos =
+        (static_cast<std::uint64_t>(key.dataset) << 32) | key.page;
+    co_await posDisks_[static_cast<std::size_t>(disk)]->service(pos, bytes);
+  } else {
+    // Seek amortization degrades with the number of interleaved streams.
+    const int streams = (std::max(1, ioStreams_) + cfg_.diskFarm.disks - 1) /
+                        cfg_.diskFarm.disks;
+    co_await disks_[static_cast<std::size_t>(disk)]->service(
+        cfg_.diskFarm.disk.serviceTime(bytes, streams));
+  }
+  bytesRead_ += bytes;
+  if (rec != nullptr) rec->bytesFromDisk += bytes;
+  psCore_.insert(key, bytes);
+  t->fire();
+  inflight_.erase(key);
+}
+
+Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
+                                  metrics::QueryRecord* rec) {
+  const std::uint64_t partOutBytes = sem_->qoutsize(*part);
+  // Nested reuse: sub-queries are "processed just like any other query"
+  // (§2), so they consult the Data Store as well, up to a depth limit.
+  if (cfg_.dataStoreEnabled && depth <= cfg_.maxNestedReuseDepth) {
+    if (auto m = ds_.lookup(*part)) {
+      const query::PredicatePtr cachedPred = ds_.predicate(m->id).clone();
+      const std::uint64_t projBytes =
+          sem_->reusedOutputBytes(*cachedPred, *part);
+      rec->bytesReused += projBytes;
+      co_await cpuRun(static_cast<double>(projBytes) *
+                      cfg_.cpuPerOutByteProject);
+      for (auto& rem : sem_->remainder(*cachedPred, *part)) {
+        co_await computePart(std::move(rem), depth + 1, rec);
+      }
+      if (cfg_.cacheSubqueryResults) {
+        (void)ds_.insert(std::move(part), {}, partOutBytes);
+      }
+      co_return;
+    }
+  }
+
+  // Compute from raw data: fetch each chunk through the page space, then
+  // process it (demand comes from the application's cost adapter).
+  const std::vector<ChunkDemand> demand = model_->demandFor(*part);
+  ++ioStreams_;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    // Readahead: issue upcoming chunks asynchronously so the device queue
+    // sees the query's future (prefetches never block this query).
+    for (std::size_t j = i + 1;
+         j < demand.size() &&
+         j <= i + static_cast<std::size_t>(std::max(0, cfg_.prefetchPages));
+         ++j) {
+      if (!psCore_.contains(demand[j].page) &&
+          !inflight_.contains(demand[j].page)) {
+        sim_->spawn(fetchChunk(demand[j].page, demand[j].pageBytes, nullptr));
+      }
+    }
+    co_await fetchChunk(demand[i].page, demand[i].pageBytes, rec);
+    co_await cpuRun(demand[i].cpuSeconds);
+  }
+  --ioStreams_;
+  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults && depth >= 1) {
+    (void)ds_.insert(std::move(part), {}, partOutBytes);
+  }
+}
+
+Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
+  const query::PredicatePtr predPtr = scheduler_.predicateOf(node);
+  const query::Predicate& pred = *predPtr;
+
+  co_await cpuRun(cfg_.planningOverheadSec);
+
+  std::optional<ReuseChoice> choice = chooseReuse(node, pred);
+  if (choice && choice->executingNode) {
+    // Block on the still-executing reuse source. The slot stays occupied —
+    // exactly the CPU waste the FF/CNBF rankings try to avoid (§4).
+    const Time t0 = sim_->now();
+    co_await completionOf(*choice->executingNode).wait();
+    rec.blockedTime += sim_->now() - t0;
+    rec.reusedExecuting = true;
+    const auto it = nodeBlob_.find(*choice->executingNode);
+    if (it != nodeBlob_.end() && ds_.contains(it->second)) {
+      choice->executingNode.reset();  // now an ordinary cached reuse
+    } else {
+      // Result vanished (evicted or never cached); retry once, cached only.
+      choice = chooseReuse(node, pred);
+      if (choice && choice->executingNode) choice.reset();
+    }
+  }
+
+  if (choice) {
+    rec.overlapUsed = choice->overlap;
+    const std::uint64_t projBytes =
+        sem_->reusedOutputBytes(*choice->cachedPred, pred);
+    rec.bytesReused += projBytes;
+    co_await cpuRun(static_cast<double>(projBytes) *
+                    cfg_.cpuPerOutByteProject);
+    for (auto& part : sem_->remainder(*choice->cachedPred, pred)) {
+      co_await computePart(std::move(part), /*depth=*/1, &rec);
+    }
+  } else {
+    co_await computePart(pred.clone(), /*depth=*/0, &rec);
+  }
+
+  // Cache the result (skip exact duplicates of an existing blob).
+  std::optional<datastore::BlobId> blob;
+  if (cfg_.dataStoreEnabled && rec.overlapUsed < 1.0) {
+    blob = ds_.insert(pred.clone(), {}, sem_->qoutsize(pred));
+  }
+  finishNode(node, blob);
+
+  // Feedback for self-tuning policies: achieved reuse, plus the current
+  // disk-queue pressure normalized by the thread pool size.
+  scheduler_.reportQueryOutcome(rec.overlapUsed);
+  std::size_t queued = 0;
+  for (const auto& d : disks_) queued += d->queueLength();
+  for (const auto& d : posDisks_) queued += d->queueLength();
+  scheduler_.reportResourceSignal(
+      std::min(1.0, static_cast<double>(queued) /
+                        static_cast<double>(cfg_.threads)));
+
+  rec.finishTime = sim_->now();
+  collector_.add(rec);
+  --active_;
+  completionOf(node).fire();
+  pump();
+}
+
+void SimServer::finishNode(sched::NodeId node,
+                           std::optional<datastore::BlobId> blob) {
+  if (blob) {
+    nodeBlob_[node] = *blob;
+    blobNode_[*blob] = node;
+  }
+  scheduler_.completed(node);
+  if (!blob) {
+    // Nothing cached for this node: it cannot serve as a reuse source, so
+    // it leaves the graph immediately (as if swapped out).
+    scheduler_.swappedOut(node);
+    return;
+  }
+  if (evictedWhileExecuting_.erase(node) > 0) {
+    // Our blob was reclaimed before we even finished (tiny Data Store).
+    nodeBlob_.erase(node);
+    blobNode_.erase(*blob);
+    scheduler_.swappedOut(node);
+  }
+}
+
+void SimServer::onBlobEvicted(datastore::BlobId blob) {
+  const auto it = blobNode_.find(blob);
+  if (it == blobNode_.end()) return;  // sub-query blob without a graph node
+  const sched::NodeId node = it->second;
+  blobNode_.erase(it);
+  nodeBlob_.erase(node);
+  const auto state = scheduler_.stateOf(node);
+  if (state == sched::QueryState::Cached) {
+    scheduler_.swappedOut(node);
+  } else {
+    evictedWhileExecuting_.insert(node);
+  }
+}
+
+SimServer::IoStats SimServer::ioStats() const {
+  IoStats s;
+  const auto& c = psCore_.stats();
+  s.pageHits = c.hits;
+  s.pageMerges = pageMerges_;
+  s.pageReads = c.misses - pageMerges_;
+  s.bytesRead = bytesRead_;
+  for (const auto& d : disks_) s.diskBusyIntegral += d->busyIntegral();
+  for (const auto& d : posDisks_) {
+    s.diskBusyIntegral += d->busyIntegral();
+    s.sequentialReads += d->sequentialServed();
+  }
+  return s;
+}
+
+}  // namespace mqs::sim

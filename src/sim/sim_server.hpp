@@ -1,0 +1,174 @@
+// Simulated query server: the full middleware lifecycle of §2/§4 executed
+// in virtual time on a modeled SMP.
+//
+// Everything that decides *what* happens is the real code — the scheduling
+// graph, ranking policies, Data Store residency, page-cache residency,
+// reuse/remainder decomposition all run exactly as in the threaded server.
+// Only *how long* things take is modeled: CPU bursts occupy one of `cpus`
+// processors, page misses queue FCFS at one of the modeled disks, and a
+// query blocked on a still-executing dependency holds its thread-pool slot
+// without consuming CPU (the waste FF/CNBF try to avoid).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datastore/data_store.hpp"
+#include "metrics/metrics.hpp"
+#include "pagespace/page_cache_core.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/app_model.hpp"
+#include "sim/disk_server.hpp"
+#include "sim/primitives.hpp"
+#include "sim/simulator.hpp"
+#include "storage/disk_model.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sim {
+
+struct SimConfig {
+  /// Query-server thread pool size = max concurrently executing queries.
+  int threads = 4;
+  /// Processors of the modeled SMP (the paper's machine has 24).
+  int cpus = 24;
+  storage::DiskFarmModel diskFarm{};
+
+  std::uint64_t dsBytes = 64ULL << 20;  ///< Data Store budget
+  std::uint64_t psBytes = 32ULL << 20;  ///< Page Space budget
+  std::string dsEviction = "LRU";       ///< LRU | LFU | LARGEST
+
+  /// Disk-queue model: "kstream" charges seeks with the analytic k-stream
+  /// approximation; "fifo"/"elevator" run a positional head model with the
+  /// respective queue discipline (see sim/disk_server.hpp).
+  std::string ioModel = "kstream";
+
+  /// Pages of readahead issued per demand-fetch (0 = off). Prefetches the
+  /// query's own upcoming chunks asynchronously, deepening device queues —
+  /// with the elevator discipline this rebuilds sequential runs that
+  /// interleaved synchronous streams destroy.
+  int prefetchPages = 0;
+
+  /// CPU seconds per input byte scanned. Defaults give the paper's CPU:I/O
+  /// ratios against the default disk model: ~0.05 for subsampling,
+  /// ~1:1 for averaging (§5).
+  double cpuPerByteSubsample = 2.4e-9;
+  double cpuPerByteAverage = 4.6e-8;
+  /// CPU seconds per output byte produced by project().
+  double cpuPerOutByteProject = 1.0e-8;
+  /// Host-side cost per page request (syscall/controller path); charged to
+  /// the issuing query thread, not the device.
+  double hostOverheadPerPageSec = 0.0012;
+  /// Fixed planning cost per query (index lookup, graph bookkeeping).
+  double planningOverheadSec = 0.0005;
+
+  bool dataStoreEnabled = true;      ///< E1 ablation switch
+  bool cacheSubqueryResults = true;  ///< sub-query results become blobs too
+  int maxNestedReuseDepth = 2;       ///< DS reuse inside sub-queries
+  bool allowWaitOnExecuting = true;  ///< may block on an executing source
+
+  std::string policy = "FIFO";
+  double alpha = 0.2;  ///< CF / COMBINED weight
+  bool incrementalRanking = true;
+};
+
+class SimServer {
+ public:
+  /// Generic form: any application, given its semantics + cost model.
+  SimServer(Simulator& sim, const query::QuerySemantics* semantics,
+            const AppModel* model, SimConfig cfg);
+
+  /// Virtual Microscope convenience: builds the VM cost adapter from the
+  /// config's CPU:I/O calibration constants.
+  SimServer(Simulator& sim, const vm::VMSemantics* semantics, SimConfig cfg);
+
+  /// Enqueue a query now; returns its scheduler node. Dispatch happens
+  /// automatically as thread-pool slots free up.
+  sched::NodeId submit(query::PredicatePtr pred, int client = -1);
+
+  /// Completion trigger for a submitted query.
+  Trigger& completionOf(sched::NodeId node);
+
+  /// Client convenience: submit and suspend until the result is delivered.
+  Task<void> executeAndWait(query::PredicatePtr pred, int client = -1);
+
+  [[nodiscard]] const metrics::Collector& collector() const {
+    return collector_;
+  }
+  [[nodiscard]] const sched::QueryScheduler& scheduler() const {
+    return scheduler_;
+  }
+  [[nodiscard]] const datastore::DataStore& dataStore() const { return ds_; }
+  [[nodiscard]] const pagespace::PageCacheCore& pageCache() const {
+    return psCore_;
+  }
+
+  struct IoStats {
+    std::uint64_t pageReads = 0;    ///< device reads issued
+    std::uint64_t pageHits = 0;     ///< served from the page space
+    std::uint64_t pageMerges = 0;   ///< joined an in-flight read
+    std::uint64_t bytesRead = 0;
+    double diskBusyIntegral = 0.0;  ///< summed across disks
+    std::uint64_t sequentialReads = 0;  ///< positional models only
+  };
+  [[nodiscard]] IoStats ioStats() const;
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+ private:
+  struct ReuseChoice {
+    query::PredicatePtr cachedPred;  ///< predicate of the reuse source
+    double overlap = 0.0;
+    std::optional<sched::NodeId> executingNode;  ///< set if we must wait
+  };
+
+  Task<void> queryTask(sched::NodeId node, metrics::QueryRecord rec);
+  /// Compute `part` from raw data (with nested DS reuse up to the depth
+  /// limit); accounts I/O + CPU into `rec`.
+  Task<void> computePart(query::PredicatePtr part, int depth,
+                         metrics::QueryRecord* rec);
+  /// Read-through page fetch; `rec` may be null (prefetch accounting).
+  Task<void> fetchChunk(storage::PageKey key, std::size_t bytes,
+                        metrics::QueryRecord* rec);
+  Task<void> cpuRun(double seconds);
+  /// Pick the best reuse source for `node` among DS blobs and executing
+  /// queries (deadlock-avoidance rule applies).
+  std::optional<ReuseChoice> chooseReuse(sched::NodeId node,
+                                         const query::Predicate& pred);
+  void onBlobEvicted(datastore::BlobId blob);
+  void finishNode(sched::NodeId node, std::optional<datastore::BlobId> blob);
+  void pump();
+
+  Simulator* sim_;
+  const query::QuerySemantics* sem_;
+  std::unique_ptr<AppModel> ownedModel_;  ///< set by the VM convenience ctor
+  const AppModel* model_;
+  SimConfig cfg_;
+  sched::QueryScheduler scheduler_;
+  datastore::DataStore ds_;
+  pagespace::PageCacheCore psCore_;
+  Semaphore cpus_;
+  std::vector<std::unique_ptr<FcfsServer>> disks_;        ///< "kstream"
+  std::vector<std::unique_ptr<DiskServer>> posDisks_;     ///< positional
+  std::unordered_map<storage::PageKey, std::unique_ptr<Trigger>,
+                     storage::PageKeyHash>
+      inflight_;
+  std::unordered_map<sched::NodeId, std::unique_ptr<Trigger>> completion_;
+  /// Records of submitted-but-not-yet-dispatched queries.
+  std::unordered_map<sched::NodeId, metrics::QueryRecord> pending_;
+  std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_;
+  std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_;
+  std::unordered_set<sched::NodeId> evictedWhileExecuting_;
+  int active_ = 0;
+  /// Queries currently issuing raw-data I/O — the k of the disk model's
+  /// k-stream seek approximation.
+  int ioStreams_ = 0;
+  std::uint64_t pageMerges_ = 0;
+  std::uint64_t bytesRead_ = 0;
+  metrics::Collector collector_;
+};
+
+}  // namespace mqs::sim

@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+Simulator::~Simulator() {
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Simulator::schedule(Time at, std::function<void()> fn) {
+  MQS_CHECK_MSG(at >= now_, "cannot schedule events in the past");
+  queue_.push(Event{at, nextSeq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  auto handle = task.release();
+  MQS_CHECK(handle);
+  roots_.push_back(handle);
+  handle.resume();  // run until first suspension
+  reapFinishedRoots();
+}
+
+void Simulator::reapFinishedRoots() {
+  for (auto& h : roots_) {
+    if (h && h.done()) {
+      if (h.promise().exception) {
+        std::rethrow_exception(h.promise().exception);
+      }
+      h.destroy();
+      h = {};
+    }
+  }
+  std::erase_if(roots_, [](auto h) { return !h; });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // std::priority_queue::top() is const; moving the closure out requires
+  // a copy otherwise, so grab it via const_cast-free extraction.
+  Event ev = queue_.top();
+  queue_.pop();
+  MQS_DCHECK(ev.at >= now_);
+  now_ = ev.at;
+  ++processed_;
+  ev.fn();
+  reapFinishedRoots();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace mqs::sim

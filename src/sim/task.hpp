@@ -1,0 +1,127 @@
+// Coroutine task type for the discrete-event engine.
+//
+// Task<T> is a lazily-started coroutine: nothing runs until it is awaited
+// (or resumed by Simulator::spawn). Awaiting a child task suspends the
+// parent until the child reaches final_suspend, then transfers control back
+// (symmetric transfer) and delivers the child's value or exception. The
+// whole engine is single-threaded, so no synchronization is needed.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  T value{};
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // start the child now
+      }
+      T await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(handle.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Release ownership (used by Simulator::spawn, which manages lifetime).
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace mqs::sim

@@ -1,0 +1,34 @@
+#include "sim/vm_model.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+VMModel::VMModel(const vm::VMSemantics* semantics, double cpuPerByteSubsample,
+                 double cpuPerByteAverage)
+    : sem_(semantics),
+      cpuPerByteSubsample_(cpuPerByteSubsample),
+      cpuPerByteAverage_(cpuPerByteAverage) {
+  MQS_CHECK(sem_ != nullptr);
+}
+
+std::vector<ChunkDemand> VMModel::demandFor(
+    const query::Predicate& part) const {
+  const vm::VMPredicate& q = vm::asVM(part);
+  const index::ChunkLayout& layout = sem_->layout(q.dataset());
+  const double cpuPerByte = q.op() == vm::VMOp::Subsample
+                                ? cpuPerByteSubsample_
+                                : cpuPerByteAverage_;
+  std::vector<ChunkDemand> out;
+  for (const index::ChunkRef& chunk :
+       layout.chunksIntersecting(q.region())) {
+    const Rect clip = Rect::intersection(chunk.rect, q.region());
+    out.push_back(ChunkDemand{
+        storage::PageKey{q.dataset(), chunk.id},
+        static_cast<std::size_t>(chunk.rect.area()) * 3,
+        static_cast<double>(clip.area() * 3) * cpuPerByte});
+  }
+  return out;
+}
+
+}  // namespace mqs::sim

@@ -1,0 +1,25 @@
+// Virtual Microscope cost adapter for the DES: chunk I/O from the dataset
+// layouts, CPU per clipped input byte with per-operator constants
+// calibrated to the paper's measured CPU:I/O ratios (§5).
+#pragma once
+
+#include "sim/app_model.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sim {
+
+class VMModel final : public AppModel {
+ public:
+  VMModel(const vm::VMSemantics* semantics, double cpuPerByteSubsample,
+          double cpuPerByteAverage);
+
+  [[nodiscard]] std::vector<ChunkDemand> demandFor(
+      const query::Predicate& part) const override;
+
+ private:
+  const vm::VMSemantics* sem_;
+  double cpuPerByteSubsample_;
+  double cpuPerByteAverage_;
+};
+
+}  // namespace mqs::sim

@@ -1,0 +1,27 @@
+#include "sim/vol_model.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::sim {
+
+VolModel::VolModel(const vol::VolSemantics* semantics, double cpuPerVoxel)
+    : sem_(semantics), cpuPerVoxel_(cpuPerVoxel) {
+  MQS_CHECK(sem_ != nullptr);
+}
+
+std::vector<ChunkDemand> VolModel::demandFor(
+    const query::Predicate& part) const {
+  const vol::VolPredicate& q = vol::asVol(part);
+  const vol::VolumeLayout& layout = sem_->layout(q.dataset());
+  std::vector<ChunkDemand> out;
+  for (const vol::BrickRef& brick : layout.bricksIntersecting(q.box())) {
+    const Box3 clip = Box3::intersection(brick.box, q.box());
+    out.push_back(ChunkDemand{
+        storage::PageKey{q.dataset(), brick.id},
+        static_cast<std::size_t>(brick.box.volume()),
+        static_cast<double>(clip.volume()) * cpuPerVoxel_});
+  }
+  return out;
+}
+
+}  // namespace mqs::sim

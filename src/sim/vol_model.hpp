@@ -1,0 +1,24 @@
+// Volume-visualization cost adapter for the DES: brick I/O from the volume
+// layouts, CPU proportional to the clipped voxels scanned (the LOD mean is
+// an averaging-class operator, so its default constant matches the VM
+// averaging calibration).
+#pragma once
+
+#include "sim/app_model.hpp"
+#include "vol/vol_semantics.hpp"
+
+namespace mqs::sim {
+
+class VolModel final : public AppModel {
+ public:
+  VolModel(const vol::VolSemantics* semantics, double cpuPerVoxel = 4.6e-8);
+
+  [[nodiscard]] std::vector<ChunkDemand> demandFor(
+      const query::Predicate& part) const override;
+
+ private:
+  const vol::VolSemantics* sem_;
+  double cpuPerVoxel_;
+};
+
+}  // namespace mqs::sim

@@ -1,0 +1,56 @@
+// Data-source abstraction (Figure 1: "Data Source ... Disk Farm, Tape
+// Storage, Relational Database").
+//
+// A data source serves fixed-size pages by page id. In the Virtual
+// Microscope each page holds one square chunk of a slide; the chunk → page
+// mapping lives in the Index Manager (src/index). All raw-data I/O flows
+// through the Page Space Manager, never directly to a source.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mqs::storage {
+
+using DatasetId = std::uint32_t;
+using PageId = std::uint64_t;
+
+/// Key identifying a page across all datasets attached to the server.
+struct PageKey {
+  DatasetId dataset = 0;
+  PageId page = 0;
+
+  friend bool operator==(const PageKey&, const PageKey&) = default;
+  friend auto operator<=>(const PageKey&, const PageKey&) = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const noexcept {
+    // splitmix-style combine
+    std::uint64_t h = (static_cast<std::uint64_t>(k.dataset) << 48) ^ k.page;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One attached dataset's raw storage. Implementations must be safe for
+/// concurrent readPage calls (the threaded page space manager issues I/O
+/// from multiple query threads).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Number of pages in this source.
+  [[nodiscard]] virtual PageId pageCount() const = 0;
+
+  /// Size in bytes of page `page` (edge chunks may be short).
+  [[nodiscard]] virtual std::size_t pageBytes(PageId page) const = 0;
+
+  /// Read page `page` into `out` (whose size must be >= pageBytes(page)).
+  virtual void readPage(PageId page, std::span<std::byte> out) const = 0;
+};
+
+}  // namespace mqs::storage

@@ -1,0 +1,40 @@
+// DataSource decorator adding modeled device latency to real reads.
+//
+// The synthetic slide generator is effectively instant, which makes I/O
+// blocking invisible in the threaded runtime. Wrapping it in DelayedSource
+// makes every page read cost what the disk model says it should, so the
+// threaded server exhibits realistic stalls (request merging, blocked
+// queries) in tests and examples.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "storage/data_source.hpp"
+#include "storage/disk_model.hpp"
+
+namespace mqs::storage {
+
+class DelayedSource final : public DataSource {
+ public:
+  DelayedSource(const DataSource& inner, DiskModel model)
+      : inner_(inner), model_(model) {}
+
+  [[nodiscard]] PageId pageCount() const override {
+    return inner_.pageCount();
+  }
+  [[nodiscard]] std::size_t pageBytes(PageId page) const override {
+    return inner_.pageBytes(page);
+  }
+  void readPage(PageId page, std::span<std::byte> out) const override {
+    const double seconds = model_.serviceTime(inner_.pageBytes(page));
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    inner_.readPage(page, out);
+  }
+
+ private:
+  const DataSource& inner_;
+  DiskModel model_;
+};
+
+}  // namespace mqs::storage

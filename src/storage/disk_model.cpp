@@ -1,0 +1,4 @@
+#include "storage/disk_model.hpp"
+
+// DiskModel is header-only today; this TU anchors the library and keeps a
+// home for future out-of-line additions (e.g. zoned-bandwidth models).

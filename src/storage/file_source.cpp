@@ -1,0 +1,69 @@
+#include "storage/file_source.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mqs::storage {
+
+FileSource::FileSource(std::filesystem::path path, index::ChunkLayout layout)
+    : path_(std::move(path)), layout_(std::move(layout)) {
+  offsets_.reserve(layout_.chunkCount() + 1);
+  std::uint64_t off = 0;
+  for (PageId p = 0; p < layout_.chunkCount(); ++p) {
+    offsets_.push_back(off);
+    off += layout_.chunkBytes(p);
+  }
+  offsets_.push_back(off);
+
+  file_ = std::fopen(path_.string().c_str(), "rb");
+  MQS_CHECK_MSG(file_ != nullptr, "cannot open " + path_.string());
+  std::fseek(file_, 0, SEEK_END);
+  const auto size = static_cast<std::uint64_t>(std::ftell(file_));
+  MQS_CHECK_MSG(size == off, "file size mismatch for " + path_.string());
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId FileSource::pageCount() const { return layout_.chunkCount(); }
+
+std::size_t FileSource::pageBytes(PageId page) const {
+  return layout_.chunkBytes(page);
+}
+
+std::uint64_t FileSource::pageOffset(PageId page) const {
+  MQS_CHECK(page < offsets_.size() - 1);
+  return offsets_[page];
+}
+
+void FileSource::readPage(PageId page, std::span<std::byte> out) const {
+  const std::size_t n = pageBytes(page);
+  MQS_CHECK(out.size() >= n);
+  std::lock_guard lock(ioMutex_);
+  MQS_CHECK(std::fseek(file_, static_cast<long>(pageOffset(page)), SEEK_SET) ==
+            0);
+  const std::size_t got = std::fread(out.data(), 1, n, file_);
+  MQS_CHECK_MSG(got == n, "short read from " + path_.string());
+}
+
+std::uint64_t FileSource::materialize(const DataSource& source,
+                                      const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  MQS_CHECK_MSG(f != nullptr, "cannot create " + path.string());
+  std::uint64_t total = 0;
+  std::vector<std::byte> buf;
+  for (PageId p = 0; p < source.pageCount(); ++p) {
+    const std::size_t n = source.pageBytes(p);
+    buf.resize(n);
+    source.readPage(p, buf);
+    const std::size_t put = std::fwrite(buf.data(), 1, n, f);
+    MQS_CHECK_MSG(put == n, "short write to " + path.string());
+    total += n;
+  }
+  MQS_CHECK(std::fclose(f) == 0);
+  return total;
+}
+
+}  // namespace mqs::storage

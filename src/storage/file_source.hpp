@@ -1,0 +1,49 @@
+// File-backed data source: pages stored contiguously in one file, plus a
+// helper that materializes a synthetic slide to disk. Used by examples and
+// integration tests to exercise a real I/O path (the paper stores each
+// slide on the local disks of the SMP).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/chunk_layout.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::storage {
+
+/// On-disk page store. The file is a concatenation of pages in id order;
+/// page boundaries come from the chunk layout (edge pages are short).
+class FileSource final : public DataSource {
+ public:
+  /// Opens an existing file previously produced by materialize().
+  FileSource(std::filesystem::path path, index::ChunkLayout layout);
+  ~FileSource() override;
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  [[nodiscard]] PageId pageCount() const override;
+  [[nodiscard]] std::size_t pageBytes(PageId page) const override;
+  void readPage(PageId page, std::span<std::byte> out) const override;
+
+  [[nodiscard]] const index::ChunkLayout& layout() const { return layout_; }
+
+  /// Write all pages of `source` to `path` in id order. Returns total bytes.
+  static std::uint64_t materialize(const DataSource& source,
+                                   const std::filesystem::path& path);
+
+ private:
+  [[nodiscard]] std::uint64_t pageOffset(PageId page) const;
+
+  std::filesystem::path path_;
+  index::ChunkLayout layout_;
+  std::vector<std::uint64_t> offsets_;  ///< byte offset of each page
+  mutable std::mutex ioMutex_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace mqs::storage

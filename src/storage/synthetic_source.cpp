@@ -1,0 +1,48 @@
+#include "storage/synthetic_source.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::storage {
+
+std::uint8_t syntheticPixel(std::uint64_t seed, std::int64_t x, std::int64_t y,
+                            int c) {
+  // Mix the coordinates into the seed (stafford mix 13 variant). The result
+  // must be stable forever: tests hard-code expectations derived from it.
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= static_cast<std::uint64_t>(c) * 0x165667b19e3779f9ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::uint8_t>(h & 0xff);
+}
+
+SyntheticSlideSource::SyntheticSlideSource(index::ChunkLayout layout,
+                                           std::uint64_t seed)
+    : layout_(std::move(layout)), seed_(seed) {}
+
+PageId SyntheticSlideSource::pageCount() const { return layout_.chunkCount(); }
+
+std::size_t SyntheticSlideSource::pageBytes(PageId page) const {
+  return layout_.chunkBytes(page);
+}
+
+void SyntheticSlideSource::readPage(PageId page,
+                                    std::span<std::byte> out) const {
+  const Rect r = layout_.chunkRect(page);
+  const int bpp = layout_.bytesPerPixel();
+  const std::size_t need = static_cast<std::size_t>(r.area()) *
+                           static_cast<std::size_t>(bpp);
+  MQS_CHECK_MSG(out.size() >= need, "readPage buffer too small");
+  std::size_t i = 0;
+  for (std::int64_t y = r.y0; y < r.y1; ++y) {
+    for (std::int64_t x = r.x0; x < r.x1; ++x) {
+      for (int c = 0; c < bpp; ++c) {
+        out[i++] = static_cast<std::byte>(syntheticPixel(seed_, x, y, c));
+      }
+    }
+  }
+}
+
+}  // namespace mqs::storage

@@ -1,0 +1,42 @@
+// Deterministic synthetic slide data.
+//
+// The paper's datasets are 30000x30000 3-byte-per-pixel digitized microscopy
+// slides (7.5 GB total) that we do not have. Scheduling behaviour depends on
+// byte volumes, chunk layout and overlap structure — not pixel content — so
+// we substitute a pure function of (seed, x, y, channel). This preserves an
+// essential property real data also has: every byte is reproducible, so
+// tests can verify subsampling/averaging/projection against independently
+// computed ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "index/chunk_layout.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::storage {
+
+/// The value of channel `c` (0..2) of pixel (x, y) of the synthetic slide
+/// with the given seed. Pure and cheap (a few integer mixes).
+std::uint8_t syntheticPixel(std::uint64_t seed, std::int64_t x, std::int64_t y,
+                            int c);
+
+/// A slide whose pixels come from syntheticPixel, chunked per `layout`.
+/// readPage materializes the page's chunk in row-major RGB order.
+class SyntheticSlideSource final : public DataSource {
+ public:
+  SyntheticSlideSource(index::ChunkLayout layout, std::uint64_t seed);
+
+  [[nodiscard]] PageId pageCount() const override;
+  [[nodiscard]] std::size_t pageBytes(PageId page) const override;
+  void readPage(PageId page, std::span<std::byte> out) const override;
+
+  [[nodiscard]] const index::ChunkLayout& layout() const { return layout_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  index::ChunkLayout layout_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mqs::storage

@@ -1,0 +1,67 @@
+#include "vm/image.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "storage/synthetic_source.hpp"
+
+namespace mqs::vm {
+
+ImageRGB ImageRGB::fromBytes(std::span<const std::byte> bytes,
+                             std::int64_t width, std::int64_t height) {
+  MQS_CHECK(bytes.size() >= static_cast<std::size_t>(width * height * 3));
+  ImageRGB img(width, height);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i) {
+    img.pixels[i] = static_cast<std::uint8_t>(bytes[i]);
+  }
+  return img;
+}
+
+bool writePpm(const ImageRGB& img, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << img.width << ' ' << img.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels.data()),
+            static_cast<std::streamsize>(img.pixels.size()));
+  return static_cast<bool>(out);
+}
+
+ImageRGB renderReference(const VMPredicate& q, std::uint64_t seed) {
+  const auto z = static_cast<std::int64_t>(q.zoom());
+  ImageRGB img(q.outWidth(), q.outHeight());
+  for (std::int64_t py = 0; py < img.height; ++py) {
+    for (std::int64_t px = 0; px < img.width; ++px) {
+      const std::int64_t x = q.region().x0 + px * z;
+      const std::int64_t y = q.region().y0 + py * z;
+      for (int c = 0; c < 3; ++c) {
+        if (q.op() == VMOp::Subsample) {
+          img.at(px, py, c) = storage::syntheticPixel(seed, x, y, c);
+        } else {
+          std::uint32_t sum = 0;
+          for (std::int64_t dy = 0; dy < z; ++dy) {
+            for (std::int64_t dx = 0; dx < z; ++dx) {
+              sum += storage::syntheticPixel(seed, x + dx, y + dy, c);
+            }
+          }
+          const auto window = static_cast<std::uint32_t>(z * z);
+          img.at(px, py, c) =
+              static_cast<std::uint8_t>((sum + window / 2) / window);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+int maxAbsDiff(const ImageRGB& a, const ImageRGB& b) {
+  MQS_CHECK(a.width == b.width && a.height == b.height);
+  int worst = 0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<int>(a.pixels[i]) -
+                                     static_cast<int>(b.pixels[i])));
+  }
+  return worst;
+}
+
+}  // namespace mqs::vm

@@ -1,0 +1,49 @@
+// Small RGB image helpers: container, PPM export, and a reference renderer
+// that computes a VM query's expected output directly from the synthetic
+// pixel function (independent of chunking, caching, and projection — the
+// ground truth for correctness tests and examples).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "vm/vm_predicate.hpp"
+
+namespace mqs::vm {
+
+struct ImageRGB {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major RGB
+
+  ImageRGB() = default;
+  ImageRGB(std::int64_t w, std::int64_t h)
+      : width(w), height(h),
+        pixels(static_cast<std::size_t>(w * h * 3), 0) {}
+
+  [[nodiscard]] std::uint8_t& at(std::int64_t x, std::int64_t y, int c) {
+    return pixels[static_cast<std::size_t>((y * width + x) * 3 + c)];
+  }
+  [[nodiscard]] std::uint8_t at(std::int64_t x, std::int64_t y, int c) const {
+    return pixels[static_cast<std::size_t>((y * width + x) * 3 + c)];
+  }
+
+  /// Reinterpret a raw result buffer (as produced by VMExecutor) as pixels.
+  static ImageRGB fromBytes(std::span<const std::byte> bytes,
+                            std::int64_t width, std::int64_t height);
+};
+
+/// Binary PPM (P6) writer; returns success.
+bool writePpm(const ImageRGB& img, const std::filesystem::path& path);
+
+/// Direct evaluation of a VM query against the synthetic slide `seed`,
+/// bypassing the whole runtime. Matches VMExecutor::execute bit-for-bit
+/// (same sampling anchors and rounding).
+ImageRGB renderReference(const VMPredicate& q, std::uint64_t seed);
+
+/// Largest absolute per-channel difference between two equal-sized images.
+int maxAbsDiff(const ImageRGB& a, const ImageRGB& b);
+
+}  // namespace mqs::vm

@@ -1,0 +1,199 @@
+#include "vm/vm_executor.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace mqs::vm {
+
+VMExecutor::VMExecutor(const VMSemantics* semantics, int intraQueryThreads)
+    : semantics_(semantics), intraQueryThreads_(intraQueryThreads) {
+  MQS_CHECK(semantics_ != nullptr);
+  MQS_CHECK(intraQueryThreads_ >= 1);
+}
+
+std::vector<std::byte> VMExecutor::execute(
+    const query::Predicate& pred, pagespace::PageSpaceManager& ps) const {
+  const VMPredicate& q = asVM(pred);
+  if (intraQueryThreads_ <= 1 || q.outHeight() < intraQueryThreads_) {
+    return executeSerial(q, ps);
+  }
+
+  // Split the query into horizontal bands on the output-pixel grid; each
+  // band is an ordinary (smaller) VM query whose rows are a contiguous
+  // block of the final buffer, so assembly is pure concatenation.
+  const auto z = static_cast<std::int64_t>(q.zoom());
+  const std::int64_t outH = q.outHeight();
+  const auto bands = static_cast<std::int64_t>(intraQueryThreads_);
+  std::vector<VMPredicate> parts;
+  std::vector<std::vector<std::byte>> results(
+      static_cast<std::size_t>(bands));
+  for (std::int64_t b = 0; b < bands; ++b) {
+    const std::int64_t row0 = outH * b / bands;
+    const std::int64_t row1 = outH * (b + 1) / bands;
+    parts.emplace_back(q.dataset(),
+                       Rect{q.region().x0, q.region().y0 + row0 * z,
+                            q.region().x1, q.region().y0 + row1 * z},
+                       q.zoom(), q.op());
+  }
+  std::vector<std::exception_ptr> errors(parts.size());
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(parts.size());
+    for (std::size_t b = 0; b < parts.size(); ++b) {
+      workers.emplace_back([this, &ps, &parts, &results, &errors, b] {
+        try {
+          results[b] = executeSerial(parts[b], ps);
+        } catch (...) {
+          errors[b] = std::current_exception();
+        }
+      });
+    }
+  }  // join
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  std::vector<std::byte> out;
+  out.reserve(q.outBytes());
+  for (const auto& band : results) {
+    out.insert(out.end(), band.begin(), band.end());
+  }
+  MQS_DCHECK(out.size() == q.outBytes());
+  return out;
+}
+
+std::vector<std::byte> VMExecutor::executeSerial(
+    const VMPredicate& q, pagespace::PageSpaceManager& ps) const {
+  const index::ChunkLayout& layout = semantics_->layout(q.dataset());
+  MQS_CHECK_MSG(layout.extent().contains(q.region()),
+                "query region outside dataset extent");
+
+  const auto z = static_cast<std::int64_t>(q.zoom());
+  const std::int64_t outW = q.outWidth();
+  const Rect region = q.region();
+  std::vector<std::byte> out(q.outBytes());
+
+  // Averaging accumulates window sums across chunk boundaries.
+  std::vector<std::uint32_t> sums;
+  if (q.op() == VMOp::Average) {
+    sums.assign(out.size(), 0);
+  }
+
+  for (const index::ChunkRef& chunk : layout.chunksIntersecting(region)) {
+    const pagespace::PagePtr page = ps.fetch({q.dataset(), chunk.id});
+    const std::byte* data = page->data();
+    const std::int64_t chunkW = chunk.rect.width();
+    const Rect clip = Rect::intersection(chunk.rect, region);
+    MQS_DCHECK(!clip.empty());
+
+    auto chunkPixel = [&](std::int64_t x, std::int64_t y) {
+      return data + ((y - chunk.rect.y0) * chunkW + (x - chunk.rect.x0)) * 3;
+    };
+
+    if (q.op() == VMOp::Subsample) {
+      // First sample position >= clip edge on the query's sampling grid
+      // (anchored at the region origin with pitch z).
+      auto firstSample = [z](std::int64_t lo, std::int64_t origin) {
+        return origin + (lo - origin + z - 1) / z * z;
+      };
+      for (std::int64_t y = firstSample(clip.y0, region.y0); y < clip.y1;
+           y += z) {
+        const std::int64_t py = (y - region.y0) / z;
+        for (std::int64_t x = firstSample(clip.x0, region.x0); x < clip.x1;
+             x += z) {
+          const std::int64_t px = (x - region.x0) / z;
+          const std::byte* in = chunkPixel(x, y);
+          std::byte* o = out.data() + (py * outW + px) * 3;
+          o[0] = in[0];
+          o[1] = in[1];
+          o[2] = in[2];
+        }
+      }
+    } else {
+      for (std::int64_t y = clip.y0; y < clip.y1; ++y) {
+        const std::int64_t py = (y - region.y0) / z;
+        for (std::int64_t x = clip.x0; x < clip.x1; ++x) {
+          const std::int64_t px = (x - region.x0) / z;
+          const std::byte* in = chunkPixel(x, y);
+          std::uint32_t* s = sums.data() + (py * outW + px) * 3;
+          s[0] += static_cast<std::uint32_t>(in[0]);
+          s[1] += static_cast<std::uint32_t>(in[1]);
+          s[2] += static_cast<std::uint32_t>(in[2]);
+        }
+      }
+    }
+  }
+
+  if (q.op() == VMOp::Average) {
+    const auto window = static_cast<std::uint32_t>(z * z);
+    const std::uint32_t half = window / 2;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::byte>((sums[i] + half) / window);
+    }
+  }
+  return out;
+}
+
+void VMExecutor::project(const query::Predicate& cachedP,
+                         std::span<const std::byte> cachedPayload,
+                         const query::Predicate& outP,
+                         std::span<std::byte> outBuffer) const {
+  const VMPredicate& c = asVM(cachedP);
+  const VMPredicate& q = asVM(outP);
+  const Rect covered = semantics_->coveredRegion(c, q);
+  MQS_CHECK_MSG(!covered.empty(), "project with zero overlap");
+  MQS_CHECK(outBuffer.size() >= q.outBytes());
+  MQS_CHECK(cachedPayload.size() >= c.outBytes());
+
+  const auto is = static_cast<std::int64_t>(c.zoom());
+  const auto os = static_cast<std::int64_t>(q.zoom());
+  const std::int64_t ratio = os / is;
+  const std::int64_t cw = c.outWidth();
+  const std::int64_t outW = q.outWidth();
+
+  const std::int64_t px0 = (covered.x0 - q.region().x0) / os;
+  const std::int64_t px1 = (covered.x1 - q.region().x0) / os;
+  const std::int64_t py0 = (covered.y0 - q.region().y0) / os;
+  const std::int64_t py1 = (covered.y1 - q.region().y0) / os;
+
+  const auto rsq = static_cast<std::uint32_t>(ratio * ratio);
+  const std::uint32_t half = rsq / 2;
+
+  for (std::int64_t py = py0; py < py1; ++py) {
+    const std::int64_t y = q.region().y0 + py * os;
+    const std::int64_t cy0 = (y - c.region().y0) / is;
+    for (std::int64_t px = px0; px < px1; ++px) {
+      const std::int64_t x = q.region().x0 + px * os;
+      const std::int64_t cx0 = (x - c.region().x0) / is;
+      std::byte* o = outBuffer.data() + (py * outW + px) * 3;
+      if (q.op() == VMOp::Subsample || ratio == 1) {
+        // The query's sample position coincides with cached pixel
+        // (cx0, cy0); at equal zoom this is a straight copy for both ops.
+        const std::byte* in = cachedPayload.data() + (cy0 * cw + cx0) * 3;
+        o[0] = in[0];
+        o[1] = in[1];
+        o[2] = in[2];
+      } else {
+        // Averaging: the O_S window is exactly ratio x ratio cached pixels.
+        std::uint32_t s0 = 0, s1 = 0, s2 = 0;
+        for (std::int64_t dy = 0; dy < ratio; ++dy) {
+          const std::byte* row =
+              cachedPayload.data() + ((cy0 + dy) * cw + cx0) * 3;
+          for (std::int64_t dx = 0; dx < ratio; ++dx) {
+            s0 += static_cast<std::uint32_t>(row[dx * 3 + 0]);
+            s1 += static_cast<std::uint32_t>(row[dx * 3 + 1]);
+            s2 += static_cast<std::uint32_t>(row[dx * 3 + 2]);
+          }
+        }
+        o[0] = static_cast<std::byte>((s0 + half) / rsq);
+        o[1] = static_cast<std::byte>((s1 + half) / rsq);
+        o[2] = static_cast<std::byte>((s2 + half) / rsq);
+      }
+    }
+  }
+}
+
+}  // namespace mqs::vm

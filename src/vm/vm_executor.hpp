@@ -1,0 +1,42 @@
+// Virtual Microscope query execution: clip, subsample / average, project.
+//
+// execute() walks the chunks intersecting the query region (retrieved via
+// the Page Space Manager), clips each to the query window, and computes the
+// output image at the requested magnification — the pipeline of §3.
+// project() re-renders a cached lower-zoom result into a higher-zoom query
+// (or copies at equal zoom), used both for Data Store reuse and for
+// assembling sub-query results into their parent's output.
+#pragma once
+
+#include "query/executor.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::vm {
+
+class VMExecutor final : public query::QueryExecutor {
+ public:
+  /// `intraQueryThreads` > 1 renders a query's horizontal bands in
+  /// parallel (the bands share boundary chunks, which the Page Space
+  /// Manager deduplicates). Effective thread count is
+  /// queryServerThreads * intraQueryThreads; the paper's system is purely
+  /// inter-query parallel, so the default is 1.
+  explicit VMExecutor(const VMSemantics* semantics, int intraQueryThreads = 1);
+
+  [[nodiscard]] std::vector<std::byte> execute(
+      const query::Predicate& pred,
+      pagespace::PageSpaceManager& ps) const override;
+
+  void project(const query::Predicate& cached,
+               std::span<const std::byte> cachedPayload,
+               const query::Predicate& out,
+               std::span<std::byte> outBuffer) const override;
+
+ private:
+  [[nodiscard]] std::vector<std::byte> executeSerial(
+      const VMPredicate& q, pagespace::PageSpaceManager& ps) const;
+
+  const VMSemantics* semantics_;
+  int intraQueryThreads_;
+};
+
+}  // namespace mqs::vm

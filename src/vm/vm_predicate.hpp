@@ -1,0 +1,101 @@
+// Virtual Microscope query predicates (§3).
+//
+// A VM query asks for a rectangular region of a slide rendered at a
+// magnification `zoom` (an output pixel covers zoom x zoom input pixels)
+// using one of two processing functions: subsampling (every zoom-th pixel;
+// I/O-intensive) or pixel averaging (mean over the zoom x zoom window;
+// CPU/I/O balanced). The predicate metadata stored with cached results is
+// exactly this: processing function, magnification, and bounding box.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+#include "query/predicate.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::vm {
+
+enum class VMOp : std::uint8_t { Subsample = 0, Average = 1 };
+
+constexpr std::string_view toString(VMOp op) {
+  return op == VMOp::Subsample ? "subsample" : "average";
+}
+
+class VMPredicate final : public query::Predicate {
+ public:
+  /// `region` is in base-resolution pixel coordinates and must have both
+  /// dimensions divisible by `zoom` (output pixels are whole).
+  VMPredicate(storage::DatasetId dataset, Rect region, std::uint32_t zoom,
+              VMOp op)
+      : dataset_(dataset), region_(region), zoom_(zoom), op_(op) {
+    MQS_CHECK(!region.empty());
+    MQS_CHECK(zoom >= 1);
+    MQS_CHECK_MSG(region.width() % zoom == 0 && region.height() % zoom == 0,
+                  "VM query region must be divisible by its zoom");
+  }
+
+  [[nodiscard]] storage::DatasetId dataset() const { return dataset_; }
+  [[nodiscard]] const Rect& region() const { return region_; }
+  [[nodiscard]] std::uint32_t zoom() const { return zoom_; }
+  [[nodiscard]] VMOp op() const { return op_; }
+
+  [[nodiscard]] std::int64_t outWidth() const {
+    return region_.width() / zoom_;
+  }
+  [[nodiscard]] std::int64_t outHeight() const {
+    return region_.height() / zoom_;
+  }
+  /// RGB output size in bytes.
+  [[nodiscard]] std::uint64_t outBytes() const {
+    return static_cast<std::uint64_t>(outWidth()) *
+           static_cast<std::uint64_t>(outHeight()) * 3;
+  }
+
+  [[nodiscard]] query::PredicatePtr clone() const override {
+    return std::make_unique<VMPredicate>(*this);
+  }
+
+  [[nodiscard]] std::string_view kind() const override { return "vm"; }
+
+  [[nodiscard]] Rect boundingBox() const override {
+    // Different slides share pixel coordinates; spread datasets out along x
+    // so spatial indexes never confuse regions of different slides.
+    return region_.shifted(static_cast<std::int64_t>(dataset_) *
+                               kDatasetStride,
+                           0);
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "vm{ds=" << dataset_ << ' ' << region_ << " zoom=" << zoom_ << ' '
+       << toString(op_) << '}';
+    return os.str();
+  }
+
+  friend bool operator==(const VMPredicate& a, const VMPredicate& b) {
+    return a.dataset_ == b.dataset_ && a.region_ == b.region_ &&
+           a.zoom_ == b.zoom_ && a.op_ == b.op_;
+  }
+
+  /// Coordinate offset separating datasets in shared spatial indexes.
+  static constexpr std::int64_t kDatasetStride = std::int64_t{1} << 40;
+
+ private:
+  storage::DatasetId dataset_;
+  Rect region_;
+  std::uint32_t zoom_;
+  VMOp op_;
+};
+
+/// Downcast with a kind check; throws CheckFailure on foreign predicates.
+inline const VMPredicate& asVM(const query::Predicate& p) {
+  MQS_CHECK_MSG(p.kind() == "vm", "expected a VM predicate");
+  return static_cast<const VMPredicate&>(p);
+}
+
+}  // namespace mqs::vm

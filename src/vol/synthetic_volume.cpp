@@ -1,0 +1,46 @@
+#include "vol/synthetic_volume.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::vol {
+
+std::uint8_t syntheticVoxel(std::uint64_t seed, std::int64_t x,
+                            std::int64_t y, std::int64_t z) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= static_cast<std::uint64_t>(z) * 0xd6e8feb86659fd93ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::uint8_t>(h & 0xff);
+}
+
+SyntheticVolumeSource::SyntheticVolumeSource(VolumeLayout layout,
+                                             std::uint64_t seed)
+    : layout_(layout), seed_(seed) {}
+
+storage::PageId SyntheticVolumeSource::pageCount() const {
+  return layout_.brickCount();
+}
+
+std::size_t SyntheticVolumeSource::pageBytes(storage::PageId page) const {
+  return layout_.brickBytes(page);
+}
+
+void SyntheticVolumeSource::readPage(storage::PageId page,
+                                     std::span<std::byte> out) const {
+  const Box3 b = layout_.brickBox(page);
+  const auto need = static_cast<std::size_t>(b.volume());
+  MQS_CHECK_MSG(out.size() >= need, "readPage buffer too small");
+  std::size_t i = 0;
+  for (std::int64_t z = b.z0; z < b.z1; ++z) {
+    for (std::int64_t y = b.y0; y < b.y1; ++y) {
+      for (std::int64_t x = b.x0; x < b.x1; ++x) {
+        out[i++] = static_cast<std::byte>(syntheticVoxel(seed_, x, y, z));
+      }
+    }
+  }
+}
+
+}  // namespace mqs::vol

@@ -1,0 +1,34 @@
+// Deterministic synthetic 3-D intensity data (the volume analogue of the
+// synthetic slide: no real CT/simulation output is needed because
+// scheduling behaviour depends on byte volumes and overlap structure, and
+// tests need reproducible voxels).
+#pragma once
+
+#include <cstdint>
+
+#include "storage/data_source.hpp"
+#include "vol/volume_layout.hpp"
+
+namespace mqs::vol {
+
+/// Intensity of voxel (x, y, z). Pure and stable across releases.
+std::uint8_t syntheticVoxel(std::uint64_t seed, std::int64_t x,
+                            std::int64_t y, std::int64_t z);
+
+class SyntheticVolumeSource final : public storage::DataSource {
+ public:
+  SyntheticVolumeSource(VolumeLayout layout, std::uint64_t seed);
+
+  [[nodiscard]] storage::PageId pageCount() const override;
+  [[nodiscard]] std::size_t pageBytes(storage::PageId page) const override;
+  void readPage(storage::PageId page, std::span<std::byte> out) const override;
+
+  [[nodiscard]] const VolumeLayout& layout() const { return layout_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  VolumeLayout layout_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mqs::vol

@@ -1,0 +1,155 @@
+#include "vol/vol_executor.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "vol/synthetic_volume.hpp"
+
+namespace mqs::vol {
+
+VolExecutor::VolExecutor(const VolSemantics* semantics)
+    : semantics_(semantics) {
+  MQS_CHECK(semantics_ != nullptr);
+}
+
+std::vector<std::byte> VolExecutor::execute(
+    const query::Predicate& pred, pagespace::PageSpaceManager& ps) const {
+  const VolPredicate& q = asVol(pred);
+  const VolumeLayout& layout = semantics_->layout(q.dataset());
+  MQS_CHECK_MSG(layout.extent().contains(q.box()),
+                "query box outside volume extent");
+
+  const auto l = static_cast<std::int64_t>(q.lod());
+  const std::int64_t outW = q.outWidth();
+  const std::int64_t outH = q.outHeight();
+  const Box3 box = q.box();
+
+  std::vector<std::uint32_t> sums(
+      static_cast<std::size_t>(outW * outH * q.outDepth()), 0);
+
+  for (const BrickRef& brick : layout.bricksIntersecting(box)) {
+    const pagespace::PagePtr page = ps.fetch({q.dataset(), brick.id});
+    const std::byte* data = page->data();
+    const Box3 clip = Box3::intersection(brick.box, box);
+    MQS_DCHECK(!clip.empty());
+    const std::int64_t bw = brick.box.width();
+    const std::int64_t bh = brick.box.height();
+    for (std::int64_t z = clip.z0; z < clip.z1; ++z) {
+      const std::int64_t vz = (z - box.z0) / l;
+      for (std::int64_t y = clip.y0; y < clip.y1; ++y) {
+        const std::int64_t vy = (y - box.y0) / l;
+        const std::byte* row =
+            data + ((z - brick.box.z0) * bh + (y - brick.box.y0)) * bw;
+        std::uint32_t* outPlane = sums.data() + (vz * outH + vy) * outW;
+        for (std::int64_t x = clip.x0; x < clip.x1; ++x) {
+          outPlane[(x - box.x0) / l] += static_cast<std::uint32_t>(
+              static_cast<std::uint8_t>(row[x - brick.box.x0]));
+        }
+      }
+    }
+  }
+
+  const auto window = static_cast<std::uint32_t>(l * l * l);
+  const std::uint32_t half = window / 2;
+  std::vector<std::byte> out(sums.size());
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    out[i] = static_cast<std::byte>((sums[i] + half) / window);
+  }
+  return out;
+}
+
+void VolExecutor::project(const query::Predicate& cachedP,
+                          std::span<const std::byte> cachedPayload,
+                          const query::Predicate& outP,
+                          std::span<std::byte> outBuffer) const {
+  const VolPredicate& c = asVol(cachedP);
+  const VolPredicate& q = asVol(outP);
+  const Box3 covered = semantics_->coveredBox(c, q);
+  MQS_CHECK_MSG(!covered.empty(), "project with zero overlap");
+  MQS_CHECK(outBuffer.size() >= q.outBytes());
+  MQS_CHECK(cachedPayload.size() >= c.outBytes());
+
+  const auto il = static_cast<std::int64_t>(c.lod());
+  const auto ol = static_cast<std::int64_t>(q.lod());
+  const std::int64_t ratio = ol / il;
+  const std::int64_t cw = c.outWidth();
+  const std::int64_t ch = c.outHeight();
+  const std::int64_t outW = q.outWidth();
+  const std::int64_t outH = q.outHeight();
+
+  const auto rcube = static_cast<std::uint32_t>(ratio * ratio * ratio);
+  const std::uint32_t half = rcube / 2;
+
+  auto cachedAt = [&](std::int64_t cx, std::int64_t cy, std::int64_t cz) {
+    return static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+        cachedPayload[static_cast<std::size_t>((cz * ch + cy) * cw + cx)]));
+  };
+
+  for (std::int64_t z = covered.z0; z < covered.z1; z += ol) {
+    const std::int64_t vz = (z - q.box().z0) / ol;
+    const std::int64_t cz0 = (z - c.box().z0) / il;
+    for (std::int64_t y = covered.y0; y < covered.y1; y += ol) {
+      const std::int64_t vy = (y - q.box().y0) / ol;
+      const std::int64_t cy0 = (y - c.box().y0) / il;
+      for (std::int64_t x = covered.x0; x < covered.x1; x += ol) {
+        const std::int64_t vx = (x - q.box().x0) / ol;
+        const std::int64_t cx0 = (x - c.box().x0) / il;
+        std::byte& out =
+            outBuffer[static_cast<std::size_t>((vz * outH + vy) * outW + vx)];
+        if (ratio == 1) {
+          out = static_cast<std::byte>(cachedAt(cx0, cy0, cz0));
+        } else {
+          std::uint32_t sum = 0;
+          for (std::int64_t dz = 0; dz < ratio; ++dz) {
+            for (std::int64_t dy = 0; dy < ratio; ++dy) {
+              for (std::int64_t dx = 0; dx < ratio; ++dx) {
+                sum += cachedAt(cx0 + dx, cy0 + dy, cz0 + dz);
+              }
+            }
+          }
+          out = static_cast<std::byte>((sum + half) / rcube);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> renderReferenceVol(const VolPredicate& q,
+                                             std::uint64_t seed) {
+  const auto l = static_cast<std::int64_t>(q.lod());
+  const auto window = static_cast<std::uint32_t>(l * l * l);
+  const std::uint32_t half = window / 2;
+  std::vector<std::uint8_t> out(q.outBytes());
+  std::size_t i = 0;
+  for (std::int64_t vz = 0; vz < q.outDepth(); ++vz) {
+    for (std::int64_t vy = 0; vy < q.outHeight(); ++vy) {
+      for (std::int64_t vx = 0; vx < q.outWidth(); ++vx) {
+        std::uint32_t sum = 0;
+        for (std::int64_t dz = 0; dz < l; ++dz) {
+          for (std::int64_t dy = 0; dy < l; ++dy) {
+            for (std::int64_t dx = 0; dx < l; ++dx) {
+              sum += syntheticVoxel(seed, q.box().x0 + vx * l + dx,
+                                    q.box().y0 + vy * l + dy,
+                                    q.box().z0 + vz * l + dz);
+            }
+          }
+        }
+        out[i++] = static_cast<std::uint8_t>((sum + half) / window);
+      }
+    }
+  }
+  return out;
+}
+
+int maxAbsDiffVol(std::span<const std::uint8_t> a,
+                  std::span<const std::byte> b) {
+  MQS_CHECK(a.size() == b.size());
+  int worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<int>(a[i]) -
+                                     static_cast<int>(static_cast<std::uint8_t>(b[i]))));
+  }
+  return worst;
+}
+
+}  // namespace mqs::vol

@@ -1,0 +1,39 @@
+// Volume query execution: LOD mean-downsampling over bricks fetched through
+// the Page Space Manager, and projection of cached results (including the
+// exact cross-operator Subvolume <-> Slice paths).
+#pragma once
+
+#include <vector>
+
+#include "query/executor.hpp"
+#include "vol/vol_semantics.hpp"
+
+namespace mqs::vol {
+
+class VolExecutor final : public query::QueryExecutor {
+ public:
+  explicit VolExecutor(const VolSemantics* semantics);
+
+  [[nodiscard]] std::vector<std::byte> execute(
+      const query::Predicate& pred,
+      pagespace::PageSpaceManager& ps) const override;
+
+  void project(const query::Predicate& cached,
+               std::span<const std::byte> cachedPayload,
+               const query::Predicate& out,
+               std::span<std::byte> outBuffer) const override;
+
+ private:
+  const VolSemantics* semantics_;
+};
+
+/// Direct evaluation against the synthetic volume, bypassing the runtime —
+/// bit-identical to VolExecutor::execute (same accumulation and rounding).
+std::vector<std::uint8_t> renderReferenceVol(const VolPredicate& q,
+                                             std::uint64_t seed);
+
+/// Largest absolute difference between two equal-sized voxel buffers.
+int maxAbsDiffVol(std::span<const std::uint8_t> a,
+                  std::span<const std::byte> b);
+
+}  // namespace mqs::vol

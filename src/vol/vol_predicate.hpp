@@ -1,0 +1,107 @@
+// Predicates for the 3-D scientific-visualization application.
+//
+// Two query objects:
+//   * Subvolume — a level-of-detail 3-D thumbnail: each output voxel is the
+//     mean of an lod^3 cube of input voxels (the 3-D generalization of the
+//     VM averaging function).
+//   * Slice — one axis-aligned view plane at depth z, downsampled by the
+//     same rule; defined as the mean over the lod-thick slab [z, z+lod), so
+//     a Slice is exactly one z-layer of a Subvolume at the same lod. That
+//     identity makes *cross-operator* reuse exact: a cached Subvolume can
+//     answer a Slice query, and a cached Slice can fill one slab layer of a
+//     Subvolume query.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/geometry.hpp"
+#include "query/predicate.hpp"
+#include "storage/data_source.hpp"
+
+namespace mqs::vol {
+
+enum class VolOp : std::uint8_t { Subvolume = 0, Slice = 1 };
+
+constexpr std::string_view toString(VolOp op) {
+  return op == VolOp::Subvolume ? "subvolume" : "slice";
+}
+
+class VolPredicate final : public query::Predicate {
+ public:
+  /// `box` dims must be divisible by `lod`; a Slice additionally has
+  /// depth == lod (one output layer).
+  VolPredicate(storage::DatasetId dataset, Box3 box, std::uint32_t lod,
+               VolOp op)
+      : dataset_(dataset), box_(box), lod_(lod), op_(op) {
+    MQS_CHECK(!box.empty());
+    MQS_CHECK(lod >= 1 && lod <= 255);  // lod^3 * 255 must fit in uint32
+    MQS_CHECK_MSG(box.width() % lod == 0 && box.height() % lod == 0 &&
+                      box.depth() % lod == 0,
+                  "volume query box must be divisible by its lod");
+    MQS_CHECK_MSG(op != VolOp::Slice || box.depth() == lod,
+                  "a slice covers exactly one lod-thick slab");
+  }
+
+  /// Convenience for slices: (rect, z) instead of a box.
+  static VolPredicate slice(storage::DatasetId dataset, Rect rect,
+                            std::int64_t z, std::uint32_t lod) {
+    return VolPredicate(
+        dataset,
+        Box3{rect.x0, rect.y0, z, rect.x1, rect.y1,
+             z + static_cast<std::int64_t>(lod)},
+        lod, VolOp::Slice);
+  }
+
+  [[nodiscard]] storage::DatasetId dataset() const { return dataset_; }
+  [[nodiscard]] const Box3& box() const { return box_; }
+  [[nodiscard]] std::uint32_t lod() const { return lod_; }
+  [[nodiscard]] VolOp op() const { return op_; }
+
+  [[nodiscard]] std::int64_t outWidth() const { return box_.width() / lod_; }
+  [[nodiscard]] std::int64_t outHeight() const { return box_.height() / lod_; }
+  [[nodiscard]] std::int64_t outDepth() const { return box_.depth() / lod_; }
+  /// 1-byte voxels.
+  [[nodiscard]] std::uint64_t outBytes() const {
+    return static_cast<std::uint64_t>(outWidth() * outHeight() * outDepth());
+  }
+
+  [[nodiscard]] query::PredicatePtr clone() const override {
+    return std::make_unique<VolPredicate>(*this);
+  }
+  [[nodiscard]] std::string_view kind() const override { return "vol"; }
+  [[nodiscard]] Rect boundingBox() const override {
+    // Index by xy footprint; z is resolved by the overlap function.
+    return box_.footprint().shifted(
+        static_cast<std::int64_t>(dataset_) * kDatasetStride, 0);
+  }
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "vol{ds=" << dataset_ << ' ' << box_ << " lod=" << lod_ << ' '
+       << toString(op_) << '}';
+    return os.str();
+  }
+
+  friend bool operator==(const VolPredicate& a, const VolPredicate& b) {
+    return a.dataset_ == b.dataset_ && a.box_ == b.box_ && a.lod_ == b.lod_ &&
+           a.op_ == b.op_;
+  }
+
+  static constexpr std::int64_t kDatasetStride = std::int64_t{1} << 40;
+
+ private:
+  storage::DatasetId dataset_;
+  Box3 box_;
+  std::uint32_t lod_;
+  VolOp op_;
+};
+
+inline const VolPredicate& asVol(const query::Predicate& p) {
+  MQS_CHECK_MSG(p.kind() == "vol", "expected a volume predicate");
+  return static_cast<const VolPredicate&>(p);
+}
+
+}  // namespace mqs::vol

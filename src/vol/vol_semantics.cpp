@@ -1,0 +1,102 @@
+#include "vol/vol_semantics.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::vol {
+
+storage::DatasetId VolSemantics::addDataset(VolumeLayout layout) {
+  layouts_.push_back(layout);
+  return static_cast<storage::DatasetId>(layouts_.size() - 1);
+}
+
+const VolumeLayout& VolSemantics::layout(storage::DatasetId dataset) const {
+  MQS_CHECK_MSG(dataset < layouts_.size(), "unknown volume dataset");
+  return layouts_[dataset];
+}
+
+bool VolSemantics::projectable(const VolPredicate& cached,
+                               const VolPredicate& q) {
+  if (cached.dataset() != q.dataset()) return false;
+  if (q.lod() % cached.lod() != 0) return false;
+  const auto il = static_cast<std::int64_t>(cached.lod());
+  auto congruent = [il](std::int64_t a, std::int64_t b) {
+    return ((a - b) % il) == 0;
+  };
+  return congruent(q.box().x0, cached.box().x0) &&
+         congruent(q.box().y0, cached.box().y0) &&
+         congruent(q.box().z0, cached.box().z0);
+}
+
+Box3 VolSemantics::coveredBox(const VolPredicate& cached,
+                              const VolPredicate& q) const {
+  if (!projectable(cached, q)) return Box3{};
+  const Box3 inter = Box3::intersection(cached.box(), q.box());
+  if (inter.empty()) return Box3{};
+  const auto ol = static_cast<std::int64_t>(q.lod());
+  auto up = [ol](std::int64_t v, std::int64_t origin) {
+    return origin + (v - origin + ol - 1) / ol * ol;
+  };
+  auto down = [ol](std::int64_t v, std::int64_t origin) {
+    return origin + (v - origin) / ol * ol;
+  };
+  const Box3 covered{up(inter.x0, q.box().x0),   up(inter.y0, q.box().y0),
+                     up(inter.z0, q.box().z0),   down(inter.x1, q.box().x0),
+                     down(inter.y1, q.box().y0), down(inter.z1, q.box().z0)};
+  if (covered.empty()) return Box3{};
+  return covered;
+}
+
+double VolSemantics::overlap(const query::Predicate& cachedP,
+                             const query::Predicate& qP) const {
+  if (cachedP.kind() != "vol" || qP.kind() != "vol") return 0.0;
+  const VolPredicate& cached = asVol(cachedP);
+  const VolPredicate& q = asVol(qP);
+  const Box3 covered = coveredBox(cached, q);
+  if (covered.empty()) return 0.0;
+  return (static_cast<double>(covered.volume()) *
+          static_cast<double>(cached.lod())) /
+         (static_cast<double>(q.box().volume()) *
+          static_cast<double>(q.lod()));
+}
+
+std::uint64_t VolSemantics::qoutsize(const query::Predicate& p) const {
+  return asVol(p).outBytes();
+}
+
+std::uint64_t VolSemantics::qinputsize(const query::Predicate& p) const {
+  const VolPredicate& q = asVol(p);
+  return layout(q.dataset()).inputBytes(q.box());
+}
+
+Rect VolSemantics::coveredRegion(const query::Predicate& cached,
+                                 const query::Predicate& q) const {
+  return coveredBox(asVol(cached), asVol(q)).footprint();
+}
+
+std::uint64_t VolSemantics::reusedOutputBytes(const query::Predicate& cachedP,
+                                              const query::Predicate& qP) const {
+  const VolPredicate& q = asVol(qP);
+  const Box3 covered = coveredBox(asVol(cachedP), q);
+  const auto l = static_cast<std::int64_t>(q.lod());
+  return static_cast<std::uint64_t>(covered.volume() / (l * l * l));
+}
+
+std::vector<query::PredicatePtr> VolSemantics::remainder(
+    const query::Predicate& cachedP, const query::Predicate& qP) const {
+  const VolPredicate& q = asVol(qP);
+  const Box3 covered = coveredBox(asVol(cachedP), q);
+  std::vector<query::PredicatePtr> out;
+  if (covered.empty()) {
+    out.push_back(q.clone());
+    return out;
+  }
+  for (const Box3& b : q.box().subtract(covered)) {
+    // Remainder boxes sit on q's output grid, so dims divide by q.lod();
+    // a Slice query's remainders keep the full one-slab depth.
+    out.push_back(std::make_unique<VolPredicate>(q.dataset(), b, q.lod(),
+                                                 q.op()));
+  }
+  return out;
+}
+
+}  // namespace mqs::vol

@@ -1,0 +1,58 @@
+// User-defined functions for the volume application.
+//
+// Reuse rules (cached result at lod I_L projected into a query at O_L):
+//   * same dataset; any op pairing (Slice ≡ one-layer Subvolume);
+//   * O_L must be a multiple of I_L;
+//   * box origins congruent modulo I_L on every axis;
+//   * usable region = box intersection shrunk to the query's output grid
+//     (pitch O_L anchored at the query origin on all three axes). For a
+//     Slice query the z extent is one O_L slab, so shrinking yields either
+//     the full slab or nothing.
+//
+// Overlap index (3-D Eq. 4 analogue): (covered_voxels * I_L) /
+// (query_voxels * O_L).
+#pragma once
+
+#include <vector>
+
+#include "query/semantics.hpp"
+#include "vol/vol_predicate.hpp"
+#include "vol/volume_layout.hpp"
+
+namespace mqs::vol {
+
+class VolSemantics final : public query::QuerySemantics {
+ public:
+  storage::DatasetId addDataset(VolumeLayout layout);
+  [[nodiscard]] const VolumeLayout& layout(storage::DatasetId dataset) const;
+  [[nodiscard]] std::size_t datasetCount() const { return layouts_.size(); }
+
+  [[nodiscard]] double overlap(const query::Predicate& cached,
+                               const query::Predicate& q) const override;
+  [[nodiscard]] std::uint64_t qoutsize(
+      const query::Predicate& p) const override;
+  [[nodiscard]] std::uint64_t qinputsize(
+      const query::Predicate& p) const override;
+  /// 2-D interface hook: footprint of coveredBox (used only for generic
+  /// callers; the volume code paths use coveredBox directly).
+  [[nodiscard]] Rect coveredRegion(const query::Predicate& cached,
+                                   const query::Predicate& q) const override;
+  [[nodiscard]] std::vector<query::PredicatePtr> remainder(
+      const query::Predicate& cached,
+      const query::Predicate& q) const override;
+  [[nodiscard]] std::uint64_t reusedOutputBytes(
+      const query::Predicate& cached,
+      const query::Predicate& q) const override;
+
+  /// The 3-D covered region (empty box when not projectable).
+  [[nodiscard]] Box3 coveredBox(const VolPredicate& cached,
+                                const VolPredicate& q) const;
+
+  [[nodiscard]] static bool projectable(const VolPredicate& cached,
+                                        const VolPredicate& q);
+
+ private:
+  std::vector<VolumeLayout> layouts_;
+};
+
+}  // namespace mqs::vol

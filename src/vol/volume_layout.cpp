@@ -1,0 +1,67 @@
+#include "vol/volume_layout.hpp"
+
+#include "common/check.hpp"
+
+namespace mqs::vol {
+
+VolumeLayout::VolumeLayout(std::int64_t width, std::int64_t height,
+                           std::int64_t depth, std::int64_t brickSide)
+    : width_(width), height_(height), depth_(depth), brickSide_(brickSide) {
+  MQS_CHECK(width > 0 && height > 0 && depth > 0);
+  MQS_CHECK(brickSide > 0);
+  nx_ = (width + brickSide - 1) / brickSide;
+  ny_ = (height + brickSide - 1) / brickSide;
+  nz_ = (depth + brickSide - 1) / brickSide;
+}
+
+Box3 VolumeLayout::brickBox(std::uint64_t id) const {
+  MQS_CHECK(id < brickCount());
+  const auto i = static_cast<std::int64_t>(id);
+  const std::int64_t bx = i % nx_;
+  const std::int64_t by = (i / nx_) % ny_;
+  const std::int64_t bz = i / (nx_ * ny_);
+  const std::int64_t x0 = bx * brickSide_;
+  const std::int64_t y0 = by * brickSide_;
+  const std::int64_t z0 = bz * brickSide_;
+  return Box3{x0,
+              y0,
+              z0,
+              std::min(x0 + brickSide_, width_),
+              std::min(y0 + brickSide_, height_),
+              std::min(z0 + brickSide_, depth_)};
+}
+
+std::size_t VolumeLayout::brickBytes(std::uint64_t id) const {
+  return static_cast<std::size_t>(brickBox(id).volume());
+}
+
+std::vector<BrickRef> VolumeLayout::bricksIntersecting(const Box3& box) const {
+  const Box3 b = Box3::intersection(box, extent());
+  if (b.empty()) return {};
+  const std::int64_t bx0 = b.x0 / brickSide_, bx1 = (b.x1 - 1) / brickSide_;
+  const std::int64_t by0 = b.y0 / brickSide_, by1 = (b.y1 - 1) / brickSide_;
+  const std::int64_t bz0 = b.z0 / brickSide_, bz1 = (b.z1 - 1) / brickSide_;
+  std::vector<BrickRef> out;
+  out.reserve(static_cast<std::size_t>((bx1 - bx0 + 1) * (by1 - by0 + 1) *
+                                       (bz1 - bz0 + 1)));
+  for (std::int64_t bz = bz0; bz <= bz1; ++bz) {
+    for (std::int64_t by = by0; by <= by1; ++by) {
+      for (std::int64_t bx = bx0; bx <= bx1; ++bx) {
+        const auto id =
+            static_cast<std::uint64_t>((bz * ny_ + by) * nx_ + bx);
+        out.push_back(BrickRef{id, brickBox(id)});
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t VolumeLayout::inputBytes(const Box3& box) const {
+  std::uint64_t total = 0;
+  for (const BrickRef& b : bricksIntersecting(box)) {
+    total += static_cast<std::uint64_t>(b.box.volume());
+  }
+  return total;
+}
+
+}  // namespace mqs::vol

@@ -1,0 +1,54 @@
+// Brick layout of a 3-D volume dataset (the index-manager role for the
+// volume-visualization application — the paper's future-work item 2).
+//
+// A W x H x D volume of 1-byte intensity voxels is cut into cubic bricks of
+// side `brickSide` (edge bricks clipped); one brick per page, id ordered
+// x-fastest, z-slowest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace mqs::vol {
+
+struct BrickRef {
+  std::uint64_t id = 0;
+  Box3 box;
+
+  friend bool operator==(const BrickRef&, const BrickRef&) = default;
+};
+
+class VolumeLayout {
+ public:
+  VolumeLayout(std::int64_t width, std::int64_t height, std::int64_t depth,
+               std::int64_t brickSide);
+
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t depth() const { return depth_; }
+  [[nodiscard]] std::int64_t brickSide() const { return brickSide_; }
+  [[nodiscard]] Box3 extent() const {
+    return Box3{0, 0, 0, width_, height_, depth_};
+  }
+
+  [[nodiscard]] std::uint64_t brickCount() const {
+    return static_cast<std::uint64_t>(nx_ * ny_ * nz_);
+  }
+  [[nodiscard]] Box3 brickBox(std::uint64_t id) const;
+  /// Bytes of voxel data in brick `id` (1 byte per voxel, edges clipped).
+  [[nodiscard]] std::size_t brickBytes(std::uint64_t id) const;
+
+  /// All bricks intersecting `box` (clipped to the extent), ascending id.
+  [[nodiscard]] std::vector<BrickRef> bricksIntersecting(const Box3& box) const;
+
+  /// Total bytes of bricks intersecting `box` — qinputsize for SJF.
+  [[nodiscard]] std::uint64_t inputBytes(const Box3& box) const;
+
+ private:
+  std::int64_t width_, height_, depth_, brickSide_;
+  std::int64_t nx_, ny_, nz_;
+};
+
+}  // namespace mqs::vol

@@ -1,0 +1,45 @@
+// The umbrella header must expose the whole public API, compile cleanly,
+// and be enough to assemble a working server end to end.
+#include "mqs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Api, UmbrellaHeaderAssemblesAWorkingServer) {
+  mqs::vm::VMSemantics semantics;
+  const auto slideId =
+      semantics.addDataset(mqs::index::ChunkLayout(512, 512, 96));
+  mqs::storage::SyntheticSlideSource slide(semantics.layout(slideId), 1);
+  mqs::vm::VMExecutor executor(&semantics);
+
+  mqs::server::ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.policy = "CNBF";
+  mqs::server::QueryServer server(&semantics, &executor, cfg);
+  server.attach(slideId, &slide);
+
+  const auto result = server.execute(
+      std::make_unique<mqs::vm::VMPredicate>(
+          slideId, mqs::Rect::ofSize(0, 0, 128, 128), 2,
+          mqs::vm::VMOp::Subsample),
+      0);
+  EXPECT_EQ(result.bytes.size(), 64u * 64 * 3);
+  server.shutdown();
+}
+
+TEST(Api, UmbrellaHeaderAssemblesASimulation) {
+  mqs::vm::VMSemantics semantics;
+  (void)semantics.addDataset(mqs::index::ChunkLayout(512, 512, 96));
+  mqs::sim::Simulator simr;
+  mqs::sim::SimConfig cfg;
+  mqs::sim::SimServer server(simr, &semantics, cfg);
+  server.submit(std::make_unique<mqs::vm::VMPredicate>(
+                    0, mqs::Rect::ofSize(0, 0, 128, 128), 2,
+                    mqs::vm::VMOp::Average),
+                0);
+  simr.run();
+  EXPECT_EQ(server.collector().count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mqs {
+namespace {
+
+TEST(ParseBytes, PlainNumbers) {
+  EXPECT_EQ(parseBytes("0"), 0u);
+  EXPECT_EQ(parseBytes("123"), 123u);
+  EXPECT_EQ(parseBytes("123B"), 123u);
+}
+
+TEST(ParseBytes, BinarySuffixes) {
+  EXPECT_EQ(parseBytes("1KB"), 1024u);
+  EXPECT_EQ(parseBytes("64KB"), 64u * 1024);
+  EXPECT_EQ(parseBytes("32MB"), 32u * 1024 * 1024);
+  EXPECT_EQ(parseBytes("2GB"), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(parseBytes("1TB"), 1ull << 40);
+}
+
+TEST(ParseBytes, IecSuffixesAndCase) {
+  EXPECT_EQ(parseBytes("1KiB"), 1024u);
+  EXPECT_EQ(parseBytes("1kib"), 1024u);
+  EXPECT_EQ(parseBytes("3mb"), 3u * 1024 * 1024);
+  EXPECT_EQ(parseBytes("1k"), 1024u);
+}
+
+TEST(ParseBytes, FractionalValues) {
+  EXPECT_EQ(parseBytes("1.5KB"), 1536u);
+  EXPECT_EQ(parseBytes("0.5MB"), 512u * 1024);
+}
+
+TEST(ParseBytes, RejectsMalformed) {
+  EXPECT_THROW(parseBytes(""), CheckFailure);
+  EXPECT_THROW(parseBytes("abc"), CheckFailure);
+  EXPECT_THROW(parseBytes("12XB"), CheckFailure);
+  EXPECT_THROW(parseBytes("12KBs"), CheckFailure);
+  EXPECT_THROW(parseBytes("-5KB"), CheckFailure);
+}
+
+TEST(FormatBytes, RoundTripReadable) {
+  EXPECT_EQ(formatBytes(0), "0B");
+  EXPECT_EQ(formatBytes(512), "512B");
+  EXPECT_EQ(formatBytes(1024), "1KB");
+  EXPECT_EQ(formatBytes(64ull * 1024 * 1024), "64MB");
+  EXPECT_EQ(formatBytes(1536), "1.5KB");
+}
+
+}  // namespace
+}  // namespace mqs

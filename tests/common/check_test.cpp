@@ -1,0 +1,63 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqs {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(MQS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MQS_CHECK_MSG(true, "never seen"));
+}
+
+TEST(Check, FailureThrowsWithLocation) {
+  try {
+    MQS_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsAppended) {
+  try {
+    MQS_CHECK_MSG(false, "the cache is haunted");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("the cache is haunted"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, CheckFailureIsALogicError) {
+  EXPECT_THROW(MQS_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto once = [&] {
+    ++calls;
+    return true;
+  };
+  MQS_CHECK(once());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, DcheckActiveMatchesBuildMode) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  MQS_DCHECK(probe());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);  // compiled out in release builds
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace mqs

@@ -1,0 +1,225 @@
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mqs {
+namespace {
+
+TEST(Rect, BasicAccessors) {
+  const Rect r = Rect::ofSize(10, 20, 30, 40);
+  EXPECT_EQ(r.x0, 10);
+  EXPECT_EQ(r.y0, 20);
+  EXPECT_EQ(r.x1, 40);
+  EXPECT_EQ(r.y1, 60);
+  EXPECT_EQ(r.width(), 30);
+  EXPECT_EQ(r.height(), 40);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, EmptyAndInvertedHaveZeroArea) {
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_EQ(Rect{}.area(), 0);
+  const Rect inverted{10, 10, 5, 20};
+  EXPECT_TRUE(inverted.empty());
+  EXPECT_EQ(inverted.area(), 0);
+}
+
+TEST(Rect, ContainsPointHalfOpen) {
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 9}));
+  EXPECT_FALSE(r.contains(Point{9, 10}));
+  EXPECT_FALSE(r.contains(Point{-1, 5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer = Rect::ofSize(0, 0, 100, 100);
+  EXPECT_TRUE(outer.contains(Rect::ofSize(10, 10, 20, 20)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect::ofSize(90, 90, 20, 20)));
+  EXPECT_FALSE(outer.contains(Rect{}));  // empty rect is never contained
+}
+
+TEST(Rect, Intersection) {
+  const Rect a = Rect::ofSize(0, 0, 10, 10);
+  const Rect b = Rect::ofSize(5, 5, 10, 10);
+  EXPECT_EQ(Rect::intersection(a, b), (Rect{5, 5, 10, 10}));
+  EXPECT_TRUE(Rect::intersection(a, Rect::ofSize(20, 20, 5, 5)).empty());
+  // Touching edges do not intersect (half-open).
+  EXPECT_TRUE(Rect::intersection(a, Rect::ofSize(10, 0, 5, 10)).empty());
+}
+
+TEST(Rect, IntersectionCommutes) {
+  const Rect a = Rect::ofSize(3, 4, 17, 9);
+  const Rect b = Rect::ofSize(10, 2, 6, 30);
+  EXPECT_EQ(Rect::intersection(a, b), Rect::intersection(b, a));
+}
+
+TEST(Rect, Bounding) {
+  const Rect a = Rect::ofSize(0, 0, 5, 5);
+  const Rect b = Rect::ofSize(10, 10, 5, 5);
+  EXPECT_EQ(Rect::bounding(a, b), (Rect{0, 0, 15, 15}));
+  EXPECT_EQ(Rect::bounding(a, Rect{}), a);
+  EXPECT_EQ(Rect::bounding(Rect{}, b), b);
+}
+
+TEST(Rect, Shifted) {
+  EXPECT_EQ(Rect::ofSize(1, 2, 3, 4).shifted(10, 20),
+            Rect::ofSize(11, 22, 3, 4));
+}
+
+TEST(RectSubtract, NoIntersection) {
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  const auto parts = r.subtract(Rect::ofSize(20, 20, 5, 5));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], r);
+}
+
+TEST(RectSubtract, FullCover) {
+  const Rect r = Rect::ofSize(2, 2, 6, 6);
+  EXPECT_TRUE(r.subtract(Rect::ofSize(0, 0, 10, 10)).empty());
+}
+
+TEST(RectSubtract, CenterHoleGivesFourParts) {
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  const Rect hole = Rect::ofSize(3, 3, 4, 4);
+  const auto parts = r.subtract(hole);
+  EXPECT_EQ(parts.size(), 4u);
+  EXPECT_TRUE(exactlyCovers(r, parts) ||
+              totalArea(parts) + hole.area() == r.area());
+  EXPECT_EQ(totalArea(parts), r.area() - hole.area());
+}
+
+TEST(RectSubtract, CornerHoleGivesTwoParts) {
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  const auto parts = r.subtract(Rect::ofSize(0, 0, 4, 4));
+  EXPECT_EQ(parts.size(), 2u);
+  EXPECT_EQ(totalArea(parts), 100 - 16);
+}
+
+TEST(RectSubtract, EdgeHoleGivesThreeParts) {
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  const auto parts = r.subtract(Rect::ofSize(3, 0, 4, 4));
+  EXPECT_EQ(parts.size(), 3u);
+  EXPECT_EQ(totalArea(parts), 100 - 16);
+}
+
+TEST(ExactlyCovers, DetectsGapsAndOverlaps) {
+  const Rect r = Rect::ofSize(0, 0, 4, 4);
+  // Perfect tiling.
+  EXPECT_TRUE(exactlyCovers(
+      r, {Rect::ofSize(0, 0, 2, 4), Rect::ofSize(2, 0, 2, 4)}));
+  // Overlapping parts.
+  EXPECT_FALSE(exactlyCovers(
+      r, {Rect::ofSize(0, 0, 3, 4), Rect::ofSize(2, 0, 2, 4)}));
+  // Gap.
+  EXPECT_FALSE(exactlyCovers(
+      r, {Rect::ofSize(0, 0, 1, 4), Rect::ofSize(2, 0, 2, 4)}));
+  // Part sticking out.
+  EXPECT_FALSE(exactlyCovers(
+      r, {Rect::ofSize(0, 0, 2, 4), Rect::ofSize(2, 0, 3, 4)}));
+}
+
+/// Property: for random rect pairs, subtraction + intersection exactly
+/// tiles the original rectangle.
+TEST(RectSubtract, PropertySubtractPlusIntersectionTiles) {
+  Rng rng(123);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Rect r = Rect::ofSize(rng.uniformInt(-50, 50), rng.uniformInt(-50, 50),
+                                rng.uniformInt(1, 60), rng.uniformInt(1, 60));
+    const Rect hole =
+        Rect::ofSize(rng.uniformInt(-50, 50), rng.uniformInt(-50, 50),
+                     rng.uniformInt(1, 60), rng.uniformInt(1, 60));
+    auto parts = r.subtract(hole);
+    const Rect inter = Rect::intersection(r, hole);
+    ASSERT_LE(parts.size(), 4u);
+    if (!inter.empty()) parts.push_back(inter);
+    EXPECT_TRUE(exactlyCovers(r, parts))
+        << "r=" << r.str() << " hole=" << hole.str();
+  }
+}
+
+TEST(TotalArea, SumsAreas) {
+  EXPECT_EQ(totalArea({}), 0);
+  EXPECT_EQ(totalArea({Rect::ofSize(0, 0, 2, 3), Rect::ofSize(9, 9, 4, 4)}),
+            6 + 16);
+}
+
+TEST(Box3, BasicAccessors) {
+  const Box3 b = Box3::ofSize(1, 2, 3, 10, 20, 30);
+  EXPECT_EQ(b.width(), 10);
+  EXPECT_EQ(b.height(), 20);
+  EXPECT_EQ(b.depth(), 30);
+  EXPECT_EQ(b.volume(), 6000);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(Box3{}.empty());
+  EXPECT_EQ(b.footprint(), (Rect{1, 2, 11, 22}));
+}
+
+TEST(Box3, Intersection) {
+  const Box3 a = Box3::ofSize(0, 0, 0, 10, 10, 10);
+  const Box3 b = Box3::ofSize(5, 5, 5, 10, 10, 10);
+  EXPECT_EQ(Box3::intersection(a, b), (Box3{5, 5, 5, 10, 10, 10}));
+  EXPECT_TRUE(
+      Box3::intersection(a, Box3::ofSize(10, 0, 0, 5, 5, 5)).empty());
+}
+
+TEST(Box3, Contains) {
+  const Box3 outer = Box3::ofSize(0, 0, 0, 10, 10, 10);
+  EXPECT_TRUE(outer.contains(Box3::ofSize(1, 1, 1, 2, 2, 2)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Box3::ofSize(9, 9, 9, 2, 2, 2)));
+  EXPECT_FALSE(outer.contains(Box3{}));
+}
+
+TEST(Box3Subtract, CenterHoleGivesSixParts) {
+  const Box3 b = Box3::ofSize(0, 0, 0, 10, 10, 10);
+  const Box3 hole = Box3::ofSize(3, 3, 3, 4, 4, 4);
+  const auto parts = b.subtract(hole);
+  EXPECT_EQ(parts.size(), 6u);
+  auto all = parts;
+  all.push_back(hole);
+  EXPECT_TRUE(exactlyCovers(b, all));
+}
+
+TEST(Box3Subtract, NoIntersectionAndFullCover) {
+  const Box3 b = Box3::ofSize(0, 0, 0, 4, 4, 4);
+  const auto parts = b.subtract(Box3::ofSize(10, 10, 10, 2, 2, 2));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], b);
+  EXPECT_TRUE(b.subtract(Box3::ofSize(-1, -1, -1, 10, 10, 10)).empty());
+}
+
+TEST(Box3Subtract, PropertySubtractPlusIntersectionTiles) {
+  Rng rng(321);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const Box3 b =
+        Box3::ofSize(rng.uniformInt(-20, 20), rng.uniformInt(-20, 20),
+                     rng.uniformInt(-20, 20), rng.uniformInt(1, 25),
+                     rng.uniformInt(1, 25), rng.uniformInt(1, 25));
+    const Box3 hole =
+        Box3::ofSize(rng.uniformInt(-20, 20), rng.uniformInt(-20, 20),
+                     rng.uniformInt(-20, 20), rng.uniformInt(1, 25),
+                     rng.uniformInt(1, 25), rng.uniformInt(1, 25));
+    auto parts = b.subtract(hole);
+    ASSERT_LE(parts.size(), 6u);
+    const Box3 inter = Box3::intersection(b, hole);
+    if (!inter.empty()) parts.push_back(inter);
+    EXPECT_TRUE(exactlyCovers(b, parts))
+        << "b=" << b.str() << " hole=" << hole.str();
+  }
+}
+
+TEST(Box3, TotalVolumeSums) {
+  EXPECT_EQ(totalVolume({}), 0);
+  EXPECT_EQ(totalVolume({Box3::ofSize(0, 0, 0, 2, 2, 2),
+                         Box3::ofSize(9, 9, 9, 3, 1, 1)}),
+            8 + 3);
+}
+
+}  // namespace
+}  // namespace mqs

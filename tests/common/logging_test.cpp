@@ -1,0 +1,71 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mqs {
+namespace {
+
+/// Capture std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_(logLevel()) {}
+  ~LoggingTest() override { setLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  setLogLevel(LogLevel::Warn);
+  ClogCapture cap;
+  MQS_LOG(Info) << "should not appear";
+  MQS_LOG(Warn) << "should appear";
+  EXPECT_EQ(cap.text().find("should not appear"), std::string::npos);
+  EXPECT_NE(cap.text().find("should appear"), std::string::npos);
+  EXPECT_NE(cap.text().find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, TraceLevelEmitsEverything) {
+  setLogLevel(LogLevel::Trace);
+  ClogCapture cap;
+  MQS_LOG(Trace) << "t";
+  MQS_LOG(Debug) << "d";
+  MQS_LOG(Error) << "e";
+  EXPECT_NE(cap.text().find("TRACE"), std::string::npos);
+  EXPECT_NE(cap.text().find("DEBUG"), std::string::npos);
+  EXPECT_NE(cap.text().find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateStreaming) {
+  setLogLevel(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  MQS_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  MQS_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypes) {
+  setLogLevel(LogLevel::Info);
+  ClogCapture cap;
+  MQS_LOG(Info) << "n=" << 42 << " f=" << 2.5;
+  EXPECT_NE(cap.text().find("n=42 f=2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqs

@@ -1,0 +1,70 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mqs {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsSyntax) {
+  const Options o = parse({"--threads=8", "--policy=SJF"});
+  EXPECT_EQ(o.getInt("threads", 1), 8);
+  EXPECT_EQ(o.getString("policy", "FIFO"), "SJF");
+}
+
+TEST(Options, SpaceSyntax) {
+  const Options o = parse({"--threads", "8"});
+  EXPECT_EQ(o.getInt("threads", 1), 8);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const Options o = parse({"--full"});
+  EXPECT_TRUE(o.getBool("full", false));
+  EXPECT_TRUE(o.has("full"));
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const Options o = parse({});
+  EXPECT_EQ(o.getInt("threads", 4), 4);
+  EXPECT_EQ(o.getString("policy", "CF"), "CF");
+  EXPECT_FALSE(o.getBool("full", false));
+  EXPECT_DOUBLE_EQ(o.getDouble("alpha", 0.2), 0.2);
+}
+
+TEST(Options, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).getBool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).getBool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).getBool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).getBool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).getBool("a", true));
+}
+
+TEST(Options, BytesWithSuffix) {
+  const Options o = parse({"--ds=64MB"});
+  EXPECT_EQ(o.getBytes("ds", 0), 64ull * 1024 * 1024);
+}
+
+TEST(Options, IntList) {
+  const Options o = parse({"--threads=1,2,4,8"});
+  EXPECT_EQ(o.getIntList("threads", {}),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(o.getIntList("missing", {3}), (std::vector<std::int64_t>{3}));
+}
+
+TEST(Options, Positional) {
+  const Options o = parse({"input.dat", "--k=v", "more"});
+  EXPECT_EQ(o.positional(),
+            (std::vector<std::string>{"input.dat", "more"}));
+}
+
+TEST(Options, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse({"--alpha=0.8"}).getDouble("alpha", 0.2), 0.8);
+}
+
+}  // namespace
+}  // namespace mqs

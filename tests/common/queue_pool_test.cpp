@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mqs {
+namespace {
+
+TEST(BlockingQueue, FifoOrderSingleThread) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.tryPop().has_value());
+  q.push(7);
+  EXPECT_EQ(q.tryPop(), 7);
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));  // rejected after close
+  EXPECT_EQ(q.pop(), 1);    // drains existing items
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::jthread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4, kPerProducer = 1000, kConsumers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (auto v = q.pop()) {
+          sum += *v;
+          ++popped;
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+          for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+        });
+      }
+    }
+    q.close();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.submit([&] { ++count; }));
+    }
+  }  // destructor drains + joins
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitWithResult) {
+  ThreadPool pool(2);
+  auto f = pool.submitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, ParallelismActuallyHappens) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submitWithResult([&] {
+      const int cur = ++concurrent;
+      int expected = peak.load();
+      while (cur > expected && !peak.compare_exchange_weak(expected, cur)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --concurrent;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace mqs

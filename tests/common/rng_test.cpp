@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace mqs {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  std::array<int, 3> counts{};
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weightedIndex({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 9, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 9, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 6.0 / 9, 0.01);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weightedIndex({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(17);
+  EXPECT_THROW(rng.weightedIndex({0.0, 0.0}), CheckFailure);
+  EXPECT_THROW(rng.weightedIndex({-1.0, 2.0}), CheckFailure);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(5);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA.next() == childB.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mqs

@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mqs {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stddev, Basics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), std::sqrt(2.0));
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75), 7.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50), CheckFailure);
+  EXPECT_THROW(percentile({1.0}, -1), CheckFailure);
+  EXPECT_THROW(percentile({1.0}, 101), CheckFailure);
+}
+
+TEST(TrimmedMean, NoTrimEqualsMean) {
+  const std::vector<double> xs = {4.0, 1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, 1.0), mean(xs));
+}
+
+TEST(TrimmedMean, DiscardsExtremes) {
+  // 40 samples: 2.5% of 40 = 1 sample discarded from each side.
+  std::vector<double> xs(38, 10.0);
+  xs.push_back(-1000.0);
+  xs.push_back(+1000.0);
+  EXPECT_DOUBLE_EQ(trimmedMean95(xs), 10.0);
+}
+
+TEST(TrimmedMean, SmallSampleKeepsEverything) {
+  // With < 40 samples, 2.5% floor is 0: identical to the mean.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 100.0};
+  EXPECT_DOUBLE_EQ(trimmedMean95(xs), mean(xs));
+}
+
+TEST(TrimmedMean, IsRobustToOutliersUnlikeMean) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniformReal(9.0, 11.0));
+  std::vector<double> contaminated = xs;
+  for (int i = 0; i < 5; ++i) contaminated.push_back(1e6);
+  const double clean = trimmedMean95(xs);
+  const double robust = trimmedMean95(contaminated);
+  EXPECT_NEAR(robust, clean, 0.5);
+  EXPECT_GT(mean(contaminated), 1000.0);  // the plain mean is destroyed
+}
+
+TEST(TrimmedMean, RejectsEmpty) {
+  EXPECT_THROW(trimmedMean({}, 0.95), CheckFailure);
+  EXPECT_THROW(trimmedMean({1.0}, 0.0), CheckFailure);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniformReal(-5, 5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace mqs

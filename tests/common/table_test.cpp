@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mqs {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("Figure X");
+  t.setColumns({"threads", "FIFO", "SJF"});
+  t.addRow({"1", "10.5", "9.1"});
+  t.addRow({"16", "3.25", "2.75"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Figure X"), std::string::npos);
+  EXPECT_NE(s.find("threads"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("t");
+  t.setColumns({"x", "y"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t("t");
+  t.setColumns({"x", "a", "b"});
+  t.addRow("4", {1.23456, 7.0}, 2);
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0], (std::vector<std::string>{"4", "1.23", "7.00"}));
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("t");
+  t.setColumns({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), CheckFailure);
+}
+
+TEST(Table, WriteCsvToFile) {
+  Table t("t");
+  t.setColumns({"k"});
+  t.addRow({"v"});
+  const auto path = std::filesystem::temp_directory_path() / "mqs_table.csv";
+  ASSERT_TRUE(t.writeCsv(path.string()));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k");
+  std::filesystem::remove(path);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace mqs

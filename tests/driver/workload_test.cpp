@@ -1,0 +1,215 @@
+#include "driver/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "driver/trace.hpp"
+
+namespace mqs::driver {
+namespace {
+
+WorkloadConfig smallConfig() {
+  WorkloadConfig cfg;
+  cfg.datasets = {DatasetSpec{4096, 4096, 128, 7},
+                  DatasetSpec{4096, 4096, 128, 8},
+                  DatasetSpec{4096, 4096, 128, 9}};
+  cfg.clientsPerDataset = {3, 2, 1};
+  cfg.queriesPerClient = 8;
+  cfg.outputSide = 128;
+  cfg.zoomLevels = {1, 2, 4, 8};
+  cfg.zoomWeights = {1, 2, 2, 1};
+  cfg.alignGrid = 8;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Workload, GeneratesPaperShape) {
+  vm::VMSemantics sem;
+  const auto cfg = smallConfig();
+  const auto wls = WorkloadGenerator::generate(cfg, sem);
+  ASSERT_EQ(wls.size(), 6u);  // 3 + 2 + 1 clients
+  EXPECT_EQ(sem.datasetCount(), 3u);
+  int client = 0;
+  for (const auto& wl : wls) {
+    EXPECT_EQ(wl.client, client++);
+    EXPECT_EQ(wl.queries.size(), 8u);
+  }
+  // Dataset split 3/2/1.
+  EXPECT_EQ(wls[0].dataset, 0u);
+  EXPECT_EQ(wls[2].dataset, 0u);
+  EXPECT_EQ(wls[3].dataset, 1u);
+  EXPECT_EQ(wls[5].dataset, 2u);
+}
+
+TEST(Workload, QueriesAreValidAndInBounds) {
+  vm::VMSemantics sem;
+  const auto cfg = smallConfig();
+  for (const auto& wl : WorkloadGenerator::generate(cfg, sem)) {
+    const auto& layout = sem.layout(wl.dataset);
+    for (const auto& q : wl.queries) {
+      EXPECT_TRUE(layout.extent().contains(q.region()));
+      EXPECT_EQ(q.region().width(),
+                cfg.outputSide * static_cast<std::int64_t>(q.zoom()));
+      EXPECT_EQ(q.region().x0 % cfg.alignGrid, 0);
+      EXPECT_EQ(q.region().y0 % cfg.alignGrid, 0);
+      EXPECT_EQ(q.op(), cfg.op);
+    }
+  }
+}
+
+TEST(Workload, DeterministicInSeed) {
+  vm::VMSemantics semA, semB;
+  const auto cfg = smallConfig();
+  const auto a = WorkloadGenerator::generate(cfg, semA);
+  const auto b = WorkloadGenerator::generate(cfg, semB);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].queries.size(), b[i].queries.size());
+    for (std::size_t j = 0; j < a[i].queries.size(); ++j) {
+      EXPECT_TRUE(a[i].queries[j] == b[i].queries[j]);
+    }
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  vm::VMSemantics semA, semB;
+  auto cfg = smallConfig();
+  const auto a = WorkloadGenerator::generate(cfg, semA);
+  cfg.seed = 999;
+  const auto b = WorkloadGenerator::generate(cfg, semB);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].queries.size(); ++j) {
+      if (!(a[i].queries[j] == b[i].queries[j])) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Workload, HotspotsCreateCrossClientOverlap) {
+  vm::VMSemantics sem;
+  auto cfg = smallConfig();
+  cfg.browseProbability = 0.2;  // jump to hotspots often
+  const auto wls = WorkloadGenerator::generate(cfg, sem);
+  // Count exact-region repeats across different clients on dataset 0.
+  std::set<std::pair<std::int64_t, std::int64_t>> seenByClient0;
+  for (const auto& q : wls[0].queries) {
+    seenByClient0.insert({q.region().x0, q.region().y0});
+  }
+  int sharedOrigins = 0;
+  for (std::size_t c = 1; c < 3; ++c) {
+    for (const auto& q : wls[c].queries) {
+      if (seenByClient0.contains({q.region().x0, q.region().y0})) {
+        ++sharedOrigins;
+      }
+    }
+  }
+  EXPECT_GT(sharedOrigins, 0);
+}
+
+TEST(Workload, ZoomCappedToFitSmallDatasets) {
+  vm::VMSemantics sem;
+  auto cfg = smallConfig();
+  cfg.datasets = {DatasetSpec{512, 512, 128, 7}};
+  cfg.clientsPerDataset = {2};
+  cfg.zoomLevels = {1, 2, 4, 8, 16};  // 16*128 = 2048 > 512
+  cfg.zoomWeights = {1, 1, 1, 1, 5};
+  cfg.alignGrid = 16;
+  const auto wls = WorkloadGenerator::generate(cfg, sem);
+  for (const auto& wl : wls) {
+    for (const auto& q : wl.queries) {
+      EXPECT_LE(q.region().width(), 512);
+    }
+  }
+}
+
+TEST(Workload, InterleaveRoundRobins) {
+  vm::VMSemantics sem;
+  auto cfg = smallConfig();
+  cfg.clientsPerDataset = {2, 0, 0};
+  cfg.queriesPerClient = 3;
+  const auto wls = WorkloadGenerator::generate(cfg, sem);
+  const auto flat = WorkloadGenerator::interleave(wls);
+  ASSERT_EQ(flat.size(), 6u);
+  EXPECT_TRUE(flat[0] == wls[0].queries[0]);
+  EXPECT_TRUE(flat[1] == wls[1].queries[0]);
+  EXPECT_TRUE(flat[2] == wls[0].queries[1]);
+}
+
+TEST(Trace, RoundTripPreservesEverything) {
+  vm::VMSemantics sem;
+  const auto wls = WorkloadGenerator::generate(smallConfig(), sem);
+  std::stringstream buffer;
+  writeTrace(buffer, wls);
+  const auto loaded = readTrace(buffer);
+  ASSERT_EQ(loaded.size(), wls.size());
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    EXPECT_EQ(loaded[i].client, wls[i].client);
+    EXPECT_EQ(loaded[i].dataset, wls[i].dataset);
+    ASSERT_EQ(loaded[i].queries.size(), wls[i].queries.size());
+    for (std::size_t j = 0; j < wls[i].queries.size(); ++j) {
+      EXPECT_TRUE(loaded[i].queries[j] == wls[i].queries[j]);
+    }
+  }
+}
+
+TEST(Trace, IgnoresCommentsAndBlankLines) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "3 0 0 0 128 128 2 subsample  # trailing comment\n"
+      "3 0 128 0 256 256 4 average\n");
+  const auto wls = readTrace(in);
+  ASSERT_EQ(wls.size(), 1u);
+  EXPECT_EQ(wls[0].client, 3);
+  ASSERT_EQ(wls[0].queries.size(), 2u);
+  EXPECT_EQ(wls[0].queries[1].op(), vm::VMOp::Average);
+  EXPECT_EQ(wls[0].queries[1].zoom(), 4u);
+}
+
+TEST(Trace, MalformedLinesRejected) {
+  std::stringstream bad1("1 0 0 0 128\n");
+  EXPECT_THROW(readTrace(bad1), CheckFailure);
+  std::stringstream bad2("1 0 0 0 128 128 2 sharpen\n");
+  EXPECT_THROW(readTrace(bad2), CheckFailure);
+  // A client hopping datasets mid-trace is a structural error.
+  std::stringstream bad3(
+      "1 0 0 0 128 128 2 subsample\n"
+      "1 1 0 0 128 128 2 subsample\n");
+  EXPECT_THROW(readTrace(bad3), CheckFailure);
+}
+
+TEST(Trace, FileRoundTrip) {
+  vm::VMSemantics sem;
+  auto cfg = smallConfig();
+  cfg.queriesPerClient = 3;
+  const auto wls = WorkloadGenerator::generate(cfg, sem);
+  const auto path = std::filesystem::temp_directory_path() / "mqs_trace.txt";
+  ASSERT_TRUE(saveTrace(path, wls));
+  const auto loaded = loadTrace(path);
+  EXPECT_EQ(loaded.size(), wls.size());
+  std::filesystem::remove(path);
+  EXPECT_THROW(loadTrace(path), CheckFailure);  // gone now
+}
+
+TEST(Workload, DefaultConfigIsPaperScale) {
+  const WorkloadConfig cfg;
+  EXPECT_EQ(cfg.datasets.size(), 3u);
+  EXPECT_EQ(cfg.clientsPerDataset, (std::vector<int>{8, 6, 2}));
+  EXPECT_EQ(cfg.queriesPerClient, 16);
+  EXPECT_EQ(cfg.outputSide, 1024);
+  // 30000^2 * 3 bytes * 3 datasets = 7.5GB as in the paper.
+  std::uint64_t total = 0;
+  for (const auto& d : cfg.datasets) {
+    total += static_cast<std::uint64_t>(d.width) *
+             static_cast<std::uint64_t>(d.height) * 3;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (1ULL << 30), 7.5, 0.1);
+}
+
+}  // namespace
+}  // namespace mqs::driver

@@ -1,0 +1,121 @@
+#include "index/chunk_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mqs::index {
+namespace {
+
+TEST(ChunkLayout, GridDimensions) {
+  const ChunkLayout l(1000, 600, 100);
+  EXPECT_EQ(l.chunksPerRow(), 10);
+  EXPECT_EQ(l.chunksPerCol(), 6);
+  EXPECT_EQ(l.chunkCount(), 60u);
+  EXPECT_EQ(l.fullChunkBytes(), 100u * 100 * 3);
+}
+
+TEST(ChunkLayout, EdgeChunksAreClipped) {
+  const ChunkLayout l(250, 130, 100);
+  EXPECT_EQ(l.chunksPerRow(), 3);
+  EXPECT_EQ(l.chunksPerCol(), 2);
+  // Bottom-right chunk: 50 wide, 30 tall.
+  const Rect last = l.chunkRect(5);
+  EXPECT_EQ(last, (Rect{200, 100, 250, 130}));
+  EXPECT_EQ(l.chunkBytes(5), 50u * 30 * 3);
+}
+
+TEST(ChunkLayout, ChunkRectRowMajor) {
+  const ChunkLayout l(300, 300, 100);
+  EXPECT_EQ(l.chunkRect(0), Rect::ofSize(0, 0, 100, 100));
+  EXPECT_EQ(l.chunkRect(1), Rect::ofSize(100, 0, 100, 100));
+  EXPECT_EQ(l.chunkRect(3), Rect::ofSize(0, 100, 100, 100));
+}
+
+TEST(ChunkLayout, ChunkAtInvertsChunkRect) {
+  const ChunkLayout l(550, 420, 128);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = rng.uniformInt(0, 549);
+    const auto y = rng.uniformInt(0, 419);
+    const auto id = l.chunkAt(x, y);
+    EXPECT_TRUE(l.chunkRect(id).contains(Point{x, y}));
+  }
+}
+
+TEST(ChunkLayout, ChunksIntersectingSingle) {
+  const ChunkLayout l(300, 300, 100);
+  const auto refs = l.chunksIntersecting(Rect::ofSize(10, 10, 20, 20));
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].id, 0u);
+}
+
+TEST(ChunkLayout, ChunksIntersectingSpansGrid) {
+  const ChunkLayout l(300, 300, 100);
+  const auto refs = l.chunksIntersecting(Rect::ofSize(50, 50, 200, 200));
+  EXPECT_EQ(refs.size(), 9u);  // touches all 3x3 chunks
+}
+
+TEST(ChunkLayout, ChunksIntersectingHalfOpenBoundary) {
+  const ChunkLayout l(300, 300, 100);
+  // Region ending exactly at x=100 must not pull in the second column.
+  const auto refs = l.chunksIntersecting(Rect::ofSize(0, 0, 100, 100));
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].id, 0u);
+}
+
+TEST(ChunkLayout, ChunksIntersectingOutsideIsEmpty) {
+  const ChunkLayout l(300, 300, 100);
+  EXPECT_TRUE(l.chunksIntersecting(Rect::ofSize(400, 0, 10, 10)).empty());
+  EXPECT_TRUE(l.chunksIntersecting(Rect{}).empty());
+}
+
+TEST(ChunkLayout, ChunksIntersectingClipsToExtent) {
+  const ChunkLayout l(300, 300, 100);
+  const auto refs = l.chunksIntersecting(Rect::ofSize(250, 250, 500, 500));
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].id, 8u);
+}
+
+TEST(ChunkLayout, InputBytesMatchesChunkSum) {
+  const ChunkLayout l(250, 130, 100);
+  // Whole image: sum of all chunk bytes = 250*130*3.
+  EXPECT_EQ(l.inputBytes(l.extent()), 250u * 130 * 3);
+  // A region inside one chunk costs the whole chunk.
+  EXPECT_EQ(l.inputBytes(Rect::ofSize(10, 10, 5, 5)), 100u * 100 * 3);
+}
+
+TEST(ChunkLayout, InputBytesGrowsWithRegion) {
+  const ChunkLayout l(1000, 1000, 100);
+  const auto small = l.inputBytes(Rect::ofSize(0, 0, 100, 100));
+  const auto large = l.inputBytes(Rect::ofSize(0, 0, 500, 500));
+  EXPECT_GT(large, small);
+  EXPECT_EQ(large, 25u * 100 * 100 * 3);
+}
+
+TEST(ChunkLayout, ChunksTileTheImageExactly) {
+  const ChunkLayout l(330, 170, 64);
+  std::vector<Rect> rects;
+  for (std::uint64_t id = 0; id < l.chunkCount(); ++id) {
+    rects.push_back(l.chunkRect(id));
+  }
+  EXPECT_TRUE(exactlyCovers(l.extent(), rects));
+}
+
+TEST(ChunkLayout, RejectsBadParameters) {
+  EXPECT_THROW(ChunkLayout(0, 10, 10), CheckFailure);
+  EXPECT_THROW(ChunkLayout(10, 10, 0), CheckFailure);
+  EXPECT_THROW(ChunkLayout(10, -1, 5), CheckFailure);
+}
+
+/// Paper configuration: 30000x30000 3-byte pixels, ~64KB square chunks.
+TEST(ChunkLayout, PaperScaleDataset) {
+  const ChunkLayout l(30000, 30000, 146);
+  EXPECT_LE(l.fullChunkBytes(), 64u * 1024);
+  EXPECT_GT(l.fullChunkBytes(), 60u * 1024);
+  EXPECT_EQ(l.inputBytes(l.extent()), 30000ull * 30000 * 3);  // 2.5GB+
+}
+
+}  // namespace
+}  // namespace mqs::index

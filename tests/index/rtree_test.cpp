@@ -1,0 +1,154 @@
+#include "index/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mqs::index {
+namespace {
+
+std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RTree, EmptyTree) {
+  RTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.findIntersecting(Rect::ofSize(0, 0, 100, 100)).empty());
+  EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RTree, SingleEntry) {
+  RTree t;
+  t.insert(Rect::ofSize(10, 10, 5, 5), 42);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.findIntersecting(Rect::ofSize(0, 0, 20, 20)),
+            std::vector<std::uint64_t>{42});
+  EXPECT_TRUE(t.findIntersecting(Rect::ofSize(100, 100, 5, 5)).empty());
+}
+
+TEST(RTree, RejectsEmptyRect) {
+  RTree t;
+  EXPECT_THROW(t.insert(Rect{}, 1), CheckFailure);
+}
+
+TEST(RTree, EraseExistingAndMissing) {
+  RTree t;
+  const Rect r = Rect::ofSize(0, 0, 10, 10);
+  t.insert(r, 1);
+  EXPECT_FALSE(t.erase(r, 2));                       // wrong value
+  EXPECT_FALSE(t.erase(Rect::ofSize(1, 1, 2, 2), 1)); // wrong rect
+  EXPECT_TRUE(t.erase(r, 1));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RTree, SplitsPreserveAllEntries) {
+  RTree t(4);  // small fanout to force splits quickly
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    t.insert(Rect::ofSize(static_cast<std::int64_t>(i) * 10, 0, 5, 5), i);
+    ASSERT_TRUE(t.checkInvariants()) << "after insert " << i;
+  }
+  EXPECT_EQ(t.size(), 100u);
+  const auto all = t.findIntersecting(Rect::ofSize(-10, -10, 20000, 20000));
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(RTree, QueryIsHalfOpen) {
+  RTree t;
+  t.insert(Rect::ofSize(10, 0, 10, 10), 1);
+  // Query region ending exactly at x=10 does not touch [10, 20).
+  EXPECT_TRUE(t.findIntersecting(Rect::ofSize(0, 0, 10, 10)).empty());
+  EXPECT_EQ(t.findIntersecting(Rect::ofSize(0, 0, 11, 10)).size(), 1u);
+}
+
+TEST(RTree, DuplicateRectsDistinctValues) {
+  RTree t;
+  const Rect r = Rect::ofSize(0, 0, 4, 4);
+  t.insert(r, 1);
+  t.insert(r, 2);
+  EXPECT_EQ(sorted(t.findIntersecting(r)), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(t.erase(r, 1));
+  EXPECT_EQ(t.findIntersecting(r), std::vector<std::uint64_t>{2});
+}
+
+/// Property test: random inserts/erases/queries cross-checked against a
+/// brute-force map, with structural invariants verified throughout.
+TEST(RTree, PropertyMatchesBruteForce) {
+  Rng rng(2024);
+  RTree t(6);
+  std::map<std::uint64_t, Rect> reference;
+  std::uint64_t nextId = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55 || reference.empty()) {
+      const Rect r =
+          Rect::ofSize(rng.uniformInt(-200, 200), rng.uniformInt(-200, 200),
+                       rng.uniformInt(1, 80), rng.uniformInt(1, 80));
+      t.insert(r, nextId);
+      reference.emplace(nextId, r);
+      ++nextId;
+    } else if (roll < 0.8) {
+      // Erase a random existing entry.
+      auto it = reference.begin();
+      std::advance(it, rng.uniformInt(0, static_cast<std::int64_t>(
+                                             reference.size()) - 1));
+      ASSERT_TRUE(t.erase(it->second, it->first));
+      reference.erase(it);
+    } else {
+      const Rect q =
+          Rect::ofSize(rng.uniformInt(-250, 250), rng.uniformInt(-250, 250),
+                       rng.uniformInt(1, 150), rng.uniformInt(1, 150));
+      std::vector<std::uint64_t> expected;
+      for (const auto& [id, r] : reference) {
+        if (!Rect::intersection(r, q).empty()) expected.push_back(id);
+      }
+      EXPECT_EQ(sorted(t.findIntersecting(q)), expected) << "step " << step;
+    }
+    ASSERT_EQ(t.size(), reference.size());
+    if (step % 100 == 0) {
+      ASSERT_TRUE(t.checkInvariants()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RTree, DrainCompletely) {
+  Rng rng(7);
+  RTree t(4);
+  std::vector<std::pair<Rect, std::uint64_t>> entries;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Rect r =
+        Rect::ofSize(rng.uniformInt(0, 500), rng.uniformInt(0, 500),
+                     rng.uniformInt(1, 30), rng.uniformInt(1, 30));
+    t.insert(r, i);
+    entries.emplace_back(r, i);
+  }
+  for (const auto& [r, v] : entries) {
+    ASSERT_TRUE(t.erase(r, v));
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.checkInvariants());
+  // Tree remains usable after full drain.
+  t.insert(Rect::ofSize(0, 0, 1, 1), 9);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RTree, MoveSemantics) {
+  RTree a;
+  a.insert(Rect::ofSize(0, 0, 2, 2), 5);
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.findIntersecting(Rect::ofSize(0, 0, 3, 3)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mqs::index

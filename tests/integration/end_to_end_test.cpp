@@ -1,0 +1,243 @@
+// Whole-system integration: the client emulator driving both engines on the
+// same (scaled-down) workload the paper uses, checking the system-level
+// behaviours the paper reports qualitatively.
+#include <gtest/gtest.h>
+
+#include "driver/server_experiment.hpp"
+#include "driver/sim_experiment.hpp"
+
+namespace mqs::driver {
+namespace {
+
+WorkloadConfig testWorkload(vm::VMOp op = vm::VMOp::Subsample) {
+  WorkloadConfig cfg;
+  cfg.datasets = {DatasetSpec{4096, 4096, 128, 1},
+                  DatasetSpec{4096, 4096, 128, 2},
+                  DatasetSpec{4096, 4096, 128, 3}};
+  cfg.clientsPerDataset = {4, 3, 1};
+  cfg.queriesPerClient = 6;
+  cfg.outputSide = 256;
+  cfg.zoomLevels = {2, 4, 8};
+  cfg.zoomWeights = {1, 2, 1};
+  cfg.alignGrid = 16;
+  cfg.op = op;
+  cfg.seed = 2002;
+  return cfg;
+}
+
+sim::SimConfig simConfig() {
+  sim::SimConfig cfg;
+  cfg.threads = 4;
+  cfg.cpus = 8;
+  cfg.dsBytes = 16ULL << 20;
+  cfg.psBytes = 8ULL << 20;
+  return cfg;
+}
+
+TEST(EndToEndSim, InteractiveRunCompletesAllQueries) {
+  const auto result = SimExperiment::runInteractive(testWorkload(), simConfig());
+  EXPECT_EQ(result.summary.queries, 48u);  // 8 clients x 6 queries
+  EXPECT_GT(result.summary.trimmedResponse, 0.0);
+  EXPECT_GT(result.summary.makespan, 0.0);
+  EXPECT_GT(result.events, 100u);
+  // Inter-client hotspots guarantee some reuse.
+  EXPECT_GT(result.summary.reuseRate, 0.0);
+  EXPECT_GT(result.dsStats.hits, 0u);
+}
+
+TEST(EndToEndSim, BatchRunCompletesAllQueries) {
+  const auto result = SimExperiment::runBatch(testWorkload(), simConfig());
+  EXPECT_EQ(result.summary.queries, 48u);
+  // In batch mode every query arrives at t=0: waits dominate responses.
+  EXPECT_GT(result.summary.meanWait, 0.0);
+}
+
+TEST(EndToEndSim, DeterministicAcrossRuns) {
+  const auto a = SimExperiment::runInteractive(testWorkload(), simConfig());
+  const auto b = SimExperiment::runInteractive(testWorkload(), simConfig());
+  EXPECT_DOUBLE_EQ(a.summary.trimmedResponse, b.summary.trimmedResponse);
+  EXPECT_DOUBLE_EQ(a.summary.makespan, b.summary.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.io.bytesRead, b.io.bytesRead);
+}
+
+TEST(EndToEndSim, CachingImprovesPerformance) {
+  auto off = simConfig();
+  off.dataStoreEnabled = false;
+  const auto with = SimExperiment::runBatch(testWorkload(), simConfig());
+  const auto without = SimExperiment::runBatch(testWorkload(), off);
+  // §5: "caching intermediate results can significantly improve
+  // performance" — batch total execution time must drop.
+  EXPECT_LT(with.summary.makespan, without.summary.makespan);
+  EXPECT_LT(with.io.bytesRead, without.io.bytesRead);
+  EXPECT_DOUBLE_EQ(without.summary.avgOverlap, 0.0);
+  EXPECT_GT(with.summary.avgOverlap, 0.0);
+}
+
+TEST(EndToEndSim, EveryPolicyCompletesTheWorkload) {
+  for (const auto& policy : sched::allPolicyNames()) {
+    auto cfg = simConfig();
+    cfg.policy = policy;
+    const auto result = SimExperiment::runBatch(testWorkload(), cfg);
+    EXPECT_EQ(result.summary.queries, 48u) << policy;
+    EXPECT_GT(result.summary.makespan, 0.0) << policy;
+  }
+}
+
+TEST(EndToEndSim, PoliciesActuallyChangeTheSchedule) {
+  auto fifo = simConfig();
+  fifo.policy = "FIFO";
+  auto cf = simConfig();
+  cf.policy = "CF";
+  const auto a = SimExperiment::runBatch(testWorkload(), fifo);
+  const auto b = SimExperiment::runBatch(testWorkload(), cf);
+  // Same workload, different completion dynamics.
+  EXPECT_NE(a.summary.trimmedResponse, b.summary.trimmedResponse);
+}
+
+TEST(EndToEndSim, AveragingIsMoreBalancedThanSubsampling) {
+  const auto sub = SimExperiment::runBatch(testWorkload(vm::VMOp::Subsample),
+                                           simConfig());
+  const auto avg = SimExperiment::runBatch(testWorkload(vm::VMOp::Average),
+                                           simConfig());
+  // Same I/O demand, much higher CPU demand: averaging runs longer.
+  EXPECT_GT(avg.summary.makespan, sub.summary.makespan);
+}
+
+TEST(EndToEndSim, ThinkTimeStretchesTheRunWithoutChangingWork) {
+  WorkloadConfig busy = testWorkload();
+  WorkloadConfig relaxed = testWorkload();
+  relaxed.thinkTimeMeanSec = 2.0;
+  const auto a = SimExperiment::runInteractive(busy, simConfig());
+  const auto b = SimExperiment::runInteractive(relaxed, simConfig());
+  EXPECT_EQ(a.summary.queries, b.summary.queries);
+  EXPECT_GT(b.summary.makespan, a.summary.makespan);
+  // Fewer queries in the system at once -> shorter queue waits.
+  EXPECT_LE(b.summary.meanWait, a.summary.meanWait + 1e-9);
+}
+
+TEST(EndToEndSim, OpenLoopLowRateHasNoQueueing) {
+  // At a trickle of arrivals the server is always idle when a query lands.
+  const auto result = SimExperiment::runOpenLoop(testWorkload(), simConfig(),
+                                                 /*arrivalsPerSecond=*/0.05);
+  EXPECT_EQ(result.summary.queries, 48u);
+  EXPECT_LT(result.summary.meanWait, 0.01);
+}
+
+TEST(EndToEndSim, OpenLoopHighRateQueues) {
+  const auto slow = SimExperiment::runOpenLoop(testWorkload(), simConfig(),
+                                               0.05);
+  const auto flood = SimExperiment::runOpenLoop(testWorkload(), simConfig(),
+                                                100.0);
+  EXPECT_EQ(flood.summary.queries, 48u);
+  EXPECT_GT(flood.summary.meanWait, slow.summary.meanWait);
+  EXPECT_GT(flood.summary.meanResponse, slow.summary.meanResponse);
+}
+
+TEST(EndToEndSim, PyramidPrewarmEliminatesQueryIo) {
+  // Materialized views: execute a pyramid level first, then the whole
+  // workload at coarser zooms projects without touching the disk.
+  WorkloadConfig wl = testWorkload();
+  wl.clientsPerDataset = {2, 0, 0};
+  wl.zoomLevels = {4, 8};
+  wl.zoomWeights = {1, 1};
+
+  vm::VMSemantics sem;
+  const auto workloads = WorkloadGenerator::generate(wl, sem);
+
+  sim::Simulator simr;
+  auto cfg = simConfig();
+  cfg.dsBytes = 1ULL << 30;      // hold the whole level
+  cfg.maxNestedReuseDepth = 8;   // queries may span several tiles
+  sim::SimServer server(simr, &sem, cfg);
+
+  for (const auto& tile : sem.pyramidLevel(0, 4, 256, wl.op)) {
+    server.submit(std::make_unique<vm::VMPredicate>(tile), -1);
+  }
+  simr.run();
+  const auto warmupRecords = server.collector().records().size();
+
+  for (const auto& c : workloads) {
+    for (const auto& q : c.queries) {
+      server.submit(std::make_unique<vm::VMPredicate>(q), c.client);
+    }
+  }
+  simr.run();
+
+  const auto records = server.collector().records();
+  for (std::size_t i = warmupRecords; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].bytesFromDisk, 0u) << records[i].predicate;
+    EXPECT_GT(records[i].overlapUsed, 0.0) << records[i].predicate;
+  }
+}
+
+TEST(EndToEndServer, InteractiveRunCorrectAndComplete) {
+  WorkloadConfig wl = testWorkload();
+  wl.clientsPerDataset = {2, 1, 1};
+  wl.queriesPerClient = 4;
+  server::ServerConfig cfg;
+  cfg.threads = 4;
+  cfg.policy = "CF";
+  cfg.dsBytes = 32ULL << 20;
+  cfg.psBytes = 16ULL << 20;
+  const auto result = ServerExperiment::runInteractive(wl, cfg);
+  EXPECT_EQ(result.summary.queries, 16u);
+  EXPECT_GT(result.summary.reuseRate, 0.0);
+  EXPECT_GT(result.psStats.bytesRead, 0u);
+}
+
+TEST(EndToEndServer, BatchRunAllPolicies) {
+  WorkloadConfig wl = testWorkload();
+  wl.clientsPerDataset = {2, 1, 0};
+  wl.queriesPerClient = 4;
+  for (const auto& policy : {"FIFO", "SJF", "CNBF"}) {
+    server::ServerConfig cfg;
+    cfg.threads = 3;
+    cfg.policy = policy;
+    const auto result = ServerExperiment::runBatch(wl, cfg);
+    EXPECT_EQ(result.summary.queries, 12u) << policy;
+    EXPECT_EQ(result.schedStats.completedCount, 12u) << policy;
+  }
+}
+
+TEST(EndToEndCrossEngine, SimAndServerAgreeOnReuseStructure) {
+  // The two engines share the scheduler/DS logic; with a single client and
+  // a single thread the arrival and execution orders are identical, so
+  // their reuse decisions must coincide query by query.
+  WorkloadConfig wl = testWorkload();
+  wl.clientsPerDataset = {1, 0, 0};
+  wl.queriesPerClient = 10;
+
+  auto sc = simConfig();
+  sc.threads = 1;
+  sc.policy = "FIFO";
+  sc.cacheSubqueryResults = false;
+  const auto simResult = SimExperiment::runInteractive(wl, sc);
+
+  server::ServerConfig rc;
+  rc.threads = 1;
+  rc.policy = "FIFO";
+  rc.dsBytes = sc.dsBytes;
+  rc.psBytes = sc.psBytes;
+  rc.cacheSubqueryResults = false;
+  const auto srvResult = ServerExperiment::runInteractive(wl, rc);
+
+  ASSERT_EQ(simResult.summary.queries, srvResult.summary.queries);
+  // Same per-query reuse overlap, query by query (both FIFO, 1 thread).
+  auto simRecs = simResult.records;
+  auto srvRecs = srvResult.records;
+  auto byArrival = [](const metrics::QueryRecord& a,
+                      const metrics::QueryRecord& b) {
+    return a.queryId < b.queryId;
+  };
+  std::sort(simRecs.begin(), simRecs.end(), byArrival);
+  std::sort(srvRecs.begin(), srvRecs.end(), byArrival);
+  for (std::size_t i = 0; i < simRecs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(simRecs[i].overlapUsed, srvRecs[i].overlapUsed)
+        << "query " << i << ": " << simRecs[i].predicate;
+    EXPECT_EQ(simRecs[i].bytesReused, srvRecs[i].bytesReused) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mqs::driver

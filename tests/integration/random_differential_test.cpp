@@ -1,0 +1,88 @@
+// Differential testing: the full threaded middleware (scheduler + reuse +
+// projection + sub-queries + caching + concurrency) against the
+// independent reference renderer, on generator-produced random workloads,
+// parameterized across every ranking policy and both VM operators. If any
+// reuse/projection/assembly path produced wrong bytes under any schedule,
+// this is where it would surface.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <tuple>
+
+#include "driver/workload.hpp"
+#include "server/query_server.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs {
+namespace {
+
+using Param = std::tuple<std::string, vm::VMOp>;
+
+class RandomDifferentialTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RandomDifferentialTest, EveryResultMatchesTheReference) {
+  const auto& [policy, op] = GetParam();
+  constexpr std::uint64_t kSeed = 31337;
+
+  driver::WorkloadConfig wl;
+  wl.datasets = {driver::DatasetSpec{1024, 1024, 96, kSeed}};
+  wl.clientsPerDataset = {4};
+  wl.queriesPerClient = 6;
+  wl.outputSide = 64;
+  wl.zoomLevels = {1, 2, 4};
+  wl.zoomWeights = {1, 2, 1};
+  wl.alignGrid = 4;
+  wl.browseProbability = 0.5;
+  wl.op = op;
+  wl.seed = 0xD1FF ^ static_cast<std::uint64_t>(op);
+
+  vm::VMSemantics sem;
+  const auto workloads = driver::WorkloadGenerator::generate(wl, sem);
+  storage::SyntheticSlideSource slide(sem.layout(0), kSeed);
+  vm::VMExecutor exec(&sem);
+
+  server::ServerConfig cfg;
+  cfg.threads = 4;
+  cfg.policy = policy;
+  cfg.dsBytes = 2ULL << 20;  // small: keep eviction churn in the mix
+  cfg.psBytes = 1ULL << 20;
+  server::QueryServer server(&sem, &exec, cfg);
+  server.attach(0, &slide);
+
+  std::vector<std::future<server::QueryResult>> futures;
+  std::vector<const vm::VMPredicate*> queries;
+  for (const auto& client : workloads) {
+    for (const auto& q : client.queries) {
+      queries.push_back(&q);
+      futures.push_back(server.submit(q.clone(), client.client));
+    }
+  }
+  ASSERT_EQ(futures.size(), 24u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto result = futures[i].get();
+    const auto& q = *queries[i];
+    const auto got =
+        vm::ImageRGB::fromBytes(result.bytes, q.outWidth(), q.outHeight());
+    const int tol = op == vm::VMOp::Average ? 3 : 0;  // projection chains
+    EXPECT_LE(maxAbsDiff(got, renderReference(q, kSeed)), tol)
+        << policy << " query " << i << ": " << q.describe();
+  }
+  server.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesTimesOps, RandomDifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(sched::allPolicyNames()),
+                       ::testing::Values(vm::VMOp::Subsample,
+                                         vm::VMOp::Average)),
+    [](const ::testing::TestParamInfo<Param>& paramInfo) {
+      return std::get<0>(paramInfo.param) +
+             std::string(std::get<1>(paramInfo.param) == vm::VMOp::Subsample
+                             ? "_sub"
+                             : "_avg");
+    });
+
+}  // namespace
+}  // namespace mqs

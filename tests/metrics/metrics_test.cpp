@@ -1,0 +1,149 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mqs::metrics {
+namespace {
+
+QueryRecord rec(double arrival, double start, double finish,
+                double overlap = 0.0) {
+  QueryRecord r;
+  r.arrivalTime = arrival;
+  r.startTime = start;
+  r.finishTime = finish;
+  r.overlapUsed = overlap;
+  return r;
+}
+
+TEST(QueryRecord, DerivedTimes) {
+  const QueryRecord r = rec(1.0, 3.0, 7.5);
+  EXPECT_DOUBLE_EQ(r.waitTime(), 2.0);
+  EXPECT_DOUBLE_EQ(r.execTime(), 4.5);
+  EXPECT_DOUBLE_EQ(r.responseTime(), 6.5);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_DOUBLE_EQ(s.trimmedResponse, 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+TEST(Summarize, BasicAggregates) {
+  std::vector<QueryRecord> rs = {rec(0, 1, 2, 0.5), rec(1, 2, 5, 0.0),
+                                 rec(2, 4, 6, 1.0)};
+  rs[0].bytesFromDisk = 100;
+  rs[1].bytesFromDisk = 200;
+  rs[2].bytesReused = 300;
+  const Summary s = summarize(rs);
+  EXPECT_EQ(s.queries, 3u);
+  EXPECT_DOUBLE_EQ(s.meanResponse, (2.0 + 4.0 + 4.0) / 3);
+  EXPECT_DOUBLE_EQ(s.meanWait, (1.0 + 1.0 + 2.0) / 3);
+  EXPECT_DOUBLE_EQ(s.meanExec, (1.0 + 3.0 + 2.0) / 3);
+  EXPECT_DOUBLE_EQ(s.makespan, 6.0);  // last finish 6 - first arrival 0
+  EXPECT_DOUBLE_EQ(s.avgOverlap, 0.5);
+  EXPECT_DOUBLE_EQ(s.reuseRate, 2.0 / 3);
+  EXPECT_EQ(s.totalDiskBytes, 300u);
+  EXPECT_EQ(s.totalReusedBytes, 300u);
+}
+
+TEST(Summarize, TrimmedMeanDiscardsTails) {
+  std::vector<QueryRecord> rs;
+  for (int i = 0; i < 78; ++i) rs.push_back(rec(0, 0, 10));
+  rs.push_back(rec(0, 0, 1e6));
+  rs.push_back(rec(0, 0, 1e-6));
+  const Summary s = summarize(rs);
+  // 80 samples: 2 dropped from each tail.
+  EXPECT_NEAR(s.trimmedResponse, 10.0, 1e-9);
+  EXPECT_GT(s.meanResponse, 1000.0);
+}
+
+TEST(Summarize, ResponsePercentiles) {
+  std::vector<QueryRecord> rs;
+  for (int i = 1; i <= 100; ++i) {
+    rs.push_back(rec(0, 0, static_cast<double>(i)));
+  }
+  const Summary s = summarize(rs);
+  EXPECT_NEAR(s.p50Response, 50.5, 0.01);
+  EXPECT_NEAR(s.p95Response, 95.05, 0.01);
+  EXPECT_NEAR(s.p99Response, 99.01, 0.01);
+  EXPECT_LE(s.p50Response, s.p95Response);
+  EXPECT_LE(s.p95Response, s.p99Response);
+}
+
+TEST(Summarize, MakespanUsesExtremes) {
+  const Summary s = summarize({rec(5, 6, 7), rec(1, 2, 3), rec(2, 3, 9)});
+  EXPECT_DOUBLE_EQ(s.makespan, 8.0);
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jainFairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jainFairness({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jainFairness({3.0, 3.0, 3.0}), 1.0);
+  // One client gets everything: index -> 1/n.
+  EXPECT_DOUBLE_EQ(jainFairness({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // Classic example: (1+2+3)^2 / (3 * 14) = 36/42.
+  EXPECT_DOUBLE_EQ(jainFairness({1.0, 2.0, 3.0}), 36.0 / 42.0);
+  EXPECT_DOUBLE_EQ(jainFairness({0.0, 0.0}), 1.0);
+}
+
+TEST(PerClientMeanResponse, GroupsAndAverages) {
+  std::vector<QueryRecord> rs;
+  auto add = [&](int client, double response) {
+    QueryRecord r = rec(0, 0, response);
+    r.client = client;
+    rs.push_back(r);
+  };
+  add(0, 2.0);
+  add(0, 4.0);
+  add(1, 10.0);
+  add(-1, 99.0);  // anonymous: excluded
+  const auto means = perClientMeanResponse(rs);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_EQ(means[0].first, 0);
+  EXPECT_DOUBLE_EQ(means[0].second, 3.0);
+  EXPECT_EQ(means[1].first, 1);
+  EXPECT_DOUBLE_EQ(means[1].second, 10.0);
+}
+
+TEST(Summarize, FairnessIndexInSummary) {
+  std::vector<QueryRecord> rs;
+  for (int c = 0; c < 4; ++c) {
+    QueryRecord r = rec(0, 0, 5.0);
+    r.client = c;
+    rs.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(summarize(rs).clientFairness, 1.0);
+  rs[0].finishTime = 50.0;  // one client starves the others... or vice versa
+  EXPECT_LT(summarize(rs).clientFairness, 1.0);
+}
+
+TEST(Collector, CollectsInOrder) {
+  Collector c;
+  c.add(rec(0, 1, 2));
+  c.add(rec(1, 2, 3));
+  EXPECT_EQ(c.count(), 2u);
+  const auto rs = c.records();
+  EXPECT_DOUBLE_EQ(rs[0].arrivalTime, 0.0);
+  EXPECT_DOUBLE_EQ(rs[1].arrivalTime, 1.0);
+}
+
+TEST(Collector, ThreadSafeUnderConcurrentAdds) {
+  Collector c;
+  constexpr int kThreads = 8, kPer = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c] {
+        for (int i = 0; i < kPer; ++i) c.add(QueryRecord{});
+      });
+    }
+  }
+  EXPECT_EQ(c.count(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace mqs::metrics

@@ -1,0 +1,138 @@
+#include "pagespace/page_cache_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mqs::pagespace {
+namespace {
+
+using storage::PageKey;
+
+PageKey key(std::uint32_t ds, std::uint64_t p) { return PageKey{ds, p}; }
+
+TEST(PageCacheCore, MissThenHit) {
+  PageCacheCore c(1000);
+  EXPECT_FALSE(c.touch(key(0, 1)));
+  c.insert(key(0, 1), 100);
+  EXPECT_TRUE(c.touch(key(0, 1)));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.residentBytes(), 100u);
+  EXPECT_EQ(c.residentPages(), 1u);
+}
+
+TEST(PageCacheCore, LruEvictionOrder) {
+  PageCacheCore c(300);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  c.insert(key(0, 3), 100);
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_TRUE(c.touch(key(0, 1)));
+  const auto evicted = c.insert(key(0, 4), 100);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(0, 2));
+  EXPECT_TRUE(c.contains(key(0, 1)));
+  EXPECT_TRUE(c.contains(key(0, 3)));
+  EXPECT_TRUE(c.contains(key(0, 4)));
+}
+
+TEST(PageCacheCore, EvictsMultipleForLargePage) {
+  PageCacheCore c(300);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  c.insert(key(0, 3), 100);
+  const auto evicted = c.insert(key(0, 4), 250);
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(c.residentPages(), 1u);
+  EXPECT_EQ(c.residentBytes(), 250u);
+}
+
+TEST(PageCacheCore, OversizedPageIsUncacheable) {
+  PageCacheCore c(100);
+  const auto evicted = c.insert(key(0, 1), 200);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_FALSE(c.contains(key(0, 1)));
+  EXPECT_EQ(c.stats().uncacheable, 1u);
+}
+
+TEST(PageCacheCore, PinnedPagesSurviveEviction) {
+  PageCacheCore c(300);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  c.insert(key(0, 3), 100);
+  c.pin(key(0, 1));  // 1 is LRU but pinned
+  const auto evicted = c.insert(key(0, 4), 100);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(0, 2));
+  EXPECT_TRUE(c.contains(key(0, 1)));
+  c.unpin(key(0, 1));
+}
+
+TEST(PageCacheCore, AllPinnedMakesInsertUncacheable) {
+  PageCacheCore c(200);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  c.pin(key(0, 1));
+  c.pin(key(0, 2));
+  const auto evicted = c.insert(key(0, 3), 100);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_FALSE(c.contains(key(0, 3)));
+  EXPECT_EQ(c.stats().uncacheable, 1u);
+}
+
+TEST(PageCacheCore, PinsNest) {
+  PageCacheCore c(100);
+  c.insert(key(0, 1), 50);
+  c.pin(key(0, 1));
+  c.pin(key(0, 1));
+  c.unpin(key(0, 1));
+  // Still pinned once: cannot erase.
+  EXPECT_THROW(c.erase(key(0, 1)), CheckFailure);
+  c.unpin(key(0, 1));
+  c.erase(key(0, 1));
+  EXPECT_FALSE(c.contains(key(0, 1)));
+}
+
+TEST(PageCacheCore, InsertExistingJustTouches) {
+  PageCacheCore c(300);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  c.insert(key(0, 1), 100);  // refresh, no double count
+  EXPECT_EQ(c.residentBytes(), 200u);
+  // 2 is now LRU.
+  c.insert(key(0, 3), 100);
+  const auto evicted = c.insert(key(0, 4), 100);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(0, 2));
+}
+
+TEST(PageCacheCore, DistinguishesDatasets) {
+  PageCacheCore c(1000);
+  c.insert(key(0, 7), 10);
+  EXPECT_FALSE(c.touch(key(1, 7)));
+  EXPECT_TRUE(c.touch(key(0, 7)));
+}
+
+TEST(PageCacheCore, EraseAbsentIsNoop) {
+  PageCacheCore c(100);
+  c.erase(key(0, 99));  // no throw
+  EXPECT_EQ(c.residentPages(), 0u);
+}
+
+TEST(PageCacheCore, UnbalancedPinOpsThrow) {
+  PageCacheCore c(100);
+  EXPECT_THROW(c.pin(key(0, 1)), CheckFailure);
+  c.insert(key(0, 1), 10);
+  EXPECT_THROW(c.unpin(key(0, 1)), CheckFailure);
+}
+
+TEST(PageCacheCore, EvictionCountsInStats) {
+  PageCacheCore c(100);
+  c.insert(key(0, 1), 100);
+  c.insert(key(0, 2), 100);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace mqs::pagespace

@@ -1,0 +1,175 @@
+#include "pagespace/page_space_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "index/chunk_layout.hpp"
+#include "storage/synthetic_source.hpp"
+
+namespace mqs::pagespace {
+namespace {
+
+using storage::PageKey;
+
+/// Wraps a source, counting device reads and optionally stalling them so
+/// tests can provoke concurrent fetches of the same page.
+class CountingSource final : public storage::DataSource {
+ public:
+  explicit CountingSource(const storage::DataSource& inner,
+                          std::chrono::milliseconds delay = {})
+      : inner_(inner), delay_(delay) {}
+
+  [[nodiscard]] storage::PageId pageCount() const override {
+    return inner_.pageCount();
+  }
+  [[nodiscard]] std::size_t pageBytes(storage::PageId p) const override {
+    return inner_.pageBytes(p);
+  }
+  void readPage(storage::PageId p, std::span<std::byte> out) const override {
+    ++reads_;
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    inner_.readPage(p, out);
+  }
+
+  [[nodiscard]] int reads() const { return reads_.load(); }
+
+ private:
+  const storage::DataSource& inner_;
+  std::chrono::milliseconds delay_;
+  mutable std::atomic<int> reads_{0};
+};
+
+class PageSpaceManagerTest : public ::testing::Test {
+ protected:
+  PageSpaceManagerTest()
+      : layout_(256, 256, 64), slide_(layout_, /*seed=*/9) {}
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+};
+
+TEST_F(PageSpaceManagerTest, FetchReturnsCorrectBytes) {
+  PageSpaceManager ps(1 << 20);
+  ps.attach(0, &slide_);
+  const auto page = ps.fetch(PageKey{0, 0});
+  ASSERT_EQ(page->size(), layout_.chunkBytes(0));
+  // Spot-check the first pixel against the pure synthetic function.
+  EXPECT_EQ(static_cast<std::uint8_t>((*page)[0]),
+            storage::syntheticPixel(9, 0, 0, 0));
+  EXPECT_EQ(static_cast<std::uint8_t>((*page)[2]),
+            storage::syntheticPixel(9, 0, 0, 2));
+}
+
+TEST_F(PageSpaceManagerTest, SecondFetchIsAHit) {
+  CountingSource counting(slide_);
+  PageSpaceManager ps(1 << 20);
+  ps.attach(0, &counting);
+  (void)ps.fetch(PageKey{0, 3});
+  (void)ps.fetch(PageKey{0, 3});
+  EXPECT_EQ(counting.reads(), 1);
+  const auto s = ps.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.merged, 0u);
+}
+
+TEST_F(PageSpaceManagerTest, EvictionUnderTinyBudget) {
+  CountingSource counting(slide_);
+  // Budget for roughly one page only.
+  PageSpaceManager ps(layout_.chunkBytes(0) + 10);
+  ps.attach(0, &counting);
+  (void)ps.fetch(PageKey{0, 0});
+  (void)ps.fetch(PageKey{0, 1});  // evicts page 0
+  (void)ps.fetch(PageKey{0, 0});  // must re-read
+  EXPECT_EQ(counting.reads(), 3);
+  EXPECT_GE(ps.stats().evictions, 1u);
+}
+
+TEST_F(PageSpaceManagerTest, EvictedPageStaysAliveForHolder) {
+  PageSpaceManager ps(layout_.chunkBytes(0) + 10);
+  ps.attach(0, &slide_);
+  const auto held = ps.fetch(PageKey{0, 0});
+  (void)ps.fetch(PageKey{0, 1});  // evicts page 0 from the cache
+  // Our shared_ptr still owns the bytes.
+  EXPECT_EQ(static_cast<std::uint8_t>((*held)[0]),
+            storage::syntheticPixel(9, 0, 0, 0));
+}
+
+TEST_F(PageSpaceManagerTest, ConcurrentDuplicateRequestsAreMerged) {
+  CountingSource slow(slide_, std::chrono::milliseconds(50));
+  PageSpaceManager ps(1 << 20);
+  ps.attach(0, &slow);
+
+  constexpr int kThreads = 8;
+  std::vector<PagePtr> results(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = ps.fetch(PageKey{0, 5}); });
+    }
+  }
+  // One device read; everyone else merged onto it.
+  EXPECT_EQ(slow.reads(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->size(), layout_.chunkBytes(5));
+  }
+  const auto s = ps.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.merged, kThreads - 1u);
+}
+
+TEST_F(PageSpaceManagerTest, ConcurrentDistinctPagesAllCorrect) {
+  PageSpaceManager ps(1 << 22);
+  ps.attach(0, &slide_);
+  std::atomic<bool> ok{true};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (storage::PageId p = 0; p < layout_.chunkCount(); ++p) {
+          const auto page = ps.fetch(PageKey{0, (p + static_cast<storage::PageId>(t) * 3) %
+                                                     layout_.chunkCount()});
+          const Rect r = layout_.chunkRect((p + static_cast<storage::PageId>(t) * 3) %
+                                           layout_.chunkCount());
+          if (static_cast<std::uint8_t>((*page)[0]) !=
+              storage::syntheticPixel(9, r.x0, r.y0, 0)) {
+            ok = false;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_F(PageSpaceManagerTest, MultipleDatasets) {
+  storage::SyntheticSlideSource other(layout_, /*seed=*/77);
+  PageSpaceManager ps(1 << 20);
+  ps.attach(0, &slide_);
+  ps.attach(1, &other);
+  const auto a = ps.fetch(PageKey{0, 0});
+  const auto b = ps.fetch(PageKey{1, 0});
+  EXPECT_EQ(static_cast<std::uint8_t>((*a)[0]),
+            storage::syntheticPixel(9, 0, 0, 0));
+  EXPECT_EQ(static_cast<std::uint8_t>((*b)[0]),
+            storage::syntheticPixel(77, 0, 0, 0));
+}
+
+TEST_F(PageSpaceManagerTest, ThreadDeviceByteAccounting) {
+  PageSpaceManager ps(1 << 20);
+  ps.attach(0, &slide_);
+  PageSpaceManager::resetThreadCounters();
+  (void)ps.fetch(PageKey{0, 0});
+  EXPECT_EQ(PageSpaceManager::threadDeviceBytes(), layout_.chunkBytes(0));
+  (void)ps.fetch(PageKey{0, 0});  // hit: no extra device bytes
+  EXPECT_EQ(PageSpaceManager::threadDeviceBytes(), layout_.chunkBytes(0));
+}
+
+}  // namespace
+}  // namespace mqs::pagespace

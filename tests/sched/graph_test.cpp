@@ -1,0 +1,177 @@
+#include "sched/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sched {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() {
+    (void)sem_.addDataset(index::ChunkLayout(8192, 8192, 128));
+    graph_ = std::make_unique<SchedulingGraph>(&sem_);
+  }
+
+  query::PredicatePtr pred(Rect r, std::uint32_t zoom,
+                           VMOp op = VMOp::Subsample) {
+    return std::make_unique<VMPredicate>(0, r, zoom, op);
+  }
+
+  vm::VMSemantics sem_;
+  std::unique_ptr<SchedulingGraph> graph_;
+};
+
+TEST_F(GraphTest, InsertSetsWaitingStateAndSizes) {
+  const NodeId n = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  EXPECT_EQ(graph_->state(n), QueryState::Waiting);
+  EXPECT_EQ(graph_->qoutsize(n), 128u * 128 * 3);
+  EXPECT_GT(graph_->qinputsize(n), 0u);
+  EXPECT_EQ(graph_->arrivalSeq(n), 1u);
+  EXPECT_EQ(graph_->size(), 1u);
+  EXPECT_TRUE(graph_->checkInvariants());
+}
+
+TEST_F(GraphTest, OverlappingQueriesGetBidirectionalEdges) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(256, 0, 512, 512), 4));
+  // Same zoom, half overlap each way.
+  ASSERT_EQ(graph_->outEdges(a).size(), 1u);
+  ASSERT_EQ(graph_->inEdges(a).size(), 1u);
+  const Edge& ab = graph_->outEdges(a)[0];
+  EXPECT_EQ(ab.peer, b);
+  EXPECT_DOUBLE_EQ(ab.overlap, 0.5);
+  // w(a, b) = overlap(a, b) * qoutsize(a).
+  EXPECT_DOUBLE_EQ(ab.weight, 0.5 * 128 * 128 * 3);
+  EXPECT_TRUE(graph_->checkInvariants());
+}
+
+TEST_F(GraphTest, NonInvertibleTransformGetsOneDirection) {
+  const NodeId hi = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 2));
+  const NodeId lo = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  // hi (zoom 2) can produce lo (zoom 4) but not vice versa: e(hi, lo) only.
+  ASSERT_EQ(graph_->outEdges(hi).size(), 1u);
+  EXPECT_EQ(graph_->outEdges(hi)[0].peer, lo);
+  EXPECT_TRUE(graph_->outEdges(lo).empty());
+  EXPECT_TRUE(graph_->inEdges(hi).empty());
+  ASSERT_EQ(graph_->inEdges(lo).size(), 1u);
+  EXPECT_EQ(graph_->inEdges(lo)[0].peer, hi);
+}
+
+TEST_F(GraphTest, DisjointQueriesHaveNoEdges) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 128, 128), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(4096, 4096, 128, 128), 4));
+  EXPECT_TRUE(graph_->outEdges(a).empty());
+  EXPECT_TRUE(graph_->outEdges(b).empty());
+  EXPECT_EQ(graph_->edgeCount(), 0u);
+}
+
+TEST_F(GraphTest, StateTransitions) {
+  const NodeId n = graph_->insert(pred(Rect::ofSize(0, 0, 128, 128), 4));
+  graph_->setState(n, QueryState::Executing);
+  EXPECT_EQ(graph_->state(n), QueryState::Executing);
+  graph_->setState(n, QueryState::Cached);
+  EXPECT_EQ(graph_->state(n), QueryState::Cached);
+}
+
+TEST_F(GraphTest, RemoveDropsAllIncidentEdges) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(256, 0, 512, 512), 4));
+  const NodeId c = graph_->insert(pred(Rect::ofSize(0, 256, 512, 512), 4));
+  EXPECT_GT(graph_->edgeCount(), 0u);
+  graph_->remove(a);
+  EXPECT_FALSE(graph_->contains(a));
+  for (const Edge& e : graph_->inEdges(b)) EXPECT_NE(e.peer, a);
+  for (const Edge& e : graph_->outEdges(b)) EXPECT_NE(e.peer, a);
+  for (const Edge& e : graph_->inEdges(c)) EXPECT_NE(e.peer, a);
+  EXPECT_TRUE(graph_->checkInvariants());
+}
+
+TEST_F(GraphTest, RemoveExecutingForbidden) {
+  const NodeId n = graph_->insert(pred(Rect::ofSize(0, 0, 128, 128), 4));
+  graph_->setState(n, QueryState::Executing);
+  EXPECT_THROW(graph_->remove(n), CheckFailure);
+}
+
+TEST_F(GraphTest, NeighborsDeduplicated) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(256, 0, 512, 512), 4));
+  // a and b share edges in both directions; neighbors must list b once.
+  EXPECT_EQ(graph_->neighbors(a), std::vector<NodeId>{b});
+}
+
+TEST_F(GraphTest, UnknownNodeThrows) {
+  EXPECT_THROW((void)graph_->state(999), CheckFailure);
+  EXPECT_THROW(graph_->remove(999), CheckFailure);
+}
+
+TEST_F(GraphTest, ArrivalSequenceIsMonotone) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 128, 128), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(128, 0, 128, 128), 4));
+  EXPECT_LT(graph_->arrivalSeq(a), graph_->arrivalSeq(b));
+}
+
+TEST_F(GraphTest, WriteDotRendersFigure3Style) {
+  const NodeId a = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  const NodeId b = graph_->insert(pred(Rect::ofSize(256, 0, 512, 512), 4));
+  graph_->setState(a, QueryState::Executing);
+  graph_->setState(b, QueryState::Cached);
+  std::ostringstream os;
+  graph_->writeDot(os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph scheduling_graph"), std::string::npos);
+  EXPECT_NE(dot.find("q1 -> q2"), std::string::npos);
+  EXPECT_NE(dot.find("q2 -> q1"), std::string::npos);
+  EXPECT_NE(dot.find("EXECUTING"), std::string::npos);
+  EXPECT_NE(dot.find("CACHED"), std::string::npos);
+  EXPECT_NE(dot.find("0.50"), std::string::npos);  // overlap label
+}
+
+/// Property: random inserts/removals keep the graph structurally sound and
+/// edge weights consistent with the semantics.
+TEST_F(GraphTest, PropertyRandomChurn) {
+  Rng rng(55);
+  std::vector<NodeId> live;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.uniform01() < 0.65 || live.empty()) {
+      const std::uint32_t zoom = 1u << rng.uniformInt(0, 3);
+      const std::int64_t side = static_cast<std::int64_t>(zoom) * 64;
+      auto snap = [&](std::int64_t v) { return (v / 32) * 32; };
+      const Rect r = Rect::ofSize(snap(rng.uniformInt(0, 4000)),
+                                  snap(rng.uniformInt(0, 4000)), side, side);
+      live.push_back(graph_->insert(pred(r, zoom)));
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      graph_->remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(graph_->checkInvariants()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(graph_->checkInvariants());
+  EXPECT_EQ(graph_->size(), live.size());
+
+  // Every edge weight must equal overlap * qoutsize(source).
+  graph_->forEachNode([&](NodeId n) {
+    for (const Edge& e : graph_->outEdges(n)) {
+      const double expect =
+          sem_.overlap(graph_->predicate(n), graph_->predicate(e.peer)) *
+          static_cast<double>(graph_->qoutsize(n));
+      EXPECT_DOUBLE_EQ(e.weight, expect);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mqs::sched

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/graph.hpp"
+#include "sched/policy.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sched {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+/// Fixture graph:
+///   A = (0,0,512,512) @ zoom 4     qoutsize = 128*128*3 = 49152
+///   B = (256,0,512,512) @ zoom 4   qoutsize = 49152
+///   C = (0,0,512,512) @ zoom 2     qoutsize = 256*256*3 = 196608
+/// Overlaps: A<->B = 0.5 each way; C->A = 0.5, C->B = 0.25 (one-way).
+/// Weights: w(A,B) = w(B,A) = 24576; w(C,A) = 98304; w(C,B) = 49152.
+class PoliciesTest : public ::testing::Test {
+ protected:
+  PoliciesTest() {
+    (void)sem_.addDataset(index::ChunkLayout(8192, 8192, 128));
+    graph_ = std::make_unique<SchedulingGraph>(&sem_);
+    a_ = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+    b_ = graph_->insert(pred(Rect::ofSize(256, 0, 512, 512), 4));
+    c_ = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 2));
+  }
+
+  query::PredicatePtr pred(Rect r, std::uint32_t zoom,
+                           VMOp op = VMOp::Subsample) {
+    return std::make_unique<VMPredicate>(0, r, zoom, op);
+  }
+
+  vm::VMSemantics sem_;
+  std::unique_ptr<SchedulingGraph> graph_;
+  NodeId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(PoliciesTest, FixtureWeightsAreAsDocumented) {
+  ASSERT_EQ(graph_->qoutsize(a_), 49152u);
+  ASSERT_EQ(graph_->qoutsize(c_), 196608u);
+  double wca = 0;
+  for (const Edge& e : graph_->inEdges(a_)) {
+    if (e.peer == c_) wca = e.weight;
+  }
+  EXPECT_DOUBLE_EQ(wca, 98304.0);
+}
+
+TEST_F(PoliciesTest, FifoRanksByArrival) {
+  const auto p = makePolicy("FIFO");
+  EXPECT_GT(p->rank(*graph_, a_), p->rank(*graph_, b_));
+  EXPECT_GT(p->rank(*graph_, b_), p->rank(*graph_, c_));
+  EXPECT_FALSE(p->ranksDependOnGraph());
+}
+
+TEST_F(PoliciesTest, MufSumsOutgoingWaitingWeights) {
+  const auto p = makePolicy("MUF");
+  // C feeds both waiting queries: 98304 + 49152.
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, c_), 98304.0 + 49152.0);
+  // A feeds only B.
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 24576.0);
+  // If B starts executing, its usefulness no longer counts for A.
+  graph_->setState(b_, QueryState::Executing);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 0.0);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, c_), 98304.0);
+}
+
+TEST_F(PoliciesTest, MufPrefersTheMostUseful) {
+  const auto p = makePolicy("MUF");
+  EXPECT_GT(p->rank(*graph_, c_), p->rank(*graph_, a_));
+}
+
+TEST_F(PoliciesTest, FfPenalizesDependencies) {
+  const auto p = makePolicy("FF");
+  // A depends on B (24576) and C (98304), both waiting.
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), -(24576.0 + 98304.0));
+  // C depends on nothing: the "farthest" query.
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, c_), 0.0);
+  EXPECT_GT(p->rank(*graph_, c_), p->rank(*graph_, a_));
+}
+
+TEST_F(PoliciesTest, FfIgnoresCachedDependencies) {
+  const auto p = makePolicy("FF");
+  graph_->setState(c_, QueryState::Cached);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), -24576.0);
+  graph_->setState(b_, QueryState::Executing);
+  // Executing dependencies still count (the query could block on them).
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), -24576.0);
+}
+
+TEST_F(PoliciesTest, CfRewardsCachedAndDiscountsExecuting) {
+  const auto p = makePolicy("CF", 0.2);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 0.0);  // nothing materialized yet
+  graph_->setState(c_, QueryState::Cached);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 98304.0);
+  graph_->setState(b_, QueryState::Executing);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 98304.0 + 0.2 * 24576.0);
+}
+
+TEST_F(PoliciesTest, CfAlphaOutOfRangeThrows) {
+  EXPECT_THROW(makePolicy("CF", 0.0), CheckFailure);
+  EXPECT_THROW(makePolicy("CF", 1.0), CheckFailure);
+}
+
+TEST_F(PoliciesTest, CnbfSubtractsExecutingDependencies) {
+  const auto p = makePolicy("CNBF");
+  graph_->setState(c_, QueryState::Cached);
+  graph_->setState(b_, QueryState::Executing);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 98304.0 - 24576.0);
+}
+
+TEST_F(PoliciesTest, CnbfAvoidsBlockingWhereCfDoesNot) {
+  // B executing and overlapping A: CF nudges A up (locality), CNBF pushes
+  // A down (interlock risk).
+  graph_->setState(b_, QueryState::Executing);
+  const auto cf = makePolicy("CF", 0.2);
+  const auto cnbf = makePolicy("CNBF");
+  EXPECT_GT(cf->rank(*graph_, a_), 0.0);
+  EXPECT_LT(cnbf->rank(*graph_, a_), 0.0);
+}
+
+TEST_F(PoliciesTest, SjfRanksByInputSize) {
+  const auto p = makePolicy("SJF");
+  const NodeId small =
+      graph_->insert(pred(Rect::ofSize(1024, 1024, 128, 128), 4));
+  EXPECT_GT(p->rank(*graph_, small), p->rank(*graph_, a_));
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_),
+                   -static_cast<double>(graph_->qinputsize(a_)));
+  EXPECT_FALSE(p->ranksDependOnGraph());
+}
+
+TEST_F(PoliciesTest, CombinedDiscountsCoveredInput) {
+  const auto p = makePolicy("COMBINED", 0.2);
+  // Nothing cached: behaves like SJF.
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_),
+                   -static_cast<double>(graph_->qinputsize(a_)));
+  // C cached covers half of A: effective input halves.
+  graph_->setState(c_, QueryState::Cached);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_),
+                   -static_cast<double>(graph_->qinputsize(a_)) * 0.5);
+}
+
+TEST_F(PoliciesTest, CombinedCoverageSaturatesAtOne) {
+  const auto p = makePolicy("COMBINED", 0.5);
+  // Cache an identical query: coverage 1 -> rank 0 (free job).
+  const NodeId dup = graph_->insert(pred(Rect::ofSize(0, 0, 512, 512), 4));
+  graph_->setState(dup, QueryState::Cached);
+  graph_->setState(c_, QueryState::Cached);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), 0.0);
+}
+
+TEST_F(PoliciesTest, FactoryKnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : allPolicyNames()) {
+    EXPECT_EQ(makePolicy(name)->name(), name);
+  }
+  EXPECT_THROW(makePolicy("NOPE"), CheckFailure);
+  EXPECT_EQ(paperPolicyNames().size(), 6u);
+  EXPECT_EQ(allPolicyNames().size(), 8u);
+}
+
+TEST_F(PoliciesTest, AdaptiveStartsAsPureSjf) {
+  const auto adaptive = makePolicy("ADAPTIVE", 0.2);
+  const auto sjf = makePolicy("SJF");
+  graph_->setState(c_, QueryState::Cached);  // coverage exists but untrusted
+  EXPECT_DOUBLE_EQ(adaptive->rank(*graph_, a_), sjf->rank(*graph_, a_));
+  EXPECT_DOUBLE_EQ(adaptive->rank(*graph_, b_), sjf->rank(*graph_, b_));
+}
+
+TEST_F(PoliciesTest, AdaptiveLearnsToTrustReuse) {
+  const auto p = makePolicy("ADAPTIVE", 0.2);
+  graph_->setState(c_, QueryState::Cached);  // C covers half of A
+  const double before = p->rank(*graph_, a_);
+  for (int i = 0; i < 50; ++i) p->onQueryOutcome(1.0);
+  const double after = p->rank(*graph_, a_);
+  // With reuse paying off, covered input is discounted: rank improves.
+  EXPECT_GT(after, before);
+  // A query with no coverage at all is unaffected by the learned weight
+  // (B overlaps cached C, so use a fresh disjoint query).
+  const NodeId lone = graph_->insert(pred(Rect::ofSize(4096, 4096, 512, 512), 4));
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, lone),
+                   -static_cast<double>(graph_->qinputsize(lone)));
+}
+
+TEST_F(PoliciesTest, AdaptiveRespondsToIoCongestion) {
+  const auto p = makePolicy("ADAPTIVE", 0.2);
+  graph_->setState(c_, QueryState::Cached);
+  const double idle = p->rank(*graph_, a_);
+  p->onResourceSignal(1.0);  // disks saturated: reuse is precious
+  const double congested = p->rank(*graph_, a_);
+  EXPECT_GT(congested, idle);
+  p->onResourceSignal(0.0);
+  EXPECT_DOUBLE_EQ(p->rank(*graph_, a_), idle);
+}
+
+TEST_F(PoliciesTest, AdaptiveFeedbackSaturates) {
+  const auto p = makePolicy("ADAPTIVE", 0.2);
+  graph_->setState(c_, QueryState::Cached);
+  for (int i = 0; i < 1000; ++i) p->onQueryOutcome(5.0);  // clamped to 1
+  p->onResourceSignal(7.0);                               // clamped to 1
+  // weight <= 1 and coverage <= 1: rank can never exceed 0.
+  EXPECT_LE(p->rank(*graph_, a_), 0.0);
+  EXPECT_TRUE(p->ranksDependOnFeedback());
+  EXPECT_FALSE(makePolicy("CF", 0.2)->ranksDependOnFeedback());
+}
+
+}  // namespace
+}  // namespace mqs::sched

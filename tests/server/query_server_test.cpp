@@ -1,0 +1,358 @@
+#include "server/query_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "storage/delayed_source.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs::server {
+namespace {
+
+using vm::ImageRGB;
+using vm::VMOp;
+using vm::VMPredicate;
+
+constexpr std::uint64_t kSeed = 77;
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  QueryServerTest()
+      : layout_(1024, 1024, 96), slide_(layout_, kSeed), exec_(&sem_) {
+    dsid_ = sem_.addDataset(layout_);
+  }
+
+  ServerConfig config(int threads = 2, const std::string& policy = "FIFO") {
+    ServerConfig cfg;
+    cfg.threads = threads;
+    cfg.policy = policy;
+    cfg.dsBytes = 16ULL << 20;
+    cfg.psBytes = 8ULL << 20;
+    return cfg;
+  }
+
+  std::unique_ptr<QueryServer> makeServer(ServerConfig cfg) {
+    auto server = std::make_unique<QueryServer>(&sem_, &exec_, cfg);
+    server->attach(dsid_, &slide_);
+    return server;
+  }
+
+  query::PredicatePtr pred(Rect r, std::uint32_t zoom,
+                           VMOp op = VMOp::Subsample) {
+    return std::make_unique<VMPredicate>(dsid_, r, zoom, op);
+  }
+
+  static void expectCorrect(const VMPredicate& q, const QueryResult& result) {
+    const ImageRGB got =
+        ImageRGB::fromBytes(result.bytes, q.outWidth(), q.outHeight());
+    const ImageRGB expect = renderReference(q, kSeed);
+    // Averaging reuse paths may double-round; subsampling must be exact.
+    const int tol = q.op() == VMOp::Average ? 2 : 0;
+    EXPECT_LE(maxAbsDiff(got, expect), tol) << q.describe();
+  }
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+  vm::VMSemantics sem_;
+  vm::VMExecutor exec_;
+  storage::DatasetId dsid_ = 0;
+};
+
+TEST_F(QueryServerTest, SingleQueryCorrectResult) {
+  auto server = makeServer(config());
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 256, 256), 4, VMOp::Subsample);
+  const auto result = server->execute(q.clone(), 0);
+  expectCorrect(q, result);
+  EXPECT_EQ(result.record.outputBytes, q.outBytes());
+  EXPECT_GT(result.record.bytesFromDisk, 0u);
+}
+
+TEST_F(QueryServerTest, RepeatQueryReusesCache) {
+  auto server = makeServer(config());
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 256, 256), 4, VMOp::Subsample);
+  (void)server->execute(q.clone(), 0);
+  const auto second = server->execute(q.clone(), 0);
+  expectCorrect(q, second);
+  EXPECT_DOUBLE_EQ(second.record.overlapUsed, 1.0);
+  EXPECT_EQ(second.record.bytesFromDisk, 0u);
+}
+
+TEST_F(QueryServerTest, PartialReuseStillCorrect) {
+  auto server = makeServer(config());
+  const VMPredicate a(dsid_, Rect::ofSize(0, 0, 512, 512), 4, VMOp::Subsample);
+  (void)server->execute(a.clone(), 0);
+  const VMPredicate b(dsid_, Rect::ofSize(256, 128, 512, 512), 4,
+                      VMOp::Subsample);
+  const auto result = server->execute(b.clone(), 0);
+  expectCorrect(b, result);
+  EXPECT_GT(result.record.overlapUsed, 0.0);
+  EXPECT_LT(result.record.overlapUsed, 1.0);
+  EXPECT_GT(result.record.bytesReused, 0u);
+}
+
+TEST_F(QueryServerTest, CrossZoomReuseCorrectForBothOps) {
+  for (const VMOp op : {VMOp::Subsample, VMOp::Average}) {
+    auto server = makeServer(config());
+    const VMPredicate hi(dsid_, Rect::ofSize(0, 0, 512, 512), 2, op);
+    (void)server->execute(hi.clone(), 0);
+    const VMPredicate lo(dsid_, Rect::ofSize(0, 0, 512, 512), 8, op);
+    const auto result = server->execute(lo.clone(), 0);
+    expectCorrect(lo, result);
+    EXPECT_GT(result.record.overlapUsed, 0.0);
+    EXPECT_EQ(result.record.bytesFromDisk, 0u);
+  }
+}
+
+TEST_F(QueryServerTest, ManyConcurrentClientsAllCorrect) {
+  auto server = makeServer(config(/*threads=*/4, "CF"));
+  std::vector<VMPredicate> queries;
+  for (int i = 0; i < 24; ++i) {
+    const std::uint32_t zoom = 1u << (i % 3);  // 1, 2, 4
+    const std::int64_t side = 64 * static_cast<std::int64_t>(zoom);
+    const std::int64_t x = (i % 4) * 128;
+    const std::int64_t y = ((i / 4) % 3) * 128;
+    queries.emplace_back(dsid_, Rect::ofSize(x, y, side, side), zoom,
+                         i % 2 == 0 ? VMOp::Subsample : VMOp::Average);
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(server->submit(queries[i].clone(), static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expectCorrect(queries[i], futures[i].get());
+  }
+  EXPECT_EQ(server->collector().count(), queries.size());
+}
+
+TEST_F(QueryServerTest, AllPoliciesProduceCorrectResults) {
+  for (const auto& policy : sched::allPolicyNames()) {
+    auto server = makeServer(config(3, policy));
+    std::vector<std::future<QueryResult>> futures;
+    std::vector<VMPredicate> queries;
+    for (int i = 0; i < 10; ++i) {
+      queries.emplace_back(dsid_,
+                           Rect::ofSize((i % 3) * 128, (i % 2) * 128, 256, 256),
+                           2, VMOp::Subsample);
+    }
+    for (auto& q : queries) futures.push_back(server->submit(q.clone(), 0));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expectCorrect(queries[i], futures[i].get());
+    }
+  }
+}
+
+TEST_F(QueryServerTest, TinyDataStoreStillCorrect) {
+  auto cfg = config();
+  cfg.dsBytes = 10 * 1024;  // smaller than any result: nothing cacheable
+  auto server = makeServer(cfg);
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 256, 256), 2, VMOp::Average);
+  const auto first = server->execute(q.clone(), 0);
+  const auto second = server->execute(q.clone(), 0);
+  expectCorrect(q, first);
+  expectCorrect(q, second);
+  EXPECT_DOUBLE_EQ(second.record.overlapUsed, 0.0);  // nothing was cached
+}
+
+TEST_F(QueryServerTest, CachingDisabledStillCorrect) {
+  auto cfg = config();
+  cfg.dataStoreEnabled = false;
+  auto server = makeServer(cfg);
+  const VMPredicate q(dsid_, Rect::ofSize(64, 64, 256, 256), 4,
+                      VMOp::Average);
+  const auto r1 = server->execute(q.clone(), 0);
+  const auto r2 = server->execute(q.clone(), 0);
+  expectCorrect(q, r1);
+  expectCorrect(q, r2);
+  EXPECT_DOUBLE_EQ(r2.record.overlapUsed, 0.0);
+}
+
+TEST_F(QueryServerTest, WaitOnExecutingProducesCorrectResult) {
+  auto server = makeServer(config(/*threads=*/2));
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 512, 512), 2, VMOp::Average);
+  // Submit twice back-to-back: the second will either find the first
+  // executing (and wait) or cached; both paths must be correct.
+  auto f1 = server->submit(q.clone(), 0);
+  auto f2 = server->submit(q.clone(), 1);
+  expectCorrect(q, f1.get());
+  expectCorrect(q, f2.get());
+}
+
+TEST_F(QueryServerTest, ShutdownDrainsQueuedQueries) {
+  auto server = makeServer(config(2));
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<VMPredicate> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.emplace_back(dsid_, Rect::ofSize((i % 3) * 256, 0, 256, 256), 2,
+                         VMOp::Average);
+    futures.push_back(server->submit(queries.back().clone(), i));
+  }
+  server->shutdown();  // must finish everything already accepted
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expectCorrect(queries[i], futures[i].get());
+  }
+  EXPECT_EQ(server->collector().count(), 12u);
+}
+
+TEST_F(QueryServerTest, RealisticDiskLatencyStillCorrect) {
+  storage::DiskModel model;
+  model.seekOverheadSec = 0.0005;
+  model.sequentialOverheadSec = 0.0001;
+  model.bytesPerSecond = 200.0 * 1024 * 1024;
+  const storage::DelayedSource slow(slide_, model);
+
+  auto server = std::make_unique<QueryServer>(&sem_, &exec_, config(4, "FF"));
+  server->attach(dsid_, &slow);
+
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<VMPredicate> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.emplace_back(dsid_, Rect::ofSize((i % 2) * 256, (i % 4) * 128,
+                                             256, 256),
+                         2, VMOp::Subsample);
+    futures.push_back(server->submit(queries.back().clone(), i));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expectCorrect(queries[i], futures[i].get());
+    EXPECT_GT(futures.size(), 0u);
+  }
+  // With real latency, duplicate-request merging has a chance to show up.
+  const auto ps = server->pageSpace().stats();
+  EXPECT_GT(ps.hits + ps.merged, 0u);
+  server->shutdown();
+}
+
+TEST_F(QueryServerTest, SubmitAfterShutdownFails) {
+  auto server = makeServer(config());
+  server->shutdown();
+  auto f = server->submit(pred(Rect::ofSize(0, 0, 64, 64), 1), 0);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(QueryServerTest, RecordsCaptureTiming) {
+  auto server = makeServer(config(1));
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 512, 512), 2, VMOp::Average);
+  const auto r = server->execute(q.clone(), 5);
+  EXPECT_EQ(r.record.client, 5);
+  EXPECT_GE(r.record.startTime, r.record.arrivalTime);
+  EXPECT_GT(r.record.finishTime, r.record.startTime);
+  EXPECT_GT(r.record.execTime(), 0.0);
+  EXPECT_EQ(r.record.inputBytes, sem_.qinputsize(q));
+}
+
+/// Failure injection: an executor that throws for marked regions.
+class FailingExecutor final : public query::QueryExecutor {
+ public:
+  explicit FailingExecutor(const vm::VMExecutor* inner) : inner_(inner) {}
+
+  [[nodiscard]] std::vector<std::byte> execute(
+      const query::Predicate& pred,
+      pagespace::PageSpaceManager& ps) const override {
+    if (vm::asVM(pred).region().x0 == kPoisonX) {
+      throw std::runtime_error("injected executor failure");
+    }
+    return inner_->execute(pred, ps);
+  }
+  void project(const query::Predicate& cached,
+               std::span<const std::byte> payload,
+               const query::Predicate& out,
+               std::span<std::byte> buffer) const override {
+    inner_->project(cached, payload, out, buffer);
+  }
+
+  static constexpr std::int64_t kPoisonX = 736;  // marker origin
+
+ private:
+  const vm::VMExecutor* inner_;
+};
+
+TEST_F(QueryServerTest, ExecutorFailureDeliveredViaFuture) {
+  FailingExecutor failing(&exec_);
+  server::QueryServer server(&sem_, &failing, config(2));
+  server.attach(dsid_, &slide_);
+
+  auto bad = server.submit(
+      pred(Rect::ofSize(FailingExecutor::kPoisonX, 0, 128, 128), 2), 0);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+
+  // The server keeps working and the graph is consistent.
+  const VMPredicate ok(dsid_, Rect::ofSize(0, 0, 256, 256), 2,
+                       VMOp::Subsample);
+  expectCorrect(ok, server.execute(ok.clone(), 0));
+  EXPECT_EQ(server.scheduler().waitingCount(), 0u);
+  EXPECT_EQ(server.scheduler().executingCount(), 0u);
+}
+
+TEST_F(QueryServerTest, FailureDoesNotPoisonDependents) {
+  FailingExecutor failing(&exec_);
+  auto cfg = config(2);
+  server::QueryServer server(&sem_, &failing, cfg);
+  server.attach(dsid_, &slide_);
+
+  // Both queries overlap; the second may elect to wait on the first, which
+  // fails. The second must recover by computing from raw data.
+  const VMPredicate poison(dsid_,
+                           Rect::ofSize(FailingExecutor::kPoisonX, 0, 256, 256),
+                           2, VMOp::Subsample);
+  const VMPredicate dependent(
+      dsid_, Rect::ofSize(FailingExecutor::kPoisonX - 128, 0, 256, 256), 2,
+      VMOp::Subsample);
+  auto f1 = server.submit(poison.clone(), 0);
+  auto f2 = server.submit(dependent.clone(), 1);
+  EXPECT_THROW((void)f1.get(), std::runtime_error);
+  // Remainder parts of `dependent` don't start at the poison origin, so it
+  // succeeds... unless it computed whole from raw at the poison-free
+  // origin. Either way it must produce correct bytes.
+  expectCorrect(dependent, f2.get());
+}
+
+TEST_F(QueryServerTest, PyramidPrewarmServesAlignedQueriesFromCache) {
+  auto cfg = config(2, "CF");
+  cfg.dsBytes = 64ULL << 20;
+  cfg.maxNestedReuseDepth = 8;
+  auto server = makeServer(cfg);
+
+  // Materialize the zoom-2 level as 128^2-output tiles (4x4 over 1024^2).
+  for (const auto& tile : sem_.pyramidLevel(dsid_, 2, 128, VMOp::Average)) {
+    (void)server->execute(tile.clone(), -1);
+  }
+
+  // Aligned queries at zoom 4 and 8 must be pure projections — and exact.
+  for (const std::uint32_t zoom : {4u, 8u}) {
+    const VMPredicate q(dsid_,
+                        Rect::ofSize(128, 256, 64 * zoom, 64 * zoom), zoom,
+                        VMOp::Average);
+    const auto result = server->execute(q.clone(), 0);
+    expectCorrect(q, result);
+    EXPECT_EQ(result.record.bytesFromDisk, 0u) << q.describe();
+    EXPECT_GT(result.record.overlapUsed, 0.0);
+  }
+}
+
+TEST_F(QueryServerTest, StressManySmallQueriesWithEvictions) {
+  auto cfg = config(/*threads=*/4, "CNBF");
+  cfg.dsBytes = 200 * 1024;  // force continuous eviction churn
+  auto server = makeServer(cfg);
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<VMPredicate> queries;
+  for (int i = 0; i < 60; ++i) {
+    const std::int64_t x = (i * 64) % 768;
+    const std::int64_t y = ((i / 7) * 96) % 768;
+    queries.emplace_back(dsid_, Rect::ofSize(x, y, 128, 128), 2,
+                         VMOp::Subsample);
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(server->submit(queries[i].clone(), static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expectCorrect(queries[i], futures[i].get());
+  }
+  EXPECT_GT(server->dataStore().stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace mqs::server

@@ -1,0 +1,159 @@
+// System-level invariants of the discrete-event server, swept across every
+// ranking policy, both VM operators, and a range of thread-pool sizes
+// (parameterized gtest). These are the conservation laws any correct
+// middleware run must satisfy regardless of schedule.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "driver/sim_experiment.hpp"
+#include "sim/vol_model.hpp"
+#include "vol/vol_semantics.hpp"
+
+namespace mqs::sim {
+namespace {
+
+using Param = std::tuple<std::string, vm::VMOp, int>;  // policy, op, threads
+
+class SimInvariantsTest : public ::testing::TestWithParam<Param> {};
+
+driver::WorkloadConfig workloadFor(vm::VMOp op) {
+  driver::WorkloadConfig cfg;
+  cfg.datasets = {driver::DatasetSpec{4096, 4096, 146, 5},
+                  driver::DatasetSpec{4096, 4096, 146, 6}};
+  cfg.clientsPerDataset = {4, 2};
+  cfg.queriesPerClient = 5;
+  cfg.outputSide = 256;
+  cfg.zoomLevels = {2, 4, 8};
+  cfg.zoomWeights = {2, 2, 1};
+  cfg.alignGrid = 16;
+  cfg.op = op;
+  cfg.seed = 777;
+  return cfg;
+}
+
+TEST_P(SimInvariantsTest, ConservationLawsHold) {
+  const auto& [policy, op, threads] = GetParam();
+  SimConfig server;
+  server.policy = policy;
+  server.threads = threads;
+  server.cpus = 8;
+  server.dsBytes = 8ULL << 20;
+  server.psBytes = 4ULL << 20;
+
+  const auto result =
+      driver::SimExperiment::runInteractive(workloadFor(op), server);
+
+  ASSERT_EQ(result.summary.queries, 30u);
+  EXPECT_GT(result.summary.makespan, 0.0);
+
+  std::uint64_t diskTotal = 0;
+  for (const auto& r : result.records) {
+    // Time ordering.
+    EXPECT_GE(r.startTime, r.arrivalTime);
+    EXPECT_GT(r.finishTime, r.startTime);
+    EXPECT_GE(r.blockedTime, 0.0);
+    EXPECT_LE(r.blockedTime, r.execTime() + 1e-9);
+    // A query reads at most its index-lookup input estimate — with slack
+    // for chunks straddling remainder-part boundaries, which can be
+    // re-read if the page space thrashes between parts.
+    EXPECT_LE(r.bytesFromDisk, 2 * r.inputBytes);
+    EXPECT_LE(r.bytesReused, r.outputBytes);
+    EXPECT_GE(r.overlapUsed, 0.0);
+    EXPECT_LE(r.overlapUsed, 1.0);
+    // Full reuse <=> no disk reads for this query.
+    if (r.overlapUsed >= 1.0) {
+      EXPECT_EQ(r.bytesFromDisk, 0u);
+    }
+    diskTotal += r.bytesFromDisk;
+  }
+  // Per-query accounting must agree with the device-level accounting.
+  EXPECT_EQ(diskTotal, result.io.bytesRead);
+  // The device can never be busier than wall-clock allows.
+  EXPECT_LE(result.io.diskBusyIntegral, result.summary.makespan * 1 + 1e-6);
+  // Page-space bookkeeping is self-consistent.
+  EXPECT_EQ(result.psStats.hits + result.psStats.misses,
+            result.io.pageHits + result.io.pageReads + result.io.pageMerges);
+  // The scheduler processed exactly the workload.
+  EXPECT_EQ(result.schedStats.submitted, 30u);
+  EXPECT_EQ(result.schedStats.dequeued, 30u);
+  EXPECT_EQ(result.schedStats.completedCount, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyOpThreads, SimInvariantsTest,
+    ::testing::Combine(
+        ::testing::Values("FIFO", "MUF", "FF", "CF", "CNBF", "SJF",
+                          "COMBINED", "ADAPTIVE"),
+        ::testing::Values(vm::VMOp::Subsample, vm::VMOp::Average),
+        ::testing::Values(1, 3, 8)),
+    [](const ::testing::TestParamInfo<Param>& paramInfo) {
+      return std::get<0>(paramInfo.param) +
+             std::string(std::get<1>(paramInfo.param) == vm::VMOp::Subsample
+                             ? "_sub_"
+                             : "_avg_") +
+             std::to_string(std::get<2>(paramInfo.param)) + "t";
+    });
+
+/// The generic engine runs the volume application too (via VolModel).
+TEST(SimVolume, VolumeWorkloadOnTheDes) {
+  vol::VolSemantics sem;
+  const auto ds = sem.addDataset(vol::VolumeLayout(512, 512, 256, 40));
+  VolModel model(&sem);
+
+  Simulator simr;
+  SimConfig cfg;
+  cfg.threads = 2;
+  cfg.dsBytes = 8ULL << 20;
+  cfg.psBytes = 4ULL << 20;
+  SimServer server(simr, &sem, &model, cfg);
+
+  // Overview then slices — mirrors examples/volume_explorer.
+  server.submit(std::make_unique<vol::VolPredicate>(
+                    ds, Box3::ofSize(0, 0, 0, 512, 512, 256), 4,
+                    vol::VolOp::Subvolume),
+                0);
+  simr.run();
+  for (int i = 0; i < 4; ++i) {
+    server.submit(std::make_unique<vol::VolPredicate>(
+                      vol::VolPredicate::slice(
+                          ds, Rect::ofSize(0, 0, 512, 512), i * 64, 4)),
+                  1);
+  }
+  simr.run();
+
+  const auto records = server.collector().records();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_GT(records[0].bytesFromDisk, 0u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(records[i].overlapUsed, 1.0) << i;
+    EXPECT_EQ(records[i].bytesFromDisk, 0u) << i;
+    EXPECT_LT(records[i].execTime(), records[0].execTime()) << i;
+  }
+}
+
+TEST(SimVolume, DeterministicVolumeRuns) {
+  auto runOnce = [] {
+    vol::VolSemantics sem;
+    const auto ds = sem.addDataset(vol::VolumeLayout(256, 256, 128, 40));
+    VolModel model(&sem);
+    Simulator simr;
+    SimConfig cfg;
+    cfg.threads = 3;
+    SimServer server(simr, &sem, &model, cfg);
+    for (int i = 0; i < 6; ++i) {
+      server.submit(std::make_unique<vol::VolPredicate>(
+                        ds,
+                        Box3::ofSize((i % 2) * 128, 0, (i % 3) * 32, 128, 128,
+                                     32),
+                        2, vol::VolOp::Subvolume),
+                    i);
+    }
+    simr.run();
+    return simr.now();
+  };
+  EXPECT_DOUBLE_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace mqs::sim

@@ -1,0 +1,401 @@
+#include "sim/sim_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/sim_experiment.hpp"
+#include "vm/vm_predicate.hpp"
+
+namespace mqs::sim {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+class SimServerTest : public ::testing::Test {
+ protected:
+  SimServerTest() { dsid_ = sem_.addDataset(index::ChunkLayout(2048, 2048, 128)); }
+
+  query::PredicatePtr pred(Rect r, std::uint32_t zoom,
+                           VMOp op = VMOp::Subsample) {
+    return std::make_unique<VMPredicate>(dsid_, r, zoom, op);
+  }
+
+  SimConfig smallConfig() {
+    SimConfig cfg;
+    cfg.threads = 2;
+    cfg.cpus = 4;
+    cfg.dsBytes = 8ULL << 20;
+    cfg.psBytes = 4ULL << 20;
+    return cfg;
+  }
+
+  vm::VMSemantics sem_;
+  storage::DatasetId dsid_ = 0;
+};
+
+TEST_F(SimServerTest, SingleQueryColdRunReadsItsInput) {
+  Simulator sim;
+  SimServer srv(sim, &sem_, smallConfig());
+  const auto p = pred(Rect::ofSize(0, 0, 512, 512), 4);
+  const auto inputBytes = sem_.qinputsize(*p);
+  srv.submit(p->clone(), 0);
+  sim.run();
+
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 1u);
+  const auto& r = recs[0];
+  EXPECT_DOUBLE_EQ(r.overlapUsed, 0.0);
+  EXPECT_EQ(r.bytesFromDisk, inputBytes);
+  EXPECT_GT(r.execTime(), 0.0);
+  EXPECT_GE(r.waitTime(), 0.0);
+  EXPECT_EQ(srv.ioStats().pageReads, 16u);  // 4x4 chunks of 128x128
+}
+
+TEST_F(SimServerTest, IdenticalRepeatIsFullReuse) {
+  Simulator sim;
+  SimServer srv(sim, &sem_, smallConfig());
+  const auto p = pred(Rect::ofSize(0, 0, 512, 512), 4);
+  srv.submit(p->clone(), 0);
+  sim.run();
+  srv.submit(p->clone(), 0);
+  sim.run();
+
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(recs[1].overlapUsed, 1.0);
+  EXPECT_EQ(recs[1].bytesFromDisk, 0u);
+  EXPECT_LT(recs[1].execTime(), recs[0].execTime());
+  EXPECT_EQ(recs[1].bytesReused, recs[1].outputBytes);
+}
+
+TEST_F(SimServerTest, CachingDisabledMeansNoReuse) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  cfg.dataStoreEnabled = false;
+  SimServer srv(sim, &sem_, cfg);
+  const auto p = pred(Rect::ofSize(0, 0, 512, 512), 4);
+  srv.submit(p->clone(), 0);
+  sim.run();
+  srv.submit(p->clone(), 0);
+  sim.run();
+  const auto recs = srv.collector().records();
+  EXPECT_DOUBLE_EQ(recs[1].overlapUsed, 0.0);
+  // The Page Space still helps: second run reads nothing from disk.
+  EXPECT_EQ(recs[1].bytesFromDisk, 0u);
+  EXPECT_GT(srv.ioStats().pageHits, 0u);
+}
+
+TEST_F(SimServerTest, PartialOverlapProducesRemainderWork) {
+  Simulator sim;
+  SimServer srv(sim, &sem_, smallConfig());
+  srv.submit(pred(Rect::ofSize(0, 0, 512, 512), 4), 0);
+  sim.run();
+  // Shifted by half: overlap 0.5, remainder must hit the disk.
+  srv.submit(pred(Rect::ofSize(256, 0, 512, 512), 4), 0);
+  sim.run();
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(recs[1].overlapUsed, 0.5);
+  EXPECT_GT(recs[1].bytesFromDisk, 0u);
+  EXPECT_LT(recs[1].bytesFromDisk, recs[0].bytesFromDisk);
+  EXPECT_EQ(recs[1].bytesReused, recs[1].outputBytes / 2);
+}
+
+TEST_F(SimServerTest, LowerZoomResultServesHigherZoomQuery) {
+  Simulator sim;
+  SimServer srv(sim, &sem_, smallConfig());
+  srv.submit(pred(Rect::ofSize(0, 0, 512, 512), 2), 0);
+  sim.run();
+  srv.submit(pred(Rect::ofSize(0, 0, 512, 512), 4), 0);
+  sim.run();
+  const auto recs = srv.collector().records();
+  EXPECT_DOUBLE_EQ(recs[1].overlapUsed, 0.5);  // Eq. 4: I_S/O_S
+  EXPECT_EQ(recs[1].bytesFromDisk, 0u);        // full areal coverage
+}
+
+TEST_F(SimServerTest, BlocksOnExecutingSourceWhenProfitable) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  cfg.threads = 2;
+  SimServer srv(sim, &sem_, cfg);
+  // Submit a producer and an identical consumer back to back; with two
+  // threads the consumer starts while the producer still executes and
+  // should elect to wait for its result.
+  srv.submit(pred(Rect::ofSize(0, 0, 1024, 1024), 4), 0);
+  srv.submit(pred(Rect::ofSize(0, 0, 1024, 1024), 4), 1);
+  sim.run();
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 2u);
+  const auto& consumer = recs[0].client == 1 ? recs[0] : recs[1];
+  EXPECT_TRUE(consumer.reusedExecuting);
+  EXPECT_GT(consumer.blockedTime, 0.0);
+  EXPECT_DOUBLE_EQ(consumer.overlapUsed, 1.0);
+  EXPECT_EQ(consumer.bytesFromDisk, 0u);
+}
+
+TEST_F(SimServerTest, WaitOnExecutingCanBeDisabled) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  cfg.allowWaitOnExecuting = false;
+  SimServer srv(sim, &sem_, cfg);
+  srv.submit(pred(Rect::ofSize(0, 0, 1024, 1024), 4), 0);
+  srv.submit(pred(Rect::ofSize(0, 0, 1024, 1024), 4), 1);
+  sim.run();
+  for (const auto& r : srv.collector().records()) {
+    EXPECT_FALSE(r.reusedExecuting);
+  }
+  // Both read from disk, but the pages merge/hit in the Page Space.
+  EXPECT_GT(srv.ioStats().pageHits + srv.ioStats().pageMerges, 0u);
+}
+
+TEST_F(SimServerTest, ThreadLimitCapsConcurrency) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  cfg.threads = 1;
+  SimServer srv(sim, &sem_, cfg);
+  // Two disjoint queries: with one thread, strictly sequential.
+  srv.submit(pred(Rect::ofSize(0, 0, 512, 512), 4), 0);
+  srv.submit(pred(Rect::ofSize(1024, 1024, 512, 512), 4), 1);
+  sim.run();
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 2u);
+  const auto& first = recs[0];
+  const auto& second = recs[1];
+  EXPECT_GE(second.startTime, first.finishTime);
+  EXPECT_GT(second.waitTime(), 0.0);
+}
+
+TEST_F(SimServerTest, MoreThreadsOverlapDisjointWorkOnADiskFarm) {
+  auto runWith = [&](int threads) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.threads = threads;
+    cfg.diskFarm.disks = 4;  // parallel devices, so concurrency pays off
+    SimServer srv(sim, &sem, cfg);
+    for (int i = 0; i < 4; ++i) {
+      srv.submit(std::make_unique<VMPredicate>(
+                     0, Rect::ofSize(i * 512, 0, 512, 512), 4,
+                     VMOp::Subsample),
+                 i);
+    }
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_LT(runWith(4), runWith(1));
+}
+
+TEST_F(SimServerTest, SingleDiskLosesEfficiencyUnderHighConcurrency) {
+  // The k-stream seek model: interleaving many query streams on one disk
+  // breaks sequential runs, so aggregate throughput drops (Figure 4's
+  // degradation past the optimum thread count).
+  auto makespanWith = [&](int threads) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(4096, 4096, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.threads = threads;
+    cfg.diskFarm.disks = 1;
+    cfg.dataStoreEnabled = false;  // isolate the I/O effect
+    SimServer srv(sim, &sem, cfg);
+    for (int i = 0; i < 16; ++i) {
+      srv.submit(std::make_unique<VMPredicate>(
+                     0, Rect::ofSize((i % 4) * 1024, (i / 4) * 1024, 512, 512),
+                     4, VMOp::Subsample),
+                 i);
+    }
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_GT(makespanWith(16), makespanWith(1));
+}
+
+TEST_F(SimServerTest, EvictionSwapsNodesOutOfTheGraph) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  // Data store fits one 128x128 output blob (49152 B) but not two; page
+  // space tiny so reuse loss is visible in disk bytes.
+  cfg.dsBytes = 60 * 1024;
+  cfg.psBytes = 1;  // effectively disabled
+  cfg.cacheSubqueryResults = false;
+  SimServer srv(sim, &sem_, cfg);
+
+  const auto a = pred(Rect::ofSize(0, 0, 512, 512), 4);
+  const auto b = pred(Rect::ofSize(1024, 0, 512, 512), 4);
+  srv.submit(a->clone(), 0);
+  sim.run();
+  srv.submit(b->clone(), 0);  // evicts a's blob
+  sim.run();
+  EXPECT_GE(srv.dataStore().stats().evictions, 1u);
+  // Re-running a finds no cached result anymore.
+  srv.submit(a->clone(), 0);
+  sim.run();
+  const auto recs = srv.collector().records();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_DOUBLE_EQ(recs[2].overlapUsed, 0.0);
+  EXPECT_GT(recs[2].bytesFromDisk, 0u);
+}
+
+TEST_F(SimServerTest, PrefetchRestoresSequentialityUnderElevator) {
+  auto runWith = [&](int prefetch) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(4096, 4096, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.threads = 4;
+    cfg.ioModel = "elevator";
+    cfg.prefetchPages = prefetch;
+    cfg.dataStoreEnabled = false;  // isolate the I/O effect
+    SimServer srv(sim, &sem, cfg);
+    for (int i = 0; i < 8; ++i) {
+      srv.submit(std::make_unique<VMPredicate>(
+                     0, Rect::ofSize((i % 4) * 1024, (i / 4) * 2048, 1024,
+                                     1024),
+                     4, VMOp::Subsample),
+                 i);
+    }
+    sim.run();
+    return std::pair{sim.now(), srv.ioStats()};
+  };
+  const auto [slowTime, slowIo] = runWith(0);
+  const auto [fastTime, fastIo] = runWith(4);
+  EXPECT_LT(fastTime, slowTime);
+  EXPECT_GT(fastIo.sequentialReads, slowIo.sequentialReads);
+  // Prefetch may re-read a few pages evicted before their demand access,
+  // but must stay close to the demand-only byte volume.
+  EXPECT_LT(static_cast<double>(fastIo.bytesRead),
+            1.05 * static_cast<double>(slowIo.bytesRead));
+}
+
+TEST_F(SimServerTest, PositionalModelsCompleteAllQueriesIdentically) {
+  for (const char* model : {"kstream", "fifo", "elevator"}) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.ioModel = model;
+    SimServer srv(sim, &sem, cfg);
+    for (int i = 0; i < 6; ++i) {
+      srv.submit(std::make_unique<VMPredicate>(
+                     0, Rect::ofSize((i % 3) * 512, 0, 512, 512), 4,
+                     VMOp::Subsample),
+                 i);
+    }
+    sim.run();
+    // Same work gets done; only timing differs across disk models.
+    EXPECT_EQ(srv.collector().count(), 6u) << model;
+    EXPECT_EQ(srv.ioStats().bytesRead, srv.ioStats().bytesRead) << model;
+  }
+}
+
+TEST_F(SimServerTest, UnknownIoModelRejected) {
+  Simulator sim;
+  auto cfg = smallConfig();
+  cfg.ioModel = "quantum";
+  EXPECT_THROW(SimServer(sim, &sem_, cfg), CheckFailure);
+}
+
+TEST_F(SimServerTest, NestedReuseDepthZeroDisablesSubqueryLookups) {
+  auto diskBytesWith = [&](int depth) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.maxNestedReuseDepth = depth;
+    cfg.psBytes = 1;  // no page cache: raw remainders must hit the disk
+    SimServer srv(sim, &sem, cfg);
+    // Two separate cached strips, then one query overlapping both: the
+    // second strip is only reusable through a *nested* lookup of a
+    // remainder part.
+    srv.submit(std::make_unique<VMPredicate>(
+                   0, Rect::ofSize(0, 0, 512, 512), 4, VMOp::Subsample),
+               0);
+    sim.run();
+    srv.submit(std::make_unique<VMPredicate>(
+                   0, Rect::ofSize(512, 0, 512, 512), 4, VMOp::Subsample),
+               0);
+    sim.run();
+    srv.submit(std::make_unique<VMPredicate>(
+                   0, Rect::ofSize(0, 0, 1024, 512), 4, VMOp::Subsample),
+               0);
+    sim.run();
+    return srv.collector().records()[2].bytesFromDisk;
+  };
+  EXPECT_GT(diskBytesWith(0), 0u);   // remainder must hit the disk
+  EXPECT_EQ(diskBytesWith(2), 0u);   // nested lookup covers it
+}
+
+TEST_F(SimServerTest, DeterministicRuns) {
+  auto runOnce = [&] {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    SimServer srv(sim, &sem, smallConfig());
+    for (int i = 0; i < 6; ++i) {
+      srv.submit(std::make_unique<VMPredicate>(
+                     0, Rect::ofSize((i % 3) * 256, 0, 512, 512), 4,
+                     VMOp::Subsample),
+                 i);
+    }
+    sim.run();
+    std::vector<double> times;
+    for (const auto& r : srv.collector().records()) {
+      times.push_back(r.finishTime);
+    }
+    return times;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST_F(SimServerTest, CpuPoolBoundsComputeThroughput) {
+  // CPU-bound configuration: 1 CPU, free I/O — the makespan can never be
+  // smaller than the serial CPU demand, and adding threads cannot beat the
+  // CPU pool.
+  auto runWith = [&](int threads, int cpus) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    auto cfg = smallConfig();
+    cfg.threads = threads;
+    cfg.cpus = cpus;
+    cfg.dataStoreEnabled = false;
+    cfg.diskFarm.disk.bytesPerSecond = 1e15;  // I/O effectively free
+    cfg.diskFarm.disk.seekOverheadSec = 0;
+    cfg.diskFarm.disk.sequentialOverheadSec = 0;
+    cfg.hostOverheadPerPageSec = 0;
+    SimServer srv(sim, &sem, cfg);
+    std::uint64_t bytes = 0;
+    for (int i = 0; i < 4; ++i) {
+      const auto r = Rect::ofSize((i % 2) * 1024, (i / 2) * 1024, 1024, 1024);
+      bytes += static_cast<std::uint64_t>(r.area()) * 3;
+      srv.submit(std::make_unique<VMPredicate>(0, r, 4, VMOp::Average), i);
+    }
+    sim.run();
+    return std::pair{sim.now(),
+                     static_cast<double>(bytes) * cfg.cpuPerByteAverage};
+  };
+  const auto [oneCore, cpuDemand] = runWith(4, 1);
+  EXPECT_GE(oneCore, cpuDemand * 0.999);  // conservation of CPU work
+  const auto [fourCores, demand2] = runWith(4, 4);
+  (void)demand2;
+  EXPECT_LT(fourCores, oneCore);  // more processors genuinely help
+}
+
+TEST_F(SimServerTest, AveragingCostsMoreCpuThanSubsampling) {
+  auto runOp = [&](VMOp op) {
+    vm::VMSemantics sem;
+    (void)sem.addDataset(index::ChunkLayout(2048, 2048, 128));
+    Simulator sim;
+    SimServer srv(sim, &sem, smallConfig());
+    srv.submit(std::make_unique<VMPredicate>(
+                   0, Rect::ofSize(0, 0, 1024, 1024), 4, op),
+               0);
+    sim.run();
+    return srv.collector().records()[0].execTime();
+  };
+  EXPECT_GT(runOp(VMOp::Average), runOp(VMOp::Subsample));
+}
+
+}  // namespace
+}  // namespace mqs::sim

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "storage/delayed_source.hpp"
+#include "storage/disk_model.hpp"
+#include "storage/file_source.hpp"
+#include "storage/synthetic_source.hpp"
+
+namespace mqs::storage {
+namespace {
+
+TEST(SyntheticPixel, DeterministicAndStable) {
+  // The function is part of the repository's test contract: these golden
+  // values must never change (reference renders depend on them).
+  EXPECT_EQ(syntheticPixel(0, 0, 0, 0), syntheticPixel(0, 0, 0, 0));
+  const auto a = syntheticPixel(42, 17, 23, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(syntheticPixel(42, 17, 23, 1), a);
+  }
+}
+
+TEST(SyntheticPixel, VariesAcrossInputs) {
+  std::set<int> values;
+  for (int x = 0; x < 32; ++x) {
+    for (int y = 0; y < 32; ++y) {
+      values.insert(syntheticPixel(7, x, y, 0));
+    }
+  }
+  // 1024 draws over 256 possible values: expect near-full coverage.
+  EXPECT_GT(values.size(), 200u);
+}
+
+TEST(SyntheticPixel, ChannelsAndSeedsIndependent) {
+  int diffChannel = 0, diffSeed = 0;
+  for (int x = 0; x < 64; ++x) {
+    if (syntheticPixel(7, x, 0, 0) != syntheticPixel(7, x, 0, 1)) ++diffChannel;
+    if (syntheticPixel(7, x, 0, 0) != syntheticPixel(8, x, 0, 0)) ++diffSeed;
+  }
+  EXPECT_GT(diffChannel, 48);
+  EXPECT_GT(diffSeed, 48);
+}
+
+TEST(SyntheticSlideSource, PageContentMatchesPixelFunction) {
+  const index::ChunkLayout layout(300, 200, 96);
+  const SyntheticSlideSource src(layout, 5);
+  EXPECT_EQ(src.pageCount(), layout.chunkCount());
+
+  for (PageId p = 0; p < src.pageCount(); ++p) {
+    std::vector<std::byte> buf(src.pageBytes(p));
+    src.readPage(p, buf);
+    const Rect r = layout.chunkRect(p);
+    // Spot-check corners of each chunk.
+    auto at = [&](std::int64_t x, std::int64_t y, int c) {
+      const auto idx =
+          ((y - r.y0) * r.width() + (x - r.x0)) * 3 + c;
+      return static_cast<std::uint8_t>(buf[static_cast<std::size_t>(idx)]);
+    };
+    EXPECT_EQ(at(r.x0, r.y0, 0), syntheticPixel(5, r.x0, r.y0, 0));
+    EXPECT_EQ(at(r.x1 - 1, r.y1 - 1, 2),
+              syntheticPixel(5, r.x1 - 1, r.y1 - 1, 2));
+  }
+}
+
+TEST(SyntheticSlideSource, EdgePagesAreShort) {
+  const index::ChunkLayout layout(250, 130, 100);
+  const SyntheticSlideSource src(layout, 1);
+  EXPECT_EQ(src.pageBytes(0), 100u * 100 * 3);
+  EXPECT_EQ(src.pageBytes(5), 50u * 30 * 3);  // bottom-right corner
+}
+
+TEST(SyntheticSlideSource, BufferTooSmallThrows) {
+  const index::ChunkLayout layout(100, 100, 50);
+  const SyntheticSlideSource src(layout, 1);
+  std::vector<std::byte> tiny(10);
+  EXPECT_THROW(src.readPage(0, tiny), CheckFailure);
+}
+
+class FileSourceTest : public ::testing::Test {
+ protected:
+  FileSourceTest()
+      : layout_(260, 140, 96),
+        slide_(layout_, 9),
+        path_(std::filesystem::temp_directory_path() / "mqs_slide.bin") {}
+  ~FileSourceTest() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  index::ChunkLayout layout_;
+  SyntheticSlideSource slide_;
+  std::filesystem::path path_;
+};
+
+TEST_F(FileSourceTest, MaterializeAndReadBackEveryPage) {
+  const std::uint64_t written = FileSource::materialize(slide_, path_);
+  EXPECT_EQ(written, 260u * 140 * 3);
+  EXPECT_EQ(std::filesystem::file_size(path_), written);
+
+  FileSource file(path_, layout_);
+  EXPECT_EQ(file.pageCount(), slide_.pageCount());
+  for (PageId p = 0; p < file.pageCount(); ++p) {
+    ASSERT_EQ(file.pageBytes(p), slide_.pageBytes(p));
+    std::vector<std::byte> fromFile(file.pageBytes(p));
+    std::vector<std::byte> fromSynthetic(slide_.pageBytes(p));
+    file.readPage(p, fromFile);
+    slide_.readPage(p, fromSynthetic);
+    EXPECT_EQ(fromFile, fromSynthetic) << "page " << p;
+  }
+}
+
+TEST_F(FileSourceTest, SizeMismatchDetected) {
+  (void)FileSource::materialize(slide_, path_);
+  // A layout implying a different total size must be rejected.
+  const index::ChunkLayout wrong(261, 140, 96);
+  EXPECT_THROW(FileSource(path_, wrong), CheckFailure);
+}
+
+TEST_F(FileSourceTest, MissingFileThrows) {
+  EXPECT_THROW(FileSource("/nonexistent/mqs.bin", layout_), CheckFailure);
+}
+
+TEST(DiskModel, ServiceTimeComposition) {
+  DiskModel m;
+  m.seekOverheadSec = 0.004;
+  m.sequentialOverheadSec = 0.001;
+  m.bytesPerSecond = 1'000'000;
+  // Single stream: sequential overhead only.
+  EXPECT_DOUBLE_EQ(m.serviceTime(500'000, 1), 0.5 + 0.001);
+  // Two streams: half the requests break the run.
+  EXPECT_DOUBLE_EQ(m.serviceTime(500'000, 2), 0.5 + 0.001 + 0.003 / 2);
+  // Many streams: approaches the full seek.
+  EXPECT_NEAR(m.serviceTime(0, 1000), 0.004, 1e-5);
+  // streams < 1 clamps.
+  EXPECT_DOUBLE_EQ(m.serviceTime(100, 0), m.serviceTime(100, 1));
+}
+
+TEST(DiskModel, ServiceTimeMonotoneInStreams) {
+  DiskModel m;
+  double prev = 0.0;
+  for (int k = 1; k <= 32; ++k) {
+    const double t = m.serviceTime(64 * 1024, k);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DiskFarmModel, RoundRobinStriping) {
+  DiskFarmModel farm;
+  farm.disks = 3;
+  EXPECT_EQ(farm.diskFor(0), 0);
+  EXPECT_EQ(farm.diskFor(1), 1);
+  EXPECT_EQ(farm.diskFor(2), 2);
+  EXPECT_EQ(farm.diskFor(3), 0);
+}
+
+TEST(DelayedSource, AddsModeledLatencyAndPreservesBytes) {
+  const index::ChunkLayout layout(128, 128, 64);
+  const SyntheticSlideSource inner(layout, 3);
+  DiskModel model;
+  model.seekOverheadSec = 0.0;
+  model.sequentialOverheadSec = 0.02;
+  model.bytesPerSecond = 1e12;  // latency-dominated
+  const DelayedSource delayed(inner, model);
+
+  EXPECT_EQ(delayed.pageCount(), inner.pageCount());
+  EXPECT_EQ(delayed.pageBytes(0), inner.pageBytes(0));
+
+  std::vector<std::byte> a(inner.pageBytes(0)), b(inner.pageBytes(0));
+  const auto t0 = std::chrono::steady_clock::now();
+  delayed.readPage(0, a);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  inner.readPage(0, b);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(elapsed, 0.018);  // ~20ms modeled latency (scheduler slack)
+}
+
+TEST(PageKey, HashSpreadsAndEqualityWorks) {
+  PageKeyHash h;
+  std::set<std::size_t> hashes;
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    for (std::uint64_t p = 0; p < 64; ++p) {
+      hashes.insert(h(PageKey{d, p}));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 256u);  // no collisions in this small set
+  EXPECT_EQ((PageKey{1, 2}), (PageKey{1, 2}));
+  EXPECT_NE((PageKey{1, 2}), (PageKey{2, 1}));
+}
+
+}  // namespace
+}  // namespace mqs::storage

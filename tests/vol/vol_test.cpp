@@ -1,0 +1,321 @@
+// Volume-visualization application: layout, semantics (3-D Eq. 4 analogue,
+// cross-operator reuse), executor correctness against the reference
+// renderer, and end-to-end behaviour on the threaded query server.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "server/query_server.hpp"
+#include "vol/synthetic_volume.hpp"
+#include "vol/vol_executor.hpp"
+
+namespace mqs::vol {
+namespace {
+
+constexpr std::uint64_t kSeed = 99;
+
+// ---------------------------------------------------------------- layout
+
+TEST(VolumeLayout, BrickGridAndClipping) {
+  const VolumeLayout l(100, 80, 50, 40);
+  EXPECT_EQ(l.brickCount(), 3u * 2 * 2);
+  EXPECT_EQ(l.brickBox(0), Box3::ofSize(0, 0, 0, 40, 40, 40));
+  // Last brick: x in [80,100), y in [40,80), z in [40,50).
+  const Box3 last = l.brickBox(l.brickCount() - 1);
+  EXPECT_EQ(last, (Box3{80, 40, 40, 100, 80, 50}));
+  EXPECT_EQ(l.brickBytes(l.brickCount() - 1), 20u * 40 * 10);
+}
+
+TEST(VolumeLayout, BricksTileTheVolume) {
+  const VolumeLayout l(70, 50, 30, 32);
+  std::vector<Box3> boxes;
+  for (std::uint64_t id = 0; id < l.brickCount(); ++id) {
+    boxes.push_back(l.brickBox(id));
+  }
+  EXPECT_TRUE(exactlyCovers(l.extent(), boxes));
+  EXPECT_EQ(l.inputBytes(l.extent()), 70u * 50 * 30);
+}
+
+TEST(VolumeLayout, BricksIntersectingHalfOpen) {
+  const VolumeLayout l(120, 120, 120, 40);
+  EXPECT_EQ(l.bricksIntersecting(Box3::ofSize(0, 0, 0, 40, 40, 40)).size(),
+            1u);
+  EXPECT_EQ(l.bricksIntersecting(Box3::ofSize(0, 0, 0, 41, 40, 40)).size(),
+            2u);
+  EXPECT_EQ(l.bricksIntersecting(Box3::ofSize(20, 20, 20, 80, 80, 80)).size(),
+            27u);
+  EXPECT_TRUE(l.bricksIntersecting(Box3::ofSize(200, 0, 0, 5, 5, 5)).empty());
+}
+
+// ------------------------------------------------------------- semantics
+
+class VolSemanticsTest : public ::testing::Test {
+ protected:
+  VolSemanticsTest() { ds_ = sem_.addDataset(VolumeLayout(512, 512, 256, 40)); }
+
+  VolPredicate sub(Box3 b, std::uint32_t lod) {
+    return VolPredicate(ds_, b, lod, VolOp::Subvolume);
+  }
+
+  VolSemantics sem_;
+  storage::DatasetId ds_ = 0;
+};
+
+TEST_F(VolSemanticsTest, PredicateInvariants) {
+  EXPECT_THROW(sub(Box3::ofSize(0, 0, 0, 10, 8, 8), 4), CheckFailure);
+  EXPECT_THROW(VolPredicate(ds_, Box3::ofSize(0, 0, 0, 8, 8, 16), 4,
+                            VolOp::Slice),
+               CheckFailure);  // slice depth must equal lod
+  const auto s = VolPredicate::slice(ds_, Rect::ofSize(0, 0, 64, 64), 32, 4);
+  EXPECT_EQ(s.box().depth(), 4);
+  EXPECT_EQ(s.outDepth(), 1);
+  EXPECT_EQ(s.outBytes(), 16u * 16);
+}
+
+TEST_F(VolSemanticsTest, IdenticalOverlapIsOne) {
+  const auto p = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 4);
+  EXPECT_DOUBLE_EQ(sem_.overlap(p, p), 1.0);
+}
+
+TEST_F(VolSemanticsTest, Eq4AnalogueHalfVolumeAndLodRatio) {
+  const auto cached = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 4);
+  const auto half = sub(Box3::ofSize(64, 0, 0, 128, 128, 64), 4);
+  EXPECT_DOUBLE_EQ(sem_.overlap(cached, half), 0.5);
+  const auto coarser = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 8);
+  EXPECT_DOUBLE_EQ(sem_.overlap(cached, coarser), 0.5);  // I_L/O_L
+  // Not invertible.
+  EXPECT_DOUBLE_EQ(sem_.overlap(coarser, cached), 0.0);
+}
+
+TEST_F(VolSemanticsTest, MisalignmentKillsOverlap) {
+  const auto cached = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 4);
+  const auto shifted = sub(Box3::ofSize(2, 0, 0, 128, 128, 64), 4);
+  EXPECT_DOUBLE_EQ(sem_.overlap(cached, shifted), 0.0);
+  // Congruent modulo the *cached* lod is enough.
+  const auto fine = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 2);
+  const auto offset = sub(Box3::ofSize(2, 0, 0, 128, 128, 64), 4);
+  EXPECT_GT(sem_.overlap(fine, offset), 0.0);
+}
+
+TEST_F(VolSemanticsTest, CrossOperatorSubvolumeAnswersSlice) {
+  const auto cached = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 4);
+  const auto slice = VolPredicate::slice(ds_, Rect::ofSize(0, 0, 128, 128),
+                                         32, 4);
+  // Slice slab [32,36) lies inside the cached subvolume: full coverage.
+  EXPECT_DOUBLE_EQ(sem_.overlap(cached, slice), 1.0);
+  // And a slice can fill one slab of a subvolume query at equal lod.
+  const auto q = sub(Box3::ofSize(0, 0, 32, 128, 128, 4), 4);
+  const auto cachedSlice =
+      VolPredicate::slice(ds_, Rect::ofSize(0, 0, 128, 128), 32, 4);
+  EXPECT_DOUBLE_EQ(sem_.overlap(cachedSlice, q), 1.0);
+}
+
+TEST_F(VolSemanticsTest, SliceSlabIsAllOrNothingInZ) {
+  // Cached covers only half the slab's thickness -> unusable.
+  const auto cached = sub(Box3::ofSize(0, 0, 0, 128, 128, 34), 2);
+  const auto slice =
+      VolPredicate::slice(ds_, Rect::ofSize(0, 0, 128, 128), 32, 4);
+  EXPECT_DOUBLE_EQ(sem_.overlap(cached, slice), 0.0);
+}
+
+TEST_F(VolSemanticsTest, RemainderPlusCoveredTilesQuery) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint32_t cl = 1u << rng.uniformInt(0, 2);
+    const std::uint32_t ql = cl << rng.uniformInt(0, 2);
+    auto snap = [&](std::int64_t v) { return (v / 8) * 8; };
+    const auto mk = [&](std::uint32_t lod) {
+      const auto l = static_cast<std::int64_t>(lod);
+      return Box3::ofSize(snap(rng.uniformInt(0, 200)),
+                          snap(rng.uniformInt(0, 200)),
+                          snap(rng.uniformInt(0, 100)), l * rng.uniformInt(2, 10),
+                          l * rng.uniformInt(2, 10), l * rng.uniformInt(2, 10));
+    };
+    const auto cached = sub(mk(cl), cl);
+    const auto q = sub(mk(ql), ql);
+    const Box3 covered = sem_.coveredBox(cached, q);
+    std::vector<Box3> parts;
+    if (!covered.empty()) parts.push_back(covered);
+    for (const auto& r : sem_.remainder(cached, q)) {
+      parts.push_back(asVol(*r).box());
+      EXPECT_EQ(asVol(*r).lod(), ql);
+    }
+    EXPECT_TRUE(exactlyCovers(q.box(), parts))
+        << cached.describe() << " vs " << q.describe();
+  }
+}
+
+TEST_F(VolSemanticsTest, SizesAndReusedBytes) {
+  const auto p = sub(Box3::ofSize(0, 0, 0, 128, 128, 64), 4);
+  EXPECT_EQ(sem_.qoutsize(p), 32u * 32 * 16);
+  EXPECT_EQ(sem_.qinputsize(p),
+            sem_.layout(ds_).inputBytes(p.box()));
+  const auto half = sub(Box3::ofSize(64, 0, 0, 128, 128, 64), 4);
+  EXPECT_EQ(sem_.reusedOutputBytes(p, half), 16u * 32 * 16);
+}
+
+// -------------------------------------------------------------- executor
+
+class VolExecutorTest : public ::testing::Test {
+ protected:
+  VolExecutorTest()
+      : layoutHandle_(VolumeLayout(160, 160, 96, 40)),
+        source_(layoutHandle_, kSeed),
+        exec_(&sem_),
+        ps_(32ULL << 20) {
+    ds_ = sem_.addDataset(layoutHandle_);
+    ps_.attach(ds_, &source_);
+  }
+
+  VolumeLayout layoutHandle_;
+  SyntheticVolumeSource source_;
+  VolSemantics sem_;
+  VolExecutor exec_;
+  pagespace::PageSpaceManager ps_;
+  storage::DatasetId ds_ = 0;
+};
+
+TEST_F(VolExecutorTest, ExecuteMatchesReferenceAcrossLods) {
+  for (const std::uint32_t lod : {1u, 2u, 4u, 8u}) {
+    const auto l = static_cast<std::int64_t>(lod);
+    const VolPredicate q(ds_, Box3::ofSize(8, 16, 0, l * 16, l * 12, l * 8),
+                         lod, VolOp::Subvolume);
+    const auto got = exec_.execute(q, ps_);
+    const auto expect = renderReferenceVol(q, kSeed);
+    EXPECT_EQ(maxAbsDiffVol(expect, got), 0) << q.describe();
+  }
+}
+
+TEST_F(VolExecutorTest, SliceMatchesReference) {
+  const auto q = VolPredicate::slice(ds_, Rect::ofSize(0, 0, 128, 128), 48, 4);
+  const auto got = exec_.execute(q, ps_);
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(q, kSeed), got), 0);
+}
+
+TEST_F(VolExecutorTest, EqualLodProjectionIsExactCopy) {
+  const VolPredicate cached(ds_, Box3::ofSize(0, 0, 0, 128, 128, 64), 4,
+                            VolOp::Subvolume);
+  const auto payload = exec_.execute(cached, ps_);
+  const VolPredicate q(ds_, Box3::ofSize(32, 32, 16, 64, 64, 32), 4,
+                       VolOp::Subvolume);
+  std::vector<std::byte> out(q.outBytes());
+  exec_.project(cached, payload, q, out);
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(q, kSeed), out), 0);
+}
+
+TEST_F(VolExecutorTest, CrossLodProjectionWithinRounding) {
+  const VolPredicate cached(ds_, Box3::ofSize(0, 0, 0, 128, 128, 64), 2,
+                            VolOp::Subvolume);
+  const auto payload = exec_.execute(cached, ps_);
+  const VolPredicate q(ds_, Box3::ofSize(0, 0, 0, 128, 128, 64), 8,
+                       VolOp::Subvolume);
+  std::vector<std::byte> out(q.outBytes());
+  exec_.project(cached, payload, q, out);
+  EXPECT_LE(maxAbsDiffVol(renderReferenceVol(q, kSeed), out), 2);
+}
+
+TEST_F(VolExecutorTest, SliceFromCachedSubvolumeIsExact) {
+  const VolPredicate cached(ds_, Box3::ofSize(0, 0, 0, 128, 128, 64), 4,
+                            VolOp::Subvolume);
+  const auto payload = exec_.execute(cached, ps_);
+  const auto slice = VolPredicate::slice(ds_, Rect::ofSize(0, 0, 128, 128),
+                                         32, 4);
+  std::vector<std::byte> out(slice.outBytes());
+  exec_.project(cached, payload, slice, out);
+  // A slice is one z-layer of the subvolume: identical computation.
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(slice, kSeed), out), 0);
+}
+
+TEST_F(VolExecutorTest, RemainderAssemblyReconstructsQuery) {
+  const VolPredicate cached(ds_, Box3::ofSize(40, 40, 8, 80, 80, 48), 4,
+                            VolOp::Subvolume);
+  const auto payload = exec_.execute(cached, ps_);
+  const VolPredicate q(ds_, Box3::ofSize(0, 0, 0, 160, 160, 80), 4,
+                       VolOp::Subvolume);
+  std::vector<std::byte> out(q.outBytes());
+  exec_.project(cached, payload, q, out);
+  for (const auto& rem : sem_.remainder(cached, q)) {
+    const auto part = exec_.execute(*rem, ps_);
+    exec_.project(*rem, part, q, out);
+  }
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(q, kSeed), out), 0);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(VolServer, BrowsingSessionWithCrossOpReuse) {
+  VolSemantics sem;
+  const auto ds = sem.addDataset(VolumeLayout(256, 256, 128, 40));
+  SyntheticVolumeSource source(sem.layout(ds), kSeed);
+  VolExecutor exec(&sem);
+
+  server::ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.policy = "CF";
+  cfg.dsBytes = 16ULL << 20;
+  cfg.psBytes = 16ULL << 20;
+  server::QueryServer server(&sem, &exec, cfg);
+  server.attach(ds, &source);
+
+  // 1) LOD-4 overview of the whole volume.
+  const VolPredicate overview(ds, Box3::ofSize(0, 0, 0, 256, 256, 128), 4,
+                              VolOp::Subvolume);
+  const auto r1 = server.execute(overview.clone(), 0);
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(overview, kSeed), r1.bytes), 0);
+  EXPECT_DOUBLE_EQ(r1.record.overlapUsed, 0.0);
+
+  // 2) A slice through it: answered entirely from the cached overview.
+  const auto slicePred =
+      VolPredicate::slice(ds, Rect::ofSize(0, 0, 256, 256), 64, 4);
+  const auto r2 = server.execute(slicePred.clone(), 0);
+  EXPECT_EQ(maxAbsDiffVol(renderReferenceVol(slicePred, kSeed), r2.bytes), 0);
+  EXPECT_DOUBLE_EQ(r2.record.overlapUsed, 1.0);
+  EXPECT_EQ(r2.record.bytesFromDisk, 0u);
+
+  // 3) A coarser sub-box: re-aggregated from the overview, no disk.
+  const VolPredicate coarse(ds, Box3::ofSize(0, 0, 0, 128, 128, 64), 8,
+                            VolOp::Subvolume);
+  const auto r3 = server.execute(coarse.clone(), 0);
+  EXPECT_LE(maxAbsDiffVol(renderReferenceVol(coarse, kSeed), r3.bytes), 2);
+  EXPECT_GT(r3.record.overlapUsed, 0.0);
+  EXPECT_EQ(r3.record.bytesFromDisk, 0u);
+
+  server.shutdown();
+}
+
+TEST(VolServer, ConcurrentVolumeClientsCorrect) {
+  VolSemantics sem;
+  const auto ds = sem.addDataset(VolumeLayout(200, 200, 100, 40));
+  SyntheticVolumeSource source(sem.layout(ds), kSeed);
+  VolExecutor exec(&sem);
+  server::ServerConfig cfg;
+  cfg.threads = 4;
+  cfg.policy = "CNBF";
+  server::QueryServer server(&sem, &exec, cfg);
+  server.attach(ds, &source);
+
+  std::vector<VolPredicate> queries;
+  std::vector<std::future<server::QueryResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t lod = 1u << (i % 3);
+    const auto l = static_cast<std::int64_t>(lod);
+    queries.emplace_back(ds,
+                         Box3::ofSize((i % 2) * 40, ((i / 2) % 2) * 40,
+                                      (i % 4) * 8, l * 16, l * 16, l * 8),
+                         lod, VolOp::Subvolume);
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(server.submit(queries[i].clone(), static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto result = futures[i].get();
+    EXPECT_LE(maxAbsDiffVol(renderReferenceVol(queries[i], kSeed),
+                            result.bytes),
+              2)
+        << queries[i].describe();
+  }
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace mqs::vol

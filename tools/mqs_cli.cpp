@@ -1,0 +1,193 @@
+// mqs — command-line front door to the middleware.
+//
+//   mqs serve  [--port 0] [--policy CF] [--threads 4] [--datasets 3]
+//              [--side 8192] [--ds 64MB] [--ps 32MB]
+//       Start a query server on synthetic slides and print the port;
+//       runs until stdin closes (pipe `sleep inf |` for a daemon).
+//
+//   mqs query  --port P [--dataset 0] [--x 0 --y 0] [--side 1024]
+//              [--zoom 4] [--op subsample|average] [--out img.ppm]
+//       Execute one remote query; optionally save the image.
+//
+//   mqs experiment [--policy CF] [--threads 4] [--op subsample]
+//                  [--batch] [--ds 64MB] [--ps 32MB] [--full]
+//       Run the paper's client workload on the deterministic DES and
+//       print the summary row.
+//
+//   mqs trace-gen --out trace.txt [--seed 42]
+//       Generate the paper workload and save it as a replayable trace.
+#include <iostream>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "driver/sim_experiment.hpp"
+#include "driver/trace.hpp"
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+using namespace mqs;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mqs <serve|query|experiment|trace-gen> [options]\n"
+               "see the header of tools/mqs_cli.cpp for the full list\n";
+  return 2;
+}
+
+driver::WorkloadConfig paperWorkload(const Options& opts) {
+  driver::WorkloadConfig wl;
+  const bool full = opts.getBool("full", false);
+  const std::int64_t side = full ? 30000 : 8192;
+  wl.datasets = {driver::DatasetSpec{side, side, 146, 11},
+                 driver::DatasetSpec{side, side, 146, 22},
+                 driver::DatasetSpec{side, side, 146, 33}};
+  wl.outputSide = full ? 1024 : 256;
+  wl.zoomLevels = {2, 4, 8, 16};
+  wl.zoomWeights = {2, 3, 2, 1};
+  wl.alignGrid = 32;
+  wl.op = opts.getString("op", "subsample") == "average"
+              ? vm::VMOp::Average
+              : vm::VMOp::Subsample;
+  wl.seed = opts.getInt("seed", 20020415);
+  return wl;
+}
+
+int cmdServe(const Options& opts) {
+  vm::VMSemantics semantics;
+  std::vector<std::unique_ptr<storage::SyntheticSlideSource>> sources;
+  const auto datasets = opts.getInt("datasets", 3);
+  const auto side = opts.getInt("side", 8192);
+  for (std::int64_t d = 0; d < datasets; ++d) {
+    const auto id =
+        semantics.addDataset(index::ChunkLayout(side, side, 146));
+    sources.push_back(std::make_unique<storage::SyntheticSlideSource>(
+        semantics.layout(id), static_cast<std::uint64_t>(11 * (d + 1))));
+  }
+  vm::VMExecutor executor(&semantics);
+
+  server::ServerConfig cfg;
+  cfg.threads = static_cast<int>(opts.getInt("threads", 4));
+  cfg.policy = opts.getString("policy", "CF");
+  cfg.dsBytes = opts.getBytes("ds", 64 * MiB);
+  cfg.psBytes = opts.getBytes("ps", 32 * MiB);
+  server::QueryServer queryServer(&semantics, &executor, cfg);
+  for (std::size_t d = 0; d < sources.size(); ++d) {
+    queryServer.attach(static_cast<storage::DatasetId>(d), sources[d].get());
+  }
+
+  const auto codecs = net::CodecRegistry::standard();
+  net::NetServer netServer(queryServer, &codecs,
+                           static_cast<std::uint16_t>(opts.getInt("port", 0)));
+  std::cout << "mqs server on 127.0.0.1:" << netServer.port() << " — "
+            << datasets << " datasets of " << side << "^2, policy "
+            << cfg.policy << "; close stdin to stop\n"
+            << std::flush;
+
+  // Serve until stdin closes.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  const auto summary = metrics::summarize(queryServer.collector().records());
+  std::cout << "served " << summary.queries << " queries, reuse rate "
+            << summary.reuseRate << "\n";
+  netServer.stop();
+  queryServer.shutdown();
+  return 0;
+}
+
+int cmdQuery(const Options& opts) {
+  if (!opts.has("port")) {
+    std::cerr << "query requires --port\n";
+    return 2;
+  }
+  const auto codecs = net::CodecRegistry::standard();
+  net::NetClient client("127.0.0.1",
+                        static_cast<std::uint16_t>(opts.getInt("port", 0)),
+                        &codecs);
+  const auto zoom = static_cast<std::uint32_t>(opts.getInt("zoom", 4));
+  const std::int64_t side = opts.getInt("side", 1024) *
+                            static_cast<std::int64_t>(zoom);
+  const vm::VMPredicate q(
+      static_cast<storage::DatasetId>(opts.getInt("dataset", 0)),
+      Rect::ofSize(opts.getInt("x", 0), opts.getInt("y", 0), side, side),
+      zoom,
+      opts.getString("op", "subsample") == "average" ? vm::VMOp::Average
+                                                     : vm::VMOp::Subsample);
+  std::cout << "query " << q.describe() << "\n";
+  const auto bytes = client.execute(q);
+  std::cout << "received " << formatBytes(bytes.size()) << "\n";
+  if (opts.has("out")) {
+    const auto img =
+        vm::ImageRGB::fromBytes(bytes, q.outWidth(), q.outHeight());
+    const auto path = opts.getString("out", "query.ppm");
+    std::cout << "wrote " << path << ": " << vm::writePpm(img, path) << "\n";
+  }
+  return 0;
+}
+
+int cmdExperiment(const Options& opts) {
+  sim::SimConfig cfg;
+  cfg.policy = opts.getString("policy", "CF");
+  cfg.threads = static_cast<int>(opts.getInt("threads", 4));
+  const bool full = opts.getBool("full", false);
+  cfg.dsBytes = opts.getBytes("ds", full ? 64 * MiB : 4 * MiB);
+  cfg.psBytes = opts.getBytes("ps", full ? 32 * MiB : 2 * MiB);
+  cfg.ioModel = opts.getString("io", "kstream");
+  cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 0));
+
+  const auto wl = paperWorkload(opts);
+  const bool batch = opts.getBool("batch", false);
+  const auto result = batch
+                          ? driver::SimExperiment::runBatch(wl, cfg)
+                          : driver::SimExperiment::runInteractive(wl, cfg);
+
+  Table table(std::string("experiment — ") + cfg.policy + ", " +
+              (batch ? "batch" : "interactive") + ", " +
+              (wl.op == vm::VMOp::Average ? "averaging" : "subsampling"));
+  table.setColumns({"metric", "value"});
+  table.addRow({"queries", std::to_string(result.summary.queries)});
+  table.addRow({"trimmed response (s)",
+                formatDouble(result.summary.trimmedResponse, 3)});
+  table.addRow({"makespan (s)", formatDouble(result.summary.makespan, 2)});
+  table.addRow({"avg overlap", formatDouble(result.summary.avgOverlap, 3)});
+  table.addRow({"fairness", formatDouble(result.summary.clientFairness, 3)});
+  table.addRow({"device bytes", formatBytes(result.io.bytesRead)});
+  table.addRow({"DES events", std::to_string(result.events)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmdTraceGen(const Options& opts) {
+  vm::VMSemantics semantics;
+  const auto wl = paperWorkload(opts);
+  const auto workloads = driver::WorkloadGenerator::generate(wl, semantics);
+  const auto path = opts.getString("out", "trace.txt");
+  const bool ok = driver::saveTrace(path, workloads);
+  std::cout << (ok ? "wrote " : "FAILED to write ") << path << " ("
+            << workloads.size() << " clients)\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  if (opts.positional().empty()) return usage();
+  const std::string& cmd = opts.positional()[0];
+  try {
+    if (cmd == "serve") return cmdServe(opts);
+    if (cmd == "query") return cmdQuery(opts);
+    if (cmd == "experiment") return cmdExperiment(opts);
+    if (cmd == "trace-gen") return cmdTraceGen(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
