@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cf_alpha.dir/ablation_cf_alpha.cpp.o"
+  "CMakeFiles/ablation_cf_alpha.dir/ablation_cf_alpha.cpp.o.d"
+  "ablation_cf_alpha"
+  "ablation_cf_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cf_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk_discipline.dir/ablation_disk_discipline.cpp.o"
+  "CMakeFiles/ablation_disk_discipline.dir/ablation_disk_discipline.cpp.o.d"
+  "ablation_disk_discipline"
+  "ablation_disk_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

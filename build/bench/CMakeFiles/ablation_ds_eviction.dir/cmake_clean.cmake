@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ds_eviction.dir/ablation_ds_eviction.cpp.o"
+  "CMakeFiles/ablation_ds_eviction.dir/ablation_ds_eviction.cpp.o.d"
+  "ablation_ds_eviction"
+  "ablation_ds_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ds_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nested_reuse.dir/ablation_nested_reuse.cpp.o"
+  "CMakeFiles/ablation_nested_reuse.dir/ablation_nested_reuse.cpp.o.d"
+  "ablation_nested_reuse"
+  "ablation_nested_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nested_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_open_loop.dir/ablation_open_loop.cpp.o"
+  "CMakeFiles/ablation_open_loop.dir/ablation_open_loop.cpp.o.d"
+  "ablation_open_loop"
+  "ablation_open_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_open_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

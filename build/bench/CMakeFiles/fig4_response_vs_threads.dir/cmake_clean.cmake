@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_response_vs_threads.dir/fig4_response_vs_threads.cpp.o"
+  "CMakeFiles/fig4_response_vs_threads.dir/fig4_response_vs_threads.cpp.o.d"
+  "fig4_response_vs_threads"
+  "fig4_response_vs_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_response_vs_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_response_vs_threads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_overlap_vs_dsmem.dir/fig5_overlap_vs_dsmem.cpp.o"
+  "CMakeFiles/fig5_overlap_vs_dsmem.dir/fig5_overlap_vs_dsmem.cpp.o.d"
+  "fig5_overlap_vs_dsmem"
+  "fig5_overlap_vs_dsmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overlap_vs_dsmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_overlap_vs_dsmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_response_vs_dsmem.dir/fig6_response_vs_dsmem.cpp.o"
+  "CMakeFiles/fig6_response_vs_dsmem.dir/fig6_response_vs_dsmem.cpp.o.d"
+  "fig6_response_vs_dsmem"
+  "fig6_response_vs_dsmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_response_vs_dsmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_response_vs_dsmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_caching_effect.dir/fig_caching_effect.cpp.o"
+  "CMakeFiles/fig_caching_effect.dir/fig_caching_effect.cpp.o.d"
+  "fig_caching_effect"
+  "fig_caching_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_caching_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

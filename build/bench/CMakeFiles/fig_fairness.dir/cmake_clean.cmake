@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_fairness.dir/fig_fairness.cpp.o"
+  "CMakeFiles/fig_fairness.dir/fig_fairness.cpp.o.d"
+  "fig_fairness"
+  "fig_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

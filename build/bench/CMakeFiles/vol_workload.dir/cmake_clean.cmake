@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vol_workload.dir/vol_workload.cpp.o"
+  "CMakeFiles/vol_workload.dir/vol_workload.cpp.o.d"
+  "vol_workload"
+  "vol_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vol_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

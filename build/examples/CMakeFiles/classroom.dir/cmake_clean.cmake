@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom.dir/classroom.cpp.o"
+  "CMakeFiles/classroom.dir/classroom.cpp.o.d"
+  "classroom"
+  "classroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_batch.dir/movie_batch.cpp.o"
+  "CMakeFiles/movie_batch.dir/movie_batch.cpp.o.d"
+  "movie_batch"
+  "movie_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_app.dir/timeseries_app.cpp.o"
+  "CMakeFiles/timeseries_app.dir/timeseries_app.cpp.o.d"
+  "timeseries_app"
+  "timeseries_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

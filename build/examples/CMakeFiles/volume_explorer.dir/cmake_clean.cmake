@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_explorer.dir/volume_explorer.cpp.o"
+  "CMakeFiles/volume_explorer.dir/volume_explorer.cpp.o.d"
+  "volume_explorer"
+  "volume_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

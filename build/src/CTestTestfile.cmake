@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("index")
+subdirs("pagespace")
+subdirs("datastore")
+subdirs("query")
+subdirs("sched")
+subdirs("vm")
+subdirs("vol")
+subdirs("metrics")
+subdirs("sim")
+subdirs("server")
+subdirs("net")
+subdirs("driver")

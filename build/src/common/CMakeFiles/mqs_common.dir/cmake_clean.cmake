@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_common.dir/bytes.cpp.o"
+  "CMakeFiles/mqs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/geometry.cpp.o"
+  "CMakeFiles/mqs_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/logging.cpp.o"
+  "CMakeFiles/mqs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/options.cpp.o"
+  "CMakeFiles/mqs_common.dir/options.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/stats.cpp.o"
+  "CMakeFiles/mqs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/table.cpp.o"
+  "CMakeFiles/mqs_common.dir/table.cpp.o.d"
+  "CMakeFiles/mqs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mqs_common.dir/thread_pool.cpp.o.d"
+  "libmqs_common.a"
+  "libmqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_datastore.dir/data_store.cpp.o"
+  "CMakeFiles/mqs_datastore.dir/data_store.cpp.o.d"
+  "libmqs_datastore.a"
+  "libmqs_datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

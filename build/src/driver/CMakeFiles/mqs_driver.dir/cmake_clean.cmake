@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_driver.dir/server_experiment.cpp.o"
+  "CMakeFiles/mqs_driver.dir/server_experiment.cpp.o.d"
+  "CMakeFiles/mqs_driver.dir/sim_experiment.cpp.o"
+  "CMakeFiles/mqs_driver.dir/sim_experiment.cpp.o.d"
+  "CMakeFiles/mqs_driver.dir/trace.cpp.o"
+  "CMakeFiles/mqs_driver.dir/trace.cpp.o.d"
+  "CMakeFiles/mqs_driver.dir/workload.cpp.o"
+  "CMakeFiles/mqs_driver.dir/workload.cpp.o.d"
+  "libmqs_driver.a"
+  "libmqs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/chunk_layout.cpp" "src/index/CMakeFiles/mqs_index.dir/chunk_layout.cpp.o" "gcc" "src/index/CMakeFiles/mqs_index.dir/chunk_layout.cpp.o.d"
+  "/root/repo/src/index/rtree.cpp" "src/index/CMakeFiles/mqs_index.dir/rtree.cpp.o" "gcc" "src/index/CMakeFiles/mqs_index.dir/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_index.dir/chunk_layout.cpp.o"
+  "CMakeFiles/mqs_index.dir/chunk_layout.cpp.o.d"
+  "CMakeFiles/mqs_index.dir/rtree.cpp.o"
+  "CMakeFiles/mqs_index.dir/rtree.cpp.o.d"
+  "libmqs_index.a"
+  "libmqs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/mqs_metrics.dir/metrics.cpp.o.d"
+  "libmqs_metrics.a"
+  "libmqs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

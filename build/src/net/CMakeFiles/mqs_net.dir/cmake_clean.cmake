@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_net.dir/codecs.cpp.o"
+  "CMakeFiles/mqs_net.dir/codecs.cpp.o.d"
+  "CMakeFiles/mqs_net.dir/net_client.cpp.o"
+  "CMakeFiles/mqs_net.dir/net_client.cpp.o.d"
+  "CMakeFiles/mqs_net.dir/net_server.cpp.o"
+  "CMakeFiles/mqs_net.dir/net_server.cpp.o.d"
+  "CMakeFiles/mqs_net.dir/wire.cpp.o"
+  "CMakeFiles/mqs_net.dir/wire.cpp.o.d"
+  "libmqs_net.a"
+  "libmqs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagespace/page_cache_core.cpp" "src/pagespace/CMakeFiles/mqs_pagespace.dir/page_cache_core.cpp.o" "gcc" "src/pagespace/CMakeFiles/mqs_pagespace.dir/page_cache_core.cpp.o.d"
+  "/root/repo/src/pagespace/page_space_manager.cpp" "src/pagespace/CMakeFiles/mqs_pagespace.dir/page_space_manager.cpp.o" "gcc" "src/pagespace/CMakeFiles/mqs_pagespace.dir/page_space_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mqs_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_pagespace.dir/page_cache_core.cpp.o"
+  "CMakeFiles/mqs_pagespace.dir/page_cache_core.cpp.o.d"
+  "CMakeFiles/mqs_pagespace.dir/page_space_manager.cpp.o"
+  "CMakeFiles/mqs_pagespace.dir/page_space_manager.cpp.o.d"
+  "libmqs_pagespace.a"
+  "libmqs_pagespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_pagespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

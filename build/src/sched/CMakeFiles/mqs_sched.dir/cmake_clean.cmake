@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_sched.dir/graph.cpp.o"
+  "CMakeFiles/mqs_sched.dir/graph.cpp.o.d"
+  "CMakeFiles/mqs_sched.dir/policies.cpp.o"
+  "CMakeFiles/mqs_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/mqs_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mqs_sched.dir/scheduler.cpp.o.d"
+  "libmqs_sched.a"
+  "libmqs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_server.dir/query_server.cpp.o"
+  "CMakeFiles/mqs_server.dir/query_server.cpp.o.d"
+  "libmqs_server.a"
+  "libmqs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmqs_server.a"
+)

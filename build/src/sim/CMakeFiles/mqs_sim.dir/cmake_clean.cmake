@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_sim.dir/disk_server.cpp.o"
+  "CMakeFiles/mqs_sim.dir/disk_server.cpp.o.d"
+  "CMakeFiles/mqs_sim.dir/primitives.cpp.o"
+  "CMakeFiles/mqs_sim.dir/primitives.cpp.o.d"
+  "CMakeFiles/mqs_sim.dir/sim_server.cpp.o"
+  "CMakeFiles/mqs_sim.dir/sim_server.cpp.o.d"
+  "CMakeFiles/mqs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mqs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mqs_sim.dir/vm_model.cpp.o"
+  "CMakeFiles/mqs_sim.dir/vm_model.cpp.o.d"
+  "CMakeFiles/mqs_sim.dir/vol_model.cpp.o"
+  "CMakeFiles/mqs_sim.dir/vol_model.cpp.o.d"
+  "libmqs_sim.a"
+  "libmqs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

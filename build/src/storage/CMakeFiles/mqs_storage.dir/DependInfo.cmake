@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_model.cpp" "src/storage/CMakeFiles/mqs_storage.dir/disk_model.cpp.o" "gcc" "src/storage/CMakeFiles/mqs_storage.dir/disk_model.cpp.o.d"
+  "/root/repo/src/storage/file_source.cpp" "src/storage/CMakeFiles/mqs_storage.dir/file_source.cpp.o" "gcc" "src/storage/CMakeFiles/mqs_storage.dir/file_source.cpp.o.d"
+  "/root/repo/src/storage/synthetic_source.cpp" "src/storage/CMakeFiles/mqs_storage.dir/synthetic_source.cpp.o" "gcc" "src/storage/CMakeFiles/mqs_storage.dir/synthetic_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mqs_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

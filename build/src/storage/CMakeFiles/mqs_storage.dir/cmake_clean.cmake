@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_storage.dir/disk_model.cpp.o"
+  "CMakeFiles/mqs_storage.dir/disk_model.cpp.o.d"
+  "CMakeFiles/mqs_storage.dir/file_source.cpp.o"
+  "CMakeFiles/mqs_storage.dir/file_source.cpp.o.d"
+  "CMakeFiles/mqs_storage.dir/synthetic_source.cpp.o"
+  "CMakeFiles/mqs_storage.dir/synthetic_source.cpp.o.d"
+  "libmqs_storage.a"
+  "libmqs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_vm.dir/image.cpp.o"
+  "CMakeFiles/mqs_vm.dir/image.cpp.o.d"
+  "CMakeFiles/mqs_vm.dir/vm_executor.cpp.o"
+  "CMakeFiles/mqs_vm.dir/vm_executor.cpp.o.d"
+  "CMakeFiles/mqs_vm.dir/vm_semantics.cpp.o"
+  "CMakeFiles/mqs_vm.dir/vm_semantics.cpp.o.d"
+  "libmqs_vm.a"
+  "libmqs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vol/synthetic_volume.cpp" "src/vol/CMakeFiles/mqs_vol.dir/synthetic_volume.cpp.o" "gcc" "src/vol/CMakeFiles/mqs_vol.dir/synthetic_volume.cpp.o.d"
+  "/root/repo/src/vol/vol_executor.cpp" "src/vol/CMakeFiles/mqs_vol.dir/vol_executor.cpp.o" "gcc" "src/vol/CMakeFiles/mqs_vol.dir/vol_executor.cpp.o.d"
+  "/root/repo/src/vol/vol_semantics.cpp" "src/vol/CMakeFiles/mqs_vol.dir/vol_semantics.cpp.o" "gcc" "src/vol/CMakeFiles/mqs_vol.dir/vol_semantics.cpp.o.d"
+  "/root/repo/src/vol/volume_layout.cpp" "src/vol/CMakeFiles/mqs_vol.dir/volume_layout.cpp.o" "gcc" "src/vol/CMakeFiles/mqs_vol.dir/volume_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagespace/CMakeFiles/mqs_pagespace.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mqs_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_vol.dir/synthetic_volume.cpp.o"
+  "CMakeFiles/mqs_vol.dir/synthetic_volume.cpp.o.d"
+  "CMakeFiles/mqs_vol.dir/vol_executor.cpp.o"
+  "CMakeFiles/mqs_vol.dir/vol_executor.cpp.o.d"
+  "CMakeFiles/mqs_vol.dir/vol_semantics.cpp.o"
+  "CMakeFiles/mqs_vol.dir/vol_semantics.cpp.o.d"
+  "CMakeFiles/mqs_vol.dir/volume_layout.cpp.o"
+  "CMakeFiles/mqs_vol.dir/volume_layout.cpp.o.d"
+  "libmqs_vol.a"
+  "libmqs_vol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

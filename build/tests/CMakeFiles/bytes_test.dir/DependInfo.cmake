@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/bytes_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/bytes_test.dir/common/bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mqs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/mqs_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vol/CMakeFiles/mqs_vol.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mqs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/mqs_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mqs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mqs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagespace/CMakeFiles/mqs_pagespace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mqs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mqs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

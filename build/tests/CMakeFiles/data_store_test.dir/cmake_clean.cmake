@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_store_test.dir/datastore/data_store_test.cpp.o"
+  "CMakeFiles/data_store_test.dir/datastore/data_store_test.cpp.o.d"
+  "data_store_test"
+  "data_store_test.pdb"
+  "data_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_cache_core_test.dir/pagespace/page_cache_core_test.cpp.o"
+  "CMakeFiles/page_cache_core_test.dir/pagespace/page_cache_core_test.cpp.o.d"
+  "page_cache_core_test"
+  "page_cache_core_test.pdb"
+  "page_cache_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_cache_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

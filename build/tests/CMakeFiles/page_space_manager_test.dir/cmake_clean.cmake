@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_space_manager_test.dir/pagespace/page_space_manager_test.cpp.o"
+  "CMakeFiles/page_space_manager_test.dir/pagespace/page_space_manager_test.cpp.o.d"
+  "page_space_manager_test"
+  "page_space_manager_test.pdb"
+  "page_space_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_space_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

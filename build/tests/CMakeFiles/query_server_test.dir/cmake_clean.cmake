@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_server_test.dir/server/query_server_test.cpp.o"
+  "CMakeFiles/query_server_test.dir/server/query_server_test.cpp.o.d"
+  "query_server_test"
+  "query_server_test.pdb"
+  "query_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_executor_test.dir/vm/vm_executor_test.cpp.o"
+  "CMakeFiles/vm_executor_test.dir/vm/vm_executor_test.cpp.o.d"
+  "vm_executor_test"
+  "vm_executor_test.pdb"
+  "vm_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vol_test.dir/vol/vol_test.cpp.o"
+  "CMakeFiles/vol_test.dir/vol/vol_test.cpp.o.d"
+  "vol_test"
+  "vol_test.pdb"
+  "vol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

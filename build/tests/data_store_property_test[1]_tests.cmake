@@ -1,0 +1,3 @@
+add_test([=[DataStoreProperty.MatchesReferenceLruModel]=]  /root/repo/build/tests/data_store_property_test [==[--gtest_filter=DataStoreProperty.MatchesReferenceLruModel]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[DataStoreProperty.MatchesReferenceLruModel]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  data_store_property_test_TESTS DataStoreProperty.MatchesReferenceLruModel)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqs_cli.dir/mqs_cli.cpp.o"
+  "CMakeFiles/mqs_cli.dir/mqs_cli.cpp.o.d"
+  "mqs"
+  "mqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
