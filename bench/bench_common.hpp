@@ -77,6 +77,9 @@ class Context {
     cfg.dsBytes = scaleBytes(dsPaperBytes);
     cfg.psBytes = scaleBytes(psPaperBytes);
     cfg.alpha = opts_.getDouble("alpha", 0.2);
+    // Readahead depth, sweepable on every figure bench (--prefetch N);
+    // default 0 keeps the paper's synchronous-fetch baseline figures.
+    cfg.prefetchPages = static_cast<int>(opts_.getInt("prefetch", 0));
     return cfg;
   }
 

@@ -72,9 +72,11 @@ int main(int argc, char** argv) {
   std::cout << "\nData Store: " << ds.lookups << " lookups, " << ds.hits
             << " hits (" << ds.fullHits << " full), " << ds.inserts
             << " inserts, " << ds.evictions << " evictions\n";
-  std::cout << "Page Space: " << ps.hits << " hits, " << ps.misses
-            << " device reads (" << formatBytes(ps.bytesRead) << "), "
-            << ps.merged << " merged requests\n";
+  std::cout << "Page Space: " << ps.hits << " hits, "
+            << ps.misses + ps.prefetchIssued << " device reads ("
+            << formatBytes(ps.bytesRead) << "), " << ps.merged
+            << " merged requests, " << ps.prefetchHits << "/"
+            << ps.prefetchIssued << " prefetches used\n";
   server.shutdown();
   return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full test suite, then a ThreadSanitizer build of the
+# concurrency-sensitive suites (page space pipeline + VM executor).
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 build =="
+cmake -B build -S . -DMQS_WERROR=ON
+cmake --build build -j
+
+echo "== tier-1 tests =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [ "${1:-}" = "--no-tsan" ]; then
+  echo "== skipping TSan pass =="
+  exit 0
+fi
+
+echo "== TSan build (pagespace + vm) =="
+cmake -B build-tsan -S . -DMQS_SANITIZE=thread
+cmake --build build-tsan -j --target \
+  page_cache_core_test page_space_manager_test prefetch_pipeline_test \
+  vm_executor_test
+
+echo "== TSan tests =="
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+for t in page_cache_core_test page_space_manager_test \
+         prefetch_pipeline_test vm_executor_test; do
+  echo "--- $t ---"
+  "build-tsan/tests/$t"
+done
+
+echo "== check OK =="

@@ -42,7 +42,8 @@ ServerRunResult gather(const server::QueryServer& server) {
 ServerRunResult ServerExperiment::runInteractive(
     const WorkloadConfig& workload, const server::ServerConfig& serverCfg) {
   Rig rig = buildRig(workload);
-  vm::VMExecutor executor(&rig.semantics);
+  vm::VMExecutor executor(&rig.semantics, /*intraQueryThreads=*/1,
+                          serverCfg.prefetchPages);
   server::QueryServer server(&rig.semantics, &executor, serverCfg);
   for (std::size_t d = 0; d < rig.sources.size(); ++d) {
     server.attach(static_cast<storage::DatasetId>(d), rig.sources[d].get());
@@ -70,7 +71,8 @@ ServerRunResult ServerExperiment::runInteractive(
 ServerRunResult ServerExperiment::runBatch(
     const WorkloadConfig& workload, const server::ServerConfig& serverCfg) {
   Rig rig = buildRig(workload);
-  vm::VMExecutor executor(&rig.semantics);
+  vm::VMExecutor executor(&rig.semantics, /*intraQueryThreads=*/1,
+                          serverCfg.prefetchPages);
   server::QueryServer server(&rig.semantics, &executor, serverCfg);
   for (std::size_t d = 0; d < rig.sources.size(); ++d) {
     server.attach(static_cast<storage::DatasetId>(d), rig.sources[d].get());

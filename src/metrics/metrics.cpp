@@ -32,6 +32,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   double firstArrival = records.front().arrivalTime;
   double lastFinish = records.front().finishTime;
   double overlapSum = 0.0;
+  double stallSum = 0.0;
   std::size_t reused = 0;
   for (const QueryRecord& r : records) {
     response.push_back(r.responseTime());
@@ -40,6 +41,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
     firstArrival = std::min(firstArrival, r.arrivalTime);
     lastFinish = std::max(lastFinish, r.finishTime);
     overlapSum += r.overlapUsed;
+    stallSum += r.ioStallTime;
     if (r.overlapUsed > 0.0) ++reused;
     s.totalDiskBytes += r.bytesFromDisk;
     s.totalReusedBytes += r.bytesReused;
@@ -51,6 +53,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   s.meanResponse = mean(response);
   s.meanWait = mean(wait);
   s.meanExec = mean(exec);
+  s.meanIoStall = stallSum / static_cast<double>(records.size());
   s.makespan = lastFinish - firstArrival;
   s.avgOverlap = overlapSum / static_cast<double>(records.size());
   s.reuseRate = static_cast<double>(reused) / static_cast<double>(records.size());

@@ -26,6 +26,10 @@ struct QueryRecord {
   bool reusedExecuting = false;  ///< blocked on a still-executing source
   double blockedTime = 0.0;      ///< time spent waiting on that source
 
+  /// Seconds the query thread was blocked on device I/O inside the Page
+  /// Space Manager (stall not hidden by the prefetch pipeline).
+  double ioStallTime = 0.0;
+
   std::uint64_t inputBytes = 0;    ///< qinputsize
   std::uint64_t outputBytes = 0;   ///< qoutsize
   std::uint64_t bytesFromDisk = 0; ///< raw bytes actually read for this query
@@ -56,6 +60,7 @@ struct Summary {
   double meanResponse = 0.0;
   double meanWait = 0.0;
   double meanExec = 0.0;
+  double meanIoStall = 0.0;      ///< mean per-query I/O-stall seconds
   double makespan = 0.0;         ///< last finish - first arrival
   double avgOverlap = 0.0;       ///< mean overlapUsed across queries
   double reuseRate = 0.0;        ///< fraction of queries with overlap > 0

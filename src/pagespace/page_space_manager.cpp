@@ -1,18 +1,51 @@
 #include "pagespace/page_space_manager.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
 
 namespace mqs::pagespace {
 
 namespace {
 thread_local std::uint64_t tlsDeviceBytes = 0;
+thread_local double tlsStallSeconds = 0.0;
+
+/// Adds wall time spent in a blocking wait to the thread's stall counter.
+class StallTimer {
+ public:
+  StallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  ~StallTimer() {
+    tlsStallSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+}  // namespace
+
+void PageSpaceManager::resetThreadCounters() {
+  tlsDeviceBytes = 0;
+  tlsStallSeconds = 0.0;
+}
+std::uint64_t PageSpaceManager::threadDeviceBytes() { return tlsDeviceBytes; }
+double PageSpaceManager::threadStallSeconds() { return tlsStallSeconds; }
+
+PageSpaceManager::PageSpaceManager(std::uint64_t capacityBytes, int ioThreads)
+    : core_(capacityBytes) {
+  MQS_CHECK(ioThreads >= 0);
+  if (ioThreads > 0) {
+    io_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(ioThreads));
+  }
 }
 
-void PageSpaceManager::resetThreadCounters() { tlsDeviceBytes = 0; }
-std::uint64_t PageSpaceManager::threadDeviceBytes() { return tlsDeviceBytes; }
-
-PageSpaceManager::PageSpaceManager(std::uint64_t capacityBytes)
-    : core_(capacityBytes) {}
+PageSpaceManager::~PageSpaceManager() {
+  // Drain queued prefetches before members are torn down; the pool is the
+  // last-declared member but the explicit shutdown keeps the ordering
+  // obvious (and safe if members are ever reordered).
+  if (io_) io_->shutdown();
+}
 
 void PageSpaceManager::attach(storage::DatasetId dataset,
                               const storage::DataSource* source) {
@@ -27,40 +60,41 @@ const storage::DataSource* PageSpaceManager::sourceFor(
   return it->second;
 }
 
-PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
-  std::promise<PagePtr> promise;
-  std::shared_future<PagePtr> toWait;
-  const storage::DataSource* source = nullptr;
-  {
-    std::lock_guard lock(mu_);
-    if (core_.touch(key)) {
-      auto it = resident_.find(key);
-      MQS_DCHECK(it != resident_.end());
-      return it->second;
-    }
-    auto inIt = inflight_.find(key);
-    if (inIt != inflight_.end()) {
-      // Another query thread is already reading this page: merge.
-      ++merged_;
-      toWait = inIt->second;
+std::uint64_t PageSpaceManager::consumeClaimLocked(const storage::PageKey& key,
+                                                   bool served) {
+  auto it = claims_.find(key);
+  if (it == claims_.end()) return 0;
+  Claim& c = it->second;
+  const std::uint64_t credit = served ? c.creditBytes : 0;
+  c.creditBytes = 0;
+  if (c.issued) {
+    // Attribute the issued read once: to a hit if a fetch consumed the
+    // page, to waste if the prefetched copy was lost before use.
+    if (served) {
+      ++prefetchHits_;
     } else {
-      source = sourceFor(key.dataset);
-      inflight_.emplace(key, promise.get_future().share());
+      ++prefetchWasted_;
     }
+    c.issued = false;
   }
-
-  if (source == nullptr) {
-    return toWait.get();  // join the in-flight read
+  if (--c.count <= 0) {
+    if (c.pinned) core_.unpin(key);
+    claims_.erase(it);
   }
+  return credit;
+}
 
-  // Perform the device read outside the lock.
-  const std::size_t n = source->pageBytes(key.page);
-  auto buffer = std::make_shared<std::vector<std::byte>>(n);
-  source->readPage(key.page, *buffer);
-  tlsDeviceBytes += n;
-  PagePtr page = std::move(buffer);
+void PageSpaceManager::performRead(const storage::PageKey& key,
+                                   const storage::DataSource* source,
+                                   std::promise<PagePtr>& promise,
+                                   bool viaPrefetch) {
+  PagePtr page;
+  try {
+    const std::size_t n = source->pageBytes(key.page);
+    auto buffer = std::make_shared<std::vector<std::byte>>(n);
+    source->readPage(key.page, *buffer);
+    page = std::move(buffer);
 
-  {
     std::lock_guard lock(mu_);
     bytesRead_ += n;
     for (const auto& victim : core_.insert(key, n)) {
@@ -68,11 +102,159 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
     }
     if (core_.contains(key)) {
       resident_[key] = page;
+      // An outstanding claim pins the page so eviction pressure from other
+      // queries cannot drop it before its claimant consumes it.
+      if (auto it = claims_.find(key); it != claims_.end() && !it->second.pinned) {
+        core_.pin(key);
+        it->second.pinned = true;
+      }
+    }
+    if (viaPrefetch) {
+      // Charge the device bytes to whichever query consumes the page.
+      if (auto it = claims_.find(key); it != claims_.end()) {
+        it->second.creditBytes = n;
+      }
     }
     inflight_.erase(key);
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    return;
   }
-  promise.set_value(page);
+  promise.set_value(std::move(page));
+}
+
+PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
+  std::shared_ptr<std::promise<PagePtr>> promise;
+  std::shared_future<PagePtr> future;
+  const storage::DataSource* source = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (core_.touch(key)) {
+      auto it = resident_.find(key);
+      MQS_DCHECK(it != resident_.end());
+      tlsDeviceBytes += consumeClaimLocked(key, /*served=*/true);
+      return it->second;
+    }
+    auto inIt = inflight_.find(key);
+    if (inIt != inflight_.end()) {
+      // Another thread (query or I/O pool) is already reading this page:
+      // merge onto the one device read.
+      ++merged_;
+      future = inIt->second;
+    } else {
+      source = sourceFor(key.dataset);
+      // A claim whose page is neither resident nor in flight is stale: the
+      // prefetched copy was lost (uncacheable insert under pin pressure).
+      // Settle one claim as wasted here, under the same lock, so claims
+      // taken by prefetches racing with this read are left to their owners.
+      (void)consumeClaimLocked(key, /*served=*/false);
+      promise = std::make_shared<std::promise<PagePtr>>();
+      future = promise->get_future().share();
+      inflight_.emplace(key, future);
+    }
+  }
+
+  if (source != nullptr) {
+    // Demand miss: read on the calling thread (no context switch).
+    const std::size_t n = source->pageBytes(key.page);
+    {
+      StallTimer stall;
+      performRead(key, source, *promise, /*viaPrefetch=*/false);
+    }
+    PagePtr page = future.get();  // rethrows the source's exception
+    tlsDeviceBytes += n;
+    return page;
+  }
+
+  PagePtr page;
+  {
+    StallTimer stall;
+    page = future.get();
+  }
+  std::uint64_t credit = 0;
+  {
+    std::lock_guard lock(mu_);
+    credit = consumeClaimLocked(key, /*served=*/true);
+  }
+  tlsDeviceBytes += credit;
   return page;
+}
+
+void PageSpaceManager::prefetch(const storage::PageKey& key) {
+  if (!io_) return;  // synchronous mode: readahead hints are ignored
+  std::shared_ptr<std::promise<PagePtr>> promise;
+  const storage::DataSource* source = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Claim& c = claims_[key];
+    ++c.count;
+    // contains() instead of touch(): a hint must not distort hit/miss
+    // stats, and the pin below protects the page regardless of LRU order.
+    if (core_.contains(key)) {
+      if (!c.pinned) {
+        core_.pin(key);
+        c.pinned = true;
+      }
+      return;
+    }
+    if (inflight_.contains(key)) {
+      return;  // coalesce: the claim is pinned when the read lands
+    }
+    source = sourceFor(key.dataset);
+    promise = std::make_shared<std::promise<PagePtr>>();
+    inflight_.emplace(key, promise->get_future().share());
+    ++prefetchIssued_;
+    c.issued = true;
+  }
+  const bool queued = io_->submit([this, key, source, promise] {
+    performRead(key, source, *promise, /*viaPrefetch=*/true);
+  });
+  if (!queued) {
+    // Pool is shutting down: fail the read so no waiter hangs.
+    {
+      std::lock_guard lock(mu_);
+      inflight_.erase(key);
+    }
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("page space manager is shutting down")));
+  }
+}
+
+void PageSpaceManager::releaseClaim(const storage::PageKey& key) {
+  std::lock_guard lock(mu_);
+  auto it = claims_.find(key);
+  if (it == claims_.end()) return;
+  Claim& c = it->second;
+  if (--c.count <= 0) {
+    if (c.issued) ++prefetchWasted_;  // issued read never consumed
+    if (c.pinned) core_.unpin(key);
+    claims_.erase(it);
+  }
+}
+
+std::vector<PagePtr> PageSpaceManager::fetchBatch(
+    std::span<const storage::PageKey> keys) {
+  for (const auto& key : keys) prefetch(key);
+  std::vector<PagePtr> out;
+  out.reserve(keys.size());
+  std::size_t done = 0;
+  try {
+    for (; done < keys.size(); ++done) {
+      out.push_back(fetch(keys[done]));
+    }
+  } catch (...) {
+    // The failing fetch did not consume its claim; release it and every
+    // claim taken for keys we never reached.
+    for (std::size_t j = done; j < keys.size(); ++j) {
+      releaseClaim(keys[j]);
+    }
+    throw;
+  }
+  return out;
 }
 
 PageSpaceManager::Stats PageSpaceManager::stats() const {
@@ -81,11 +263,15 @@ PageSpaceManager::Stats PageSpaceManager::stats() const {
   Stats s;
   s.hits = c.hits;
   // Core counts a merged fetch as a miss too; report device reads and
-  // merges separately so hits + misses + merged == fetches.
+  // merges separately so hits + misses + merged == fetches. Prefetch-
+  // issued reads never touch() the core, so they are not in c.misses.
   s.misses = c.misses - merged_;
   s.merged = merged_;
   s.bytesRead = bytesRead_;
   s.evictions = c.evictions;
+  s.prefetchIssued = prefetchIssued_;
+  s.prefetchHits = prefetchHits_;
+  s.prefetchWasted = prefetchWasted_;
   return s;
 }
 
@@ -97,6 +283,16 @@ std::uint64_t PageSpaceManager::capacityBytes() const {
 std::uint64_t PageSpaceManager::residentBytes() const {
   std::lock_guard lock(mu_);
   return core_.residentBytes();
+}
+
+std::size_t PageSpaceManager::inflightCount() const {
+  std::lock_guard lock(mu_);
+  return inflight_.size();
+}
+
+std::size_t PageSpaceManager::claimCount() const {
+  std::lock_guard lock(mu_);
+  return claims_.size();
 }
 
 }  // namespace mqs::pagespace

@@ -4,14 +4,26 @@
 // memory under a byte budget; concurrent requests for the same page are
 // merged so the device sees a single I/O ("duplicate requests are
 // eliminated, to minimize I/O overhead").
+//
+// Beyond the blocking read-through fetch() the manager runs an asynchronous
+// fetch pipeline: prefetch() issues a page read on a dedicated I/O thread
+// pool without blocking the query thread, and fetchBatch() overlaps the
+// device reads of a whole chunk list. Prefetches, batch fetches, and
+// blocking fetches all coalesce onto one device read through the same
+// in-flight table. A prefetched page carries a *claim* — it is pinned in
+// the cache until a fetch consumes it (or the claim is released) so that
+// eviction pressure from concurrent queries cannot throw away pages whose
+// read was already paid for.
 #pragma once
 
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "pagespace/page_cache_core.hpp"
 #include "storage/data_source.hpp"
 
@@ -24,7 +36,16 @@ using PagePtr = std::shared_ptr<const std::vector<std::byte>>;
 
 class PageSpaceManager {
  public:
-  explicit PageSpaceManager(std::uint64_t capacityBytes);
+  /// Default size of the asynchronous I/O pool. Matches the default
+  /// executor readahead window so a full window can be in flight at once.
+  static constexpr int kDefaultIoThreads = 4;
+
+  explicit PageSpaceManager(std::uint64_t capacityBytes,
+                            int ioThreads = kDefaultIoThreads);
+  ~PageSpaceManager();
+
+  PageSpaceManager(const PageSpaceManager&) = delete;
+  PageSpaceManager& operator=(const PageSpaceManager&) = delete;
 
   /// Register the raw storage behind a dataset id. Not thread-safe with
   /// concurrent fetches; attach all sources before serving queries.
@@ -35,26 +56,81 @@ class PageSpaceManager {
   /// page wait for the one in-flight I/O instead of duplicating it.
   PagePtr fetch(const storage::PageKey& key);
 
+  /// Asynchronous readahead hint: start reading `key` on the I/O pool and
+  /// take out a claim on it. Never blocks. Resident and in-flight pages are
+  /// claimed without a new device read. Every claim must be balanced by a
+  /// later fetch() of the key or a releaseClaim(); claimed pages are pinned
+  /// against eviction until then. No-op when the manager was built with
+  /// ioThreads == 0 (synchronous mode).
+  void prefetch(const storage::PageKey& key);
+
+  /// Drop one outstanding prefetch claim without consuming the page. A
+  /// claim released before any fetch used the page counts as wasted
+  /// readahead. Safe to call for keys without a claim (no-op).
+  void releaseClaim(const storage::PageKey& key);
+
+  /// Blocking batch fetch: issues all misses to the I/O pool so their
+  /// device reads overlap, then waits for each page in order. On failure
+  /// the source's exception is rethrown and every claim taken by the batch
+  /// is released — no in-flight entries leak.
+  std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;        ///< fetches that started a device read
     std::uint64_t merged = 0;        ///< fetches that joined an in-flight read
     std::uint64_t bytesRead = 0;     ///< bytes transferred from sources
     std::uint64_t evictions = 0;
+    std::uint64_t prefetchIssued = 0;  ///< prefetches that started a read
+    std::uint64_t prefetchHits = 0;    ///< issued reads later consumed
+    std::uint64_t prefetchWasted = 0;  ///< issued reads never consumed
+    // prefetchHits + prefetchWasted <= prefetchIssued; prefetches that
+    // coalesce onto resident pages or in-flight reads count in neither.
   };
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] std::uint64_t capacityBytes() const;
   [[nodiscard]] std::uint64_t residentBytes() const;
+  /// Number of device reads currently in flight (tests / introspection).
+  [[nodiscard]] std::size_t inflightCount() const;
+  /// Number of keys with outstanding prefetch claims.
+  [[nodiscard]] std::size_t claimCount() const;
 
-  /// Per-thread device-read accounting for per-query metrics: a query (and
-  /// its sub-queries) runs on one query thread, so the server resets the
-  /// counter before execution and reads it afterwards.
+  /// Per-thread I/O accounting for per-query metrics: a query (and its
+  /// sub-queries) runs on one query thread, so the server resets the
+  /// counters before execution and reads them afterwards. Device bytes are
+  /// charged to the thread whose fetch started the read — or, for
+  /// prefetched pages, to the first fetch that consumes the claim.
   static void resetThreadCounters();
   [[nodiscard]] static std::uint64_t threadDeviceBytes();
+  /// Seconds this thread spent blocked inside fetch()/fetchBatch() waiting
+  /// for device I/O since the last resetThreadCounters().
+  [[nodiscard]] static double threadStallSeconds();
 
  private:
+  /// Outstanding prefetch claims on one page. While `pinned`, the resident
+  /// page cannot be evicted. `creditBytes` carries the device-read size of
+  /// a prefetch-issued read to the first consuming fetch (per-query
+  /// bytesFromDisk accounting).
+  struct Claim {
+    int count = 0;
+    bool pinned = false;
+    bool issued = false;  ///< a prefetch read was started for this claim
+    std::uint64_t creditBytes = 0;
+  };
+
   const storage::DataSource* sourceFor(storage::DatasetId dataset) const;
+  /// Device read + cache insert + promise delivery. Runs on the caller
+  /// thread (demand miss) or an I/O pool thread (prefetch). Exceptions are
+  /// delivered through the promise; the in-flight entry never leaks.
+  void performRead(const storage::PageKey& key,
+                   const storage::DataSource* source,
+                   std::promise<PagePtr>& promise, bool viaPrefetch);
+  /// Consume one claim after a fetch of `key`. Returns the device bytes to
+  /// credit the calling thread. `served` = the page (or its in-flight
+  /// read) was still available; false means the prefetched copy was lost
+  /// and had to be re-read.
+  std::uint64_t consumeClaimLocked(const storage::PageKey& key, bool served);
 
   mutable std::mutex mu_;
   PageCacheCore core_;
@@ -63,8 +139,16 @@ class PageSpaceManager {
   std::unordered_map<storage::PageKey, std::shared_future<PagePtr>,
                      storage::PageKeyHash>
       inflight_;
+  std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims_;
   std::uint64_t merged_ = 0;
   std::uint64_t bytesRead_ = 0;
+  std::uint64_t prefetchIssued_ = 0;
+  std::uint64_t prefetchHits_ = 0;
+  std::uint64_t prefetchWasted_ = 0;
+
+  /// Declared last: destroyed first, joining the I/O workers while the
+  /// maps above are still alive for their final bookkeeping.
+  std::unique_ptr<ThreadPool> io_;
 };
 
 }  // namespace mqs::pagespace

@@ -1,0 +1,72 @@
+// Bounded-window fetch pipeline over a known page sequence.
+//
+// Executors enumerate all chunks a query touches up front; a
+// ReadaheadStream then keeps up to `window` upcoming pages in flight on
+// the Page Space Manager's I/O pool while the caller decodes the current
+// one — the real-execution analogue of the simulator's `prefetchPages`
+// readahead (SimServer::computePart). Window 0 degrades to plain blocking
+// fetches. The destructor releases claims on pages that were prefetched
+// but never consumed (e.g. when decoding throws), so no page stays pinned
+// past the query.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pagespace/page_space_manager.hpp"
+
+namespace mqs::pagespace {
+
+/// Default executor readahead depth, mirroring the simulator's
+/// `prefetchPages` knob so sim and real-server configs stay comparable.
+inline constexpr int kDefaultReadaheadPages = 4;
+
+class ReadaheadStream {
+ public:
+  ReadaheadStream(PageSpaceManager& ps, std::vector<storage::PageKey> keys,
+                  int window)
+      : ps_(ps),
+        keys_(std::move(keys)),
+        window_(static_cast<std::size_t>(std::max(0, window))) {}
+
+  ReadaheadStream(const ReadaheadStream&) = delete;
+  ReadaheadStream& operator=(const ReadaheadStream&) = delete;
+
+  ~ReadaheadStream() {
+    for (std::size_t j = pos_; j < issued_; ++j) {
+      ps_.releaseClaim(keys_[j]);
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= keys_.size(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  /// Blocking fetch of the next page; issues prefetches so that the
+  /// following `window` pages are in flight while the caller decodes.
+  PagePtr next() {
+    MQS_CHECK_MSG(pos_ < keys_.size(), "ReadaheadStream exhausted");
+    if (window_ > 0) {
+      const std::size_t target =
+          std::min(keys_.size(), pos_ + 1 + window_);
+      for (; issued_ < target; ++issued_) {
+        ps_.prefetch(keys_[issued_]);
+      }
+    }
+    // Advance only after a successful fetch: on a throw the current key's
+    // claim is still outstanding and must be released by the destructor.
+    PagePtr page = ps_.fetch(keys_[pos_]);
+    ++pos_;
+    return page;
+  }
+
+ private:
+  PageSpaceManager& ps_;
+  std::vector<storage::PageKey> keys_;
+  std::size_t window_;
+  std::size_t pos_ = 0;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace mqs::pagespace

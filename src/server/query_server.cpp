@@ -18,7 +18,7 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
                  cfg_.incrementalRanking),
       ds_(cfg_.dsBytes, semantics,
           datastore::parseEvictionPolicy(cfg_.dsEviction)),
-      ps_(cfg_.psBytes),
+      ps_(cfg_.psBytes, cfg_.psIoThreads),
       epoch_(std::chrono::steady_clock::now()) {
   MQS_CHECK(sem_ != nullptr && exec_ != nullptr);
   MQS_CHECK(cfg_.threads >= 1);
@@ -235,6 +235,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
     failure = std::current_exception();
   }
   rec.bytesFromDisk = pagespace::PageSpaceManager::threadDeviceBytes();
+  rec.ioStallTime = pagespace::PageSpaceManager::threadStallSeconds();
 
   // --- cache the result & transition the graph node --------------------
   std::optional<datastore::BlobId> blob;

@@ -40,6 +40,13 @@ struct ServerConfig {
   int threads = 4;
   std::uint64_t dsBytes = 64ULL << 20;
   std::uint64_t psBytes = 32ULL << 20;
+  /// Executor readahead window in pages (0 = synchronous fetches); the
+  /// real-path mirror of the simulator's `prefetchPages`. Consumed by the
+  /// drivers when they construct executors.
+  int prefetchPages = 4;
+  /// Page Space async I/O pool size (0 disables the pool; prefetch hints
+  /// become no-ops and batch fetches degrade to serial reads).
+  int psIoThreads = 4;
   std::string dsEviction = "LRU";  ///< LRU | LFU | LARGEST
   std::string policy = "FIFO";
   double alpha = 0.2;

@@ -8,28 +8,35 @@
 
 namespace mqs::vm {
 
-VMExecutor::VMExecutor(const VMSemantics* semantics, int intraQueryThreads)
-    : semantics_(semantics), intraQueryThreads_(intraQueryThreads) {
+VMExecutor::VMExecutor(const VMSemantics* semantics, int intraQueryThreads,
+                       int readaheadPages)
+    : semantics_(semantics),
+      intraQueryThreads_(intraQueryThreads),
+      readaheadPages_(readaheadPages) {
   MQS_CHECK(semantics_ != nullptr);
   MQS_CHECK(intraQueryThreads_ >= 1);
+  MQS_CHECK(readaheadPages_ >= 0);
 }
 
 std::vector<std::byte> VMExecutor::execute(
     const query::Predicate& pred, pagespace::PageSpaceManager& ps) const {
   const VMPredicate& q = asVM(pred);
+  std::vector<std::byte> out(q.outBytes());
   if (intraQueryThreads_ <= 1 || q.outHeight() < intraQueryThreads_) {
-    return executeSerial(q, ps);
+    executeInto(q, ps, out);
+    return out;
   }
 
   // Split the query into horizontal bands on the output-pixel grid; each
   // band is an ordinary (smaller) VM query whose rows are a contiguous
-  // block of the final buffer, so assembly is pure concatenation.
+  // block of the final buffer, so every worker renders directly into its
+  // row slice and assembly needs no copy.
   const auto z = static_cast<std::int64_t>(q.zoom());
   const std::int64_t outH = q.outHeight();
+  const std::int64_t rowBytes = q.outWidth() * 3;
   const auto bands = static_cast<std::int64_t>(intraQueryThreads_);
   std::vector<VMPredicate> parts;
-  std::vector<std::vector<std::byte>> results(
-      static_cast<std::size_t>(bands));
+  std::vector<std::span<std::byte>> slices;
   for (std::int64_t b = 0; b < bands; ++b) {
     const std::int64_t row0 = outH * b / bands;
     const std::int64_t row1 = outH * (b + 1) / bands;
@@ -37,15 +44,19 @@ std::vector<std::byte> VMExecutor::execute(
                        Rect{q.region().x0, q.region().y0 + row0 * z,
                             q.region().x1, q.region().y0 + row1 * z},
                        q.zoom(), q.op());
+    slices.push_back(std::span<std::byte>(out)
+                         .subspan(static_cast<std::size_t>(row0 * rowBytes),
+                                  static_cast<std::size_t>((row1 - row0) *
+                                                           rowBytes)));
   }
   std::vector<std::exception_ptr> errors(parts.size());
   {
     std::vector<std::jthread> workers;
     workers.reserve(parts.size());
     for (std::size_t b = 0; b < parts.size(); ++b) {
-      workers.emplace_back([this, &ps, &parts, &results, &errors, b] {
+      workers.emplace_back([this, &ps, &parts, &slices, &errors, b] {
         try {
-          results[b] = executeSerial(parts[b], ps);
+          executeInto(parts[b], ps, slices[b]);
         } catch (...) {
           errors[b] = std::current_exception();
         }
@@ -55,26 +66,20 @@ std::vector<std::byte> VMExecutor::execute(
   for (const auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
-
-  std::vector<std::byte> out;
-  out.reserve(q.outBytes());
-  for (const auto& band : results) {
-    out.insert(out.end(), band.begin(), band.end());
-  }
-  MQS_DCHECK(out.size() == q.outBytes());
   return out;
 }
 
-std::vector<std::byte> VMExecutor::executeSerial(
-    const VMPredicate& q, pagespace::PageSpaceManager& ps) const {
+void VMExecutor::executeInto(const VMPredicate& q,
+                             pagespace::PageSpaceManager& ps,
+                             std::span<std::byte> out) const {
   const index::ChunkLayout& layout = semantics_->layout(q.dataset());
   MQS_CHECK_MSG(layout.extent().contains(q.region()),
                 "query region outside dataset extent");
+  MQS_CHECK(out.size() == q.outBytes());
 
   const auto z = static_cast<std::int64_t>(q.zoom());
   const std::int64_t outW = q.outWidth();
   const Rect region = q.region();
-  std::vector<std::byte> out(q.outBytes());
 
   // Averaging accumulates window sums across chunk boundaries.
   std::vector<std::uint32_t> sums;
@@ -82,8 +87,19 @@ std::vector<std::byte> VMExecutor::executeSerial(
     sums.assign(out.size(), 0);
   }
 
-  for (const index::ChunkRef& chunk : layout.chunksIntersecting(region)) {
-    const pagespace::PagePtr page = ps.fetch({q.dataset(), chunk.id});
+  // Enumerate every chunk up front and pipeline the fetches: decode chunk
+  // i while chunks i+1..i+k are in flight on the I/O pool.
+  const std::vector<index::ChunkRef> chunks =
+      layout.chunksIntersecting(region);
+  std::vector<storage::PageKey> keys;
+  keys.reserve(chunks.size());
+  for (const index::ChunkRef& chunk : chunks) {
+    keys.push_back({q.dataset(), chunk.id});
+  }
+  pagespace::ReadaheadStream stream(ps, std::move(keys), readaheadPages_);
+
+  for (const index::ChunkRef& chunk : chunks) {
+    const pagespace::PagePtr page = stream.next();
     const std::byte* data = page->data();
     const std::int64_t chunkW = chunk.rect.width();
     const Rect clip = Rect::intersection(chunk.rect, region);
@@ -134,7 +150,6 @@ std::vector<std::byte> VMExecutor::executeSerial(
       out[i] = static_cast<std::byte>((sums[i] + half) / window);
     }
   }
-  return out;
 }
 
 void VMExecutor::project(const query::Predicate& cachedP,

@@ -2,12 +2,16 @@
 //
 // execute() walks the chunks intersecting the query region (retrieved via
 // the Page Space Manager), clips each to the query window, and computes the
-// output image at the requested magnification — the pipeline of §3.
+// output image at the requested magnification — the pipeline of §3. Chunk
+// fetches are issued through a bounded readahead window so the decode of
+// chunk i overlaps the device reads of chunks i+1..i+k (VM subsampling is
+// almost pure I/O wait otherwise).
 // project() re-renders a cached lower-zoom result into a higher-zoom query
 // (or copies at equal zoom), used both for Data Store reuse and for
 // assembling sub-query results into their parent's output.
 #pragma once
 
+#include "pagespace/readahead.hpp"
 #include "query/executor.hpp"
 #include "vm/vm_semantics.hpp"
 
@@ -20,7 +24,11 @@ class VMExecutor final : public query::QueryExecutor {
   /// Manager deduplicates). Effective thread count is
   /// queryServerThreads * intraQueryThreads; the paper's system is purely
   /// inter-query parallel, so the default is 1.
-  explicit VMExecutor(const VMSemantics* semantics, int intraQueryThreads = 1);
+  /// `readaheadPages` is the per-query fetch pipeline depth (0 = fully
+  /// synchronous fetches, as the paper's server behaves).
+  explicit VMExecutor(
+      const VMSemantics* semantics, int intraQueryThreads = 1,
+      int readaheadPages = pagespace::kDefaultReadaheadPages);
 
   [[nodiscard]] std::vector<std::byte> execute(
       const query::Predicate& pred,
@@ -32,11 +40,15 @@ class VMExecutor final : public query::QueryExecutor {
                std::span<std::byte> outBuffer) const override;
 
  private:
-  [[nodiscard]] std::vector<std::byte> executeSerial(
-      const VMPredicate& q, pagespace::PageSpaceManager& ps) const;
+  /// Compute `q` from raw data into `out` (exactly q.outBytes() bytes).
+  /// Band workers call this with contiguous row slices of the final
+  /// buffer, so parallel assembly needs no copying.
+  void executeInto(const VMPredicate& q, pagespace::PageSpaceManager& ps,
+                   std::span<std::byte> out) const;
 
   const VMSemantics* semantics_;
   int intraQueryThreads_;
+  int readaheadPages_;
 };
 
 }  // namespace mqs::vm

@@ -7,9 +7,10 @@
 
 namespace mqs::vol {
 
-VolExecutor::VolExecutor(const VolSemantics* semantics)
-    : semantics_(semantics) {
+VolExecutor::VolExecutor(const VolSemantics* semantics, int readaheadPages)
+    : semantics_(semantics), readaheadPages_(readaheadPages) {
   MQS_CHECK(semantics_ != nullptr);
+  MQS_CHECK(readaheadPages_ >= 0);
 }
 
 std::vector<std::byte> VolExecutor::execute(
@@ -27,8 +28,16 @@ std::vector<std::byte> VolExecutor::execute(
   std::vector<std::uint32_t> sums(
       static_cast<std::size_t>(outW * outH * q.outDepth()), 0);
 
-  for (const BrickRef& brick : layout.bricksIntersecting(box)) {
-    const pagespace::PagePtr page = ps.fetch({q.dataset(), brick.id});
+  const std::vector<BrickRef> bricks = layout.bricksIntersecting(box);
+  std::vector<storage::PageKey> keys;
+  keys.reserve(bricks.size());
+  for (const BrickRef& brick : bricks) {
+    keys.push_back({q.dataset(), brick.id});
+  }
+  pagespace::ReadaheadStream stream(ps, std::move(keys), readaheadPages_);
+
+  for (const BrickRef& brick : bricks) {
+    const pagespace::PagePtr page = stream.next();
     const std::byte* data = page->data();
     const Box3 clip = Box3::intersection(brick.box, box);
     MQS_DCHECK(!clip.empty());

@@ -1,10 +1,13 @@
 // Volume query execution: LOD mean-downsampling over bricks fetched through
 // the Page Space Manager, and projection of cached results (including the
-// exact cross-operator Subvolume <-> Slice paths).
+// exact cross-operator Subvolume <-> Slice paths). Brick fetches run
+// through the same bounded readahead pipeline as the VM executor: brick i
+// is accumulated while bricks i+1..i+k are in flight.
 #pragma once
 
 #include <vector>
 
+#include "pagespace/readahead.hpp"
 #include "query/executor.hpp"
 #include "vol/vol_semantics.hpp"
 
@@ -12,7 +15,9 @@ namespace mqs::vol {
 
 class VolExecutor final : public query::QueryExecutor {
  public:
-  explicit VolExecutor(const VolSemantics* semantics);
+  explicit VolExecutor(
+      const VolSemantics* semantics,
+      int readaheadPages = pagespace::kDefaultReadaheadPages);
 
   [[nodiscard]] std::vector<std::byte> execute(
       const query::Predicate& pred,
@@ -25,6 +30,7 @@ class VolExecutor final : public query::QueryExecutor {
 
  private:
   const VolSemantics* semantics_;
+  int readaheadPages_;
 };
 
 /// Direct evaluation against the synthetic volume, bypassing the runtime —

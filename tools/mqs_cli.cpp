@@ -1,7 +1,8 @@
 // mqs — command-line front door to the middleware.
 //
 //   mqs serve  [--port 0] [--policy CF] [--threads 4] [--datasets 3]
-//              [--side 8192] [--ds 64MB] [--ps 32MB]
+//              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
+//              [--io-threads 4]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
 //
@@ -69,13 +70,15 @@ int cmdServe(const Options& opts) {
     sources.push_back(std::make_unique<storage::SyntheticSlideSource>(
         semantics.layout(id), static_cast<std::uint64_t>(11 * (d + 1))));
   }
-  vm::VMExecutor executor(&semantics);
-
   server::ServerConfig cfg;
   cfg.threads = static_cast<int>(opts.getInt("threads", 4));
   cfg.policy = opts.getString("policy", "CF");
   cfg.dsBytes = opts.getBytes("ds", 64 * MiB);
   cfg.psBytes = opts.getBytes("ps", 32 * MiB);
+  cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 4));
+  cfg.psIoThreads = static_cast<int>(opts.getInt("io-threads", 4));
+  vm::VMExecutor executor(&semantics, /*intraQueryThreads=*/1,
+                          cfg.prefetchPages);
   server::QueryServer queryServer(&semantics, &executor, cfg);
   for (std::size_t d = 0; d < sources.size(); ++d) {
     queryServer.attach(static_cast<storage::DatasetId>(d), sources[d].get());
