@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + full test suite, then a ThreadSanitizer build of the
-# concurrency-sensitive suites (page space pipeline + VM executor).
-# Usage: scripts/check.sh [--no-tsan]
+# Tier-1 gate: build + full test suite, then the fault/soak/fuzz label
+# matrix, an ASan+UBSan pass over the fault-injection suites, and a
+# ThreadSanitizer build of the concurrency-sensitive suites.
+# Usage: scripts/check.sh [--no-tsan] [--no-asan]
+#   MQS_SOAK_SEED / MQS_SOAK_ITERS tune the soak (see tests/integration/
+#   fault_soak_test.cpp); e.g. MQS_SOAK_ITERS=50 scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_tsan=1
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1 build =="
 cmake -B build -S . -DMQS_WERROR=ON
@@ -12,23 +25,50 @@ cmake --build build -j
 echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-if [ "${1:-}" = "--no-tsan" ]; then
-  echo "== skipping TSan pass =="
-  exit 0
+# Label matrix: each suite group must be runnable on its own, so a CI
+# job (or a bug hunt) can target just the fault, soak, or fuzz tests.
+for label in fault soak fuzz; do
+  echo "== label: $label =="
+  ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
+done
+
+FAULT_SUITES="faulty_source_test fault_retry_test failure_semantics_test \
+  wire_fuzz_test fault_soak_test"
+
+if [ "$run_asan" = 1 ]; then
+  echo "== ASan+UBSan build (fault suites) =="
+  cmake -B build-asan -S . -DMQS_SANITIZE=address,undefined
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j --target $FAULT_SUITES
+
+  echo "== ASan+UBSan tests =="
+  export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+  for t in $FAULT_SUITES; do
+    echo "--- $t ---"
+    "build-asan/tests/$t"
+  done
+else
+  echo "== skipping ASan pass =="
 fi
 
-echo "== TSan build (pagespace + vm) =="
-cmake -B build-tsan -S . -DMQS_SANITIZE=thread
-cmake --build build-tsan -j --target \
-  page_cache_core_test page_space_manager_test prefetch_pipeline_test \
-  vm_executor_test
+if [ "$run_tsan" = 1 ]; then
+  echo "== TSan build (pagespace + vm + fault suites) =="
+  cmake -B build-tsan -S . -DMQS_SANITIZE=thread
+  # shellcheck disable=SC2086
+  cmake --build build-tsan -j --target \
+    page_cache_core_test page_space_manager_test prefetch_pipeline_test \
+    vm_executor_test $FAULT_SUITES
 
-echo "== TSan tests =="
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-for t in page_cache_core_test page_space_manager_test \
-         prefetch_pipeline_test vm_executor_test; do
-  echo "--- $t ---"
-  "build-tsan/tests/$t"
-done
+  echo "== TSan tests =="
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  for t in page_cache_core_test page_space_manager_test \
+           prefetch_pipeline_test vm_executor_test $FAULT_SUITES; do
+    echo "--- $t ---"
+    "build-tsan/tests/$t"
+  done
+else
+  echo "== skipping TSan pass =="
+fi
 
 echo "== check OK =="

@@ -232,4 +232,13 @@ std::size_t DataStore::residentBlobs() const {
   return blobs_.size();
 }
 
+std::size_t DataStore::pinnedBlobs() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, blob] : blobs_) {
+    if (blob.pins > 0) ++n;
+  }
+  return n;
+}
+
 }  // namespace mqs::datastore

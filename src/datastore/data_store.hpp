@@ -145,6 +145,10 @@ class DataStore {
   [[nodiscard]] std::uint64_t capacityBytes() const { return capacity_; }
   [[nodiscard]] std::uint64_t residentBytes() const;
   [[nodiscard]] std::size_t residentBlobs() const;
+  /// Blobs currently holding at least one pin. Zero once the server is
+  /// idle — a positive count then means a leaked PinGuard (soak-test
+  /// invariant).
+  [[nodiscard]] std::size_t pinnedBlobs() const;
 
  private:
   struct Blob {

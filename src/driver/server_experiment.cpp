@@ -55,8 +55,14 @@ ServerRunResult ServerExperiment::runInteractive(
     for (const ClientWorkload& wl : rig.workloads) {
       clients.emplace_back([&server, &wl] {
         for (const vm::VMPredicate& q : wl.queries) {
-          (void)server.execute(std::make_unique<vm::VMPredicate>(q),
-                               wl.client);
+          // A FAILED query is an answer, not a client crash: record it
+          // (the server already did, in its collector) and move on to the
+          // next query — an uncaught throw here would terminate().
+          try {
+            (void)server.execute(std::make_unique<vm::VMPredicate>(q),
+                                 wl.client);
+          } catch (const server::QueryFailure&) {
+          }
         }
       });
     }
@@ -91,7 +97,15 @@ ServerRunResult ServerExperiment::runBatch(
       }
     }
   }
-  for (auto& f : futures) (void)f.get();
+  for (auto& f : futures) {
+    // Drain every future even when some queries FAILED: the batch result
+    // reports failures through the metrics summary instead of throwing
+    // away the rest of the run.
+    try {
+      (void)f.get();
+    } catch (const server::QueryFailure&) {
+    }
+  }
 
   ServerRunResult result = gather(server);
   result.psStats = server.pageSpace().stats();

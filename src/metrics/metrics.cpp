@@ -35,6 +35,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   double stallSum = 0.0;
   std::size_t reused = 0;
   for (const QueryRecord& r : records) {
+    if (r.failed) ++s.failedQueries;
     response.push_back(r.responseTime());
     wait.push_back(r.waitTime());
     exec.push_back(r.execTime());

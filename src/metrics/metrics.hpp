@@ -35,6 +35,11 @@ struct QueryRecord {
   std::uint64_t bytesFromDisk = 0; ///< raw bytes actually read for this query
   std::uint64_t bytesReused = 0;   ///< output bytes satisfied via projection
 
+  /// Terminal FAILED status: the query raised an error (unreadable page,
+  /// deadline exceeded) and delivered an exception instead of bytes.
+  bool failed = false;
+  std::string failureReason;
+
   [[nodiscard]] double waitTime() const { return startTime - arrivalTime; }
   [[nodiscard]] double execTime() const { return finishTime - startTime; }
   [[nodiscard]] double responseTime() const { return finishTime - arrivalTime; }
@@ -56,6 +61,7 @@ class Collector {
 /// Run-level summary over a set of query records.
 struct Summary {
   std::size_t queries = 0;
+  std::size_t failedQueries = 0;  ///< records with the FAILED status
   double trimmedResponse = 0.0;  ///< 95%-trimmed mean response time
   double meanResponse = 0.0;
   double meanWait = 0.0;

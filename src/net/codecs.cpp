@@ -8,6 +8,25 @@ namespace mqs::net {
 
 namespace {
 
+// Frames come from untrusted peers: coordinates straight off the wire can
+// sit near INT64_MIN/MAX, where even computing an extent (x1 - x0) is
+// signed overflow before the predicate constructors get a chance to
+// validate. Bound every decoded coordinate well inside the representable
+// range (far beyond any real dataset) so downstream arithmetic is safe.
+constexpr std::int64_t kMaxWireCoord = std::int64_t{1} << 48;
+constexpr std::uint32_t kMaxWireLevel = 1u << 20;
+
+std::int64_t checkedCoord(std::int64_t v) {
+  MQS_CHECK_MSG(v >= -kMaxWireCoord && v <= kMaxWireCoord,
+                "wire coordinate out of range");
+  return v;
+}
+
+std::uint32_t checkedLevel(std::uint32_t v) {
+  MQS_CHECK_MSG(v >= 1 && v <= kMaxWireLevel, "wire level out of range");
+  return v;
+}
+
 class VmCodec final : public PredicateCodec {
  public:
   [[nodiscard]] std::string_view kind() const override { return "vm"; }
@@ -26,11 +45,11 @@ class VmCodec final : public PredicateCodec {
   [[nodiscard]] query::PredicatePtr decode(Reader& in) const override {
     const auto dataset = in.u32();
     Rect r;
-    r.x0 = in.i64();
-    r.y0 = in.i64();
-    r.x1 = in.i64();
-    r.y1 = in.i64();
-    const auto zoom = in.u32();
+    r.x0 = checkedCoord(in.i64());
+    r.y0 = checkedCoord(in.i64());
+    r.x1 = checkedCoord(in.i64());
+    r.y1 = checkedCoord(in.i64());
+    const auto zoom = checkedLevel(in.u32());
     const auto op = static_cast<vm::VMOp>(in.u8());
     MQS_CHECK_MSG(op == vm::VMOp::Subsample || op == vm::VMOp::Average,
                   "bad VM op on the wire");
@@ -58,13 +77,13 @@ class VolCodec final : public PredicateCodec {
   [[nodiscard]] query::PredicatePtr decode(Reader& in) const override {
     const auto dataset = in.u32();
     Box3 b;
-    b.x0 = in.i64();
-    b.y0 = in.i64();
-    b.z0 = in.i64();
-    b.x1 = in.i64();
-    b.y1 = in.i64();
-    b.z1 = in.i64();
-    const auto lod = in.u32();
+    b.x0 = checkedCoord(in.i64());
+    b.y0 = checkedCoord(in.i64());
+    b.z0 = checkedCoord(in.i64());
+    b.x1 = checkedCoord(in.i64());
+    b.y1 = checkedCoord(in.i64());
+    b.z1 = checkedCoord(in.i64());
+    const auto lod = checkedLevel(in.u32());
     const auto op = static_cast<vol::VolOp>(in.u8());
     MQS_CHECK_MSG(op == vol::VolOp::Subvolume || op == vol::VolOp::Slice,
                   "bad volume op on the wire");

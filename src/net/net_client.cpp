@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "server/query_server.hpp"
 
 namespace mqs::net {
 
@@ -55,6 +56,12 @@ NetClient::Response NetClient::receive() {
   Reader r(frame.payload);
   Response resp;
   resp.requestId = r.u64();
+  if (frame.type == FrameType::Failed) {
+    // The server accepted the query but it reached the terminal FAILED
+    // status (device fault, deadline); rethrow as the same type local
+    // callers of QueryServer::execute would see.
+    throw server::QueryFailure(r.str());
+  }
   if (frame.type == FrameType::Error) {
     throw std::runtime_error("remote query failed: " + r.str());
   }

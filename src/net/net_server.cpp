@@ -61,10 +61,13 @@ NetServer::~NetServer() { stop(); }
 
 void NetServer::stop() {
   if (stopping_.exchange(true)) return;
-  if (listenFd_ >= 0) {
-    ::shutdown(listenFd_, SHUT_RDWR);
-    ::close(listenFd_);
-    listenFd_ = -1;
+  // listenFd_ is atomic: the accept loop sees either the live fd (its
+  // accept is then unblocked by the shutdown below) or -1 (EBADF, and
+  // stopping_ is already set).
+  const int lfd = listenFd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
   }
   acceptor_ = {};  // join
   std::vector<std::unique_ptr<Connection>> conns;
@@ -124,6 +127,12 @@ void NetServer::serveConnection(int fd) {
         server::QueryResult result = item->second.get();
         w.blob(result.bytes);
         if (!writeAll(c->fd, packFrame(FrameType::Result, w.bytes()))) break;
+      } catch (const server::QueryFailure& e) {
+        // The query reached the terminal FAILED status; tell the client
+        // which request died so it can distinguish this from a rejected
+        // (malformed) request.
+        w.str(e.what());
+        if (!writeAll(c->fd, packFrame(FrameType::Failed, w.bytes()))) break;
       } catch (const std::exception& e) {
         w.str(e.what());
         if (!writeAll(c->fd, packFrame(FrameType::Error, w.bytes()))) break;

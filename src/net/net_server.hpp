@@ -48,7 +48,7 @@ class NetServer {
 
   server::QueryServer& queryServer_;
   const CodecRegistry* codecs_;
-  int listenFd_ = -1;
+  std::atomic<int> listenFd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};

@@ -8,6 +8,12 @@
 //   Query  — u64 requestId | u16 kindLen | kind | predicate bytes
 //   Result — u64 requestId | u64 resultLen | result bytes
 //   Error  — u64 requestId | u16 messageLen | message
+//   Failed — u64 requestId | u16 messageLen | message
+//
+// Error means the request itself was rejected (malformed predicate,
+// transport fault); Failed means the server accepted and scheduled the
+// query but it reached the terminal FAILED status (device fault past the
+// retry budget, deadline exceeded).
 //
 // Integers are little-endian. Predicate bodies are produced by
 // application-registered PredicateCodecs (see codecs.hpp).
@@ -22,7 +28,7 @@
 
 namespace mqs::net {
 
-enum class FrameType : std::uint8_t { Query = 1, Result = 2, Error = 3 };
+enum class FrameType : std::uint8_t { Query = 1, Result = 2, Error = 3, Failed = 4 };
 
 /// Growing byte sink with little-endian primitive writers.
 class Writer {

@@ -1,6 +1,7 @@
 #include "pagespace/page_space_manager.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -23,6 +24,19 @@ class StallTimer {
  private:
   std::chrono::steady_clock::time_point t0_;
 };
+
+/// Rebuild a failed read's exception on the calling thread. Each waiter
+/// gets a fresh object; the original exception died on the reading thread.
+[[noreturn]] void throwReadError(const ReadResult& r) {
+  switch (r.error) {
+    case ReadResult::Error::Transient:
+      throw storage::TransientReadError(r.message);
+    case ReadResult::Error::Permanent:
+      throw storage::PermanentReadError(r.message);
+    default:
+      throw std::runtime_error(r.message);
+  }
+}
 }  // namespace
 
 void PageSpaceManager::resetThreadCounters() {
@@ -32,9 +46,12 @@ void PageSpaceManager::resetThreadCounters() {
 std::uint64_t PageSpaceManager::threadDeviceBytes() { return tlsDeviceBytes; }
 double PageSpaceManager::threadStallSeconds() { return tlsStallSeconds; }
 
-PageSpaceManager::PageSpaceManager(std::uint64_t capacityBytes, int ioThreads)
-    : core_(capacityBytes) {
+PageSpaceManager::PageSpaceManager(std::uint64_t capacityBytes, int ioThreads,
+                                   RetryPolicy retry)
+    : core_(capacityBytes), retry_(retry) {
   MQS_CHECK(ioThreads >= 0);
+  MQS_CHECK(retry_.maxAttempts >= 1);
+  MQS_CHECK(retry_.backoffSec >= 0.0 && retry_.multiplier >= 1.0);
   if (ioThreads > 0) {
     io_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(ioThreads));
   }
@@ -86,13 +103,29 @@ std::uint64_t PageSpaceManager::consumeClaimLocked(const storage::PageKey& key,
 
 void PageSpaceManager::performRead(const storage::PageKey& key,
                                    const storage::DataSource* source,
-                                   std::promise<PagePtr>& promise,
+                                   std::promise<ReadResult>& promise,
                                    bool viaPrefetch) {
   PagePtr page;
   try {
     const std::size_t n = source->pageBytes(key.page);
     auto buffer = std::make_shared<std::vector<std::byte>>(n);
-    source->readPage(key.page, *buffer);
+    // Retry transient device faults with exponential backoff; anything else
+    // (permanent faults, programming errors) propagates on first throw.
+    for (int attempt = 1;; ++attempt) {
+      try {
+        source->readPage(key.page, *buffer);
+        break;
+      } catch (const storage::TransientReadError&) {
+        if (attempt >= retry_.maxAttempts) throw;
+        double backoff = retry_.backoffSec;
+        for (int k = 1; k < attempt; ++k) backoff *= retry_.multiplier;
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
+        std::lock_guard lock(mu_);
+        ++readRetries_;
+      }
+    }
     page = std::move(buffer);
 
     std::lock_guard lock(mu_);
@@ -119,17 +152,38 @@ void PageSpaceManager::performRead(const storage::PageKey& key,
   } catch (...) {
     {
       std::lock_guard lock(mu_);
+      ++readFailures_;
       inflight_.erase(key);
     }
-    promise.set_exception(std::current_exception());
+    // Flatten the failure to (kind, message): waiters rebuild their own
+    // exception objects, so none is shared across threads.
+    ReadResult r;
+    try {
+      throw;
+    } catch (const storage::TransientReadError& e) {
+      r.error = ReadResult::Error::Transient;
+      r.message = e.what();
+    } catch (const storage::PermanentReadError& e) {
+      r.error = ReadResult::Error::Permanent;
+      r.message = e.what();
+    } catch (const std::exception& e) {
+      r.error = ReadResult::Error::Other;
+      r.message = e.what();
+    } catch (...) {
+      r.error = ReadResult::Error::Other;
+      r.message = "unknown read error";
+    }
+    promise.set_value(std::move(r));
     return;
   }
-  promise.set_value(std::move(page));
+  ReadResult ok;
+  ok.page = std::move(page);
+  promise.set_value(std::move(ok));
 }
 
 PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
-  std::shared_ptr<std::promise<PagePtr>> promise;
-  std::shared_future<PagePtr> future;
+  std::shared_ptr<std::promise<ReadResult>> promise;
+  std::shared_future<ReadResult> future;
   const storage::DataSource* source = nullptr;
   {
     std::lock_guard lock(mu_);
@@ -152,28 +206,40 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
       // Settle one claim as wasted here, under the same lock, so claims
       // taken by prefetches racing with this read are left to their owners.
       (void)consumeClaimLocked(key, /*served=*/false);
-      promise = std::make_shared<std::promise<PagePtr>>();
+      promise = std::make_shared<std::promise<ReadResult>>();
       future = promise->get_future().share();
       inflight_.emplace(key, future);
     }
   }
 
   if (source != nullptr) {
-    // Demand miss: read on the calling thread (no context switch).
+    // Demand miss: read on the calling thread (no context switch). The
+    // caller's claim (if any) was already settled above, so a failing read
+    // keeps the always-consume-one-claim contract.
     const std::size_t n = source->pageBytes(key.page);
     {
       StallTimer stall;
       performRead(key, source, *promise, /*viaPrefetch=*/false);
     }
-    PagePtr page = future.get();  // rethrows the source's exception
+    const ReadResult& r = future.get();
+    if (r.error != ReadResult::Error::None) throwReadError(r);
     tlsDeviceBytes += n;
-    return page;
+    return r.page;
   }
 
-  PagePtr page;
+  ReadResult r;
   {
     StallTimer stall;
-    page = future.get();
+    r = future.get();
+  }
+  if (r.error != ReadResult::Error::None) {
+    // The merged read failed: settle the caller's claim as unserved so
+    // the failure path consumes exactly one claim, like success does.
+    {
+      std::lock_guard lock(mu_);
+      (void)consumeClaimLocked(key, /*served=*/false);
+    }
+    throwReadError(r);
   }
   std::uint64_t credit = 0;
   {
@@ -181,12 +247,12 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
     credit = consumeClaimLocked(key, /*served=*/true);
   }
   tlsDeviceBytes += credit;
-  return page;
+  return r.page;
 }
 
 void PageSpaceManager::prefetch(const storage::PageKey& key) {
   if (!io_) return;  // synchronous mode: readahead hints are ignored
-  std::shared_ptr<std::promise<PagePtr>> promise;
+  std::shared_ptr<std::promise<ReadResult>> promise;
   const storage::DataSource* source = nullptr;
   {
     std::lock_guard lock(mu_);
@@ -205,7 +271,7 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
       return;  // coalesce: the claim is pinned when the read lands
     }
     source = sourceFor(key.dataset);
-    promise = std::make_shared<std::promise<PagePtr>>();
+    promise = std::make_shared<std::promise<ReadResult>>();
     inflight_.emplace(key, promise->get_future().share());
     ++prefetchIssued_;
     c.issued = true;
@@ -219,8 +285,10 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
       std::lock_guard lock(mu_);
       inflight_.erase(key);
     }
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("page space manager is shutting down")));
+    promise->set_value(ReadResult{.page = nullptr,
+                                  .error = ReadResult::Error::Other,
+                                  .message =
+                                      "page space manager is shutting down"});
   }
 }
 
@@ -247,9 +315,12 @@ std::vector<PagePtr> PageSpaceManager::fetchBatch(
       out.push_back(fetch(keys[done]));
     }
   } catch (...) {
-    // The failing fetch did not consume its claim; release it and every
-    // claim taken for keys we never reached.
-    for (std::size_t j = done; j < keys.size(); ++j) {
+    // The failing fetch consumed its own claim (fetch's failure contract),
+    // as did every fetch before it; release only the claims taken for keys
+    // the batch never reached. Releasing the failing key here as well would
+    // over-release: with no batch claim left it would steal — and unpin —
+    // a claim held by a concurrent query on the same page.
+    for (std::size_t j = done + 1; j < keys.size(); ++j) {
       releaseClaim(keys[j]);
     }
     throw;
@@ -272,6 +343,8 @@ PageSpaceManager::Stats PageSpaceManager::stats() const {
   s.prefetchIssued = prefetchIssued_;
   s.prefetchHits = prefetchHits_;
   s.prefetchWasted = prefetchWasted_;
+  s.readRetries = readRetries_;
+  s.readFailures = readFailures_;
   return s;
 }
 

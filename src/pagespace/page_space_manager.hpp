@@ -16,10 +16,12 @@
 // read was already paid for.
 #pragma once
 
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +36,26 @@ namespace mqs::pagespace {
 /// page meanwhile.
 using PagePtr = std::shared_ptr<const std::vector<std::byte>>;
 
+/// Value delivered through the in-flight table. Read failures travel as
+/// plain data, not as a shared exception_ptr: every waiter merged onto one
+/// device read builds its own exception from `error`/`message`, so no
+/// exception object is ever rethrown concurrently on several threads.
+struct ReadResult {
+  enum class Error : std::uint8_t { None = 0, Transient, Permanent, Other };
+  PagePtr page;
+  Error error = Error::None;
+  std::string message;
+};
+
+/// Device-read retry discipline. Only storage::TransientReadError is
+/// retried; permanent faults and programming errors propagate immediately.
+/// Attempt k (k >= 1) sleeps backoffSec * multiplier^(k-1) before retrying.
+struct RetryPolicy {
+  int maxAttempts = 3;
+  double backoffSec = 0.0002;
+  double multiplier = 2.0;
+};
+
 class PageSpaceManager {
  public:
   /// Default size of the asynchronous I/O pool. Matches the default
@@ -41,7 +63,8 @@ class PageSpaceManager {
   static constexpr int kDefaultIoThreads = 4;
 
   explicit PageSpaceManager(std::uint64_t capacityBytes,
-                            int ioThreads = kDefaultIoThreads);
+                            int ioThreads = kDefaultIoThreads,
+                            RetryPolicy retry = {});
   ~PageSpaceManager();
 
   PageSpaceManager(const PageSpaceManager&) = delete;
@@ -54,6 +77,10 @@ class PageSpaceManager {
   /// Read-through fetch. Blocks the calling query thread on a miss while
   /// the page is read from its data source; concurrent fetches of the same
   /// page wait for the one in-flight I/O instead of duplicating it.
+  ///
+  /// Failure contract: a fetch that throws still consumes one outstanding
+  /// prefetch claim on `key` (settled as unserved), exactly like a
+  /// successful fetch — callers balance claims the same way on both paths.
   PagePtr fetch(const storage::PageKey& key);
 
   /// Asynchronous readahead hint: start reading `key` on the I/O pool and
@@ -72,7 +99,10 @@ class PageSpaceManager {
   /// Blocking batch fetch: issues all misses to the I/O pool so their
   /// device reads overlap, then waits for each page in order. On failure
   /// the source's exception is rethrown and every claim taken by the batch
-  /// is released — no in-flight entries leak.
+  /// is released — pages already fetched (and the failing fetch itself)
+  /// consumed their claims, the unreached tail is released explicitly; no
+  /// in-flight entries or claims leak, and claims held by other queries on
+  /// the same keys are never touched.
   std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys);
 
   struct Stats {
@@ -86,8 +116,12 @@ class PageSpaceManager {
     std::uint64_t prefetchWasted = 0;  ///< issued reads never consumed
     // prefetchHits + prefetchWasted <= prefetchIssued; prefetches that
     // coalesce onto resident pages or in-flight reads count in neither.
+    std::uint64_t readRetries = 0;   ///< transient-fault retries performed
+    std::uint64_t readFailures = 0;  ///< device reads that failed for good
   };
   [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const RetryPolicy& retryPolicy() const { return retry_; }
 
   [[nodiscard]] std::uint64_t capacityBytes() const;
   [[nodiscard]] std::uint64_t residentBytes() const;
@@ -125,7 +159,7 @@ class PageSpaceManager {
   /// delivered through the promise; the in-flight entry never leaks.
   void performRead(const storage::PageKey& key,
                    const storage::DataSource* source,
-                   std::promise<PagePtr>& promise, bool viaPrefetch);
+                   std::promise<ReadResult>& promise, bool viaPrefetch);
   /// Consume one claim after a fetch of `key`. Returns the device bytes to
   /// credit the calling thread. `served` = the page (or its in-flight
   /// read) was still available; false means the prefetched copy was lost
@@ -134,9 +168,10 @@ class PageSpaceManager {
 
   mutable std::mutex mu_;
   PageCacheCore core_;
+  RetryPolicy retry_;
   std::unordered_map<storage::DatasetId, const storage::DataSource*> sources_;
   std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash> resident_;
-  std::unordered_map<storage::PageKey, std::shared_future<PagePtr>,
+  std::unordered_map<storage::PageKey, std::shared_future<ReadResult>,
                      storage::PageKeyHash>
       inflight_;
   std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims_;
@@ -145,6 +180,8 @@ class PageSpaceManager {
   std::uint64_t prefetchIssued_ = 0;
   std::uint64_t prefetchHits_ = 0;
   std::uint64_t prefetchWasted_ = 0;
+  std::uint64_t readRetries_ = 0;
+  std::uint64_t readFailures_ = 0;
 
   /// Declared last: destroyed first, joining the I/O workers while the
   /// maps above are still alive for their final bookkeeping.

@@ -54,11 +54,11 @@ class ReadaheadStream {
         ps_.prefetch(keys_[issued_]);
       }
     }
-    // Advance only after a successful fetch: on a throw the current key's
-    // claim is still outstanding and must be released by the destructor.
-    PagePtr page = ps_.fetch(keys_[pos_]);
-    ++pos_;
-    return page;
+    // fetch() consumes the current key's claim even when it throws (its
+    // failure contract), so advance past it on both paths; the destructor
+    // then releases exactly the prefetched-but-never-fetched tail.
+    const std::size_t cur = pos_++;
+    return ps_.fetch(keys_[cur]);
   }
 
  private:

@@ -151,6 +151,7 @@ void SchedulingGraph::writeDot(std::ostream& os) const {
       case QueryState::Executing: return "lightblue";
       case QueryState::Cached: return "palegreen";
       case QueryState::SwappedOut: return "lightgray";
+      case QueryState::Failed: return "lightpink";
     }
     return "white";
   };

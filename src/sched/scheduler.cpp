@@ -109,6 +109,30 @@ void QueryScheduler::swappedOut(NodeId n) {
   }
 }
 
+void QueryScheduler::failed(NodeId n) {
+  std::lock_guard lock(mu_);
+  MQS_CHECK_MSG(graph_.contains(n), "failed() on unknown node");
+  MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
+                "failed() on a non-executing node");
+  graph_.setState(n, QueryState::Failed);
+  const std::vector<NodeId> affected = graph_.neighbors(n);
+  graph_.remove(n);
+  rt_.erase(n);
+  --executing_;
+  ++stats_.failedCount;
+  if (policy_->ranksDependOnGraph()) {
+    if (incremental_) {
+      for (NodeId k : affected) {
+        if (graph_.contains(k) && graph_.state(k) == QueryState::Waiting) {
+          rerankLocked(k);
+        }
+      }
+    } else {
+      rerankAllWaitingLocked();
+    }
+  }
+}
+
 void QueryScheduler::reportQueryOutcome(double achievedOverlap) {
   std::lock_guard lock(mu_);
   policy_->onQueryOutcome(achievedOverlap);

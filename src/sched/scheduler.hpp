@@ -46,6 +46,11 @@ class QueryScheduler {
   /// graph, neighbors are re-ranked (§4).
   void swappedOut(NodeId n);
 
+  /// EXECUTING -> FAILED: the query's execution raised an error. The node
+  /// and its edges leave the graph at once (a failed query has no reusable
+  /// result) and waiting neighbors are re-ranked, exactly as for swap-out.
+  void failed(NodeId n);
+
   /// Runtime feedback for self-tuning policies: the achieved Eq.-2 overlap
   /// of a finished query, and a normalized I/O-congestion signal. No-ops
   /// for the static policies.
@@ -93,6 +98,7 @@ class QueryScheduler {
     std::uint64_t dequeued = 0;
     std::uint64_t completedCount = 0;
     std::uint64_t swappedOutCount = 0;
+    std::uint64_t failedCount = 0;
     std::uint64_t rankEvaluations = 0;  ///< policy->rank() calls
     std::uint64_t staleHeapPops = 0;
   };

@@ -1,7 +1,9 @@
 // Query lifecycle states (§4): a graph vertex is a query that is waiting to
 // be computed, is being computed, or was recently computed and cached; a
 // cached query whose result the Data Store reclaims is swapped out and the
-// node leaves the graph.
+// node leaves the graph. FAILED is a terminal state for queries whose
+// execution raised an error (bad read, deadline): the node leaves the graph
+// immediately — a failed query has no result anyone could reuse.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,7 @@ enum class QueryState : std::uint8_t {
   Executing = 1,
   Cached = 2,
   SwappedOut = 3,
+  Failed = 4,
 };
 
 constexpr std::string_view toString(QueryState s) {
@@ -22,6 +25,7 @@ constexpr std::string_view toString(QueryState s) {
     case QueryState::Executing: return "EXECUTING";
     case QueryState::Cached: return "CACHED";
     case QueryState::SwappedOut: return "SWAPPED_OUT";
+    case QueryState::Failed: return "FAILED";
   }
   return "?";
 }

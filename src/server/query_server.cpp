@@ -18,10 +18,13 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
                  cfg_.incrementalRanking),
       ds_(cfg_.dsBytes, semantics,
           datastore::parseEvictionPolicy(cfg_.dsEviction)),
-      ps_(cfg_.psBytes, cfg_.psIoThreads),
+      ps_(cfg_.psBytes, cfg_.psIoThreads,
+          pagespace::RetryPolicy{cfg_.ioRetryAttempts,
+                                 cfg_.ioRetryBackoffSec}),
       epoch_(std::chrono::steady_clock::now()) {
   MQS_CHECK(sem_ != nullptr && exec_ != nullptr);
   MQS_CHECK(cfg_.threads >= 1);
+  MQS_CHECK(cfg_.queryDeadlineSec >= 0.0);
   ds_.setEvictionListener(
       [this](datastore::BlobId id, const query::Predicate&) {
         onBlobEvicted(id);
@@ -111,6 +114,15 @@ void QueryServer::workerLoop() {
   }
 }
 
+void QueryServer::checkDeadline(const metrics::QueryRecord& rec) const {
+  if (cfg_.queryDeadlineSec <= 0.0) return;
+  const double elapsed = nowSeconds() - rec.arrivalTime;
+  if (elapsed > cfg_.queryDeadlineSec) {
+    throw QueryFailure("query deadline exceeded (" + std::to_string(elapsed) +
+                       "s > " + std::to_string(cfg_.queryDeadlineSec) + "s)");
+  }
+}
+
 std::shared_future<void> QueryServer::doneFutureOf(sched::NodeId node) {
   std::lock_guard lock(mu_);
   auto it = latches_.find(node);
@@ -178,6 +190,7 @@ std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
         const double t0 = nowSeconds();
         doneFutureOf(e->node).wait();
         rec.blockedTime += nowSeconds() - t0;
+        checkDeadline(rec);
 
         datastore::BlobId blob = 0;
         bool haveBlob = false;
@@ -224,38 +237,54 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   const query::PredicatePtr predPtr = scheduler_.predicateOf(node);
   const query::Predicate& pred = *predPtr;
 
-  // Application code (executors, user-defined operators) may throw; the
-  // failure is delivered through the client future and the graph node is
-  // retired so dependents and the scheduler stay consistent.
+  // Application code (executors, user-defined operators, the storage
+  // layer on a permanent device fault) may throw; the failure is scoped
+  // to this query: it is delivered through the client future as a
+  // QueryFailure and the graph node is retired so dependents and the
+  // scheduler stay consistent. The worker thread survives.
   std::vector<std::byte> out;
-  std::exception_ptr failure;
+  std::string failureReason;
+  bool failed = false;
   try {
+    checkDeadline(rec);  // a query already past its deadline never executes
     out = computeQuery(node, pred, rec);
+  } catch (const std::exception& e) {
+    failed = true;
+    failureReason = e.what();
   } catch (...) {
-    failure = std::current_exception();
+    failed = true;
+    failureReason = "unknown error";
   }
   rec.bytesFromDisk = pagespace::PageSpaceManager::threadDeviceBytes();
   rec.ioStallTime = pagespace::PageSpaceManager::threadStallSeconds();
 
   // --- cache the result & transition the graph node --------------------
-  std::optional<datastore::BlobId> blob;
-  if (!failure && rec.overlapUsed < 1.0) blob = cacheResult(pred, out);
-  if (blob) {
-    std::lock_guard lock(mu_);
-    nodeBlob_[node] = *blob;
-    blobNode_[*blob] = node;
-  }
-  scheduler_.completed(node);
-  if (!blob) {
-    // Nothing cached (failed, duplicate result, or DS full/disabled): the
-    // node cannot serve reuse, so it leaves the graph at once.
-    scheduler_.swappedOut(node);
+  if (failed) {
+    rec.failed = true;
+    rec.failureReason = failureReason;
+    // FAILED is terminal: there is no reusable result, so the node leaves
+    // the graph at once and waiting neighbors are re-ranked.
+    scheduler_.failed(node);
   } else {
-    std::lock_guard lock(mu_);
-    if (evictedWhileExecuting_.erase(node) > 0) {
-      nodeBlob_.erase(node);
-      blobNode_.erase(*blob);
+    std::optional<datastore::BlobId> blob;
+    if (rec.overlapUsed < 1.0) blob = cacheResult(pred, out);
+    if (blob) {
+      std::lock_guard lock(mu_);
+      nodeBlob_[node] = *blob;
+      blobNode_[*blob] = node;
+    }
+    scheduler_.completed(node);
+    if (!blob) {
+      // Nothing cached (duplicate result, or DS full/disabled): the
+      // node cannot serve reuse, so it leaves the graph at once.
       scheduler_.swappedOut(node);
+    } else {
+      std::lock_guard lock(mu_);
+      if (evictedWhileExecuting_.erase(node) > 0) {
+        nodeBlob_.erase(node);
+        blobNode_.erase(*blob);
+        scheduler_.swappedOut(node);
+      }
     }
   }
 
@@ -264,12 +293,15 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
     std::lock_guard lock(mu_);
     latches_[node]->promise.set_value();
   }
-  scheduler_.reportQueryOutcome(rec.overlapUsed);
+  // A failed query produced no result, so it contributes no reuse-feedback
+  // signal to adaptive policies.
+  if (!failed) scheduler_.reportQueryOutcome(rec.overlapUsed);
 
   rec.finishTime = nowSeconds();
   collector_.add(rec);
-  if (failure) {
-    pq.promise.set_exception(failure);
+  if (failed) {
+    pq.promise.set_exception(
+        std::make_exception_ptr(QueryFailure(failureReason)));
   } else {
     pq.promise.set_value(QueryResult{std::move(out), rec});
   }

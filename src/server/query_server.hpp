@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +37,15 @@
 
 namespace mqs::server {
 
+/// Terminal failure of one query. Carries the original error's message;
+/// delivered through the client future (and, over the wire, as a Failed
+/// frame). The server itself keeps running — a failed query never takes
+/// down a worker thread or wedges the scheduler.
+class QueryFailure : public std::runtime_error {
+ public:
+  explicit QueryFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct ServerConfig {
   int threads = 4;
   std::uint64_t dsBytes = 64ULL << 20;
@@ -47,6 +57,14 @@ struct ServerConfig {
   /// Page Space async I/O pool size (0 disables the pool; prefetch hints
   /// become no-ops and batch fetches degrade to serial reads).
   int psIoThreads = 4;
+  /// Device-read retry discipline for transient source faults (see
+  /// pagespace::RetryPolicy); attempts = 1 disables retries.
+  int ioRetryAttempts = 3;
+  double ioRetryBackoffSec = 0.0002;
+  /// Per-query deadline measured from arrival, in seconds (0 = none).
+  /// Checked at dispatch and at blocking points; a query past its deadline
+  /// fails with QueryFailure instead of occupying a thread-pool slot.
+  double queryDeadlineSec = 0.0;
   std::string dsEviction = "LRU";  ///< LRU | LFU | LARGEST
   std::string policy = "FIFO";
   double alpha = 0.2;
@@ -120,6 +138,11 @@ class QueryServer {
                                      metrics::QueryRecord& rec);
   std::optional<datastore::BlobId> cacheResult(const query::Predicate& pred,
                                                std::span<const std::byte> out);
+  /// Throws QueryFailure if the query's deadline has passed (no-op when
+  /// queryDeadlineSec == 0). Called at dispatch and after blocking waits;
+  /// deadlines are cooperative — a query already inside the executor is
+  /// not preempted.
+  void checkDeadline(const metrics::QueryRecord& rec) const;
   void onBlobEvicted(datastore::BlobId blob);
   std::shared_future<void> doneFutureOf(sched::NodeId node);
 

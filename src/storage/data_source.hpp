@@ -10,8 +10,30 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 namespace mqs::storage {
+
+/// Base class for page-read failures raised by data sources.
+class ReadError : public std::runtime_error {
+ public:
+  explicit ReadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A read that may succeed if retried (bus hiccup, dropped request, timed-out
+/// device). The Page Space Manager retries these with backoff.
+class TransientReadError : public ReadError {
+ public:
+  explicit TransientReadError(const std::string& what) : ReadError(what) {}
+};
+
+/// A read that will never succeed (bad sector, detached device). Propagated
+/// to the querying client; the query fails, the server keeps running.
+class PermanentReadError : public ReadError {
+ public:
+  explicit PermanentReadError(const std::string& what) : ReadError(what) {}
+};
 
 using DatasetId = std::uint32_t;
 using PageId = std::uint64_t;

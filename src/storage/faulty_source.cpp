@@ -1,0 +1,112 @@
+#include "storage/faulty_source.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace mqs::storage {
+
+namespace {
+
+/// SplitMix64-style mix of (seed, page, sequence, salt) -> u64. All
+/// injection decisions flow through this so a plan replays exactly.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t page, std::uint64_t seq,
+                  std::uint64_t salt) {
+  std::uint64_t z = seed ^ (page * 0x9e3779b97f4a7c15ULL) ^
+                    (seq * 0xbf58476d1ce4e5b9ULL) ^ (salt << 32);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double mix01(std::uint64_t seed, std::uint64_t page, std::uint64_t seq,
+             std::uint64_t salt) {
+  return static_cast<double>(mix(seed, page, seq, salt) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultySource::FaultySource(const DataSource& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {
+  MQS_CHECK(plan_.transientRate >= 0.0 && plan_.transientRate <= 1.0);
+  MQS_CHECK(plan_.maxConsecutiveTransient >= 1);
+  MQS_CHECK(plan_.latencySpikeRate >= 0.0 && plan_.latencySpikeRate <= 1.0);
+  permanent_.insert(plan_.permanentPages.begin(), plan_.permanentPages.end());
+}
+
+PageId FaultySource::pageCount() const { return inner_.pageCount(); }
+
+std::size_t FaultySource::pageBytes(PageId page) const {
+  return inner_.pageBytes(page);
+}
+
+void FaultySource::readPage(PageId page, std::span<std::byte> out) const {
+  double spikeSec = 0.0;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.reads;
+    const std::uint64_t gseq = globalSeq_++;
+
+    if (permanent_.contains(page)) {
+      ++stats_.permanentInjected;
+      throw PermanentReadError("injected permanent fault on page " +
+                               std::to_string(page));
+    }
+
+    PageState& st = pages_[page];
+    if (st.pendingTransient > 0) {
+      --st.pendingTransient;
+      ++stats_.transientInjected;
+      throw TransientReadError("injected transient fault on page " +
+                               std::to_string(page));
+    }
+
+    const std::uint64_t seq = ++st.readSeq;
+    if (st.cooldown) {
+      // The read after a failure run always succeeds; without this, back-
+      // to-back fresh draws could chain runs and break the bound that
+      // makes retry loops with > maxConsecutiveTransient attempts safe.
+      st.cooldown = false;
+    } else {
+      double rate = plan_.transientRate;
+      if (plan_.burstPeriod > 0 && gseq % plan_.burstPeriod < plan_.burstLen) {
+        rate = plan_.burstTransientRate;
+      }
+      if (rate > 0.0 && mix01(plan_.seed, page, seq, /*salt=*/1) < rate) {
+        // Start a failure run: this read fails, plus 0..max-1 more.
+        st.pendingTransient = static_cast<int>(
+            mix(plan_.seed, page, seq, /*salt=*/2) %
+            static_cast<std::uint64_t>(plan_.maxConsecutiveTransient));
+        st.cooldown = true;
+        ++stats_.transientInjected;
+        throw TransientReadError("injected transient fault on page " +
+                                 std::to_string(page));
+      }
+    }
+
+    if (plan_.latencySpikeRate > 0.0 &&
+        mix01(plan_.seed, page, seq, /*salt=*/3) < plan_.latencySpikeRate) {
+      ++stats_.spikesInjected;
+      spikeSec = plan_.latencySpikeSec;
+    }
+  }
+  // Sleep outside the lock so a spiking page never serializes other reads.
+  if (spikeSec > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(spikeSec));
+  }
+  inner_.readPage(page, out);
+}
+
+void FaultySource::clearPermanentFaults() {
+  std::lock_guard lock(mu_);
+  permanent_.clear();
+}
+
+FaultySource::Stats FaultySource::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace mqs::storage

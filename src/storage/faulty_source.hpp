@@ -1,0 +1,102 @@
+// DataSource decorator that injects faults per a deterministic plan.
+//
+// The paper's middleware fronts a disk farm serving many concurrent clients;
+// at that scale partial failures (a flaky controller, a bad sector, a
+// saturated bus) are routine and must degrade a single query, never the
+// shared server. FaultySource makes every such failure mode reproducible:
+// all injection decisions are pure functions of (plan.seed, page, per-page
+// read sequence), so a soak run that found a bug replays byte-for-byte from
+// its seed.
+//
+// Fault model:
+//  * Transient read errors — thrown as storage::TransientReadError in
+//    bounded consecutive runs (at most `maxConsecutiveTransient` per read
+//    sequence), so a retry loop with at least that many spare attempts is
+//    guaranteed to make progress.
+//  * Permanent faults — a target page set whose reads always throw
+//    storage::PermanentReadError (a bad region of the disk farm).
+//  * Latency spikes — occasional sleeps standing in for device contention.
+//  * Burst windows — global read-sequence windows during which the
+//    transient rate is boosted (a controller brown-out), still respecting
+//    the consecutive-failure bound.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/data_source.hpp"
+
+namespace mqs::storage {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Probability that a fresh read of a page starts a transient-failure run.
+  double transientRate = 0.0;
+  /// Longest run of consecutive transient failures for one page. Retry
+  /// loops need maxAttempts > this value to be guaranteed to succeed.
+  int maxConsecutiveTransient = 2;
+
+  /// Pages whose reads always fail permanently.
+  std::vector<PageId> permanentPages;
+
+  /// Probability of a latency spike on any given read, and its duration.
+  double latencySpikeRate = 0.0;
+  double latencySpikeSec = 0.001;
+
+  /// Every `burstPeriod` global reads, the next `burstLen` reads use
+  /// `burstTransientRate` instead of `transientRate` (0 = no bursts).
+  std::uint64_t burstPeriod = 0;
+  std::uint64_t burstLen = 0;
+  double burstTransientRate = 0.5;
+};
+
+class FaultySource final : public DataSource {
+ public:
+  FaultySource(const DataSource& inner, FaultPlan plan);
+
+  [[nodiscard]] PageId pageCount() const override;
+  [[nodiscard]] std::size_t pageBytes(PageId page) const override;
+  void readPage(PageId page, std::span<std::byte> out) const override;
+
+  /// Drop all permanent faults (the bad device was replaced). Subsequent
+  /// reads of previously-poisoned pages succeed; used to verify that a
+  /// failed query left no partially-written state behind.
+  void clearPermanentFaults();
+
+  struct Stats {
+    std::uint64_t reads = 0;               ///< readPage calls (incl. failed)
+    std::uint64_t transientInjected = 0;
+    std::uint64_t permanentInjected = 0;
+    std::uint64_t spikesInjected = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Per-page injection state: the read sequence number drives the
+  /// deterministic draws; pendingTransient counts failures still owed from
+  /// the current run.
+  struct PageState {
+    std::uint64_t readSeq = 0;
+    int pendingTransient = 0;
+    /// The read following a failure run is forced to succeed, so runs can
+    /// never chain past maxConsecutiveTransient.
+    bool cooldown = false;
+  };
+
+  const DataSource& inner_;
+  FaultPlan plan_;
+  std::unordered_set<PageId> permanent_;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<PageId, PageState> pages_;
+  mutable std::uint64_t globalSeq_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace mqs::storage

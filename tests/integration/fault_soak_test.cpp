@@ -1,0 +1,302 @@
+// Seeded randomized soak: the full threaded server (many clients x queries,
+// rotating through all six paper policies) run three times per iteration —
+// fault-free, under transient device faults, and with permanently poisoned
+// pages — with every run checked against hard invariants:
+//
+//  * the server drains to idle: nothing waiting or executing, no leaked
+//    page claims, no in-flight reads, no pinned Data Store blobs;
+//  * transient faults within the retry budget are invisible: every query
+//    succeeds with bytes identical to the fault-free run;
+//  * permanent faults fail exactly the predicted query set (those whose
+//    region touches a poisoned chunk), each reported exactly once, while
+//    every other query still matches the fault-free bytes.
+//
+// Iterations and base seed come from MQS_SOAK_ITERS / MQS_SOAK_SEED so CI
+// can run a short pass and a nightly job (or a bug hunt) can go long:
+//   MQS_SOAK_ITERS=50 MQS_SOAK_SEED=977 ctest -R FaultSoak
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/workload.hpp"
+#include "sched/policy.hpp"
+#include "server/query_server.hpp"
+#include "storage/faulty_source.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs {
+namespace {
+
+using server::QueryFailure;
+using server::QueryResult;
+using server::QueryServer;
+using storage::FaultPlan;
+using storage::FaultySource;
+using vm::VMPredicate;
+
+std::uint64_t envU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One query's outcome: its bytes hash, or "failed".
+struct Outcome {
+  bool failed = false;
+  std::uint64_t hash = 0;
+};
+
+struct RunReport {
+  std::vector<Outcome> outcomes;  ///< by submission index
+  std::size_t failedRecords = 0;  ///< FAILED metrics records
+  std::size_t totalRecords = 0;
+};
+
+driver::WorkloadConfig soakWorkload(std::uint64_t seed) {
+  driver::WorkloadConfig cfg;
+  cfg.datasets = {driver::DatasetSpec{.seed = 11},
+                  driver::DatasetSpec{.seed = 22}};
+  cfg.clientsPerDataset = {2, 2};
+  cfg.queriesPerClient = 4;
+  cfg.outputSide = 128;
+  cfg.zoomLevels = {2, 4, 8};
+  cfg.zoomWeights = {1.0, 2.0, 1.0};
+  cfg.seed = seed;
+  return cfg;
+}
+
+server::ServerConfig soakServer(const std::string& policy) {
+  server::ServerConfig cfg;
+  cfg.threads = 4;
+  cfg.policy = policy;
+  cfg.dsBytes = 24ULL << 20;
+  cfg.psBytes = 12ULL << 20;
+  cfg.ioRetryBackoffSec = 0.0;  // retries are logic under test, not pacing
+  return cfg;
+}
+
+/// Flattened (client, predicate) submission order for one workload.
+struct SubmitPlan {
+  std::vector<int> clients;
+  std::vector<VMPredicate> queries;
+};
+
+SubmitPlan submitPlan(const std::vector<driver::ClientWorkload>& workloads) {
+  SubmitPlan plan;
+  std::size_t maxLen = 0;
+  for (const auto& wl : workloads) maxLen = std::max(maxLen, wl.queries.size());
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    for (const auto& wl : workloads) {
+      if (i < wl.queries.size()) {
+        plan.clients.push_back(wl.client);
+        plan.queries.push_back(wl.queries[i]);
+      }
+    }
+  }
+  return plan;
+}
+
+/// Build a server over `sources`, push the whole plan through it, and
+/// collect per-query outcomes plus drain/leak invariants.
+RunReport runOnce(const driver::WorkloadConfig& wcfg,
+                  const server::ServerConfig& scfg,
+                  const std::vector<const storage::DataSource*>& sources) {
+  vm::VMSemantics semantics;
+  const auto workloads =
+      driver::WorkloadGenerator::generate(wcfg, semantics);
+  const SubmitPlan plan = submitPlan(workloads);
+
+  vm::VMExecutor executor(&semantics, /*intraQueryThreads=*/1,
+                          scfg.prefetchPages);
+  QueryServer server(&semantics, &executor, scfg);
+  for (std::size_t d = 0; d < sources.size(); ++d) {
+    server.attach(static_cast<storage::DatasetId>(d), sources[d]);
+  }
+
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(plan.queries.size());
+  for (std::size_t i = 0; i < plan.queries.size(); ++i) {
+    futures.push_back(server.submit(
+        std::make_unique<VMPredicate>(plan.queries[i]), plan.clients[i]));
+  }
+
+  RunReport report;
+  report.outcomes.resize(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      const QueryResult r = futures[i].get();
+      report.outcomes[i].hash = fnv1a(r.bytes);
+    } catch (const QueryFailure&) {
+      report.outcomes[i].failed = true;
+    }
+  }
+
+  // Drained to idle: nothing scheduled, no claim/pin leaks. In-flight
+  // reads whose claims were released may still be landing on the I/O
+  // pool; give them a moment to settle.
+  EXPECT_EQ(server.scheduler().waitingCount(), 0u);
+  EXPECT_EQ(server.scheduler().executingCount(), 0u);
+  EXPECT_EQ(server.pageSpace().claimCount(), 0u);
+  for (int spin = 0; spin < 2000 && server.pageSpace().inflightCount() > 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.pageSpace().inflightCount(), 0u);
+  EXPECT_EQ(server.dataStore().pinnedBlobs(), 0u);
+
+  const auto records = server.collector().records();
+  report.totalRecords = records.size();
+  for (const auto& r : records) {
+    if (r.failed) ++report.failedRecords;
+  }
+  server.shutdown();
+  return report;
+}
+
+class FaultSoakTest : public ::testing::Test {};
+
+TEST_F(FaultSoakTest, SoakAllPoliciesUnderInjectedFaults) {
+  const std::uint64_t baseSeed = envU64("MQS_SOAK_SEED", 20260806);
+  const std::uint64_t iters = envU64("MQS_SOAK_ITERS", 6);
+  const auto& policies = sched::paperPolicyNames();
+
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = baseSeed + iter;
+    const std::string& policy = policies[iter % policies.size()];
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " seed=" +
+                 std::to_string(seed) + " policy=" + policy);
+
+    const driver::WorkloadConfig wcfg = soakWorkload(seed);
+    const server::ServerConfig scfg = soakServer(policy);
+
+    // Materialize the raw sources once; every run wraps the same slides.
+    vm::VMSemantics layoutOnly;
+    const auto workloads =
+        driver::WorkloadGenerator::generate(wcfg, layoutOnly);
+    std::vector<std::unique_ptr<storage::SyntheticSlideSource>> slides;
+    for (std::size_t d = 0; d < wcfg.datasets.size(); ++d) {
+      slides.push_back(std::make_unique<storage::SyntheticSlideSource>(
+          layoutOnly.layout(static_cast<storage::DatasetId>(d)),
+          wcfg.datasets[d].seed));
+    }
+
+    // --- run 1: fault-free baseline -----------------------------------
+    std::vector<const storage::DataSource*> rawSources;
+    for (const auto& s : slides) rawSources.push_back(s.get());
+    const RunReport baseline = runOnce(wcfg, scfg, rawSources);
+    ASSERT_EQ(baseline.failedRecords, 0u);
+    for (const auto& o : baseline.outcomes) ASSERT_FALSE(o.failed);
+
+    // --- run 2: transient faults inside the retry budget --------------
+    {
+      std::vector<std::unique_ptr<FaultySource>> faulty;
+      std::vector<const storage::DataSource*> sources;
+      for (std::size_t d = 0; d < slides.size(); ++d) {
+        FaultPlan plan;
+        plan.seed = seed * 31 + d;
+        plan.transientRate = 0.15;
+        plan.maxConsecutiveTransient = 2;  // < ioRetryAttempts (3)
+        plan.burstPeriod = 40;
+        plan.burstLen = 8;
+        plan.burstTransientRate = 0.6;
+        faulty.push_back(std::make_unique<FaultySource>(*slides[d], plan));
+        sources.push_back(faulty.back().get());
+      }
+      const RunReport shaken = runOnce(wcfg, scfg, sources);
+      EXPECT_EQ(shaken.failedRecords, 0u);
+      ASSERT_EQ(shaken.outcomes.size(), baseline.outcomes.size());
+      for (std::size_t i = 0; i < shaken.outcomes.size(); ++i) {
+        ASSERT_FALSE(shaken.outcomes[i].failed) << "query " << i;
+        // Retried I/O must be invisible: bit-identical results.
+        EXPECT_EQ(shaken.outcomes[i].hash, baseline.outcomes[i].hash)
+            << "query " << i;
+      }
+      std::uint64_t injected = 0;
+      for (const auto& f : faulty) injected += f->stats().transientInjected;
+      EXPECT_GT(injected, 0u) << "fault plan injected nothing; soak vacuous";
+    }
+
+    // --- run 3: permanently poisoned pages ----------------------------
+    {
+      // Poison the first chunk of the first query on each dataset: at
+      // least one query per dataset is doomed, and the failing set is
+      // exactly predictable from geometry.
+      const SubmitPlan plan = submitPlan(workloads);
+      std::map<storage::DatasetId, std::set<storage::PageId>> poison;
+      for (const auto& q : plan.queries) {
+        const auto ds = q.dataset();
+        if (poison.contains(ds)) continue;
+        const auto chunks =
+            layoutOnly.layout(ds).chunksIntersecting(q.region());
+        ASSERT_FALSE(chunks.empty());
+        poison[ds] = {chunks.front().id};
+      }
+
+      std::vector<bool> doomed(plan.queries.size(), false);
+      std::size_t doomedCount = 0;
+      for (std::size_t i = 0; i < plan.queries.size(); ++i) {
+        const auto& q = plan.queries[i];
+        for (const auto& c :
+             layoutOnly.layout(q.dataset()).chunksIntersecting(q.region())) {
+          if (poison[q.dataset()].contains(c.id)) {
+            doomed[i] = true;
+            ++doomedCount;
+            break;
+          }
+        }
+      }
+      ASSERT_GT(doomedCount, 0u);
+      ASSERT_LT(doomedCount, plan.queries.size())
+          << "every query poisoned; survivor check vacuous";
+
+      std::vector<std::unique_ptr<FaultySource>> faulty;
+      std::vector<const storage::DataSource*> sources;
+      for (std::size_t d = 0; d < slides.size(); ++d) {
+        FaultPlan fp;
+        fp.seed = seed * 57 + d;
+        const auto& bad = poison[static_cast<storage::DatasetId>(d)];
+        fp.permanentPages.assign(bad.begin(), bad.end());
+        faulty.push_back(std::make_unique<FaultySource>(*slides[d], fp));
+        sources.push_back(faulty.back().get());
+      }
+      const RunReport burned = runOnce(wcfg, scfg, sources);
+      ASSERT_EQ(burned.outcomes.size(), plan.queries.size());
+      for (std::size_t i = 0; i < burned.outcomes.size(); ++i) {
+        EXPECT_EQ(burned.outcomes[i].failed, doomed[i])
+            << "query " << i << " (" << plan.queries[i].describe() << ")";
+        if (!doomed[i] && !burned.outcomes[i].failed) {
+          // Survivors are unaffected bystanders: same bytes as baseline.
+          EXPECT_EQ(burned.outcomes[i].hash, baseline.outcomes[i].hash)
+              << "query " << i;
+        }
+      }
+      // Each failure reported exactly once: one FAILED record per doomed
+      // query, and every submission produced exactly one record.
+      EXPECT_EQ(burned.failedRecords, doomedCount);
+      EXPECT_EQ(burned.totalRecords, plan.queries.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqs

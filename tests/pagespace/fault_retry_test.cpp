@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "index/chunk_layout.hpp"
+#include "pagespace/page_space_manager.hpp"
+#include "storage/faulty_source.hpp"
+#include "storage/synthetic_source.hpp"
+
+namespace mqs::pagespace {
+namespace {
+
+using storage::FaultPlan;
+using storage::FaultySource;
+using storage::PageKey;
+
+class FaultRetryTest : public ::testing::Test {
+ protected:
+  FaultRetryTest() : layout_(256, 256, 64), slide_(layout_, /*seed=*/9) {}
+
+  std::vector<std::byte> groundTruth(storage::PageId page) const {
+    std::vector<std::byte> want(layout_.chunkBytes(page));
+    slide_.readPage(page, want);
+    return want;
+  }
+
+  static void awaitInflightDrain(const PageSpaceManager& ps) {
+    for (int i = 0; i < 2000 && ps.inflightCount() > 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+};
+
+TEST_F(FaultRetryTest, TransientFaultsRetriedToSuccess) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.transientRate = 0.5;
+  plan.maxConsecutiveTransient = 2;
+  FaultySource faulty(slide_, plan);
+  // maxAttempts exceeds the plan's consecutive-failure bound, so every
+  // fetch is guaranteed to succeed; zero backoff keeps the test fast.
+  PageSpaceManager ps(1 << 22, /*ioThreads=*/0,
+                      RetryPolicy{/*maxAttempts=*/3, /*backoffSec=*/0.0});
+  ps.attach(0, &faulty);
+
+  for (storage::PageId p = 0; p < layout_.chunkCount(); ++p) {
+    const auto page = ps.fetch(PageKey{0, p});
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(*page, groundTruth(p)) << "page " << p;
+  }
+  const auto s = ps.stats();
+  EXPECT_EQ(s.readFailures, 0u);
+  EXPECT_GT(faulty.stats().transientInjected, 0u);
+  // Every injected transient was absorbed by a retry.
+  EXPECT_EQ(s.readRetries, faulty.stats().transientInjected);
+}
+
+/// A device so broken that every read fails transiently — beyond what any
+/// FaultPlan models (plans bound consecutive failures), so built directly.
+class AlwaysTransientSource final : public storage::DataSource {
+ public:
+  explicit AlwaysTransientSource(const storage::DataSource& inner)
+      : inner_(inner) {}
+  [[nodiscard]] storage::PageId pageCount() const override {
+    return inner_.pageCount();
+  }
+  [[nodiscard]] std::size_t pageBytes(storage::PageId page) const override {
+    return inner_.pageBytes(page);
+  }
+  void readPage(storage::PageId, std::span<std::byte>) const override {
+    throw storage::TransientReadError("device never recovers");
+  }
+
+ private:
+  const storage::DataSource& inner_;
+};
+
+TEST_F(FaultRetryTest, RetryBudgetExhaustedPropagatesTransient) {
+  AlwaysTransientSource broken(slide_);
+  PageSpaceManager ps(1 << 20, /*ioThreads=*/0,
+                      RetryPolicy{/*maxAttempts=*/2, /*backoffSec=*/0.0});
+  ps.attach(0, &broken);
+
+  EXPECT_THROW((void)ps.fetch(PageKey{0, 0}), storage::TransientReadError);
+  const auto s = ps.stats();
+  EXPECT_EQ(s.readRetries, 1u);   // one retry spent before giving up
+  EXPECT_EQ(s.readFailures, 1u);
+  EXPECT_EQ(ps.inflightCount(), 0u);
+  EXPECT_EQ(ps.claimCount(), 0u);
+}
+
+TEST_F(FaultRetryTest, PermanentFaultPropagatesWithoutRetry) {
+  FaultPlan plan;
+  plan.permanentPages = {3};
+  FaultySource faulty(slide_, plan);
+  PageSpaceManager ps(1 << 20, /*ioThreads=*/0,
+                      RetryPolicy{/*maxAttempts=*/5, /*backoffSec=*/0.0});
+  ps.attach(0, &faulty);
+
+  EXPECT_THROW((void)ps.fetch(PageKey{0, 3}), storage::PermanentReadError);
+  // Retrying a permanent fault would only burn time: exactly one device
+  // read was attempted.
+  EXPECT_EQ(faulty.stats().reads, 1u);
+  EXPECT_EQ(ps.stats().readRetries, 0u);
+  EXPECT_EQ(ps.stats().readFailures, 1u);
+}
+
+TEST_F(FaultRetryTest, FailedFetchLeavesNoResidueAndRecovers) {
+  FaultPlan plan;
+  plan.permanentPages = {2};
+  FaultySource faulty(slide_, plan);
+  PageSpaceManager ps(1 << 22, /*ioThreads=*/2);
+  ps.attach(0, &faulty);
+
+  EXPECT_THROW((void)ps.fetch(PageKey{0, 2}), storage::PermanentReadError);
+  EXPECT_EQ(ps.inflightCount(), 0u);
+  EXPECT_EQ(ps.claimCount(), 0u);
+  EXPECT_EQ(ps.residentBytes(), 0u);  // no partially-read page was cached
+
+  // The bad device is replaced: the same key now reads pristine bytes.
+  faulty.clearPermanentFaults();
+  const auto page = ps.fetch(PageKey{0, 2});
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(*page, groundTruth(2));
+}
+
+TEST_F(FaultRetryTest, FetchConsumesItsClaimEvenOnFailure) {
+  FaultPlan plan;
+  plan.permanentPages = {1};
+  FaultySource faulty(slide_, plan);
+  PageSpaceManager ps(1 << 20, /*ioThreads=*/2,
+                      RetryPolicy{/*maxAttempts=*/1, /*backoffSec=*/0.0});
+  ps.attach(0, &faulty);
+
+  ps.prefetch(PageKey{0, 1});  // takes one claim; the pool read will fail
+  EXPECT_EQ(ps.claimCount(), 1u);
+  EXPECT_THROW((void)ps.fetch(PageKey{0, 1}), storage::PermanentReadError);
+  // The failing fetch settled the claim (unserved), exactly like a
+  // successful fetch would have consumed it.
+  EXPECT_EQ(ps.claimCount(), 0u);
+  EXPECT_EQ(ps.inflightCount(), 0u);
+}
+
+// Regression: a batch whose fetch fails mid-way must release ONLY the
+// claims it took for keys it never reached. The failing key's claim was
+// already consumed by the failing fetch; releasing it again would steal —
+// and unpin — a claim held by a concurrent query on the same page,
+// exposing that query's prefetched page to eviction.
+TEST_F(FaultRetryTest, FetchBatchPartialFailureSparesConcurrentClaims) {
+  FaultPlan plan;
+  plan.permanentPages = {6};
+  FaultySource faulty(slide_, plan);
+  PageSpaceManager ps(1 << 22, /*ioThreads=*/4,
+                      RetryPolicy{/*maxAttempts=*/1, /*backoffSec=*/0.0});
+  ps.attach(0, &faulty);
+
+  // A concurrent query's outstanding claim on the page that will fail.
+  ps.prefetch(PageKey{0, 6});
+  EXPECT_EQ(ps.claimCount(), 1u);
+
+  const std::vector<PageKey> batch = {
+      PageKey{0, 4}, PageKey{0, 6}, PageKey{0, 8}};
+  EXPECT_THROW((void)ps.fetchBatch(batch), storage::PermanentReadError);
+  awaitInflightDrain(ps);
+
+  // Keys 4 (fetched) and 8 (released tail) hold no claims; the external
+  // claim on key 6 survived the batch failure.
+  EXPECT_EQ(ps.claimCount(), 1u);
+  ps.releaseClaim(PageKey{0, 6});
+  EXPECT_EQ(ps.claimCount(), 0u);
+
+  // The successfully fetched prefix is cached and correct.
+  const auto page4 = ps.fetch(PageKey{0, 4});
+  EXPECT_EQ(*page4, groundTruth(4));
+}
+
+TEST_F(FaultRetryTest, FetchBatchSucceedsUnderTransientFaults) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.transientRate = 0.4;
+  plan.maxConsecutiveTransient = 2;
+  FaultySource faulty(slide_, plan);
+  PageSpaceManager ps(1 << 22, /*ioThreads=*/4,
+                      RetryPolicy{/*maxAttempts=*/3, /*backoffSec=*/0.0});
+  ps.attach(0, &faulty);
+
+  std::vector<PageKey> keys;
+  for (storage::PageId p = 0; p < layout_.chunkCount(); ++p) {
+    keys.push_back(PageKey{0, p});
+  }
+  const auto pages = ps.fetchBatch(keys);
+  ASSERT_EQ(pages.size(), keys.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(*pages[i], groundTruth(keys[i].page)) << "page " << i;
+  }
+  EXPECT_EQ(ps.claimCount(), 0u);
+  EXPECT_EQ(ps.stats().readFailures, 0u);
+}
+
+}  // namespace
+}  // namespace mqs::pagespace

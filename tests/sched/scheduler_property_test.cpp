@@ -1,0 +1,183 @@
+// Property tests for the scheduler: a seeded random stream of arrivals,
+// dequeues, completions, swap-outs, and failures drives two schedulers in
+// lockstep — one with incremental neighborhood re-ranking (the production
+// configuration, §4) and one recomputing every waiting rank from scratch.
+// They must make identical decisions; the graph must keep its structural
+// invariants; every edge must carry the Eq. 4 weight
+// w(i, j) = overlap(i, j) * qoutsize(i).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sched {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  SchedulerPropertyTest() {
+    (void)sem_.addDataset(index::ChunkLayout(16384, 16384, 128));
+  }
+
+  /// Random predicate whose origin/size snap to a grid every zoom level
+  /// divides, so overlap edges actually form (the Eq. 4 alignment rule).
+  query::PredicatePtr randomPred(Rng& rng) {
+    const std::uint32_t zoom = 1u << rng.uniformInt(1, 3);  // 2, 4, 8
+    const std::int64_t grid = 32;
+    const std::int64_t x = rng.uniformInt(0, 64) * grid;
+    const std::int64_t y = rng.uniformInt(0, 64) * grid;
+    const std::int64_t w = rng.uniformInt(2, 24) * grid;
+    const std::int64_t h = rng.uniformInt(2, 24) * grid;
+    return std::make_unique<VMPredicate>(0, Rect::ofSize(x, y, w, h), zoom,
+                                         VMOp::Subsample);
+  }
+
+  vm::VMSemantics sem_;
+};
+
+TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
+  const std::string& policy = GetParam();
+  QueryScheduler inc(&sem_, makePolicy(policy, 0.2), /*incremental=*/true);
+  QueryScheduler full(&sem_, makePolicy(policy, 0.2), /*incremental=*/false);
+
+  Rng rng(0xfeedULL);
+  std::vector<NodeId> executing;
+  std::vector<NodeId> cached;
+  std::size_t waiting = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.40) {
+      // Arrival. Identical submit sequences give identical node ids, so
+      // one id stream drives both instances.
+      auto p = randomPred(rng);
+      const NodeId a = inc.submit(p->clone());
+      const NodeId b = full.submit(std::move(p));
+      ASSERT_EQ(a, b);
+      ++waiting;
+    } else if (dice < 0.70) {
+      // Dispatch: THE property — both heaps must pick the same query.
+      const auto a = inc.dequeue();
+      const auto b = full.dequeue();
+      ASSERT_EQ(a, b) << "policy " << policy << " diverged at step " << step;
+      if (a) {
+        executing.push_back(*a);
+        --waiting;
+      }
+    } else if (dice < 0.85 && !executing.empty()) {
+      // Completion (or, 1 in 5, a failure) of a random executing query.
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(executing.size()) - 1));
+      const NodeId n = executing[i];
+      executing.erase(executing.begin() + static_cast<std::ptrdiff_t>(i));
+      if (rng.uniform01() < 0.2) {
+        inc.failed(n);
+        full.failed(n);
+      } else {
+        inc.completed(n);
+        full.completed(n);
+        cached.push_back(n);
+      }
+    } else if (!cached.empty()) {
+      // Swap-out of a random cached result.
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(cached.size()) - 1));
+      const NodeId n = cached[i];
+      cached.erase(cached.begin() + static_cast<std::ptrdiff_t>(i));
+      inc.swappedOut(n);
+      full.swappedOut(n);
+    }
+
+    ASSERT_EQ(inc.waitingCount(), full.waitingCount());
+    ASSERT_EQ(inc.waitingCount(), waiting);
+    ASSERT_EQ(inc.executingCount(), executing.size());
+    if (step % 50 == 0) {
+      ASSERT_TRUE(inc.graphUnsafe().checkInvariants());
+      ASSERT_TRUE(full.graphUnsafe().checkInvariants());
+    }
+  }
+
+  // Drain both: the remaining dispatch order must also agree.
+  for (;;) {
+    const auto a = inc.dequeue();
+    const auto b = full.dequeue();
+    ASSERT_EQ(a, b);
+    if (!a) break;
+    inc.failed(*a);  // retire so the drain terminates
+    full.failed(*b);
+  }
+  EXPECT_EQ(inc.stats().dequeued, full.stats().dequeued);
+  EXPECT_EQ(inc.stats().failedCount, full.stats().failedCount);
+}
+
+TEST_P(SchedulerPropertyTest, EdgeWeightsFollowEquationFour) {
+  QueryScheduler s(&sem_, makePolicy(GetParam(), 0.2));
+  Rng rng(0xbeefULL);
+  for (int i = 0; i < 80; ++i) (void)s.submit(randomPred(rng));
+
+  const SchedulingGraph& g = s.graphUnsafe();
+  ASSERT_TRUE(g.checkInvariants());
+  std::size_t checkedEdges = 0;
+  g.forEachNode([&](NodeId n) {
+    const query::Predicate& pn = g.predicate(n);
+    for (const Edge& e : g.outEdges(n)) {
+      const query::Predicate& pk = g.predicate(e.peer);
+      const double ov = sem_.overlap(pn, pk);
+      EXPECT_DOUBLE_EQ(e.overlap, ov);
+      EXPECT_GT(e.overlap, 0.0);
+      EXPECT_LE(e.overlap, 1.0);
+      // Eq. 4: the edge from i to j is worth the overlap fraction times
+      // the byte size of i's result that j would reuse.
+      EXPECT_DOUBLE_EQ(e.weight,
+                       ov * static_cast<double>(g.qoutsize(n)));
+      ++checkedEdges;
+    }
+  });
+  // The aligned random workload must actually produce overlap structure,
+  // or this test would pass vacuously.
+  EXPECT_GT(checkedEdges, 50u);
+}
+
+TEST_P(SchedulerPropertyTest, FailedRemovesNodeAndReranksNeighbors) {
+  QueryScheduler s(&sem_, makePolicy(GetParam(), 0.2));
+  Rng rng(0xabcULL);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(s.submit(randomPred(rng)));
+
+  const auto first = s.dequeue();
+  ASSERT_TRUE(first.has_value());
+  s.failed(*first);
+  EXPECT_FALSE(s.stateOf(*first).has_value());  // gone from the graph
+  EXPECT_EQ(s.stats().failedCount, 1u);
+  EXPECT_TRUE(s.graphUnsafe().checkInvariants());
+
+  // The scheduler still drains every remaining query exactly once.
+  std::vector<NodeId> order;
+  while (auto n = s.dequeue()) {
+    order.push_back(*n);
+    s.completed(*n);
+    s.swappedOut(*n);
+  }
+  EXPECT_EQ(order.size(), ids.size() - 1);
+  std::sort(order.begin(), order.end());
+  EXPECT_TRUE(std::adjacent_find(order.begin(), order.end()) == order.end());
+  EXPECT_EQ(s.waitingCount(), 0u);
+  EXPECT_EQ(s.executingCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, SchedulerPropertyTest,
+                         ::testing::ValuesIn(paperPolicyNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace mqs::sched

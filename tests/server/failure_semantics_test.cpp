@@ -1,0 +1,262 @@
+// Failure semantics of the query server: a device fault or deadline kills
+// exactly one query — it reaches the terminal FAILED status in the metrics
+// record, the scheduler graph, and (over the wire) a Failed frame — while
+// the server, its worker threads, and every other query keep working.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/codecs.hpp"
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
+#include "server/query_server.hpp"
+#include "storage/faulty_source.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs::server {
+namespace {
+
+using storage::FaultPlan;
+using storage::FaultySource;
+using vm::ImageRGB;
+using vm::VMOp;
+using vm::VMPredicate;
+
+constexpr std::uint64_t kSeed = 77;
+
+class FailureSemanticsTest : public ::testing::Test {
+ protected:
+  FailureSemanticsTest()
+      : layout_(1024, 1024, 96), slide_(layout_, kSeed), exec_(&sem_) {
+    dsid_ = sem_.addDataset(layout_);
+  }
+
+  ServerConfig config(int threads = 2) {
+    ServerConfig cfg;
+    cfg.threads = threads;
+    cfg.policy = "CF";
+    cfg.dsBytes = 16ULL << 20;
+    cfg.psBytes = 8ULL << 20;
+    return cfg;
+  }
+
+  std::unique_ptr<QueryServer> makeServer(ServerConfig cfg,
+                                          const storage::DataSource& src) {
+    auto server = std::make_unique<QueryServer>(&sem_, &exec_, cfg);
+    server->attach(dsid_, &src);
+    return server;
+  }
+
+  static void expectCorrect(const VMPredicate& q, const QueryResult& result) {
+    const ImageRGB got =
+        ImageRGB::fromBytes(result.bytes, q.outWidth(), q.outHeight());
+    const ImageRGB expect = renderReference(q, kSeed);
+    EXPECT_LE(maxAbsDiff(got, expect), 0) << q.describe();
+  }
+
+  /// A chunk id whose rect intersects `region` (to poison it).
+  storage::PageId chunkIn(const Rect& region) const {
+    const auto chunks = layout_.chunksIntersecting(region);
+    EXPECT_FALSE(chunks.empty());
+    return chunks.front().id;
+  }
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+  vm::VMSemantics sem_;
+  vm::VMExecutor exec_;
+  storage::DatasetId dsid_ = 0;
+};
+
+TEST_F(FailureSemanticsTest, PermanentFaultFailsTheQueryNotTheServer) {
+  const VMPredicate bad(dsid_, Rect::ofSize(0, 0, 256, 256), 4,
+                        VMOp::Subsample);
+  const VMPredicate good(dsid_, Rect::ofSize(512, 512, 256, 256), 4,
+                         VMOp::Subsample);
+  FaultPlan plan;
+  plan.permanentPages = {chunkIn(bad.region())};
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(), faulty);
+
+  auto f = server->submit(bad.clone(), 0);
+  EXPECT_THROW((void)f.get(), QueryFailure);
+
+  // The graph retired the node; nothing waits or executes.
+  EXPECT_EQ(server->scheduler().waitingCount(), 0u);
+  EXPECT_EQ(server->scheduler().executingCount(), 0u);
+  EXPECT_EQ(server->scheduler().stats().failedCount, 1u);
+
+  // The record carries the FAILED status and the device's reason.
+  const auto records = server->collector().records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].failed);
+  EXPECT_NE(records[0].failureReason.find("permanent"), std::string::npos);
+  EXPECT_EQ(metrics::summarize(records).failedQueries, 1u);
+
+  // The same server keeps serving correct results off the healthy region.
+  expectCorrect(good, server->execute(good.clone(), 1));
+  EXPECT_EQ(metrics::summarize(server->collector().records()).failedQueries,
+            1u);
+}
+
+TEST_F(FailureSemanticsTest, QueryFailureIsDeliveredExactlyOnce) {
+  const VMPredicate bad(dsid_, Rect::ofSize(0, 0, 192, 192), 2,
+                        VMOp::Subsample);
+  FaultPlan plan;
+  plan.permanentPages = {chunkIn(bad.region())};
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(/*threads=*/4), faulty);
+
+  // The same doomed query many times over: each submission is its own
+  // query, each must fail, and each failure must be reported exactly once
+  // (one record per submission, all FAILED).
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server->submit(bad.clone(), i));
+  for (auto& f : futures) EXPECT_THROW((void)f.get(), QueryFailure);
+
+  const auto records = server->collector().records();
+  ASSERT_EQ(records.size(), 8u);
+  for (const auto& r : records) EXPECT_TRUE(r.failed);
+  EXPECT_EQ(server->scheduler().stats().failedCount, 8u);
+  EXPECT_EQ(server->scheduler().waitingCount(), 0u);
+  EXPECT_EQ(server->scheduler().executingCount(), 0u);
+}
+
+TEST_F(FailureSemanticsTest, FailedQueryLeavesNoPartialDataStoreEntry) {
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 384, 384), 2, VMOp::Subsample);
+  FaultPlan plan;
+  // Poison a chunk in the middle of the region: the executor will have
+  // materialized earlier chunks into its output before the read dies.
+  const auto chunks = layout_.chunksIntersecting(q.region());
+  ASSERT_GT(chunks.size(), 2u);
+  plan.permanentPages = {chunks[chunks.size() / 2].id};
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(), faulty);
+
+  auto f = server->submit(q.clone(), 0);
+  EXPECT_THROW((void)f.get(), QueryFailure);
+
+  // The half-written output buffer must not have become visible to
+  // overlap/projection lookups.
+  EXPECT_EQ(server->dataStore().stats().inserts, 0u);
+  EXPECT_EQ(server->dataStore().residentBlobs(), 0u);
+
+  // After the device is replaced, the same query computes from raw data
+  // and is byte-perfect — nothing stale or partial shadowed it.
+  faulty.clearPermanentFaults();
+  const auto result = server->execute(q.clone(), 0);
+  expectCorrect(q, result);
+  EXPECT_GT(result.record.bytesFromDisk, 0u);
+}
+
+TEST_F(FailureSemanticsTest, TransientFaultsAreAbsorbedByRetries) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.transientRate = 0.3;
+  plan.maxConsecutiveTransient = 2;  // < default ioRetryAttempts (3)
+  FaultySource faulty(slide_, plan);
+  ServerConfig cfg = config();
+  cfg.ioRetryBackoffSec = 0.0;  // keep the test fast
+  auto server = makeServer(cfg, faulty);
+
+  for (int i = 0; i < 6; ++i) {
+    const VMPredicate q(dsid_, Rect::ofSize((i % 3) * 256, (i / 3) * 256,
+                                            256, 256),
+                        4, VMOp::Subsample);
+    expectCorrect(q, server->execute(q.clone(), i));
+  }
+  EXPECT_GT(faulty.stats().transientInjected, 0u);
+  EXPECT_GT(server->pageSpace().stats().readRetries, 0u);
+  EXPECT_EQ(server->pageSpace().stats().readFailures, 0u);
+  EXPECT_EQ(metrics::summarize(server->collector().records()).failedQueries,
+            0u);
+}
+
+TEST_F(FailureSemanticsTest, DeadlineExpiredInQueueFailsWithoutExecuting) {
+  FaultPlan plan;
+  plan.latencySpikeRate = 1.0;  // every device read sleeps
+  plan.latencySpikeSec = 0.25;
+  FaultySource slow(slide_, plan);
+  ServerConfig cfg = config(/*threads=*/1);
+  cfg.queryDeadlineSec = 0.05;
+  auto server = makeServer(cfg, slow);
+
+  // The first query dispatches immediately (well inside its deadline) and
+  // occupies the only worker for >= 250ms; the second expires in the queue.
+  const VMPredicate first(dsid_, Rect::ofSize(0, 0, 96, 96), 1,
+                          VMOp::Subsample);
+  const VMPredicate second(dsid_, Rect::ofSize(512, 0, 96, 96), 1,
+                           VMOp::Subsample);
+  auto f1 = server->submit(first.clone(), 0);
+  auto f2 = server->submit(second.clone(), 1);
+
+  expectCorrect(first, f1.get());
+  try {
+    (void)f2.get();
+    FAIL() << "expired query returned a result";
+  } catch (const QueryFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+
+  const auto records = server->collector().records();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    if (!r.failed) continue;
+    // The expired query never touched the device.
+    EXPECT_EQ(r.bytesFromDisk, 0u);
+  }
+  EXPECT_EQ(server->scheduler().stats().failedCount, 1u);
+}
+
+TEST_F(FailureSemanticsTest, DisabledDeadlineNeverFires) {
+  FaultPlan plan;
+  plan.latencySpikeRate = 1.0;
+  plan.latencySpikeSec = 0.02;
+  FaultySource slow(slide_, plan);
+  ServerConfig cfg = config(/*threads=*/1);
+  cfg.queryDeadlineSec = 0.0;  // default: no deadline
+  auto server = makeServer(cfg, slow);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server->submit(
+        std::make_unique<VMPredicate>(dsid_, Rect::ofSize(i * 96, 0, 96, 96),
+                                      1, VMOp::Subsample),
+        i));
+  }
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+}
+
+TEST_F(FailureSemanticsTest, FailedStatusCrossesTheWire) {
+  const VMPredicate bad(dsid_, Rect::ofSize(0, 0, 256, 256), 4,
+                        VMOp::Subsample);
+  const VMPredicate good(dsid_, Rect::ofSize(512, 512, 256, 256), 4,
+                         VMOp::Subsample);
+  FaultPlan plan;
+  plan.permanentPages = {chunkIn(bad.region())};
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(), faulty);
+
+  const auto codecs = net::CodecRegistry::standard();
+  net::NetServer netServer(*server, &codecs);
+  net::NetClient client("127.0.0.1", netServer.port(), &codecs);
+
+  // The remote client sees the same exception type a local caller would,
+  // carried by a Failed frame rather than a torn connection.
+  EXPECT_THROW((void)client.execute(bad), QueryFailure);
+
+  // Same connection, next query: the stream is still framed correctly.
+  const auto bytes = client.execute(good);
+  const ImageRGB got =
+      ImageRGB::fromBytes(bytes, good.outWidth(), good.outHeight());
+  EXPECT_LE(maxAbsDiff(got, renderReference(good, kSeed)), 0);
+  netServer.stop();
+}
+
+}  // namespace
+}  // namespace mqs::server

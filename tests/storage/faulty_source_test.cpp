@@ -1,0 +1,190 @@
+#include "storage/faulty_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "index/chunk_layout.hpp"
+#include "storage/synthetic_source.hpp"
+
+namespace mqs::storage {
+namespace {
+
+class FaultySourceTest : public ::testing::Test {
+ protected:
+  FaultySourceTest() : layout_(256, 256, 64), slide_(layout_, /*seed=*/9) {}
+
+  /// Reads `page` once, returning the outcome as a small code so whole
+  /// injection traces can be compared across source instances.
+  static int readOutcome(const FaultySource& src, PageId page,
+                         std::span<std::byte> buf) {
+    try {
+      src.readPage(page, buf);
+      return 0;
+    } catch (const TransientReadError&) {
+      return 1;
+    } catch (const PermanentReadError&) {
+      return 2;
+    }
+  }
+
+  index::ChunkLayout layout_;
+  SyntheticSlideSource slide_;
+};
+
+TEST_F(FaultySourceTest, PassThroughWithEmptyPlan) {
+  FaultySource src(slide_, FaultPlan{});
+  std::vector<std::byte> got(layout_.chunkBytes(3));
+  std::vector<std::byte> want(layout_.chunkBytes(3));
+  src.readPage(3, got);
+  slide_.readPage(3, want);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(src.pageCount(), slide_.pageCount());
+  EXPECT_EQ(src.pageBytes(3), slide_.pageBytes(3));
+  const auto s = src.stats();
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.transientInjected, 0u);
+  EXPECT_EQ(s.permanentInjected, 0u);
+}
+
+TEST_F(FaultySourceTest, SameSeedReplaysTheSameInjectionTrace) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.transientRate = 0.3;
+  FaultySource a(slide_, plan);
+  FaultySource b(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  for (int round = 0; round < 50; ++round) {
+    const PageId page = static_cast<PageId>(round) % layout_.chunkCount();
+    buf.resize(layout_.chunkBytes(page));
+    EXPECT_EQ(readOutcome(a, page, buf), readOutcome(b, page, buf))
+        << "trace diverged at round " << round;
+  }
+  EXPECT_EQ(a.stats().transientInjected, b.stats().transientInjected);
+}
+
+TEST_F(FaultySourceTest, DifferentSeedsGiveDifferentTraces) {
+  FaultPlan planA;
+  planA.transientRate = 0.5;
+  planA.seed = 1;
+  FaultPlan planB = planA;
+  planB.seed = 2;
+  FaultySource a(slide_, planA);
+  FaultySource b(slide_, planB);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  int diverged = 0;
+  for (int round = 0; round < 100; ++round) {
+    if (readOutcome(a, 0, buf) != readOutcome(b, 0, buf)) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST_F(FaultySourceTest, TransientRunsAreBounded) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.transientRate = 0.9;  // fail almost every fresh read
+  plan.maxConsecutiveTransient = 3;
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  int consecutive = 0;
+  int maxRun = 0;
+  int successes = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (readOutcome(src, 0, buf) == 1) {
+      ++consecutive;
+      maxRun = std::max(maxRun, consecutive);
+    } else {
+      consecutive = 0;
+      ++successes;
+    }
+  }
+  EXPECT_LE(maxRun, plan.maxConsecutiveTransient);
+  // The bound guarantees progress: retry loops with > max attempts succeed.
+  EXPECT_GT(successes, 0);
+  EXPECT_GT(src.stats().transientInjected, 0u);
+}
+
+TEST_F(FaultySourceTest, PermanentPagesAlwaysFailOthersSucceed) {
+  FaultPlan plan;
+  plan.permanentPages = {2, 5};
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    buf.resize(layout_.chunkBytes(2));
+    EXPECT_THROW(src.readPage(2, buf), PermanentReadError);
+    buf.resize(layout_.chunkBytes(5));
+    EXPECT_THROW(src.readPage(5, buf), PermanentReadError);
+  }
+  buf.resize(layout_.chunkBytes(1));
+  EXPECT_NO_THROW(src.readPage(1, buf));
+  EXPECT_EQ(src.stats().permanentInjected, 10u);
+}
+
+TEST_F(FaultySourceTest, ClearPermanentFaultsRestoresReads) {
+  FaultPlan plan;
+  plan.permanentPages = {4};
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(4));
+  EXPECT_THROW(src.readPage(4, buf), PermanentReadError);
+  src.clearPermanentFaults();
+  EXPECT_NO_THROW(src.readPage(4, buf));
+  std::vector<std::byte> want(layout_.chunkBytes(4));
+  slide_.readPage(4, want);
+  EXPECT_EQ(buf, want);  // the device was replaced; bytes are pristine
+}
+
+TEST_F(FaultySourceTest, PermanentAndTransientAreDistinctTypes) {
+  // Both derive from ReadError so callers can treat "device trouble"
+  // uniformly, but the retry layer must be able to tell them apart.
+  static_assert(std::is_base_of_v<ReadError, TransientReadError>);
+  static_assert(std::is_base_of_v<ReadError, PermanentReadError>);
+  static_assert(!std::is_base_of_v<TransientReadError, PermanentReadError>);
+  FaultPlan plan;
+  plan.permanentPages = {0};
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  EXPECT_THROW(src.readPage(0, buf), ReadError);
+}
+
+TEST_F(FaultySourceTest, BurstWindowsBoostTheFailureRate) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.transientRate = 0.0;  // quiet outside bursts
+  plan.burstPeriod = 20;
+  plan.burstLen = 10;
+  plan.burstTransientRate = 1.0;
+  plan.maxConsecutiveTransient = 1;
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  int failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (readOutcome(src, 0, buf) == 1) ++failures;
+  }
+  // Half of all global sequence numbers land in a burst window.
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 100);
+}
+
+TEST_F(FaultySourceTest, StatsCountEveryRead) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.transientRate = 0.4;
+  plan.permanentPages = {1};
+  FaultySource src(slide_, plan);
+  std::vector<std::byte> buf(layout_.chunkBytes(0));
+  const int kReads = 60;
+  std::uint64_t failures = 0;
+  for (int i = 0; i < kReads; ++i) {
+    const PageId page = i % 2 == 0 ? 0 : 1;
+    buf.resize(layout_.chunkBytes(page));
+    if (readOutcome(src, page, buf) != 0) ++failures;
+  }
+  const auto s = src.stats();
+  EXPECT_EQ(s.reads, static_cast<std::uint64_t>(kReads));
+  EXPECT_EQ(s.transientInjected + s.permanentInjected, failures);
+  EXPECT_EQ(s.permanentInjected, static_cast<std::uint64_t>(kReads) / 2);
+}
+
+}  // namespace
+}  // namespace mqs::storage
