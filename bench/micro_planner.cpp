@@ -1,0 +1,75 @@
+// Micro-bench: multi-source reuse uplift. A fig5-style overlap workload —
+// the paper's interactive clients, biased toward browsing sessions (pan /
+// zoom steps around a neighborhood) so that consecutive cached results tile
+// each new viewport — is run with the planner's projection-step budget
+// swept from 1 (the historic single-best-source behaviour) upward.
+// Reported per budget: total output bytes served by projection, the mean
+// source count per plan, how many queries composed more than one source,
+// and response time — the uplift row at the bottom states whether any
+// multi-source budget strictly beat the single-source baseline on bytes
+// reused.
+#include "bench_common.hpp"
+
+using namespace mqs;
+
+namespace {
+
+// The stock paper mix spreads queries over five magnification levels, which
+// dilutes source composition (a plan can only compose sources at compatible
+// zoom). Narrow the mix to the browse-heavy low-zoom regime fig5 cares
+// about: panning clients whose last few results jointly cover the next
+// viewport.
+driver::WorkloadConfig overlapWorkload(const bench::Context& ctx,
+                                       vm::VMOp op) {
+  auto cfg = ctx.workload(op);
+  cfg.browseProbability = 0.85;
+  cfg.zoomLevels = {2, 4};
+  cfg.zoomWeights = {2.0, 1.0};
+  cfg.alignGrid = 16;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "micro_planner");
+  ctx.printHeader();
+
+  const auto budgets = ctx.options().getIntList("sources", {1, 2, 4, 8});
+  int exitCode = 0;
+
+  for (const vm::VMOp op : {vm::VMOp::Subsample, vm::VMOp::Average}) {
+    Table table(std::string("multi-source reuse (CF scheduling), ") +
+                bench::opName(op));
+    table.setColumns({"max-sources", "reused-MB", "avg-sources",
+                      "multi-source-queries", "avg-overlap",
+                      "trimmed-response(s)"});
+    std::uint64_t baseline = 0;  // bytes reused at budget 1
+    std::uint64_t best = 0;      // best bytes reused at any budget > 1
+    for (const auto budget : budgets) {
+      auto cfg = ctx.server("CF", 4, 128 * MiB, 32 * MiB);
+      cfg.maxReuseSources = static_cast<int>(budget);
+      const auto run =
+          driver::SimExperiment::runInteractive(overlapWorkload(ctx, op), cfg);
+      if (budget == 1) baseline = run.summary.totalReusedBytes;
+      if (budget > 1) best = std::max(best, run.summary.totalReusedBytes);
+      table.addRow(
+          {std::to_string(budget),
+           formatDouble(static_cast<double>(run.summary.totalReusedBytes) /
+                            (1ULL << 20),
+                        2),
+           formatDouble(run.summary.avgReuseSources, 2),
+           std::to_string(run.summary.multiSourceQueries),
+           formatDouble(run.summary.avgOverlap, 3),
+           formatDouble(run.summary.trimmedResponse, 3)});
+    }
+    ctx.emit(table);
+    const bool uplift = best > baseline;
+    std::cout << "# " << bench::opName(op) << ": multi-source reused "
+              << (uplift ? "strictly more" : "NO more")
+              << " bytes than single-source (" << best << " vs " << baseline
+              << ")\n\n";
+    if (!uplift) exitCode = 1;
+  }
+  return exitCode;
+}

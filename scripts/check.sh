@@ -26,8 +26,9 @@ echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Label matrix: each suite group must be runnable on its own, so a CI
-# job (or a bug hunt) can target just the fault, soak, or fuzz tests.
-for label in fault soak fuzz; do
+# job (or a bug hunt) can target just the fault, soak, fuzz, or planner
+# tests.
+for label in fault soak fuzz planner; do
   echo "== label: $label =="
   ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
 done

@@ -1,16 +1,21 @@
 #include "datastore/data_store.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/check.hpp"
 
 namespace mqs::datastore {
 
 EvictionPolicy parseEvictionPolicy(std::string_view name) {
-  if (name == "LRU") return EvictionPolicy::Lru;
-  if (name == "LFU") return EvictionPolicy::Lfu;
-  if (name == "LARGEST") return EvictionPolicy::Largest;
-  MQS_CHECK_MSG(false, "unknown eviction policy: " + std::string(name));
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "LRU") return EvictionPolicy::Lru;
+  if (upper == "LFU") return EvictionPolicy::Lfu;
+  if (upper == "LARGEST") return EvictionPolicy::Largest;
+  MQS_CHECK_MSG(false, "unknown eviction policy: '" + std::string(name) +
+                           "' (valid: LRU, LFU, LARGEST; case-insensitive)");
   return EvictionPolicy::Lru;  // unreachable
 }
 
@@ -134,6 +139,15 @@ std::optional<DataStore::Match> DataStore::lookupAndPin(
   return lookupImpl(q, minOverlap, /*pin=*/true);
 }
 
+double DataStore::bestOverlapLinearLocked(const query::Predicate& q,
+                                          double minOverlap) const {
+  double best = minOverlap;
+  for (const auto& [id, blob] : blobs_) {
+    best = std::max(best, semantics_->overlap(*blob.predicate, q));
+  }
+  return best;
+}
+
 std::optional<DataStore::Match> DataStore::lookupImpl(
     const query::Predicate& q, double minOverlap, bool pinMatch) {
   std::lock_guard lock(mu_);
@@ -141,7 +155,8 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
   BlobId bestId = 0;
   double bestOverlap = minOverlap;
   bool found = false;
-  // Spatial pre-filter: overlap needs intersecting bounding boxes.
+  // Candidate generation goes through the R-tree: overlap needs
+  // intersecting bounding boxes, so only spatial matches are scored.
   spatial_.queryIntersecting(
       q.boundingBox(), [&](const Rect&, std::uint64_t id) {
         const auto it = blobs_.find(id);
@@ -153,6 +168,12 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
           found = true;
         }
       });
+#ifndef NDEBUG
+  // Debug cross-check: the linear scan over every resident blob must agree
+  // with the R-tree candidate path (an overlap > 0 implies intersecting
+  // bounding boxes, so the spatial pre-filter may never lose a match).
+  MQS_DCHECK(bestOverlapLinearLocked(q, minOverlap) == bestOverlap);
+#endif
   if (!found) return std::nullopt;
   auto it = blobs_.find(bestId);
   lru_.splice(lru_.begin(), lru_, it->second.lruIt);
@@ -161,6 +182,50 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
   ++stats_.hits;
   if (bestOverlap >= 1.0) ++stats_.fullHits;
   return Match{bestId, bestOverlap};
+}
+
+std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
+                                                    std::size_t k,
+                                                    double minOverlap) {
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+  if (k == 0) return {};
+  std::vector<Match> matches;
+  spatial_.queryIntersecting(
+      q.boundingBox(), [&](const Rect&, std::uint64_t id) {
+        const auto it = blobs_.find(id);
+        MQS_DCHECK(it != blobs_.end());
+        const double ov = semantics_->overlap(*it->second.predicate, q);
+        if (ov > minOverlap) matches.push_back(Match{id, ov});
+      });
+#ifndef NDEBUG
+  const double linearBest = bestOverlapLinearLocked(q, minOverlap);
+  const double rtreeBest =
+      matches.empty()
+          ? minOverlap
+          : std::max_element(matches.begin(), matches.end(),
+                             [](const Match& a, const Match& b) {
+                               return a.overlap < b.overlap;
+                             })
+                ->overlap;
+  MQS_DCHECK(linearBest == rtreeBest);
+#endif
+  std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
+    if (a.overlap != b.overlap) return a.overlap > b.overlap;
+    return a.id > b.id;  // ties toward the newer blob
+  });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+void DataStore::noteReuse(BlobId id, double overlap) {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  ++it->second.uses;
+  ++stats_.hits;
+  if (overlap >= 1.0) ++stats_.fullHits;
 }
 
 bool DataStore::contains(BlobId id) const {

@@ -40,7 +40,8 @@ enum class EvictionPolicy {
   Largest,  ///< biggest blob first (maximizes freed bytes per eviction)
 };
 
-/// Parse "LRU" / "LFU" / "LARGEST" (case-sensitive); throws CheckFailure.
+/// Parse "LRU" / "LFU" / "LARGEST" (case-insensitive); throws CheckFailure
+/// naming the valid set on anything else.
 EvictionPolicy parseEvictionPolicy(std::string_view name);
 std::string_view toString(EvictionPolicy policy);
 
@@ -79,6 +80,23 @@ class DataStore {
   /// caller must unpin() when done.
   [[nodiscard]] std::optional<Match> lookupAndPin(const query::Predicate& q,
                                                   double minOverlap = 0.0);
+
+  /// Candidate generation for the multi-source reuse planner: up to `k`
+  /// resident blobs with overlap(blob, q) > minOverlap, sorted by overlap
+  /// descending (ties toward the newer blob, matching lookup()'s bias
+  /// toward recent results). Candidates come from the R-tree, so the cost
+  /// is proportional to the spatial matches, not the resident population.
+  /// Unlike lookup(), this does NOT refresh LRU positions or hit counters —
+  /// the planner reports the sources it actually selects via noteReuse().
+  /// Counts one lookup in stats().
+  [[nodiscard]] std::vector<Match> lookupTopK(const query::Predicate& q,
+                                              std::size_t k,
+                                              double minOverlap = 0.0);
+
+  /// Reuse feedback from the planner: refresh the blob's LRU position and
+  /// use count, and account a hit (a full hit when `overlap` >= 1). No-op
+  /// if the blob was evicted in the meantime.
+  void noteReuse(BlobId id, double overlap);
 
   [[nodiscard]] bool contains(BlobId id) const;
 
@@ -165,6 +183,12 @@ class DataStore {
 
   std::optional<Match> lookupImpl(const query::Predicate& q,
                                   double minOverlap, bool pinMatch);
+
+  /// Debug cross-check for the R-tree candidate path: best overlap by a
+  /// linear scan over every resident blob. Caller holds the lock. Only
+  /// compiled into !NDEBUG builds.
+  [[nodiscard]] double bestOverlapLinearLocked(const query::Predicate& q,
+                                               double minOverlap) const;
 
   /// Evict LRU unpinned blobs until `need` bytes are free; returns false if
   /// impossible. Caller holds the lock.

@@ -34,6 +34,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   double overlapSum = 0.0;
   double stallSum = 0.0;
   std::size_t reused = 0;
+  std::int64_t sourceSum = 0;
   for (const QueryRecord& r : records) {
     if (r.failed) ++s.failedQueries;
     response.push_back(r.responseTime());
@@ -46,6 +47,8 @@ Summary summarize(const std::vector<QueryRecord>& records) {
     if (r.overlapUsed > 0.0) ++reused;
     s.totalDiskBytes += r.bytesFromDisk;
     s.totalReusedBytes += r.bytesReused;
+    sourceSum += r.reuseSources;
+    if (r.reuseSources > 1) ++s.multiSourceQueries;
   }
   s.trimmedResponse = trimmedMean95(response);
   s.p50Response = percentile(response, 50);
@@ -58,6 +61,8 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   s.makespan = lastFinish - firstArrival;
   s.avgOverlap = overlapSum / static_cast<double>(records.size());
   s.reuseRate = static_cast<double>(reused) / static_cast<double>(records.size());
+  s.avgReuseSources =
+      static_cast<double>(sourceSum) / static_cast<double>(records.size());
   std::vector<double> clientMeans;
   for (const auto& [client, meanResp] : perClientMeanResponse(records)) {
     clientMeans.push_back(meanResp);

@@ -35,6 +35,19 @@ struct QueryRecord {
   std::uint64_t bytesFromDisk = 0; ///< raw bytes actually read for this query
   std::uint64_t bytesReused = 0;   ///< output bytes satisfied via projection
 
+  /// Reuse-plan accounting (query::Planner). `reuseSources` counts the
+  /// projection steps of the top-level plan; `bytesReusedPerSource` holds
+  /// each step's *marginal* covered-output bytes in plan order;
+  /// `planBytesCovered` is their sum as planned (actual reuse can fall
+  /// short when a still-executing source's result vanishes before use).
+  int reuseSources = 0;
+  std::vector<std::uint64_t> bytesReusedPerSource;
+  std::uint64_t planBytesCovered = 0;
+  /// Compact plan signature ("C49152|X4096|R|R"): C = project from cached,
+  /// X = wait on executing then project, R = compute remainder. Stable
+  /// across engines — the sim-vs-real equivalence test compares it.
+  std::string planShape;
+
   /// Terminal FAILED status: the query raised an error (unreadable page,
   /// deadline exceeded) and delivered an exception instead of bytes.
   bool failed = false;
@@ -72,6 +85,10 @@ struct Summary {
   double reuseRate = 0.0;        ///< fraction of queries with overlap > 0
   std::uint64_t totalDiskBytes = 0;
   std::uint64_t totalReusedBytes = 0;
+  /// Mean projection-step count of the top-level reuse plans, and how many
+  /// queries composed more than one reuse source (the multi-source win).
+  double avgReuseSources = 0.0;
+  std::size_t multiSourceQueries = 0;
   /// Jain fairness index over per-client mean response times, in
   /// (0, 1]; 1 = every client experienced the same mean response. FIFO
   /// "targets fairness" (§4) — this makes the claim measurable. 0 when no

@@ -1,0 +1,211 @@
+#include "query/planner.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mqs::query {
+
+namespace {
+
+/// A reuse-source candidate under greedy consideration. Cached candidates
+/// may hold a pin (pinSources mode) so eviction cannot invalidate them
+/// between candidate generation and plan execution.
+struct Candidate {
+  bool executing = false;
+  datastore::BlobId blob = 0;
+  sched::NodeId node = sched::kInvalidNode;
+  PredicatePtr pred;
+  double overlap = 0.0;  ///< vs the full query
+  datastore::DataStore::PinGuard pin;
+  bool used = false;
+};
+
+/// Marginal contribution of `cand` against one uncovered part: its covered
+/// output bytes, but only when the semantics can geometrically decompose
+/// the part (coveredParts non-empty) — otherwise remainder() and
+/// coveredParts() could not tile the part and the greedy accounting would
+/// drift from what execution delivers.
+std::uint64_t marginalForPart(const QuerySemantics& sem, const Predicate& cand,
+                              const Predicate& part) {
+  if (sem.coveredParts(cand, part).empty()) return 0;
+  return sem.reusedOutputBytes(cand, part);
+}
+
+}  // namespace
+
+int ReusePlan::reuseSources() const {
+  int n = 0;
+  for (const PlanStep& s : steps) {
+    if (s.kind != PlanStep::Kind::ComputeRemainder) ++n;
+  }
+  return n;
+}
+
+bool ReusePlan::fullyCovered() const {
+  return std::none_of(steps.begin(), steps.end(), [](const PlanStep& s) {
+    return s.kind == PlanStep::Kind::ComputeRemainder;
+  });
+}
+
+std::string ReusePlan::shape() const {
+  std::string out;
+  for (const PlanStep& s : steps) {
+    if (!out.empty()) out += '|';
+    switch (s.kind) {
+      case PlanStep::Kind::ProjectFromCached:
+        out += 'C';
+        out += std::to_string(s.bytesCovered);
+        break;
+      case PlanStep::Kind::WaitAndProjectFromExecuting:
+        out += 'X';
+        out += std::to_string(s.bytesCovered);
+        break;
+      case PlanStep::Kind::ComputeRemainder:
+        out += 'R';
+        break;
+    }
+  }
+  return out;
+}
+
+Planner::Planner(const QuerySemantics* semantics, PlannerConfig cfg)
+    : sem_(semantics), cfg_(cfg) {
+  MQS_CHECK_MSG(sem_ != nullptr, "Planner requires query semantics");
+  MQS_CHECK_MSG(cfg_.maxReuseSources >= 0, "maxReuseSources must be >= 0");
+  MQS_CHECK_MSG(cfg_.maxNestedReuseDepth >= 0,
+                "maxNestedReuseDepth must be >= 0");
+}
+
+ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
+                        const sched::QueryScheduler* sched,
+                        sched::NodeId node, int depth) const {
+  ReusePlan plan;
+
+  // Raw-compute fast path: reuse disabled, or the remainder recursion has
+  // bottomed out. A single ComputeRemainder step covering q keeps the
+  // "steps tile the output" contract trivially.
+  if (!cfg_.dataStoreEnabled || cfg_.maxReuseSources == 0 ||
+      depth > cfg_.maxNestedReuseDepth) {
+    PlanStep raw;
+    raw.kind = PlanStep::Kind::ComputeRemainder;
+    raw.pred = q.clone();
+    plan.steps.push_back(std::move(raw));
+    return plan;
+  }
+
+  // --- candidate generation ----------------------------------------------
+  // Cached candidates first (lookupTopK order: overlap desc, newer blob
+  // first), then executing candidates (overlap desc, older execution
+  // first). The greedy tie-break below prefers earlier candidates, so on
+  // equal marginal bytes a cached source beats waiting on an execution.
+  std::vector<Candidate> cands;
+  const auto pool = static_cast<std::size_t>(
+      std::max(cfg_.candidatePoolSize, cfg_.maxReuseSources));
+  for (const datastore::DataStore::Match& m : ds.lookupTopK(q, pool)) {
+    Candidate c;
+    c.blob = m.id;
+    if (cfg_.pinSources) {
+      // Pin before reading the predicate: a concurrent eviction between
+      // lookupTopK and here would otherwise leave a dangling reference.
+      if (!ds.tryPin(m.id)) continue;
+      c.pin = datastore::DataStore::PinGuard(ds, m.id);
+    } else if (!ds.contains(m.id)) {
+      continue;
+    }
+    c.pred = ds.predicate(m.id).clone();
+    c.overlap = m.overlap;
+    cands.push_back(std::move(c));
+  }
+  if (depth == 0 && cfg_.allowWaitOnExecuting && sched != nullptr &&
+      node != sched::kInvalidNode) {
+    for (const sched::QueryScheduler::ReuseSource& src :
+         sched->executingSources(node)) {
+      Candidate c;
+      c.executing = true;
+      c.node = src.node;
+      c.pred = sched->predicateOf(src.node);
+      if (!c.pred) continue;  // node left the graph since the snapshot
+      // Recompute via the semantics rather than trusting the edge weight:
+      // both engines then agree on the value bit-for-bit.
+      c.overlap = sem_->overlap(*c.pred, q);
+      if (c.overlap <= 0.0) continue;
+      cands.push_back(std::move(c));
+    }
+  }
+
+  // --- greedy selection by marginal covered-output bytes ------------------
+  std::vector<PredicatePtr> uncovered;
+  uncovered.push_back(q.clone());
+  int selected = 0;
+  while (selected < cfg_.maxReuseSources && !uncovered.empty()) {
+    std::size_t bestIdx = cands.size();
+    std::uint64_t bestMarginal = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].used) continue;
+      std::uint64_t marginal = 0;
+      for (const PredicatePtr& part : uncovered) {
+        marginal += marginalForPart(*sem_, *cands[i].pred, *part);
+      }
+      if (marginal > bestMarginal) {  // strict: ties keep the earlier candidate
+        bestMarginal = marginal;
+        bestIdx = i;
+      }
+    }
+    if (bestIdx == cands.size() || bestMarginal < cfg_.minMarginalBytes) break;
+
+    Candidate& cand = cands[bestIdx];
+    cand.used = true;
+    PlanStep step;
+    step.kind = cand.executing ? PlanStep::Kind::WaitAndProjectFromExecuting
+                               : PlanStep::Kind::ProjectFromCached;
+    step.blob = cand.blob;
+    step.node = cand.node;
+    step.sourcePred = cand.pred->clone();
+    step.overlap = cand.overlap;
+    step.bytesCovered = bestMarginal;
+    step.projectionBytes = sem_->reusedOutputBytes(*cand.pred, q);
+
+    // Commit: decompose every part this source helps with into covered
+    // sub-queries (kept on the step for vanished-source recovery) and
+    // remainder sub-queries (still uncovered).
+    std::vector<PredicatePtr> stillUncovered;
+    for (PredicatePtr& part : uncovered) {
+      std::vector<PredicatePtr> covered = sem_->coveredParts(*cand.pred, *part);
+      if (covered.empty() || sem_->reusedOutputBytes(*cand.pred, *part) == 0) {
+        stillUncovered.push_back(std::move(part));
+        continue;
+      }
+      for (PredicatePtr& cp : covered) {
+        step.coveredParts.push_back(std::move(cp));
+      }
+      for (PredicatePtr& rp : sem_->remainder(*cand.pred, *part)) {
+        stillUncovered.push_back(std::move(rp));
+      }
+    }
+    uncovered = std::move(stillUncovered);
+
+    plan.planBytesCovered += step.bytesCovered;
+    plan.primaryOverlap = std::max(plan.primaryOverlap, step.overlap);
+    plan.steps.push_back(std::move(step));
+    if (!cand.executing) {
+      ds.noteReuse(cand.blob, cand.overlap);
+      if (cfg_.pinSources) plan.pins.push_back(std::move(cand.pin));
+    }
+    ++selected;
+  }
+
+  // Whatever is left is computed from raw data (possibly recursively
+  // re-planned by the engine at depth + 1).
+  for (PredicatePtr& part : uncovered) {
+    PlanStep rem;
+    rem.kind = PlanStep::Kind::ComputeRemainder;
+    rem.pred = std::move(part);
+    plan.steps.push_back(std::move(rem));
+  }
+  return plan;
+}
+
+}  // namespace mqs::query

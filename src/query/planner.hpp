@@ -1,0 +1,149 @@
+// Shared reuse planner: the plan/execute split for the Eq. 3–4 reuse model.
+//
+// Both engines — the threaded QueryServer and the discrete-event SimServer —
+// used to select reuse sources inline, each with its own copy of the logic
+// and each limited to a *single* best source per query. The planner unifies
+// that decision into one pure component: given a query predicate, the Data
+// Store contents, and the scheduling graph's EXECUTING set, it produces an
+// explicit ReusePlan — an ordered list of steps that together tile the
+// query's output:
+//
+//   ProjectFromCached{blob}            project a resident Data Store blob
+//   WaitAndProjectFromExecuting{node}  block on an older executing query's
+//                                      completion latch, then project its
+//                                      cached result (acyclic by the
+//                                      started-earlier rule, which holds for
+//                                      every subset of older executions)
+//   ComputeRemainder{pred}             compute an uncovered sub-query from
+//                                      raw data (recursively plannable up to
+//                                      maxNestedReuseDepth)
+//
+// Sources are selected greedily by *marginal* covered-output bytes —
+// following Roy et al.'s observation that composing multiple cached
+// intermediates captures most of the reuse win — so several cached results
+// (and several still-executing queries, à la GraftDB's folding into
+// concurrent work) can jointly answer one query. The engines only differ in
+// how they *execute* a plan: the threaded server pins blobs and performs
+// real projections and I/O; the simulator charges modeled costs for the
+// same steps. Keeping planning here keeps them in lockstep by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datastore/data_store.hpp"
+#include "query/predicate.hpp"
+#include "query/semantics.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mqs::query {
+
+struct PlannerConfig {
+  bool dataStoreEnabled = true;      ///< consult the Data Store at all
+  bool allowWaitOnExecuting = true;  ///< may wait on executing sources
+  /// Projection-step budget per plan. 1 reproduces the historic
+  /// single-best-source behaviour; >1 enables multi-source reuse.
+  int maxReuseSources = 4;
+  /// Candidate pool drawn from the Data Store per plan (lookupTopK's k).
+  /// Only candidates with positive marginal coverage are ever selected, so
+  /// this bounds planning cost, not correctness.
+  int candidatePoolSize = 8;
+  /// Depth limit for reuse inside remainder sub-queries: a part at
+  /// depth > maxNestedReuseDepth is always computed from raw data.
+  int maxNestedReuseDepth = 2;
+  /// Greedy stop threshold: a source must cover at least this many
+  /// additional output bytes to earn a projection step.
+  std::uint64_t minMarginalBytes = 1;
+  /// Pin selected blobs (tryPin) so concurrent evictions cannot invalidate
+  /// the plan before execution; the plan's PinGuards release on execution
+  /// or destruction. The single-threaded simulator leaves this off.
+  bool pinSources = false;
+};
+
+/// One step of a reuse plan. A tagged struct (not a variant) so tests and
+/// diagnostics can iterate steps uniformly.
+struct PlanStep {
+  enum class Kind {
+    ProjectFromCached,
+    WaitAndProjectFromExecuting,
+    ComputeRemainder,
+  };
+  Kind kind = Kind::ComputeRemainder;
+
+  // --- projection steps ---------------------------------------------------
+  datastore::BlobId blob = 0;             ///< ProjectFromCached
+  sched::NodeId node = sched::kInvalidNode;  ///< WaitAndProjectFromExecuting
+  PredicatePtr sourcePred;                ///< the source's predicate
+  double overlap = 0.0;                   ///< Eq. 2 overlap vs the full query
+  /// Marginal output bytes this source adds to the plan's coverage
+  /// (projection steps can overlap each other; later steps only count
+  /// bytes not already covered).
+  std::uint64_t bytesCovered = 0;
+  /// Full covered-output bytes of this source against the whole query —
+  /// the work a projection actually performs (the simulator's CPU charge).
+  std::uint64_t projectionBytes = 0;
+  /// Sub-queries tiling the output region this step newly covers. Used to
+  /// recompute the step's share from raw data if the source vanishes
+  /// between planning and execution (executing sources only — cached
+  /// sources are pinned when pinSources is set).
+  std::vector<PredicatePtr> coveredParts;
+
+  // --- remainder steps ----------------------------------------------------
+  PredicatePtr pred;  ///< ComputeRemainder: the uncovered sub-query
+};
+
+/// An ordered tiling of one query's output: projection steps (in greedy
+/// selection order), then remainder steps. Move-only; owns the pins taken
+/// on selected blobs when PlannerConfig::pinSources is set.
+struct ReusePlan {
+  std::vector<PlanStep> steps;
+  /// Pins on the ProjectFromCached blobs, parallel to those steps in plan
+  /// order. Released by the executing engine as each step completes (or on
+  /// plan destruction).
+  std::vector<datastore::DataStore::PinGuard> pins;
+  /// Sum of the projection steps' marginal bytesCovered.
+  std::uint64_t planBytesCovered = 0;
+  /// Highest single-source Eq. 2 overlap among the projection steps — the
+  /// historic `overlapUsed` metric, the adaptive-policy feedback signal,
+  /// and the "exact duplicate, don't re-cache" test (>= 1).
+  double primaryOverlap = 0.0;
+
+  [[nodiscard]] int reuseSources() const;
+  [[nodiscard]] bool hasReuse() const { return reuseSources() > 0; }
+  [[nodiscard]] bool fullyCovered() const;
+  /// Compact signature, e.g. "C49152|X4096|R|R" (C cached, X executing,
+  /// R remainder; projection steps carry their marginal bytes). Identical
+  /// across engines for identical plans — the equivalence test's currency.
+  [[nodiscard]] std::string shape() const;
+};
+
+class Planner {
+ public:
+  Planner(const QuerySemantics* semantics, PlannerConfig cfg);
+
+  [[nodiscard]] const PlannerConfig& config() const { return cfg_; }
+
+  /// Build the reuse plan for `q`.
+  ///
+  /// `ds` supplies cached candidates (ignored when dataStoreEnabled is
+  /// false). `sched`/`node` supply executing candidates for the top-level
+  /// query (pass nullptr/kInvalidNode for nested parts — only plans at
+  /// depth 0 may wait on executing queries, and only when
+  /// allowWaitOnExecuting is set). `depth` is the nesting level of `q`
+  /// (0 = top-level query, >= 1 = remainder sub-query); beyond
+  /// maxNestedReuseDepth the plan is a single ComputeRemainder step.
+  ///
+  /// The plan's steps tile q's output exactly: projecting every projection
+  /// step's source and computing every remainder step covers each output
+  /// byte at least once, with remainder parts disjoint from covered area.
+  [[nodiscard]] ReusePlan plan(const Predicate& q, datastore::DataStore& ds,
+                               const sched::QueryScheduler* sched,
+                               sched::NodeId node, int depth = 0) const;
+
+ private:
+  const QuerySemantics* sem_;
+  PlannerConfig cfg_;
+};
+
+}  // namespace mqs::query

@@ -53,6 +53,23 @@ class QuerySemantics {
   [[nodiscard]] virtual std::vector<PredicatePtr> remainder(
       const Predicate& cached, const Predicate& q) const = 0;
 
+  /// The complement of remainder(): sub-query predicates exactly tiling the
+  /// portion of `q` that projecting `cached` answers. Together with
+  /// remainder() the returned parts must tile `q`. Used by the reuse
+  /// planner for multi-source coverage accounting and for recovering when a
+  /// planned source vanishes before execution (its covered parts are then
+  /// computed like ordinary remainder sub-queries).
+  ///
+  /// The default only recognizes full coverage ({q} when overlap >= 1,
+  /// empty otherwise); applications that want multi-source reuse should
+  /// override it with their native geometry (see VMSemantics/VolSemantics).
+  [[nodiscard]] virtual std::vector<PredicatePtr> coveredParts(
+      const Predicate& cached, const Predicate& q) const {
+    std::vector<PredicatePtr> out;
+    if (overlap(cached, q) >= 1.0) out.push_back(q.clone());
+    return out;
+  }
+
   /// Output bytes of `q` that projecting `cached` produces (metric
   /// accounting). Default estimates overlap * qoutsize; applications can
   /// compute it exactly.

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cctype>
 
 #include "common/check.hpp"
 #include "sched/policy.hpp"
@@ -189,15 +190,24 @@ class AdaptivePolicy final : public RankingPolicy {
 }  // namespace
 
 PolicyPtr makePolicy(std::string_view name, double alpha) {
-  if (name == "FIFO") return std::make_unique<FifoPolicy>();
-  if (name == "MUF") return std::make_unique<MufPolicy>();
-  if (name == "FF") return std::make_unique<FfPolicy>();
-  if (name == "CF") return std::make_unique<CfPolicy>(alpha);
-  if (name == "CNBF") return std::make_unique<CnbfPolicy>();
-  if (name == "SJF") return std::make_unique<SjfPolicy>();
-  if (name == "COMBINED") return std::make_unique<CombinedPolicy>(alpha);
-  if (name == "ADAPTIVE") return std::make_unique<AdaptivePolicy>(alpha);
-  MQS_CHECK_MSG(false, "unknown ranking policy: " + std::string(name));
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "FIFO") return std::make_unique<FifoPolicy>();
+  if (upper == "MUF") return std::make_unique<MufPolicy>();
+  if (upper == "FF") return std::make_unique<FfPolicy>();
+  if (upper == "CF") return std::make_unique<CfPolicy>(alpha);
+  if (upper == "CNBF") return std::make_unique<CnbfPolicy>();
+  if (upper == "SJF") return std::make_unique<SjfPolicy>();
+  if (upper == "COMBINED") return std::make_unique<CombinedPolicy>(alpha);
+  if (upper == "ADAPTIVE") return std::make_unique<AdaptivePolicy>(alpha);
+  std::string valid;
+  for (const auto& p : allPolicyNames()) {
+    if (!valid.empty()) valid += ", ";
+    valid += p;
+  }
+  MQS_CHECK_MSG(false, "unknown ranking policy: '" + std::string(name) +
+                           "' (valid: " + valid + "; case-insensitive)");
   return nullptr;  // unreachable
 }
 

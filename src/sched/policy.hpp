@@ -45,10 +45,11 @@ class RankingPolicy {
 using PolicyPtr = std::unique_ptr<RankingPolicy>;
 
 /// Factory for the paper's six strategies plus extensions: "FIFO", "MUF",
-/// "FF", "CF", "CNBF", "SJF", "COMBINED", "ADAPTIVE" (case-sensitive).
+/// "FF", "CF", "CNBF", "SJF", "COMBINED", "ADAPTIVE" (case-insensitive).
 /// `alpha` is CF's hand-tuned weight for still-executing dependencies
 /// (the paper fixes 0.2 in the experiments) and the executing-source
-/// discount of COMBINED/ADAPTIVE. Throws CheckFailure for unknown names.
+/// discount of COMBINED/ADAPTIVE. Throws CheckFailure naming the valid
+/// set for unknown names.
 PolicyPtr makePolicy(std::string_view name, double alpha = 0.2);
 
 /// The six strategies evaluated in the paper, in presentation order.

@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace mqs::sched {
@@ -145,24 +147,44 @@ void QueryScheduler::reportResourceSignal(double ioCongestion) {
   if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
 }
 
-std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestExecutingSource(
+std::vector<QueryScheduler::ReuseSource> QueryScheduler::executingSources(
     NodeId n) const {
   std::lock_guard lock(mu_);
-  if (!graph_.contains(n)) return std::nullopt;
+  std::vector<ReuseSource> sources;
+  if (!graph_.contains(n)) return sources;
   const auto myIt = rt_.find(n);
   const std::uint64_t mySeq = myIt == rt_.end() ? 0 : myIt->second.execSeq;
-  std::optional<ReuseSource> best;
+  std::vector<std::uint64_t> seqs;
   for (const Edge& e : graph_.inEdges(n)) {
     if (graph_.state(e.peer) != QueryState::Executing) continue;
     const auto it = rt_.find(e.peer);
     const std::uint64_t peerSeq = it == rt_.end() ? 0 : it->second.execSeq;
     // Deadlock avoidance: wait only on queries that started earlier.
     if (mySeq == 0 || peerSeq == 0 || peerSeq >= mySeq) continue;
-    if (!best || e.overlap > best->overlap) {
-      best = ReuseSource{e.peer, e.overlap, QueryState::Executing};
-    }
+    sources.push_back(ReuseSource{e.peer, e.overlap, QueryState::Executing});
+    seqs.push_back(peerSeq);
   }
-  return best;
+  // Deterministic candidate order: overlap descending, then the older
+  // execution first (it will finish sooner, all else equal).
+  std::vector<std::size_t> order(sources.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sources[a].overlap != sources[b].overlap) {
+      return sources[a].overlap > sources[b].overlap;
+    }
+    return seqs[a] < seqs[b];
+  });
+  std::vector<ReuseSource> sorted;
+  sorted.reserve(sources.size());
+  for (const std::size_t i : order) sorted.push_back(sources[i]);
+  return sorted;
+}
+
+std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestExecutingSource(
+    NodeId n) const {
+  const std::vector<ReuseSource> sources = executingSources(n);
+  if (sources.empty()) return std::nullopt;
+  return sources.front();
 }
 
 std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestReuseSource(

@@ -76,6 +76,12 @@ class QueryScheduler {
   /// node.
   [[nodiscard]] std::optional<ReuseSource> bestExecutingSource(NodeId n) const;
 
+  /// ALL eligible EXECUTING reuse sources for `n` (every in-edge peer that
+  /// began executing before `n`, so waiting on any subset keeps the wait
+  /// graph acyclic), sorted by overlap descending with ties toward the
+  /// older execution. Candidate generation for the multi-source planner.
+  [[nodiscard]] std::vector<ReuseSource> executingSources(NodeId n) const;
+
   /// Snapshot of a node's current state (nullopt if no longer in graph).
   [[nodiscard]] std::optional<QueryState> stateOf(NodeId n) const;
 

@@ -21,6 +21,18 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
       ps_(cfg_.psBytes, cfg_.psIoThreads,
           pagespace::RetryPolicy{cfg_.ioRetryAttempts,
                                  cfg_.ioRetryBackoffSec}),
+      planner_(semantics,
+               query::PlannerConfig{
+                   .dataStoreEnabled = cfg_.dataStoreEnabled,
+                   .allowWaitOnExecuting = cfg_.allowWaitOnExecuting,
+                   .maxReuseSources = cfg_.maxReuseSources,
+                   .candidatePoolSize = std::max(8, 2 * cfg_.maxReuseSources),
+                   .maxNestedReuseDepth = cfg_.maxNestedReuseDepth,
+                   .minMarginalBytes = 1,
+                   // Worker threads race with evictions: the planner pins
+                   // the blobs it selects until their steps execute.
+                   .pinSources = true,
+               }),
       epoch_(std::chrono::steady_clock::now()) {
   MQS_CHECK(sem_ != nullptr && exec_ != nullptr);
   MQS_CHECK(cfg_.threads >= 1);
@@ -130,30 +142,85 @@ std::shared_future<void> QueryServer::doneFutureOf(sched::NodeId node) {
   return it->second->future;
 }
 
+std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
+                                                const query::Predicate& pred,
+                                                int depth,
+                                                metrics::QueryRecord& rec) {
+  // Raw fast path: a plan without projection steps is a single
+  // ComputeRemainder step covering `pred` — run the executor directly.
+  if (!plan.hasReuse()) {
+    return exec_->execute(pred, ps_);
+  }
+
+  std::vector<std::byte> out(sem_->qoutsize(pred));
+  std::size_t pinIdx = 0;  // plan.pins parallels the ProjectFromCached steps
+  for (query::PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case query::PlanStep::Kind::ProjectFromCached: {
+        // The planner pinned the blob (pinSources), so it is still
+        // resident; release the pin as soon as the projection is done.
+        exec_->project(*step.sourcePred, ds_.payload(step.blob), pred, out);
+        MQS_DCHECK(pinIdx < plan.pins.size());
+        plan.pins[pinIdx++].release();
+        rec.bytesReused += step.bytesCovered;
+        break;
+      }
+      case query::PlanStep::Kind::WaitAndProjectFromExecuting: {
+        // Block on the older executing query's completion latch; the
+        // thread-pool slot stays occupied while we wait (§4).
+        rec.reusedExecuting = true;
+        const double t0 = nowSeconds();
+        doneFutureOf(step.node).wait();
+        rec.blockedTime += nowSeconds() - t0;
+        checkDeadline(rec);
+
+        datastore::BlobId blob = 0;
+        bool haveBlob = false;
+        {
+          std::lock_guard lock(mu_);
+          if (auto it = nodeBlob_.find(step.node); it != nodeBlob_.end()) {
+            blob = it->second;
+            haveBlob = true;
+          }
+        }
+        if (haveBlob && ds_.tryPin(blob)) {
+          datastore::DataStore::PinGuard pin(ds_, blob);
+          exec_->project(*step.sourcePred, ds_.payload(blob), pred, out);
+          pin.release();
+          ds_.noteReuse(blob, step.overlap);
+          rec.bytesReused += step.bytesCovered;
+        } else {
+          // The source failed, produced an uncacheable result, or was
+          // evicted before we could read it: compute this step's share of
+          // the output from raw data instead (its coveredParts tile it).
+          for (const query::PredicatePtr& cp : step.coveredParts) {
+            const std::vector<std::byte> sub =
+                computePart(*cp, depth + 1, rec);
+            exec_->project(*cp, sub, pred, out);
+          }
+        }
+        break;
+      }
+      case query::PlanStep::Kind::ComputeRemainder: {
+        const std::vector<std::byte> sub =
+            computePart(*step.pred, depth + 1, rec);
+        exec_->project(*step.pred, sub, pred, out);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<std::byte> QueryServer::computePart(const query::Predicate& part,
                                                 int depth,
                                                 metrics::QueryRecord& rec) {
-  if (cfg_.dataStoreEnabled && depth <= cfg_.maxNestedReuseDepth) {
-    if (auto m = ds_.lookupAndPin(part)) {
-      datastore::DataStore::PinGuard pin(ds_, m->id);
-      std::vector<std::byte> out(sem_->qoutsize(part));
-      const query::PredicatePtr cachedPred = ds_.predicate(m->id).clone();
-      exec_->project(*cachedPred, ds_.payload(m->id), part, out);
-      pin.release();
-      rec.bytesReused += sem_->reusedOutputBytes(*cachedPred, part);
-      for (const auto& rem : sem_->remainder(*cachedPred, part)) {
-        const std::vector<std::byte> sub = computePart(*rem, depth + 1, rec);
-        exec_->project(*rem, sub, part, out);
-      }
-      if (cfg_.cacheSubqueryResults) {
-        (void)ds_.insert(part.clone(), std::vector<std::byte>(out),
-                         sem_->qoutsize(part));
-      }
-      return out;
-    }
-  }
-  std::vector<std::byte> out = exec_->execute(part, ps_);
-  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults && depth >= 1) {
+  // Remainder parts never wait on executing queries (no graph node, and
+  // blocking inside a nested computation would stack latch waits).
+  query::ReusePlan plan =
+      planner_.plan(part, ds_, nullptr, sched::kInvalidNode, depth);
+  std::vector<std::byte> out = executePlan(std::move(plan), part, depth, rec);
+  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults) {
     (void)ds_.insert(part.clone(), std::vector<std::byte>(out),
                      sem_->qoutsize(part));
   }
@@ -171,62 +238,20 @@ std::optional<datastore::BlobId> QueryServer::cacheResult(
 std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
                                                  const query::Predicate& pred,
                                                  metrics::QueryRecord& rec) {
-  std::vector<std::byte> out(sem_->qoutsize(pred));
-
-  // --- choose a reuse source -------------------------------------------
-  std::optional<datastore::DataStore::Match> match;
-  datastore::DataStore::PinGuard pin;
-  if (cfg_.dataStoreEnabled) {
-    match = ds_.lookupAndPin(pred);
-    if (match) pin = datastore::DataStore::PinGuard(ds_, match->id);
-    if (cfg_.allowWaitOnExecuting) {
-      if (auto e = scheduler_.bestExecutingSource(node);
-          e && (!match || e->overlap > match->overlap)) {
-        pin.release();
-        match.reset();
-        // Block on the older executing query's completion latch; the
-        // thread-pool slot stays occupied while we wait (§4).
-        rec.reusedExecuting = true;
-        const double t0 = nowSeconds();
-        doneFutureOf(e->node).wait();
-        rec.blockedTime += nowSeconds() - t0;
-        checkDeadline(rec);
-
-        datastore::BlobId blob = 0;
-        bool haveBlob = false;
-        {
-          std::lock_guard lock(mu_);
-          if (auto it = nodeBlob_.find(e->node); it != nodeBlob_.end()) {
-            blob = it->second;
-            haveBlob = true;
-          }
-        }
-        if (haveBlob && ds_.tryPin(blob)) {
-          match = datastore::DataStore::Match{
-              blob, sem_->overlap(ds_.predicate(blob), pred)};
-          pin = datastore::DataStore::PinGuard(ds_, blob);
-        } else if ((match = ds_.lookupAndPin(pred))) {
-          pin = datastore::DataStore::PinGuard(ds_, match->id);
-        }
-      }
+  // All source selection happens in the shared planner; record the plan's
+  // accounting, then execute its steps.
+  query::ReusePlan plan =
+      planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+  rec.overlapUsed = plan.primaryOverlap;
+  rec.reuseSources = plan.reuseSources();
+  rec.planBytesCovered = plan.planBytesCovered;
+  rec.planShape = plan.shape();
+  for (const query::PlanStep& step : plan.steps) {
+    if (step.kind != query::PlanStep::Kind::ComputeRemainder) {
+      rec.bytesReusedPerSource.push_back(step.bytesCovered);
     }
   }
-
-  // --- project + remainder / full computation --------------------------
-  if (match) {
-    rec.overlapUsed = match->overlap;
-    const query::PredicatePtr cachedPred = ds_.predicate(match->id).clone();
-    exec_->project(*cachedPred, ds_.payload(match->id), pred, out);
-    pin.release();
-    rec.bytesReused += sem_->reusedOutputBytes(*cachedPred, pred);
-    for (const auto& part : sem_->remainder(*cachedPred, pred)) {
-      const std::vector<std::byte> sub = computePart(*part, /*depth=*/1, rec);
-      exec_->project(*part, sub, pred, out);
-    }
-  } else {
-    out = exec_->execute(pred, ps_);
-  }
-  return out;
+  return executePlan(std::move(plan), pred, /*depth=*/0, rec);
 }
 
 void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {

@@ -1,16 +1,18 @@
 // The multithreaded query server (§2, Figure 1) — real execution.
 //
 // A fixed-size pool of query threads pulls work from the QueryScheduler.
-// Each query: (1) looks for a reusable intermediate result in the Data
-// Store (or a still-executing query via the scheduling graph), (2) projects
-// it into the output, (3) computes remainder sub-queries from raw data
-// through the Page Space Manager, (4) caches its own result, (5) delivers
-// bytes to the client future.
+// Each query: (1) asks the shared query::Planner for a ReusePlan over the
+// Data Store and the scheduling graph's EXECUTING set, (2) executes the
+// plan — projecting cached blobs, blocking on still-executing sources,
+// computing remainder sub-queries from raw data through the Page Space
+// Manager, (3) caches its own result, (4) delivers bytes to the client
+// future. Source selection lives entirely in the planner; this file only
+// executes plan steps.
 //
-// Deadlock avoidance: a query may block on the completion latch of an
-// EXECUTING query only if that query started earlier (enforced by
-// QueryScheduler::bestExecutingSource), so wait-for edges always point to
-// older executions and the wait graph is acyclic.
+// Deadlock avoidance: a query may block on the completion latches of
+// EXECUTING queries only if they started earlier (enforced by
+// QueryScheduler::executingSources), so wait-for edges always point to
+// older executions and the wait graph is acyclic — for any subset of them.
 #pragma once
 
 #include <atomic>
@@ -32,6 +34,7 @@
 #include "metrics/metrics.hpp"
 #include "pagespace/page_space_manager.hpp"
 #include "query/executor.hpp"
+#include "query/planner.hpp"
 #include "sched/scheduler.hpp"
 #include "vm/vm_semantics.hpp"
 
@@ -73,6 +76,9 @@ struct ServerConfig {
   bool cacheSubqueryResults = true;
   int maxNestedReuseDepth = 2;
   bool allowWaitOnExecuting = true;
+  /// Reuse-plan projection-step budget (query::PlannerConfig); 1 restores
+  /// the historic single-best-source behaviour.
+  int maxReuseSources = 4;
 };
 
 struct QueryResult {
@@ -127,13 +133,20 @@ class QueryServer {
 
   void workerLoop();
   void runQuery(sched::NodeId node, PendingQuery pending);
-  /// The reuse-or-compute pipeline; throws whatever application code
-  /// throws (runQuery converts that into a failed client future).
+  /// Plan + execute the top-level query (records the plan's accounting in
+  /// `rec`); throws whatever application code throws (runQuery converts
+  /// that into a failed client future).
   std::vector<std::byte> computeQuery(sched::NodeId node,
                                       const query::Predicate& pred,
                                       metrics::QueryRecord& rec);
-  /// Compute one part (whole query or remainder rect) from DS-reuse /
-  /// raw data; returns its full output buffer.
+  /// Execute a ReusePlan for `pred` (a whole query or a remainder part at
+  /// nesting level `depth`): project each cached/executing source into the
+  /// output, compute remainder steps via computePart at depth + 1.
+  std::vector<std::byte> executePlan(query::ReusePlan plan,
+                                     const query::Predicate& pred, int depth,
+                                     metrics::QueryRecord& rec);
+  /// Plan + execute one remainder part (depth >= 1) and optionally cache
+  /// its result; returns the part's full output buffer.
   std::vector<std::byte> computePart(const query::Predicate& part, int depth,
                                      metrics::QueryRecord& rec);
   std::optional<datastore::BlobId> cacheResult(const query::Predicate& pred,
@@ -152,6 +165,7 @@ class QueryServer {
   sched::QueryScheduler scheduler_;
   datastore::DataStore ds_;
   pagespace::PageSpaceManager ps_;
+  query::Planner planner_;
   metrics::Collector collector_;
   std::chrono::steady_clock::time_point epoch_;
 

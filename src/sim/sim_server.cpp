@@ -28,6 +28,20 @@ SimServer::SimServer(Simulator& sim, const query::QuerySemantics* semantics,
       ds_(cfg_.dsBytes, semantics,
           datastore::parseEvictionPolicy(cfg_.dsEviction)),
       psCore_(cfg_.psBytes),
+      planner_(semantics,
+               query::PlannerConfig{
+                   .dataStoreEnabled = cfg_.dataStoreEnabled,
+                   .allowWaitOnExecuting = cfg_.allowWaitOnExecuting,
+                   .maxReuseSources = cfg_.maxReuseSources,
+                   .candidatePoolSize = std::max(8, 2 * cfg_.maxReuseSources),
+                   .maxNestedReuseDepth = cfg_.maxNestedReuseDepth,
+                   .minMarginalBytes = 1,
+                   // Single-threaded virtual time: nothing can evict a blob
+                   // between planning and the step that projects it unless
+                   // the plan itself inserts — handled by the contains()
+                   // re-check in executePlan, so no pinning needed.
+                   .pinSources = false,
+               }),
       cpus_(sim, cfg_.cpus) {
   MQS_CHECK(sem_ != nullptr);
   MQS_CHECK(cfg_.threads >= 1);
@@ -105,24 +119,6 @@ Task<void> SimServer::cpuRun(double seconds) {
   cpus_.release();
 }
 
-std::optional<SimServer::ReuseChoice> SimServer::chooseReuse(
-    sched::NodeId node, const query::Predicate& pred) {
-  if (!cfg_.dataStoreEnabled) return std::nullopt;
-  std::optional<ReuseChoice> best;
-  if (auto m = ds_.lookup(pred)) {
-    best = ReuseChoice{ds_.predicate(m->id).clone(), m->overlap, std::nullopt};
-  }
-  if (cfg_.allowWaitOnExecuting) {
-    if (auto e = scheduler_.bestExecutingSource(node)) {
-      if (!best || e->overlap > best->overlap) {
-        best = ReuseChoice{scheduler_.graphUnsafe().predicate(e->node).clone(),
-                           e->overlap, e->node};
-      }
-    }
-  }
-  return best;
-}
-
 Task<void> SimServer::fetchChunk(storage::PageKey key, std::size_t bytes,
                                  metrics::QueryRecord* rec) {
   if (psCore_.touch(key)) co_return;  // page space hit
@@ -156,32 +152,11 @@ Task<void> SimServer::fetchChunk(storage::PageKey key, std::size_t bytes,
   inflight_.erase(key);
 }
 
-Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
-                                  metrics::QueryRecord* rec) {
-  const std::uint64_t partOutBytes = sem_->qoutsize(*part);
-  // Nested reuse: sub-queries are "processed just like any other query"
-  // (§2), so they consult the Data Store as well, up to a depth limit.
-  if (cfg_.dataStoreEnabled && depth <= cfg_.maxNestedReuseDepth) {
-    if (auto m = ds_.lookup(*part)) {
-      const query::PredicatePtr cachedPred = ds_.predicate(m->id).clone();
-      const std::uint64_t projBytes =
-          sem_->reusedOutputBytes(*cachedPred, *part);
-      rec->bytesReused += projBytes;
-      co_await cpuRun(static_cast<double>(projBytes) *
-                      cfg_.cpuPerOutByteProject);
-      for (auto& rem : sem_->remainder(*cachedPred, *part)) {
-        co_await computePart(std::move(rem), depth + 1, rec);
-      }
-      if (cfg_.cacheSubqueryResults) {
-        (void)ds_.insert(std::move(part), {}, partOutBytes);
-      }
-      co_return;
-    }
-  }
-
+Task<void> SimServer::computeRaw(query::PredicatePtr pred,
+                                 metrics::QueryRecord* rec) {
   // Compute from raw data: fetch each chunk through the page space, then
   // process it (demand comes from the application's cost adapter).
-  const std::vector<ChunkDemand> demand = model_->demandFor(*part);
+  const std::vector<ChunkDemand> demand = model_->demandFor(*pred);
   ++ioStreams_;
   for (std::size_t i = 0; i < demand.size(); ++i) {
     // Readahead: issue upcoming chunks asynchronously so the device queue
@@ -199,7 +174,77 @@ Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
     co_await cpuRun(demand[i].cpuSeconds);
   }
   --ioStreams_;
-  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults && depth >= 1) {
+}
+
+Task<void> SimServer::executePlan(query::ReusePlan plan,
+                                  query::PredicatePtr pred, int depth,
+                                  metrics::QueryRecord* rec) {
+  // Raw fast path: a plan without projection steps is a single
+  // ComputeRemainder step covering `pred` (mirrors the threaded server's
+  // direct-execute path — in particular it does not cache sub-results).
+  if (!plan.hasReuse()) {
+    co_await computeRaw(std::move(pred), rec);
+    co_return;
+  }
+
+  for (query::PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case query::PlanStep::Kind::ProjectFromCached: {
+        // The planner runs unpinned here (single-threaded virtual time),
+        // so re-check residency: with threads > 1 another query may have
+        // evicted the blob while an earlier step waited or ran CPU.
+        if (ds_.contains(step.blob)) {
+          co_await cpuRun(static_cast<double>(step.projectionBytes) *
+                          cfg_.cpuPerOutByteProject);
+          rec->bytesReused += step.bytesCovered;
+        } else {
+          for (query::PredicatePtr& cp : step.coveredParts) {
+            co_await computePart(std::move(cp), depth + 1, rec);
+          }
+        }
+        break;
+      }
+      case query::PlanStep::Kind::WaitAndProjectFromExecuting: {
+        // Block on the still-executing reuse source. The slot stays
+        // occupied — exactly the CPU waste FF/CNBF try to avoid (§4).
+        rec->reusedExecuting = true;
+        const Time t0 = sim_->now();
+        co_await completionOf(step.node).wait();
+        rec->blockedTime += sim_->now() - t0;
+        const auto it = nodeBlob_.find(step.node);
+        if (it != nodeBlob_.end() && ds_.contains(it->second)) {
+          ds_.noteReuse(it->second, step.overlap);
+          co_await cpuRun(static_cast<double>(step.projectionBytes) *
+                          cfg_.cpuPerOutByteProject);
+          rec->bytesReused += step.bytesCovered;
+        } else {
+          // The source failed, produced an uncacheable result, or was
+          // evicted before we could read it: compute this step's share
+          // from raw data instead (its coveredParts tile it).
+          for (query::PredicatePtr& cp : step.coveredParts) {
+            co_await computePart(std::move(cp), depth + 1, rec);
+          }
+        }
+        break;
+      }
+      case query::PlanStep::Kind::ComputeRemainder: {
+        co_await computePart(std::move(step.pred), depth + 1, rec);
+        break;
+      }
+    }
+  }
+}
+
+Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
+                                  metrics::QueryRecord* rec) {
+  // Nested reuse: sub-queries are "processed just like any other query"
+  // (§2), so they get their own plan — the planner enforces the depth
+  // limit and never waits on executing queries for nested parts.
+  const std::uint64_t partOutBytes = sem_->qoutsize(*part);
+  query::ReusePlan plan =
+      planner_.plan(*part, ds_, nullptr, sched::kInvalidNode, depth);
+  co_await executePlan(std::move(plan), part->clone(), depth, rec);
+  if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults) {
     (void)ds_.insert(std::move(part), {}, partOutBytes);
   }
 }
@@ -210,37 +255,20 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
 
   co_await cpuRun(cfg_.planningOverheadSec);
 
-  std::optional<ReuseChoice> choice = chooseReuse(node, pred);
-  if (choice && choice->executingNode) {
-    // Block on the still-executing reuse source. The slot stays occupied —
-    // exactly the CPU waste the FF/CNBF rankings try to avoid (§4).
-    const Time t0 = sim_->now();
-    co_await completionOf(*choice->executingNode).wait();
-    rec.blockedTime += sim_->now() - t0;
-    rec.reusedExecuting = true;
-    const auto it = nodeBlob_.find(*choice->executingNode);
-    if (it != nodeBlob_.end() && ds_.contains(it->second)) {
-      choice->executingNode.reset();  // now an ordinary cached reuse
-    } else {
-      // Result vanished (evicted or never cached); retry once, cached only.
-      choice = chooseReuse(node, pred);
-      if (choice && choice->executingNode) choice.reset();
+  // All source selection happens in the shared planner; record the plan's
+  // accounting, then execute its steps with modeled costs.
+  query::ReusePlan plan =
+      planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+  rec.overlapUsed = plan.primaryOverlap;
+  rec.reuseSources = plan.reuseSources();
+  rec.planBytesCovered = plan.planBytesCovered;
+  rec.planShape = plan.shape();
+  for (const query::PlanStep& step : plan.steps) {
+    if (step.kind != query::PlanStep::Kind::ComputeRemainder) {
+      rec.bytesReusedPerSource.push_back(step.bytesCovered);
     }
   }
-
-  if (choice) {
-    rec.overlapUsed = choice->overlap;
-    const std::uint64_t projBytes =
-        sem_->reusedOutputBytes(*choice->cachedPred, pred);
-    rec.bytesReused += projBytes;
-    co_await cpuRun(static_cast<double>(projBytes) *
-                    cfg_.cpuPerOutByteProject);
-    for (auto& part : sem_->remainder(*choice->cachedPred, pred)) {
-      co_await computePart(std::move(part), /*depth=*/1, &rec);
-    }
-  } else {
-    co_await computePart(pred.clone(), /*depth=*/0, &rec);
-  }
+  co_await executePlan(std::move(plan), pred.clone(), /*depth=*/0, &rec);
 
   // Cache the result (skip exact duplicates of an existing blob).
   std::optional<datastore::BlobId> blob;

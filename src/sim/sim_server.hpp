@@ -2,12 +2,14 @@
 // in virtual time on a modeled SMP.
 //
 // Everything that decides *what* happens is the real code — the scheduling
-// graph, ranking policies, Data Store residency, page-cache residency,
-// reuse/remainder decomposition all run exactly as in the threaded server.
-// Only *how long* things take is modeled: CPU bursts occupy one of `cpus`
-// processors, page misses queue FCFS at one of the modeled disks, and a
-// query blocked on a still-executing dependency holds its thread-pool slot
-// without consuming CPU (the waste FF/CNBF try to avoid).
+// graph, ranking policies, Data Store residency, page-cache residency, and
+// reuse planning (the shared query::Planner produces the same ReusePlans
+// the threaded server executes). Only *how long* things take is modeled:
+// CPU bursts occupy one of `cpus` processors, page misses queue FCFS at one
+// of the modeled disks, and a query blocked on a still-executing dependency
+// holds its thread-pool slot without consuming CPU (the waste FF/CNBF try
+// to avoid). Plan execution charges modeled costs per step instead of
+// moving bytes; no source-selection logic lives in this file.
 #pragma once
 
 #include <memory>
@@ -20,6 +22,7 @@
 #include "datastore/data_store.hpp"
 #include "metrics/metrics.hpp"
 #include "pagespace/page_cache_core.hpp"
+#include "query/planner.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/app_model.hpp"
 #include "sim/disk_server.hpp"
@@ -69,6 +72,9 @@ struct SimConfig {
   bool cacheSubqueryResults = true;  ///< sub-query results become blobs too
   int maxNestedReuseDepth = 2;       ///< DS reuse inside sub-queries
   bool allowWaitOnExecuting = true;  ///< may block on an executing source
+  /// Reuse-plan projection-step budget (query::PlannerConfig); 1 restores
+  /// the historic single-best-source behaviour.
+  int maxReuseSources = 4;
 
   std::string policy = "FIFO";
   double alpha = 0.2;  ///< CF / COMBINED weight
@@ -119,25 +125,24 @@ class SimServer {
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
  private:
-  struct ReuseChoice {
-    query::PredicatePtr cachedPred;  ///< predicate of the reuse source
-    double overlap = 0.0;
-    std::optional<sched::NodeId> executingNode;  ///< set if we must wait
-  };
-
   Task<void> queryTask(sched::NodeId node, metrics::QueryRecord rec);
-  /// Compute `part` from raw data (with nested DS reuse up to the depth
-  /// limit); accounts I/O + CPU into `rec`.
+  /// Execute a ReusePlan for `pred` (a query or remainder part at nesting
+  /// level `depth`), charging modeled costs per step: project-CPU for
+  /// cached sources, latch wait + project-CPU for executing sources,
+  /// computePart for remainders. Mirrors QueryServer::executePlan.
+  Task<void> executePlan(query::ReusePlan plan, query::PredicatePtr pred,
+                         int depth, metrics::QueryRecord* rec);
+  /// Plan + execute one remainder part (depth >= 1) and optionally cache
+  /// its (simulated) result.
   Task<void> computePart(query::PredicatePtr part, int depth,
                          metrics::QueryRecord* rec);
+  /// Compute `pred` entirely from raw data: fetch + process each chunk of
+  /// the application model's demand. No Data Store interaction.
+  Task<void> computeRaw(query::PredicatePtr pred, metrics::QueryRecord* rec);
   /// Read-through page fetch; `rec` may be null (prefetch accounting).
   Task<void> fetchChunk(storage::PageKey key, std::size_t bytes,
                         metrics::QueryRecord* rec);
   Task<void> cpuRun(double seconds);
-  /// Pick the best reuse source for `node` among DS blobs and executing
-  /// queries (deadlock-avoidance rule applies).
-  std::optional<ReuseChoice> chooseReuse(sched::NodeId node,
-                                         const query::Predicate& pred);
   void onBlobEvicted(datastore::BlobId blob);
   void finishNode(sched::NodeId node, std::optional<datastore::BlobId> blob);
   void pump();
@@ -150,6 +155,7 @@ class SimServer {
   sched::QueryScheduler scheduler_;
   datastore::DataStore ds_;
   pagespace::PageCacheCore psCore_;
+  query::Planner planner_;
   Semaphore cpus_;
   std::vector<std::unique_ptr<FcfsServer>> disks_;        ///< "kstream"
   std::vector<std::unique_ptr<DiskServer>> posDisks_;     ///< positional

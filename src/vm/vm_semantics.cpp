@@ -105,6 +105,19 @@ std::uint64_t VMSemantics::reusedOutputBytes(const query::Predicate& cachedP,
   return static_cast<std::uint64_t>(covered.area() / (z * z)) * 3;
 }
 
+std::vector<query::PredicatePtr> VMSemantics::coveredParts(
+    const query::Predicate& cachedP, const query::Predicate& qP) const {
+  const VMPredicate& q = asVM(qP);
+  const Rect covered = coveredRegion(cachedP, qP);
+  std::vector<query::PredicatePtr> out;
+  if (covered.empty()) return out;
+  // The covered region sits on q's output grid (coveredRegion shrinks to
+  // whole output pixels), so it is itself a valid sub-query of q.
+  out.push_back(
+      std::make_unique<VMPredicate>(q.dataset(), covered, q.zoom(), q.op()));
+  return out;
+}
+
 std::vector<query::PredicatePtr> VMSemantics::remainder(
     const query::Predicate& cachedP, const query::Predicate& qP) const {
   const VMPredicate& q = asVM(qP);

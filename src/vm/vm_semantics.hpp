@@ -42,6 +42,12 @@ class VMSemantics final : public query::QuerySemantics {
   [[nodiscard]] std::vector<query::PredicatePtr> remainder(
       const query::Predicate& cached,
       const query::Predicate& q) const override;
+  /// Remainder-of-region-set support: the covered region as a sub-query
+  /// (a single rectangle on q's output grid), so multi-source plans can
+  /// account coverage and recompute a vanished source's share exactly.
+  [[nodiscard]] std::vector<query::PredicatePtr> coveredParts(
+      const query::Predicate& cached,
+      const query::Predicate& q) const override;
   [[nodiscard]] std::uint64_t reusedOutputBytes(
       const query::Predicate& cached,
       const query::Predicate& q) const override;

@@ -81,6 +81,18 @@ std::uint64_t VolSemantics::reusedOutputBytes(const query::Predicate& cachedP,
   return static_cast<std::uint64_t>(covered.volume() / (l * l * l));
 }
 
+std::vector<query::PredicatePtr> VolSemantics::coveredParts(
+    const query::Predicate& cachedP, const query::Predicate& qP) const {
+  const VolPredicate& q = asVol(qP);
+  const Box3 covered = coveredBox(asVol(cachedP), q);
+  std::vector<query::PredicatePtr> out;
+  if (covered.empty()) return out;
+  // coveredBox shrinks to q's output grid, so it is a valid sub-query.
+  out.push_back(
+      std::make_unique<VolPredicate>(q.dataset(), covered, q.lod(), q.op()));
+  return out;
+}
+
 std::vector<query::PredicatePtr> VolSemantics::remainder(
     const query::Predicate& cachedP, const query::Predicate& qP) const {
   const VolPredicate& q = asVol(qP);

@@ -40,6 +40,11 @@ class VolSemantics final : public query::QuerySemantics {
   [[nodiscard]] std::vector<query::PredicatePtr> remainder(
       const query::Predicate& cached,
       const query::Predicate& q) const override;
+  /// Remainder-of-region-set support: the covered box as a sub-query, for
+  /// multi-source coverage accounting in the reuse planner.
+  [[nodiscard]] std::vector<query::PredicatePtr> coveredParts(
+      const query::Predicate& cached,
+      const query::Predicate& q) const override;
   [[nodiscard]] std::uint64_t reusedOutputBytes(
       const query::Predicate& cached,
       const query::Predicate& q) const override;

@@ -52,6 +52,7 @@ TEST(Check, DcheckActiveMatchesBuildMode) {
     return true;
   };
   MQS_DCHECK(probe());
+  (void)probe;  // otherwise unused in NDEBUG builds (MQS_DCHECK compiles out)
 #ifdef NDEBUG
   EXPECT_EQ(evaluations, 0);  // compiled out in release builds
 #else

@@ -1,0 +1,150 @@
+// Sim-vs-real plan equivalence: the discrete-event engine and the threaded
+// server share one reuse planner, so on the same workload (same seed, one
+// thread, FIFO — a fully deterministic schedule in both engines) every
+// query must produce the *identical* ReusePlan: same shape string, same
+// source count, same per-source marginal bytes. Any inline source-selection
+// logic creeping back into either engine breaks this. The threaded server's
+// bytes are additionally checked against the independent reference
+// renderer, so "same plan" can never mean "same wrong answer".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+
+#include "driver/workload.hpp"
+#include "metrics/metrics.hpp"
+#include "server/query_server.hpp"
+#include "sim/sim_server.hpp"
+#include "sim/simulator.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs {
+namespace {
+
+constexpr std::uint64_t kSeed = 4242;
+
+driver::WorkloadConfig overlapWorkload() {
+  driver::WorkloadConfig wl;
+  wl.datasets = {driver::DatasetSpec{1024, 1024, 96, kSeed}};
+  wl.clientsPerDataset = {4};
+  wl.queriesPerClient = 8;
+  wl.outputSide = 64;
+  wl.zoomLevels = {2, 4};
+  wl.zoomWeights = {1, 1};
+  wl.alignGrid = 8;             // aligned rects → partial overlaps compose
+  wl.browseProbability = 0.7;   // panning clients revisit neighborhoods
+  wl.op = vm::VMOp::Subsample;
+  wl.seed = 0xE0;
+  return wl;
+}
+
+class PlanEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
+  const int maxReuseSources = GetParam();
+  const auto wl = overlapWorkload();
+
+  // --- threaded server, one worker (deterministic FIFO schedule) ---------
+  std::vector<metrics::QueryRecord> realRecords;
+  {
+    vm::VMSemantics sem;
+    const auto workloads = driver::WorkloadGenerator::generate(wl, sem);
+    storage::SyntheticSlideSource slide(sem.layout(0), kSeed);
+    vm::VMExecutor exec(&sem);
+    server::ServerConfig cfg;
+    cfg.threads = 1;
+    cfg.policy = "FIFO";
+    cfg.dsBytes = 2ULL << 20;  // small: eviction churn must match too
+    cfg.psBytes = 1ULL << 20;
+    cfg.maxReuseSources = maxReuseSources;
+    server::QueryServer server(&sem, &exec, cfg);
+    server.attach(0, &slide);
+
+    std::vector<std::future<server::QueryResult>> futures;
+    std::vector<const vm::VMPredicate*> queries;
+    for (const auto& client : workloads) {
+      for (const auto& q : client.queries) {
+        queries.push_back(&q);
+        futures.push_back(server.submit(q.clone(), client.client));
+      }
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const auto result = futures[i].get();
+      const auto& q = *queries[i];
+      const auto got =
+          vm::ImageRGB::fromBytes(result.bytes, q.outWidth(), q.outHeight());
+      EXPECT_EQ(maxAbsDiff(got, renderReference(q, kSeed)), 0)
+          << "query " << i << ": " << q.describe();
+    }
+    server.shutdown();
+    realRecords = server.collector().records();
+  }
+
+  // --- simulated server, same workload, same knobs ------------------------
+  std::vector<metrics::QueryRecord> simRecords;
+  {
+    vm::VMSemantics sem;
+    const auto workloads = driver::WorkloadGenerator::generate(wl, sem);
+    sim::Simulator sim;
+    sim::SimConfig cfg;
+    cfg.threads = 1;
+    cfg.policy = "FIFO";
+    cfg.dsBytes = 2ULL << 20;
+    cfg.psBytes = 1ULL << 20;
+    cfg.maxReuseSources = maxReuseSources;
+    sim::SimServer server(sim, &sem, cfg);
+    for (const auto& client : workloads) {
+      for (const auto& q : client.queries) {
+        server.submit(q.clone(), client.client);
+      }
+    }
+    sim.run();
+    simRecords = server.collector().records();
+  }
+
+  // --- identical plans, query by query ------------------------------------
+  ASSERT_EQ(realRecords.size(), simRecords.size());
+  const auto byId = [](const metrics::QueryRecord& a,
+                       const metrics::QueryRecord& b) {
+    return a.queryId < b.queryId;
+  };
+  std::sort(realRecords.begin(), realRecords.end(), byId);
+  std::sort(simRecords.begin(), simRecords.end(), byId);
+  bool sawReuse = false;
+  for (std::size_t i = 0; i < realRecords.size(); ++i) {
+    const auto& r = realRecords[i];
+    const auto& s = simRecords[i];
+    ASSERT_EQ(r.queryId, s.queryId);
+    EXPECT_EQ(r.predicate, s.predicate);
+    EXPECT_EQ(r.planShape, s.planShape) << "query " << r.predicate;
+    EXPECT_EQ(r.reuseSources, s.reuseSources) << "query " << r.predicate;
+    EXPECT_EQ(r.planBytesCovered, s.planBytesCovered);
+    EXPECT_EQ(r.bytesReusedPerSource, s.bytesReusedPerSource);
+    EXPECT_DOUBLE_EQ(r.overlapUsed, s.overlapUsed);
+    EXPECT_EQ(r.bytesReused, s.bytesReused);
+    sawReuse = sawReuse || r.reuseSources > 0;
+  }
+  // The workload is overlap-rich by construction; a run where no query
+  // reused anything would make this test vacuous.
+  EXPECT_TRUE(sawReuse);
+  if (maxReuseSources > 1) {
+    const auto multi = [](const metrics::QueryRecord& r) {
+      return r.reuseSources > 1;
+    };
+    EXPECT_TRUE(std::any_of(realRecords.begin(), realRecords.end(), multi))
+        << "no query composed multiple sources on the overlap workload";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SourceBudgets, PlanEquivalenceTest,
+                         ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& paramInfo) {
+                           return "maxSources" +
+                                  std::to_string(paramInfo.param);
+                         });
+
+}  // namespace
+}  // namespace mqs

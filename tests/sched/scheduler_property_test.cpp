@@ -177,7 +177,7 @@ TEST_P(SchedulerPropertyTest, FailedRemovesNodeAndReranksNeighbors) {
 
 INSTANTIATE_TEST_SUITE_P(PaperPolicies, SchedulerPropertyTest,
                          ::testing::ValuesIn(paperPolicyNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& paramInfo) { return paramInfo.param; });
 
 }  // namespace
 }  // namespace mqs::sched

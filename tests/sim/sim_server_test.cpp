@@ -303,6 +303,8 @@ TEST_F(SimServerTest, NestedReuseDepthZeroDisablesSubqueryLookups) {
     Simulator sim;
     auto cfg = smallConfig();
     cfg.maxNestedReuseDepth = depth;
+    cfg.maxReuseSources = 1;  // single-source: only a *nested* lookup of the
+                              // remainder can reach the second strip
     cfg.psBytes = 1;  // no page cache: raw remainders must hit the disk
     SimServer srv(sim, &sem, cfg);
     // Two separate cached strips, then one query overlapping both: the

@@ -2,7 +2,7 @@
 //
 //   mqs serve  [--port 0] [--policy CF] [--threads 4] [--datasets 3]
 //              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
-//              [--io-threads 4]
+//              [--io-threads 4] [--reuse-sources 4]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
 //
@@ -12,6 +12,7 @@
 //
 //   mqs experiment [--policy CF] [--threads 4] [--op subsample]
 //                  [--batch] [--ds 64MB] [--ps 32MB] [--full]
+//                  [--reuse-sources 4]
 //       Run the paper's client workload on the deterministic DES and
 //       print the summary row.
 //
@@ -77,6 +78,8 @@ int cmdServe(const Options& opts) {
   cfg.psBytes = opts.getBytes("ps", 32 * MiB);
   cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 4));
   cfg.psIoThreads = static_cast<int>(opts.getInt("io-threads", 4));
+  cfg.maxReuseSources =
+      static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
   vm::VMExecutor executor(&semantics, /*intraQueryThreads=*/1,
                           cfg.prefetchPages);
   server::QueryServer queryServer(&semantics, &executor, cfg);
@@ -143,6 +146,8 @@ int cmdExperiment(const Options& opts) {
   cfg.psBytes = opts.getBytes("ps", full ? 32 * MiB : 2 * MiB);
   cfg.ioModel = opts.getString("io", "kstream");
   cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 0));
+  cfg.maxReuseSources =
+      static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
 
   const auto wl = paperWorkload(opts);
   const bool batch = opts.getBool("batch", false);
