@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "driver/sim_experiment.hpp"
 #include "driver/workload.hpp"
 #include "sim/sim_server.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::bench {
 
@@ -29,6 +33,9 @@ class Context {
     full_ = opts_.getBool("full", false);
     seed_ = static_cast<std::uint64_t>(opts_.getInt("seed", 20020415));
   }
+
+  /// Flushes the machine-readable summary (--json-dir) on the way out.
+  ~Context() { writeJsonSummary(); }
 
   [[nodiscard]] bool full() const { return full_; }
   [[nodiscard]] const Options& options() const { return opts_; }
@@ -92,7 +99,7 @@ class Context {
               << "\n\n";
   }
 
-  void emit(const Table& table) const {
+  void emit(const Table& table) {
     table.print(std::cout);
     std::cout << '\n';
     if (opts_.has("csv-dir")) {
@@ -102,9 +109,65 @@ class Context {
         std::cout << "# wrote " << path << "\n\n";
       }
     }
+    if (opts_.has("json-dir")) emitted_.push_back(table);
+  }
+
+  /// With --trace-out, hand a fresh tracer to the *first* caller (one
+  /// traced run keeps file sizes sane); returns whether the config now
+  /// carries the sink. The caller exports the drained events from the run
+  /// result via writeTraceEvents().
+  [[nodiscard]] bool attachTraceSink(sim::SimConfig& cfg) {
+    if (!opts_.has("trace-out") || traceTaken_) return false;
+    traceTaken_ = true;
+    cfg.traceSink = std::make_shared<trace::Tracer>();
+    return true;
+  }
+
+  void writeTraceEvents(const std::vector<trace::Event>& events) const {
+    const std::string path =
+        opts_.getString("trace-out", name_ + ".trace.json");
+    std::cout << (trace::writeChromeTrace(path, events) ? "# wrote "
+                                                        : "# FAILED to write ")
+              << path << " (" << events.size() << " events)\n\n";
   }
 
  private:
+  /// BENCH_<name>.json: every emitted table plus the run's provenance, so
+  /// scripts/reproduce.sh leaves a machine-readable record per figure.
+  void writeJsonSummary() const {
+    if (!opts_.has("json-dir") || emitted_.empty()) return;
+    const std::string path =
+        opts_.getString("json-dir", ".") + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "# FAILED to write " << path << "\n";
+      return;
+    }
+    os << "{\n  \"bench\": " << trace::jsonQuote(name_)
+       << ",\n  \"seed\": " << seed_
+       << ",\n  \"full\": " << (full_ ? "true" : "false")
+       << ",\n  \"tables\": [";
+    for (std::size_t t = 0; t < emitted_.size(); ++t) {
+      const Table& table = emitted_[t];
+      os << (t == 0 ? "" : ",") << "\n    {\n      \"title\": "
+         << trace::jsonQuote(table.title()) << ",\n      \"columns\": [";
+      for (std::size_t c = 0; c < table.columns().size(); ++c) {
+        os << (c == 0 ? "" : ", ") << trace::jsonQuote(table.columns()[c]);
+      }
+      os << "],\n      \"rows\": [";
+      for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        os << (r == 0 ? "" : ", ") << "[";
+        for (std::size_t c = 0; c < table.rows()[r].size(); ++c) {
+          os << (c == 0 ? "" : ", ") << trace::jsonQuote(table.rows()[r][c]);
+        }
+        os << "]";
+      }
+      os << "]\n    }";
+    }
+    os << "\n  ]\n}\n";
+    std::cout << "# wrote " << path << "\n";
+  }
+
   static std::string sanitize(std::string s) {
     for (char& c : s) {
       if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
@@ -116,6 +179,8 @@ class Context {
   std::string name_;
   bool full_ = false;
   std::uint64_t seed_ = 0;
+  bool traceTaken_ = false;
+  std::vector<Table> emitted_;
 };
 
 inline const char* opName(vm::VMOp op) {

@@ -24,9 +24,14 @@ int main(int argc, char** argv) {
     for (const auto threads : threadCounts) {
       std::vector<double> row;
       for (const auto& policy : sched::paperPolicyNames()) {
-        const auto result = driver::SimExperiment::runInteractive(
-            ctx.workload(op),
-            ctx.server(policy, static_cast<int>(threads), 64 * MiB, 32 * MiB));
+        auto cfg =
+            ctx.server(policy, static_cast<int>(threads), 64 * MiB, 32 * MiB);
+        // --trace-out captures the first (policy, thread-count) run as a
+        // Chrome trace — the per-query lifecycle behind this figure.
+        const bool traced = ctx.attachTraceSink(cfg);
+        const auto result =
+            driver::SimExperiment::runInteractive(ctx.workload(op), cfg);
+        if (traced) ctx.writeTraceEvents(result.traceEvents);
         row.push_back(result.summary.trimmedResponse);
       }
       table.addRow(std::to_string(threads), row);

@@ -26,26 +26,27 @@ echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Label matrix: each suite group must be runnable on its own, so a CI
-# job (or a bug hunt) can target just the fault, soak, fuzz, or planner
-# tests.
-for label in fault soak fuzz planner; do
+# job (or a bug hunt) can target just the fault, soak, fuzz, planner, or
+# trace tests.
+for label in fault soak fuzz planner trace; do
   echo "== label: $label =="
   ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
 done
 
 FAULT_SUITES="faulty_source_test fault_retry_test failure_semantics_test \
   wire_fuzz_test fault_soak_test"
+TRACE_SUITES="trace_invariants_test trace_export_test"
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan+UBSan build (fault suites) =="
+  echo "== ASan+UBSan build (fault + trace suites) =="
   cmake -B build-asan -S . -DMQS_SANITIZE=address,undefined
   # shellcheck disable=SC2086
-  cmake --build build-asan -j --target $FAULT_SUITES
+  cmake --build build-asan -j --target $FAULT_SUITES $TRACE_SUITES
 
   echo "== ASan+UBSan tests =="
   export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
-  for t in $FAULT_SUITES; do
+  for t in $FAULT_SUITES $TRACE_SUITES; do
     echo "--- $t ---"
     "build-asan/tests/$t"
   done
@@ -54,17 +55,18 @@ else
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan build (pagespace + vm + fault suites) =="
+  echo "== TSan build (pagespace + vm + fault + trace suites) =="
   cmake -B build-tsan -S . -DMQS_SANITIZE=thread
   # shellcheck disable=SC2086
   cmake --build build-tsan -j --target \
     page_cache_core_test page_space_manager_test prefetch_pipeline_test \
-    vm_executor_test $FAULT_SUITES
+    vm_executor_test $FAULT_SUITES $TRACE_SUITES
 
   echo "== TSan tests =="
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   for t in page_cache_core_test page_space_manager_test \
-           prefetch_pipeline_test vm_executor_test $FAULT_SUITES; do
+           prefetch_pipeline_test vm_executor_test \
+           $FAULT_SUITES $TRACE_SUITES; do
     echo "--- $t ---"
     "build-tsan/tests/$t"
   done

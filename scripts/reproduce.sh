@@ -14,11 +14,30 @@ echo "== tests =="
 ctest --test-dir build --output-on-failure
 
 echo "== figures and ablations =="
+mkdir -p results
 for b in build/bench/*; do
   [ -x "$b" ] || continue
-  echo "--- $b $SCALE_FLAG ---"
-  "$b" $SCALE_FLAG
+  case "$(basename "$b")" in
+    # google-benchmark binaries reject harness flags; run them bare.
+    micro_sched|micro_substrates|micro_server)
+      echo "--- $b ---"
+      "$b"
+      ;;
+    *)
+      # Each figure harness leaves a machine-readable results/BENCH_<fig>.json
+      # next to its printed tables (see docs/OBSERVABILITY.md).
+      echo "--- $b $SCALE_FLAG --json-dir results ---"
+      "$b" $SCALE_FLAG --json-dir results
+      ;;
+  esac
 done
+
+echo "== tracing-overhead guard =="
+build/bench/micro_server --overhead-guard
+
+echo "== lifecycle trace (fig4, first run) =="
+build/bench/fig4_response_vs_threads --threads 4 --queries 4 \
+  --json-dir results --trace-out results/fig4.trace.json
 
 echo "== examples (smoke) =="
 build/examples/quickstart

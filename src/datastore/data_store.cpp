@@ -124,7 +124,10 @@ void DataStore::eraseLocked(BlobId id, bool countEviction) {
       spatial_.erase(it->second.predicate->boundingBox(), id);
   MQS_DCHECK(erased);
   (void)erased;
-  if (countEviction) ++stats_.evictions;
+  if (countEviction) {
+    ++stats_.evictions;
+    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsEvict);
+  }
   pendingEvictions_.emplace_back(id, std::move(it->second.predicate));
   blobs_.erase(it);
 }
@@ -174,13 +177,17 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
   // bounding boxes, so the spatial pre-filter may never lose a match).
   MQS_DCHECK(bestOverlapLinearLocked(q, minOverlap) == bestOverlap);
 #endif
-  if (!found) return std::nullopt;
+  if (!found) {
+    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsMiss);
+    return std::nullopt;
+  }
   auto it = blobs_.find(bestId);
   lru_.splice(lru_.begin(), lru_, it->second.lruIt);
   ++it->second.uses;
   if (pinMatch) ++it->second.pins;
   ++stats_.hits;
   if (bestOverlap >= 1.0) ++stats_.fullHits;
+  if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsHit);
   return Match{bestId, bestOverlap};
 }
 
@@ -215,6 +222,9 @@ std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
     return a.id > b.id;  // ties toward the newer blob
   });
   if (matches.size() > k) matches.resize(k);
+  if (matches.empty() && tracer_ != nullptr) {
+    tracer_->counter(trace::CounterKind::DsMiss);
+  }
   return matches;
 }
 
@@ -226,6 +236,7 @@ void DataStore::noteReuse(BlobId id, double overlap) {
   ++it->second.uses;
   ++stats_.hits;
   if (overlap >= 1.0) ++stats_.fullHits;
+  if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsHit);
 }
 
 bool DataStore::contains(BlobId id) const {

@@ -27,6 +27,7 @@
 #include "index/rtree.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::datastore {
 
@@ -55,6 +56,11 @@ class DataStore {
   /// back into the data store.
   void setEvictionListener(
       std::function<void(BlobId, const query::Predicate&)> listener);
+
+  /// Attach a lifecycle tracer: reuse hits (lookup hit / noteReuse), empty
+  /// lookups, and evictions emit DS_HIT / DS_MISS / DS_EVICT counters. The
+  /// tracer must outlive the store.
+  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   /// Store a result. `payload` may be empty (simulation mode);
   /// `logicalBytes` is the result's qoutsize and drives the byte budget.
@@ -194,6 +200,8 @@ class DataStore {
   /// impossible. Caller holds the lock.
   bool makeRoom(std::uint64_t need);
   void eraseLocked(BlobId id, bool countEviction);
+
+  trace::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   std::uint64_t capacity_;

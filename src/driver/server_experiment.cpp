@@ -34,6 +34,9 @@ ServerRunResult gather(const server::QueryServer& server) {
   r.summary = metrics::summarize(r.records);
   r.dsStats = server.dataStore().stats();
   r.schedStats = server.scheduler().stats();
+  if (trace::Tracer* tracer = server.tracer()) {
+    r.traceEvents = tracer->drain();
+  }
   return r;
 }
 

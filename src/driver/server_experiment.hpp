@@ -9,6 +9,7 @@
 #include "driver/workload.hpp"
 #include "metrics/metrics.hpp"
 #include "server/query_server.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::driver {
 
@@ -18,6 +19,8 @@ struct ServerRunResult {
   datastore::DataStore::Stats dsStats;
   pagespace::PageSpaceManager::Stats psStats;
   sched::QueryScheduler::Stats schedStats;
+  /// Drained lifecycle trace (empty unless ServerConfig::traceSink is set).
+  std::vector<trace::Event> traceEvents;
 };
 
 class ServerExperiment {

@@ -36,6 +36,9 @@ SimRunResult gather(const sim::Simulator& simr, const sim::SimServer& server) {
   r.schedStats = server.scheduler().stats();
   r.simulatedSeconds = simr.now();
   r.events = simr.processedEvents();
+  if (trace::Tracer* tracer = server.tracer()) {
+    r.traceEvents = tracer->drain();
+  }
   return r;
 }
 

@@ -10,6 +10,7 @@
 #include "metrics/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/sim_server.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::driver {
 
@@ -22,6 +23,9 @@ struct SimRunResult {
   sched::QueryScheduler::Stats schedStats;
   double simulatedSeconds = 0.0;  ///< virtual makespan of the run
   std::uint64_t events = 0;       ///< DES events processed
+  /// Drained lifecycle trace in virtual time (empty unless
+  /// SimConfig::traceSink is set).
+  std::vector<trace::Event> traceEvents;
 };
 
 class SimExperiment {

@@ -12,16 +12,43 @@ thread_local std::uint64_t tlsDeviceBytes = 0;
 thread_local double tlsStallSeconds = 0.0;
 
 /// Adds wall time spent in a blocking wait to the thread's stall counter.
+/// With a tracer active and a current query on this thread, the wait is
+/// also emitted as an IO_STALL span — and the stall is measured from the
+/// span's own begin/end timestamps (the same two clock reads), so a
+/// query's IO_STALL span durations sum to exactly its ioStallTime.
 class StallTimer {
  public:
-  StallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  explicit StallTimer(trace::Tracer* tracer) {
+    if (tracer != nullptr && tracer->enabled()) {
+      if (const auto qid = tracer->currentThreadQuery()) {
+        const double t0 = tracer->beginSpan(*qid, trace::SpanKind::IoStall);
+        if (t0 != trace::Tracer::kDisabledTs) {
+          tracer_ = tracer;
+          queryId_ = *qid;
+          traceT0_ = t0;
+          return;
+        }
+      }
+    }
+    t0_ = std::chrono::steady_clock::now();
+  }
   ~StallTimer() {
+    if (tracer_ != nullptr) {
+      const double t1 = tracer_->endSpan(queryId_, trace::SpanKind::IoStall);
+      if (t1 != trace::Tracer::kDisabledTs) {
+        tlsStallSeconds += t1 - traceT0_;
+      }
+      return;
+    }
     tlsStallSeconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
             .count();
   }
 
  private:
+  trace::Tracer* tracer_ = nullptr;
+  std::uint64_t queryId_ = 0;
+  double traceT0_ = 0.0;
   std::chrono::steady_clock::time_point t0_;
 };
 
@@ -91,6 +118,9 @@ std::uint64_t PageSpaceManager::consumeClaimLocked(const storage::PageKey& key,
       ++prefetchHits_;
     } else {
       ++prefetchWasted_;
+      if (tracer_ != nullptr) {
+        tracer_->counter(trace::CounterKind::PrefetchWasted);
+      }
     }
     c.issued = false;
   }
@@ -132,6 +162,7 @@ void PageSpaceManager::performRead(const storage::PageKey& key,
     bytesRead_ += n;
     for (const auto& victim : core_.insert(key, n)) {
       resident_.erase(victim);
+      if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsEvict);
     }
     if (core_.contains(key)) {
       resident_[key] = page;
@@ -191,8 +222,10 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
       auto it = resident_.find(key);
       MQS_DCHECK(it != resident_.end());
       tlsDeviceBytes += consumeClaimLocked(key, /*served=*/true);
+      if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsHit);
       return it->second;
     }
+    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsMiss);
     auto inIt = inflight_.find(key);
     if (inIt != inflight_.end()) {
       // Another thread (query or I/O pool) is already reading this page:
@@ -218,7 +251,7 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
     // keeps the always-consume-one-claim contract.
     const std::size_t n = source->pageBytes(key.page);
     {
-      StallTimer stall;
+      StallTimer stall(tracer_);
       performRead(key, source, *promise, /*viaPrefetch=*/false);
     }
     const ReadResult& r = future.get();
@@ -229,7 +262,7 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
 
   ReadResult r;
   {
-    StallTimer stall;
+    StallTimer stall(tracer_);
     r = future.get();
   }
   if (r.error != ReadResult::Error::None) {
@@ -274,6 +307,9 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
     promise = std::make_shared<std::promise<ReadResult>>();
     inflight_.emplace(key, promise->get_future().share());
     ++prefetchIssued_;
+    if (tracer_ != nullptr) {
+      tracer_->counter(trace::CounterKind::PrefetchIssued);
+    }
     c.issued = true;
   }
   const bool queued = io_->submit([this, key, source, promise] {
@@ -298,7 +334,12 @@ void PageSpaceManager::releaseClaim(const storage::PageKey& key) {
   if (it == claims_.end()) return;
   Claim& c = it->second;
   if (--c.count <= 0) {
-    if (c.issued) ++prefetchWasted_;  // issued read never consumed
+    if (c.issued) {
+      ++prefetchWasted_;  // issued read never consumed
+      if (tracer_ != nullptr) {
+        tracer_->counter(trace::CounterKind::PrefetchWasted);
+      }
+    }
     if (c.pinned) core_.unpin(key);
     claims_.erase(it);
   }

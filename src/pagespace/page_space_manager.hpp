@@ -28,6 +28,7 @@
 #include "common/thread_pool.hpp"
 #include "pagespace/page_cache_core.hpp"
 #include "storage/data_source.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::pagespace {
 
@@ -73,6 +74,16 @@ class PageSpaceManager {
   /// Register the raw storage behind a dataset id. Not thread-safe with
   /// concurrent fetches; attach all sources before serving queries.
   void attach(storage::DatasetId dataset, const storage::DataSource* source);
+
+  /// Attach a lifecycle tracer. Residency events emit PS_HIT / PS_MISS /
+  /// PS_EVICT / PREFETCH_ISSUED / PREFETCH_WASTED counters, and a query
+  /// thread blocked on device I/O emits an IO_STALL span attributed to the
+  /// thread's current query (Tracer::QueryScope). While tracing is active
+  /// the per-thread stall accounting reuses the span's own begin/end
+  /// timestamps, so a query's IO_STALL span total equals its recorded
+  /// ioStallTime exactly. The tracer must outlive the manager. Attach
+  /// before serving queries (not thread-safe with concurrent fetches).
+  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   /// Read-through fetch. Blocks the calling query thread on a miss while
   /// the page is read from its data source; concurrent fetches of the same
@@ -165,6 +176,8 @@ class PageSpaceManager {
   /// read) was still available; false means the prefetched copy was lost
   /// and had to be re-read.
   std::uint64_t consumeClaimLocked(const storage::PageKey& key, bool served);
+
+  trace::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   PageCacheCore core_;

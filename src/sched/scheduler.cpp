@@ -50,6 +50,7 @@ NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
   rt_.emplace(n, NodeRt{});
   rerankLocked(n);
   afterEventLocked(n);
+  if (tracer_ != nullptr) tracer_->beginSpan(n, trace::SpanKind::Queued);
   return n;
 }
 
@@ -72,6 +73,9 @@ std::optional<NodeId> QueryScheduler::dequeue() {
     ++executing_;
     ++stats_.dequeued;
     afterEventLocked(top.node);
+    if (tracer_ != nullptr) {
+      tracer_->endSpan(top.node, trace::SpanKind::Queued);
+    }
     return top.node;
   }
   return std::nullopt;

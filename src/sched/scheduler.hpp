@@ -24,6 +24,7 @@
 #include "sched/graph.hpp"
 #include "sched/policy.hpp"
 #include "sched/state.hpp"
+#include "trace/trace.hpp"
 
 namespace mqs::sched {
 
@@ -116,6 +117,11 @@ class QueryScheduler {
 
   [[nodiscard]] const RankingPolicy& policy() const { return *policy_; }
 
+  /// Attach a lifecycle tracer: submit() opens a QUEUED span for the node
+  /// and dequeue() closes it (queue-wait becomes a first-class span). The
+  /// tracer must outlive the scheduler; node ids double as trace query ids.
+  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct HeapEntry {
     double rank = 0.0;
@@ -139,6 +145,8 @@ class QueryScheduler {
   void rerankNeighborsLocked(NodeId n);
   void rerankAllWaitingLocked();
   void afterEventLocked(NodeId n);
+
+  trace::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   SchedulingGraph graph_;

@@ -37,6 +37,19 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
   MQS_CHECK(sem_ != nullptr && exec_ != nullptr);
   MQS_CHECK(cfg_.threads >= 1);
   MQS_CHECK(cfg_.queryDeadlineSec >= 0.0);
+  if (cfg_.traceSink != nullptr) {
+    tracer_ = cfg_.traceSink.get();
+    // All components stamp events with the server's experiment clock, the
+    // same clock behind every QueryRecord timestamp.
+    tracer_->setClock(
+        [](void* ctx) {
+          return static_cast<const QueryServer*>(ctx)->nowSeconds();
+        },
+        this);
+    scheduler_.setTracer(tracer_);
+    ds_.setTracer(tracer_);
+    ps_.setTracer(tracer_);
+  }
   ds_.setEvictionListener(
       [this](datastore::BlobId id, const query::Predicate&) {
         onBlobEvicted(id);
@@ -146,9 +159,12 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
                                                 const query::Predicate& pred,
                                                 int depth,
                                                 metrics::QueryRecord& rec) {
+  const auto d8 = static_cast<std::uint8_t>(depth);
   // Raw fast path: a plan without projection steps is a single
   // ComputeRemainder step covering `pred` — run the executor directly.
   if (!plan.hasReuse()) {
+    trace::SpanScope compute(tracer_, rec.queryId, trace::SpanKind::Compute,
+                             d8);
     return exec_->execute(pred, ps_);
   }
 
@@ -157,6 +173,10 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
   for (query::PlanStep& step : plan.steps) {
     switch (step.kind) {
       case query::PlanStep::Kind::ProjectFromCached: {
+        trace::SpanScope project(tracer_, rec.queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered,
+                                 trace::kFlagCachedSource);
         // The planner pinned the blob (pinSources), so it is still
         // resident; release the pin as soon as the projection is done.
         exec_->project(*step.sourcePred, ds_.payload(step.blob), pred, out);
@@ -166,11 +186,22 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
         break;
       }
       case query::PlanStep::Kind::WaitAndProjectFromExecuting: {
+        // The PROJECT span covers the whole step — including the fallback
+        // compute below — so a query's depth-0 PROJECT count always equals
+        // its recorded reuseSources, even when a source vanished.
+        trace::SpanScope project(tracer_, rec.queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered,
+                                 trace::kFlagExecutingSource);
         // Block on the older executing query's completion latch; the
         // thread-pool slot stays occupied while we wait (§4).
         rec.reusedExecuting = true;
         const double t0 = nowSeconds();
-        doneFutureOf(step.node).wait();
+        {
+          trace::SpanScope wait(tracer_, rec.queryId,
+                                trace::SpanKind::WaitSource, d8);
+          doneFutureOf(step.node).wait();
+        }
         rec.blockedTime += nowSeconds() - t0;
         checkDeadline(rec);
 
@@ -202,6 +233,9 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
         break;
       }
       case query::PlanStep::Kind::ComputeRemainder: {
+        trace::SpanScope compute(tracer_, rec.queryId,
+                                 trace::SpanKind::Compute, d8,
+                                 step.bytesCovered);
         const std::vector<std::byte> sub =
             computePart(*step.pred, depth + 1, rec);
         exec_->project(*step.pred, sub, pred, out);
@@ -217,8 +251,11 @@ std::vector<std::byte> QueryServer::computePart(const query::Predicate& part,
                                                 metrics::QueryRecord& rec) {
   // Remainder parts never wait on executing queries (no graph node, and
   // blocking inside a nested computation would stack latch waits).
-  query::ReusePlan plan =
-      planner_.plan(part, ds_, nullptr, sched::kInvalidNode, depth);
+  query::ReusePlan plan = [&] {
+    trace::SpanScope planSpan(tracer_, rec.queryId, trace::SpanKind::Plan,
+                              static_cast<std::uint8_t>(depth));
+    return planner_.plan(part, ds_, nullptr, sched::kInvalidNode, depth);
+  }();
   std::vector<std::byte> out = executePlan(std::move(plan), part, depth, rec);
   if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults) {
     (void)ds_.insert(part.clone(), std::vector<std::byte>(out),
@@ -240,8 +277,10 @@ std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
                                                  metrics::QueryRecord& rec) {
   // All source selection happens in the shared planner; record the plan's
   // accounting, then execute its steps.
-  query::ReusePlan plan =
-      planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+  query::ReusePlan plan = [&] {
+    trace::SpanScope planSpan(tracer_, rec.queryId, trace::SpanKind::Plan);
+    return planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+  }();
   rec.overlapUsed = plan.primaryOverlap;
   rec.reuseSources = plan.reuseSources();
   rec.planBytesCovered = plan.planBytesCovered;
@@ -258,6 +297,9 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   metrics::QueryRecord rec = std::move(pq.record);
   rec.startTime = nowSeconds();
   pagespace::PageSpaceManager::resetThreadCounters();
+  // Attribute everything emitted on this thread — including IO_STALL spans
+  // from deep inside the Page Space Manager — to this query.
+  trace::Tracer::QueryScope queryScope(tracer_, node);
 
   const query::PredicatePtr predPtr = scheduler_.predicateOf(node);
   const query::Predicate& pred = *predPtr;
@@ -282,6 +324,11 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   }
   rec.bytesFromDisk = pagespace::PageSpaceManager::threadDeviceBytes();
   rec.ioStallTime = pagespace::PageSpaceManager::threadStallSeconds();
+
+  // The terminal DELIVER span covers result caching, the graph-node
+  // transition, and client delivery; its end event carries the failed flag.
+  trace::SpanScope deliver(tracer_, node, trace::SpanKind::Deliver);
+  if (failed) deliver.setEndFlags(trace::kFlagFailed);
 
   // --- cache the result & transition the graph node --------------------
   if (failed) {
@@ -322,6 +369,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   // signal to adaptive policies.
   if (!failed) scheduler_.reportQueryOutcome(rec.overlapUsed);
 
+  deliver.close();
   rec.finishTime = nowSeconds();
   collector_.add(rec);
   if (failed) {

@@ -36,6 +36,7 @@
 #include "query/executor.hpp"
 #include "query/planner.hpp"
 #include "sched/scheduler.hpp"
+#include "trace/trace.hpp"
 #include "vm/vm_semantics.hpp"
 
 namespace mqs::server {
@@ -79,6 +80,12 @@ struct ServerConfig {
   /// Reuse-plan projection-step budget (query::PlannerConfig); 1 restores
   /// the historic single-best-source behaviour.
   int maxReuseSources = 4;
+  /// Optional query-lifecycle trace sink. When set, the server installs its
+  /// experiment clock on the tracer and every component on the query path
+  /// (scheduler, data store, page space, worker threads) emits span and
+  /// counter events into it; drain with trace::Tracer::drain(). When null
+  /// (the default), tracing costs one pointer test per site.
+  std::shared_ptr<trace::Tracer> traceSink;
 };
 
 struct QueryResult {
@@ -119,6 +126,9 @@ class QueryServer {
 
   /// Seconds since server start (the experiment clock).
   [[nodiscard]] double nowSeconds() const;
+
+  /// The attached trace sink (null when tracing is off).
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
  private:
   struct PendingQuery {
@@ -168,6 +178,7 @@ class QueryServer {
   query::Planner planner_;
   metrics::Collector collector_;
   std::chrono::steady_clock::time_point epoch_;
+  trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
 
   std::mutex mu_;  ///< guards the maps below + dispatch state
   std::condition_variable workAvailable_;

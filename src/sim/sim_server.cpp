@@ -67,6 +67,16 @@ SimServer::SimServer(Simulator& sim, const query::QuerySemantics* semantics,
       [this](datastore::BlobId id, const query::Predicate&) {
         onBlobEvicted(id);
       });
+  if (cfg_.traceSink != nullptr) {
+    tracer_ = cfg_.traceSink.get();
+    // Events are stamped with virtual time — the same clock behind every
+    // simulated QueryRecord timestamp.
+    tracer_->setClock(
+        [](void* ctx) { return static_cast<const Simulator*>(ctx)->now(); },
+        sim_);
+    scheduler_.setTracer(tracer_);
+    ds_.setTracer(tracer_);
+  }
 }
 
 sched::NodeId SimServer::submit(query::PredicatePtr pred, int client) {
@@ -121,7 +131,11 @@ Task<void> SimServer::cpuRun(double seconds) {
 
 Task<void> SimServer::fetchChunk(storage::PageKey key, std::size_t bytes,
                                  metrics::QueryRecord* rec) {
-  if (psCore_.touch(key)) co_return;  // page space hit
+  if (psCore_.touch(key)) {
+    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsHit);
+    co_return;  // page space hit
+  }
+  if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsMiss);
   if (auto it = inflight_.find(key); it != inflight_.end()) {
     ++pageMerges_;
     co_await it->second->wait();
@@ -147,7 +161,10 @@ Task<void> SimServer::fetchChunk(storage::PageKey key, std::size_t bytes,
   }
   bytesRead_ += bytes;
   if (rec != nullptr) rec->bytesFromDisk += bytes;
-  psCore_.insert(key, bytes);
+  for (const auto& victim : psCore_.insert(key, bytes)) {
+    (void)victim;
+    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::PsEvict);
+  }
   t->fire();
   inflight_.erase(key);
 }
@@ -167,10 +184,28 @@ Task<void> SimServer::computeRaw(query::PredicatePtr pred,
          ++j) {
       if (!psCore_.contains(demand[j].page) &&
           !inflight_.contains(demand[j].page)) {
+        if (tracer_ != nullptr) {
+          tracer_->counter(trace::CounterKind::PrefetchIssued);
+        }
         sim_->spawn(fetchChunk(demand[j].page, demand[j].pageBytes, nullptr));
       }
     }
+    // A chunk that is not resident stalls this query on device I/O (or on
+    // a merged in-flight read); bracket the await so the stall is both a
+    // span and the record's ioStallTime — from the same virtual clock, so
+    // a query's IO_STALL span total equals its ioStallTime exactly.
+    const bool resident = psCore_.contains(demand[i].page);
+    const Time stall0 = sim_->now();
+    if (!resident && rec != nullptr && tracer_ != nullptr) {
+      tracer_->beginSpan(rec->queryId, trace::SpanKind::IoStall);
+    }
     co_await fetchChunk(demand[i].page, demand[i].pageBytes, rec);
+    if (!resident && rec != nullptr) {
+      if (tracer_ != nullptr) {
+        tracer_->endSpan(rec->queryId, trace::SpanKind::IoStall);
+      }
+      rec->ioStallTime += sim_->now() - stall0;
+    }
     co_await cpuRun(demand[i].cpuSeconds);
   }
   --ioStreams_;
@@ -179,10 +214,13 @@ Task<void> SimServer::computeRaw(query::PredicatePtr pred,
 Task<void> SimServer::executePlan(query::ReusePlan plan,
                                   query::PredicatePtr pred, int depth,
                                   metrics::QueryRecord* rec) {
+  const auto d8 = static_cast<std::uint8_t>(depth);
   // Raw fast path: a plan without projection steps is a single
   // ComputeRemainder step covering `pred` (mirrors the threaded server's
   // direct-execute path — in particular it does not cache sub-results).
   if (!plan.hasReuse()) {
+    trace::SpanScope compute(tracer_, rec->queryId, trace::SpanKind::Compute,
+                             d8);
     co_await computeRaw(std::move(pred), rec);
     co_return;
   }
@@ -190,6 +228,10 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
   for (query::PlanStep& step : plan.steps) {
     switch (step.kind) {
       case query::PlanStep::Kind::ProjectFromCached: {
+        trace::SpanScope project(tracer_, rec->queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered,
+                                 trace::kFlagCachedSource);
         // The planner runs unpinned here (single-threaded virtual time),
         // so re-check residency: with threads > 1 another query may have
         // evicted the blob while an earlier step waited or ran CPU.
@@ -205,11 +247,22 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
         break;
       }
       case query::PlanStep::Kind::WaitAndProjectFromExecuting: {
+        // The PROJECT span covers the whole step — including the fallback
+        // compute below — so a query's depth-0 PROJECT count always equals
+        // its recorded reuseSources, even when a source vanished.
+        trace::SpanScope project(tracer_, rec->queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered,
+                                 trace::kFlagExecutingSource);
         // Block on the still-executing reuse source. The slot stays
         // occupied — exactly the CPU waste FF/CNBF try to avoid (§4).
         rec->reusedExecuting = true;
         const Time t0 = sim_->now();
-        co_await completionOf(step.node).wait();
+        {
+          trace::SpanScope wait(tracer_, rec->queryId,
+                                trace::SpanKind::WaitSource, d8);
+          co_await completionOf(step.node).wait();
+        }
         rec->blockedTime += sim_->now() - t0;
         const auto it = nodeBlob_.find(step.node);
         if (it != nodeBlob_.end() && ds_.contains(it->second)) {
@@ -228,6 +281,9 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
         break;
       }
       case query::PlanStep::Kind::ComputeRemainder: {
+        trace::SpanScope compute(tracer_, rec->queryId,
+                                 trace::SpanKind::Compute, d8,
+                                 step.bytesCovered);
         co_await computePart(std::move(step.pred), depth + 1, rec);
         break;
       }
@@ -241,8 +297,11 @@ Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
   // (§2), so they get their own plan — the planner enforces the depth
   // limit and never waits on executing queries for nested parts.
   const std::uint64_t partOutBytes = sem_->qoutsize(*part);
-  query::ReusePlan plan =
-      planner_.plan(*part, ds_, nullptr, sched::kInvalidNode, depth);
+  query::ReusePlan plan = [&] {
+    trace::SpanScope planSpan(tracer_, rec->queryId, trace::SpanKind::Plan,
+                              static_cast<std::uint8_t>(depth));
+    return planner_.plan(*part, ds_, nullptr, sched::kInvalidNode, depth);
+  }();
   co_await executePlan(std::move(plan), part->clone(), depth, rec);
   if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults) {
     (void)ds_.insert(std::move(part), {}, partOutBytes);
@@ -253,6 +312,9 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
   const query::PredicatePtr predPtr = scheduler_.predicateOf(node);
   const query::Predicate& pred = *predPtr;
 
+  // The PLAN span covers the modeled planning overhead plus the real
+  // planner call (both are "planning" in the lifecycle vocabulary).
+  trace::SpanScope planSpan(tracer_, node, trace::SpanKind::Plan);
   co_await cpuRun(cfg_.planningOverheadSec);
 
   // All source selection happens in the shared planner; record the plan's
@@ -268,7 +330,14 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
       rec.bytesReusedPerSource.push_back(step.bytesCovered);
     }
   }
+  planSpan.close();
   co_await executePlan(std::move(plan), pred.clone(), /*depth=*/0, &rec);
+
+  // The terminal DELIVER span covers result caching, the graph-node
+  // transition, and completion delivery (same vocabulary as the threaded
+  // server; the simulator has no failure path, so it never carries the
+  // failed flag).
+  trace::SpanScope deliver(tracer_, node, trace::SpanKind::Deliver);
 
   // Cache the result (skip exact duplicates of an existing blob).
   std::optional<datastore::BlobId> blob;
@@ -287,6 +356,7 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
       std::min(1.0, static_cast<double>(queued) /
                         static_cast<double>(cfg_.threads)));
 
+  deliver.close();
   rec.finishTime = sim_->now();
   collector_.add(rec);
   --active_;

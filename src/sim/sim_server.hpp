@@ -29,6 +29,7 @@
 #include "sim/primitives.hpp"
 #include "sim/simulator.hpp"
 #include "storage/disk_model.hpp"
+#include "trace/trace.hpp"
 #include "vm/vm_semantics.hpp"
 
 namespace mqs::sim {
@@ -79,6 +80,12 @@ struct SimConfig {
   std::string policy = "FIFO";
   double alpha = 0.2;  ///< CF / COMBINED weight
   bool incrementalRanking = true;
+
+  /// Optional query-lifecycle trace sink. The simulator stamps events with
+  /// *virtual* time but emits the identical span vocabulary as the threaded
+  /// QueryServer (the sim-vs-real trace equivalence test's currency). Null
+  /// (the default) disables tracing.
+  std::shared_ptr<trace::Tracer> traceSink;
 };
 
 class SimServer {
@@ -123,6 +130,9 @@ class SimServer {
   [[nodiscard]] IoStats ioStats() const;
 
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// The attached trace sink (null when tracing is off).
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
  private:
   Task<void> queryTask(sched::NodeId node, metrics::QueryRecord rec);
@@ -174,6 +184,7 @@ class SimServer {
   int ioStreams_ = 0;
   std::uint64_t pageMerges_ = 0;
   std::uint64_t bytesRead_ = 0;
+  trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
   metrics::Collector collector_;
 };
 

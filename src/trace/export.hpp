@@ -1,0 +1,59 @@
+// Trace and metrics exporters.
+//
+// Two consumer-facing formats:
+//
+//  * Chrome trace_event JSON (catapult format) — load the file in
+//    chrome://tracing or https://ui.perfetto.dev. Query spans are emitted
+//    as async events ("b"/"e", id = query id) so a span that starts on the
+//    submitting thread and ends on a worker renders as one track; counters
+//    are emitted as cumulative "C" events. Output is byte-stable for a
+//    fixed event stream (fixed-point timestamps, deterministic ordering),
+//    which the golden test relies on.
+//
+//  * Flat per-query CSV / JSON over metrics::QueryRecord — one row per
+//    query with the full lifecycle accounting. RFC-4180 quoting (predicates
+//    may contain commas/quotes); the benches and scripts/reproduce.sh
+//    consume the JSON form for machine-readable BENCH_* summaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace mqs::trace {
+
+/// Write the event stream as Chrome trace_event JSON. Every emitted record
+/// carries the required `ph`, `ts`, `pid`, `tid`, `name` fields; `ts` is in
+/// microseconds with fixed 3-decimal formatting.
+void exportChromeTrace(std::ostream& os, const std::vector<Event>& events);
+
+/// File convenience; returns success.
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<Event>& events);
+
+/// One row per query record, RFC-4180-quoted, with a header row.
+void exportQueryCsv(std::ostream& os,
+                    const std::vector<metrics::QueryRecord>& records);
+bool writeQueryCsv(const std::string& path,
+                   const std::vector<metrics::QueryRecord>& records);
+
+/// JSON array of per-query objects (same fields as the CSV columns).
+void exportQueryJson(std::ostream& os,
+                     const std::vector<metrics::QueryRecord>& records);
+
+/// Run-level summary as a JSON object (the BENCH_*.json building block).
+[[nodiscard]] std::string summaryJson(const metrics::Summary& summary);
+
+/// Quote one CSV field per RFC 4180 (quotes doubled; field wrapped in
+/// quotes when it contains a comma, quote, or newline). Exposed for the
+/// exporter fuzz test.
+[[nodiscard]] std::string csvQuote(const std::string& field);
+
+/// Escape a string for embedding in a JSON string literal (quotes added).
+[[nodiscard]] std::string jsonQuote(const std::string& s);
+
+}  // namespace mqs::trace

@@ -1,0 +1,261 @@
+// Query-lifecycle tracing: an always-compiled, low-overhead span/counter
+// stream for both engines.
+//
+// The paper's evaluation (§5) is entirely about *where query time goes* —
+// queue wait vs execution, reuse vs recompute, I/O stalls past the
+// thread-count optimum — so every component on the query path emits typed
+// events into a shared Tracer:
+//
+//   spans (per query, well-nested):
+//     QUEUED       submit -> dispatch (the scheduler's queue wait)
+//     PLAN         reuse planning (query::Planner)
+//     WAIT_SOURCE  blocked on a still-executing reuse source's latch
+//     PROJECT      one reuse-plan projection step (cached or executing)
+//     COMPUTE      one compute-from-raw-data step (plan remainder / raw)
+//     IO_STALL     a query thread blocked on device I/O in the Page Space
+//     DELIVER      result caching + graph transition + delivery (terminal;
+//                  carries the failed flag for FAILED queries)
+//
+//   counters (global, monotonic):
+//     DS_HIT / DS_MISS / DS_EVICT            Data Store reuse events
+//     PS_HIT / PS_MISS / PS_EVICT            Page Space residency events
+//     PREFETCH_ISSUED / PREFETCH_WASTED      readahead pipeline events
+//
+// Cost model: each event is one clock read plus one append into a
+// per-thread single-writer buffer (a plain store into a pre-allocated
+// chunk, published with one release store). With no sink attached — the
+// default — every instrumentation site is a null-pointer test; with a sink
+// attached but disabled it is one relaxed atomic load. The collector
+// (drain()) may run concurrently with writers: chunks are linked with
+// acquire/release pointers and event slots are published by a per-buffer
+// release counter, so no locks ever appear on the hot path.
+//
+// Timestamps come from a caller-installed clock so the discrete-event
+// engine traces in *virtual* seconds and the threaded server in real
+// seconds, while both emit the identical span vocabulary (the sim-vs-real
+// trace equivalence test's currency).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace mqs::trace {
+
+enum class SpanKind : std::uint8_t {
+  Queued = 0,
+  Plan,
+  WaitSource,
+  Project,
+  Compute,
+  IoStall,
+  Deliver,
+};
+
+enum class CounterKind : std::uint8_t {
+  DsHit = 0,
+  DsMiss,
+  DsEvict,
+  PsHit,
+  PsMiss,
+  PsEvict,
+  PrefetchIssued,
+  PrefetchWasted,
+};
+
+[[nodiscard]] std::string_view toString(SpanKind kind);
+[[nodiscard]] std::string_view toString(CounterKind kind);
+
+enum class EventType : std::uint8_t { SpanBegin = 0, SpanEnd, Counter };
+
+/// Event flags (span events).
+inline constexpr std::uint8_t kFlagFailed = 0x1;      ///< DELIVER of a FAILED query
+inline constexpr std::uint8_t kFlagCachedSource = 0x2;     ///< PROJECT from cached
+inline constexpr std::uint8_t kFlagExecutingSource = 0x4;  ///< PROJECT from executing
+
+struct Event {
+  double ts = 0.0;            ///< engine seconds (virtual in the simulator)
+  std::uint64_t queryId = 0;  ///< span events; 0 for counters
+  std::uint64_t value = 0;    ///< bytes covered / counter increment
+  std::uint32_t tid = 0;      ///< per-tracer thread index (drain order)
+  EventType type = EventType::Counter;
+  std::uint8_t kind = 0;   ///< SpanKind or CounterKind
+  std::uint8_t depth = 0;  ///< reuse-plan nesting level (span events)
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] SpanKind spanKind() const {
+    return static_cast<SpanKind>(kind);
+  }
+  [[nodiscard]] CounterKind counterKind() const {
+    return static_cast<CounterKind>(kind);
+  }
+};
+
+class Tracer {
+ public:
+  using ClockFn = double (*)(void*);
+
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install the engine clock. Call before events are emitted (servers do
+  /// this in their constructors); defaults to process-uptime seconds.
+  void setClock(ClockFn fn, void* ctx);
+
+  /// Runtime switch. A disabled tracer keeps every site to one relaxed
+  /// load; the overhead guard in bench/micro_server pins this cost.
+  void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Emit a span-begin for query `queryId`; returns the stamped timestamp
+  /// (NaN if disabled). `value` carries the step's covered bytes for
+  /// PROJECT spans so plan shapes are reconstructible from the stream.
+  double beginSpan(std::uint64_t queryId, SpanKind kind, std::uint8_t depth = 0,
+                   std::uint64_t value = 0, std::uint8_t flags = 0) {
+    if (!enabled()) return kDisabledTs;
+    return emit(EventType::SpanBegin, static_cast<std::uint8_t>(kind), queryId,
+                value, depth, flags);
+  }
+
+  /// Emit a span-end; returns the stamped timestamp (NaN if disabled).
+  double endSpan(std::uint64_t queryId, SpanKind kind, std::uint8_t depth = 0,
+                 std::uint64_t value = 0, std::uint8_t flags = 0) {
+    if (!enabled()) return kDisabledTs;
+    return emit(EventType::SpanEnd, static_cast<std::uint8_t>(kind), queryId,
+                value, depth, flags);
+  }
+
+  /// Emit a counter increment (no query attribution).
+  void counter(CounterKind kind, std::uint64_t value = 1) {
+    if (!enabled()) return;
+    (void)emit(EventType::Counter, static_cast<std::uint8_t>(kind), 0, value,
+               0, 0);
+  }
+
+  /// Snapshot all events published so far, in per-thread emission order
+  /// (buffers concatenated in registration order). Safe concurrently with
+  /// writers; consumed events are not returned again by later drains.
+  [[nodiscard]] std::vector<Event> drain();
+
+  /// Total events published so far (approximate under concurrency).
+  [[nodiscard]] std::uint64_t eventCount() const;
+
+  // --- per-thread current-query attribution -------------------------------
+  // The Page Space Manager emits IO_STALL spans from deep inside fetch(),
+  // where no query id is in scope; the server brackets each query's
+  // execution with a QueryScope so the manager can attribute stalls to the
+  // thread's current query.
+
+  class QueryScope {
+   public:
+    QueryScope(Tracer* tracer, std::uint64_t queryId);
+    ~QueryScope();
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+   private:
+    std::uint64_t savedGen_ = 0;
+    std::uint64_t savedId_ = 0;
+    bool active_ = false;
+  };
+
+  /// The calling thread's current query under this tracer (set by a live
+  /// QueryScope), or nullopt.
+  [[nodiscard]] std::optional<std::uint64_t> currentThreadQuery() const;
+
+  /// Sentinel timestamp returned by begin/endSpan when disabled.
+  static constexpr double kDisabledTs = -1.0;
+
+ private:
+  // Per-thread single-writer buffer: a linked list of fixed-size chunks.
+  // The writer fills slots and publishes them with a release store of the
+  // running count; drain() follows the chunk links with acquire loads and
+  // never observes a half-written slot.
+  static constexpr std::size_t kChunkCapacity = 4096;
+
+  struct Chunk {
+    std::vector<Event> events{kChunkCapacity};
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  struct Buffer {
+    explicit Buffer(std::uint32_t tidIn) : tid(tidIn) {
+      head = std::make_unique<Chunk>();
+      tail = head.get();
+    }
+    std::uint32_t tid;
+    std::unique_ptr<Chunk> head;  ///< owns the chain via ownedChunks
+    Chunk* tail;                  ///< writer-only
+    std::size_t tailUsed = 0;     ///< writer-only slots used in tail
+    std::atomic<std::uint64_t> published{0};  ///< total events, release
+    std::vector<std::unique_ptr<Chunk>> ownedChunks;  ///< overflow chunks
+    // Reader cursor (guarded by the tracer registry mutex).
+    Chunk* readChunk = nullptr;
+    std::size_t readIdx = 0;
+    std::uint64_t consumed = 0;
+  };
+
+  double emit(EventType type, std::uint8_t kind, std::uint64_t queryId,
+              std::uint64_t value, std::uint8_t depth, std::uint8_t flags);
+  Buffer* threadBuffer();
+  Buffer* registerThread();
+
+  std::atomic<bool> enabled_{true};
+  ClockFn clock_;
+  void* clockCtx_ = nullptr;
+  const std::uint64_t gen_;  ///< process-unique id (thread-local cache key)
+
+  mutable std::mutex registryMu_;  ///< guards buffers_ + reader cursors
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: begin on construction, end on destruction (exception-safe —
+/// a throw inside a step still closes its span, so FAILED queries keep a
+/// well-nested trace). No-ops when `tracer` is null or disabled.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, std::uint64_t queryId, SpanKind kind,
+            std::uint8_t depth = 0, std::uint64_t value = 0,
+            std::uint8_t flags = 0)
+      : tracer_(tracer), queryId_(queryId), kind_(kind), depth_(depth),
+        value_(value), flags_(flags) {
+    if (tracer_ != nullptr) {
+      tracer_->beginSpan(queryId_, kind_, depth_, value_, flags_);
+    }
+  }
+  ~SpanScope() { close(); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Mark the end event (e.g. kFlagFailed on a DELIVER span).
+  void setEndFlags(std::uint8_t flags) { flags_ |= flags; }
+
+  /// Close the span now (idempotent).
+  void close() {
+    if (tracer_ != nullptr) {
+      tracer_->endSpan(queryId_, kind_, depth_, value_, flags_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t queryId_;
+  SpanKind kind_;
+  std::uint8_t depth_;
+  std::uint64_t value_;
+  std::uint8_t flags_;
+};
+
+}  // namespace mqs::trace

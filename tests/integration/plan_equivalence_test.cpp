@@ -6,11 +6,18 @@
 // logic creeping back into either engine breaks this. The threaded server's
 // bytes are additionally checked against the independent reference
 // renderer, so "same plan" can never mean "same wrong answer".
+//
+// Both engines run traced, and the per-query plan shape reconstructed from
+// each engine's span stream (trace::planShapeOf, depth-0 PROJECT/COMPUTE
+// spans in the planShape vocabulary) must equal the recorded planShape AND
+// match across engines — the trace is a third, independent witness of the
+// shared planner's decisions.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <future>
 #include <map>
+#include <memory>
 
 #include "driver/workload.hpp"
 #include "metrics/metrics.hpp"
@@ -18,6 +25,8 @@
 #include "sim/sim_server.hpp"
 #include "sim/simulator.hpp"
 #include "storage/synthetic_source.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
 #include "vm/image.hpp"
 #include "vm/vm_executor.hpp"
 
@@ -49,6 +58,7 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
 
   // --- threaded server, one worker (deterministic FIFO schedule) ---------
   std::vector<metrics::QueryRecord> realRecords;
+  std::vector<trace::Event> realEvents;
   {
     vm::VMSemantics sem;
     const auto workloads = driver::WorkloadGenerator::generate(wl, sem);
@@ -60,6 +70,7 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
     cfg.dsBytes = 2ULL << 20;  // small: eviction churn must match too
     cfg.psBytes = 1ULL << 20;
     cfg.maxReuseSources = maxReuseSources;
+    cfg.traceSink = std::make_shared<trace::Tracer>();
     server::QueryServer server(&sem, &exec, cfg);
     server.attach(0, &slide);
 
@@ -81,10 +92,12 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
     }
     server.shutdown();
     realRecords = server.collector().records();
+    realEvents = cfg.traceSink->drain();
   }
 
   // --- simulated server, same workload, same knobs ------------------------
   std::vector<metrics::QueryRecord> simRecords;
+  std::vector<trace::Event> simEvents;
   {
     vm::VMSemantics sem;
     const auto workloads = driver::WorkloadGenerator::generate(wl, sem);
@@ -95,6 +108,7 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
     cfg.dsBytes = 2ULL << 20;
     cfg.psBytes = 1ULL << 20;
     cfg.maxReuseSources = maxReuseSources;
+    cfg.traceSink = std::make_shared<trace::Tracer>();
     sim::SimServer server(sim, &sem, cfg);
     for (const auto& client : workloads) {
       for (const auto& q : client.queries) {
@@ -103,6 +117,7 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
     }
     sim.run();
     simRecords = server.collector().records();
+    simEvents = cfg.traceSink->drain();
   }
 
   // --- identical plans, query by query ------------------------------------
@@ -126,6 +141,17 @@ TEST_P(PlanEquivalenceTest, SimAndRealProduceIdenticalPlans) {
     EXPECT_DOUBLE_EQ(r.overlapUsed, s.overlapUsed);
     EXPECT_EQ(r.bytesReused, s.bytesReused);
     sawReuse = sawReuse || r.reuseSources > 0;
+
+    // Trace equivalence: both engines emit the same span vocabulary, so
+    // the plan shape reconstructed from each span stream must equal the
+    // record's planShape and agree across engines.
+    const std::string realTraceShape =
+        trace::planShapeOf(trace::eventsForQuery(realEvents, r.queryId));
+    const std::string simTraceShape =
+        trace::planShapeOf(trace::eventsForQuery(simEvents, s.queryId));
+    EXPECT_EQ(realTraceShape, r.planShape) << "real trace disagrees";
+    EXPECT_EQ(simTraceShape, s.planShape) << "sim trace disagrees";
+    EXPECT_EQ(realTraceShape, simTraceShape);
   }
   // The workload is overlap-rich by construction; a run where no query
   // reused anything would make this test vacuous.

@@ -70,6 +70,27 @@ TEST_P(RandomDifferentialTest, EveryResultMatchesTheReference) {
         << policy << " query " << i << ": " << q.describe();
   }
   server.shutdown();
+
+  // Metrics consistency over the same random workload: the reuse
+  // accounting must agree with itself on every record, under every policy
+  // and schedule. `bytesReusedPerSource` holds the top-level plan's
+  // marginal bytes per projection step, so it must sum to
+  // `planBytesCovered`. Realized reuse (`bytesReused`, which also counts
+  // nested sub-plan projections) can exceed the top-level plan but never
+  // the query's output size — every output byte is produced exactly once.
+  const auto records = server.collector().records();
+  ASSERT_EQ(records.size(), futures.size());
+  for (const auto& r : records) {
+    SCOPED_TRACE(policy + " query " + std::to_string(r.queryId) + " " +
+                 r.predicate);
+    std::uint64_t perSourceSum = 0;
+    for (const std::uint64_t b : r.bytesReusedPerSource) perSourceSum += b;
+    EXPECT_EQ(perSourceSum, r.planBytesCovered);
+    EXPECT_EQ(r.bytesReusedPerSource.size(),
+              static_cast<std::size_t>(r.reuseSources));
+    EXPECT_LE(r.bytesReused, r.outputBytes);
+    EXPECT_LE(r.planBytesCovered, r.outputBytes);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

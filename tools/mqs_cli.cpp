@@ -3,8 +3,10 @@
 //   mqs serve  [--port 0] [--policy CF] [--threads 4] [--datasets 3]
 //              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
 //              [--io-threads 4] [--reuse-sources 4]
+//              [--trace-out serve.trace.json]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
+//       --trace-out dumps the lifecycle trace on shutdown.
 //
 //   mqs query  --port P [--dataset 0] [--x 0 --y 0] [--side 1024]
 //              [--zoom 4] [--op subsample|average] [--out img.ppm]
@@ -12,9 +14,12 @@
 //
 //   mqs experiment [--policy CF] [--threads 4] [--op subsample]
 //                  [--batch] [--ds 64MB] [--ps 32MB] [--full]
-//                  [--reuse-sources 4]
+//                  [--reuse-sources 4] [--trace-out run.trace.json]
+//                  [--query-csv queries.csv]
 //       Run the paper's client workload on the deterministic DES and
-//       print the summary row.
+//       print the summary row. --trace-out writes the query-lifecycle
+//       trace as Chrome trace_event JSON (load in ui.perfetto.dev);
+//       --query-csv writes one row of lifecycle accounting per query.
 //
 //   mqs trace-gen --out trace.txt [--seed 42]
 //       Generate the paper workload and save it as a replayable trace.
@@ -29,6 +34,7 @@
 #include "net/net_client.hpp"
 #include "net/net_server.hpp"
 #include "storage/synthetic_source.hpp"
+#include "trace/export.hpp"
 #include "vm/image.hpp"
 #include "vm/vm_executor.hpp"
 
@@ -80,6 +86,9 @@ int cmdServe(const Options& opts) {
   cfg.psIoThreads = static_cast<int>(opts.getInt("io-threads", 4));
   cfg.maxReuseSources =
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
+  if (opts.has("trace-out")) {
+    cfg.traceSink = std::make_shared<trace::Tracer>();
+  }
   vm::VMExecutor executor(&semantics, /*intraQueryThreads=*/1,
                           cfg.prefetchPages);
   server::QueryServer queryServer(&semantics, &executor, cfg);
@@ -104,6 +113,13 @@ int cmdServe(const Options& opts) {
             << summary.reuseRate << "\n";
   netServer.stop();
   queryServer.shutdown();
+  if (cfg.traceSink != nullptr) {
+    const auto path = opts.getString("trace-out", "serve.trace.json");
+    std::cout << (trace::writeChromeTrace(path, cfg.traceSink->drain())
+                      ? "wrote "
+                      : "FAILED to write ")
+              << path << "\n";
+  }
   return 0;
 }
 
@@ -148,12 +164,36 @@ int cmdExperiment(const Options& opts) {
   cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 0));
   cfg.maxReuseSources =
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
+  if (opts.has("trace-out")) {
+    cfg.traceSink = std::make_shared<trace::Tracer>();
+  }
 
   const auto wl = paperWorkload(opts);
   const bool batch = opts.getBool("batch", false);
   const auto result = batch
                           ? driver::SimExperiment::runBatch(wl, cfg)
                           : driver::SimExperiment::runInteractive(wl, cfg);
+
+  if (opts.has("trace-out")) {
+    const auto path = opts.getString("trace-out", "experiment.trace.json");
+    if (trace::writeChromeTrace(path, result.traceEvents)) {
+      std::cout << "wrote " << path << " (" << result.traceEvents.size()
+                << " events)\n";
+    } else {
+      std::cerr << "FAILED to write " << path << "\n";
+      return 1;
+    }
+  }
+  if (opts.has("query-csv")) {
+    const auto path = opts.getString("query-csv", "queries.csv");
+    if (trace::writeQueryCsv(path, result.records)) {
+      std::cout << "wrote " << path << " (" << result.records.size()
+                << " queries)\n";
+    } else {
+      std::cerr << "FAILED to write " << path << "\n";
+      return 1;
+    }
+  }
 
   Table table(std::string("experiment — ") + cfg.policy + ", " +
               (batch ? "batch" : "interactive") + ", " +
