@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + full test suite, then the fault/soak/fuzz label
-# matrix, an ASan+UBSan pass over the fault-injection suites, and a
-# ThreadSanitizer build of the concurrency-sensitive suites.
-# Usage: scripts/check.sh [--no-tsan] [--no-asan]
+# Tier-1 gate: static analysis (scripts/lint.sh), build + full test suite,
+# then the static/fault/soak/fuzz label matrix, an ASan+UBSan pass over the
+# fault-injection suites, and a ThreadSanitizer build of the
+# concurrency-sensitive suites.
+# Usage: scripts/check.sh [--lint] [--no-lint] [--no-tsan] [--no-asan]
+#   --lint runs ONLY the static-analysis gate (fast pre-commit loop).
 #   MQS_SOAK_SEED / MQS_SOAK_ITERS tune the soak (see tests/integration/
 #   fault_soak_test.cpp); e.g. MQS_SOAK_ITERS=50 scripts/check.sh
 set -euo pipefail
@@ -10,13 +12,29 @@ cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+run_lint=1
+lint_only=0
 for arg in "$@"; do
   case "$arg" in
+    --lint) lint_only=1 ;;
+    --no-lint) run_lint=0 ;;
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [ "$lint_only" = 1 ]; then
+  scripts/lint.sh
+  exit 0
+fi
+
+if [ "$run_lint" = 1 ]; then
+  echo "== static analysis =="
+  scripts/lint.sh
+else
+  echo "== skipping lint =="
+fi
 
 echo "== tier-1 build =="
 cmake -B build -S . -DMQS_WERROR=ON
@@ -26,9 +44,9 @@ echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Label matrix: each suite group must be runnable on its own, so a CI
-# job (or a bug hunt) can target just the fault, soak, fuzz, planner, or
-# trace tests.
-for label in fault soak fuzz planner trace; do
+# job (or a bug hunt) can target just the static, fault, soak, fuzz,
+# planner, or trace tests.
+for label in static fault soak fuzz planner trace; do
   echo "== label: $label =="
   ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
 done
@@ -36,17 +54,21 @@ done
 FAULT_SUITES="faulty_source_test fault_retry_test failure_semantics_test \
   wire_fuzz_test fault_soak_test"
 TRACE_SUITES="trace_invariants_test trace_export_test"
+# The lock-rank checker and the annotated queue run under both sanitizers:
+# their tests exercise the Mutex/CondVar wrappers every subsystem now uses.
+STATIC_SUITES="lock_order_test queue_pool_test"
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan+UBSan build (fault + trace suites) =="
+  echo "== ASan+UBSan build (fault + trace + static suites) =="
   cmake -B build-asan -S . -DMQS_SANITIZE=address,undefined
   # shellcheck disable=SC2086
-  cmake --build build-asan -j --target $FAULT_SUITES $TRACE_SUITES
+  cmake --build build-asan -j --target $FAULT_SUITES $TRACE_SUITES \
+    $STATIC_SUITES
 
   echo "== ASan+UBSan tests =="
   export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
-  for t in $FAULT_SUITES $TRACE_SUITES; do
+  for t in $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES; do
     echo "--- $t ---"
     "build-asan/tests/$t"
   done
@@ -55,18 +77,18 @@ else
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan build (pagespace + vm + fault + trace suites) =="
+  echo "== TSan build (pagespace + vm + fault + trace + static suites) =="
   cmake -B build-tsan -S . -DMQS_SANITIZE=thread
   # shellcheck disable=SC2086
   cmake --build build-tsan -j --target \
     page_cache_core_test page_space_manager_test prefetch_pipeline_test \
-    vm_executor_test $FAULT_SUITES $TRACE_SUITES
+    vm_executor_test $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES
 
   echo "== TSan tests =="
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   for t in page_cache_core_test page_space_manager_test \
            prefetch_pipeline_test vm_executor_test \
-           $FAULT_SUITES $TRACE_SUITES; do
+           $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES; do
     echo "--- $t ---"
     "build-tsan/tests/$t"
   done

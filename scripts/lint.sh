@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Static-analysis gate: project lint rules (always) + clang-tidy (when the
+# tool is installed). CI runs this as its own job; scripts/check.sh runs it
+# before the build.
+#
+# Usage: scripts/lint.sh [--all] [--no-tidy]
+#   --all      clang-tidy the whole tree (default: only files that differ
+#              from the merge base with origin/main, falling back to HEAD)
+#   --no-tidy  skip clang-tidy even if installed (custom rules still run)
+#
+# clang-tidy results are cached per (file content, .clang-tidy content) in
+# .cache/clang-tidy/, so a warm run fits the ~5 minute lint budget even
+# with --all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+tidy_all=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) tidy_all=1 ;;
+    --no-tidy) run_tidy=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== custom lint rules =="
+python3 scripts/lint_rules.py --repo .
+
+if [ "$run_tidy" = 0 ]; then
+  echo "== clang-tidy skipped (--no-tidy) =="
+  echo "== lint OK =="
+  exit 0
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy not installed; skipping (custom rules passed) =="
+  echo "== lint OK =="
+  exit 0
+fi
+
+# clang-tidy needs a compilation database.
+if [ ! -f build/compile_commands.json ]; then
+  echo "== generating compile_commands.json =="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ "$tidy_all" = 1 ]; then
+  files=$(git ls-files 'src/**/*.cpp' 'tests/**/*.cpp' 'bench/**/*.cpp')
+else
+  base=$(git merge-base HEAD origin/main 2>/dev/null || echo HEAD)
+  files=$(git diff --name-only "$base" -- 'src/**/*.cpp' 'tests/**/*.cpp' \
+            'bench/**/*.cpp' | sort -u)
+  if [ -z "$files" ]; then
+    echo "== clang-tidy: no changed sources vs $base =="
+    echo "== lint OK =="
+    exit 0
+  fi
+fi
+
+cache_dir=.cache/clang-tidy
+mkdir -p "$cache_dir"
+config_hash=$(sha256sum .clang-tidy | cut -d' ' -f1)
+
+echo "== clang-tidy ($(echo "$files" | wc -w) file(s)) =="
+status=0
+for f in $files; do
+  [ -f "$f" ] || continue
+  key=$(cat "$f" | sha256sum | cut -d' ' -f1)
+  stamp="$cache_dir/${config_hash:0:16}-${key:0:32}.ok"
+  if [ -f "$stamp" ]; then
+    continue
+  fi
+  echo "--- $f ---"
+  if clang-tidy -p build --quiet "$f"; then
+    touch "$stamp"
+  else
+    status=1
+  fi
+done
+
+if [ "$status" != 0 ]; then
+  echo "== lint FAILED (clang-tidy) ==" >&2
+  exit 1
+fi
+echo "== lint OK =="

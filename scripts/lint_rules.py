@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules (the half of the gate clang-tidy can't do).
+
+Rules
+-----
+R1 naked-sync-primitive
+    src/**/*.{hpp,cpp} must not name raw standard synchronization
+    primitives (std::mutex, std::lock_guard, ...). All locking goes
+    through the annotated wrappers in common/thread_annotations.hpp so
+    the Clang thread-safety analysis and the debug lock-rank checker see
+    every acquisition. Allowlist: the wrapper shim itself and the
+    lock-order checker it is built on.
+
+R2 undated-todo
+    TODO/FIXME markers must carry a date: `TODO(YYYY-MM-DD): ...`.
+    Undated markers rot; a dated one can be flagged as stale.
+
+R3 unregistered-test
+    Every tests/**/*_test.cpp must be registered through an
+    mqs_test(...) call in tests/CMakeLists.txt, and that call must carry
+    a LABELS argument so scripts/check.sh's label matrix covers it.
+
+Usage
+-----
+    lint_rules.py [--repo DIR]     lint the repository (default: cwd's repo)
+    lint_rules.py --self-test      seed one violation per rule into a temp
+                                   tree and assert each is caught
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+NAKED_SYNC_ALLOWLIST = {
+    "src/common/thread_annotations.hpp",
+    "src/common/lock_order.hpp",
+    "src/common/lock_order.cpp",
+}
+
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+TODO_RE = re.compile(r"\b(TODO|FIXME)\b")
+DATED_TODO_RE = re.compile(r"\b(?:TODO|FIXME)\(\d{4}-\d{2}-\d{2}\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    A lexer-grade pass is overkill; this handles //, /* */, "..." and
+    '...' well enough for keyword matching in this codebase.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "dq"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "sq"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # dq / sq
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def check_naked_sync(repo: pathlib.Path) -> list[str]:
+    findings = []
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(repo).as_posix()
+        if rel in NAKED_SYNC_ALLOWLIST:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            m = NAKED_SYNC_RE.search(line)
+            if m:
+                findings.append(
+                    f"{rel}:{lineno}: naked-sync-primitive: use the annotated "
+                    f"wrappers in common/thread_annotations.hpp instead of "
+                    f"{m.group(0)}"
+                )
+    return findings
+
+
+def check_undated_todos(repo: pathlib.Path) -> list[str]:
+    findings = []
+    roots = [repo / "src", repo / "tests", repo / "bench", repo / "scripts"]
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h", ".cc", ".py", ".sh"):
+                continue
+            if path.resolve() == pathlib.Path(__file__).resolve():
+                continue  # this file names the rule's own patterns
+            rel = path.relative_to(repo).as_posix()
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if TODO_RE.search(line) and not DATED_TODO_RE.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: undated-todo: write "
+                        f"TODO(YYYY-MM-DD): so staleness is checkable"
+                    )
+    return findings
+
+
+def check_test_registration(repo: pathlib.Path) -> list[str]:
+    cmake = repo / "tests" / "CMakeLists.txt"
+    if not cmake.is_file():
+        return ["tests/CMakeLists.txt: unregistered-test: file missing"]
+    text = cmake.read_text()
+    # Each mqs_test(...) call, with its full argument list.
+    calls = re.findall(r"mqs_test\s*\(([^)]*)\)", text)
+    registered: dict[str, str] = {}  # source path -> full call args
+    for call in calls:
+        for src in re.findall(r"[\w/]+_test\.cpp", call):
+            registered[src] = call
+    findings = []
+    for path in sorted((repo / "tests").rglob("*_test.cpp")):
+        rel = path.relative_to(repo / "tests").as_posix()
+        call = registered.get(rel)
+        if call is None:
+            findings.append(
+                f"tests/{rel}:1: unregistered-test: add an mqs_test(...) "
+                f"entry in tests/CMakeLists.txt"
+            )
+        elif "LABELS" not in call:
+            findings.append(
+                f"tests/{rel}:1: unregistered-test: its mqs_test(...) entry "
+                f"has no LABELS argument (check.sh's label matrix skips it)"
+            )
+    return findings
+
+
+def lint(repo: pathlib.Path) -> list[str]:
+    return (
+        check_naked_sync(repo)
+        + check_undated_todos(repo)
+        + check_test_registration(repo)
+    )
+
+
+def self_test() -> int:
+    """Seed one violation per rule and assert the linter catches each."""
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="mqs-lint-selftest-") as tmp:
+        repo = pathlib.Path(tmp)
+        (repo / "src" / "common").mkdir(parents=True)
+        (repo / "tests" / "scratch").mkdir(parents=True)
+
+        # R1: a naked std::mutex in a scratch source file; the same token in
+        # a comment or string must NOT fire.
+        (repo / "src" / "scratch.cpp").write_text(
+            "// std::mutex in a comment is fine\n"
+            'const char* s = "std::mutex in a string is fine";\n'
+            "std::mutex naked;  // line 3: the real violation\n"
+        )
+        # R2: an undated TODO (and a dated one that must pass).
+        (repo / "src" / "todo.hpp").write_text(
+            "// TODO(2026-08-06): dated, fine\n"
+            "// TODO: undated, line 2 must fire\n"
+        )
+        # R3: a test source with no mqs_test entry, plus one registered
+        # without LABELS.
+        (repo / "tests" / "scratch" / "orphan_test.cpp").write_text("int x;\n")
+        (repo / "tests" / "scratch" / "bare_test.cpp").write_text("int y;\n")
+        (repo / "tests" / "CMakeLists.txt").write_text(
+            "mqs_test(bare_test scratch/bare_test.cpp)\n"
+        )
+
+        findings = lint(repo)
+        expectations = [
+            ("src/scratch.cpp:3", "naked-sync-primitive"),
+            ("src/todo.hpp:2", "undated-todo"),
+            ("tests/scratch/orphan_test.cpp", "unregistered-test"),
+            ("tests/scratch/bare_test.cpp", "no LABELS"),
+        ]
+        for prefix, tag in expectations:
+            if not any(prefix in f and tag in f for f in findings):
+                failures.append(f"missed seeded violation: {prefix} ({tag})")
+        for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1"):
+            if any(banned in f for f in findings):
+                failures.append(f"false positive on clean line: {banned}")
+        if len(findings) != len(expectations):
+            failures.append(
+                f"expected {len(expectations)} findings, got {len(findings)}: "
+                f"{findings}"
+            )
+    if failures:
+        print("lint_rules.py self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("lint_rules.py self-test OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint(args.repo)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_rules.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

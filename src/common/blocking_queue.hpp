@@ -1,34 +1,44 @@
 // A closable MPMC blocking queue used by the threaded runtime.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
+
 namespace mqs {
 
-/// Unbounded multi-producer multi-consumer queue. After close(), pushes are
-/// rejected and pops drain the remaining items, then return std::nullopt.
+/// Unbounded multi-producer multi-consumer queue.
+///
+/// Closed-state contract (asserted by queue_pool_test):
+///  * close() is idempotent and may race with any push/pop/tryPop.
+///  * push() after (or concurrent with) close() either enqueues the item —
+///    it won and returns true — or returns false; a false return means the
+///    item was NOT enqueued and will never be popped.
+///  * pop() drains every item whose push returned true, then returns
+///    std::nullopt; it never drops an accepted item and never returns
+///    nullopt while accepted items remain.
+///  * closed() is advisory for racing producers: true means pushes will be
+///    rejected from now on (close() has happened-before the call).
 template <typename T>
 class BlockingQueue {
  public:
-  /// Returns false if the queue is closed.
+  /// Returns false if the queue is closed (the item was not enqueued).
   bool push(T value) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(value));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -37,7 +47,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> tryPop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -46,27 +56,27 @@ class BlockingQueue {
 
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{lockorder::Rank::kBlockingQueue, "BlockingQueue::mu_"};
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mqs

@@ -1,0 +1,66 @@
+#include "common/lock_order.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace mqs::lockorder {
+
+namespace {
+
+struct HeldLock {
+  const void* mu = nullptr;
+  const char* name = "";
+  Rank rank = Rank::kUnranked;
+};
+
+/// The calling thread's currently-held locks, acquisition order. A plain
+/// vector: depth is tiny (the deepest real chain today is three locks).
+thread_local std::vector<HeldLock> tlsHeld;
+
+[[noreturn]] void fail(const char* what, const void* mu, const char* name,
+                       Rank rank) {
+  std::fprintf(stderr,
+               "== mqs lock-order violation: %s ==\n"
+               "attempted acquisition: %s (rank %u, %p)\n"
+               "locks held by this thread (acquisition order):\n",
+               what, name, static_cast<unsigned>(rank),
+               static_cast<const void*>(mu));
+  if (tlsHeld.empty()) {
+    std::fprintf(stderr, "  (none)\n");
+  }
+  for (const HeldLock& h : tlsHeld) {
+    std::fprintf(stderr, "  %s (rank %u, %p)\n", h.name,
+                 static_cast<unsigned>(h.rank), h.mu);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void onAcquire(const void* mu, const char* name, Rank rank) {
+  Rank maxHeld = Rank::kUnranked;
+  for (const HeldLock& h : tlsHeld) {
+    if (h.mu == mu) fail("reentrant acquisition", mu, name, rank);
+    if (h.rank > maxHeld) maxHeld = h.rank;
+  }
+  if (rank != Rank::kUnranked && maxHeld != Rank::kUnranked &&
+      rank <= maxHeld) {
+    fail("rank not above every held lock", mu, name, rank);
+  }
+  tlsHeld.push_back(HeldLock{mu, name, rank});
+}
+
+void onRelease(const void* mu) noexcept {
+  for (auto it = tlsHeld.rbegin(); it != tlsHeld.rend(); ++it) {
+    if (it->mu == mu) {
+      tlsHeld.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t heldCount() noexcept { return tlsHeld.size(); }
+
+}  // namespace mqs::lockorder

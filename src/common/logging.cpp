@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace mqs {
 
 namespace {
 std::atomic<LogLevel> gLevel{LogLevel::Warn};
-std::mutex gMutex;
+// Innermost rank: MQS_LOG must stay usable under any subsystem lock.
+Mutex gMutex{lockorder::Rank::kLogging, "logging::gMutex"};
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -28,7 +30,7 @@ LogLevel logLevel() { return gLevel.load(); }
 namespace detail {
 void logEmit(LogLevel level, const std::string& message) {
   if (level < gLevel.load()) return;
-  std::lock_guard lock(gMutex);
+  MutexLock lock(gMutex);
   std::clog << '[' << levelName(level) << "] " << message << '\n';
 }
 }  // namespace detail

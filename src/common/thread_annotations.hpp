@@ -1,0 +1,136 @@
+// Clang thread-safety annotations + the annotated synchronization
+// primitives every subsystem locks through.
+//
+// The macros expand to Clang's capability attributes so `-Wthread-safety`
+// (the MQS_THREAD_SAFETY build, -Werror in CI) proves at compile time that
+// every GUARDED_BY field is only touched with its mutex held and that
+// every REQUIRES contract is met at each call site. On GCC (and any other
+// compiler) they expand to nothing and the wrappers below behave exactly
+// like std::mutex / std::lock_guard / std::condition_variable.
+//
+// Project rules (enforced by scripts/lint.sh):
+//  * No naked std::mutex / std::condition_variable / std::lock_guard /
+//    std::unique_lock outside this shim — lock through Mutex / MutexLock /
+//    CondVar so both the compile-time analysis and the debug lock-rank
+//    checker (common/lock_order.hpp) see every acquisition.
+//  * Subsystem mutexes are constructed with their rank from
+//    lockorder::Rank; debug builds abort on any out-of-order acquisition.
+//  * Condition-variable waits are explicit while-loops over the predicate
+//    (`while (!pred()) cv_.wait(mu_);`) in a scope where the analysis can
+//    prove the lock is held — no predicate lambdas, whose bodies Clang
+//    analyzes without the lock context.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.hpp"
+
+#if defined(__clang__) && !defined(SWIG)
+#define MQS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MQS_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+/// Type is a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) MQS_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires a capability in its constructor.
+#define SCOPED_CAPABILITY MQS_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read/written with the given mutex held.
+#define GUARDED_BY(x) MQS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) is protected by the given mutex.
+#define PT_GUARDED_BY(x) MQS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function must be called with the given mutex(es) held (the *Locked()
+/// helper contract).
+#define REQUIRES(...) MQS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and returns with them held.
+#define ACQUIRE(...) MQS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex(es).
+#define RELEASE(...) MQS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function may acquire the mutex but must not be entered holding it
+/// (reentrancy guard at call sites the analysis can see).
+#define EXCLUDES(...) MQS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch: function body is exempt from the analysis. Every use
+/// carries a comment saying why the contract holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MQS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mqs {
+
+/// Annotated mutex. Ranked construction opts into the debug lock-order
+/// checker; the default constructor yields an unranked (order-exempt,
+/// still reentrancy-checked) lock for utility code and tests.
+class CAPABILITY("mutex") Mutex {
+ public:
+  constexpr Mutex() noexcept : Mutex(lockorder::Rank::kUnranked, "mutex") {}
+  constexpr Mutex(lockorder::Rank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+#if MQS_LOCK_ORDER
+    // Check + push before blocking: an inversion aborts with both stacks
+    // printed instead of deadlocking against the other thread.
+    lockorder::onAcquire(this, name_, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if MQS_LOCK_ORDER
+    lockorder::onRelease(this);
+#endif
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  [[maybe_unused]] lockorder::Rank rank_;
+  [[maybe_unused]] const char* name_;
+};
+
+/// RAII lock for Mutex (the lock_guard of this codebase). SCOPED_CAPABILITY
+/// tells the analysis the constructor acquires and the destructor releases.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait() REQUIRES the mutex, so every
+/// predicate re-check around it is provably under the right lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and sleeps; the mutex is reacquired before
+  /// returning. Callers loop: `while (!ready_) cv_.wait(mu_);`. The debug
+  /// held-lock stack deliberately keeps `mu` recorded across the wait —
+  /// the thread still logically owns the slot, and a predicate that
+  /// acquires a lower-ranked lock is exactly the bug the checker exists
+  /// to catch.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // ownership stays with the caller's scope
+  }
+
+  void notifyOne() noexcept { cv_.notify_one(); }
+  void notifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mqs

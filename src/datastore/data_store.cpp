@@ -37,7 +37,7 @@ DataStore::DataStore(std::uint64_t capacityBytes,
 
 void DataStore::setEvictionListener(
     std::function<void(BlobId, const query::Predicate&)> listener) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   evictionListener_ = std::move(listener);
 }
 
@@ -47,11 +47,12 @@ std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
   MQS_CHECK(predicate != nullptr);
   // (id, predicate) pairs evicted to make room; listener runs unlocked.
   std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  std::function<void(BlobId, const query::Predicate&)> listener;
   std::optional<BlobId> result;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.inserts;
-    if (logicalBytes > capacity_ || !makeRoom(logicalBytes)) {
+    if (logicalBytes > capacity_ || !makeRoomLocked(logicalBytes)) {
       ++stats_.uncacheable;
     } else {
       const BlobId id = nextId_++;
@@ -67,9 +68,10 @@ std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
       result = id;
     }
     evicted.swap(pendingEvictions_);
+    if (!evicted.empty()) listener = evictionListener_;
   }
   for (auto& [id, pred] : evicted) {
-    if (evictionListener_) evictionListener_(id, *pred);
+    if (listener) listener(id, *pred);
   }
   return result;
 }
@@ -104,7 +106,7 @@ BlobId DataStore::pickVictimLocked() const {
   return best;
 }
 
-bool DataStore::makeRoom(std::uint64_t need) {
+bool DataStore::makeRoomLocked(std::uint64_t need) {
   if (need > capacity_) return false;
   while (resident_ + need > capacity_) {
     const BlobId victim = pickVictimLocked();
@@ -153,7 +155,7 @@ double DataStore::bestOverlapLinearLocked(const query::Predicate& q,
 
 std::optional<DataStore::Match> DataStore::lookupImpl(
     const query::Predicate& q, double minOverlap, bool pinMatch) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   BlobId bestId = 0;
   double bestOverlap = minOverlap;
@@ -194,7 +196,7 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
 std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
                                                     std::size_t k,
                                                     double minOverlap) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   if (k == 0) return {};
   std::vector<Match> matches;
@@ -229,7 +231,7 @@ std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
 }
 
 void DataStore::noteReuse(BlobId id, double overlap) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return;
   lru_.splice(lru_.begin(), lru_, it->second.lruIt);
@@ -240,33 +242,33 @@ void DataStore::noteReuse(BlobId id, double overlap) {
 }
 
 bool DataStore::contains(BlobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.contains(id);
 }
 
 const query::Predicate& DataStore::predicate(BlobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   MQS_CHECK_MSG(it != blobs_.end(), "predicate() of absent blob");
   return *it->second.predicate;
 }
 
 std::span<const std::byte> DataStore::payload(BlobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   MQS_CHECK_MSG(it != blobs_.end(), "payload() of absent blob");
   return it->second.payload;
 }
 
 void DataStore::pin(BlobId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   MQS_CHECK_MSG(it != blobs_.end(), "pin() of absent blob");
   ++it->second.pins;
 }
 
 bool DataStore::tryPin(BlobId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return false;
   ++it->second.pins;
@@ -274,7 +276,7 @@ bool DataStore::tryPin(BlobId id) {
 }
 
 void DataStore::unpin(BlobId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   MQS_CHECK_MSG(it != blobs_.end(), "unpin() of absent blob");
   MQS_CHECK_MSG(it->second.pins > 0, "unbalanced unpin");
@@ -283,33 +285,35 @@ void DataStore::unpin(BlobId id) {
 
 void DataStore::erase(BlobId id) {
   std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  std::function<void(BlobId, const query::Predicate&)> listener;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     eraseLocked(id, /*countEviction=*/false);
     evicted.swap(pendingEvictions_);
+    if (!evicted.empty()) listener = evictionListener_;
   }
   for (auto& [bid, pred] : evicted) {
-    if (evictionListener_) evictionListener_(bid, *pred);
+    if (listener) listener(bid, *pred);
   }
 }
 
 DataStore::Stats DataStore::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::uint64_t DataStore::residentBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return resident_;
 }
 
 std::size_t DataStore::residentBlobs() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.size();
 }
 
 std::size_t DataStore::pinnedBlobs() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [id, blob] : blobs_) {
     if (blob.pins > 0) ++n;

@@ -16,7 +16,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -24,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "index/rtree.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
@@ -185,38 +185,42 @@ class DataStore {
   };
 
   /// Next eviction victim under the configured policy, or kNoVictim.
-  BlobId pickVictimLocked() const;
+  BlobId pickVictimLocked() const REQUIRES(mu_);
 
   std::optional<Match> lookupImpl(const query::Predicate& q,
-                                  double minOverlap, bool pinMatch);
+                                  double minOverlap, bool pinMatch)
+      EXCLUDES(mu_);
 
   /// Debug cross-check for the R-tree candidate path: best overlap by a
-  /// linear scan over every resident blob. Caller holds the lock. Only
-  /// compiled into !NDEBUG builds.
+  /// linear scan over every resident blob. Only compiled into !NDEBUG
+  /// builds.
   [[nodiscard]] double bestOverlapLinearLocked(const query::Predicate& q,
-                                               double minOverlap) const;
+                                               double minOverlap) const
+      REQUIRES(mu_);
 
   /// Evict LRU unpinned blobs until `need` bytes are free; returns false if
-  /// impossible. Caller holds the lock.
-  bool makeRoom(std::uint64_t need);
-  void eraseLocked(BlobId id, bool countEviction);
+  /// impossible.
+  bool makeRoomLocked(std::uint64_t need) REQUIRES(mu_);
+  void eraseLocked(BlobId id, bool countEviction) REQUIRES(mu_);
 
   trace::Tracer* tracer_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::uint64_t capacity_;
-  std::uint64_t resident_ = 0;
-  EvictionPolicy eviction_;
-  const query::QuerySemantics* semantics_;
-  std::function<void(BlobId, const query::Predicate&)> evictionListener_;
-  BlobId nextId_ = 1;
-  std::list<BlobId> lru_;  ///< front = most recent
-  std::unordered_map<BlobId, Blob> blobs_;
-  index::RTree spatial_;   ///< bounding boxes -> blob ids
+  mutable Mutex mu_{lockorder::Rank::kDataStore, "DataStore::mu_"};
+  std::uint64_t capacity_;   ///< immutable after construction
+  std::uint64_t resident_ GUARDED_BY(mu_) = 0;
+  EvictionPolicy eviction_;                  ///< immutable after construction
+  const query::QuerySemantics* semantics_;   ///< immutable after construction
+  std::function<void(BlobId, const query::Predicate&)> evictionListener_
+      GUARDED_BY(mu_);
+  BlobId nextId_ GUARDED_BY(mu_) = 1;
+  std::list<BlobId> lru_ GUARDED_BY(mu_);  ///< front = most recent
+  std::unordered_map<BlobId, Blob> blobs_ GUARDED_BY(mu_);
+  index::RTree spatial_ GUARDED_BY(mu_);   ///< bounding boxes -> blob ids
   /// Evictions performed under the lock, drained and reported to the
   /// listener after unlocking (the listener takes the scheduler lock).
-  std::vector<std::pair<BlobId, query::PredicatePtr>> pendingEvictions_;
-  Stats stats_;
+  std::vector<std::pair<BlobId, query::PredicatePtr>> pendingEvictions_
+      GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mqs::datastore

@@ -8,17 +8,17 @@
 namespace mqs::metrics {
 
 void Collector::add(QueryRecord record) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   records_.push_back(std::move(record));
 }
 
 std::vector<QueryRecord> Collector::records() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 
 std::size_t Collector::count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 

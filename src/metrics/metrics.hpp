@@ -7,9 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mqs::metrics {
 
@@ -67,8 +68,8 @@ class Collector {
   [[nodiscard]] std::size_t count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<QueryRecord> records_;
+  mutable Mutex mu_{lockorder::Rank::kMetrics, "Collector::mu_"};
+  std::vector<QueryRecord> records_ GUARDED_BY(mu_);
 };
 
 /// Run-level summary over a set of query records.

@@ -72,7 +72,7 @@ void NetServer::stop() {
   acceptor_ = {};  // join
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     conns.swap(connections_);
   }
   for (auto& c : conns) {
@@ -141,7 +141,7 @@ void NetServer::serveConnection(int fd) {
     ::shutdown(c->fd, SHUT_WR);
   });
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   connections_.push_back(std::move(conn));
 }
 

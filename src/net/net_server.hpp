@@ -11,10 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/codecs.hpp"
 #include "server/query_server.hpp"
 
@@ -52,8 +52,10 @@ class NetServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Outermost rank: the front-end may never be entered while a deeper
+  /// subsystem lock is held (connection bookkeeping itself nests nothing).
+  Mutex mu_{lockorder::Rank::kNetServer, "NetServer::mu_"};
+  std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
   std::jthread acceptor_;
 };
 

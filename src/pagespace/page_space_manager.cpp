@@ -94,6 +94,7 @@ PageSpaceManager::~PageSpaceManager() {
 void PageSpaceManager::attach(storage::DatasetId dataset,
                               const storage::DataSource* source) {
   MQS_CHECK(source != nullptr);
+  MutexLock lock(mu_);
   sources_[dataset] = source;
 }
 
@@ -152,13 +153,13 @@ void PageSpaceManager::performRead(const storage::PageKey& key,
         if (backoff > 0.0) {
           std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
         }
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++readRetries_;
       }
     }
     page = std::move(buffer);
 
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     bytesRead_ += n;
     for (const auto& victim : core_.insert(key, n)) {
       resident_.erase(victim);
@@ -182,7 +183,7 @@ void PageSpaceManager::performRead(const storage::PageKey& key,
     inflight_.erase(key);
   } catch (...) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++readFailures_;
       inflight_.erase(key);
     }
@@ -217,7 +218,7 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
   std::shared_future<ReadResult> future;
   const storage::DataSource* source = nullptr;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (core_.touch(key)) {
       auto it = resident_.find(key);
       MQS_DCHECK(it != resident_.end());
@@ -269,14 +270,14 @@ PagePtr PageSpaceManager::fetch(const storage::PageKey& key) {
     // The merged read failed: settle the caller's claim as unserved so
     // the failure path consumes exactly one claim, like success does.
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       (void)consumeClaimLocked(key, /*served=*/false);
     }
     throwReadError(r);
   }
   std::uint64_t credit = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     credit = consumeClaimLocked(key, /*served=*/true);
   }
   tlsDeviceBytes += credit;
@@ -288,7 +289,7 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
   std::shared_ptr<std::promise<ReadResult>> promise;
   const storage::DataSource* source = nullptr;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     Claim& c = claims_[key];
     ++c.count;
     // contains() instead of touch(): a hint must not distort hit/miss
@@ -318,7 +319,7 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
   if (!queued) {
     // Pool is shutting down: fail the read so no waiter hangs.
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       inflight_.erase(key);
     }
     promise->set_value(ReadResult{.page = nullptr,
@@ -329,7 +330,7 @@ void PageSpaceManager::prefetch(const storage::PageKey& key) {
 }
 
 void PageSpaceManager::releaseClaim(const storage::PageKey& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = claims_.find(key);
   if (it == claims_.end()) return;
   Claim& c = it->second;
@@ -370,7 +371,7 @@ std::vector<PagePtr> PageSpaceManager::fetchBatch(
 }
 
 PageSpaceManager::Stats PageSpaceManager::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto& c = core_.stats();
   Stats s;
   s.hits = c.hits;
@@ -390,22 +391,22 @@ PageSpaceManager::Stats PageSpaceManager::stats() const {
 }
 
 std::uint64_t PageSpaceManager::capacityBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return core_.capacityBytes();
 }
 
 std::uint64_t PageSpaceManager::residentBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return core_.residentBytes();
 }
 
 std::size_t PageSpaceManager::inflightCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return inflight_.size();
 }
 
 std::size_t PageSpaceManager::claimCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return claims_.size();
 }
 

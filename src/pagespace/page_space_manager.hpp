@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "pagespace/page_cache_core.hpp"
 #include "storage/data_source.hpp"
@@ -71,9 +71,10 @@ class PageSpaceManager {
   PageSpaceManager(const PageSpaceManager&) = delete;
   PageSpaceManager& operator=(const PageSpaceManager&) = delete;
 
-  /// Register the raw storage behind a dataset id. Not thread-safe with
-  /// concurrent fetches; attach all sources before serving queries.
-  void attach(storage::DatasetId dataset, const storage::DataSource* source);
+  /// Register the raw storage behind a dataset id. Attach all sources
+  /// before serving queries; the registration itself is thread-safe.
+  void attach(storage::DatasetId dataset, const storage::DataSource* source)
+      EXCLUDES(mu_);
 
   /// Attach a lifecycle tracer. Residency events emit PS_HIT / PS_MISS /
   /// PS_EVICT / PREFETCH_ISSUED / PREFETCH_WASTED counters, and a query
@@ -92,7 +93,7 @@ class PageSpaceManager {
   /// Failure contract: a fetch that throws still consumes one outstanding
   /// prefetch claim on `key` (settled as unserved), exactly like a
   /// successful fetch — callers balance claims the same way on both paths.
-  PagePtr fetch(const storage::PageKey& key);
+  PagePtr fetch(const storage::PageKey& key) EXCLUDES(mu_);
 
   /// Asynchronous readahead hint: start reading `key` on the I/O pool and
   /// take out a claim on it. Never blocks. Resident and in-flight pages are
@@ -100,12 +101,12 @@ class PageSpaceManager {
   /// later fetch() of the key or a releaseClaim(); claimed pages are pinned
   /// against eviction until then. No-op when the manager was built with
   /// ioThreads == 0 (synchronous mode).
-  void prefetch(const storage::PageKey& key);
+  void prefetch(const storage::PageKey& key) EXCLUDES(mu_);
 
   /// Drop one outstanding prefetch claim without consuming the page. A
   /// claim released before any fetch used the page counts as wasted
   /// readahead. Safe to call for keys without a claim (no-op).
-  void releaseClaim(const storage::PageKey& key);
+  void releaseClaim(const storage::PageKey& key) EXCLUDES(mu_);
 
   /// Blocking batch fetch: issues all misses to the I/O pool so their
   /// device reads overlap, then waits for each page in order. On failure
@@ -114,7 +115,8 @@ class PageSpaceManager {
   /// consumed their claims, the unreached tail is released explicitly; no
   /// in-flight entries or claims leak, and claims held by other queries on
   /// the same keys are never touched.
-  std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys);
+  std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys)
+      EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -164,37 +166,43 @@ class PageSpaceManager {
     std::uint64_t creditBytes = 0;
   };
 
-  const storage::DataSource* sourceFor(storage::DatasetId dataset) const;
+  const storage::DataSource* sourceFor(storage::DatasetId dataset) const
+      REQUIRES(mu_);
   /// Device read + cache insert + promise delivery. Runs on the caller
   /// thread (demand miss) or an I/O pool thread (prefetch). Exceptions are
   /// delivered through the promise; the in-flight entry never leaks.
   void performRead(const storage::PageKey& key,
                    const storage::DataSource* source,
-                   std::promise<ReadResult>& promise, bool viaPrefetch);
+                   std::promise<ReadResult>& promise, bool viaPrefetch)
+      EXCLUDES(mu_);
   /// Consume one claim after a fetch of `key`. Returns the device bytes to
   /// credit the calling thread. `served` = the page (or its in-flight
   /// read) was still available; false means the prefetched copy was lost
   /// and had to be re-read.
-  std::uint64_t consumeClaimLocked(const storage::PageKey& key, bool served);
+  std::uint64_t consumeClaimLocked(const storage::PageKey& key, bool served)
+      REQUIRES(mu_);
 
   trace::Tracer* tracer_ = nullptr;
 
-  mutable std::mutex mu_;
-  PageCacheCore core_;
-  RetryPolicy retry_;
-  std::unordered_map<storage::DatasetId, const storage::DataSource*> sources_;
-  std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash> resident_;
+  mutable Mutex mu_{lockorder::Rank::kPageSpace, "PageSpaceManager::mu_"};
+  PageCacheCore core_ GUARDED_BY(mu_);
+  RetryPolicy retry_;  ///< immutable after construction
+  std::unordered_map<storage::DatasetId, const storage::DataSource*> sources_
+      GUARDED_BY(mu_);
+  std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash> resident_
+      GUARDED_BY(mu_);
   std::unordered_map<storage::PageKey, std::shared_future<ReadResult>,
                      storage::PageKeyHash>
-      inflight_;
-  std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims_;
-  std::uint64_t merged_ = 0;
-  std::uint64_t bytesRead_ = 0;
-  std::uint64_t prefetchIssued_ = 0;
-  std::uint64_t prefetchHits_ = 0;
-  std::uint64_t prefetchWasted_ = 0;
-  std::uint64_t readRetries_ = 0;
-  std::uint64_t readFailures_ = 0;
+      inflight_ GUARDED_BY(mu_);
+  std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims_
+      GUARDED_BY(mu_);
+  std::uint64_t merged_ GUARDED_BY(mu_) = 0;
+  std::uint64_t bytesRead_ GUARDED_BY(mu_) = 0;
+  std::uint64_t prefetchIssued_ GUARDED_BY(mu_) = 0;
+  std::uint64_t prefetchHits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t prefetchWasted_ GUARDED_BY(mu_) = 0;
+  std::uint64_t readRetries_ GUARDED_BY(mu_) = 0;
+  std::uint64_t readFailures_ GUARDED_BY(mu_) = 0;
 
   /// Declared last: destroyed first, joining the I/O workers while the
   /// maps above are still alive for their final bookkeeping.

@@ -43,7 +43,7 @@ void QueryScheduler::afterEventLocked(NodeId n) {
 }
 
 NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const NodeId n = graph_.insert(std::move(predicate));
   ++stats_.submitted;
   ++waiting_;
@@ -55,7 +55,7 @@ NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
 }
 
 std::optional<NodeId> QueryScheduler::dequeue() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   while (!heap_.empty()) {
     const HeapEntry top = heap_.top();
     heap_.pop();
@@ -82,7 +82,7 @@ std::optional<NodeId> QueryScheduler::dequeue() {
 }
 
 void QueryScheduler::completed(NodeId n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MQS_CHECK_MSG(graph_.contains(n), "completed() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
                 "completed() on a non-executing node");
@@ -93,7 +93,7 @@ void QueryScheduler::completed(NodeId n) {
 }
 
 void QueryScheduler::swappedOut(NodeId n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MQS_CHECK_MSG(graph_.contains(n), "swappedOut() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Cached,
                 "swappedOut() on a non-cached node");
@@ -116,7 +116,7 @@ void QueryScheduler::swappedOut(NodeId n) {
 }
 
 void QueryScheduler::failed(NodeId n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MQS_CHECK_MSG(graph_.contains(n), "failed() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
                 "failed() on a non-executing node");
@@ -140,20 +140,20 @@ void QueryScheduler::failed(NodeId n) {
 }
 
 void QueryScheduler::reportQueryOutcome(double achievedOverlap) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   policy_->onQueryOutcome(achievedOverlap);
   if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
 }
 
 void QueryScheduler::reportResourceSignal(double ioCongestion) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   policy_->onResourceSignal(ioCongestion);
   if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
 }
 
 std::vector<QueryScheduler::ReuseSource> QueryScheduler::executingSources(
     NodeId n) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ReuseSource> sources;
   if (!graph_.contains(n)) return sources;
   const auto myIt = rt_.find(n);
@@ -193,7 +193,7 @@ std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestExecutingSource(
 
 std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestReuseSource(
     NodeId n, bool allowExecuting) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!graph_.contains(n)) return std::nullopt;
   const std::uint64_t mySeq = [&] {
     auto it = rt_.find(n);
@@ -224,39 +224,39 @@ std::optional<QueryScheduler::ReuseSource> QueryScheduler::bestReuseSource(
 }
 
 std::optional<QueryState> QueryScheduler::stateOf(NodeId n) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!graph_.contains(n)) return std::nullopt;
   return graph_.state(n);
 }
 
 query::PredicatePtr QueryScheduler::predicateOf(NodeId n) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return graph_.predicate(n).clone();
 }
 
 double QueryScheduler::rankOf(NodeId n) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return policy_->rank(graph_, n);
 }
 
 std::size_t QueryScheduler::waitingCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return waiting_;
 }
 
 std::size_t QueryScheduler::executingCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return executing_;
 }
 
 std::uint64_t QueryScheduler::execSeq(NodeId n) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = rt_.find(n);
   return it == rt_.end() ? 0 : it->second.execSeq;
 }
 
 QueryScheduler::Stats QueryScheduler::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
 #include "sched/graph.hpp"
@@ -112,8 +112,12 @@ class QueryScheduler {
   [[nodiscard]] Stats stats() const;
 
   /// Access to the underlying graph for tests and diagnostics. The caller
-  /// must not use this concurrently with mutating scheduler calls.
-  [[nodiscard]] const SchedulingGraph& graphUnsafe() const { return graph_; }
+  /// must not use this concurrently with mutating scheduler calls (hence
+  /// the analysis opt-out: it returns a guarded member by reference).
+  [[nodiscard]] const SchedulingGraph& graphUnsafe() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return graph_;
+  }
 
   [[nodiscard]] const RankingPolicy& policy() const { return *policy_; }
 
@@ -141,23 +145,24 @@ class QueryScheduler {
     std::uint64_t execSeq = 0;
   };
 
-  void rerankLocked(NodeId n);
-  void rerankNeighborsLocked(NodeId n);
-  void rerankAllWaitingLocked();
-  void afterEventLocked(NodeId n);
+  void rerankLocked(NodeId n) REQUIRES(mu_);
+  void rerankNeighborsLocked(NodeId n) REQUIRES(mu_);
+  void rerankAllWaitingLocked() REQUIRES(mu_);
+  void afterEventLocked(NodeId n) REQUIRES(mu_);
 
   trace::Tracer* tracer_ = nullptr;
 
-  mutable std::mutex mu_;
-  SchedulingGraph graph_;
-  PolicyPtr policy_;
-  bool incremental_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
-  std::unordered_map<NodeId, NodeRt> rt_;
-  std::uint64_t nextExecSeq_ = 1;
-  std::size_t waiting_ = 0;
-  std::size_t executing_ = 0;
-  Stats stats_;
+  mutable Mutex mu_{lockorder::Rank::kScheduler, "QueryScheduler::mu_"};
+  SchedulingGraph graph_ GUARDED_BY(mu_);
+  PolicyPtr policy_;        ///< immutable after construction; rank() is const
+  bool incremental_;        ///< immutable after construction
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_
+      GUARDED_BY(mu_);
+  std::unordered_map<NodeId, NodeRt> rt_ GUARDED_BY(mu_);
+  std::uint64_t nextExecSeq_ GUARDED_BY(mu_) = 1;
+  std::size_t waiting_ GUARDED_BY(mu_) = 0;
+  std::size_t executing_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mqs::sched

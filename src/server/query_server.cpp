@@ -85,7 +85,7 @@ std::future<QueryResult> QueryServer::submit(query::PredicatePtr pred,
   auto future = pq.promise.get_future();
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       pq.promise.set_exception(std::make_exception_ptr(
           std::runtime_error("query server is shutting down")));
@@ -96,7 +96,7 @@ std::future<QueryResult> QueryServer::submit(query::PredicatePtr pred,
     latches_.emplace(node, std::make_shared<DoneLatch>());
     pending_.emplace(node, std::move(pq));
   }
-  workAvailable_.notify_one();
+  workAvailable_.notifyOne();
   return future;
 }
 
@@ -106,11 +106,11 @@ QueryResult QueryServer::execute(query::PredicatePtr pred, int client) {
 
 void QueryServer::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
-  workAvailable_.notify_all();
+  workAvailable_.notifyAll();
   workers_.clear();  // jthread joins
 }
 
@@ -119,10 +119,12 @@ void QueryServer::workerLoop() {
     sched::NodeId node = sched::kInvalidNode;
     PendingQuery pq;
     {
-      std::unique_lock lock(mu_);
-      workAvailable_.wait(lock, [&] {
-        return stopping_ || scheduler_.waitingCount() > 0;
-      });
+      MutexLock lock(mu_);
+      // Explicit while-loop (not a predicate lambda): the thread-safety
+      // analysis cannot see lock state inside a lambda body.
+      while (!stopping_ && scheduler_.waitingCount() == 0) {
+        workAvailable_.wait(mu_);
+      }
       if (scheduler_.waitingCount() == 0) {
         if (stopping_) return;
         continue;
@@ -149,7 +151,7 @@ void QueryServer::checkDeadline(const metrics::QueryRecord& rec) const {
 }
 
 std::shared_future<void> QueryServer::doneFutureOf(sched::NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = latches_.find(node);
   MQS_CHECK_MSG(it != latches_.end(), "no completion latch for node");
   return it->second->future;
@@ -208,7 +210,7 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
         datastore::BlobId blob = 0;
         bool haveBlob = false;
         {
-          std::lock_guard lock(mu_);
+          MutexLock lock(mu_);
           if (auto it = nodeBlob_.find(step.node); it != nodeBlob_.end()) {
             blob = it->second;
             haveBlob = true;
@@ -341,7 +343,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
     std::optional<datastore::BlobId> blob;
     if (rec.overlapUsed < 1.0) blob = cacheResult(pred, out);
     if (blob) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       nodeBlob_[node] = *blob;
       blobNode_[*blob] = node;
     }
@@ -351,7 +353,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
       // node cannot serve reuse, so it leaves the graph at once.
       scheduler_.swappedOut(node);
     } else {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (evictedWhileExecuting_.erase(node) > 0) {
         nodeBlob_.erase(node);
         blobNode_.erase(*blob);
@@ -362,7 +364,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
 
   // --- deliver ----------------------------------------------------------
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     latches_[node]->promise.set_value();
   }
   // A failed query produced no result, so it contributes no reuse-feedback
@@ -381,7 +383,7 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
 }
 
 void QueryServer::onBlobEvicted(datastore::BlobId blob) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = blobNode_.find(blob);
   if (it == blobNode_.end()) return;  // sub-query blob without a graph node
   const sched::NodeId node = it->second;

@@ -17,11 +17,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -30,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "datastore/data_store.hpp"
 #include "metrics/metrics.hpp"
 #include "pagespace/page_space_manager.hpp"
@@ -106,13 +105,14 @@ class QueryServer {
   void attach(storage::DatasetId dataset, const storage::DataSource* source);
 
   /// Enqueue a query; the future resolves when the result is computed.
-  std::future<QueryResult> submit(query::PredicatePtr pred, int client = -1);
+  std::future<QueryResult> submit(query::PredicatePtr pred, int client = -1)
+      EXCLUDES(mu_);
 
   /// Blocking convenience (interactive clients).
   QueryResult execute(query::PredicatePtr pred, int client = -1);
 
   /// Stop accepting queries, finish everything queued, join workers.
-  void shutdown();
+  void shutdown() EXCLUDES(mu_);
 
   [[nodiscard]] const metrics::Collector& collector() const {
     return collector_;
@@ -141,7 +141,7 @@ class QueryServer {
     DoneLatch() : future(promise.get_future().share()) {}
   };
 
-  void workerLoop();
+  void workerLoop() EXCLUDES(mu_);
   void runQuery(sched::NodeId node, PendingQuery pending);
   /// Plan + execute the top-level query (records the plan's accounting in
   /// `rec`); throws whatever application code throws (runQuery converts
@@ -166,8 +166,8 @@ class QueryServer {
   /// deadlines are cooperative — a query already inside the executor is
   /// not preempted.
   void checkDeadline(const metrics::QueryRecord& rec) const;
-  void onBlobEvicted(datastore::BlobId blob);
-  std::shared_future<void> doneFutureOf(sched::NodeId node);
+  void onBlobEvicted(datastore::BlobId blob) EXCLUDES(mu_);
+  std::shared_future<void> doneFutureOf(sched::NodeId node) EXCLUDES(mu_);
 
   const query::QuerySemantics* sem_;
   const query::QueryExecutor* exec_;
@@ -180,14 +180,20 @@ class QueryServer {
   std::chrono::steady_clock::time_point epoch_;
   trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
 
-  std::mutex mu_;  ///< guards the maps below + dispatch state
-  std::condition_variable workAvailable_;
-  std::unordered_map<sched::NodeId, PendingQuery> pending_;
-  std::unordered_map<sched::NodeId, std::shared_ptr<DoneLatch>> latches_;
-  std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_;
-  std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_;
-  std::unordered_set<sched::NodeId> evictedWhileExecuting_;
-  bool stopping_ = false;
+  /// Guards the maps below + dispatch state. Ranked above the scheduler
+  /// lock: workers call scheduler_ methods while holding mu_ (dispatch),
+  /// so mu_ -> scheduler_.mu_ is the only legal nesting order.
+  Mutex mu_{lockorder::Rank::kQueryServer, "QueryServer::mu_"};
+  CondVar workAvailable_;
+  std::unordered_map<sched::NodeId, PendingQuery> pending_ GUARDED_BY(mu_);
+  std::unordered_map<sched::NodeId, std::shared_ptr<DoneLatch>> latches_
+      GUARDED_BY(mu_);
+  std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_
+      GUARDED_BY(mu_);
+  std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_
+      GUARDED_BY(mu_);
+  std::unordered_set<sched::NodeId> evictedWhileExecuting_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 
   std::vector<std::jthread> workers_;
 };

@@ -45,7 +45,7 @@ std::size_t FaultySource::pageBytes(PageId page) const {
 void FaultySource::readPage(PageId page, std::span<std::byte> out) const {
   double spikeSec = 0.0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.reads;
     const std::uint64_t gseq = globalSeq_++;
 
@@ -100,12 +100,12 @@ void FaultySource::readPage(PageId page, std::span<std::byte> out) const {
 }
 
 void FaultySource::clearPermanentFaults() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   permanent_.clear();
 }
 
 FaultySource::Stats FaultySource::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -22,11 +22,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "storage/data_source.hpp"
 
 namespace mqs::storage {
@@ -91,12 +91,14 @@ class FaultySource final : public DataSource {
 
   const DataSource& inner_;
   FaultPlan plan_;
-  std::unordered_set<PageId> permanent_;
 
-  mutable std::mutex mu_;
-  mutable std::unordered_map<PageId, PageState> pages_;
-  mutable std::uint64_t globalSeq_ = 0;
-  mutable Stats stats_;
+  /// Held only for the injection decision; the inner read and the latency
+  /// spike sleep both run unlocked so faults never serialize other pages.
+  mutable Mutex mu_{lockorder::Rank::kStorageFaulty, "FaultySource::mu_"};
+  std::unordered_set<PageId> permanent_ GUARDED_BY(mu_);
+  mutable std::unordered_map<PageId, PageState> pages_ GUARDED_BY(mu_);
+  mutable std::uint64_t globalSeq_ GUARDED_BY(mu_) = 0;
+  mutable Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mqs::storage

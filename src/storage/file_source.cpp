@@ -41,7 +41,7 @@ std::uint64_t FileSource::pageOffset(PageId page) const {
 void FileSource::readPage(PageId page, std::span<std::byte> out) const {
   const std::size_t n = pageBytes(page);
   MQS_CHECK(out.size() >= n);
-  std::lock_guard lock(ioMutex_);
+  MutexLock lock(ioMutex_);
   MQS_CHECK(std::fseek(file_, static_cast<long>(pageOffset(page)), SEEK_SET) ==
             0);
   const std::size_t got = std::fread(out.data(), 1, n, file_);

@@ -7,9 +7,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "index/chunk_layout.hpp"
 #include "storage/data_source.hpp"
 
@@ -42,8 +42,12 @@ class FileSource final : public DataSource {
   std::filesystem::path path_;
   index::ChunkLayout layout_;
   std::vector<std::uint64_t> offsets_;  ///< byte offset of each page
-  mutable std::mutex ioMutex_;
-  std::FILE* file_ = nullptr;
+  /// Serializes the seek+read pair on the one shared FILE handle. The
+  /// pointer itself is set in the constructor and closed in the destructor;
+  /// only the stream it points to needs the lock.
+  mutable Mutex ioMutex_{lockorder::Rank::kStorageFile,
+                         "FileSource::ioMutex_"};
+  std::FILE* file_ PT_GUARDED_BY(ioMutex_) = nullptr;
 };
 
 }  // namespace mqs::storage

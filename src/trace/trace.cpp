@@ -82,7 +82,7 @@ void Tracer::setClock(ClockFn fn, void* ctx) {
 }
 
 Tracer::Buffer* Tracer::registerThread() {
-  std::lock_guard lock(registryMu_);
+  MutexLock lock(registryMu_);
   auto buffer =
       std::make_unique<Buffer>(static_cast<std::uint32_t>(buffers_.size()));
   Buffer* raw = buffer.get();
@@ -114,7 +114,7 @@ double Tracer::emit(EventType type, std::uint8_t kind, std::uint64_t queryId,
       // ownedChunks is writer-and-reader visible metadata; the link that
       // the reader follows is the acquire/release `next` pointer, but the
       // ownership vector itself needs the registry lock.
-      std::lock_guard lock(registryMu_);
+      MutexLock lock(registryMu_);
       buf->ownedChunks.push_back(std::move(chunk));
     }
     buf->tail->next.store(raw, std::memory_order_release);
@@ -136,7 +136,7 @@ double Tracer::emit(EventType type, std::uint8_t kind, std::uint64_t queryId,
 }
 
 std::vector<Event> Tracer::drain() {
-  std::lock_guard lock(registryMu_);
+  MutexLock lock(registryMu_);
   std::vector<Event> out;
   for (const auto& buf : buffers_) {
     const std::uint64_t published =
@@ -156,7 +156,7 @@ std::vector<Event> Tracer::drain() {
 }
 
 std::uint64_t Tracer::eventCount() const {
-  std::lock_guard lock(registryMu_);
+  MutexLock lock(registryMu_);
   std::uint64_t n = 0;
   for (const auto& buf : buffers_) {
     n += buf->published.load(std::memory_order_acquire);

@@ -39,10 +39,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mqs::trace {
 
@@ -216,8 +217,12 @@ class Tracer {
   void* clockCtx_ = nullptr;
   const std::uint64_t gen_;  ///< process-unique id (thread-local cache key)
 
-  mutable std::mutex registryMu_;  ///< guards buffers_ + reader cursors
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  /// Guards buffers_ + every Buffer's reader cursor and ownedChunks (the
+  /// cursor fields live in the nested struct, where an annotation cannot
+  /// name this member; the contract is enforced by review + this comment).
+  mutable Mutex registryMu_{lockorder::Rank::kTraceRegistry,
+                            "Tracer::registryMu_"};
+  std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(registryMu_);
 };
 
 /// RAII span: begin on construction, end on destruction (exception-safe —

@@ -1,0 +1,173 @@
+// Lock-rank checker tests (ctest label `static`).
+//
+// The checker core (lockorder::onAcquire/onRelease/heldCount) is compiled
+// in every build type, so the ordering and reentrancy contracts are tested
+// directly against it; the Mutex-hook integration sections additionally
+// run where the hooks are live (MQS_LOCK_ORDER builds, i.e. !NDEBUG).
+#include "common/lock_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/thread_annotations.hpp"
+
+namespace mqs {
+namespace {
+
+using lockorder::Rank;
+using lockorder::heldCount;
+using lockorder::onAcquire;
+using lockorder::onRelease;
+
+int a, b, c;  // distinct addresses standing in for mutexes
+
+// This binary spawns threads; fork-based "fast" death tests would be
+// unsafe, so run every EXPECT_DEATH through the threadsafe re-exec style.
+class ThreadsafeDeathStyle : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+const auto* const kDeathStyle =
+    ::testing::AddGlobalTestEnvironment(new ThreadsafeDeathStyle);
+
+TEST(LockOrderCore, InOrderAcquisitionPasses) {
+  EXPECT_EQ(heldCount(), 0u);
+  onAcquire(&a, "server", Rank::kQueryServer);
+  onAcquire(&b, "scheduler", Rank::kScheduler);
+  onAcquire(&c, "logging", Rank::kLogging);
+  EXPECT_EQ(heldCount(), 3u);
+  onRelease(&c);
+  onRelease(&b);
+  onRelease(&a);
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+TEST(LockOrderCore, OutOfLifoReleaseIsLegal) {
+  onAcquire(&a, "scheduler", Rank::kScheduler);
+  onAcquire(&b, "datastore", Rank::kDataStore);
+  onRelease(&a);  // release the outer lock first
+  EXPECT_EQ(heldCount(), 1u);
+  // With only the DataStore lock held, a Scheduler-ranked acquisition is
+  // an inversion — but re-acquiring a *fresh* deeper rank is fine.
+  onAcquire(&c, "pagespace", Rank::kPageSpace);
+  onRelease(&c);
+  onRelease(&b);
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+TEST(LockOrderCore, UnrankedLocksAreOrderExempt) {
+  onAcquire(&a, "logging", Rank::kLogging);  // innermost rank
+  onAcquire(&b, "scratch", Rank::kUnranked); // still legal under it
+  onRelease(&b);
+  onRelease(&a);
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+TEST(LockOrderCore, HeldStackIsPerThread) {
+  onAcquire(&a, "scheduler", Rank::kScheduler);
+  std::thread other([] {
+    EXPECT_EQ(heldCount(), 0u);  // the main thread's stack is invisible
+    onAcquire(&b, "server", Rank::kQueryServer);
+    onRelease(&b);
+  });
+  other.join();
+  EXPECT_EQ(heldCount(), 1u);
+  onRelease(&a);
+}
+
+TEST(LockOrderCore, ReleaseOfUntrackedLockIsNoOp) {
+  onRelease(&a);
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+using LockOrderDeathTest = ::testing::Test;
+
+TEST(LockOrderDeathTest, InversionAborts) {
+  EXPECT_DEATH(
+      {
+        onAcquire(&a, "datastore", Rank::kDataStore);
+        onAcquire(&b, "scheduler", Rank::kScheduler);  // inner -> outer
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderDeathTest, EqualRankAborts) {
+  EXPECT_DEATH(
+      {
+        onAcquire(&a, "scheduler-1", Rank::kScheduler);
+        onAcquire(&b, "scheduler-2", Rank::kScheduler);
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderDeathTest, ReentrancyAborts) {
+  EXPECT_DEATH(
+      {
+        onAcquire(&a, "scheduler", Rank::kScheduler);
+        onAcquire(&a, "scheduler", Rank::kScheduler);
+      },
+      "reentrant");
+}
+
+TEST(LockOrderDeathTest, UnrankedReentrancyAborts) {
+  EXPECT_DEATH(
+      {
+        onAcquire(&a, "scratch", Rank::kUnranked);
+        onAcquire(&a, "scratch", Rank::kUnranked);
+      },
+      "reentrant");
+}
+
+// --- Mutex-hook integration (only where the hooks are compiled in) -------
+
+#if MQS_LOCK_ORDER
+
+TEST(LockOrderMutex, AnnotatedMutexDrivesChecker) {
+  Mutex outer{Rank::kQueryServer, "test-outer"};
+  Mutex inner{Rank::kScheduler, "test-inner"};
+  {
+    MutexLock l1(outer);
+    EXPECT_EQ(heldCount(), 1u);
+    MutexLock l2(inner);
+    EXPECT_EQ(heldCount(), 2u);
+  }
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+TEST(LockOrderMutex, CondVarWaitKeepsLockTracked) {
+  Mutex mu{Rank::kBlockingQueue, "test-queue"};
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notifyAll();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    // The wait re-acquired mu_; the held stack must still record it.
+    EXPECT_EQ(heldCount(), 1u);
+  }
+  producer.join();
+  EXPECT_EQ(heldCount(), 0u);
+}
+
+TEST(LockOrderMutexDeathTest, MutexInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex outer{Rank::kQueryServer, "test-outer"};
+        Mutex inner{Rank::kScheduler, "test-inner"};
+        MutexLock l1(inner);
+        MutexLock l2(outer);
+      },
+      "lock-order violation");
+}
+
+#endif  // MQS_LOCK_ORDER
+
+}  // namespace
+}  // namespace mqs

@@ -73,6 +73,75 @@ TEST(BlockingQueue, ManyProducersManyConsumers) {
             static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
 }
 
+// --- closed-state contract (see the header's contract comment) -----------
+
+TEST(BlockingQueueClosedContract, CloseIsIdempotent) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  q.close();  // second close is a no-op, not an error
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueueClosedContract, PushAfterCloseNeverDelivers) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.push(2));
+  // A rejected item must never surface: the queue is empty and drained.
+  EXPECT_FALSE(q.tryPop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Accepted pushes racing with close(): every push that returned true is
+// popped exactly once, every push that returned false is never popped, and
+// consumers terminate (no accepted item is dropped, no rejected item leaks).
+TEST(BlockingQueueClosedContract, ConcurrentCloseAndPushAccounting) {
+  constexpr int kProducers = 4, kPerProducer = 5000, kConsumers = 3;
+  for (int round = 0; round < 8; ++round) {
+    BlockingQueue<int> q;
+    std::atomic<long> acceptedSum{0};
+    std::atomic<long> poppedSum{0};
+    std::atomic<int> acceptedCount{0};
+    std::atomic<int> poppedCount{0};
+    {
+      std::vector<std::jthread> consumers;
+      for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+          while (auto v = q.pop()) {
+            poppedSum += *v;
+            ++poppedCount;
+          }
+        });
+      }
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (int i = 1; i <= kPerProducer; ++i) {
+            if (q.push(p * kPerProducer + i)) {
+              acceptedSum += p * kPerProducer + i;
+              ++acceptedCount;
+            } else {
+              // closed() must agree from now on: close happened-before
+              // this rejection, so later observations stay closed.
+              EXPECT_TRUE(q.closed());
+            }
+          }
+        });
+      }
+      // Close midway through production so both outcomes occur.
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+      q.close();
+    }  // producers, then consumers join (jthread reverse order)
+    EXPECT_EQ(poppedCount.load(), acceptedCount.load());
+    EXPECT_EQ(poppedSum.load(), acceptedSum.load());
+    EXPECT_FALSE(q.pop().has_value());  // drained and closed
+  }
+}
+
 TEST(ThreadPool, ExecutesAllSubmittedTasks) {
   std::atomic<int> count{0};
   {
