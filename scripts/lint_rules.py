@@ -20,6 +20,13 @@ R3 unregistered-test
     mqs_test(...) call in tests/CMakeLists.txt, and that call must carry
     a LABELS argument so scripts/check.sh's label matrix covers it.
 
+R4 unranked-mutex
+    Every Mutex declared under src/ must name an explicit
+    lockorder::Rank in its initializer. An unranked Mutex is invisible
+    to the debug lock-rank checker, so a deadlock it participates in is
+    only caught in production. Allowlist: the wrapper shim itself (it
+    defines the default constructor the rule bans elsewhere).
+
 Usage
 -----
     lint_rules.py [--repo DIR]     lint the repository (default: cwd's repo)
@@ -51,6 +58,15 @@ NAKED_SYNC_RE = re.compile(
 
 TODO_RE = re.compile(r"\b(TODO|FIXME)\b")
 DATED_TODO_RE = re.compile(r"\b(?:TODO|FIXME)\(\d{4}-\d{2}-\d{2}\)")
+
+UNRANKED_MUTEX_ALLOWLIST = {
+    "src/common/thread_annotations.hpp",
+}
+
+# A member/global Mutex declaration: `Mutex name;` or `Mutex name{...};`
+# (initializers may span lines). `\bMutex` cannot match MutexLock, and a
+# reference/pointer parameter has no trailing `;` after the bare name.
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*(\{[^{}]*\})?\s*;")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -184,11 +200,33 @@ def check_test_registration(repo: pathlib.Path) -> list[str]:
     return findings
 
 
+def check_unranked_mutexes(repo: pathlib.Path) -> list[str]:
+    findings = []
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(repo).as_posix()
+        if rel in UNRANKED_MUTEX_ALLOWLIST:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for m in MUTEX_DECL_RE.finditer(code):
+            init = m.group(1) or ""
+            if "lockorder::Rank::" in init:
+                continue
+            lineno = code.count("\n", 0, m.start()) + 1
+            findings.append(
+                f"{rel}:{lineno}: unranked-mutex: give the Mutex an explicit "
+                f"lockorder::Rank so the debug lock-rank checker covers it"
+            )
+    return findings
+
+
 def lint(repo: pathlib.Path) -> list[str]:
     return (
         check_naked_sync(repo)
         + check_undated_todos(repo)
         + check_test_registration(repo)
+        + check_unranked_mutexes(repo)
     )
 
 
@@ -212,6 +250,15 @@ def self_test() -> int:
             "// TODO(2026-08-06): dated, fine\n"
             "// TODO: undated, line 2 must fire\n"
         )
+        # R4: an unranked Mutex member; the ranked one (multi-line
+        # initializer) must NOT fire.
+        (repo / "src" / "ranked.hpp").write_text(
+            "struct S {\n"
+            "  Mutex good_{lockorder::Rank::kMetrics,\n"
+            '              "S::good_"};\n'
+            "  Mutex naked_;  // line 4: the real violation\n"
+            "};\n"
+        )
         # R3: a test source with no mqs_test entry, plus one registered
         # without LABELS.
         (repo / "tests" / "scratch" / "orphan_test.cpp").write_text("int x;\n")
@@ -226,11 +273,13 @@ def self_test() -> int:
             ("src/todo.hpp:2", "undated-todo"),
             ("tests/scratch/orphan_test.cpp", "unregistered-test"),
             ("tests/scratch/bare_test.cpp", "no LABELS"),
+            ("src/ranked.hpp:4", "unranked-mutex"),
         ]
         for prefix, tag in expectations:
             if not any(prefix in f and tag in f for f in findings):
                 failures.append(f"missed seeded violation: {prefix} ({tag})")
-        for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1"):
+        for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1",
+                       "ranked.hpp:2", "ranked.hpp:3"):
             if any(banned in f for f in findings):
                 failures.append(f"false positive on clean line: {banned}")
         if len(findings) != len(expectations):

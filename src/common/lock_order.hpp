@@ -44,12 +44,19 @@ enum class Rank : std::uint16_t {
   kNetServer = 10,      ///< net::NetServer::mu_ (connection registry)
   kQueryServer = 20,    ///< server::QueryServer::mu_ (dispatch state)
   kScheduler = 30,      ///< sched::QueryScheduler::mu_ (graph + heap)
-  kDataStore = 40,      ///< datastore::DataStore::mu_ (blobs + LRU)
-  kPageSpace = 50,      ///< pagespace::PageSpaceManager::mu_ (cache maps)
+  kDataStoreShard = 38, ///< datastore::DataStore shard locks (blobs + LRU).
+                        ///< A thread holds at most ONE shard at a time (the
+                        ///< budget-rebalance slow path releases its home
+                        ///< shard before reclaiming from another).
+  kDataStore = 40,      ///< datastore::DataStore::mu_ (listener registration)
+  kPageSpaceShard = 48, ///< pagespace::PageSpaceManager shard locks (cache
+                        ///< maps). Same one-shard-at-a-time discipline as
+                        ///< kDataStoreShard.
+  kPageSpace = 50,      ///< pagespace::PageSpaceManager::mu_ (source registry)
   kStorageFaulty = 60,  ///< storage::FaultySource::mu_ (injection state)
   kStorageFile = 65,    ///< storage::FileSource::ioMutex_ (FILE* serialization)
   kBlockingQueue = 70,  ///< BlockingQueue<T>::mu_ (thread-pool / net queues)
-  kMetrics = 80,        ///< metrics::Collector::mu_ (record vector)
+  kMetrics = 80,        ///< metrics::Collector slot locks (record vectors)
   kTraceRegistry = 90,  ///< trace::Tracer::registryMu_ (buffer registry)
   kLogging = 100,       ///< logging sink mutex (innermost: log anywhere)
 };

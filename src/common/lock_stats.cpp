@@ -1,0 +1,52 @@
+#include "common/lock_stats.hpp"
+
+#include <atomic>
+#include <cstddef>
+
+namespace mqs::lockstats {
+
+namespace {
+
+// One slot per lockorder::Rank value, indexed by the enum's numeric value.
+// The table is sized past the largest rank (kLogging = 100); out-of-range
+// ranks clamp to the kUnranked slot so a future rank can never write past
+// the array before this table is resized.
+constexpr std::size_t kSlots =
+    static_cast<std::size_t>(lockorder::Rank::kLogging) + 1;
+
+struct Slot {
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> waitNanos{0};
+};
+
+Slot g_slots[kSlots];
+
+std::size_t slotIndex(lockorder::Rank rank) noexcept {
+  const auto i = static_cast<std::size_t>(rank);
+  return i < kSlots ? i : 0;
+}
+
+}  // namespace
+
+void recordContended(lockorder::Rank rank, std::uint64_t waitNanos) noexcept {
+  Slot& s = g_slots[slotIndex(rank)];
+  s.contended.fetch_add(1, std::memory_order_relaxed);
+  s.waitNanos.fetch_add(waitNanos, std::memory_order_relaxed);
+}
+
+Counts countsFor(lockorder::Rank rank) noexcept {
+  const Slot& s = g_slots[slotIndex(rank)];
+  return Counts{s.contended.load(std::memory_order_relaxed),
+                s.waitNanos.load(std::memory_order_relaxed)};
+}
+
+Counts totalCounts() noexcept {
+  Counts total;
+  for (const Slot& s : g_slots) {
+    total.contended += s.contended.load(std::memory_order_relaxed);
+    total.waitNanos += s.waitNanos.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace mqs::lockstats

@@ -1,0 +1,41 @@
+// Lock-contention accounting: per-subsystem counters of contended mutex
+// acquisitions and the wall time spent blocked in them.
+//
+// Mutex::lock() (common/thread_annotations.hpp) first tries the fast
+// uncontended path; only when that fails does it record a contended
+// acquisition and time the blocking lock() call. The uncontended path pays
+// nothing beyond the try_lock it performs anyway, so the counters are
+// always on — contention is observable in every build, which is the whole
+// point of measuring it.
+//
+// Counters are keyed by lockorder::Rank (the subsystem a mutex belongs
+// to); unranked locks aggregate under kUnranked. The tracer exports them
+// as LOCK_WAIT counters (trace::emitLockWaitCounters) and the contention
+// bench reads snapshots directly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/lock_order.hpp"
+
+namespace mqs::lockstats {
+
+/// One subsystem's contention totals since process start (monotonic).
+struct Counts {
+  std::uint64_t contended = 0;  ///< acquisitions that had to block
+  std::uint64_t waitNanos = 0;  ///< wall nanoseconds spent blocked
+};
+
+/// Record one contended acquisition of a lock with rank `rank` that
+/// blocked for `waitNanos` wall nanoseconds. Called by Mutex::lock() on
+/// the slow path only; relaxed atomics, safe from any thread.
+void recordContended(lockorder::Rank rank, std::uint64_t waitNanos) noexcept;
+
+/// Snapshot of one subsystem's totals (relaxed reads; monotonic between
+/// calls, approximate under concurrency).
+[[nodiscard]] Counts countsFor(lockorder::Rank rank) noexcept;
+
+/// Snapshot of the totals summed over every rank.
+[[nodiscard]] Counts totalCounts() noexcept;
+
+}  // namespace mqs::lockstats

@@ -21,10 +21,12 @@
 //    analyzes without the lock context.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
 #include "common/lock_order.hpp"
+#include "common/lock_stats.hpp"
 
 #if defined(__clang__) && !defined(SWIG)
 #define MQS_THREAD_ANNOTATION(x) __attribute__((x))
@@ -75,7 +77,19 @@ class CAPABILITY("mutex") Mutex {
     // printed instead of deadlocking against the other thread.
     lockorder::onAcquire(this, name_, rank_);
 #endif
-    mu_.lock();
+    // Contention accounting (common/lock_stats.hpp): the uncontended path
+    // is the try_lock it would have paid anyway; only a blocked
+    // acquisition reads the clock and touches the per-subsystem counters.
+    if (!mu_.try_lock()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      const auto waited = std::chrono::steady_clock::now() - t0;
+      lockstats::recordContended(
+          rank_, static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         waited)
+                         .count()));
+    }
   }
 
   void unlock() RELEASE() {

@@ -1,11 +1,23 @@
 #include "datastore/data_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 
 #include "common/check.hpp"
 
 namespace mqs::datastore {
+
+namespace {
+/// Attempts to grow a shard's slice before declaring a blob uncacheable.
+/// Bounded because concurrent inserts can consume borrowed budget between
+/// the unlock and the relock.
+constexpr int kMaxBorrowAttempts = 4;
+
+/// Retries of the multi-shard lookup when the winner is evicted between
+/// the scan and the commit (another thread's insert pressure).
+constexpr int kMaxLookupAttempts = 3;
+}  // namespace
 
 EvictionPolicy parseEvictionPolicy(std::string_view name) {
   std::string upper(name);
@@ -30,9 +42,21 @@ std::string_view toString(EvictionPolicy policy) {
 
 DataStore::DataStore(std::uint64_t capacityBytes,
                      const query::QuerySemantics* semantics,
-                     EvictionPolicy eviction)
+                     EvictionPolicy eviction, int shards)
     : capacity_(capacityBytes), eviction_(eviction), semantics_(semantics) {
   MQS_CHECK(semantics_ != nullptr);
+  MQS_CHECK_MSG(shards >= 1 && shards <= kMaxShards,
+                "shard count out of range");
+  const auto n = std::bit_ceil(static_cast<std::size_t>(shards));
+  shardMask_ = n - 1;
+  // Equal slices; the remainder seeds the spare pool so every byte of the
+  // budget is accounted for (sum of slices + spare == capacity).
+  const std::uint64_t slice = capacityBytes / n;
+  spare_.store(capacityBytes - slice * n, std::memory_order_relaxed);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, slice));
+  }
 }
 
 void DataStore::setEvictionListener(
@@ -41,47 +65,127 @@ void DataStore::setEvictionListener(
   evictionListener_ = std::move(listener);
 }
 
+DataStore::Shard& DataStore::shardFor(const query::Predicate& predicate) const {
+  const Rect b = predicate.boundingBox();
+  // Blobs land on shards by their region: spatially distinct results from
+  // concurrent workloads spread across locks, while an identical region
+  // always rehashes to the same shard.
+  std::uint64_t h = 0;
+  const auto mix = [&h](std::int64_t v) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  };
+  mix(b.x0);
+  mix(b.y0);
+  mix(b.x1);
+  mix(b.y1);
+  return *shards_[h & shardMask_];
+}
+
+void DataStore::reportEvictions(
+    std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted) {
+  if (evicted.empty()) return;
+  std::function<void(BlobId, const query::Predicate&)> listener;
+  {
+    MutexLock lock(mu_);
+    listener = evictionListener_;
+  }
+  if (!listener) return;
+  for (auto& [id, pred] : evicted) listener(id, *pred);
+}
+
+std::uint64_t DataStore::takeFromSpare(std::uint64_t want) {
+  std::uint64_t cur = spare_.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    const std::uint64_t take = std::min(cur, want);
+    if (spare_.compare_exchange_weak(cur, cur - take,
+                                     std::memory_order_relaxed)) {
+      return take;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t DataStore::borrowBudget(
+    std::uint64_t want, const Shard& home,
+    std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted) {
+  std::uint64_t got = takeFromSpare(want);
+  for (const auto& sp : shards_) {
+    if (got >= want) break;
+    Shard& t = *sp;
+    if (&t == &home) continue;
+    MutexLock lock(t.mu);
+    // Global pressure: idle headroom alone may not be enough, so evict
+    // policy-order victims from this shard too — the sharded equivalent
+    // of the single store evicting across its whole population.
+    while (t.capacity - t.resident < want - got) {
+      const BlobId victim = pickVictimLocked(t);
+      if (victim == 0) break;
+      eraseLocked(t, victim, /*countEviction=*/true);
+    }
+    const std::uint64_t take = std::min(t.capacity - t.resident, want - got);
+    t.capacity -= take;
+    got += take;
+    for (auto& e : t.pending) evicted.push_back(std::move(e));
+    t.pending.clear();
+  }
+  return got;
+}
+
 std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
                                         std::vector<std::byte> payload,
                                         std::uint64_t logicalBytes) {
   MQS_CHECK(predicate != nullptr);
+  Shard& s = shardFor(*predicate);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
   // (id, predicate) pairs evicted to make room; listener runs unlocked.
   std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
-  std::function<void(BlobId, const query::Predicate&)> listener;
   std::optional<BlobId> result;
-  {
-    MutexLock lock(mu_);
-    ++stats_.inserts;
-    if (logicalBytes > capacity_ || !makeRoomLocked(logicalBytes)) {
-      ++stats_.uncacheable;
-    } else {
-      const BlobId id = nextId_++;
-      Blob blob;
-      blob.predicate = std::move(predicate);
-      blob.payload = std::move(payload);
-      blob.logicalBytes = logicalBytes;
-      lru_.push_front(id);
-      blob.lruIt = lru_.begin();
-      spatial_.insert(blob.predicate->boundingBox(), id);
-      blobs_.emplace(id, std::move(blob));
-      resident_ += logicalBytes;
-      result = id;
+  if (logicalBytes <= capacity_) {
+    for (int attempt = 0; attempt < kMaxBorrowAttempts; ++attempt) {
+      std::uint64_t deficit = 0;
+      {
+        MutexLock lock(s.mu);
+        if (makeRoomLocked(s, logicalBytes)) {
+          const BlobId id = s.nextSeq++ * shards_.size() + s.index + 1;
+          Blob blob;
+          blob.predicate = std::move(predicate);
+          blob.payload = std::move(payload);
+          blob.logicalBytes = logicalBytes;
+          s.lru.push_front(id);
+          blob.lruIt = s.lru.begin();
+          s.spatial.insert(blob.predicate->boundingBox(), id);
+          s.blobs.emplace(id, std::move(blob));
+          s.resident += logicalBytes;
+          result = id;
+        } else {
+          // Everything still resident is pinned; grow the slice instead.
+          deficit = s.resident + logicalBytes - s.capacity;
+        }
+        for (auto& e : s.pending) evicted.push_back(std::move(e));
+        s.pending.clear();
+      }
+      if (result) break;
+      // Slice too small: rebalance without holding the home shard (the
+      // borrow locks other shards, and two kDataStoreShard locks must
+      // never nest).
+      const std::uint64_t got = borrowBudget(deficit, s, evicted);
+      if (got == 0) break;  // every other byte is pinned or in use
+      MutexLock lock(s.mu);
+      s.capacity += got;
     }
-    evicted.swap(pendingEvictions_);
-    if (!evicted.empty()) listener = evictionListener_;
   }
-  for (auto& [id, pred] : evicted) {
-    if (listener) listener(id, *pred);
-  }
+  if (!result) uncacheable_.fetch_add(1, std::memory_order_relaxed);
+  reportEvictions(evicted);
   return result;
 }
 
-BlobId DataStore::pickVictimLocked() const {
+BlobId DataStore::pickVictimLocked(const Shard& s) const {
   constexpr BlobId kNone = 0;
   if (eviction_ == EvictionPolicy::Lru) {
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      const auto bit = blobs_.find(*it);
-      MQS_DCHECK(bit != blobs_.end());
+    for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+      const auto bit = s.blobs.find(*it);
+      MQS_DCHECK(bit != s.blobs.end());
       if (bit->second.pins == 0) return *it;
     }
     return kNone;
@@ -90,9 +194,9 @@ BlobId DataStore::pickVictimLocked() const {
   // walking the recency list from least recent to most recent.
   BlobId best = kNone;
   std::uint64_t bestKey = 0;
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    const auto bit = blobs_.find(*it);
-    MQS_DCHECK(bit != blobs_.end());
+  for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+    const auto bit = s.blobs.find(*it);
+    MQS_DCHECK(bit != s.blobs.end());
     const Blob& blob = bit->second;
     if (blob.pins > 0) continue;
     const std::uint64_t key = eviction_ == EvictionPolicy::Lfu
@@ -106,32 +210,34 @@ BlobId DataStore::pickVictimLocked() const {
   return best;
 }
 
-bool DataStore::makeRoomLocked(std::uint64_t need) {
-  if (need > capacity_) return false;
-  while (resident_ + need > capacity_) {
-    const BlobId victim = pickVictimLocked();
-    if (victim == 0) return false;  // everything pinned
-    eraseLocked(victim, /*countEviction=*/true);
+bool DataStore::makeRoomLocked(Shard& s, std::uint64_t need) {
+  // A blob larger than the whole slice can never fit here: skip straight
+  // to the budget borrow instead of draining the shard for nothing.
+  if (need > s.capacity) return false;
+  while (s.resident + need > s.capacity) {
+    const BlobId victim = pickVictimLocked(s);
+    if (victim == 0) return false;  // everything pinned (or shard empty)
+    eraseLocked(s, victim, /*countEviction=*/true);
   }
   return true;
 }
 
-void DataStore::eraseLocked(BlobId id, bool countEviction) {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return;
+void DataStore::eraseLocked(Shard& s, BlobId id, bool countEviction) {
+  auto it = s.blobs.find(id);
+  if (it == s.blobs.end()) return;
   MQS_CHECK_MSG(it->second.pins == 0, "evicting a pinned blob");
-  resident_ -= it->second.logicalBytes;
-  lru_.erase(it->second.lruIt);
+  s.resident -= it->second.logicalBytes;
+  s.lru.erase(it->second.lruIt);
   const bool erased =
-      spatial_.erase(it->second.predicate->boundingBox(), id);
+      s.spatial.erase(it->second.predicate->boundingBox(), id);
   MQS_DCHECK(erased);
   (void)erased;
   if (countEviction) {
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsEvict);
   }
-  pendingEvictions_.emplace_back(id, std::move(it->second.predicate));
-  blobs_.erase(it);
+  s.pending.emplace_back(id, std::move(it->second.predicate));
+  s.blobs.erase(it);
 }
 
 std::optional<DataStore::Match> DataStore::lookup(const query::Predicate& q,
@@ -144,28 +250,17 @@ std::optional<DataStore::Match> DataStore::lookupAndPin(
   return lookupImpl(q, minOverlap, /*pin=*/true);
 }
 
-double DataStore::bestOverlapLinearLocked(const query::Predicate& q,
-                                          double minOverlap) const {
-  double best = minOverlap;
-  for (const auto& [id, blob] : blobs_) {
-    best = std::max(best, semantics_->overlap(*blob.predicate, q));
-  }
-  return best;
-}
-
-std::optional<DataStore::Match> DataStore::lookupImpl(
-    const query::Predicate& q, double minOverlap, bool pinMatch) {
-  MutexLock lock(mu_);
-  ++stats_.lookups;
+std::optional<DataStore::Match> DataStore::scanShardLocked(
+    const Shard& s, const query::Predicate& q, double minOverlap) const {
   BlobId bestId = 0;
   double bestOverlap = minOverlap;
   bool found = false;
   // Candidate generation goes through the R-tree: overlap needs
   // intersecting bounding boxes, so only spatial matches are scored.
-  spatial_.queryIntersecting(
+  s.spatial.queryIntersecting(
       q.boundingBox(), [&](const Rect&, std::uint64_t id) {
-        const auto it = blobs_.find(id);
-        MQS_DCHECK(it != blobs_.end());
+        const auto it = s.blobs.find(id);
+        MQS_DCHECK(it != s.blobs.end());
         const double ov = semantics_->overlap(*it->second.predicate, q);
         if (ov > bestOverlap) {
           bestOverlap = ov;
@@ -174,51 +269,104 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
         }
       });
 #ifndef NDEBUG
-  // Debug cross-check: the linear scan over every resident blob must agree
+  // Debug cross-check: the linear scan over the shard's blobs must agree
   // with the R-tree candidate path (an overlap > 0 implies intersecting
   // bounding boxes, so the spatial pre-filter may never lose a match).
-  MQS_DCHECK(bestOverlapLinearLocked(q, minOverlap) == bestOverlap);
-#endif
-  if (!found) {
-    if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsMiss);
-    return std::nullopt;
+  double linearBest = minOverlap;
+  for (const auto& [id, blob] : s.blobs) {
+    linearBest = std::max(linearBest, semantics_->overlap(*blob.predicate, q));
   }
-  auto it = blobs_.find(bestId);
-  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  MQS_DCHECK(linearBest == bestOverlap);
+#endif
+  if (!found) return std::nullopt;
+  return Match{bestId, bestOverlap};
+}
+
+void DataStore::commitHitLocked(Shard& s, BlobId id, double overlap,
+                                bool pinMatch) {
+  auto it = s.blobs.find(id);
+  MQS_DCHECK(it != s.blobs.end());
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lruIt);
   ++it->second.uses;
   if (pinMatch) ++it->second.pins;
-  ++stats_.hits;
-  if (bestOverlap >= 1.0) ++stats_.fullHits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (overlap >= 1.0) fullHits_.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsHit);
-  return Match{bestId, bestOverlap};
+}
+
+std::optional<DataStore::Match> DataStore::lookupImpl(
+    const query::Predicate& q, double minOverlap, bool pinMatch) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (shards_.size() == 1) {
+    // Single-shard fast path: scan and commit under one lock hold, exactly
+    // the pre-shard store.
+    Shard& s = *shards_[0];
+    MutexLock lock(s.mu);
+    const auto m = scanShardLocked(s, q, minOverlap);
+    if (!m) {
+      if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsMiss);
+      return std::nullopt;
+    }
+    commitHitLocked(s, m->id, m->overlap, pinMatch);
+    return m;
+  }
+  // Multi-shard: scan shards one at a time (raising the floor to the best
+  // seen, so ties break toward the earlier shard), then commit the winner
+  // under its home lock. The winner can be evicted between the scan and
+  // the commit; rescan — a later round sees the next-best blob.
+  for (int attempt = 0; attempt < kMaxLookupAttempts; ++attempt) {
+    std::optional<Match> best;
+    Shard* home = nullptr;
+    for (const auto& sp : shards_) {
+      Shard& s = *sp;
+      MutexLock lock(s.mu);
+      const auto m = scanShardLocked(s, q, best ? best->overlap : minOverlap);
+      if (m) {
+        best = m;
+        home = &s;
+      }
+    }
+    if (!best) break;
+    MutexLock lock(home->mu);
+    if (home->blobs.contains(best->id)) {
+      commitHitLocked(*home, best->id, best->overlap, pinMatch);
+      return best;
+    }
+  }
+  if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsMiss);
+  return std::nullopt;
 }
 
 std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
                                                     std::size_t k,
                                                     double minOverlap) {
-  MutexLock lock(mu_);
-  ++stats_.lookups;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   if (k == 0) return {};
   std::vector<Match> matches;
-  spatial_.queryIntersecting(
-      q.boundingBox(), [&](const Rect&, std::uint64_t id) {
-        const auto it = blobs_.find(id);
-        MQS_DCHECK(it != blobs_.end());
-        const double ov = semantics_->overlap(*it->second.predicate, q);
-        if (ov > minOverlap) matches.push_back(Match{id, ov});
-      });
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    MutexLock lock(s.mu);
+    [[maybe_unused]] const std::size_t first = matches.size();
+    s.spatial.queryIntersecting(
+        q.boundingBox(), [&](const Rect&, std::uint64_t id) {
+          const auto it = s.blobs.find(id);
+          MQS_DCHECK(it != s.blobs.end());
+          const double ov = semantics_->overlap(*it->second.predicate, q);
+          if (ov > minOverlap) matches.push_back(Match{id, ov});
+        });
 #ifndef NDEBUG
-  const double linearBest = bestOverlapLinearLocked(q, minOverlap);
-  const double rtreeBest =
-      matches.empty()
-          ? minOverlap
-          : std::max_element(matches.begin(), matches.end(),
-                             [](const Match& a, const Match& b) {
-                               return a.overlap < b.overlap;
-                             })
-                ->overlap;
-  MQS_DCHECK(linearBest == rtreeBest);
+    double linearBest = minOverlap;
+    for (const auto& [id, blob] : s.blobs) {
+      linearBest =
+          std::max(linearBest, semantics_->overlap(*blob.predicate, q));
+    }
+    double rtreeBest = minOverlap;
+    for (std::size_t i = first; i < matches.size(); ++i) {
+      rtreeBest = std::max(rtreeBest, matches[i].overlap);
+    }
+    MQS_DCHECK(linearBest == rtreeBest);
 #endif
+  }
   std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
     if (a.overlap != b.overlap) return a.overlap > b.overlap;
     return a.id > b.id;  // ties toward the newer blob
@@ -231,94 +379,123 @@ std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
 }
 
 void DataStore::noteReuse(BlobId id, double overlap) {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return;
-  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  if (it == s.blobs.end()) return;
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lruIt);
   ++it->second.uses;
-  ++stats_.hits;
-  if (overlap >= 1.0) ++stats_.fullHits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (overlap >= 1.0) fullHits_.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsHit);
 }
 
 bool DataStore::contains(BlobId id) const {
-  MutexLock lock(mu_);
-  return blobs_.contains(id);
+  const Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  return s.blobs.contains(id);
 }
 
 const query::Predicate& DataStore::predicate(BlobId id) const {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  MQS_CHECK_MSG(it != blobs_.end(), "predicate() of absent blob");
+  const Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  MQS_CHECK_MSG(it != s.blobs.end(), "predicate() of absent blob");
   return *it->second.predicate;
 }
 
 std::span<const std::byte> DataStore::payload(BlobId id) const {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  MQS_CHECK_MSG(it != blobs_.end(), "payload() of absent blob");
+  const Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  MQS_CHECK_MSG(it != s.blobs.end(), "payload() of absent blob");
   return it->second.payload;
 }
 
 void DataStore::pin(BlobId id) {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  MQS_CHECK_MSG(it != blobs_.end(), "pin() of absent blob");
+  Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  MQS_CHECK_MSG(it != s.blobs.end(), "pin() of absent blob");
   ++it->second.pins;
 }
 
 bool DataStore::tryPin(BlobId id) {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return false;
+  Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  if (it == s.blobs.end()) return false;
   ++it->second.pins;
   return true;
 }
 
 void DataStore::unpin(BlobId id) {
-  MutexLock lock(mu_);
-  auto it = blobs_.find(id);
-  MQS_CHECK_MSG(it != blobs_.end(), "unpin() of absent blob");
+  Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  MQS_CHECK_MSG(it != s.blobs.end(), "unpin() of absent blob");
   MQS_CHECK_MSG(it->second.pins > 0, "unbalanced unpin");
   --it->second.pins;
 }
 
 void DataStore::erase(BlobId id) {
+  Shard& s = shardOf(id);
   std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
-  std::function<void(BlobId, const query::Predicate&)> listener;
   {
-    MutexLock lock(mu_);
-    eraseLocked(id, /*countEviction=*/false);
-    evicted.swap(pendingEvictions_);
-    if (!evicted.empty()) listener = evictionListener_;
+    MutexLock lock(s.mu);
+    eraseLocked(s, id, /*countEviction=*/false);
+    evicted.swap(s.pending);
   }
-  for (auto& [bid, pred] : evicted) {
-    if (listener) listener(bid, *pred);
-  }
+  reportEvictions(evicted);
 }
 
 DataStore::Stats DataStore::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.fullHits = fullHits_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::uint64_t DataStore::residentBytes() const {
-  MutexLock lock(mu_);
-  return resident_;
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    total += sp->resident;
+  }
+  return total;
 }
 
 std::size_t DataStore::residentBlobs() const {
-  MutexLock lock(mu_);
-  return blobs_.size();
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    total += sp->blobs.size();
+  }
+  return total;
 }
 
 std::size_t DataStore::pinnedBlobs() const {
-  MutexLock lock(mu_);
-  std::size_t n = 0;
-  for (const auto& [id, blob] : blobs_) {
-    if (blob.pins > 0) ++n;
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    for (const auto& [id, blob] : sp->blobs) {
+      if (blob.pins > 0) ++total;
+    }
   }
-  return n;
+  return total;
+}
+
+std::uint64_t DataStore::budgetAccountedBytes() const {
+  std::uint64_t total = spare_.load(std::memory_order_relaxed);
+  for (const auto& sp : shards_) {
+    MutexLock lock(sp->mu);
+    total += sp->capacity;
+  }
+  return total;
 }
 
 }  // namespace mqs::datastore

@@ -10,8 +10,20 @@
 // Sizes are accounted in *logical* bytes (qoutsize) so the discrete-event
 // engine — which stores no payloads — sees exactly the same residency
 // behaviour as the threaded runtime.
+//
+// Sharding (DESIGN.md §10): the store is split into N power-of-two shards
+// keyed by the hash of a blob's bounding box, each with its own lock (rank
+// kDataStoreShard), recency list, R-tree, and budget slice, so inserts and
+// lookups from different query threads do not serialize on one mutex. Blob
+// ids encode their shard (id - 1 mod N), making every by-id operation a
+// single-shard lock. Semantic lookups scan shards one at a time and commit
+// the winner under its home shard's lock. The byte budget rebalances
+// between slices through an atomic spare pool plus a borrow slow path that
+// never holds two shard locks. shards == 1 (the default) reproduces the
+// single-lock store byte for byte, including blob-id assignment.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -48,9 +60,13 @@ std::string_view toString(EvictionPolicy policy);
 
 class DataStore {
  public:
+  /// Upper bound on the shard count (rounded up to a power of two).
+  static constexpr int kMaxShards = 256;
+
   /// `semantics` provides the user-defined overlap operator used by lookup.
+  /// `shards` is rounded up to the next power of two (1..kMaxShards).
   DataStore(std::uint64_t capacityBytes, const query::QuerySemantics* semantics,
-            EvictionPolicy eviction = EvictionPolicy::Lru);
+            EvictionPolicy eviction = EvictionPolicy::Lru, int shards = 1);
 
   /// Called with (id, predicate) whenever a blob is evicted. Must not call
   /// back into the data store.
@@ -164,6 +180,8 @@ class DataStore {
     std::uint64_t evictions = 0;
     std::uint64_t uncacheable = 0;
   };
+  /// Lock-free: all counters are relaxed atomics bumped at the event site,
+  /// so polling stats never contends with the query path.
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] std::uint64_t capacityBytes() const { return capacity_; }
@@ -173,6 +191,14 @@ class DataStore {
   /// idle — a positive count then means a leaked PinGuard (soak-test
   /// invariant).
   [[nodiscard]] std::size_t pinnedBlobs() const;
+  /// Number of shards the store is split into (a power of two).
+  [[nodiscard]] int shardCount() const {
+    return static_cast<int>(shards_.size());
+  }
+  /// Sum of the per-shard budget slices plus the spare pool. Equals
+  /// capacityBytes() whenever no budget borrow is mid-flight — the
+  /// conservation invariant the shard tests assert at quiescence.
+  [[nodiscard]] std::uint64_t budgetAccountedBytes() const;
 
  private:
   struct Blob {
@@ -184,43 +210,94 @@ class DataStore {
     std::list<BlobId>::iterator lruIt;
   };
 
-  /// Next eviction victim under the configured policy, or kNoVictim.
-  BlobId pickVictimLocked() const REQUIRES(mu_);
+  /// One slice of the store: recency list, blob table, and spatial index
+  /// for the blobs homed here, under the shard's own lock. A thread holds
+  /// at most one shard lock at a time (equal ranks — the debug checker
+  /// aborts on nesting).
+  struct Shard {
+    Shard(std::size_t idx, std::uint64_t sliceBytes)
+        : index(idx), capacity(sliceBytes) {}
 
-  std::optional<Match> lookupImpl(const query::Predicate& q,
-                                  double minOverlap, bool pinMatch)
+    const std::size_t index;  ///< position in shards_ (encoded into ids)
+    mutable Mutex mu{lockorder::Rank::kDataStoreShard, "DataStore::Shard::mu"};
+    std::uint64_t capacity GUARDED_BY(mu);  ///< this shard's budget slice
+    std::uint64_t resident GUARDED_BY(mu) = 0;
+    std::uint64_t nextSeq GUARDED_BY(mu) = 0;  ///< per-shard id sequence
+    std::list<BlobId> lru GUARDED_BY(mu);      ///< front = most recent
+    std::unordered_map<BlobId, Blob> blobs GUARDED_BY(mu);
+    index::RTree spatial GUARDED_BY(mu);  ///< bounding boxes -> blob ids
+    /// Evictions performed under the lock, drained and reported to the
+    /// listener after unlocking (the listener takes the scheduler lock).
+    std::vector<std::pair<BlobId, query::PredicatePtr>> pending GUARDED_BY(mu);
+  };
+
+  /// Ids are seq * shardCount + shardIndex + 1, so the home shard is
+  /// recoverable from the id alone and shards == 1 yields the historical
+  /// dense sequence 1, 2, 3, ...
+  [[nodiscard]] Shard& shardOf(BlobId id) const {
+    return *shards_[(id - 1) & shardMask_];
+  }
+  /// Home shard for a new blob: hash of its predicate's bounding box.
+  [[nodiscard]] Shard& shardFor(const query::Predicate& predicate) const;
+
+  /// Next eviction victim in `s` under the configured policy, or 0.
+  BlobId pickVictimLocked(const Shard& s) const REQUIRES(s.mu);
+
+  std::optional<Match> lookupImpl(const query::Predicate& q, double minOverlap,
+                                  bool pinMatch);
+  /// Best strictly-greater-than-`minOverlap` match among `s`'s blobs via
+  /// the shard R-tree (plus the !NDEBUG linear cross-check).
+  std::optional<Match> scanShardLocked(const Shard& s,
+                                       const query::Predicate& q,
+                                       double minOverlap) const REQUIRES(s.mu);
+  /// Commit a lookup hit: LRU refresh, use count, optional pin, counters.
+  void commitHitLocked(Shard& s, BlobId id, double overlap, bool pinMatch)
+      REQUIRES(s.mu);
+
+  /// Evict from `s` (policy order) until `need` bytes fit in its slice;
+  /// returns false if the shard alone cannot make room.
+  bool makeRoomLocked(Shard& s, std::uint64_t need) REQUIRES(s.mu);
+  void eraseLocked(Shard& s, BlobId id, bool countEviction) REQUIRES(s.mu);
+  /// Budget-rebalance slow path: collect up to `want` bytes from the spare
+  /// pool, idle headroom on other shards, and — under global pressure —
+  /// policy-order victims on other shards. Locks one shard at a time;
+  /// `home` must not be locked by the caller. Donor-shard evictions are
+  /// appended to `evicted` for the caller to report once unlocked.
+  std::uint64_t borrowBudget(
+      std::uint64_t want, const Shard& home,
+      std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted);
+  std::uint64_t takeFromSpare(std::uint64_t want);
+  /// Fire the eviction listener for drained evictions (no locks held).
+  void reportEvictions(
+      std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted)
       EXCLUDES(mu_);
-
-  /// Debug cross-check for the R-tree candidate path: best overlap by a
-  /// linear scan over every resident blob. Only compiled into !NDEBUG
-  /// builds.
-  [[nodiscard]] double bestOverlapLinearLocked(const query::Predicate& q,
-                                               double minOverlap) const
-      REQUIRES(mu_);
-
-  /// Evict LRU unpinned blobs until `need` bytes are free; returns false if
-  /// impossible.
-  bool makeRoomLocked(std::uint64_t need) REQUIRES(mu_);
-  void eraseLocked(BlobId id, bool countEviction) REQUIRES(mu_);
 
   trace::Tracer* tracer_ = nullptr;
 
+  const std::uint64_t capacity_;  ///< total budget across all shards
+  const EvictionPolicy eviction_;
+  const query::QuerySemantics* semantics_;  ///< immutable after construction
+
   mutable Mutex mu_{lockorder::Rank::kDataStore, "DataStore::mu_"};
-  std::uint64_t capacity_;   ///< immutable after construction
-  std::uint64_t resident_ GUARDED_BY(mu_) = 0;
-  EvictionPolicy eviction_;                  ///< immutable after construction
-  const query::QuerySemantics* semantics_;   ///< immutable after construction
   std::function<void(BlobId, const query::Predicate&)> evictionListener_
       GUARDED_BY(mu_);
-  BlobId nextId_ GUARDED_BY(mu_) = 1;
-  std::list<BlobId> lru_ GUARDED_BY(mu_);  ///< front = most recent
-  std::unordered_map<BlobId, Blob> blobs_ GUARDED_BY(mu_);
-  index::RTree spatial_ GUARDED_BY(mu_);   ///< bounding boxes -> blob ids
-  /// Evictions performed under the lock, drained and reported to the
-  /// listener after unlocking (the listener takes the scheduler lock).
-  std::vector<std::pair<BlobId, query::PredicatePtr>> pendingEvictions_
-      GUARDED_BY(mu_);
-  Stats stats_ GUARDED_BY(mu_);
+
+  /// Immutable after construction (the vector; shard contents are guarded
+  /// by their own locks).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shardMask_ = 0;
+  /// Budget bytes not currently assigned to any shard's slice. Invariant:
+  /// sum(shard slices) + spare_ == capacity_ except inside a borrow.
+  std::atomic<std::uint64_t> spare_{0};
+
+  // Hot counters: relaxed atomics so stats() and concurrent operations on
+  // other shards never serialize on a stats lock.
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fullHits_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> uncacheable_{0};
 };
 
 }  // namespace mqs::datastore

@@ -6,8 +6,10 @@
 // the reuse/I/O accounting used by the caching-effect experiment (E1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
@@ -60,6 +62,12 @@ struct QueryRecord {
 };
 
 /// Thread-safe collector; one per experiment run.
+///
+/// Sharded (DESIGN.md §10): records spread across a small fixed set of
+/// slots by an atomic admission ticket, so concurrent query threads
+/// recording results almost never meet on the same lock. The ticket also
+/// preserves global add order — records() merges the slots and sorts by
+/// ticket, so snapshots read exactly like the single-vector collector.
 class Collector {
  public:
   void add(QueryRecord record);
@@ -68,8 +76,15 @@ class Collector {
   [[nodiscard]] std::size_t count() const;
 
  private:
-  mutable Mutex mu_{lockorder::Rank::kMetrics, "Collector::mu_"};
-  std::vector<QueryRecord> records_ GUARDED_BY(mu_);
+  static constexpr std::size_t kSlots = 8;  // power of two
+
+  struct Slot {
+    mutable Mutex mu{lockorder::Rank::kMetrics, "Collector::Slot::mu"};
+    std::vector<std::pair<std::uint64_t, QueryRecord>> records GUARDED_BY(mu);
+  };
+
+  std::atomic<std::uint64_t> ticket_{0};  ///< global add-order sequence
+  Slot slots_[kSlots];
 };
 
 /// Run-level summary over a set of query records.

@@ -14,8 +14,19 @@
 // the cache until a fetch consumes it (or the claim is released) so that
 // eviction pressure from concurrent queries cannot throw away pages whose
 // read was already paid for.
+//
+// Sharding (DESIGN.md §10): the cache state is split into N power-of-two
+// shards keyed by the page-id hash, each with its own lock (rank
+// kPageSpaceShard), so fetches of different pages by different query
+// threads do not serialize on one mutex. The byte budget is partitioned
+// into per-shard slices plus an atomic spare pool; a shard whose slice
+// cannot hold an incoming page borrows idle budget (and, under global
+// pressure, evicts from other shards' LRU tails) on a slow path that locks
+// at most one shard at a time. shards == 1 (the default) reproduces the
+// single-lock manager byte for byte.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -62,10 +73,13 @@ class PageSpaceManager {
   /// Default size of the asynchronous I/O pool. Matches the default
   /// executor readahead window so a full window can be in flight at once.
   static constexpr int kDefaultIoThreads = 4;
+  /// Upper bound on the shard count (rounded up to a power of two).
+  static constexpr int kMaxShards = 256;
 
+  /// `shards` is rounded up to the next power of two (1..kMaxShards).
   explicit PageSpaceManager(std::uint64_t capacityBytes,
                             int ioThreads = kDefaultIoThreads,
-                            RetryPolicy retry = {});
+                            RetryPolicy retry = {}, int shards = 1);
   ~PageSpaceManager();
 
   PageSpaceManager(const PageSpaceManager&) = delete;
@@ -93,7 +107,7 @@ class PageSpaceManager {
   /// Failure contract: a fetch that throws still consumes one outstanding
   /// prefetch claim on `key` (settled as unserved), exactly like a
   /// successful fetch — callers balance claims the same way on both paths.
-  PagePtr fetch(const storage::PageKey& key) EXCLUDES(mu_);
+  PagePtr fetch(const storage::PageKey& key);
 
   /// Asynchronous readahead hint: start reading `key` on the I/O pool and
   /// take out a claim on it. Never blocks. Resident and in-flight pages are
@@ -101,12 +115,12 @@ class PageSpaceManager {
   /// later fetch() of the key or a releaseClaim(); claimed pages are pinned
   /// against eviction until then. No-op when the manager was built with
   /// ioThreads == 0 (synchronous mode).
-  void prefetch(const storage::PageKey& key) EXCLUDES(mu_);
+  void prefetch(const storage::PageKey& key);
 
   /// Drop one outstanding prefetch claim without consuming the page. A
   /// claim released before any fetch used the page counts as wasted
   /// readahead. Safe to call for keys without a claim (no-op).
-  void releaseClaim(const storage::PageKey& key) EXCLUDES(mu_);
+  void releaseClaim(const storage::PageKey& key);
 
   /// Blocking batch fetch: issues all misses to the I/O pool so their
   /// device reads overlap, then waits for each page in order. On failure
@@ -115,8 +129,7 @@ class PageSpaceManager {
   /// consumed their claims, the unreached tail is released explicitly; no
   /// in-flight entries or claims leak, and claims held by other queries on
   /// the same keys are never touched.
-  std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys)
-      EXCLUDES(mu_);
+  std::vector<PagePtr> fetchBatch(std::span<const storage::PageKey> keys);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -132,12 +145,23 @@ class PageSpaceManager {
     std::uint64_t readRetries = 0;   ///< transient-fault retries performed
     std::uint64_t readFailures = 0;  ///< device reads that failed for good
   };
+  /// Lock-free: all counters are relaxed atomics bumped at the event site,
+  /// so polling stats never contends with the fetch path.
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] const RetryPolicy& retryPolicy() const { return retry_; }
 
-  [[nodiscard]] std::uint64_t capacityBytes() const;
+  /// The configured total budget (immutable; no lock).
+  [[nodiscard]] std::uint64_t capacityBytes() const { return capacityBytes_; }
   [[nodiscard]] std::uint64_t residentBytes() const;
+  /// Number of shards the cache state is split into (a power of two).
+  [[nodiscard]] int shardCount() const {
+    return static_cast<int>(shards_.size());
+  }
+  /// Sum of the per-shard budget slices plus the spare pool. Equals
+  /// capacityBytes() whenever no budget borrow is mid-flight — the
+  /// conservation invariant the shard tests assert at quiescence.
+  [[nodiscard]] std::uint64_t budgetAccountedBytes() const;
   /// Number of device reads currently in flight (tests / introspection).
   [[nodiscard]] std::size_t inflightCount() const;
   /// Number of keys with outstanding prefetch claims.
@@ -166,46 +190,94 @@ class PageSpaceManager {
     std::uint64_t creditBytes = 0;
   };
 
+  /// One slice of the cache: replacement core plus the payload, in-flight,
+  /// and claim tables for the pages that hash here. Every field is guarded
+  /// by the shard's own lock; a thread holds at most one shard lock at a
+  /// time (equal ranks — the debug checker aborts on nesting).
+  struct Shard {
+    explicit Shard(std::uint64_t sliceBytes) : core(sliceBytes) {}
+
+    mutable Mutex mu{lockorder::Rank::kPageSpaceShard,
+                     "PageSpaceManager::Shard::mu"};
+    PageCacheCore core GUARDED_BY(mu);
+    std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash>
+        resident GUARDED_BY(mu);
+    std::unordered_map<storage::PageKey, std::shared_future<ReadResult>,
+                       storage::PageKeyHash>
+        inflight GUARDED_BY(mu);
+    std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims
+        GUARDED_BY(mu);
+  };
+
+  [[nodiscard]] Shard& shardFor(const storage::PageKey& key) const {
+    return *shards_[storage::PageKeyHash{}(key) & shardMask_];
+  }
+
   const storage::DataSource* sourceFor(storage::DatasetId dataset) const
-      REQUIRES(mu_);
+      EXCLUDES(mu_);
   /// Device read + cache insert + promise delivery. Runs on the caller
   /// thread (demand miss) or an I/O pool thread (prefetch). Exceptions are
   /// delivered through the promise; the in-flight entry never leaks.
   void performRead(const storage::PageKey& key,
                    const storage::DataSource* source,
-                   std::promise<ReadResult>& promise, bool viaPrefetch)
-      EXCLUDES(mu_);
+                   std::promise<ReadResult>& promise, bool viaPrefetch);
   /// Consume one claim after a fetch of `key`. Returns the device bytes to
   /// credit the calling thread. `served` = the page (or its in-flight
   /// read) was still available; false means the prefetched copy was lost
   /// and had to be re-read.
-  std::uint64_t consumeClaimLocked(const storage::PageKey& key, bool served)
-      REQUIRES(mu_);
+  std::uint64_t consumeClaimLocked(Shard& s, const storage::PageKey& key,
+                                   bool served) REQUIRES(s.mu);
+  /// Insert a freshly read page into its shard, growing the shard's budget
+  /// slice first if the page cannot fit (see borrowBudget). Always settles
+  /// the claim/in-flight bookkeeping, even when the page stays uncached.
+  void insertWithBudget(Shard& s, const storage::PageKey& key,
+                        const PagePtr& page, std::size_t n, bool viaPrefetch);
+  /// Cache insert + claim pin + credit + in-flight erase, all under the
+  /// shard lock (the commit point of a successful read).
+  void finishInsertLocked(Shard& s, const storage::PageKey& key,
+                          const PagePtr& page, std::size_t n, bool viaPrefetch)
+      REQUIRES(s.mu);
+  /// Budget-rebalance slow path: collect up to `want` bytes of budget from
+  /// the spare pool, idle headroom on other shards, and — under global
+  /// pressure — other shards' unpinned LRU tails. Locks one shard at a
+  /// time; `home` must not be locked by the caller. The returned bytes are
+  /// owed to `home`'s slice (the caller adds them via setCapacity).
+  std::uint64_t borrowBudget(std::uint64_t want, const Shard& home);
+  std::uint64_t takeFromSpare(std::uint64_t want);
 
   trace::Tracer* tracer_ = nullptr;
 
+  const std::uint64_t capacityBytes_;  ///< total budget across all shards
+  RetryPolicy retry_;                  ///< immutable after construction
+
   mutable Mutex mu_{lockorder::Rank::kPageSpace, "PageSpaceManager::mu_"};
-  PageCacheCore core_ GUARDED_BY(mu_);
-  RetryPolicy retry_;  ///< immutable after construction
   std::unordered_map<storage::DatasetId, const storage::DataSource*> sources_
       GUARDED_BY(mu_);
-  std::unordered_map<storage::PageKey, PagePtr, storage::PageKeyHash> resident_
-      GUARDED_BY(mu_);
-  std::unordered_map<storage::PageKey, std::shared_future<ReadResult>,
-                     storage::PageKeyHash>
-      inflight_ GUARDED_BY(mu_);
-  std::unordered_map<storage::PageKey, Claim, storage::PageKeyHash> claims_
-      GUARDED_BY(mu_);
-  std::uint64_t merged_ GUARDED_BY(mu_) = 0;
-  std::uint64_t bytesRead_ GUARDED_BY(mu_) = 0;
-  std::uint64_t prefetchIssued_ GUARDED_BY(mu_) = 0;
-  std::uint64_t prefetchHits_ GUARDED_BY(mu_) = 0;
-  std::uint64_t prefetchWasted_ GUARDED_BY(mu_) = 0;
-  std::uint64_t readRetries_ GUARDED_BY(mu_) = 0;
-  std::uint64_t readFailures_ GUARDED_BY(mu_) = 0;
+
+  /// Immutable after construction (the vector; shard contents are guarded
+  /// by their own locks).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shardMask_ = 0;
+  /// Budget bytes not currently assigned to any shard's slice. Invariant:
+  /// sum(shard slice capacities) + spare_ == capacityBytes_ except inside
+  /// a borrow (bytes in transit between a donor slice and the borrower).
+  std::atomic<std::uint64_t> spare_{0};
+
+  // Hot counters: relaxed atomics so stats() and concurrent fetches on
+  // other shards never serialize on a stats lock.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> merged_{0};
+  std::atomic<std::uint64_t> bytesRead_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> prefetchIssued_{0};
+  std::atomic<std::uint64_t> prefetchHits_{0};
+  std::atomic<std::uint64_t> prefetchWasted_{0};
+  std::atomic<std::uint64_t> readRetries_{0};
+  std::atomic<std::uint64_t> readFailures_{0};
 
   /// Declared last: destroyed first, joining the I/O workers while the
-  /// maps above are still alive for their final bookkeeping.
+  /// shards above are still alive for their final bookkeeping.
   std::unique_ptr<ThreadPool> io_;
 };
 

@@ -1,0 +1,91 @@
+// Bounded multi-producer staging ring for scheduler feedback.
+//
+// reportQueryOutcome()/reportResourceSignal() arrive from every query
+// thread at completion rate; with an adaptive policy each used to take the
+// scheduler lock and rerank the whole waiting set. The ring decouples the
+// two: producers stage events with a couple of atomic operations and no
+// lock, and the scheduler drains the batch at its next scheduling event
+// (submit/dequeue/completion), applying all staged events and reranking
+// once (DESIGN.md §10).
+//
+// Vyukov-style bounded queue: each cell carries a sequence number that
+// encodes whether it is free for the producer at that position or holds a
+// value for the consumer. Producers claim positions by CAS on the tail;
+// the consumer side is NOT internally synchronized — the scheduler only
+// pops while holding its own lock (single consumer by construction).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mqs::sched {
+
+template <typename T, std::size_t N>
+class MpscRing {
+  static_assert(N >= 2 && (N & (N - 1)) == 0, "capacity must be a power of 2");
+
+ public:
+  MpscRing() {
+    for (std::size_t i = 0; i < N; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Stage a value. Returns false when the ring is full (the caller falls
+  /// back to applying the event under the consumer's lock, so feedback is
+  /// never dropped).
+  bool tryPush(const T& value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & (N - 1)];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full: the consumer has not freed this cell yet
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pop the oldest staged value. Callers must serialize pops externally
+  /// (the scheduler holds its lock); producers may push concurrently.
+  bool tryPop(T& out) {
+    const std::uint64_t pos = head_;
+    Cell& cell = cells_[pos & (N - 1)];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) <
+        0) {
+      return false;  // empty, or the producer has not published yet
+    }
+    out = cell.value;
+    cell.seq.store(pos + N, std::memory_order_release);
+    head_ = pos + 1;
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  Cell cells_[N];
+  std::atomic<std::uint64_t> tail_{0};
+  /// Consumer cursor; only touched under the consumer's external lock.
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace mqs::sched

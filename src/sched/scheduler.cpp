@@ -42,8 +42,38 @@ void QueryScheduler::afterEventLocked(NodeId n) {
   }
 }
 
+void QueryScheduler::drainFeedbackLocked(const FeedbackEvent* extra) {
+  bool any = false;
+  FeedbackEvent ev;
+  while (feedback_.tryPop(ev)) {
+    switch (ev.kind) {
+      case FeedbackEvent::Kind::Outcome:
+        policy_->onQueryOutcome(ev.value);
+        break;
+      case FeedbackEvent::Kind::Resource:
+        policy_->onResourceSignal(ev.value);
+        break;
+    }
+    any = true;
+  }
+  if (extra != nullptr) {
+    switch (extra->kind) {
+      case FeedbackEvent::Kind::Outcome:
+        policy_->onQueryOutcome(extra->value);
+        break;
+      case FeedbackEvent::Kind::Resource:
+        policy_->onResourceSignal(extra->value);
+        break;
+    }
+    any = true;
+  }
+  // The batching win: one rerank per drained batch, not one per report.
+  if (any && policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
+}
+
 NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
   MutexLock lock(mu_);
+  drainFeedbackLocked();
   const NodeId n = graph_.insert(std::move(predicate));
   ++stats_.submitted;
   ++waiting_;
@@ -56,6 +86,9 @@ NodeId QueryScheduler::submit(query::PredicatePtr predicate) {
 
 std::optional<NodeId> QueryScheduler::dequeue() {
   MutexLock lock(mu_);
+  // Apply staged feedback before choosing: the pick must reflect every
+  // report that arrived since the last scheduling event.
+  drainFeedbackLocked();
   while (!heap_.empty()) {
     const HeapEntry top = heap_.top();
     heap_.pop();
@@ -83,6 +116,7 @@ std::optional<NodeId> QueryScheduler::dequeue() {
 
 void QueryScheduler::completed(NodeId n) {
   MutexLock lock(mu_);
+  drainFeedbackLocked();
   MQS_CHECK_MSG(graph_.contains(n), "completed() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
                 "completed() on a non-executing node");
@@ -94,6 +128,7 @@ void QueryScheduler::completed(NodeId n) {
 
 void QueryScheduler::swappedOut(NodeId n) {
   MutexLock lock(mu_);
+  drainFeedbackLocked();
   MQS_CHECK_MSG(graph_.contains(n), "swappedOut() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Cached,
                 "swappedOut() on a non-cached node");
@@ -117,6 +152,7 @@ void QueryScheduler::swappedOut(NodeId n) {
 
 void QueryScheduler::failed(NodeId n) {
   MutexLock lock(mu_);
+  drainFeedbackLocked();
   MQS_CHECK_MSG(graph_.contains(n), "failed() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Executing,
                 "failed() on a non-executing node");
@@ -140,15 +176,19 @@ void QueryScheduler::failed(NodeId n) {
 }
 
 void QueryScheduler::reportQueryOutcome(double achievedOverlap) {
+  const FeedbackEvent ev{FeedbackEvent::Kind::Outcome, achievedOverlap};
+  if (feedback_.tryPush(ev)) return;
+  // Ring full: apply the whole backlog (plus this event) inline so no
+  // feedback is ever lost.
   MutexLock lock(mu_);
-  policy_->onQueryOutcome(achievedOverlap);
-  if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
+  drainFeedbackLocked(&ev);
 }
 
 void QueryScheduler::reportResourceSignal(double ioCongestion) {
+  const FeedbackEvent ev{FeedbackEvent::Kind::Resource, ioCongestion};
+  if (feedback_.tryPush(ev)) return;
   MutexLock lock(mu_);
-  policy_->onResourceSignal(ioCongestion);
-  if (policy_->ranksDependOnFeedback()) rerankAllWaitingLocked();
+  drainFeedbackLocked(&ev);
 }
 
 std::vector<QueryScheduler::ReuseSource> QueryScheduler::executingSources(

@@ -21,6 +21,7 @@
 #include "common/thread_annotations.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
+#include "sched/feedback_ring.hpp"
 #include "sched/graph.hpp"
 #include "sched/policy.hpp"
 #include "sched/state.hpp"
@@ -55,6 +56,13 @@ class QueryScheduler {
   /// Runtime feedback for self-tuning policies: the achieved Eq.-2 overlap
   /// of a finished query, and a normalized I/O-congestion signal. No-ops
   /// for the static policies.
+  ///
+  /// Batched (DESIGN.md §10): the event is staged on a lock-free ring and
+  /// applied — together with everything else staged since — at the next
+  /// scheduling event (submit/dequeue/completed/swappedOut/failed), which
+  /// reranks the waiting set once per batch instead of once per report.
+  /// Only when the ring is full does a report fall back to applying the
+  /// batch inline under the lock; feedback is never dropped.
   void reportQueryOutcome(double achievedOverlap);
   void reportResourceSignal(double ioCongestion);
 
@@ -144,11 +152,21 @@ class QueryScheduler {
     std::uint64_t version = 0;
     std::uint64_t execSeq = 0;
   };
+  /// One staged reportQueryOutcome / reportResourceSignal call.
+  struct FeedbackEvent {
+    enum class Kind : std::uint8_t { Outcome, Resource } kind = Kind::Outcome;
+    double value = 0.0;
+  };
 
   void rerankLocked(NodeId n) REQUIRES(mu_);
   void rerankNeighborsLocked(NodeId n) REQUIRES(mu_);
   void rerankAllWaitingLocked() REQUIRES(mu_);
   void afterEventLocked(NodeId n) REQUIRES(mu_);
+  /// Apply every staged feedback event (plus `extra`, the overflow
+  /// fallback), then rerank the waiting set once if any event arrived and
+  /// the policy is adaptive.
+  void drainFeedbackLocked(const FeedbackEvent* extra = nullptr)
+      REQUIRES(mu_);
 
   trace::Tracer* tracer_ = nullptr;
 
@@ -163,6 +181,9 @@ class QueryScheduler {
   std::size_t waiting_ GUARDED_BY(mu_) = 0;
   std::size_t executing_ GUARDED_BY(mu_) = 0;
   Stats stats_ GUARDED_BY(mu_);
+  /// Staged feedback reports (producers: query threads, lock-free;
+  /// consumer: drainFeedbackLocked under mu_).
+  MpscRing<FeedbackEvent, 256> feedback_;
 };
 
 }  // namespace mqs::sched

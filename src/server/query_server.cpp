@@ -8,6 +8,17 @@
 
 namespace mqs::server {
 
+namespace {
+/// Combined contention counts for a subsystem spanning two lock ranks
+/// (its coarse lock plus the sharded variant).
+lockstats::Counts sumCounts(lockorder::Rank a, lockorder::Rank b) {
+  const auto ca = lockstats::countsFor(a);
+  const auto cb = lockstats::countsFor(b);
+  return lockstats::Counts{ca.contended + cb.contended,
+                           ca.waitNanos + cb.waitNanos};
+}
+}  // namespace
+
 QueryServer::QueryServer(const query::QuerySemantics* semantics,
                          const query::QueryExecutor* executor,
                          ServerConfig cfg)
@@ -17,10 +28,11 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
       scheduler_(semantics, sched::makePolicy(cfg_.policy, cfg_.alpha),
                  cfg_.incrementalRanking),
       ds_(cfg_.dsBytes, semantics,
-          datastore::parseEvictionPolicy(cfg_.dsEviction)),
+          datastore::parseEvictionPolicy(cfg_.dsEviction), cfg_.dsShards),
       ps_(cfg_.psBytes, cfg_.psIoThreads,
           pagespace::RetryPolicy{cfg_.ioRetryAttempts,
-                                 cfg_.ioRetryBackoffSec}),
+                                 cfg_.ioRetryBackoffSec},
+          cfg_.psShards),
       planner_(semantics,
                query::PlannerConfig{
                    .dataStoreEnabled = cfg_.dataStoreEnabled,
@@ -49,6 +61,11 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
     scheduler_.setTracer(tracer_);
     ds_.setTracer(tracer_);
     ps_.setTracer(tracer_);
+    lockWaitBaseSched_ = lockstats::countsFor(lockorder::Rank::kScheduler);
+    lockWaitBaseDs_ = sumCounts(lockorder::Rank::kDataStore,
+                                lockorder::Rank::kDataStoreShard);
+    lockWaitBasePs_ = sumCounts(lockorder::Rank::kPageSpace,
+                                lockorder::Rank::kPageSpaceShard);
   }
   ds_.setEvictionListener(
       [this](datastore::BlobId id, const query::Predicate&) {
@@ -112,6 +129,26 @@ void QueryServer::shutdown() {
   }
   workAvailable_.notifyAll();
   workers_.clear();  // jthread joins
+  if (tracer_ != nullptr) {
+    // Per-subsystem lock-contention exposure for this run: value = blocked
+    // acquisitions since construction (workers are joined, so the deltas
+    // are final).
+    const auto emit = [this](trace::CounterKind kind,
+                             const lockstats::Counts& base,
+                             const lockstats::Counts& now) {
+      if (now.contended > base.contended) {
+        tracer_->counter(kind, now.contended - base.contended);
+      }
+    };
+    emit(trace::CounterKind::LockWaitSched, lockWaitBaseSched_,
+         lockstats::countsFor(lockorder::Rank::kScheduler));
+    emit(trace::CounterKind::LockWaitDs, lockWaitBaseDs_,
+         sumCounts(lockorder::Rank::kDataStore,
+                   lockorder::Rank::kDataStoreShard));
+    emit(trace::CounterKind::LockWaitPs, lockWaitBasePs_,
+         sumCounts(lockorder::Rank::kPageSpace,
+                   lockorder::Rank::kPageSpaceShard));
+  }
 }
 
 void QueryServer::workerLoop() {

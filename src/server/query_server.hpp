@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/lock_stats.hpp"
 #include "common/thread_annotations.hpp"
 #include "datastore/data_store.hpp"
 #include "metrics/metrics.hpp"
@@ -53,6 +54,11 @@ struct ServerConfig {
   int threads = 4;
   std::uint64_t dsBytes = 64ULL << 20;
   std::uint64_t psBytes = 32ULL << 20;
+  /// Lock shards for the Data Store / Page Space Manager (rounded up to a
+  /// power of two; see DESIGN.md §10). 1 = the historical single-lock
+  /// behaviour; raise toward the worker-thread count under contention.
+  int dsShards = 1;
+  int psShards = 1;
   /// Executor readahead window in pages (0 = synchronous fetches); the
   /// real-path mirror of the simulator's `prefetchPages`. Consumed by the
   /// drivers when they construct executors.
@@ -179,6 +185,12 @@ class QueryServer {
   metrics::Collector collector_;
   std::chrono::steady_clock::time_point epoch_;
   trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
+  /// Process-wide lock-contention counters at construction; shutdown emits
+  /// the per-run deltas as LOCK_WAIT_* trace counters (lock_stats is
+  /// global, so the baseline isolates this server's run).
+  lockstats::Counts lockWaitBaseSched_;
+  lockstats::Counts lockWaitBaseDs_;
+  lockstats::Counts lockWaitBasePs_;
 
   /// Guards the maps below + dispatch state. Ranked above the scheduler
   /// lock: workers call scheduler_ methods while holding mu_ (dispatch),

@@ -67,6 +67,9 @@ std::string_view toString(CounterKind kind) {
     case CounterKind::PsEvict: return "ps_evict";
     case CounterKind::PrefetchIssued: return "prefetch_issued";
     case CounterKind::PrefetchWasted: return "prefetch_wasted";
+    case CounterKind::LockWaitSched: return "lock_wait_sched";
+    case CounterKind::LockWaitDs: return "lock_wait_ds";
+    case CounterKind::LockWaitPs: return "lock_wait_ps";
   }
   return "unknown";
 }

@@ -66,6 +66,12 @@ enum class CounterKind : std::uint8_t {
   PsEvict,
   PrefetchIssued,
   PrefetchWasted,
+  // Lock-contention exposure per subsystem (common/lock_stats.hpp): the
+  // server emits these at shutdown with value = blocked acquisitions, so
+  // traces show where query threads waited on shared state.
+  LockWaitSched,
+  LockWaitDs,
+  LockWaitPs,
 };
 
 [[nodiscard]] std::string_view toString(SpanKind kind);

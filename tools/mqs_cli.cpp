@@ -3,6 +3,7 @@
 //   mqs serve  [--port 0] [--policy CF] [--threads 4] [--datasets 3]
 //              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
 //              [--io-threads 4] [--reuse-sources 4]
+//              [--ds-shards 1] [--ps-shards 1]
 //              [--trace-out serve.trace.json]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
@@ -86,6 +87,8 @@ int cmdServe(const Options& opts) {
   cfg.psIoThreads = static_cast<int>(opts.getInt("io-threads", 4));
   cfg.maxReuseSources =
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
+  cfg.dsShards = static_cast<int>(opts.getInt("ds-shards", cfg.dsShards));
+  cfg.psShards = static_cast<int>(opts.getInt("ps-shards", cfg.psShards));
   if (opts.has("trace-out")) {
     cfg.traceSink = std::make_shared<trace::Tracer>();
   }
