@@ -46,7 +46,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # Label matrix: each suite group must be runnable on its own, so a CI
 # job (or a bug hunt) can target just the static, fault, soak, fuzz,
 # planner, or trace tests.
-for label in static fault soak fuzz planner trace shard; do
+for label in static fault soak fuzz planner trace shard overload; do
   echo "== label: $label =="
   ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
 done
@@ -54,6 +54,11 @@ done
 FAULT_SUITES="faulty_source_test fault_retry_test failure_semantics_test \
   wire_fuzz_test fault_soak_test"
 TRACE_SUITES="trace_invariants_test trace_export_test"
+# The overload suites (DESIGN.md §11) run under both sanitizers: admission
+# control races submit threads against workers, and the wire tests drive a
+# real TCP server under flood, quota, and deadline-shed pressure.
+OVERLOAD_SUITES="arrival_test latency_histogram_test workload_zipf_test \
+  admission_test overload_wire_test"
 # The lock-rank checker and the annotated queue run under both sanitizers:
 # their tests exercise the Mutex/CondVar wrappers every subsystem now uses.
 STATIC_SUITES="lock_order_test queue_pool_test"
@@ -63,16 +68,17 @@ STATIC_SUITES="lock_order_test queue_pool_test"
 SHARD_SUITES="shard_consistency_test"
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan+UBSan build (fault + trace + static + shard suites) =="
+  echo "== ASan+UBSan build (fault + trace + static + shard + overload suites) =="
   cmake -B build-asan -S . -DMQS_SANITIZE=address,undefined
   # shellcheck disable=SC2086
   cmake --build build-asan -j --target $FAULT_SUITES $TRACE_SUITES \
-    $STATIC_SUITES $SHARD_SUITES
+    $STATIC_SUITES $SHARD_SUITES $OVERLOAD_SUITES
 
   echo "== ASan+UBSan tests =="
   export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
-  for t in $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES; do
+  for t in $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES \
+           $OVERLOAD_SUITES; do
     echo "--- $t ---"
     "build-asan/tests/$t"
   done
@@ -81,18 +87,20 @@ else
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan build (pagespace + vm + fault + trace + static + shard suites) =="
+  echo "== TSan build (pagespace + vm + fault + trace + static + shard + overload suites) =="
   cmake -B build-tsan -S . -DMQS_SANITIZE=thread
   # shellcheck disable=SC2086
   cmake --build build-tsan -j --target \
     page_cache_core_test page_space_manager_test prefetch_pipeline_test \
-    vm_executor_test $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES
+    vm_executor_test $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES \
+    $SHARD_SUITES $OVERLOAD_SUITES
 
   echo "== TSan tests =="
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   for t in page_cache_core_test page_space_manager_test \
            prefetch_pipeline_test vm_executor_test \
-           $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES; do
+           $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES \
+           $OVERLOAD_SUITES; do
     echo "--- $t ---"
     "build-tsan/tests/$t"
   done

@@ -56,6 +56,7 @@ enum class Rank : std::uint16_t {
   kStorageFaulty = 60,  ///< storage::FaultySource::mu_ (injection state)
   kStorageFile = 65,    ///< storage::FileSource::ioMutex_ (FILE* serialization)
   kBlockingQueue = 70,  ///< BlockingQueue<T>::mu_ (thread-pool / net queues)
+  kLoadgen = 75,        ///< loadgen per-connection state (outstanding map)
   kMetrics = 80,        ///< metrics::Collector slot locks (record vectors)
   kTraceRegistry = 90,  ///< trace::Tracer::registryMu_ (buffer registry)
   kLogging = 100,       ///< logging sink mutex (innermost: log anywhere)

@@ -1,0 +1,78 @@
+#include "loadgen/arrival.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace mqs::loadgen {
+
+const char* toString(ArrivalConfig::Kind kind) {
+  switch (kind) {
+    case ArrivalConfig::Kind::Poisson: return "poisson";
+    case ArrivalConfig::Kind::Bursty: return "bursty";
+    case ArrivalConfig::Kind::Diurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+ArrivalConfig::Kind parseArrivalKind(const std::string& name) {
+  if (name == "poisson") return ArrivalConfig::Kind::Poisson;
+  if (name == "bursty") return ArrivalConfig::Kind::Bursty;
+  if (name == "diurnal") return ArrivalConfig::Kind::Diurnal;
+  MQS_CHECK_MSG(false, "unknown arrival process: " + name);
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  MQS_CHECK(cfg_.ratePerSec > 0.0);
+  switch (cfg_.kind) {
+    case ArrivalConfig::Kind::Poisson:
+      maxRate_ = cfg_.ratePerSec;
+      break;
+    case ArrivalConfig::Kind::Bursty: {
+      MQS_CHECK(cfg_.burstOnSec > 0.0 && cfg_.burstOffSec >= 0.0);
+      const double period = cfg_.burstOnSec + cfg_.burstOffSec;
+      maxRate_ = cfg_.ratePerSec * period / cfg_.burstOnSec;
+      break;
+    }
+    case ArrivalConfig::Kind::Diurnal:
+      MQS_CHECK(cfg_.diurnalPeriodSec > 0.0);
+      MQS_CHECK(cfg_.diurnalDepth >= 0.0 && cfg_.diurnalDepth < 1.0);
+      maxRate_ = cfg_.ratePerSec * (1.0 + cfg_.diurnalDepth);
+      break;
+  }
+}
+
+double ArrivalProcess::rateAt(double t) const {
+  switch (cfg_.kind) {
+    case ArrivalConfig::Kind::Poisson:
+      return cfg_.ratePerSec;
+    case ArrivalConfig::Kind::Bursty: {
+      const double period = cfg_.burstOnSec + cfg_.burstOffSec;
+      const double phase = t - std::floor(t / period) * period;
+      return phase < cfg_.burstOnSec ? maxRate_ : 0.0;
+    }
+    case ArrivalConfig::Kind::Diurnal:
+      return cfg_.ratePerSec *
+             (1.0 -
+              cfg_.diurnalDepth *
+                  std::cos(2.0 * std::numbers::pi * t /
+                           cfg_.diurnalPeriodSec));
+  }
+  return cfg_.ratePerSec;
+}
+
+double ArrivalProcess::next() {
+  // Lewis–Shedler thinning: exponential candidate gaps at maxRate_, each
+  // candidate kept with probability λ(t)/λ_max.
+  for (;;) {
+    // uniform01() is in [0, 1); flip to (0, 1] so the log is finite.
+    const double u = 1.0 - rng_.uniform01();
+    t_ += -std::log(u) / maxRate_;
+    if (rng_.uniform01() * maxRate_ <= rateAt(t_)) return t_;
+  }
+}
+
+}  // namespace mqs::loadgen

@@ -1,0 +1,85 @@
+#include "loadgen/latency_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mqs::loadgen {
+
+std::size_t LatencyHistogram::slotOf(std::uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<std::size_t>(nanos);
+  // nanos in [2^k, 2^(k+1)) with k >= kSubBucketBits: keep the top
+  // kSubBucketBits bits after the leading one as the linear sub-index.
+  const int k = 63 - std::countl_zero(nanos);
+  const int shift = k - kSubBucketBits;
+  const auto sub = static_cast<std::size_t>((nanos >> shift) &
+                                            (kSubBuckets - 1));
+  return ((static_cast<std::size_t>(k) - kSubBucketBits + 1)
+          << kSubBucketBits) +
+         sub;
+}
+
+std::uint64_t LatencyHistogram::slotUpperBound(std::size_t slot) {
+  if (slot < kSubBuckets) return slot;  // exact range
+  const std::size_t group = slot >> kSubBucketBits;      // >= 1
+  const std::size_t sub = slot & (kSubBuckets - 1);
+  const int k = static_cast<int>(group) + kSubBucketBits - 1;
+  const int shift = k - kSubBucketBits;
+  // Lowest value in the bucket, plus the bucket width minus one.
+  const std::uint64_t lo =
+      (1ULL << k) + (static_cast<std::uint64_t>(sub) << shift);
+  return lo + (1ULL << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  ++counts_[slotOf(nanos)];
+  ++count_;
+  sum_ += nanos;
+  if (nanos > max_) max_ = nanos;
+}
+
+double LatencyHistogram::meanNanos() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::percentileNanos(double p) const {
+  MQS_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0;
+  // Rank of the percentile sample, 1-based (nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    cumulative += counts_[slot];
+    if (cumulative >= target) return slotUpperBound(slot);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kSlots; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::string LatencyHistogram::toJson() const {
+  std::string out = "{\"count\":" + std::to_string(count_) +
+                    ",\"sumNanos\":" + std::to_string(sum_) +
+                    ",\"maxNanos\":" + std::to_string(max_) + ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    if (counts_[slot] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(slot) + ',' + std::to_string(counts_[slot]) +
+           ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mqs::loadgen

@@ -1,0 +1,74 @@
+// Streaming latency histogram: log-linear nanosecond buckets, HDR-style.
+//
+// The load generator classifies up to millions of response times per run;
+// storing raw samples for an exact percentile would cost memory linear in
+// offered load and a sort at the end. Instead, latencies land in a fixed
+// array of log-linear buckets:
+//
+//   - values below 2^kSubBucketBits ns are recorded exactly;
+//   - above that, each power-of-two range [2^k, 2^(k+1)) is split into
+//     2^kSubBucketBits equal sub-buckets, so the relative quantization
+//     error is bounded by 2^-kSubBucketBits (≤ 1/32 ≈ 3.1%).
+//
+// Counts are integers, so merging histograms (per-connection shards, or
+// per-policy rounds) is exact and associative — (a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c)
+// bucket for bucket — and the JSON rendering below is integer-only, hence
+// byte-stable across platforms and runs with equal inputs (the golden
+// test's currency). Percentiles report a bucket's upper bound, so they
+// never understate the tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <array>
+
+namespace mqs::loadgen {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// One linear segment per power-of-two range up to 2^63, plus the exact
+  /// low range: slots [0, 2^bits) are exact values, every later group of
+  /// 2^bits slots is one power-of-two range.
+  static constexpr std::size_t kSlots = (64 - kSubBucketBits + 1)
+                                        << kSubBucketBits;
+
+  /// Record one latency in nanoseconds.
+  void record(std::uint64_t nanos);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t maxNanos() const { return max_; }
+  /// Exact mean of the recorded (unquantized) values.
+  [[nodiscard]] double meanNanos() const;
+
+  /// Upper bound of the bucket holding the p-th percentile (p in [0,100]),
+  /// in nanoseconds; 0 when empty. Never understates the true percentile
+  /// by more than the bucket quantization (and never overstates it past
+  /// one bucket width).
+  [[nodiscard]] std::uint64_t percentileNanos(double p) const;
+
+  /// Exact, associative merge: bucket-wise count addition.
+  void merge(const LatencyHistogram& other);
+
+  /// Integer-only JSON: {"count":..,"sumNanos":..,"maxNanos":..,
+  /// "buckets":[[slot,count],...]} with buckets sparse and in slot order.
+  /// Byte-stable for equal recorded multisets.
+  [[nodiscard]] std::string toJson() const;
+
+  /// Slot index for a value (exposed for the unit tests).
+  [[nodiscard]] static std::size_t slotOf(std::uint64_t nanos);
+  /// Largest value mapping to `slot` (the reported bucket bound).
+  [[nodiscard]] static std::uint64_t slotUpperBound(std::size_t slot);
+
+ private:
+  std::array<std::uint64_t, kSlots> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+  /// Exact sum of recorded values (for the mean); unsigned wraparound
+  /// would need ~10^19 ns-seconds of total latency, far past any run.
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace mqs::loadgen

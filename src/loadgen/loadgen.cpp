@@ -1,0 +1,251 @@
+#include "loadgen/loadgen.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_annotations.hpp"
+#include "net/net_client.hpp"
+#include "server/admission.hpp"
+
+namespace mqs::loadgen {
+
+void LoadGenReport::merge(const LoadGenReport& other) {
+  offered += other.offered;
+  completed += other.completed;
+  failed += other.failed;
+  rejectedQueueFull += other.rejectedQueueFull;
+  rejectedQuota += other.rejectedQuota;
+  shedDeadline += other.shedDeadline;
+  errors += other.errors;
+  timeouts += other.timeouts;
+  sendFailures += other.sendFailures;
+  if (other.elapsedSec > elapsedSec) elapsedSec = other.elapsedSec;
+  latency.merge(other.latency);
+  latencySettled.merge(other.latencySettled);
+}
+
+std::string LoadGenReport::toJson() const {
+  const auto num = [](double v) {
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.6f", v);
+    return std::string(buf.data());
+  };
+  const auto pctMs = [this, &num](double p) {
+    return num(static_cast<double>(latency.percentileNanos(p)) / 1e6);
+  };
+  std::string out = "{";
+  out += "\"offered\":" + std::to_string(offered);
+  out += ",\"completed\":" + std::to_string(completed);
+  out += ",\"failed\":" + std::to_string(failed);
+  out += ",\"rejectedQueueFull\":" + std::to_string(rejectedQueueFull);
+  out += ",\"rejectedQuota\":" + std::to_string(rejectedQuota);
+  out += ",\"shedDeadline\":" + std::to_string(shedDeadline);
+  out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"timeouts\":" + std::to_string(timeouts);
+  out += ",\"sendFailures\":" + std::to_string(sendFailures);
+  out += ",\"elapsedSec\":" + num(elapsedSec);
+  out += ",\"goodputPerSec\":" + num(goodputPerSec());
+  out += ",\"shedRate\":" + num(shedRate());
+  out += ",\"latencyMs\":{\"p50\":" + pctMs(50) + ",\"p95\":" + pctMs(95) +
+         ",\"p99\":" + pctMs(99) + ",\"p999\":" + pctMs(99.9) +
+         ",\"mean\":" + num(latency.meanNanos() / 1e6) + "}";
+  out += ",\"latencyHistogram\":" + latency.toJson();
+  out += "}";
+  return out;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Reader/writer rendezvous for one connection: the scheduled-arrival
+/// timestamps of in-flight requests.
+struct ConnState {
+  Mutex mu{lockorder::Rank::kLoadgen, "loadgen::ConnState::mu"};
+  std::unordered_map<std::uint64_t, std::uint64_t> outstanding
+      GUARDED_BY(mu);  ///< requestId -> scheduled arrival, ns from epoch
+  bool senderDone GUARDED_BY(mu) = false;
+};
+
+std::uint64_t nanosSince(Clock::time_point epoch) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// One connection's session; returns its shard of the report.
+LoadGenReport runConnection(const LoadGenConfig& cfg,
+                            const net::CodecRegistry* codecs,
+                            const QueryFactory& factory, Rng arrivalRng,
+                            Rng drawRng, Clock::time_point epoch) {
+  LoadGenReport rep;
+  net::NetClient client(
+      cfg.host, cfg.port, codecs,
+      net::NetClientConfig{cfg.connectTimeoutSec, cfg.ioTimeoutSec});
+
+  ArrivalConfig arrival = cfg.arrival;
+  arrival.ratePerSec = cfg.arrival.ratePerSec /
+                       static_cast<double>(std::max(1, cfg.connections));
+  ArrivalProcess process(arrival, arrivalRng);
+
+  ConnState state;
+  // Written only by the receiver, read after join() — the join is the
+  // synchronization. Goodput divides by this, so it must mark the last
+  // *settled* response, not the tail of an idle receive tick.
+  std::uint64_t lastSettledNs = 0;
+
+  std::jthread receiver([&] {
+    // Drain until every in-flight request settles, the drain budget after
+    // sender completion runs out, or the transport dies.
+    std::uint64_t drainDeadlineNs = 0;
+    for (;;) {
+      {
+        MutexLock lock(state.mu);
+        if (state.senderDone && state.outstanding.empty()) return;
+        if (state.senderDone && drainDeadlineNs == 0) {
+          drainDeadlineNs =
+              nanosSince(epoch) +
+              static_cast<std::uint64_t>(cfg.drainTimeoutSec * 1e9);
+        }
+      }
+      net::NetClient::Outcome out;
+      try {
+        out = client.receiveAny();
+      } catch (const net::TimeoutError&) {
+        MutexLock lock(state.mu);
+        if (state.senderDone && drainDeadlineNs != 0 &&
+            nanosSince(epoch) >= drainDeadlineNs) {
+          rep.timeouts += state.outstanding.size();
+          state.outstanding.clear();
+          return;
+        }
+        continue;  // idle tick (e.g. a bursty OFF phase); keep listening
+      } catch (const std::exception&) {
+        // Transport gone: every in-flight request is lost.
+        MutexLock lock(state.mu);
+        rep.timeouts += state.outstanding.size();
+        state.outstanding.clear();
+        return;
+      }
+      std::uint64_t scheduledNs = 0;
+      bool known = false;
+      {
+        MutexLock lock(state.mu);
+        if (const auto it = state.outstanding.find(out.requestId);
+            it != state.outstanding.end()) {
+          scheduledNs = it->second;
+          known = true;
+          state.outstanding.erase(it);
+        }
+      }
+      if (!known) continue;  // stray id; never counted as offered
+      const std::uint64_t nowNs = nanosSince(epoch);
+      lastSettledNs = nowNs;
+      const std::uint64_t latencyNs =
+          nowNs > scheduledNs ? nowNs - scheduledNs : 0;
+      rep.latencySettled.record(latencyNs);
+      using Status = net::NetClient::Outcome::Status;
+      switch (out.status) {
+        case Status::Result:
+          ++rep.completed;
+          rep.latency.record(latencyNs);
+          break;
+        case Status::Failed:
+          ++rep.failed;
+          break;
+        case Status::Rejected:
+          switch (static_cast<server::RejectReason>(out.rejectReason)) {
+            case server::RejectReason::QueueFull:
+              ++rep.rejectedQueueFull;
+              break;
+            case server::RejectReason::ClientQuota:
+              ++rep.rejectedQuota;
+              break;
+            case server::RejectReason::DeadlineShed:
+              ++rep.shedDeadline;
+              break;
+            default:
+              ++rep.errors;
+          }
+          break;
+        case Status::Error:
+          ++rep.errors;
+          break;
+      }
+    }
+  });
+
+  // Sender: fire at the scheduled instants, server progress be damned.
+  for (;;) {
+    const double arrivalSec = process.next();
+    if (arrivalSec >= cfg.durationSec) break;
+    const auto scheduledNs = static_cast<std::uint64_t>(arrivalSec * 1e9);
+    std::this_thread::sleep_until(
+        epoch + std::chrono::nanoseconds(scheduledNs));
+    const vm::VMPredicate pred = factory.make(drawRng);
+    ++rep.offered;
+    // Registered before the frame is on the wire: a fast response must
+    // find its scheduled timestamp already in the map.
+    const std::uint64_t id = client.nextRequestId();
+    {
+      MutexLock lock(state.mu);
+      state.outstanding.emplace(id, scheduledNs);
+    }
+    try {
+      const std::uint64_t sentId = client.send(pred);
+      MQS_CHECK(sentId == id);
+    } catch (const std::exception&) {
+      ++rep.sendFailures;
+      MutexLock lock(state.mu);
+      state.outstanding.erase(id);
+      break;  // connection is gone; stop offering on it
+    }
+  }
+  {
+    MutexLock lock(state.mu);
+    state.senderDone = true;
+  }
+  receiver.join();
+  rep.elapsedSec = std::max(
+      cfg.durationSec, static_cast<double>(lastSettledNs) / 1e9);
+  return rep;
+}
+
+}  // namespace
+
+LoadGenReport runLoad(const LoadGenConfig& cfg,
+                      const net::CodecRegistry* codecs) {
+  MQS_CHECK(codecs != nullptr);
+  MQS_CHECK(cfg.connections >= 1);
+  MQS_CHECK(cfg.durationSec > 0.0);
+  const QueryFactory factory(cfg.workload);
+  Rng root(cfg.seed);
+
+  std::vector<LoadGenReport> shards(
+      static_cast<std::size_t>(cfg.connections));
+  {
+    const Clock::time_point epoch = Clock::now();
+    std::vector<std::jthread> threads;
+    threads.reserve(shards.size());
+    for (std::size_t c = 0; c < shards.size(); ++c) {
+      Rng arrivalRng = root.fork();
+      Rng drawRng = root.fork();
+      threads.emplace_back([&, c, arrivalRng, drawRng] {
+        shards[c] =
+            runConnection(cfg, codecs, factory, arrivalRng, drawRng, epoch);
+      });
+    }
+  }  // join
+
+  LoadGenReport total;
+  for (const LoadGenReport& shard : shards) total.merge(shard);
+  return total;
+}
+
+}  // namespace mqs::loadgen

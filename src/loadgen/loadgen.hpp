@@ -1,0 +1,96 @@
+// Open-loop wire-protocol load generator (DESIGN.md §11).
+//
+// Drives a real NetServer over TCP with many concurrent connections. Each
+// connection runs a sender thread (schedules arrivals from its share of
+// the configured arrival process, fires Query frames at those instants
+// regardless of server progress — the open loop) and a receiver thread
+// (classifies every response: Result, Failed, Rejected-by-reason, Error).
+//
+// Latency is measured from the *scheduled* arrival, not the actual send:
+// when a sender falls behind (slow socket, server back-pressure), the
+// backlog counts against the server, which is the open-loop convention
+// that avoids coordinated omission. Per-connection results merge exactly
+// (integer counters, mergeable histograms) into one report per run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "loadgen/arrival.hpp"
+#include "loadgen/latency_histogram.hpp"
+#include "loadgen/workload.hpp"
+#include "net/codecs.hpp"
+
+namespace mqs::loadgen {
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connections = 4;
+  double durationSec = 5.0;
+  /// Aggregate arrival process; each connection runs an independent copy
+  /// at ratePerSec / connections, so the offered load sums back to it.
+  ArrivalConfig arrival;
+  WorkloadConfig workload;
+  std::uint64_t seed = 1;
+  double connectTimeoutSec = 5.0;
+  /// Per-receive bound; also the tick at which drain progress is checked.
+  double ioTimeoutSec = 2.0;
+  /// Extra time after the last scheduled send to wait for stragglers;
+  /// responses still missing then count as timeouts.
+  double drainTimeoutSec = 30.0;
+};
+
+/// One run's outcome tallies. The fate classes mirror the server's
+/// admission vocabulary, observed from the client side of the wire:
+/// offered == completed + failed + rejected* + shedDeadline + errors +
+/// timeouts + sendFailures once the run has drained.
+struct LoadGenReport {
+  std::uint64_t offered = 0;    ///< Query frames scheduled and sent (or
+                                ///< attempted — send failures included)
+  std::uint64_t completed = 0;  ///< Result frames (goodput)
+  std::uint64_t failed = 0;     ///< Failed frames (terminal FAILED)
+  std::uint64_t rejectedQueueFull = 0;  ///< Rejected, reason QueueFull
+  std::uint64_t rejectedQuota = 0;      ///< Rejected, reason ClientQuota
+  std::uint64_t shedDeadline = 0;       ///< Rejected, reason DeadlineShed
+  std::uint64_t errors = 0;             ///< Error frames / unknown reasons
+  std::uint64_t timeouts = 0;      ///< responses never received
+  std::uint64_t sendFailures = 0;  ///< send() itself failed
+  double elapsedSec = 0.0;  ///< run start to the last settled response
+                            ///< (>= durationSec); excludes idle receive
+                            ///< ticks after the final response
+
+  LatencyHistogram latency;         ///< completed (Result) responses only
+  LatencyHistogram latencySettled;  ///< every settled response, any fate
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejectedQueueFull + rejectedQuota;
+  }
+  /// Completed results per second of elapsed run time.
+  [[nodiscard]] double goodputPerSec() const {
+    return elapsedSec > 0.0
+               ? static_cast<double>(completed) / elapsedSec
+               : 0.0;
+  }
+  /// Fraction of offered load the server refused to spend compute on.
+  [[nodiscard]] double shedRate() const {
+    return offered > 0
+               ? static_cast<double>(rejected() + shedDeadline) /
+                     static_cast<double>(offered)
+               : 0.0;
+  }
+
+  /// Exact merge (per-connection shards -> run total).
+  void merge(const LoadGenReport& other);
+
+  /// JSON object with the counters, derived rates, latency percentiles,
+  /// and the full completed-latency histogram.
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// Run one open-loop load session against a live server. Blocking; spawns
+/// 2 threads per connection internally.
+[[nodiscard]] LoadGenReport runLoad(const LoadGenConfig& cfg,
+                                    const net::CodecRegistry* codecs);
+
+}  // namespace mqs::loadgen

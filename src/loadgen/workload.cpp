@@ -1,0 +1,92 @@
+#include "loadgen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mqs::loadgen {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  MQS_CHECK(n >= 1);
+  MQS_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end()
+                                      ? cdf_.size() - 1
+                                      : it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  MQS_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+namespace {
+
+std::size_t universeOf(const WorkloadConfig& cfg) {
+  MQS_CHECK(cfg.regionSide > 0);
+  MQS_CHECK_MSG(cfg.slideWidth % cfg.regionSide == 0 &&
+                    cfg.slideHeight % cfg.regionSide == 0,
+                "regionSide must tile the slide");
+  MQS_CHECK(!cfg.zooms.empty());
+  for (const std::uint32_t z : cfg.zooms) {
+    MQS_CHECK_MSG(z >= 1 && cfg.regionSide % z == 0,
+                  "regionSide must be divisible by every zoom");
+  }
+  const auto tiles = static_cast<std::size_t>(
+      (cfg.slideWidth / cfg.regionSide) * (cfg.slideHeight / cfg.regionSide));
+  return tiles * cfg.zooms.size();
+}
+
+}  // namespace
+
+QueryFactory::QueryFactory(WorkloadConfig cfg)
+    : cfg_(std::move(cfg)),
+      tileCols_(cfg_.slideWidth / cfg_.regionSide),
+      tileRows_(cfg_.slideHeight / cfg_.regionSide),
+      zipf_(universeOf(cfg_), cfg_.zipfS) {
+  MQS_CHECK(cfg_.averageOpFraction >= 0.0 && cfg_.averageOpFraction <= 1.0);
+  perm_.resize(zipf_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i) {
+    perm_[i] = static_cast<std::uint32_t>(i);
+  }
+  // Seeded Fisher–Yates: the permutation (hence the popularity field) is a
+  // pure function of the workload seed, independent of the draw stream.
+  Rng rng(cfg_.seed);
+  for (std::size_t i = perm_.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm_[i - 1], perm_[j]);
+  }
+}
+
+vm::VMPredicate QueryFactory::make(Rng& rng) const {
+  const std::uint32_t idx = perm_[zipf_.sample(rng)];
+  const auto tiles = static_cast<std::uint32_t>(tileCols_ * tileRows_);
+  const std::uint32_t tile = idx % tiles;
+  const std::uint32_t zoom = cfg_.zooms[idx / tiles];
+  const std::int64_t x =
+      (static_cast<std::int64_t>(tile) % tileCols_) * cfg_.regionSide;
+  const std::int64_t y =
+      (static_cast<std::int64_t>(tile) / tileCols_) * cfg_.regionSide;
+  const vm::VMOp op = rng.bernoulli(cfg_.averageOpFraction)
+                          ? vm::VMOp::Average
+                          : vm::VMOp::Subsample;
+  return vm::VMPredicate(
+      cfg_.dataset, Rect::ofSize(x, y, cfg_.regionSide, cfg_.regionSide),
+      zoom, op);
+}
+
+}  // namespace mqs::loadgen

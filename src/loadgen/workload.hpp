@@ -1,0 +1,81 @@
+// Synthetic Virtual-Microscope workload for the load generator: zipfian
+// popularity over (region tile, magnification) pairs.
+//
+// Real visualization sessions concentrate on hot regions — everyone looks
+// at the same lesion at the same few zoom levels — which is exactly what
+// makes the Data Store's reuse path matter under load. The factory tiles
+// the slide into regionSide² cells, crosses them with the zoom set, and
+// draws from a Zipf(s) distribution over a seeded permutation of those
+// pairs: rank 1 is some arbitrary-but-fixed (cell, zoom), so two runs with
+// one seed replay the same popularity field while different seeds move the
+// hot spots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "query/predicate.hpp"
+#include "storage/data_source.hpp"
+#include "vm/vm_predicate.hpp"
+
+namespace mqs::loadgen {
+
+/// Zipf(s) over ranks 0..n-1: P(rank k) ∝ 1/(k+1)^s, sampled in O(log n)
+/// from a precomputed CDF. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// P(rank k) — exposed for the distribution tests.
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct WorkloadConfig {
+  storage::DatasetId dataset = 0;
+  std::int64_t slideWidth = 4096;
+  std::int64_t slideHeight = 4096;
+  /// Query region side in base-resolution pixels; must divide the slide
+  /// dimensions and be divisible by every zoom level.
+  std::int64_t regionSide = 256;
+  /// Zipf exponent over (tile, zoom) popularity ranks; 0 = uniform.
+  double zipfS = 1.1;
+  /// Magnification levels queries draw from.
+  std::vector<std::uint32_t> zooms = {1, 2, 4, 8};
+  /// Fraction of queries using the Average op (CPU-heavier); the rest
+  /// Subsample (I/O-heavier).
+  double averageOpFraction = 0.5;
+  /// Seed for the rank → (tile, zoom) permutation — NOT for the draw
+  /// stream, which uses the caller's Rng; one workload seed with many
+  /// client Rngs gives clients the same hot spots.
+  std::uint64_t seed = 0x776f726b6c6f6164ULL;
+};
+
+class QueryFactory {
+ public:
+  explicit QueryFactory(WorkloadConfig cfg);
+
+  /// Draw one query according to the popularity field.
+  [[nodiscard]] vm::VMPredicate make(Rng& rng) const;
+  [[nodiscard]] query::PredicatePtr makePtr(Rng& rng) const {
+    return make(rng).clone();
+  }
+
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t universeSize() const { return perm_.size(); }
+
+ private:
+  WorkloadConfig cfg_;
+  std::int64_t tileCols_ = 0;
+  std::int64_t tileRows_ = 0;
+  ZipfSampler zipf_;
+  /// rank -> (tile, zoom) index permutation (seeded Fisher–Yates).
+  std::vector<std::uint32_t> perm_;
+};
+
+}  // namespace mqs::loadgen

@@ -56,6 +56,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   std::int64_t sourceSum = 0;
   for (const QueryRecord& r : records) {
     if (r.failed) ++s.failedQueries;
+    if (r.shed) ++s.shedQueries;
     response.push_back(r.responseTime());
     wait.push_back(r.waitTime());
     exec.push_back(r.execTime());
@@ -73,6 +74,7 @@ Summary summarize(const std::vector<QueryRecord>& records) {
   s.p50Response = percentile(response, 50);
   s.p95Response = percentile(response, 95);
   s.p99Response = percentile(response, 99);
+  s.p999Response = percentile(response, 99.9);
   s.meanResponse = mean(response);
   s.meanWait = mean(wait);
   s.meanExec = mean(exec);

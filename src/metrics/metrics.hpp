@@ -52,8 +52,14 @@ struct QueryRecord {
   std::string planShape;
 
   /// Terminal FAILED status: the query raised an error (unreadable page,
-  /// deadline exceeded) and delivered an exception instead of bytes.
+  /// deadline exceeded mid-execution) and delivered an exception instead
+  /// of bytes.
   bool failed = false;
+  /// Terminal SHED status (DESIGN.md §11): the query was admitted but
+  /// dropped at dispatch — its deadline had already passed (or was
+  /// predicted to pass) before it consumed any compute. Disjoint from
+  /// `failed`; a query is never both completed and shed.
+  bool shed = false;
   std::string failureReason;
 
   [[nodiscard]] double waitTime() const { return startTime - arrivalTime; }
@@ -91,6 +97,7 @@ class Collector {
 struct Summary {
   std::size_t queries = 0;
   std::size_t failedQueries = 0;  ///< records with the FAILED status
+  std::size_t shedQueries = 0;    ///< records with the SHED status
   double trimmedResponse = 0.0;  ///< 95%-trimmed mean response time
   double meanResponse = 0.0;
   double meanWait = 0.0;
@@ -110,10 +117,11 @@ struct Summary {
   /// "targets fairness" (§4) — this makes the claim measurable. 0 when no
   /// client ids were recorded.
   double clientFairness = 0.0;
-  /// Response-time tail: median / 95th / 99th percentiles.
+  /// Response-time tail: median / 95th / 99th / 99.9th percentiles.
   double p50Response = 0.0;
   double p95Response = 0.0;
   double p99Response = 0.0;
+  double p999Response = 0.0;
 };
 
 Summary summarize(const std::vector<QueryRecord>& records);

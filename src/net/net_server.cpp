@@ -16,6 +16,9 @@ namespace mqs::net {
 
 struct NetServer::Connection {
   int fd = -1;
+  /// Accept ordinal; every query submitted on this connection carries it
+  /// so per-client fairness quotas apply at the wire level.
+  int client = -1;
   /// (requestId, future) pairs flowing from the reader to the writer, in
   /// submission order.
   BlockingQueue<std::pair<std::uint64_t, std::future<server::QueryResult>>>
@@ -89,15 +92,17 @@ void NetServer::acceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener closed
     }
-    ++accepted_;
-    serveConnection(fd);
+    const auto clientId =
+        static_cast<int>(accepted_.fetch_add(1, std::memory_order_relaxed));
+    serveConnection(fd, clientId);
   }
 }
 
-void NetServer::serveConnection(int fd) {
+void NetServer::serveConnection(int fd, int client) {
   auto conn = std::make_unique<Connection>();
   Connection* c = conn.get();
   c->fd = fd;
+  c->client = client;
 
   c->reader = std::jthread([this, c] {
     Frame frame;
@@ -108,7 +113,7 @@ void NetServer::serveConnection(int fd) {
         Reader r(frame.payload);
         id = r.u64();
         query::PredicatePtr pred = codecs_->decode(r);
-        c->pending.push({id, queryServer_.submit(std::move(pred))});
+        c->pending.push({id, queryServer_.submit(std::move(pred), c->client)});
       } catch (const std::exception& e) {
         // Malformed predicate: report instead of dying.
         std::promise<server::QueryResult> p;
@@ -123,10 +128,35 @@ void NetServer::serveConnection(int fd) {
     while (auto item = c->pending.pop()) {
       Writer w;
       w.u64(item->first);
+      // share() keeps the result state — and any exception stored in it —
+      // referenced for the whole iteration. future::get() releases the
+      // state *before* a catch handler runs, so the worker's promise
+      // teardown could destroy the exception object concurrently with the
+      // e.what() reads below; that is safe only through the runtime's
+      // exception refcount, which TSan cannot observe. Holding the state
+      // until after the handlers orders the teardown visibly.
+      std::shared_future<server::QueryResult> settled = item->second.share();
       try {
-        server::QueryResult result = item->second.get();
+        const server::QueryResult& result = settled.get();
         w.blob(result.bytes);
         if (!writeAll(c->fd, packFrame(FrameType::Result, w.bytes()))) break;
+      } catch (const server::QueryRejected& e) {
+        // Turned away at admission (queue full / over quota): the overload
+        // frame, so clients can back off instead of treating this as a
+        // query bug.
+        w.u8(static_cast<std::uint8_t>(e.reason()));
+        w.str(e.what());
+        if (!writeAll(c->fd, packFrame(FrameType::Rejected, w.bytes()))) {
+          break;
+        }
+      } catch (const server::QueryShed& e) {
+        // Admitted but dropped at dispatch (deadline shed); same overload
+        // frame with the DeadlineShed discriminator.
+        w.u8(static_cast<std::uint8_t>(server::RejectReason::DeadlineShed));
+        w.str(e.what());
+        if (!writeAll(c->fd, packFrame(FrameType::Rejected, w.bytes()))) {
+          break;
+        }
       } catch (const server::QueryFailure& e) {
         // The query reached the terminal FAILED status; tell the client
         // which request died so it can distinguish this from a rejected

@@ -6,6 +6,13 @@
 // Result/Error frames). Pipelining therefore works: a client may pour a
 // whole batch down the socket and read results back as they complete —
 // the paper's batch scenario over a real transport.
+//
+// Each accepted connection is assigned a distinct client id (its accept
+// ordinal) and every query it submits carries that id, so the server's
+// per-client fairness quotas (DESIGN.md §11) apply at the wire level and
+// per-client metrics stay attributable. Overload outcomes —
+// QueryRejected at admission, QueryShed at dispatch — travel back as
+// Rejected frames carrying the RejectReason discriminator.
 #pragma once
 
 #include <atomic>
@@ -44,7 +51,7 @@ class NetServer {
   struct Connection;
 
   void acceptLoop();
-  void serveConnection(int fd);
+  void serveConnection(int fd, int client);
 
   server::QueryServer& queryServer_;
   const CodecRegistry* codecs_;

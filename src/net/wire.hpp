@@ -5,15 +5,21 @@
 // Frames are length-prefixed:
 //   u32 payloadLength | u8 type | payload
 // with types:
-//   Query  — u64 requestId | u16 kindLen | kind | predicate bytes
-//   Result — u64 requestId | u64 resultLen | result bytes
-//   Error  — u64 requestId | u16 messageLen | message
-//   Failed — u64 requestId | u16 messageLen | message
+//   Query    — u64 requestId | u16 kindLen | kind | predicate bytes
+//   Result   — u64 requestId | u64 resultLen | result bytes
+//   Error    — u64 requestId | u16 messageLen | message
+//   Failed   — u64 requestId | u16 messageLen | message
+//   Rejected — u64 requestId | u8 reason | u16 messageLen | message
 //
 // Error means the request itself was rejected (malformed predicate,
 // transport fault); Failed means the server accepted and scheduled the
 // query but it reached the terminal FAILED status (device fault past the
-// retry budget, deadline exceeded).
+// retry budget, deadline exceeded mid-execution). Rejected is the overload
+// frame (DESIGN.md §11): the server refused to spend compute on the query —
+// either at admission (bounded queue full, per-client quota exceeded) or at
+// dispatch (deadline-based shedding). The u8 reason is a
+// server::RejectReason discriminator so clients can back off differently
+// for "you are over quota" vs "the server is saturated".
 //
 // Integers are little-endian. Predicate bodies are produced by
 // application-registered PredicateCodecs (see codecs.hpp).
@@ -28,7 +34,13 @@
 
 namespace mqs::net {
 
-enum class FrameType : std::uint8_t { Query = 1, Result = 2, Error = 3, Failed = 4 };
+enum class FrameType : std::uint8_t {
+  Query = 1,
+  Result = 2,
+  Error = 3,
+  Failed = 4,
+  Rejected = 5,
+};
 
 /// Growing byte sink with little-endian primitive writers.
 class Writer {

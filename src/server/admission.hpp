@@ -1,0 +1,131 @@
+// Overload-behavior vocabulary for the query server (DESIGN.md §11).
+//
+// Under open-loop traffic the server cannot control its offered load, so
+// every query meets one of exactly three fates before consuming compute:
+//
+//   ADMITTED  — entered the bounded admission queue; will execute, fail,
+//               or be shed at dispatch.
+//   REJECTED  — turned away at submit: the admission queue was at its
+//               bound, or the client was over its fairness quota. Costs
+//               one predicate decode and nothing else.
+//   SHED      — admitted, but dropped at dispatch because its deadline had
+//               already passed (or, with predictive shedding, because the
+//               observed service rate says it cannot finish in time).
+//
+// The conservation law the overload test layer asserts:
+//
+//   offered == admitted + rejectedQueueFull + rejectedQuota
+//   admitted == completed + failed + shedDeadline + (still in flight)
+//
+// All counters are relaxed atomics bumped at the event site: admission
+// decisions happen on the submit path under QueryServer::mu_, but readers
+// (benches, the load generator, tests) poll without taking any lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace mqs::server {
+
+/// Why the server refused to spend compute on a query. Crosses the wire as
+/// the u8 discriminator of the Rejected frame (net/wire.hpp).
+enum class RejectReason : std::uint8_t {
+  QueueFull = 1,     ///< admission queue at its bound (server saturated)
+  ClientQuota = 2,   ///< per-client queued-queries/bytes quota exceeded
+  DeadlineShed = 3,  ///< deadline passed (or predicted to pass) pre-compute
+};
+
+[[nodiscard]] constexpr std::string_view toString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::ClientQuota: return "client_quota";
+    case RejectReason::DeadlineShed: return "deadline_shed";
+  }
+  return "unknown";
+}
+
+/// Plain snapshot of the admission counters (one coherent-enough read per
+/// field; exact once the server has drained).
+struct AdmissionCounts {
+  std::uint64_t offered = 0;    ///< submit() calls (excluding shutdown races)
+  std::uint64_t admitted = 0;   ///< entered the admission queue
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedQuota = 0;  ///< per-client fairness quota hits
+  std::uint64_t shedDeadline = 0;   ///< dropped at dispatch, pre-compute
+  std::uint64_t completed = 0;      ///< delivered result bytes
+  std::uint64_t failed = 0;         ///< terminal FAILED (consumed compute)
+  /// Queries that consumed compute and still finished (or failed) past
+  /// their deadline — the misses shedding did not prevent.
+  std::uint64_t deadlineMissed = 0;
+  std::uint64_t queueDepth = 0;      ///< current admission-queue depth
+  std::uint64_t peakQueueDepth = 0;  ///< high-water mark of queueDepth
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejectedQueueFull + rejectedQuota;
+  }
+  /// Queries with a known terminal fate (the rest are queued/executing).
+  [[nodiscard]] std::uint64_t settled() const {
+    return rejected() + shedDeadline + completed + failed;
+  }
+};
+
+/// Lock-free admission accounting; owned by QueryServer, readable anytime.
+class AdmissionStats {
+ public:
+  void onOffered() { bump(offered_); }
+  void onAdmitted(std::uint64_t depth) {
+    bump(admitted_);
+    queueDepth_.store(depth, std::memory_order_relaxed);
+    // Racy max update is fine: a lost race loses a near-identical peak.
+    std::uint64_t peak = peakQueueDepth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peakQueueDepth_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+  void onDispatched(std::uint64_t depth) {
+    queueDepth_.store(depth, std::memory_order_relaxed);
+  }
+  void onRejected(RejectReason reason) {
+    bump(reason == RejectReason::ClientQuota ? rejectedQuota_
+                                             : rejectedQueueFull_);
+  }
+  void onShed() { bump(shedDeadline_); }
+  void onCompleted() { bump(completed_); }
+  void onFailed() { bump(failed_); }
+  void onDeadlineMissed() { bump(deadlineMissed_); }
+
+  [[nodiscard]] AdmissionCounts snapshot() const {
+    AdmissionCounts c;
+    c.offered = offered_.load(std::memory_order_relaxed);
+    c.admitted = admitted_.load(std::memory_order_relaxed);
+    c.rejectedQueueFull = rejectedQueueFull_.load(std::memory_order_relaxed);
+    c.rejectedQuota = rejectedQuota_.load(std::memory_order_relaxed);
+    c.shedDeadline = shedDeadline_.load(std::memory_order_relaxed);
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.failed = failed_.load(std::memory_order_relaxed);
+    c.deadlineMissed = deadlineMissed_.load(std::memory_order_relaxed);
+    c.queueDepth = queueDepth_.load(std::memory_order_relaxed);
+    c.peakQueueDepth = peakQueueDepth_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejectedQueueFull_{0};
+  std::atomic<std::uint64_t> rejectedQuota_{0};
+  std::atomic<std::uint64_t> shedDeadline_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> deadlineMissed_{0};
+  std::atomic<std::uint64_t> queueDepth_{0};
+  std::atomic<std::uint64_t> peakQueueDepth_{0};
+};
+
+}  // namespace mqs::server

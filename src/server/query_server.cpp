@@ -108,13 +108,81 @@ std::future<QueryResult> QueryServer::submit(query::PredicatePtr pred,
           std::runtime_error("query server is shutting down")));
       return future;
     }
+    admission_.onOffered();
+    // Bounded admission queue (DESIGN.md §11): a saturated server turns
+    // work away at the door instead of letting queue wait grow without
+    // bound. Rejection costs the client one round trip and the server
+    // nothing downstream of this lock.
+    if (cfg_.admissionQueueLimit > 0 &&
+        queuedCount_ >= cfg_.admissionQueueLimit) {
+      admission_.onRejected(RejectReason::QueueFull);
+      if (tracer_ != nullptr) {
+        tracer_->counter(trace::CounterKind::AdmissionRejected);
+      }
+      pq.promise.set_exception(std::make_exception_ptr(QueryRejected(
+          RejectReason::QueueFull,
+          "admission queue full (" + std::to_string(queuedCount_) + " of " +
+              std::to_string(cfg_.admissionQueueLimit) + " slots queued)")));
+      return future;
+    }
+    // Per-client fairness quota: one greedy client cannot occupy the whole
+    // admission queue and starve the rest. A client with nothing queued is
+    // always allowed one query, even past the byte quota — otherwise a
+    // single large query could never run at all.
+    if (client >= 0 &&
+        (cfg_.maxQueuedPerClient > 0 || cfg_.maxQueuedBytesPerClient > 0)) {
+      if (const auto it = clientQuota_.find(client);
+          it != clientQuota_.end() && it->second.queued > 0) {
+        const ClientQuota& q = it->second;
+        const bool overQueries = cfg_.maxQueuedPerClient > 0 &&
+                                 q.queued >= cfg_.maxQueuedPerClient;
+        const bool overBytes = cfg_.maxQueuedBytesPerClient > 0 &&
+                               q.queuedBytes + pq.record.outputBytes >
+                                   cfg_.maxQueuedBytesPerClient;
+        if (overQueries || overBytes) {
+          admission_.onRejected(RejectReason::ClientQuota);
+          if (tracer_ != nullptr) {
+            tracer_->counter(trace::CounterKind::AdmissionRejected);
+            tracer_->counter(trace::CounterKind::AdmissionQuotaHit);
+          }
+          pq.promise.set_exception(std::make_exception_ptr(QueryRejected(
+              RejectReason::ClientQuota,
+              std::string("client quota exceeded (") +
+                  (overQueries ? "queued queries" : "queued bytes") +
+                  " for client " + std::to_string(client) + ")")));
+          return future;
+        }
+      }
+    }
     const sched::NodeId node = scheduler_.submit(std::move(pred));
     pq.record.queryId = node;
+    if (client >= 0) {
+      ClientQuota& q = clientQuota_[client];
+      ++q.queued;
+      q.queuedBytes += pq.record.outputBytes;
+    }
+    ++queuedCount_;
+    admission_.onAdmitted(queuedCount_);
+    if (tracer_ != nullptr) {
+      tracer_->counter(trace::CounterKind::AdmissionAdmitted);
+      tracer_->counter(trace::CounterKind::AdmissionQueueDepth, queuedCount_);
+    }
     latches_.emplace(node, std::make_shared<DoneLatch>());
     pending_.emplace(node, std::move(pq));
   }
   workAvailable_.notifyOne();
   return future;
+}
+
+void QueryServer::releaseClientQuota(const metrics::QueryRecord& rec) {
+  if (rec.client < 0) return;
+  const auto it = clientQuota_.find(rec.client);
+  if (it == clientQuota_.end()) return;
+  ClientQuota& q = it->second;
+  q.queued = std::max(0, q.queued - 1);
+  q.queuedBytes -= std::min(q.queuedBytes, rec.outputBytes);
+  // Drop drained entries so the map stays bounded by *active* clients.
+  if (q.queued == 0) clientQuota_.erase(it);
 }
 
 QueryResult QueryServer::execute(query::PredicatePtr pred, int client) {
@@ -173,6 +241,15 @@ void QueryServer::workerLoop() {
       MQS_CHECK_MSG(it != pending_.end(), "dequeued query without record");
       pq = std::move(it->second);
       pending_.erase(it);
+      // The quota charge covers submit -> dispatch: once a worker owns the
+      // query it no longer crowds other clients out of the queue.
+      if (queuedCount_ > 0) --queuedCount_;
+      admission_.onDispatched(queuedCount_);
+      releaseClientQuota(pq.record);
+      if (tracer_ != nullptr) {
+        tracer_->counter(trace::CounterKind::AdmissionQueueDepth,
+                         queuedCount_);
+      }
     }
     runQuery(node, std::move(pq));
   }
@@ -185,6 +262,43 @@ void QueryServer::checkDeadline(const metrics::QueryRecord& rec) const {
     throw QueryFailure("query deadline exceeded (" + std::to_string(elapsed) +
                        "s > " + std::to_string(cfg_.queryDeadlineSec) + "s)");
   }
+}
+
+bool QueryServer::shouldShed(const metrics::QueryRecord& rec,
+                             std::string& reason) const {
+  if (!cfg_.shedDeadlineMisses || cfg_.queryDeadlineSec <= 0.0) return false;
+  const double elapsed = nowSeconds() - rec.arrivalTime;
+  if (elapsed > cfg_.queryDeadlineSec) {
+    reason = "query shed: deadline exceeded before dispatch (" +
+             std::to_string(elapsed) + "s > " +
+             std::to_string(cfg_.queryDeadlineSec) + "s)";
+    return true;
+  }
+  if (cfg_.predictiveShedding) {
+    const double rate = ewmaSecPerByte_.load(std::memory_order_relaxed);
+    if (rate > 0.0) {
+      const double predicted = rate * static_cast<double>(rec.outputBytes);
+      if (elapsed + predicted > cfg_.queryDeadlineSec) {
+        reason = "query shed: predicted deadline miss (" +
+                 std::to_string(elapsed) + "s elapsed + " +
+                 std::to_string(predicted) + "s predicted > " +
+                 std::to_string(cfg_.queryDeadlineSec) + "s)";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void QueryServer::noteServiceRate(double secPerByte) {
+  if (!(secPerByte > 0.0)) return;  // also rejects NaN
+  constexpr double kAlpha = 0.2;
+  double cur = ewmaSecPerByte_.load(std::memory_order_relaxed);
+  double next = secPerByte;
+  do {
+    next = cur == 0.0 ? secPerByte : cur + kAlpha * (secPerByte - cur);
+  } while (!ewmaSecPerByte_.compare_exchange_weak(
+      cur, next, std::memory_order_relaxed));
 }
 
 std::shared_future<void> QueryServer::doneFutureOf(sched::NodeId node) {
@@ -351,31 +465,51 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   std::vector<std::byte> out;
   std::string failureReason;
   bool failed = false;
-  try {
-    checkDeadline(rec);  // a query already past its deadline never executes
-    out = computeQuery(node, pred, rec);
-  } catch (const std::exception& e) {
-    failed = true;
-    failureReason = e.what();
-  } catch (...) {
-    failed = true;
-    failureReason = "unknown error";
+  // Load shedding (DESIGN.md §11): a query whose deadline has passed — or,
+  // predictively, cannot be met — is dropped here, before planning or
+  // compute. With shedding off, the same observed miss fails through
+  // checkDeadline below (the historical FAILED classification).
+  const bool shed = shouldShed(rec, failureReason);
+  if (!shed) {
+    try {
+      checkDeadline(rec);  // a query already past its deadline never executes
+      out = computeQuery(node, pred, rec);
+    } catch (const std::exception& e) {
+      failed = true;
+      failureReason = e.what();
+    } catch (...) {
+      failed = true;
+      failureReason = "unknown error";
+    }
   }
   rec.bytesFromDisk = pagespace::PageSpaceManager::threadDeviceBytes();
   rec.ioStallTime = pagespace::PageSpaceManager::threadStallSeconds();
 
   // The terminal DELIVER span covers result caching, the graph-node
-  // transition, and client delivery; its end event carries the failed flag.
+  // transition, and client delivery; its end event carries the failed or
+  // shed flag (never both — shed queries skip execution entirely).
   trace::SpanScope deliver(tracer_, node, trace::SpanKind::Deliver);
   if (failed) deliver.setEndFlags(trace::kFlagFailed);
+  if (shed) deliver.setEndFlags(trace::kFlagShed);
 
   // --- cache the result & transition the graph node --------------------
-  if (failed) {
+  if (shed) {
+    rec.shed = true;
+    rec.failureReason = failureReason;
+    // SHED is terminal like FAILED: no reusable result, so the node leaves
+    // the graph at once and waiting neighbors are re-ranked.
+    scheduler_.failed(node);
+    admission_.onShed();
+    if (tracer_ != nullptr) {
+      tracer_->counter(trace::CounterKind::AdmissionShed);
+    }
+  } else if (failed) {
     rec.failed = true;
     rec.failureReason = failureReason;
     // FAILED is terminal: there is no reusable result, so the node leaves
     // the graph at once and waiting neighbors are re-ranked.
     scheduler_.failed(node);
+    admission_.onFailed();
   } else {
     std::optional<datastore::BlobId> blob;
     if (rec.overlapUsed < 1.0) blob = cacheResult(pred, out);
@@ -404,14 +538,34 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
     MutexLock lock(mu_);
     latches_[node]->promise.set_value();
   }
-  // A failed query produced no result, so it contributes no reuse-feedback
-  // signal to adaptive policies.
-  if (!failed) scheduler_.reportQueryOutcome(rec.overlapUsed);
+  // A failed or shed query produced no result, so it contributes no
+  // reuse-feedback signal to adaptive policies.
+  if (!failed && !shed) {
+    scheduler_.reportQueryOutcome(rec.overlapUsed);
+    admission_.onCompleted();
+  }
 
   deliver.close();
   rec.finishTime = nowSeconds();
+  // Deadline-missed accounting: queries that consumed compute and still
+  // finished (or died) past their deadline — the misses shedding did not
+  // prevent. Shed queries are counted once, as SHED.
+  if (!shed && cfg_.queryDeadlineSec > 0.0 &&
+      rec.responseTime() > cfg_.queryDeadlineSec) {
+    admission_.onDeadlineMissed();
+    if (tracer_ != nullptr) {
+      tracer_->counter(trace::CounterKind::DeadlineMissed);
+    }
+  }
+  // Feed the predictive-shedding EWMA with the observed service rate.
+  if (!shed && !failed && rec.outputBytes > 0) {
+    noteServiceRate(rec.execTime() / static_cast<double>(rec.outputBytes));
+  }
   collector_.add(rec);
-  if (failed) {
+  if (shed) {
+    pq.promise.set_exception(
+        std::make_exception_ptr(QueryShed(failureReason)));
+  } else if (failed) {
     pq.promise.set_exception(
         std::make_exception_ptr(QueryFailure(failureReason)));
   } else {

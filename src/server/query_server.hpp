@@ -36,6 +36,7 @@
 #include "query/executor.hpp"
 #include "query/planner.hpp"
 #include "sched/scheduler.hpp"
+#include "server/admission.hpp"
 #include "trace/trace.hpp"
 #include "vm/vm_semantics.hpp"
 
@@ -48,6 +49,31 @@ namespace mqs::server {
 class QueryFailure : public std::runtime_error {
  public:
   explicit QueryFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The server refused the query at admission (DESIGN.md §11): the bounded
+/// admission queue was full or the client was over its fairness quota. The
+/// query never entered the scheduler and consumed no compute. Over the
+/// wire this becomes a Rejected frame carrying the reason discriminator.
+class QueryRejected : public std::runtime_error {
+ public:
+  QueryRejected(RejectReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// The query was admitted but dropped at dispatch because its deadline had
+/// already passed (or was predicted to pass) before it consumed compute.
+/// Derives from QueryFailure so clients that only distinguish "got bytes"
+/// from "query died with a deadline message" keep working; overload-aware
+/// clients catch the subtype (the wire maps it to a Rejected frame with
+/// reason DeadlineShed).
+class QueryShed : public QueryFailure {
+ public:
+  explicit QueryShed(const std::string& what) : QueryFailure(what) {}
 };
 
 struct ServerConfig {
@@ -74,6 +100,28 @@ struct ServerConfig {
   /// Checked at dispatch and at blocking points; a query past its deadline
   /// fails with QueryFailure instead of occupying a thread-pool slot.
   double queryDeadlineSec = 0.0;
+  // --- overload behavior (DESIGN.md §11) --------------------------------
+  /// Bound on the admission queue (queries submitted but not yet
+  /// dispatched). 0 = unbounded (the historical behaviour). When full,
+  /// submit() rejects with QueryRejected{QueueFull} instead of queueing.
+  std::size_t admissionQueueLimit = 0;
+  /// Per-client fairness quotas on queued work: max queries a single
+  /// client (id >= 0) may have in the admission queue, and max total
+  /// predicted output bytes of those queries. 0 = unlimited. Exceeding
+  /// either rejects with QueryRejected{ClientQuota}; anonymous submissions
+  /// (client < 0) are exempt.
+  int maxQueuedPerClient = 0;
+  std::uint64_t maxQueuedBytesPerClient = 0;
+  /// Reclassify dispatch-time deadline misses as terminal SHED instead of
+  /// FAILED: the query is dropped before consuming compute, the record
+  /// gets shed=true (failed stays false), and the future resolves with
+  /// QueryShed. Off by default — the historical FAILED classification.
+  bool shedDeadlineMisses = false;
+  /// With shedDeadlineMisses: also shed queries that have not yet missed
+  /// their deadline but are predicted to — elapsed + (EWMA observed
+  /// seconds-per-output-byte × outputBytes) past the deadline. Saves the
+  /// compute an observed-only policy would waste on doomed queries.
+  bool predictiveShedding = false;
   std::string dsEviction = "LRU";  ///< LRU | LFU | LARGEST
   std::string policy = "FIFO";
   double alpha = 0.2;
@@ -123,6 +171,8 @@ class QueryServer {
   [[nodiscard]] const metrics::Collector& collector() const {
     return collector_;
   }
+  /// Admission/shedding counters (lock-free snapshot; DESIGN.md §11).
+  [[nodiscard]] const AdmissionStats& admission() const { return admission_; }
   [[nodiscard]] const sched::QueryScheduler& scheduler() const {
     return scheduler_;
   }
@@ -172,6 +222,16 @@ class QueryServer {
   /// deadlines are cooperative — a query already inside the executor is
   /// not preempted.
   void checkDeadline(const metrics::QueryRecord& rec) const;
+  /// Dispatch-time shed decision (shedDeadlineMisses): true when the
+  /// query's deadline has passed, or (predictiveShedding) is predicted to
+  /// pass before it could finish. Fills `reason` with the shed message.
+  [[nodiscard]] bool shouldShed(const metrics::QueryRecord& rec,
+                                std::string& reason) const;
+  /// Feed one completed query's observed seconds-per-output-byte into the
+  /// EWMA behind predictive shedding.
+  void noteServiceRate(double secPerByte);
+  /// Return a dequeued/settled query's quota charge to its client.
+  void releaseClientQuota(const metrics::QueryRecord& rec) REQUIRES(mu_);
   void onBlobEvicted(datastore::BlobId blob) EXCLUDES(mu_);
   std::shared_future<void> doneFutureOf(sched::NodeId node) EXCLUDES(mu_);
 
@@ -206,6 +266,22 @@ class QueryServer {
       GUARDED_BY(mu_);
   std::unordered_set<sched::NodeId> evictedWhileExecuting_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
+
+  // --- overload behavior (DESIGN.md §11) --------------------------------
+  /// A client's outstanding charge against its fairness quota.
+  struct ClientQuota {
+    int queued = 0;
+    std::uint64_t queuedBytes = 0;
+  };
+  /// Admission-queue depth (submitted, not yet dispatched). Tracked here —
+  /// not via scheduler_.waitingCount() — so the bound check and the
+  /// counter bump are atomic under one lock.
+  std::size_t queuedCount_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<int, ClientQuota> clientQuota_ GUARDED_BY(mu_);
+  AdmissionStats admission_;
+  /// EWMA of observed seconds-per-output-byte over completed queries
+  /// (predictive shedding); 0 until the first completion.
+  std::atomic<double> ewmaSecPerByte_{0.0};
 
   std::vector<std::jthread> workers_;
 };

@@ -65,18 +65,22 @@ void exportChromeTrace(std::ostream& os, const std::vector<Event>& events) {
   os << "{\"traceEvents\":[";
   bool first = true;
   // Counters are exported as running totals so a Perfetto counter track
-  // shows cumulative hits/misses over time.
-  std::array<std::uint64_t, 16> counterTotals{};
+  // shows cumulative hits/misses over time. AdmissionQueueDepth is the one
+  // gauge in the vocabulary: its value is already the instantaneous depth,
+  // so it is exported as-is instead of summed.
+  std::array<std::uint64_t, 32> counterTotals{};
   for (const Event& e : events) {
     if (!first) os << ",\n";
     first = false;
     if (e.type == EventType::Counter) {
       const auto idx = static_cast<std::size_t>(e.kind) % counterTotals.size();
-      counterTotals[idx] += e.value;
+      const bool gauge = e.counterKind() == CounterKind::AdmissionQueueDepth;
+      if (!gauge) counterTotals[idx] += e.value;
       os << "{\"ph\":\"C\",\"ts\":" << formatMicros(e.ts)
          << ",\"pid\":1,\"tid\":" << e.tid << ",\"name\":"
          << jsonQuote(std::string(toString(e.counterKind())))
-         << ",\"args\":{\"total\":" << counterTotals[idx] << "}}";
+         << ",\"args\":{\"total\":" << (gauge ? e.value : counterTotals[idx])
+         << "}}";
       continue;
     }
     const bool begin = e.type == EventType::SpanBegin;
@@ -95,6 +99,8 @@ void exportChromeTrace(std::ostream& os, const std::vector<Event>& events) {
       os << "}";
     } else if ((e.flags & kFlagFailed) != 0) {
       os << ",\"args\":{\"failed\":true}";
+    } else if ((e.flags & kFlagShed) != 0) {
+      os << ",\"args\":{\"shed\":true}";
     }
     os << "}";
   }
@@ -114,7 +120,7 @@ namespace {
 const char* const kQueryColumns =
     "queryId,client,predicate,arrivalTime,startTime,finishTime,waitTime,"
     "execTime,responseTime,blockedTime,ioStallTime,overlapUsed,reuseSources,"
-    "planBytesCovered,bytesReused,inputBytes,outputBytes,bytesFromDisk,"
+    "planBytesCovered,bytesReused,inputBytes,outputBytes,bytesFromDisk,shed,"
     "planShape,failed,failureReason";
 
 std::string formatSeconds(double seconds) {
@@ -138,8 +144,8 @@ void exportQueryCsv(std::ostream& os,
        << ',' << formatSeconds(r.overlapUsed) << ',' << r.reuseSources << ','
        << r.planBytesCovered << ',' << r.bytesReused << ',' << r.inputBytes
        << ',' << r.outputBytes << ',' << r.bytesFromDisk << ','
-       << csvQuote(r.planShape) << ',' << (r.failed ? 1 : 0) << ','
-       << csvQuote(r.failureReason) << "\n";
+       << (r.shed ? 1 : 0) << ',' << csvQuote(r.planShape) << ','
+       << (r.failed ? 1 : 0) << ',' << csvQuote(r.failureReason) << "\n";
   }
 }
 
@@ -175,6 +181,7 @@ void exportQueryJson(std::ostream& os,
        << ",\"bytesFromDisk\":" << r.bytesFromDisk
        << ",\"planShape\":" << jsonQuote(r.planShape)
        << ",\"failed\":" << (r.failed ? "true" : "false")
+       << ",\"shed\":" << (r.shed ? "true" : "false")
        << ",\"failureReason\":" << jsonQuote(r.failureReason) << "}";
   }
   os << "]\n";
@@ -191,6 +198,7 @@ std::string summaryJson(const metrics::Summary& s) {
   };
   out += "\"queries\":" + std::to_string(s.queries) + ",";
   out += "\"failedQueries\":" + std::to_string(s.failedQueries) + ",";
+  out += "\"shedQueries\":" + std::to_string(s.shedQueries) + ",";
   num("trimmedResponse", s.trimmedResponse);
   num("meanResponse", s.meanResponse);
   num("meanWait", s.meanWait);
@@ -207,7 +215,8 @@ std::string summaryJson(const metrics::Summary& s) {
   num("clientFairness", s.clientFairness);
   num("p50Response", s.p50Response);
   num("p95Response", s.p95Response);
-  num("p99Response", s.p99Response, /*comma=*/false);
+  num("p99Response", s.p99Response);
+  num("p999Response", s.p999Response, /*comma=*/false);
   out += "}";
   return out;
 }

@@ -70,6 +70,12 @@ std::string_view toString(CounterKind kind) {
     case CounterKind::LockWaitSched: return "lock_wait_sched";
     case CounterKind::LockWaitDs: return "lock_wait_ds";
     case CounterKind::LockWaitPs: return "lock_wait_ps";
+    case CounterKind::AdmissionAdmitted: return "admitted";
+    case CounterKind::AdmissionRejected: return "rejected";
+    case CounterKind::AdmissionShed: return "shed";
+    case CounterKind::AdmissionQuotaHit: return "quota_hit";
+    case CounterKind::DeadlineMissed: return "deadline_missed";
+    case CounterKind::AdmissionQueueDepth: return "queue_depth";
   }
   return "unknown";
 }

@@ -72,6 +72,18 @@ enum class CounterKind : std::uint8_t {
   LockWaitSched,
   LockWaitDs,
   LockWaitPs,
+  // Overload behavior (DESIGN.md §11): admission-control and load-shedding
+  // events emitted by the query server. ADMITTED/REJECTED/SHED partition
+  // the offered load; QUOTA_HIT counts per-client fairness rejections
+  // (a subset of REJECTED); DEADLINE_MISSED counts queries that consumed
+  // compute yet finished (or died) past their deadline; QUEUE_DEPTH is a
+  // gauge — its value is the admission-queue depth after the event.
+  AdmissionAdmitted,
+  AdmissionRejected,
+  AdmissionShed,
+  AdmissionQuotaHit,
+  DeadlineMissed,
+  AdmissionQueueDepth,
 };
 
 [[nodiscard]] std::string_view toString(SpanKind kind);
@@ -83,6 +95,8 @@ enum class EventType : std::uint8_t { SpanBegin = 0, SpanEnd, Counter };
 inline constexpr std::uint8_t kFlagFailed = 0x1;      ///< DELIVER of a FAILED query
 inline constexpr std::uint8_t kFlagCachedSource = 0x2;     ///< PROJECT from cached
 inline constexpr std::uint8_t kFlagExecutingSource = 0x4;  ///< PROJECT from executing
+inline constexpr std::uint8_t kFlagShed = 0x8;  ///< DELIVER of a SHED query
+                                                ///< (dropped pre-compute)
 
 struct Event {
   double ts = 0.0;            ///< engine seconds (virtual in the simulator)

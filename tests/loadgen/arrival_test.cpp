@@ -1,0 +1,127 @@
+// Arrival processes: each envelope must hit its configured long-run mean
+// rate (they are only comparable on the overload curves if equal offered
+// load means equal arrivals), respect its shape (bursts inside the ON
+// window, diurnal arrivals following the cosine), and replay exactly from
+// a seed.
+#include "loadgen/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mqs::loadgen {
+namespace {
+
+std::vector<double> drawUntil(ArrivalProcess& p, double horizonSec) {
+  std::vector<double> times;
+  for (;;) {
+    const double t = p.next();
+    if (t >= horizonSec) return times;
+    times.push_back(t);
+  }
+}
+
+TEST(Arrival, KindNamesRoundTrip) {
+  for (const auto kind :
+       {ArrivalConfig::Kind::Poisson, ArrivalConfig::Kind::Bursty,
+        ArrivalConfig::Kind::Diurnal}) {
+    EXPECT_EQ(parseArrivalKind(toString(kind)), kind);
+  }
+  EXPECT_THROW((void)parseArrivalKind("sawtooth"), CheckFailure);
+}
+
+TEST(Arrival, ArrivalsAreStrictlyIncreasingAndDeterministic) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalConfig::Kind::Diurnal;
+  cfg.ratePerSec = 500.0;
+  ArrivalProcess a(cfg, Rng(2002));
+  ArrivalProcess b(cfg, Rng(2002));
+  ArrivalProcess c(cfg, Rng(2003));
+  double prev = -1.0;
+  bool anyDifferent = false;
+  for (int i = 0; i < 2000; ++i) {
+    const double ta = a.next();
+    EXPECT_GT(ta, prev);
+    prev = ta;
+    EXPECT_DOUBLE_EQ(ta, b.next());  // same seed, same stream
+    anyDifferent = anyDifferent || std::abs(ta - c.next()) > 1e-12;
+  }
+  EXPECT_TRUE(anyDifferent) << "different seeds produced the same stream";
+}
+
+TEST(Arrival, PoissonHitsConfiguredRate) {
+  ArrivalConfig cfg;
+  cfg.ratePerSec = 1000.0;
+  ArrivalProcess p(cfg, Rng(7));
+  const double horizon = 50.0;
+  const auto times = drawUntil(p, horizon);
+  const double expected = cfg.ratePerSec * horizon;
+  // ~50k arrivals: 4-sigma band is well under 2%.
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.02 * expected);
+  EXPECT_DOUBLE_EQ(p.maxRate(), cfg.ratePerSec);
+  EXPECT_DOUBLE_EQ(p.rateAt(0.0), cfg.ratePerSec);
+  EXPECT_DOUBLE_EQ(p.rateAt(123.4), cfg.ratePerSec);
+}
+
+TEST(Arrival, BurstyConfinesArrivalsToOnWindowAtSameMeanRate) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalConfig::Kind::Bursty;
+  cfg.ratePerSec = 400.0;
+  cfg.burstOnSec = 0.25;
+  cfg.burstOffSec = 0.75;
+  ArrivalProcess p(cfg, Rng(11));
+  const double period = cfg.burstOnSec + cfg.burstOffSec;
+  // Compressing the same mean rate into the ON quarter means 4x the rate
+  // while on.
+  EXPECT_DOUBLE_EQ(p.maxRate(), 1600.0);
+  EXPECT_DOUBLE_EQ(p.rateAt(0.1), 1600.0);
+  EXPECT_DOUBLE_EQ(p.rateAt(0.5), 0.0);
+
+  const double horizon = 100.0;  // whole periods only, so the mean is fair
+  const auto times = drawUntil(p, horizon);
+  for (const double t : times) {
+    const double phase = t - std::floor(t / period) * period;
+    ASSERT_LT(phase, cfg.burstOnSec) << "arrival inside the OFF window";
+  }
+  const double expected = cfg.ratePerSec * horizon;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.03 * expected);
+}
+
+TEST(Arrival, DiurnalFollowsTheCosineEnvelope) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalConfig::Kind::Diurnal;
+  cfg.ratePerSec = 300.0;
+  cfg.diurnalPeriodSec = 10.0;
+  cfg.diurnalDepth = 0.8;
+  ArrivalProcess p(cfg, Rng(23));
+  // Trough at t=0 (cos=1), peak half a period later.
+  EXPECT_NEAR(p.rateAt(0.0), 60.0, 1e-9);
+  EXPECT_NEAR(p.rateAt(5.0), 540.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.maxRate(), 540.0);
+
+  const double horizon = 100.0;  // whole periods
+  const auto times = drawUntil(p, horizon);
+  const double expected = cfg.ratePerSec * horizon;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.04 * expected);
+
+  // Arrivals concentrate around the peak: count the quarter-period around
+  // the peak vs the one around the trough of every cycle.
+  std::size_t nearPeak = 0;
+  std::size_t nearTrough = 0;
+  for (const double t : times) {
+    const double phase =
+        t - std::floor(t / cfg.diurnalPeriodSec) * cfg.diurnalPeriodSec;
+    if (std::abs(phase - 5.0) < 1.25) ++nearPeak;
+    if (phase < 1.25 || phase > 8.75) ++nearTrough;
+  }
+  // Envelope ratio over those windows is ~5x; demand at least 3x so the
+  // test has slack but a uniform process (ratio 1) can never pass.
+  EXPECT_GT(nearPeak, 3 * nearTrough);
+}
+
+}  // namespace
+}  // namespace mqs::loadgen

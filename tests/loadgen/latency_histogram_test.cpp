@@ -1,0 +1,182 @@
+// LatencyHistogram: the streaming percentile estimator must agree with an
+// exact sorted-sample computation up to its documented quantization on
+// every distribution shape the load generator meets (constant service,
+// bimodal hit/miss, heavy tails under overload), merge exactly and
+// associatively, and render byte-stable JSON.
+#include "loadgen/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mqs::loadgen {
+namespace {
+
+/// Nearest-rank percentile on the raw samples — the definition the
+/// histogram's documentation promises to match bucket-for-bucket.
+std::uint64_t exactPercentile(std::vector<std::uint64_t> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
+LatencyHistogram histogramOf(const std::vector<std::uint64_t>& samples) {
+  LatencyHistogram h;
+  for (const std::uint64_t v : samples) h.record(v);
+  return h;
+}
+
+/// The histogram reports the upper bound of the bucket holding the exact
+/// nearest-rank sample: same rank definition, monotone bucketing.
+void expectMatchesExact(const std::vector<std::uint64_t>& samples) {
+  const LatencyHistogram h = histogramOf(samples);
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t exact = exactPercentile(samples, p);
+    EXPECT_EQ(h.percentileNanos(p),
+              LatencyHistogram::slotUpperBound(LatencyHistogram::slotOf(exact)))
+        << "p=" << p;
+    // Never understates the true percentile; overstates by at most the
+    // relative quantization bound (exact below the sub-bucket threshold).
+    EXPECT_GE(h.percentileNanos(p), exact) << "p=" << p;
+    EXPECT_LE((h.percentileNanos(p) - exact) * LatencyHistogram::kSubBuckets,
+              std::max<std::uint64_t>(exact, 1))
+        << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, ValuesBelowSubBucketThresholdAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::slotOf(v), v);
+    EXPECT_EQ(LatencyHistogram::slotUpperBound(v), v);
+    h.record(v);
+  }
+  // 32 samples 0..31: p-th percentile is sample ceil(p/100*32)-1, exactly.
+  EXPECT_EQ(h.percentileNanos(50), 15u);
+  EXPECT_EQ(h.percentileNanos(100), 31u);
+  EXPECT_EQ(h.maxNanos(), 31u);
+  EXPECT_DOUBLE_EQ(h.meanNanos(), 15.5);
+}
+
+TEST(LatencyHistogram, SlotBoundsHoldAcrossMagnitudes) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Log-uniform across the full range the generator can see.
+    const int bits = static_cast<int>(rng.uniformInt(0, 62));
+    const std::uint64_t v = (1ULL << bits) +
+                            static_cast<std::uint64_t>(rng.uniformInt(
+                                0, static_cast<std::int64_t>(
+                                       (1ULL << bits) - 1)));
+    const std::size_t slot = LatencyHistogram::slotOf(v);
+    ASSERT_LT(slot, LatencyHistogram::kSlots);
+    const std::uint64_t ub = LatencyHistogram::slotUpperBound(slot);
+    ASSERT_GE(ub, v);
+    // Relative error bound: bucket width <= value / 2^kSubBucketBits.
+    ASSERT_LE((ub - v) * LatencyHistogram::kSubBuckets,
+              std::max<std::uint64_t>(v, 1));
+    // Bucketing is consistent: the upper bound lands in the same slot.
+    ASSERT_EQ(LatencyHistogram::slotOf(ub), slot);
+  }
+}
+
+TEST(LatencyHistogram, MatchesExactOnConstantDistribution) {
+  expectMatchesExact(std::vector<std::uint64_t>(1000, 777777));
+}
+
+TEST(LatencyHistogram, MatchesExactOnBimodalDistribution) {
+  // Cache-hit mode around 1us, miss mode around 100ms — the shape an
+  // overloaded server with a result cache actually produces.
+  Rng rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t base = rng.bernoulli(0.8) ? 1000 : 100000000;
+    samples.push_back(base +
+                      static_cast<std::uint64_t>(rng.uniformInt(0, base / 4)));
+  }
+  expectMatchesExact(samples);
+}
+
+TEST(LatencyHistogram, MatchesExactOnHeavyTailDistribution) {
+  // Pareto-ish tail: u^(-1/alpha) scale, alpha < 2 so the tail dominates.
+  Rng rng(13);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = 1.0 - rng.uniform01();
+    samples.push_back(
+        static_cast<std::uint64_t>(5000.0 * std::pow(u, -1.0 / 1.3)));
+  }
+  expectMatchesExact(samples);
+}
+
+TEST(LatencyHistogram, MergeIsExactAndAssociative) {
+  Rng rng(99);
+  std::vector<std::uint64_t> all;
+  std::vector<std::vector<std::uint64_t>> shards(3);
+  for (int i = 0; i < 9000; ++i) {
+    const auto v = static_cast<std::uint64_t>(
+        1000.0 * std::pow(1.0 - rng.uniform01(), -0.7));
+    all.push_back(v);
+    shards[static_cast<std::size_t>(i % 3)].push_back(v);
+  }
+  const LatencyHistogram whole = histogramOf(all);
+  const LatencyHistogram a = histogramOf(shards[0]);
+  const LatencyHistogram b = histogramOf(shards[1]);
+  const LatencyHistogram c = histogramOf(shards[2]);
+
+  LatencyHistogram left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  LatencyHistogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  LatencyHistogram right = a;
+  right.merge(bc);
+
+  // Integer counts: merges are exact, so all three renderings are
+  // byte-identical to recording every sample into one histogram.
+  EXPECT_EQ(left.toJson(), whole.toJson());
+  EXPECT_EQ(right.toJson(), whole.toJson());
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.maxNanos(), whole.maxNanos());
+  EXPECT_DOUBLE_EQ(left.meanNanos(), whole.meanNanos());
+  EXPECT_EQ(left.percentileNanos(99), whole.percentileNanos(99));
+}
+
+TEST(LatencyHistogram, GoldenJsonIsByteStable) {
+  LatencyHistogram h;
+  for (const std::uint64_t v : {5ULL, 31ULL, 32ULL, 100ULL, 1000000ULL}) {
+    h.record(v);
+  }
+  // Hand-computed slots: exact 5 and 31; 32 -> first log-linear slot 32;
+  // 100 -> k=6, sub=(100>>1)&31=18 -> 64+18=82; 1000000 -> k=19,
+  // sub=(1000000>>14)&31=29 -> 480+29=509.
+  EXPECT_EQ(h.toJson(),
+            "{\"count\":5,\"sumNanos\":1000168,\"maxNanos\":1000000,"
+            "\"buckets\":[[5,1],[31,1],[32,1],[82,1],[509,1]]}");
+  // Recording order must not matter (the golden's stability across
+  // shard-merge orderings depends on it).
+  LatencyHistogram reversed;
+  for (const std::uint64_t v : {1000000ULL, 100ULL, 32ULL, 31ULL, 5ULL}) {
+    reversed.record(v);
+  }
+  EXPECT_EQ(reversed.toJson(), h.toJson());
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsWellDefined) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentileNanos(50), 0u);
+  EXPECT_EQ(h.maxNanos(), 0u);
+  EXPECT_DOUBLE_EQ(h.meanNanos(), 0.0);
+  EXPECT_EQ(h.toJson(),
+            "{\"count\":0,\"sumNanos\":0,\"maxNanos\":0,\"buckets\":[]}");
+}
+
+}  // namespace
+}  // namespace mqs::loadgen

@@ -1,0 +1,154 @@
+// Zipfian workload factory: the popularity field must be a proper
+// distribution with the configured skew, every drawn query must be a valid
+// in-bounds predicate, and one workload seed must pin the same hot spots
+// across independent client draw streams (that sharing is what makes the
+// Data Store reuse path light up under load).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "loadgen/workload.hpp"
+#include "vm/vm_predicate.hpp"
+
+namespace mqs::loadgen {
+namespace {
+
+TEST(ZipfSampler, ProbabilitiesFormADecreasingDistribution) {
+  const ZipfSampler zipf(100, 1.1);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    sum += zipf.probability(k);
+    if (k > 0) EXPECT_LT(zipf.probability(k), zipf.probability(k - 1));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchTheDistribution) {
+  const ZipfSampler zipf(64, 1.2);
+  Rng rng(5);
+  std::map<std::size_t, std::size_t> counts;
+  constexpr std::size_t kDraws = 200000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (const std::size_t rank : {0UL, 1UL, 5UL, 20UL}) {
+    const double expected = zipf.probability(rank) * kDraws;
+    EXPECT_NEAR(static_cast<double>(counts[rank]), expected,
+                0.05 * expected + 30.0)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(QueryFactory, UniverseCrossesTilesWithZooms) {
+  WorkloadConfig cfg;
+  cfg.slideWidth = 4096;
+  cfg.slideHeight = 2048;
+  cfg.regionSide = 512;
+  cfg.zooms = {2, 4};
+  const QueryFactory factory(cfg);
+  // (4096/512) * (2048/512) tiles x 2 zooms.
+  EXPECT_EQ(factory.universeSize(), 8u * 4u * 2u);
+}
+
+TEST(QueryFactory, DrawsAreValidInBoundsPredicates) {
+  WorkloadConfig cfg;
+  cfg.dataset = 3;
+  cfg.slideWidth = 4096;
+  cfg.slideHeight = 4096;
+  cfg.regionSide = 256;
+  cfg.zooms = {1, 2, 4, 8};
+  const QueryFactory factory(cfg);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const vm::VMPredicate q = factory.make(rng);
+    EXPECT_EQ(q.dataset(), cfg.dataset);
+    const Rect r = q.region();
+    EXPECT_EQ(r.width(), cfg.regionSide);
+    EXPECT_EQ(r.height(), cfg.regionSide);
+    EXPECT_GE(r.x0, 0);
+    EXPECT_GE(r.y0, 0);
+    EXPECT_LE(r.x0 + r.width(), cfg.slideWidth);
+    EXPECT_LE(r.y0 + r.height(), cfg.slideHeight);
+    // Tile-aligned so the popularity field is well defined.
+    EXPECT_EQ(r.x0 % cfg.regionSide, 0);
+    EXPECT_EQ(r.y0 % cfg.regionSide, 0);
+    EXPECT_TRUE(std::find(cfg.zooms.begin(), cfg.zooms.end(), q.zoom()) !=
+                cfg.zooms.end());
+  }
+}
+
+TEST(QueryFactory, SharedWorkloadSeedSharesHotSpotsAcrossClients) {
+  WorkloadConfig cfg;
+  cfg.zipfS = 1.3;
+  cfg.averageOpFraction = 0.0;  // fix the op: popularity is over (tile,
+                                // zoom), not the per-draw op coin flip
+  const QueryFactory factory(cfg);
+
+  // Two independent client streams against one factory: the most popular
+  // predicate must be the same, and roughly as popular as Zipf rank 1.
+  const auto topDraw = [&factory](std::uint64_t seed) {
+    Rng rng(seed);
+    std::map<std::string, std::size_t> freq;
+    for (int i = 0; i < 20000; ++i) ++freq[factory.make(rng).describe()];
+    std::string best;
+    std::size_t bestCount = 0;
+    for (const auto& [desc, count] : freq) {
+      if (count > bestCount) {
+        best = desc;
+        bestCount = count;
+      }
+    }
+    return std::pair{best, bestCount};
+  };
+  const auto [topA, countA] = topDraw(1);
+  const auto [topB, countB] = topDraw(2);
+  EXPECT_EQ(topA, topB) << "hot spot moved between client streams";
+
+  const ZipfSampler zipf(factory.universeSize(), cfg.zipfS);
+  const double expected = zipf.probability(0) * 20000;
+  EXPECT_NEAR(static_cast<double>(countA), expected, 0.1 * expected);
+  EXPECT_NEAR(static_cast<double>(countB), expected, 0.1 * expected);
+
+  // A different workload seed relocates the hot spot (the permutation is
+  // the seed's job). One collision is astronomically unlikely across a
+  // 1024-slot universe.
+  WorkloadConfig moved = cfg;
+  moved.seed = cfg.seed + 1;
+  const QueryFactory movedFactory(moved);
+  Rng rng(1);
+  std::map<std::string, std::size_t> freq;
+  for (int i = 0; i < 20000; ++i) ++freq[movedFactory.make(rng).describe()];
+  std::string movedTop;
+  std::size_t movedCount = 0;
+  for (const auto& [desc, count] : freq) {
+    if (count > movedCount) {
+      movedTop = desc;
+      movedCount = count;
+    }
+  }
+  EXPECT_NE(movedTop, topA);
+}
+
+TEST(QueryFactory, RejectsGeometryTheSlideCannotTile) {
+  WorkloadConfig cfg;
+  cfg.slideWidth = 1000;  // not divisible by regionSide 256
+  EXPECT_ANY_THROW((void)QueryFactory(cfg));
+  WorkloadConfig bad;
+  bad.regionSide = 96;
+  bad.slideWidth = 960;
+  bad.slideHeight = 960;
+  bad.zooms = {64};  // 96 is not divisible by 64
+  EXPECT_ANY_THROW((void)QueryFactory(bad));
+}
+
+}  // namespace
+}  // namespace mqs::loadgen

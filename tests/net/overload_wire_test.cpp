@@ -1,0 +1,339 @@
+// Overload behavior across the wire (DESIGN.md §11): Rejected frames with
+// machine-readable reasons, deadline shedding visible end to end (frame,
+// QueryRecord, DELIVER[shed] trace flag), per-client quota fairness
+// between two live connections, the NetClient stall-timeout regression,
+// and the composition of overload with injected device faults.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
+#include "storage/delayed_source.hpp"
+#include "storage/faulty_source.hpp"
+#include "storage/synthetic_source.hpp"
+#include "trace/trace.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs::net {
+namespace {
+
+using server::AdmissionCounts;
+using server::QueryRejected;
+using server::RejectReason;
+using Outcome = NetClient::Outcome;
+using Status = NetClient::Outcome::Status;
+
+constexpr std::uint64_t kSeed = 2002;
+
+std::uint64_t envU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+class OverloadWireTest : public ::testing::Test {
+ protected:
+  OverloadWireTest()
+      : layout_(1024, 1024, 96),
+        slide_(layout_, kSeed),
+        slow_(slide_, storage::DiskModel{.seekOverheadSec = 0.002,
+                                         .sequentialOverheadSec = 0.002,
+                                         .bytesPerSecond = 200.0 * 1024 *
+                                                           1024}),
+        exec_(&sem_),
+        codecs_(CodecRegistry::standard()) {
+    dsid_ = sem_.addDataset(layout_);
+  }
+
+  /// Bring up the TCP front-end over a configured QueryServer; reads go
+  /// through the delay decorator so a pipelining client can always build
+  /// a backlog.
+  void start(server::ServerConfig cfg,
+             const storage::DataSource* source = nullptr) {
+    cfg.dsBytes = 1ULL << 20;  // no result-cache shortcuts under flood
+    cfg.psBytes = 1ULL << 20;
+    queryServer_ =
+        std::make_unique<server::QueryServer>(&sem_, &exec_, cfg);
+    queryServer_->attach(dsid_, source != nullptr ? source : &slow_);
+    netServer_ = std::make_unique<NetServer>(*queryServer_, &codecs_);
+  }
+
+  vm::VMPredicate distinctPred(std::size_t i) const {
+    const auto x = static_cast<std::int64_t>((i * 128) % 768);
+    const auto y = static_cast<std::int64_t>(((i * 128) / 768 * 128) % 768);
+    return {dsid_, Rect::ofSize(x, y, 256, 256), 4, vm::VMOp::Subsample};
+  }
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+  storage::DelayedSource slow_;
+  vm::VMSemantics sem_;
+  vm::VMExecutor exec_;
+  CodecRegistry codecs_;
+  storage::DatasetId dsid_ = 0;
+  std::unique_ptr<server::QueryServer> queryServer_;
+  std::unique_ptr<NetServer> netServer_;
+};
+
+TEST_F(OverloadWireTest, RejectedFrameCarriesReasonOverTheWire) {
+  server::ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.admissionQueueLimit = 2;
+  start(cfg);
+
+  NetClient client("127.0.0.1", netServer_->port(), &codecs_,
+                   NetClientConfig{.connectTimeoutSec = 5.0,
+                                   .ioTimeoutSec = 30.0});
+  constexpr std::size_t kFlood = 24;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    (void)client.send(distinctPred(i));
+  }
+  std::size_t completed = 0;
+  std::size_t rejectedQueueFull = 0;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const Outcome out = client.receiveAny();
+    switch (out.status) {
+      case Status::Result:
+        ++completed;
+        break;
+      case Status::Rejected:
+        EXPECT_EQ(static_cast<RejectReason>(out.rejectReason),
+                  RejectReason::QueueFull);
+        EXPECT_NE(out.message.find("admission queue full"),
+                  std::string::npos);
+        ++rejectedQueueFull;
+        break;
+      default:
+        FAIL() << "unexpected frame, message: " << out.message;
+    }
+  }
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(rejectedQueueFull, 0u) << "flood never overflowed the queue";
+  EXPECT_EQ(completed + rejectedQueueFull, kFlood);
+
+  // The typed path surfaces the same frame as a QueryRejected exception.
+  for (std::size_t i = 0; i < 8; ++i) (void)client.send(distinctPred(i));
+  std::size_t thrown = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    try {
+      (void)client.receive();
+    } catch (const QueryRejected& e) {
+      EXPECT_EQ(e.reason(), RejectReason::QueueFull);
+      ++thrown;
+    }
+  }
+  EXPECT_GT(thrown, 0u);
+
+  const AdmissionCounts counts = queryServer_->admission().snapshot();
+  EXPECT_EQ(counts.offered, counts.settled());
+  EXPECT_LE(counts.peakQueueDepth, cfg.admissionQueueLimit);
+}
+
+TEST_F(OverloadWireTest, DeadlineShedIsVisibleInFrameRecordAndTrace) {
+  server::ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.queryDeadlineSec = 1e-4;
+  cfg.shedDeadlineMisses = true;
+  cfg.traceSink = std::make_shared<trace::Tracer>();
+  start(cfg);
+
+  NetClient client("127.0.0.1", netServer_->port(), &codecs_,
+                   NetClientConfig{.connectTimeoutSec = 5.0,
+                                   .ioTimeoutSec = 30.0});
+  constexpr std::size_t kFlood = 16;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    (void)client.send(distinctPred(i));
+  }
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const Outcome out = client.receiveAny();
+    if (out.status == Status::Rejected) {
+      ASSERT_EQ(static_cast<RejectReason>(out.rejectReason),
+                RejectReason::DeadlineShed);
+      EXPECT_NE(out.message.find("deadline"), std::string::npos);
+      ++shed;
+    }
+  }
+  ASSERT_GT(shed, 0u) << "nothing queued past the deadline";
+
+  // Server-side record: shed, not failed, with the reason preserved.
+  std::size_t shedRecords = 0;
+  for (const auto& rec : queryServer_->collector().records()) {
+    if (rec.shed) {
+      ++shedRecords;
+      EXPECT_FALSE(rec.failed);
+      EXPECT_NE(rec.failureReason.find("deadline"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(shedRecords, shed);
+  EXPECT_EQ(queryServer_->admission().snapshot().shedDeadline, shed);
+
+  // Trace: the DELIVER end span carries the shed flag (DELIVER[shed]).
+  std::size_t shedDelivers = 0;
+  for (const auto& ev : cfg.traceSink->drain()) {
+    if (ev.type == trace::EventType::SpanEnd &&
+        ev.spanKind() == trace::SpanKind::Deliver &&
+        (ev.flags & trace::kFlagShed) != 0) {
+      EXPECT_EQ(ev.flags & trace::kFlagFailed, 0)
+          << "a shed query must not also be flagged failed";
+      ++shedDelivers;
+    }
+  }
+  EXPECT_EQ(shedDelivers, shed);
+}
+
+TEST_F(OverloadWireTest, QuotaCapsFloodingConnectionNotThePoliteOne) {
+  server::ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.maxQueuedPerClient = 3;
+  start(cfg);
+
+  // Connection A floods; its excess is rejected with ClientQuota.
+  NetClient flooder("127.0.0.1", netServer_->port(), &codecs_,
+                    NetClientConfig{.connectTimeoutSec = 5.0,
+                                    .ioTimeoutSec = 30.0});
+  constexpr std::size_t kFlood = 32;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    (void)flooder.send(distinctPred(i));
+  }
+
+  // Connection B plays fair (one in flight at a time) while A's backlog
+  // is still queued: every one of its queries must be admitted.
+  NetClient polite("127.0.0.1", netServer_->port(), &codecs_,
+                   NetClientConfig{.connectTimeoutSec = 5.0,
+                                   .ioTimeoutSec = 30.0});
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW((void)polite.execute(distinctPred(100 + i)))
+        << "fair client " << i;
+  }
+
+  std::size_t quotaRejected = 0;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const Outcome out = flooder.receiveAny();
+    if (out.status == Status::Rejected) {
+      EXPECT_EQ(static_cast<RejectReason>(out.rejectReason),
+                RejectReason::ClientQuota);
+      ++quotaRejected;
+    }
+  }
+  EXPECT_GT(quotaRejected, 0u) << "flood never hit its quota";
+  const AdmissionCounts counts = queryServer_->admission().snapshot();
+  EXPECT_EQ(counts.rejectedQuota, quotaRejected);
+  EXPECT_EQ(counts.offered, counts.settled());
+}
+
+// Regression (the bug this PR fixes): a server that accepts the TCP
+// connection and then never answers used to hang the client forever in
+// receive(). With ioTimeoutSec configured the client must surface
+// TimeoutError in bounded time instead.
+TEST_F(OverloadWireTest, ClientEscapesAcceptThenStallServer) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // The handshake completes via the backlog; nobody ever reads or writes.
+  NetClient client("127.0.0.1", port, &codecs_,
+                   NetClientConfig{.connectTimeoutSec = 2.0,
+                                   .ioTimeoutSec = 0.3});
+  (void)client.send(distinctPred(0));  // buffered by the kernel, fine
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.receive(), TimeoutError);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    before)
+          .count();
+  EXPECT_GE(waited, 0.2) << "timed out earlier than configured";
+  EXPECT_LT(waited, 5.0) << "timeout fired far too late";
+  ::close(listener);
+}
+
+// Overload defenses and injected device faults at the same time, through
+// the real wire path via the load generator: transient faults inside the
+// retry budget stay invisible (no FAILED fates) while admission control
+// and shedding keep every conservation law intact.
+TEST_F(OverloadWireTest, OverloadComposesWithInjectedFaults) {
+  const std::uint64_t seed = envU64("MQS_SOAK_SEED", 20260808);
+  storage::FaultPlan plan;
+  plan.seed = seed;
+  plan.transientRate = 0.1;
+  plan.maxConsecutiveTransient = 2;  // < ioRetryAttempts
+  plan.burstPeriod = 40;
+  plan.burstLen = 8;
+  plan.burstTransientRate = 0.5;
+  storage::FaultySource faulty(slide_, plan);
+
+  server::ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.admissionQueueLimit = 8;
+  cfg.maxQueuedPerClient = 6;
+  cfg.queryDeadlineSec = 0.5;
+  cfg.shedDeadlineMisses = true;
+  cfg.predictiveShedding = true;
+  cfg.ioRetryBackoffSec = 0.0;
+  start(cfg, &faulty);
+
+  loadgen::LoadGenConfig lg;
+  lg.port = netServer_->port();
+  lg.connections = 2;
+  lg.durationSec = 1.0;
+  lg.arrival.kind = loadgen::ArrivalConfig::Kind::Bursty;
+  lg.arrival.ratePerSec = 400.0;
+  lg.workload.dataset = dsid_;
+  lg.workload.slideWidth = 1024;
+  lg.workload.slideHeight = 1024;
+  lg.workload.regionSide = 128;
+  lg.workload.zooms = {2, 4};
+  lg.seed = seed;
+  const loadgen::LoadGenReport rep = loadgen::runLoad(lg, &codecs_);
+
+  // Client-side conservation across every fate.
+  EXPECT_EQ(rep.offered, rep.completed + rep.failed + rep.rejected() +
+                             rep.shedDeadline + rep.errors + rep.timeouts +
+                             rep.sendFailures);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_EQ(rep.failed, 0u) << "transient faults leaked through retries";
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.timeouts, 0u);
+  EXPECT_EQ(rep.sendFailures, 0u);
+
+  const AdmissionCounts counts = queryServer_->admission().snapshot();
+  EXPECT_EQ(counts.offered, rep.offered);
+  EXPECT_EQ(counts.offered, counts.settled());
+  EXPECT_LE(counts.peakQueueDepth, cfg.admissionQueueLimit);
+
+  // The soak is only meaningful if both stressors actually fired.
+  EXPECT_GT(faulty.stats().transientInjected, 0u)
+      << "fault plan injected nothing";
+
+  // Drained to idle with no leaks, same bar as the fault soak.
+  EXPECT_EQ(queryServer_->scheduler().waitingCount(), 0u);
+  EXPECT_EQ(queryServer_->scheduler().executingCount(), 0u);
+  EXPECT_EQ(queryServer_->pageSpace().claimCount(), 0u);
+  EXPECT_EQ(queryServer_->dataStore().pinnedBlobs(), 0u);
+}
+
+}  // namespace
+}  // namespace mqs::net

@@ -4,10 +4,14 @@
 //              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
 //              [--io-threads 4] [--reuse-sources 4]
 //              [--ds-shards 1] [--ps-shards 1]
-//              [--trace-out serve.trace.json]
+//              [--queue-limit 0] [--client-quota 0]
+//              [--client-byte-quota 0] [--deadline 0] [--shed]
+//              [--predictive-shed] [--trace-out serve.trace.json]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
-//       --trace-out dumps the lifecycle trace on shutdown.
+//       --queue-limit/--client-quota bound admission, --deadline + --shed
+//       drop doomed queries (DESIGN.md §11). --trace-out dumps the
+//       lifecycle trace on shutdown.
 //
 //   mqs query  --port P [--dataset 0] [--x 0 --y 0] [--side 1024]
 //              [--zoom 4] [--op subsample|average] [--out img.ppm]
@@ -24,6 +28,18 @@
 //
 //   mqs trace-gen --out trace.txt [--seed 42]
 //       Generate the paper workload and save it as a replayable trace.
+//
+//   mqs loadgen --port P [--host 127.0.0.1] [--rate 50] [--duration 10]
+//               [--connections 4] [--arrival poisson|bursty|diurnal]
+//               [--dataset 0] [--side 8192] [--region 256] [--zipf-s 1.1]
+//               [--seed 1] [--json]
+//       Open-loop wire-protocol load against a running `mqs serve`
+//       (DESIGN.md §11): Poisson/bursty/diurnal arrivals, zipfian region
+//       popularity, latency percentiles measured from the *scheduled*
+//       arrival (no coordinated omission). Prints a summary table, or the
+//       full report as JSON with --json. Pair with the serve overload
+//       flags (--queue-limit, --client-quota, --deadline, --shed) to
+//       watch admission control and load shedding engage.
 #include <iostream>
 #include <string>
 
@@ -32,6 +48,7 @@
 #include "common/table.hpp"
 #include "driver/sim_experiment.hpp"
 #include "driver/trace.hpp"
+#include "loadgen/loadgen.hpp"
 #include "net/net_client.hpp"
 #include "net/net_server.hpp"
 #include "storage/synthetic_source.hpp"
@@ -44,7 +61,8 @@ using namespace mqs;
 namespace {
 
 int usage() {
-  std::cerr << "usage: mqs <serve|query|experiment|trace-gen> [options]\n"
+  std::cerr << "usage: mqs <serve|query|experiment|trace-gen|loadgen>"
+               " [options]\n"
                "see the header of tools/mqs_cli.cpp for the full list\n";
   return 2;
 }
@@ -89,6 +107,16 @@ int cmdServe(const Options& opts) {
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
   cfg.dsShards = static_cast<int>(opts.getInt("ds-shards", cfg.dsShards));
   cfg.psShards = static_cast<int>(opts.getInt("ps-shards", cfg.psShards));
+  // Overload defenses (DESIGN.md §11) — all off by default.
+  cfg.admissionQueueLimit =
+      static_cast<std::size_t>(opts.getInt("queue-limit", 0));
+  cfg.maxQueuedPerClient = static_cast<int>(opts.getInt("client-quota", 0));
+  cfg.maxQueuedBytesPerClient =
+      opts.has("client-byte-quota") ? opts.getBytes("client-byte-quota", 0)
+                                    : 0;
+  cfg.queryDeadlineSec = opts.getDouble("deadline", cfg.queryDeadlineSec);
+  cfg.shedDeadlineMisses = opts.getBool("shed", false);
+  cfg.predictiveShedding = opts.getBool("predictive-shed", false);
   if (opts.has("trace-out")) {
     cfg.traceSink = std::make_shared<trace::Tracer>();
   }
@@ -225,6 +253,67 @@ int cmdTraceGen(const Options& opts) {
   return ok ? 0 : 1;
 }
 
+int cmdLoadgen(const Options& opts) {
+  if (!opts.has("port")) {
+    std::cerr << "loadgen requires --port\n";
+    return 2;
+  }
+  loadgen::LoadGenConfig cfg;
+  cfg.host = opts.getString("host", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(opts.getInt("port", 0));
+  cfg.connections = static_cast<int>(opts.getInt("connections", 4));
+  cfg.durationSec = opts.getDouble("duration", 10.0);
+  cfg.arrival.kind =
+      loadgen::parseArrivalKind(opts.getString("arrival", "poisson"));
+  cfg.arrival.ratePerSec = opts.getDouble("rate", 50.0);
+  cfg.workload.dataset =
+      static_cast<storage::DatasetId>(opts.getInt("dataset", 0));
+  const auto side = opts.getInt("side", 8192);
+  cfg.workload.slideWidth = side;
+  cfg.workload.slideHeight = side;
+  cfg.workload.regionSide = opts.getInt("region", 256);
+  cfg.workload.zipfS = opts.getDouble("zipf-s", 1.1);
+  cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+
+  const auto codecs = net::CodecRegistry::standard();
+  std::cout << "loadgen: " << loadgen::toString(cfg.arrival.kind)
+            << " arrivals at " << cfg.arrival.ratePerSec << " q/s over "
+            << cfg.connections << " connections for " << cfg.durationSec
+            << "s\n"
+            << std::flush;
+  const loadgen::LoadGenReport rep = loadgen::runLoad(cfg, &codecs);
+
+  if (opts.getBool("json", false)) {
+    std::cout << rep.toJson() << "\n";
+    return 0;
+  }
+  const auto pctMs = [&rep](double p) {
+    return formatDouble(
+        static_cast<double>(rep.latency.percentileNanos(p)) / 1e6, 1);
+  };
+  Table table("loadgen — open-loop, measured from scheduled arrival");
+  table.setColumns({"metric", "value"});
+  table.addRow({"offered", std::to_string(rep.offered)});
+  table.addRow({"completed", std::to_string(rep.completed)});
+  table.addRow({"failed", std::to_string(rep.failed)});
+  table.addRow({"rejected (queue full)",
+                std::to_string(rep.rejectedQueueFull)});
+  table.addRow({"rejected (client quota)",
+                std::to_string(rep.rejectedQuota)});
+  table.addRow({"shed (deadline)", std::to_string(rep.shedDeadline)});
+  table.addRow({"errors / timeouts / send failures",
+                std::to_string(rep.errors) + " / " +
+                    std::to_string(rep.timeouts) + " / " +
+                    std::to_string(rep.sendFailures)});
+  table.addRow({"goodput (q/s)", formatDouble(rep.goodputPerSec(), 1)});
+  table.addRow({"shed+reject rate", formatDouble(rep.shedRate(), 3)});
+  table.addRow({"p50 / p95 / p99 / p99.9 (ms)",
+                pctMs(50) + " / " + pctMs(95) + " / " + pctMs(99) + " / " +
+                    pctMs(99.9)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +325,7 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmdQuery(opts);
     if (cmd == "experiment") return cmdExperiment(opts);
     if (cmd == "trace-gen") return cmdTraceGen(opts);
+    if (cmd == "loadgen") return cmdLoadgen(opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
