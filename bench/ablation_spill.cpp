@@ -1,0 +1,164 @@
+// Ablation: cost-aware caching and the disk spill tier (DESIGN.md §13).
+//
+// Compares three Data Store configurations under cache pressure on a
+// zipf-skewed pixel-averaging workload (recompute is expensive and
+// *asymmetric*: input bytes grow with zoom^2 while every cached output is
+// the same size, so blobs differ widely in recompute benefit per byte):
+//
+//   LRU        — recency eviction, evictions terminal (the seed behaviour)
+//   COST       — cost-aware eviction: victims ranked by traced recompute
+//                benefit per byte, evictions still terminal
+//   COST+SPILL — cost-aware eviction plus the spill tier: evicted blobs
+//                demote to a modeled disk tier (SWAPPED_OUT) and come back
+//                through RestoreFromSpill plan steps when a later query
+//                overlaps them and the restore undercuts recompute
+//
+// --smoke runs the guard-rail variant used by the bench_smoke_spill ctest:
+// it asserts COST+SPILL strictly increases total reused bytes over LRU
+// without degrading trimmed-mean response, and that RestoreFromSpill is
+// actually exercised — at least one trace-derived plan shape contains 'S'.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "trace/analysis.hpp"
+
+using namespace mqs;
+
+namespace {
+
+/// Queries whose trace-derived plan shape used a spilled source.
+std::uint64_t tracedSpillShapes(const std::vector<trace::Event>& events) {
+  std::uint64_t n = 0;
+  for (const std::uint64_t qid : trace::queryIds(events)) {
+    const std::string shape =
+        trace::planShapeOf(trace::eventsForQuery(events, qid));
+    if (shape.find('S') != std::string::npos) ++n;
+  }
+  return n;
+}
+
+struct Variant {
+  std::string label;
+  std::string eviction;
+  bool spill = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "spill");
+  const bool smoke = ctx.options().getBool("smoke", false);
+  ctx.printHeader();
+
+  // Skewed reuse profile: clients mostly jump between shared hotspots
+  // (browseProbability 0.25) whose popularity follows zipf(1.1) over 8
+  // features, and pixel averaging makes a recompute ~20x the CPU of a
+  // subsampling query at the same zoom.
+  driver::WorkloadConfig wl = ctx.workload(vm::VMOp::Average);
+  wl.browseProbability = 0.25;
+  wl.hotspotsPerDataset = 8;
+  wl.hotspotZipfS = 1.1;
+
+  // Small DS budgets force evictions; the spill tier gets a deliberately
+  // generous budget so the comparison isolates *policy*, not tier sizing.
+  const std::vector<std::int64_t> dsMb =
+      ctx.options().getIntList("dsmem", smoke ? std::vector<std::int64_t>{8}
+                                              : std::vector<std::int64_t>{8, 16});
+  const auto spillMb =
+      static_cast<std::uint64_t>(ctx.options().getInt("spillmem", 256));
+
+  const std::vector<Variant> variants = {
+      {"LRU", "LRU", false},
+      {"COST", "COST", false},
+      {"COST+SPILL", "COST", true},
+  };
+
+  // (dsMb, label) -> run, kept for the smoke assertions after the sweep.
+  std::map<std::pair<std::int64_t, std::string>, driver::SimRunResult> runs;
+  std::uint64_t smokeTracedS = 0;
+
+  Table table("Cost-aware eviction and spill tier (CF scheduling), " +
+              std::string(bench::opName(vm::VMOp::Average)));
+  table.setColumns({"variant", "DS(MB)", "trimmed-response(s)", "reused(MB)",
+                    "evictions", "demoted", "spill-restores", "restored-nodes"});
+  for (const auto mb : dsMb) {
+    for (const Variant& v : variants) {
+      auto cfg = ctx.server("CF", 4, static_cast<std::uint64_t>(mb) * MiB,
+                            32 * MiB);
+      cfg.dsEviction = v.eviction;
+      if (v.spill) cfg.spillBytes = ctx.scaleBytes(spillMb * MiB);
+      // Trace the spill variant when asked (--trace-out) — and always in
+      // smoke mode, where the 'S'-shape assertion needs the events. The
+      // short-circuit keeps the one-shot sink for the spill run.
+      bool traced = v.spill && ctx.attachTraceSink(cfg);
+      if (smoke && v.spill && cfg.traceSink == nullptr) {
+        cfg.traceSink = std::make_shared<trace::Tracer>();
+        traced = true;
+      }
+
+      auto run = driver::SimExperiment::runInteractive(wl, cfg);
+
+      if (traced && v.spill) {
+        const std::uint64_t s = tracedSpillShapes(run.traceEvents);
+        if (smoke && mb == dsMb.front()) smokeTracedS = s;
+        if (ctx.options().has("trace-out")) ctx.writeTraceEvents(run.traceEvents);
+      }
+      table.addRow({v.label, std::to_string(mb),
+                    formatDouble(run.summary.trimmedResponse, 3),
+                    formatDouble(static_cast<double>(
+                                     run.summary.totalReusedBytes) /
+                                     static_cast<double>(MiB),
+                                 2),
+                    std::to_string(run.dsStats.evictions),
+                    std::to_string(run.spillStats.demoted),
+                    std::to_string(run.spillStats.restored),
+                    std::to_string(run.schedStats.restoredCount)});
+      runs.emplace(std::make_pair(mb, v.label), std::move(run));
+    }
+  }
+  ctx.emit(table);
+
+  if (!smoke) return 0;
+
+  // Guard rails (ISSUE 8 acceptance): at the tightest budget, COST+SPILL
+  // must strictly beat LRU on bytes reused, must not be worse on
+  // trimmed-mean response, and must visibly execute RestoreFromSpill.
+  const auto mb = dsMb.front();
+  const auto& lru = runs.at({mb, "LRU"});
+  const auto& spill = runs.at({mb, "COST+SPILL"});
+  bool ok = true;
+  if (spill.summary.totalReusedBytes <= lru.summary.totalReusedBytes) {
+    std::cerr << "SMOKE FAIL: COST+SPILL reused "
+              << spill.summary.totalReusedBytes << " B, not strictly above LRU's "
+              << lru.summary.totalReusedBytes << " B\n";
+    ok = false;
+  }
+  if (spill.summary.trimmedResponse > lru.summary.trimmedResponse) {
+    std::cerr << "SMOKE FAIL: COST+SPILL trimmed response "
+              << spill.summary.trimmedResponse << " s worse than LRU's "
+              << lru.summary.trimmedResponse << " s\n";
+    ok = false;
+  }
+  if (spill.schedStats.restoredCount == 0) {
+    std::cerr << "SMOKE FAIL: no SWAPPED_OUT -> CACHED restores happened\n";
+    ok = false;
+  }
+  if (smokeTracedS == 0) {
+    std::cerr << "SMOKE FAIL: no trace-derived plan shape contains a "
+                 "RestoreFromSpill ('S') step\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::cout << "# smoke OK: reused " << lru.summary.totalReusedBytes << " -> "
+            << spill.summary.totalReusedBytes << " B, trimmed "
+            << formatDouble(lru.summary.trimmedResponse, 3) << " -> "
+            << formatDouble(spill.summary.trimmedResponse, 3) << " s, "
+            << spill.schedStats.restoredCount << " restores, " << smokeTracedS
+            << " queries with 'S' shapes\n";
+  return 0;
+}

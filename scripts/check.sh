@@ -46,7 +46,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # Label matrix: each suite group must be runnable on its own, so a CI
 # job (or a bug hunt) can target just the static, fault, soak, fuzz,
 # planner, or trace tests.
-for label in static fault soak fuzz planner trace shard overload; do
+for label in static fault soak fuzz planner trace shard overload cache; do
   echo "== label: $label =="
   ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$label"
 done
@@ -66,19 +66,25 @@ STATIC_SUITES="lock_order_test queue_pool_test"
 # its randomized multi-threaded tests are the data-race net for the
 # per-shard locking in the Data Store / Page Space Manager.
 SHARD_SUITES="shard_consistency_test"
+# The cost-aware caching / spill-tier suites (DESIGN.md §13): the spill
+# tier owns a background writer thread and the eviction listener crosses
+# the server/scheduler/store lock ranks, so both sanitizers cover them
+# (and the debug builds arm the eviction-listener reentrancy death test).
+CACHE_SUITES="spill_tier_test lru_differential_test \
+  eviction_reentrancy_death_test swap_restore_test"
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan+UBSan build (fault + trace + static + shard + overload suites) =="
+  echo "== ASan+UBSan build (fault + trace + static + shard + overload + cache suites) =="
   cmake -B build-asan -S . -DMQS_SANITIZE=address,undefined
   # shellcheck disable=SC2086
   cmake --build build-asan -j --target $FAULT_SUITES $TRACE_SUITES \
-    $STATIC_SUITES $SHARD_SUITES $OVERLOAD_SUITES
+    $STATIC_SUITES $SHARD_SUITES $OVERLOAD_SUITES $CACHE_SUITES
 
   echo "== ASan+UBSan tests =="
   export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
   for t in $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES \
-           $OVERLOAD_SUITES; do
+           $OVERLOAD_SUITES $CACHE_SUITES; do
     echo "--- $t ---"
     "build-asan/tests/$t"
   done
@@ -87,20 +93,20 @@ else
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan build (pagespace + vm + fault + trace + static + shard + overload suites) =="
+  echo "== TSan build (pagespace + vm + fault + trace + static + shard + overload + cache suites) =="
   cmake -B build-tsan -S . -DMQS_SANITIZE=thread
   # shellcheck disable=SC2086
   cmake --build build-tsan -j --target \
     page_cache_core_test page_space_manager_test prefetch_pipeline_test \
     vm_executor_test $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES \
-    $SHARD_SUITES $OVERLOAD_SUITES
+    $SHARD_SUITES $OVERLOAD_SUITES $CACHE_SUITES
 
   echo "== TSan tests =="
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   for t in page_cache_core_test page_space_manager_test \
            prefetch_pipeline_test vm_executor_test \
            $FAULT_SUITES $TRACE_SUITES $STATIC_SUITES $SHARD_SUITES \
-           $OVERLOAD_SUITES; do
+           $OVERLOAD_SUITES $CACHE_SUITES; do
     echo "--- $t ---"
     "build-tsan/tests/$t"
   done

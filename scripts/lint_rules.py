@@ -27,6 +27,13 @@ R4 unranked-mutex
     only caught in production. Allowlist: the wrapper shim itself (it
     defines the default constructor the rule bans elsewhere).
 
+R5 unroundtripped-policy-enum
+    Every `enum class *Policy` under src/ must ship a parse<Name>() /
+    toString(<Name>) pair, and some tests/**/*_test.cpp must exercise
+    the parser (R3 guarantees that test is registered). Policy names
+    cross the CLI, config structs, and exporters as strings; an enum
+    without a tested round-trip grows silently divergent spellings.
+
 Usage
 -----
     lint_rules.py [--repo DIR]     lint the repository (default: cwd's repo)
@@ -67,6 +74,8 @@ UNRANKED_MUTEX_ALLOWLIST = {
 # (initializers may span lines). `\bMutex` cannot match MutexLock, and a
 # reference/pointer parameter has no trailing `;` after the bare name.
 MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*(\{[^{}]*\})?\s*;")
+
+POLICY_ENUM_RE = re.compile(r"\benum\s+class\s+(\w*Policy)\b")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -221,12 +230,54 @@ def check_unranked_mutexes(repo: pathlib.Path) -> list[str]:
     return findings
 
 
+def check_policy_enum_roundtrip(repo: pathlib.Path) -> list[str]:
+    src_code: dict[str, str] = {}
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(repo).as_posix()
+        src_code[rel] = strip_comments_and_strings(path.read_text())
+    all_src = "\n".join(src_code.values())
+    test_corpus = "\n".join(
+        p.read_text() for p in sorted((repo / "tests").rglob("*_test.cpp"))
+    )
+
+    findings = []
+    for rel, code in src_code.items():
+        for m in POLICY_ENUM_RE.finditer(code):
+            enum = m.group(1)
+            lineno = code.count("\n", 0, m.start()) + 1
+            parse_re = re.compile(r"\bparse" + re.escape(enum) + r"\s*\(")
+            tostr_re = re.compile(r"\btoString\s*\(\s*" + re.escape(enum)
+                                  + r"\b")
+            missing = [
+                name
+                for name, pattern in ((f"parse{enum}()", parse_re),
+                                      (f"toString({enum})", tostr_re))
+                if not pattern.search(all_src)
+            ]
+            if missing:
+                findings.append(
+                    f"{rel}:{lineno}: unroundtripped-policy-enum: declare "
+                    f"{' and '.join(missing)} next to the enum so the CLI, "
+                    f"configs, and exporters share one spelling set"
+                )
+            elif not parse_re.search(test_corpus):
+                findings.append(
+                    f"{rel}:{lineno}: unroundtripped-policy-enum: no "
+                    f"tests/**/*_test.cpp exercises parse{enum}() — the "
+                    f"name round-trip is untested"
+                )
+    return findings
+
+
 def lint(repo: pathlib.Path) -> list[str]:
     return (
         check_naked_sync(repo)
         + check_undated_todos(repo)
         + check_test_registration(repo)
         + check_unranked_mutexes(repo)
+        + check_policy_enum_roundtrip(repo)
     )
 
 
@@ -259,9 +310,20 @@ def self_test() -> int:
             "  Mutex naked_;  // line 4: the real violation\n"
             "};\n"
         )
+        # R5: a *Policy enum with no parse/toString pair; the round-tripped
+        # one (declared pair + a test referencing the parser) must NOT fire.
+        (repo / "src" / "policy_scratch.hpp").write_text(
+            "enum class FinePolicy { kA };\n"
+            "FinePolicy parseFinePolicy(std::string_view s);\n"
+            "const char* toString(FinePolicy p);\n"
+            "enum class ScratchPolicy { kA };  // line 4: the real violation\n"
+        )
         # R3: a test source with no mqs_test entry, plus one registered
-        # without LABELS.
-        (repo / "tests" / "scratch" / "orphan_test.cpp").write_text("int x;\n")
+        # without LABELS. The orphan also exercises parseFinePolicy so R5's
+        # coverage leg sees FinePolicy as tested.
+        (repo / "tests" / "scratch" / "orphan_test.cpp").write_text(
+            'int x = sizeof(parseFinePolicy("kA"));\n'
+        )
         (repo / "tests" / "scratch" / "bare_test.cpp").write_text("int y;\n")
         (repo / "tests" / "CMakeLists.txt").write_text(
             "mqs_test(bare_test scratch/bare_test.cpp)\n"
@@ -274,12 +336,13 @@ def self_test() -> int:
             ("tests/scratch/orphan_test.cpp", "unregistered-test"),
             ("tests/scratch/bare_test.cpp", "no LABELS"),
             ("src/ranked.hpp:4", "unranked-mutex"),
+            ("src/policy_scratch.hpp:4", "unroundtripped-policy-enum"),
         ]
         for prefix, tag in expectations:
             if not any(prefix in f and tag in f for f in findings):
                 failures.append(f"missed seeded violation: {prefix} ({tag})")
         for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1",
-                       "ranked.hpp:2", "ranked.hpp:3"):
+                       "ranked.hpp:2", "ranked.hpp:3", "policy_scratch.hpp:1"):
             if any(banned in f for f in findings):
                 failures.append(f"false positive on clean line: {banned}")
         if len(findings) != len(expectations):

@@ -49,6 +49,10 @@ enum class Rank : std::uint16_t {
                         ///< budget-rebalance slow path releases its home
                         ///< shard before reclaiming from another).
   kDataStore = 40,      ///< datastore::DataStore::mu_ (listener registration)
+  kSpillTier = 44,      ///< datastore::SpillTier::mu_ (spill metadata + index).
+                        ///< Below kDataStore: engines demote under no DS
+                        ///< lock, and restore releases the spill lock before
+                        ///< re-inserting into the Data Store.
   kPageSpaceShard = 48, ///< pagespace::PageSpaceManager shard locks (cache
                         ///< maps). Same one-shard-at-a-time discipline as
                         ///< kDataStoreShard.

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/check.hpp"
 
@@ -17,34 +18,40 @@ constexpr int kMaxBorrowAttempts = 4;
 /// Retries of the multi-shard lookup when the winner is evicted between
 /// the scan and the commit (another thread's insert pressure).
 constexpr int kMaxLookupAttempts = 3;
+
+#if MQS_LOCK_ORDER
+/// Debug reentrancy guard for the eviction-listener contract: set to the
+/// reporting store while its listener runs on this thread; any public
+/// entry into the *same* store from inside the callback aborts (the same
+/// print-and-abort discipline as the lock-rank checker).
+thread_local const void* tlsListenerActiveStore = nullptr;
+#endif
 }  // namespace
 
-EvictionPolicy parseEvictionPolicy(std::string_view name) {
-  std::string upper(name);
-  std::transform(upper.begin(), upper.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (upper == "LRU") return EvictionPolicy::Lru;
-  if (upper == "LFU") return EvictionPolicy::Lfu;
-  if (upper == "LARGEST") return EvictionPolicy::Largest;
-  MQS_CHECK_MSG(false, "unknown eviction policy: '" + std::string(name) +
-                           "' (valid: LRU, LFU, LARGEST; case-insensitive)");
-  return EvictionPolicy::Lru;  // unreachable
-}
-
-std::string_view toString(EvictionPolicy policy) {
-  switch (policy) {
-    case EvictionPolicy::Lru: return "LRU";
-    case EvictionPolicy::Lfu: return "LFU";
-    case EvictionPolicy::Largest: return "LARGEST";
+void DataStore::guardReentry() const {
+#if MQS_LOCK_ORDER
+  if (tlsListenerActiveStore == this) {
+    std::fprintf(stderr,
+                 "eviction-listener reentrancy: the listener called back "
+                 "into the data store it was notified by\n");
+    std::abort();
   }
-  return "?";
+#endif
 }
 
 DataStore::DataStore(std::uint64_t capacityBytes,
                      const query::QuerySemantics* semantics,
                      EvictionPolicy eviction, int shards)
-    : capacity_(capacityBytes), eviction_(eviction), semantics_(semantics) {
+    : DataStore(capacityBytes, semantics, makeEvictionRanker(eviction),
+                shards) {}
+
+DataStore::DataStore(std::uint64_t capacityBytes,
+                     const query::QuerySemantics* semantics,
+                     std::unique_ptr<EvictionRanker> ranker, int shards)
+    : capacity_(capacityBytes), ranker_(std::move(ranker)),
+      semantics_(semantics) {
   MQS_CHECK(semantics_ != nullptr);
+  MQS_CHECK(ranker_ != nullptr);
   MQS_CHECK_MSG(shards >= 1 && shards <= kMaxShards,
                 "shard count out of range");
   const auto n = std::bit_ceil(static_cast<std::size_t>(shards));
@@ -60,7 +67,7 @@ DataStore::DataStore(std::uint64_t capacityBytes,
 }
 
 void DataStore::setEvictionListener(
-    std::function<void(BlobId, const query::Predicate&)> listener) {
+    std::function<void(EvictedBlob)> listener) {
   MutexLock lock(mu_);
   evictionListener_ = std::move(listener);
 }
@@ -82,16 +89,22 @@ DataStore::Shard& DataStore::shardFor(const query::Predicate& predicate) const {
   return *shards_[h & shardMask_];
 }
 
-void DataStore::reportEvictions(
-    std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted) {
+void DataStore::reportEvictions(std::vector<EvictedBlob>& evicted) {
   if (evicted.empty()) return;
-  std::function<void(BlobId, const query::Predicate&)> listener;
+  std::function<void(EvictedBlob)> listener;
   {
     MutexLock lock(mu_);
     listener = evictionListener_;
   }
   if (!listener) return;
-  for (auto& [id, pred] : evicted) listener(id, *pred);
+#if MQS_LOCK_ORDER
+  const void* const saved = tlsListenerActiveStore;
+  tlsListenerActiveStore = this;
+#endif
+  for (auto& blob : evicted) listener(std::move(blob));
+#if MQS_LOCK_ORDER
+  tlsListenerActiveStore = saved;
+#endif
 }
 
 std::uint64_t DataStore::takeFromSpare(std::uint64_t want) {
@@ -106,9 +119,8 @@ std::uint64_t DataStore::takeFromSpare(std::uint64_t want) {
   return 0;
 }
 
-std::uint64_t DataStore::borrowBudget(
-    std::uint64_t want, const Shard& home,
-    std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted) {
+std::uint64_t DataStore::borrowBudget(std::uint64_t want, const Shard& home,
+                                      std::vector<EvictedBlob>& evicted) {
   std::uint64_t got = takeFromSpare(want);
   for (const auto& sp : shards_) {
     if (got >= want) break;
@@ -134,12 +146,21 @@ std::uint64_t DataStore::borrowBudget(
 
 std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
                                         std::vector<std::byte> payload,
-                                        std::uint64_t logicalBytes) {
+                                        std::uint64_t logicalBytes,
+                                        double recomputeCostSec) {
   MQS_CHECK(predicate != nullptr);
+  guardReentry();
+  if (recomputeCostSec < 0.0) {
+    // Default attribution: the inserting query's accrued COMPUTE/IO_STALL
+    // time since its last insert (0 when cost accounting is off).
+    recomputeCostSec = (tracer_ != nullptr && tracer_->costAccounting())
+                           ? tracer_->takeThreadQueryCost()
+                           : 0.0;
+  }
   Shard& s = shardFor(*predicate);
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  // (id, predicate) pairs evicted to make room; listener runs unlocked.
-  std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  // Blobs evicted to make room; listener runs unlocked.
+  std::vector<EvictedBlob> evicted;
   std::optional<BlobId> result;
   if (logicalBytes <= capacity_) {
     for (int attempt = 0; attempt < kMaxBorrowAttempts; ++attempt) {
@@ -152,6 +173,7 @@ std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
           blob.predicate = std::move(predicate);
           blob.payload = std::move(payload);
           blob.logicalBytes = logicalBytes;
+          blob.recomputeCostSec = recomputeCostSec;
           s.lru.push_front(id);
           blob.lruIt = s.lru.begin();
           s.spatial.insert(blob.predicate->boundingBox(), id);
@@ -182,7 +204,9 @@ std::optional<BlobId> DataStore::insert(query::PredicatePtr predicate,
 
 BlobId DataStore::pickVictimLocked(const Shard& s) const {
   constexpr BlobId kNone = 0;
-  if (eviction_ == EvictionPolicy::Lru) {
+  if (ranker_->recencyOnly()) {
+    // O(1) LRU fast path: the least recently used unpinned blob, no
+    // scoring — byte-identical to the historical inline LRU.
     for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
       const auto bit = s.blobs.find(*it);
       MQS_DCHECK(bit != s.blobs.end());
@@ -190,21 +214,21 @@ BlobId DataStore::pickVictimLocked(const Shard& s) const {
     }
     return kNone;
   }
-  // LFU / LARGEST: scan candidates, breaking ties toward the LRU end by
-  // walking the recency list from least recent to most recent.
+  // Scored rankers: scan candidates for the minimum victimScore, breaking
+  // ties toward the LRU end by walking the recency list from least recent
+  // to most recent (strict < keeps the earlier = less recent candidate).
   BlobId best = kNone;
-  std::uint64_t bestKey = 0;
+  double bestScore = 0.0;
   for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
     const auto bit = s.blobs.find(*it);
     MQS_DCHECK(bit != s.blobs.end());
     const Blob& blob = bit->second;
     if (blob.pins > 0) continue;
-    const std::uint64_t key = eviction_ == EvictionPolicy::Lfu
-                                  ? blob.uses
-                                  : ~blob.logicalBytes;  // max bytes = min key
-    if (best == kNone || key < bestKey) {
+    const double score = ranker_->victimScore(
+        BlobView{blob.logicalBytes, blob.uses, blob.recomputeCostSec});
+    if (best == kNone || score < bestScore) {
       best = *it;
-      bestKey = key;
+      bestScore = score;
     }
   }
   return best;
@@ -236,7 +260,12 @@ void DataStore::eraseLocked(Shard& s, BlobId id, bool countEviction) {
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (tracer_ != nullptr) tracer_->counter(trace::CounterKind::DsEvict);
   }
-  s.pending.emplace_back(id, std::move(it->second.predicate));
+  // The blob's state moves out with the eviction so the listener can
+  // demote it to the spill tier without calling back in.
+  s.pending.push_back(EvictedBlob{id, std::move(it->second.predicate),
+                                  std::move(it->second.payload),
+                                  it->second.logicalBytes,
+                                  it->second.recomputeCostSec});
   s.blobs.erase(it);
 }
 
@@ -296,6 +325,7 @@ void DataStore::commitHitLocked(Shard& s, BlobId id, double overlap,
 
 std::optional<DataStore::Match> DataStore::lookupImpl(
     const query::Predicate& q, double minOverlap, bool pinMatch) {
+  guardReentry();
   lookups_.fetch_add(1, std::memory_order_relaxed);
   if (shards_.size() == 1) {
     // Single-shard fast path: scan and commit under one lock hold, exactly
@@ -340,6 +370,7 @@ std::optional<DataStore::Match> DataStore::lookupImpl(
 std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
                                                     std::size_t k,
                                                     double minOverlap) {
+  guardReentry();
   lookups_.fetch_add(1, std::memory_order_relaxed);
   if (k == 0) return {};
   std::vector<Match> matches;
@@ -379,6 +410,7 @@ std::vector<DataStore::Match> DataStore::lookupTopK(const query::Predicate& q,
 }
 
 void DataStore::noteReuse(BlobId id, double overlap) {
+  guardReentry();
   Shard& s = shardOf(id);
   MutexLock lock(s.mu);
   auto it = s.blobs.find(id);
@@ -404,6 +436,14 @@ const query::Predicate& DataStore::predicate(BlobId id) const {
   return *it->second.predicate;
 }
 
+double DataStore::recomputeCost(BlobId id) const {
+  const Shard& s = shardOf(id);
+  MutexLock lock(s.mu);
+  auto it = s.blobs.find(id);
+  MQS_CHECK_MSG(it != s.blobs.end(), "recomputeCost() of absent blob");
+  return it->second.recomputeCostSec;
+}
+
 std::span<const std::byte> DataStore::payload(BlobId id) const {
   const Shard& s = shardOf(id);
   MutexLock lock(s.mu);
@@ -413,6 +453,7 @@ std::span<const std::byte> DataStore::payload(BlobId id) const {
 }
 
 void DataStore::pin(BlobId id) {
+  guardReentry();
   Shard& s = shardOf(id);
   MutexLock lock(s.mu);
   auto it = s.blobs.find(id);
@@ -421,6 +462,7 @@ void DataStore::pin(BlobId id) {
 }
 
 bool DataStore::tryPin(BlobId id) {
+  guardReentry();
   Shard& s = shardOf(id);
   MutexLock lock(s.mu);
   auto it = s.blobs.find(id);
@@ -430,6 +472,7 @@ bool DataStore::tryPin(BlobId id) {
 }
 
 void DataStore::unpin(BlobId id) {
+  guardReentry();
   Shard& s = shardOf(id);
   MutexLock lock(s.mu);
   auto it = s.blobs.find(id);
@@ -439,8 +482,9 @@ void DataStore::unpin(BlobId id) {
 }
 
 void DataStore::erase(BlobId id) {
+  guardReentry();
   Shard& s = shardOf(id);
-  std::vector<std::pair<BlobId, query::PredicatePtr>> evicted;
+  std::vector<EvictedBlob> evicted;
   {
     MutexLock lock(s.mu);
     eraseLocked(s, id, /*countEviction=*/false);

@@ -4,8 +4,11 @@
 // Each blob is a query result (or sub-query result) annotated with its
 // predicate. lookup() implements the system's reuse test: find the resident
 // blob whose user-defined overlap with the incoming query is highest.
-// Blobs are evicted LRU under a byte budget; the scheduler is notified so
-// it can move the corresponding graph node to SWAPPED_OUT and drop it.
+// Blobs are evicted under a byte budget by a pluggable EvictionRanker
+// (LRU by default; see eviction_ranker.hpp); each eviction is reported to
+// a listener carrying the blob's predicate, payload, and traced recompute
+// cost, so the engines can demote it to the spill tier (SWAPPED_OUT) or
+// drop it (DESIGN.md §13).
 //
 // Sizes are accounted in *logical* bytes (qoutsize) so the discrete-event
 // engine — which stores no payloads — sees exactly the same residency
@@ -36,6 +39,7 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "datastore/eviction_ranker.hpp"
 #include "index/rtree.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
@@ -45,18 +49,16 @@ namespace mqs::datastore {
 
 using BlobId = std::uint64_t;
 
-/// Replacement policy for intermediate results. The paper does not pin one
-/// down; LRU is the default, the alternatives feed the eviction ablation.
-enum class EvictionPolicy {
-  Lru,      ///< least recently used (lookup hits and inserts refresh)
-  Lfu,      ///< fewest lookup hits (ties broken toward LRU)
-  Largest,  ///< biggest blob first (maximizes freed bytes per eviction)
+/// Everything an eviction listener needs to decide demote-vs-drop: the
+/// payload and cost travel *out* of the store with the eviction, so a spill
+/// tier can take ownership without calling back in.
+struct EvictedBlob {
+  BlobId id = 0;
+  query::PredicatePtr predicate;
+  std::vector<std::byte> payload;    ///< empty in simulation mode
+  std::uint64_t logicalBytes = 0;
+  double recomputeCostSec = 0.0;     ///< traced cost attributed at insert
 };
-
-/// Parse "LRU" / "LFU" / "LARGEST" (case-insensitive); throws CheckFailure
-/// naming the valid set on anything else.
-EvictionPolicy parseEvictionPolicy(std::string_view name);
-std::string_view toString(EvictionPolicy policy);
 
 class DataStore {
  public:
@@ -68,10 +70,17 @@ class DataStore {
   DataStore(std::uint64_t capacityBytes, const query::QuerySemantics* semantics,
             EvictionPolicy eviction = EvictionPolicy::Lru, int shards = 1);
 
-  /// Called with (id, predicate) whenever a blob is evicted. Must not call
-  /// back into the data store.
-  void setEvictionListener(
-      std::function<void(BlobId, const query::Predicate&)> listener);
+  /// Pluggable-ranker constructor: identical store, custom victim scoring
+  /// (stats()/logs report the policy as CostAware's name).
+  DataStore(std::uint64_t capacityBytes, const query::QuerySemantics* semantics,
+            std::unique_ptr<EvictionRanker> ranker, int shards = 1);
+
+  /// Called with each evicted blob — predicate, payload, and recompute cost
+  /// move out with it so a spill tier can take ownership. Must not call
+  /// back into the data store: the contract is enforced by a debug
+  /// reentrancy guard (same build gate as the lock-rank checker) that
+  /// aborts on any store entry from inside the listener.
+  void setEvictionListener(std::function<void(EvictedBlob)> listener);
 
   /// Attach a lifecycle tracer: reuse hits (lookup hit / noteReuse), empty
   /// lookups, and evictions emit DS_HIT / DS_MISS / DS_EVICT counters. The
@@ -82,9 +91,16 @@ class DataStore {
   /// `logicalBytes` is the result's qoutsize and drives the byte budget.
   /// Returns the blob id, or std::nullopt if the blob cannot be cached
   /// (larger than the whole store, or everything else is pinned).
+  ///
+  /// `recomputeCostSec` is the cost to rebuild this result (the CostAware
+  /// ranker's metric). The default (-1) takes the inserting query's accrued
+  /// COMPUTE/IO_STALL time from the attached tracer's cost ledger
+  /// (Tracer::takeThreadQueryCost) when cost accounting is on, else 0;
+  /// spill restores pass the blob's original cost back in explicitly.
   std::optional<BlobId> insert(query::PredicatePtr predicate,
                                std::vector<std::byte> payload,
-                               std::uint64_t logicalBytes);
+                               std::uint64_t logicalBytes,
+                               double recomputeCostSec = -1.0);
 
   struct Match {
     BlobId id = 0;
@@ -125,6 +141,10 @@ class DataStore {
   /// Predicate of a resident blob. The reference is valid while the blob is
   /// pinned (or, single-threadedly, until the next mutating call).
   [[nodiscard]] const query::Predicate& predicate(BlobId id) const;
+
+  /// Recompute cost attributed to a resident blob at insert time (0 when
+  /// cost accounting was off). Checks the blob is resident.
+  [[nodiscard]] double recomputeCost(BlobId id) const;
 
   /// Payload bytes of a resident blob (empty span in simulation mode).
   [[nodiscard]] std::span<const std::byte> payload(BlobId id) const;
@@ -205,7 +225,8 @@ class DataStore {
     query::PredicatePtr predicate;
     std::vector<std::byte> payload;
     std::uint64_t logicalBytes = 0;
-    std::uint64_t uses = 0;  ///< lookup hits (LFU)
+    std::uint64_t uses = 0;  ///< lookup hits (LFU / CostAware weight)
+    double recomputeCostSec = 0.0;  ///< traced insert-time recompute cost
     int pins = 0;
     std::list<BlobId>::iterator lruIt;
   };
@@ -227,8 +248,9 @@ class DataStore {
     std::unordered_map<BlobId, Blob> blobs GUARDED_BY(mu);
     index::RTree spatial GUARDED_BY(mu);  ///< bounding boxes -> blob ids
     /// Evictions performed under the lock, drained and reported to the
-    /// listener after unlocking (the listener takes the scheduler lock).
-    std::vector<std::pair<BlobId, query::PredicatePtr>> pending GUARDED_BY(mu);
+    /// listener after unlocking (the listener takes the scheduler lock
+    /// and may hand the blob to the spill tier).
+    std::vector<EvictedBlob> pending GUARDED_BY(mu);
   };
 
   /// Ids are seq * shardCount + shardIndex + 1, so the home shard is
@@ -240,7 +262,9 @@ class DataStore {
   /// Home shard for a new blob: hash of its predicate's bounding box.
   [[nodiscard]] Shard& shardFor(const query::Predicate& predicate) const;
 
-  /// Next eviction victim in `s` under the configured policy, or 0.
+  /// Next eviction victim in `s` under the configured ranker, or 0: the
+  /// unpinned blob with the lowest victimScore(), ties toward the LRU end
+  /// (recency-only rankers short-circuit to the first unpinned tail blob).
   BlobId pickVictimLocked(const Shard& s) const REQUIRES(s.mu);
 
   std::optional<Match> lookupImpl(const query::Predicate& q, double minOverlap,
@@ -263,24 +287,24 @@ class DataStore {
   /// policy-order victims on other shards. Locks one shard at a time;
   /// `home` must not be locked by the caller. Donor-shard evictions are
   /// appended to `evicted` for the caller to report once unlocked.
-  std::uint64_t borrowBudget(
-      std::uint64_t want, const Shard& home,
-      std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted);
+  std::uint64_t borrowBudget(std::uint64_t want, const Shard& home,
+                             std::vector<EvictedBlob>& evicted);
   std::uint64_t takeFromSpare(std::uint64_t want);
   /// Fire the eviction listener for drained evictions (no locks held).
-  void reportEvictions(
-      std::vector<std::pair<BlobId, query::PredicatePtr>>& evicted)
-      EXCLUDES(mu_);
+  /// While the listener runs, the debug reentrancy guard marks this store
+  /// as listener-active for the calling thread; guardReentry() aborts any
+  /// re-entry from inside the callback.
+  void reportEvictions(std::vector<EvictedBlob>& evicted) EXCLUDES(mu_);
+  void guardReentry() const;
 
   trace::Tracer* tracer_ = nullptr;
 
   const std::uint64_t capacity_;  ///< total budget across all shards
-  const EvictionPolicy eviction_;
+  const std::unique_ptr<EvictionRanker> ranker_;
   const query::QuerySemantics* semantics_;  ///< immutable after construction
 
   mutable Mutex mu_{lockorder::Rank::kDataStore, "DataStore::mu_"};
-  std::function<void(BlobId, const query::Predicate&)> evictionListener_
-      GUARDED_BY(mu_);
+  std::function<void(EvictedBlob)> evictionListener_ GUARDED_BY(mu_);
 
   /// Immutable after construction (the vector; shard contents are guarded
   /// by their own locks).

@@ -1,0 +1,89 @@
+#include "datastore/eviction_ranker.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace mqs::datastore {
+
+namespace {
+
+class LruRanker final : public EvictionRanker {
+ public:
+  double victimScore(const BlobView&) const override { return 0.0; }
+  bool recencyOnly() const override { return true; }
+};
+
+class LfuRanker final : public EvictionRanker {
+ public:
+  double victimScore(const BlobView& blob) const override {
+    return static_cast<double>(blob.uses);
+  }
+};
+
+class LargestRanker final : public EvictionRanker {
+ public:
+  double victimScore(const BlobView& blob) const override {
+    // More bytes -> lower score -> evicted sooner (frees the most budget
+    // per eviction, exactly the historical max-bytes victim choice).
+    return -static_cast<double>(blob.logicalBytes);
+  }
+};
+
+class CostAwareRanker final : public EvictionRanker {
+ public:
+  double victimScore(const BlobView& blob) const override {
+    // Benefit per byte: what rebuilding this blob would cost (weighted by
+    // how often it has actually been reused) relative to the budget it
+    // occupies. Blobs with no attributed cost score 0 and the tie-break
+    // degrades to LRU, so the ranker is safe without cost accounting.
+    const double bytes =
+        static_cast<double>(std::max<std::uint64_t>(blob.logicalBytes, 1));
+    return blob.recomputeCostSec * (1.0 + static_cast<double>(blob.uses)) /
+           bytes;
+  }
+};
+
+}  // namespace
+
+EvictionPolicy parseEvictionPolicy(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const EvictionPolicy policy : kAllEvictionPolicies) {
+    if (upper == toString(policy)) return policy;
+  }
+  std::string valid;
+  for (const EvictionPolicy policy : kAllEvictionPolicies) {
+    if (!valid.empty()) valid += ", ";
+    valid += toString(policy);
+  }
+  MQS_CHECK_MSG(false, "unknown eviction policy: '" + std::string(name) +
+                           "' (valid: " + valid + "; case-insensitive)");
+  return EvictionPolicy::Lru;  // unreachable
+}
+
+std::string_view toString(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::Lru: return "LRU";
+    case EvictionPolicy::Lfu: return "LFU";
+    case EvictionPolicy::Largest: return "LARGEST";
+    case EvictionPolicy::CostAware: return "COST";
+  }
+  return "?";
+}
+
+std::unique_ptr<EvictionRanker> makeEvictionRanker(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::Lru: return std::make_unique<LruRanker>();
+    case EvictionPolicy::Lfu: return std::make_unique<LfuRanker>();
+    case EvictionPolicy::Largest: return std::make_unique<LargestRanker>();
+    case EvictionPolicy::CostAware: return std::make_unique<CostAwareRanker>();
+  }
+  MQS_CHECK_MSG(false, "unhandled eviction policy");
+  return nullptr;  // unreachable
+}
+
+}  // namespace mqs::datastore

@@ -32,6 +32,9 @@ SimRunResult gather(const sim::Simulator& simr, const sim::SimServer& server) {
   r.summary = metrics::summarize(r.records);
   r.io = server.ioStats();
   r.dsStats = server.dataStore().stats();
+  if (const datastore::SpillTier* spill = server.spillTier()) {
+    r.spillStats = spill->stats();
+  }
   r.psStats = server.pageCache().stats();
   r.schedStats = server.scheduler().stats();
   r.simulatedSeconds = simr.now();

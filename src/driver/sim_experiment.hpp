@@ -19,6 +19,8 @@ struct SimRunResult {
   std::vector<metrics::QueryRecord> records;
   sim::SimServer::IoStats io;
   datastore::DataStore::Stats dsStats;
+  /// Spill-tier counters (all zero when SimConfig::spillBytes == 0).
+  datastore::SpillTier::Stats spillStats;
   pagespace::PageCacheCore::Stats psStats;
   sched::QueryScheduler::Stats schedStats;
   double simulatedSeconds = 0.0;  ///< virtual makespan of the run

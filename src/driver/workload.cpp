@@ -1,6 +1,7 @@
 #include "driver/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -54,6 +55,16 @@ std::vector<ClientWorkload> WorkloadGenerator::generate(
     }
   }
 
+  // Hotspot popularity: uniform by default; zipf(1/(i+1)^s) when the
+  // config asks for a skewed profile.
+  std::vector<double> hotspotWeights;
+  if (cfg.hotspotZipfS > 0.0) {
+    for (int i = 0; i < cfg.hotspotsPerDataset; ++i) {
+      hotspotWeights.push_back(
+          1.0 / std::pow(static_cast<double>(i + 1), cfg.hotspotZipfS));
+    }
+  }
+
   std::vector<ClientWorkload> out;
   int clientId = 0;
   for (std::size_t d = 0; d < cfg.datasets.size(); ++d) {
@@ -74,8 +85,14 @@ std::vector<ClientWorkload> WorkloadGenerator::generate(
         if (!rng.bernoulli(cfg.browseProbability)) {
           // Jump to a shared hotspot and re-draw the zoom level.
           const auto& hs = hotspots[d];
-          const Point p = hs[static_cast<std::size_t>(rng.uniformInt(
-              0, static_cast<std::int64_t>(hs.size()) - 1))];
+          // Keep the zero-skew RNG draw sequence byte-identical to the
+          // historical generator (uniformInt, not a degenerate zipf draw).
+          const std::size_t hi =
+              cfg.hotspotZipfS > 0.0
+                  ? rng.weightedIndex(hotspotWeights)
+                  : static_cast<std::size_t>(rng.uniformInt(
+                        0, static_cast<std::int64_t>(hs.size()) - 1));
+          const Point p = hs[hi];
           st.cx = p.x;
           st.cy = p.y;
           st.zoomIdx = rng.weightedIndex(cfg.zoomWeights);

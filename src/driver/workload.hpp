@@ -49,6 +49,11 @@ struct WorkloadConfig {
   /// (pan / zoom step) rather than jumping to a shared hotspot.
   double browseProbability = 0.6;
   int hotspotsPerDataset = 4;
+  /// Zipf exponent for hotspot selection (0 = uniform, the historical
+  /// behaviour). With s > 0 hotspot i is drawn with weight 1/(i+1)^s, so
+  /// revisits concentrate on the first few features — the skewed
+  /// popularity profile the spill-tier ablation leans on.
+  double hotspotZipfS = 0.0;
 
   /// Mean think time between a result and the client's next query
   /// (exponential; 0 = the paper's zero-think emulated clients).

@@ -15,8 +15,11 @@ namespace {
 /// between candidate generation and plan execution.
 struct Candidate {
   bool executing = false;
+  bool spilled = false;
   datastore::BlobId blob = 0;
   sched::NodeId node = sched::kInvalidNode;
+  datastore::SpillId spillId = 0;
+  double restoreCostSec = 0.0;  ///< spilled candidates only
   PredicatePtr pred;
   double overlap = 0.0;  ///< vs the full query
   datastore::DataStore::PinGuard pin;
@@ -63,6 +66,10 @@ std::string ReusePlan::shape() const {
         out += 'X';
         out += std::to_string(s.bytesCovered);
         break;
+      case PlanStep::Kind::RestoreFromSpill:
+        out += 'S';
+        out += std::to_string(s.bytesCovered);
+        break;
       case PlanStep::Kind::ComputeRemainder:
         out += 'R';
         break;
@@ -81,7 +88,8 @@ Planner::Planner(const QuerySemantics* semantics, PlannerConfig cfg)
 
 ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
                         const sched::QueryScheduler* sched,
-                        sched::NodeId node, int depth) const {
+                        sched::NodeId node, int depth,
+                        datastore::SpillTier* spill) const {
   ReusePlan plan;
 
   // Raw-compute fast path: reuse disabled, or the remainder recursion has
@@ -99,8 +107,9 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
   // --- candidate generation ----------------------------------------------
   // Cached candidates first (lookupTopK order: overlap desc, newer blob
   // first), then executing candidates (overlap desc, older execution
-  // first). The greedy tie-break below prefers earlier candidates, so on
-  // equal marginal bytes a cached source beats waiting on an execution.
+  // first), then spilled candidates. The greedy tie-break below prefers
+  // earlier candidates, so on equal marginal bytes a cached source beats
+  // waiting on an execution, and either beats paying a disk restore.
   std::vector<Candidate> cands;
   const auto pool = static_cast<std::size_t>(
       std::max(cfg_.candidatePoolSize, cfg_.maxReuseSources));
@@ -135,6 +144,27 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
       cands.push_back(std::move(c));
     }
   }
+  if (depth == 0 && spill != nullptr) {
+    for (const datastore::SpillTier::Match& m : spill->lookupTopK(q, pool)) {
+      auto snap = spill->candidate(m.id);
+      if (!snap) continue;  // dropped since the lookup
+      // The economics gate: restoring only earns a step when it undercuts
+      // recomputing the blob (traced cost attributed at insert). Blobs with
+      // no recorded cost get the benefit of the doubt — restore is then at
+      // worst the cheap in-memory path.
+      if (snap->recomputeCostSec > 0.0 &&
+          snap->restoreCostSec >= snap->recomputeCostSec) {
+        continue;
+      }
+      Candidate c;
+      c.spilled = true;
+      c.spillId = m.id;
+      c.restoreCostSec = snap->restoreCostSec;
+      c.pred = std::move(snap->predicate);
+      c.overlap = m.overlap;
+      cands.push_back(std::move(c));
+    }
+  }
 
   // --- greedy selection by marginal covered-output bytes ------------------
   std::vector<PredicatePtr> uncovered;
@@ -159,10 +189,14 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
     Candidate& cand = cands[bestIdx];
     cand.used = true;
     PlanStep step;
-    step.kind = cand.executing ? PlanStep::Kind::WaitAndProjectFromExecuting
-                               : PlanStep::Kind::ProjectFromCached;
+    step.kind = cand.spilled ? PlanStep::Kind::RestoreFromSpill
+                : cand.executing
+                    ? PlanStep::Kind::WaitAndProjectFromExecuting
+                    : PlanStep::Kind::ProjectFromCached;
     step.blob = cand.blob;
     step.node = cand.node;
+    step.spillId = cand.spillId;
+    step.restoreCostSec = cand.restoreCostSec;
     step.sourcePred = cand.pred->clone();
     step.overlap = cand.overlap;
     step.bytesCovered = bestMarginal;
@@ -190,7 +224,7 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
     plan.planBytesCovered += step.bytesCovered;
     plan.primaryOverlap = std::max(plan.primaryOverlap, step.overlap);
     plan.steps.push_back(std::move(step));
-    if (!cand.executing) {
+    if (!cand.executing && !cand.spilled) {
       ds.noteReuse(cand.blob, cand.overlap);
       if (cfg_.pinSources) plan.pins.push_back(std::move(cand.pin));
     }

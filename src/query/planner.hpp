@@ -14,6 +14,11 @@
 //                                      cached result (acyclic by the
 //                                      started-earlier rule, which holds for
 //                                      every subset of older executions)
+//   RestoreFromSpill{spillId}          read a demoted blob back from the
+//                                      spill tier into the Data Store, then
+//                                      project it — selected only when the
+//                                      modeled restore cost beats the blob's
+//                                      traced recompute cost (DESIGN.md §13)
 //   ComputeRemainder{pred}             compute an uncovered sub-query from
 //                                      raw data (recursively plannable up to
 //                                      maxNestedReuseDepth)
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "datastore/data_store.hpp"
+#include "datastore/spill_tier.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
 #include "sched/scheduler.hpp"
@@ -67,6 +73,7 @@ struct PlanStep {
   enum class Kind {
     ProjectFromCached,
     WaitAndProjectFromExecuting,
+    RestoreFromSpill,
     ComputeRemainder,
   };
   Kind kind = Kind::ComputeRemainder;
@@ -74,6 +81,11 @@ struct PlanStep {
   // --- projection steps ---------------------------------------------------
   datastore::BlobId blob = 0;             ///< ProjectFromCached
   sched::NodeId node = sched::kInvalidNode;  ///< WaitAndProjectFromExecuting
+  std::uint64_t spillId = 0;              ///< RestoreFromSpill
+  /// RestoreFromSpill: modeled cost of reading the blob back (the sim
+  /// charges it as virtual delay; the planner already judged it cheaper
+  /// than recomputing).
+  double restoreCostSec = 0.0;
   PredicatePtr sourcePred;                ///< the source's predicate
   double overlap = 0.0;                   ///< Eq. 2 overlap vs the full query
   /// Marginal output bytes this source adds to the plan's coverage
@@ -112,9 +124,10 @@ struct ReusePlan {
   [[nodiscard]] int reuseSources() const;
   [[nodiscard]] bool hasReuse() const { return reuseSources() > 0; }
   [[nodiscard]] bool fullyCovered() const;
-  /// Compact signature, e.g. "C49152|X4096|R|R" (C cached, X executing,
-  /// R remainder; projection steps carry their marginal bytes). Identical
-  /// across engines for identical plans — the equivalence test's currency.
+  /// Compact signature, e.g. "C49152|X4096|S8192|R" (C cached, X executing,
+  /// S restored-from-spill, R remainder; projection steps carry their
+  /// marginal bytes). Identical across engines for identical plans — the
+  /// equivalence test's currency.
   [[nodiscard]] std::string shape() const;
 };
 
@@ -133,13 +146,18 @@ class Planner {
   /// allowWaitOnExecuting is set). `depth` is the nesting level of `q`
   /// (0 = top-level query, >= 1 = remainder sub-query); beyond
   /// maxNestedReuseDepth the plan is a single ComputeRemainder step.
+  /// `spill` (optional, depth 0 only) supplies demoted blobs as
+  /// RestoreFromSpill candidates; one is considered only when its modeled
+  /// restore cost undercuts its traced recompute cost, and on equal
+  /// marginal bytes loses to both cached and executing sources.
   ///
   /// The plan's steps tile q's output exactly: projecting every projection
   /// step's source and computing every remainder step covers each output
   /// byte at least once, with remainder parts disjoint from covered area.
   [[nodiscard]] ReusePlan plan(const Predicate& q, datastore::DataStore& ds,
                                const sched::QueryScheduler* sched,
-                               sched::NodeId node, int depth = 0) const;
+                               sched::NodeId node, int depth = 0,
+                               datastore::SpillTier* spill = nullptr) const;
 
  private:
   const QuerySemantics* sem_;

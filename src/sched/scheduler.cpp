@@ -132,11 +132,41 @@ void QueryScheduler::swappedOut(NodeId n) {
   MQS_CHECK_MSG(graph_.contains(n), "swappedOut() on unknown node");
   MQS_CHECK_MSG(graph_.state(n) == QueryState::Cached,
                 "swappedOut() on a non-cached node");
+  // A real retained state, not a tombstone: the node and its edges stay in
+  // the graph so a later restored() can revive it without re-submission.
   graph_.setState(n, QueryState::SwappedOut);
+  ++stats_.swappedOutCount;
+  afterEventLocked(n);
+}
+
+void QueryScheduler::restored(NodeId n) {
+  MutexLock lock(mu_);
+  drainFeedbackLocked();
+  MQS_CHECK_MSG(graph_.contains(n), "restored() on unknown node");
+  MQS_CHECK_MSG(graph_.state(n) == QueryState::SwappedOut,
+                "restored() on a non-swapped-out node");
+  graph_.setState(n, QueryState::Cached);
+  ++stats_.restoredCount;
+  afterEventLocked(n);
+}
+
+void QueryScheduler::retired(NodeId n) {
+  MutexLock lock(mu_);
+  drainFeedbackLocked();
+  MQS_CHECK_MSG(graph_.contains(n), "retired() on unknown node");
+  const QueryState s = graph_.state(n);
+  MQS_CHECK_MSG(s == QueryState::Cached || s == QueryState::SwappedOut,
+                "retired() on a node that is neither cached nor swapped out");
+  if (s == QueryState::Cached) {
+    // Terminal drop of a cached result (no spill tier): this is the
+    // historical swappedOut() path, counted identically.
+    graph_.setState(n, QueryState::SwappedOut);
+    ++stats_.swappedOutCount;
+  }
+  ++stats_.retiredCount;
   const std::vector<NodeId> affected = graph_.neighbors(n);
   graph_.remove(n);
   rt_.erase(n);
-  ++stats_.swappedOutCount;
   if (policy_->ranksDependOnGraph()) {
     if (incremental_) {
       for (NodeId k : affected) {

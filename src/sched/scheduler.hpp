@@ -44,9 +44,25 @@ class QueryScheduler {
   /// EXECUTING -> CACHED (results now reusable).
   void completed(NodeId n);
 
-  /// CACHED -> SWAPPED_OUT: results reclaimed; node and edges leave the
-  /// graph, neighbors are re-ranked (§4).
+  /// CACHED -> SWAPPED_OUT: the result left memory but survives in the
+  /// spill tier, so the node *and its edges stay in the graph* (§4's
+  /// retained vertex state) awaiting restored() or retired(). Waiting
+  /// neighbors are re-ranked; reuse-source selection skips SWAPPED_OUT
+  /// nodes until they come back.
   void swappedOut(NodeId n);
+
+  /// SWAPPED_OUT -> CACHED: the spilled result was restored into the Data
+  /// Store and is reusable again. Waiting neighbors are re-ranked.
+  void restored(NodeId n);
+
+  /// Terminal drop of a CACHED or SWAPPED_OUT node: the result is gone for
+  /// good (evicted with no spill tier, or dropped from the spill tier), so
+  /// the node and its edges leave the graph and waiting neighbors are
+  /// re-ranked. Dropping a CACHED node also counts one swap-out — exactly
+  /// the historical terminal swappedOut() semantics, which engines with
+  /// spill disabled reproduce by calling retired() where they used to call
+  /// swappedOut().
+  void retired(NodeId n);
 
   /// EXECUTING -> FAILED: the query's execution raised an error. The node
   /// and its edges leave the graph at once (a failed query has no reusable
@@ -112,7 +128,9 @@ class QueryScheduler {
     std::uint64_t submitted = 0;
     std::uint64_t dequeued = 0;
     std::uint64_t completedCount = 0;
-    std::uint64_t swappedOutCount = 0;
+    std::uint64_t swappedOutCount = 0;  ///< CACHED left memory (demote/drop)
+    std::uint64_t restoredCount = 0;    ///< SWAPPED_OUT -> CACHED revivals
+    std::uint64_t retiredCount = 0;     ///< terminal drops (retired())
     std::uint64_t failedCount = 0;
     std::uint64_t rankEvaluations = 0;  ///< policy->rank() calls
     std::uint64_t staleHeapPops = 0;

@@ -67,10 +67,37 @@ QueryServer::QueryServer(const query::QuerySemantics* semantics,
     lockWaitBasePs_ = sumCounts(lockorder::Rank::kPageSpace,
                                 lockorder::Rank::kPageSpaceShard);
   }
+  // Cost-aware eviction and the spill tier's restore-vs-recompute gate both
+  // need every blob stamped with its traced recompute cost. With a trace
+  // sink attached, its Compute/IoStall spans feed the ledger for free;
+  // without one, a private *disabled* tracer does the accounting (one
+  // relaxed load per span site, no event buffering).
+  const bool needCost = datastore::parseEvictionPolicy(cfg_.dsEviction) ==
+                            datastore::EvictionPolicy::CostAware ||
+                        cfg_.spillBytes > 0;
+  if (needCost) {
+    if (tracer_ == nullptr) {
+      ownedTracer_ = std::make_unique<trace::Tracer>();
+      ownedTracer_->setEnabled(false);
+      ownedTracer_->setClock(
+          [](void* ctx) {
+            return static_cast<const QueryServer*>(ctx)->nowSeconds();
+          },
+          this);
+      tracer_ = ownedTracer_.get();
+      scheduler_.setTracer(tracer_);
+      ds_.setTracer(tracer_);
+      ps_.setTracer(tracer_);
+    }
+    tracer_->setCostAccounting(true);
+  }
+  if (cfg_.spillBytes > 0) {
+    spill_ = std::make_unique<datastore::SpillTier>(cfg_.spillBytes, sem_,
+                                                    cfg_.spillDir);
+    if (tracer_ != nullptr) spill_->setTracer(tracer_);
+  }
   ds_.setEvictionListener(
-      [this](datastore::BlobId id, const query::Predicate&) {
-        onBlobEvicted(id);
-      });
+      [this](datastore::EvictedBlob blob) { onBlobEvicted(std::move(blob)); });
   workers_.reserve(static_cast<std::size_t>(cfg_.threads));
   for (int i = 0; i < cfg_.threads; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -385,6 +412,55 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
         }
         break;
       }
+      case query::PlanStep::Kind::RestoreFromSpill: {
+        // The PROJECT span covers restore + projection (and the fallback
+        // compute if the entry vanished); the disk read inside restore()
+        // is the tier's own cost, not a Page Space IO_STALL, so a query's
+        // IO_STALL span total still equals its recorded ioStallTime.
+        trace::SpanScope project(tracer_, rec.queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered, trace::kFlagSpillSource);
+        std::optional<datastore::EvictedBlob> restoredBlob =
+            spill_ != nullptr ? spill_->restore(step.spillId) : std::nullopt;
+        if (restoredBlob) {
+          exec_->project(*step.sourcePred, restoredBlob->payload, pred, out);
+          rec.bytesReused += step.bytesCovered;
+          // Re-insert with the blob's *original* traced cost: the restore
+          // must not consume (or be billed to) this query's ledger.
+          const std::uint64_t lb = restoredBlob->logicalBytes;
+          const double rc = restoredBlob->recomputeCostSec;
+          const std::optional<datastore::BlobId> nb =
+              ds_.insert(std::move(restoredBlob->predicate),
+                         std::move(restoredBlob->payload), lb, rc);
+          MutexLock lock(mu_);
+          const auto nIt = spillNode_.find(step.spillId);
+          if (nIt != spillNode_.end()) {
+            const sched::NodeId rn = nIt->second;
+            spillNode_.erase(nIt);
+            nodeSpill_.erase(rn);
+            if (nb) {
+              nodeBlob_[rn] = *nb;
+              blobNode_[*nb] = rn;
+              scheduler_.restored(rn);
+            } else {
+              // Insert refused (duplicate or over budget): the spill entry
+              // is spent, so the node's result is gone for good.
+              scheduler_.retired(rn);
+            }
+          }
+          // With no mapped node this was a sub-query blob: no scheduler
+          // transition, it serves reuse straight from the store again.
+        } else {
+          // Dropped (or restored by a racing query) between planning and
+          // execution: compute this step's share from raw data instead.
+          for (const query::PredicatePtr& cp : step.coveredParts) {
+            const std::vector<std::byte> sub =
+                computePart(*cp, depth + 1, rec);
+            exec_->project(*cp, sub, pred, out);
+          }
+        }
+        break;
+      }
       case query::PlanStep::Kind::ComputeRemainder: {
         trace::SpanScope compute(tracer_, rec.queryId,
                                  trace::SpanKind::Compute, d8,
@@ -432,7 +508,8 @@ std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
   // accounting, then execute its steps.
   query::ReusePlan plan = [&] {
     trace::SpanScope planSpan(tracer_, rec.queryId, trace::SpanKind::Plan);
-    return planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+    return planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0,
+                         spill_.get());
   }();
   rec.overlapUsed = plan.primaryOverlap;
   rec.reuseSources = plan.reuseSources();
@@ -522,13 +599,13 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
     if (!blob) {
       // Nothing cached (duplicate result, or DS full/disabled): the
       // node cannot serve reuse, so it leaves the graph at once.
-      scheduler_.swappedOut(node);
+      scheduler_.retired(node);
     } else {
       MutexLock lock(mu_);
       if (evictedWhileExecuting_.erase(node) > 0) {
         nodeBlob_.erase(node);
         blobNode_.erase(*blob);
-        scheduler_.swappedOut(node);
+        scheduler_.retired(node);
       }
     }
   }
@@ -573,18 +650,50 @@ void QueryServer::runQuery(sched::NodeId node, PendingQuery pq) {
   }
 }
 
-void QueryServer::onBlobEvicted(datastore::BlobId blob) {
+void QueryServer::onBlobEvicted(datastore::EvictedBlob blob) {
   MutexLock lock(mu_);
-  const auto it = blobNode_.find(blob);
-  if (it == blobNode_.end()) return;  // sub-query blob without a graph node
-  const sched::NodeId node = it->second;
-  blobNode_.erase(it);
-  nodeBlob_.erase(node);
-  if (scheduler_.stateOf(node) == sched::QueryState::Cached) {
-    scheduler_.swappedOut(node);
-  } else {
-    evictedWhileExecuting_.insert(node);
+  sched::NodeId node = sched::kInvalidNode;
+  if (const auto it = blobNode_.find(blob.id); it != blobNode_.end()) {
+    node = it->second;
+    blobNode_.erase(it);
+    nodeBlob_.erase(node);
+    if (scheduler_.stateOf(node) != sched::QueryState::Cached) {
+      // Evicted before its own query finished (tiny Data Store): the
+      // finishing worker retires the node; nothing worth spilling yet.
+      evictedWhileExecuting_.insert(node);
+      return;
+    }
   }
+  if (spill_ == nullptr) {
+    // No tier: eviction is terminal, exactly the historical behaviour
+    // (retired() on a CACHED node counts one swap-out and removes it).
+    if (node != sched::kInvalidNode) scheduler_.retired(node);
+    return;
+  }
+  // Demote (mu_ -> kSpillTier is rank-legal, 20 -> 44). Entries the tier
+  // FIFO-drops to make room are terminal for *their* nodes.
+  std::vector<datastore::SpillId> droppedIds;
+  const std::optional<datastore::SpillId> sid =
+      spill_->demote(std::move(blob), &droppedIds);
+  if (node != sched::kInvalidNode) {
+    if (sid) {
+      nodeSpill_[node] = *sid;
+      spillNode_[*sid] = node;
+      scheduler_.swappedOut(node);
+    } else {
+      scheduler_.retired(node);  // blob alone exceeds the tier
+    }
+  }
+  for (const datastore::SpillId d : droppedIds) retireSpilledLocked(d);
+}
+
+void QueryServer::retireSpilledLocked(datastore::SpillId sid) {
+  const auto it = spillNode_.find(sid);
+  if (it == spillNode_.end()) return;  // sub-query entry, no graph node
+  const sched::NodeId node = it->second;
+  spillNode_.erase(it);
+  nodeSpill_.erase(node);
+  scheduler_.retired(node);
 }
 
 }  // namespace mqs::server

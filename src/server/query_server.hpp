@@ -31,6 +31,7 @@
 #include "common/lock_stats.hpp"
 #include "common/thread_annotations.hpp"
 #include "datastore/data_store.hpp"
+#include "datastore/spill_tier.hpp"
 #include "metrics/metrics.hpp"
 #include "pagespace/page_space_manager.hpp"
 #include "query/executor.hpp"
@@ -122,7 +123,20 @@ struct ServerConfig {
   /// seconds-per-output-byte × outputBytes) past the deadline. Saves the
   /// compute an observed-only policy would waste on doomed queries.
   bool predictiveShedding = false;
-  std::string dsEviction = "LRU";  ///< LRU | LFU | LARGEST
+  /// Data Store eviction ranker: LRU | LFU | LARGEST | COST. COST scores
+  /// victims by traced recompute benefit per byte (DESIGN.md §13); the
+  /// server then runs a private cost-accounting tracer even with tracing
+  /// off.
+  std::string dsEviction = "LRU";
+  /// Spill-tier byte budget (0 = no tier, evictions stay terminal). With a
+  /// tier, evicted blobs demote to it instead of vanishing, the scheduling
+  /// graph retains their nodes as SWAPPED_OUT, and the planner may restore
+  /// them (RestoreFromSpill) when that beats recomputing.
+  std::uint64_t spillBytes = 0;
+  /// Directory for spilled payload files. Empty = keep payloads in memory
+  /// (still bounded by spillBytes); set = persist them via a background
+  /// writer so demotion never blocks the eviction path.
+  std::string spillDir;
   std::string policy = "FIFO";
   double alpha = 0.2;
   bool incrementalRanking = true;
@@ -177,6 +191,10 @@ class QueryServer {
     return scheduler_;
   }
   [[nodiscard]] const datastore::DataStore& dataStore() const { return ds_; }
+  /// The spill tier (null when spillBytes == 0).
+  [[nodiscard]] const datastore::SpillTier* spillTier() const {
+    return spill_.get();
+  }
   [[nodiscard]] pagespace::PageSpaceManager& pageSpace() { return ps_; }
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
@@ -232,7 +250,14 @@ class QueryServer {
   void noteServiceRate(double secPerByte);
   /// Return a dequeued/settled query's quota charge to its client.
   void releaseClientQuota(const metrics::QueryRecord& rec) REQUIRES(mu_);
-  void onBlobEvicted(datastore::BlobId blob) EXCLUDES(mu_);
+  /// Eviction listener: demote the blob to the spill tier (SWAPPED_OUT
+  /// retained) or retire its graph node terminally when there is no tier.
+  /// Runs with no Data Store locks held; must never call back into ds_
+  /// (the listener reentrancy guard aborts if it does).
+  void onBlobEvicted(datastore::EvictedBlob blob) EXCLUDES(mu_);
+  /// Terminal drop of a spilled entry (FIFO-dropped from the tier or its
+  /// restore lost a race): unmap it and retire its graph node.
+  void retireSpilledLocked(datastore::SpillId sid) REQUIRES(mu_);
   std::shared_future<void> doneFutureOf(sched::NodeId node) EXCLUDES(mu_);
 
   const query::QuerySemantics* sem_;
@@ -240,11 +265,17 @@ class QueryServer {
   ServerConfig cfg_;
   sched::QueryScheduler scheduler_;
   datastore::DataStore ds_;
+  std::unique_ptr<datastore::SpillTier> spill_;  ///< null when spillBytes == 0
   pagespace::PageSpaceManager ps_;
   query::Planner planner_;
   metrics::Collector collector_;
   std::chrono::steady_clock::time_point epoch_;
-  trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
+  trace::Tracer* tracer_ = nullptr;  ///< traceSink or ownedTracer_
+  /// Private, *disabled* tracer installed when cost-aware eviction or the
+  /// spill tier needs per-query recompute-cost accounting but the caller
+  /// attached no trace sink: spans on the query path accrue the cost
+  /// ledger without buffering any events.
+  std::unique_ptr<trace::Tracer> ownedTracer_;
   /// Process-wide lock-contention counters at construction; shutdown emits
   /// the per-run deltas as LOCK_WAIT_* trace counters (lock_stats is
   /// global, so the baseline isolates this server's run).
@@ -265,6 +296,11 @@ class QueryServer {
   std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_
       GUARDED_BY(mu_);
   std::unordered_set<sched::NodeId> evictedWhileExecuting_ GUARDED_BY(mu_);
+  /// SWAPPED_OUT bookkeeping: which spill entry backs which graph node.
+  std::unordered_map<sched::NodeId, datastore::SpillId> nodeSpill_
+      GUARDED_BY(mu_);
+  std::unordered_map<datastore::SpillId, sched::NodeId> spillNode_
+      GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
 
   // --- overload behavior (DESIGN.md §11) --------------------------------

@@ -64,9 +64,7 @@ SimServer::SimServer(Simulator& sim, const query::QuerySemantics* semantics,
     }
   }
   ds_.setEvictionListener(
-      [this](datastore::BlobId id, const query::Predicate&) {
-        onBlobEvicted(id);
-      });
+      [this](datastore::EvictedBlob blob) { onBlobEvicted(std::move(blob)); });
   if (cfg_.traceSink != nullptr) {
     tracer_ = cfg_.traceSink.get();
     // Events are stamped with virtual time — the same clock behind every
@@ -76,6 +74,33 @@ SimServer::SimServer(Simulator& sim, const query::QuerySemantics* semantics,
         sim_);
     scheduler_.setTracer(tracer_);
     ds_.setTracer(tracer_);
+  }
+  // Cost-aware eviction and the spill tier's restore-vs-recompute gate need
+  // every blob stamped with its recompute cost in *virtual* seconds. With a
+  // sink, its Compute/IoStall spans feed the ledger; without one, a private
+  // disabled tracer on the virtual clock does the accounting.
+  const bool needCost = datastore::parseEvictionPolicy(cfg_.dsEviction) ==
+                            datastore::EvictionPolicy::CostAware ||
+                        cfg_.spillBytes > 0;
+  if (needCost) {
+    if (tracer_ == nullptr) {
+      ownedTracer_ = std::make_unique<trace::Tracer>();
+      ownedTracer_->setEnabled(false);
+      ownedTracer_->setClock(
+          [](void* ctx) { return static_cast<const Simulator*>(ctx)->now(); },
+          sim_);
+      tracer_ = ownedTracer_.get();
+      scheduler_.setTracer(tracer_);
+      ds_.setTracer(tracer_);
+    }
+    tracer_->setCostAccounting(true);
+  }
+  if (cfg_.spillBytes > 0) {
+    // Always in-memory in the simulator; restores are priced with the same
+    // disk model as the farm's devices.
+    spill_ = std::make_unique<datastore::SpillTier>(
+        cfg_.spillBytes, sem_, /*dir=*/"", cfg_.diskFarm.disk);
+    if (tracer_ != nullptr) spill_->setTracer(tracer_);
   }
 }
 
@@ -280,6 +305,52 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
         }
         break;
       }
+      case query::PlanStep::Kind::RestoreFromSpill: {
+        // The PROJECT span covers restore + projection (and the fallback
+        // compute if the entry vanished). The modeled disk read is charged
+        // as plain virtual delay — not an IO_STALL span — so a query's
+        // IO_STALL span total still equals its recorded ioStallTime (which
+        // counts only Page Space stalls, same as the threaded server).
+        trace::SpanScope project(tracer_, rec->queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered, trace::kFlagSpillSource);
+        std::optional<datastore::EvictedBlob> restoredBlob =
+            spill_ != nullptr ? spill_->restore(step.spillId) : std::nullopt;
+        if (restoredBlob) {
+          co_await sim_->delay(step.restoreCostSec);
+          // Re-insert with the blob's *original* traced cost; passing it
+          // explicitly keeps the restoring query's own ledger untouched.
+          const std::uint64_t lb = restoredBlob->logicalBytes;
+          const double rc = restoredBlob->recomputeCostSec;
+          const std::optional<datastore::BlobId> nb =
+              ds_.insert(std::move(restoredBlob->predicate), {}, lb, rc);
+          if (const auto nIt = spillNode_.find(step.spillId);
+              nIt != spillNode_.end()) {
+            const sched::NodeId rn = nIt->second;
+            spillNode_.erase(nIt);
+            nodeSpill_.erase(rn);
+            if (nb) {
+              nodeBlob_[rn] = *nb;
+              blobNode_[*nb] = rn;
+              scheduler_.restored(rn);
+            } else {
+              // Insert refused (duplicate or over budget): the spill entry
+              // is spent, so the node's result is gone for good.
+              scheduler_.retired(rn);
+            }
+          }
+          co_await cpuRun(static_cast<double>(step.projectionBytes) *
+                          cfg_.cpuPerOutByteProject);
+          rec->bytesReused += step.bytesCovered;
+        } else {
+          // Dropped (or restored by a racing query) between planning and
+          // execution: compute this step's share from raw data instead.
+          for (query::PredicatePtr& cp : step.coveredParts) {
+            co_await computePart(std::move(cp), depth + 1, rec);
+          }
+        }
+        break;
+      }
       case query::PlanStep::Kind::ComputeRemainder: {
         trace::SpanScope compute(tracer_, rec->queryId,
                                  trace::SpanKind::Compute, d8,
@@ -304,8 +375,18 @@ Task<void> SimServer::computePart(query::PredicatePtr part, int depth,
   }();
   co_await executePlan(std::move(plan), part->clone(), depth, rec);
   if (cfg_.dataStoreEnabled && cfg_.cacheSubqueryResults) {
-    (void)ds_.insert(std::move(part), {}, partOutBytes);
+    (void)insertWithCost(std::move(part), partOutBytes, rec->queryId);
   }
+}
+
+std::optional<datastore::BlobId> SimServer::insertWithCost(
+    query::PredicatePtr pred, std::uint64_t outBytes, std::uint64_t queryId) {
+  // Coroutines interleave queries on one OS thread, so the thread-query
+  // ledger binding lives only across this synchronous insert (no awaits):
+  // the insert takes the query's accrued cost incrementally, and the scope
+  // dtor drops whatever remains so fully-reused queries leak no entries.
+  trace::Tracer::QueryScope scope(tracer_, queryId);
+  return ds_.insert(std::move(pred), {}, outBytes);
 }
 
 Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
@@ -319,8 +400,8 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
 
   // All source selection happens in the shared planner; record the plan's
   // accounting, then execute its steps with modeled costs.
-  query::ReusePlan plan =
-      planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0);
+  query::ReusePlan plan = planner_.plan(pred, ds_, &scheduler_, node,
+                                        /*depth=*/0, spill_.get());
   rec.overlapUsed = plan.primaryOverlap;
   rec.reuseSources = plan.reuseSources();
   rec.planBytesCovered = plan.planBytesCovered;
@@ -339,10 +420,14 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
   // failed flag).
   trace::SpanScope deliver(tracer_, node, trace::SpanKind::Deliver);
 
-  // Cache the result (skip exact duplicates of an existing blob).
+  // Cache the result (skip exact duplicates of an existing blob). The
+  // insert consumes the query's accrued recompute-cost ledger; a query
+  // that caches nothing has its ledger dropped by the same scope.
   std::optional<datastore::BlobId> blob;
   if (cfg_.dataStoreEnabled && rec.overlapUsed < 1.0) {
-    blob = ds_.insert(pred.clone(), {}, sem_->qoutsize(pred));
+    blob = insertWithCost(pred.clone(), sem_->qoutsize(pred), node);
+  } else {
+    trace::Tracer::QueryScope scope(tracer_, node);
   }
   finishNode(node, blob);
 
@@ -374,29 +459,58 @@ void SimServer::finishNode(sched::NodeId node,
   if (!blob) {
     // Nothing cached for this node: it cannot serve as a reuse source, so
     // it leaves the graph immediately (as if swapped out).
-    scheduler_.swappedOut(node);
+    scheduler_.retired(node);
     return;
   }
   if (evictedWhileExecuting_.erase(node) > 0) {
     // Our blob was reclaimed before we even finished (tiny Data Store).
     nodeBlob_.erase(node);
     blobNode_.erase(*blob);
-    scheduler_.swappedOut(node);
+    scheduler_.retired(node);
   }
 }
 
-void SimServer::onBlobEvicted(datastore::BlobId blob) {
-  const auto it = blobNode_.find(blob);
-  if (it == blobNode_.end()) return;  // sub-query blob without a graph node
-  const sched::NodeId node = it->second;
-  blobNode_.erase(it);
-  nodeBlob_.erase(node);
-  const auto state = scheduler_.stateOf(node);
-  if (state == sched::QueryState::Cached) {
-    scheduler_.swappedOut(node);
-  } else {
-    evictedWhileExecuting_.insert(node);
+void SimServer::onBlobEvicted(datastore::EvictedBlob blob) {
+  sched::NodeId node = sched::kInvalidNode;
+  if (const auto it = blobNode_.find(blob.id); it != blobNode_.end()) {
+    node = it->second;
+    blobNode_.erase(it);
+    nodeBlob_.erase(node);
+    if (scheduler_.stateOf(node) != sched::QueryState::Cached) {
+      // Evicted before its own query finished (tiny Data Store): the
+      // finisher retires the node; nothing worth spilling yet.
+      evictedWhileExecuting_.insert(node);
+      return;
+    }
   }
+  if (spill_ == nullptr) {
+    // No tier: eviction is terminal, exactly the historical behaviour
+    // (retired() on a CACHED node counts one swap-out and removes it).
+    if (node != sched::kInvalidNode) scheduler_.retired(node);
+    return;
+  }
+  std::vector<datastore::SpillId> droppedIds;
+  const std::optional<datastore::SpillId> sid =
+      spill_->demote(std::move(blob), &droppedIds);
+  if (node != sched::kInvalidNode) {
+    if (sid) {
+      nodeSpill_[node] = *sid;
+      spillNode_[*sid] = node;
+      scheduler_.swappedOut(node);
+    } else {
+      scheduler_.retired(node);  // blob alone exceeds the tier
+    }
+  }
+  for (const datastore::SpillId d : droppedIds) retireSpilled(d);
+}
+
+void SimServer::retireSpilled(datastore::SpillId sid) {
+  const auto it = spillNode_.find(sid);
+  if (it == spillNode_.end()) return;  // sub-query entry, no graph node
+  const sched::NodeId node = it->second;
+  spillNode_.erase(it);
+  nodeSpill_.erase(node);
+  scheduler_.retired(node);
 }
 
 SimServer::IoStats SimServer::ioStats() const {

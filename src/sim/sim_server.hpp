@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "datastore/data_store.hpp"
+#include "datastore/spill_tier.hpp"
 #include "metrics/metrics.hpp"
 #include "pagespace/page_cache_core.hpp"
 #include "query/planner.hpp"
@@ -43,7 +44,15 @@ struct SimConfig {
 
   std::uint64_t dsBytes = 64ULL << 20;  ///< Data Store budget
   std::uint64_t psBytes = 32ULL << 20;  ///< Page Space budget
-  std::string dsEviction = "LRU";       ///< LRU | LFU | LARGEST
+  /// Data Store eviction ranker: LRU | LFU | LARGEST | COST. COST scores
+  /// victims by traced recompute benefit per byte (DESIGN.md §13); the
+  /// simulator then runs a private cost-accounting tracer (virtual-time
+  /// ledger) even with tracing off.
+  std::string dsEviction = "LRU";
+  /// Spill-tier byte budget (0 = no tier, evictions stay terminal). The
+  /// simulated tier is always in-memory metadata; restores charge
+  /// diskFarm.disk's modeled service time as virtual delay.
+  std::uint64_t spillBytes = 0;
 
   /// Disk-queue model: "kstream" charges seeks with the analytic k-stream
   /// approximation; "fifo"/"elevator" run a positional head model with the
@@ -115,6 +124,10 @@ class SimServer {
     return scheduler_;
   }
   [[nodiscard]] const datastore::DataStore& dataStore() const { return ds_; }
+  /// The spill tier (null when spillBytes == 0).
+  [[nodiscard]] const datastore::SpillTier* spillTier() const {
+    return spill_.get();
+  }
   [[nodiscard]] const pagespace::PageCacheCore& pageCache() const {
     return psCore_;
   }
@@ -153,7 +166,17 @@ class SimServer {
   Task<void> fetchChunk(storage::PageKey key, std::size_t bytes,
                         metrics::QueryRecord* rec);
   Task<void> cpuRun(double seconds);
-  void onBlobEvicted(datastore::BlobId blob);
+  /// Eviction listener: demote to the spill tier (SWAPPED_OUT retained) or
+  /// retire the node terminally when there is no tier. Never re-enters ds_.
+  void onBlobEvicted(datastore::EvictedBlob blob);
+  /// Terminal drop of a spilled entry: unmap + retire its graph node.
+  void retireSpilled(datastore::SpillId sid);
+  /// Cache `pred`'s simulated result with the query's accrued virtual-time
+  /// recompute cost attributed to the blob (a no-op ledger take when cost
+  /// accounting is off).
+  std::optional<datastore::BlobId> insertWithCost(query::PredicatePtr pred,
+                                                  std::uint64_t outBytes,
+                                                  std::uint64_t queryId);
   void finishNode(sched::NodeId node, std::optional<datastore::BlobId> blob);
   void pump();
 
@@ -164,6 +187,7 @@ class SimServer {
   SimConfig cfg_;
   sched::QueryScheduler scheduler_;
   datastore::DataStore ds_;
+  std::unique_ptr<datastore::SpillTier> spill_;  ///< null when spillBytes == 0
   pagespace::PageCacheCore psCore_;
   query::Planner planner_;
   Semaphore cpus_;
@@ -177,6 +201,9 @@ class SimServer {
   std::unordered_map<sched::NodeId, metrics::QueryRecord> pending_;
   std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_;
   std::unordered_map<datastore::BlobId, sched::NodeId> blobNode_;
+  /// SWAPPED_OUT bookkeeping: which spill entry backs which graph node.
+  std::unordered_map<sched::NodeId, datastore::SpillId> nodeSpill_;
+  std::unordered_map<datastore::SpillId, sched::NodeId> spillNode_;
   std::unordered_set<sched::NodeId> evictedWhileExecuting_;
   int active_ = 0;
   /// Queries currently issuing raw-data I/O — the k of the disk model's
@@ -184,7 +211,11 @@ class SimServer {
   int ioStreams_ = 0;
   std::uint64_t pageMerges_ = 0;
   std::uint64_t bytesRead_ = 0;
-  trace::Tracer* tracer_ = nullptr;  ///< == cfg_.traceSink.get()
+  trace::Tracer* tracer_ = nullptr;  ///< traceSink or ownedTracer_
+  /// Private, *disabled* tracer installed when cost-aware eviction or the
+  /// spill tier needs recompute-cost accounting but no trace sink is
+  /// attached (same pattern as the threaded server, on the virtual clock).
+  std::unique_ptr<trace::Tracer> ownedTracer_;
   metrics::Collector collector_;
 };
 

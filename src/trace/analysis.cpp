@@ -97,7 +97,11 @@ std::string planShapeOf(const std::vector<Event>& queryEvents) {
     const SpanKind kind = e.spanKind();
     char c = 0;
     if (kind == SpanKind::Project) {
-      c = (e.flags & kFlagExecutingSource) != 0 ? 'X' : 'C';
+      // Spill wins before the executing/cached split: a restore step is a
+      // projection, but sourced from the tier.
+      c = (e.flags & kFlagSpillSource) != 0      ? 'S'
+          : (e.flags & kFlagExecutingSource) != 0 ? 'X'
+                                                  : 'C';
     } else if (kind == SpanKind::Compute) {
       c = 'R';
     } else {

@@ -74,7 +74,8 @@ void exportChromeTrace(std::ostream& os, const std::vector<Event>& events) {
     first = false;
     if (e.type == EventType::Counter) {
       const auto idx = static_cast<std::size_t>(e.kind) % counterTotals.size();
-      const bool gauge = e.counterKind() == CounterKind::AdmissionQueueDepth;
+      const bool gauge = e.counterKind() == CounterKind::AdmissionQueueDepth ||
+                         e.counterKind() == CounterKind::DsSpillBytes;
       if (!gauge) counterTotals[idx] += e.value;
       os << "{\"ph\":\"C\",\"ts\":" << formatMicros(e.ts)
          << ",\"pid\":1,\"tid\":" << e.tid << ",\"name\":"
@@ -93,7 +94,9 @@ void exportChromeTrace(std::ostream& os, const std::vector<Event>& events) {
          << ",\"depth\":" << static_cast<int>(e.depth);
       if (e.spanKind() == SpanKind::Project) {
         os << ",\"bytes\":" << e.value << ",\"source\":\""
-           << ((e.flags & kFlagExecutingSource) != 0 ? "executing" : "cached")
+           << ((e.flags & kFlagSpillSource) != 0      ? "spilled"
+               : (e.flags & kFlagExecutingSource) != 0 ? "executing"
+                                                       : "cached")
            << "\"";
       }
       os << "}";

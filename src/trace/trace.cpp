@@ -42,6 +42,30 @@ struct TlsCurrentQuery {
 };
 thread_local TlsCurrentQuery tlsCurrentQuery;
 
+/// Per-thread recompute-cost ledger (Tracer cost accounting). Entries are
+/// keyed by (tracer generation, query id): the simulator interleaves many
+/// queries' COMPUTE/IO_STALL spans on one OS thread, and generations keep
+/// entries from destroyed tracers from aliasing new ones. The vector stays
+/// tiny — one entry per query concurrently accruing on this thread — and
+/// entries are erased when consumed at insert time or when the query's
+/// scope retires.
+struct TlsCostEntry {
+  std::uint64_t gen = 0;
+  std::uint64_t queryId = 0;
+  int openDepth = 0;     ///< open COMPUTE/IO_STALL spans (shared counter)
+  double beginTs = 0.0;  ///< outermost open span's start
+  double accrued = 0.0;  ///< closed-span union wall time, seconds
+};
+thread_local std::vector<TlsCostEntry> tlsCost;
+
+TlsCostEntry& costEntry(std::uint64_t gen, std::uint64_t queryId) {
+  for (auto& e : tlsCost) {
+    if (e.gen == gen && e.queryId == queryId) return e;
+  }
+  tlsCost.push_back(TlsCostEntry{gen, queryId, 0, 0.0, 0.0});
+  return tlsCost.back();
+}
+
 }  // namespace
 
 std::string_view toString(SpanKind kind) {
@@ -76,6 +100,9 @@ std::string_view toString(CounterKind kind) {
     case CounterKind::AdmissionQuotaHit: return "quota_hit";
     case CounterKind::DeadlineMissed: return "deadline_missed";
     case CounterKind::AdmissionQueueDepth: return "queue_depth";
+    case CounterKind::DsSpill: return "ds_spill";
+    case CounterKind::DsRestore: return "ds_restore";
+    case CounterKind::DsSpillBytes: return "ds_spill_bytes";
   }
   return "unknown";
 }
@@ -175,6 +202,8 @@ std::uint64_t Tracer::eventCount() const {
 
 Tracer::QueryScope::QueryScope(Tracer* tracer, std::uint64_t queryId) {
   if (tracer == nullptr) return;
+  tracer_ = tracer;
+  queryId_ = queryId;
   savedGen_ = tlsCurrentQuery.gen;
   savedId_ = tlsCurrentQuery.queryId;
   tlsCurrentQuery = {tracer->gen_, queryId};
@@ -182,12 +211,63 @@ Tracer::QueryScope::QueryScope(Tracer* tracer, std::uint64_t queryId) {
 }
 
 Tracer::QueryScope::~QueryScope() {
-  if (active_) tlsCurrentQuery = {savedGen_, savedId_};
+  if (!active_) return;
+  tlsCurrentQuery = {savedGen_, savedId_};
+  if (tracer_->costAccounting()) tracer_->dropThreadQueryCost(queryId_);
 }
 
 std::optional<std::uint64_t> Tracer::currentThreadQuery() const {
   if (tlsCurrentQuery.gen != gen_) return std::nullopt;
   return tlsCurrentQuery.queryId;
+}
+
+void Tracer::costBegin(std::uint64_t queryId) {
+  costBeginAt(queryId, clock_(clockCtx_));
+}
+
+void Tracer::costBeginAt(std::uint64_t queryId, double ts) {
+  TlsCostEntry& e = costEntry(gen_, queryId);
+  if (e.openDepth == 0) e.beginTs = ts;
+  ++e.openDepth;
+}
+
+void Tracer::costEnd(std::uint64_t queryId) {
+  costEndAt(queryId, clock_(clockCtx_));
+}
+
+void Tracer::costEndAt(std::uint64_t queryId, double ts) {
+  for (auto& e : tlsCost) {
+    if (e.gen != gen_ || e.queryId != queryId) continue;
+    if (e.openDepth > 0 && --e.openDepth == 0) e.accrued += ts - e.beginTs;
+    return;
+  }
+}
+
+double Tracer::takeThreadQueryCost() {
+  if (tlsCurrentQuery.gen != gen_) return 0.0;
+  const std::uint64_t queryId = tlsCurrentQuery.queryId;
+  for (auto& e : tlsCost) {
+    if (e.gen != gen_ || e.queryId != queryId) continue;
+    double cost = e.accrued;
+    e.accrued = 0.0;
+    if (e.openDepth > 0) {
+      const double now = clock_(clockCtx_);
+      cost += now - e.beginTs;
+      e.beginTs = now;
+    }
+    return cost;
+  }
+  return 0.0;
+}
+
+void Tracer::dropThreadQueryCost(std::uint64_t queryId) {
+  for (std::size_t i = 0; i < tlsCost.size(); ++i) {
+    if (tlsCost[i].gen == gen_ && tlsCost[i].queryId == queryId) {
+      tlsCost[i] = tlsCost.back();
+      tlsCost.pop_back();
+      return;
+    }
+  }
 }
 
 }  // namespace mqs::trace

@@ -84,6 +84,13 @@ enum class CounterKind : std::uint8_t {
   AdmissionQuotaHit,
   DeadlineMissed,
   AdmissionQueueDepth,
+  // Cost-aware caching & spill tier (DESIGN.md §13): DS_SPILL counts blobs
+  // demoted to the spill tier, DS_RESTORE counts blobs resurrected from it;
+  // DS_SPILL_BYTES is a gauge — its value is the spill tier's resident
+  // byte count after the event.
+  DsSpill,
+  DsRestore,
+  DsSpillBytes,
 };
 
 [[nodiscard]] std::string_view toString(SpanKind kind);
@@ -97,6 +104,8 @@ inline constexpr std::uint8_t kFlagCachedSource = 0x2;     ///< PROJECT from cac
 inline constexpr std::uint8_t kFlagExecutingSource = 0x4;  ///< PROJECT from executing
 inline constexpr std::uint8_t kFlagShed = 0x8;  ///< DELIVER of a SHED query
                                                 ///< (dropped pre-compute)
+inline constexpr std::uint8_t kFlagSpillSource = 0x10;  ///< PROJECT from the
+                                                        ///< spill tier
 
 struct Event {
   double ts = 0.0;            ///< engine seconds (virtual in the simulator)
@@ -139,22 +148,52 @@ class Tracer {
     return enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Recompute-cost accounting (DESIGN.md §13): when on, the tracer accrues
+  /// each query's COMPUTE/IO_STALL wall time into a per-thread ledger so
+  /// the Data Store can stamp every inserted blob with its recompute cost
+  /// (the CostAware eviction ranker's benefit metric). Accrual works even
+  /// while the tracer is *disabled* — no events are buffered, only the
+  /// ledger is touched — so engines can run a private, disabled tracer
+  /// purely for cost attribution. Non-cost span kinds on a disabled tracer
+  /// still cost exactly one relaxed load.
+  void setCostAccounting(bool on) {
+    costAccounting_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool costAccounting() const {
+    return costAccounting_.load(std::memory_order_relaxed);
+  }
+
   /// Emit a span-begin for query `queryId`; returns the stamped timestamp
   /// (NaN if disabled). `value` carries the step's covered bytes for
   /// PROJECT spans so plan shapes are reconstructible from the stream.
   double beginSpan(std::uint64_t queryId, SpanKind kind, std::uint8_t depth = 0,
                    std::uint64_t value = 0, std::uint8_t flags = 0) {
-    if (!enabled()) return kDisabledTs;
-    return emit(EventType::SpanBegin, static_cast<std::uint8_t>(kind), queryId,
-                value, depth, flags);
+    const bool costKind =
+        kind == SpanKind::Compute || kind == SpanKind::IoStall;
+    if (!enabled()) {
+      if (costKind && costAccounting()) costBegin(queryId);
+      return kDisabledTs;
+    }
+    const double ts = emit(EventType::SpanBegin,
+                           static_cast<std::uint8_t>(kind), queryId, value,
+                           depth, flags);
+    if (costKind && costAccounting()) costBeginAt(queryId, ts);
+    return ts;
   }
 
   /// Emit a span-end; returns the stamped timestamp (NaN if disabled).
   double endSpan(std::uint64_t queryId, SpanKind kind, std::uint8_t depth = 0,
                  std::uint64_t value = 0, std::uint8_t flags = 0) {
-    if (!enabled()) return kDisabledTs;
-    return emit(EventType::SpanEnd, static_cast<std::uint8_t>(kind), queryId,
-                value, depth, flags);
+    const bool costKind =
+        kind == SpanKind::Compute || kind == SpanKind::IoStall;
+    if (!enabled()) {
+      if (costKind && costAccounting()) costEnd(queryId);
+      return kDisabledTs;
+    }
+    const double ts = emit(EventType::SpanEnd, static_cast<std::uint8_t>(kind),
+                           queryId, value, depth, flags);
+    if (costKind && costAccounting()) costEndAt(queryId, ts);
+    return ts;
   }
 
   /// Emit a counter increment (no query attribution).
@@ -186,6 +225,8 @@ class Tracer {
     QueryScope& operator=(const QueryScope&) = delete;
 
    private:
+    Tracer* tracer_ = nullptr;
+    std::uint64_t queryId_ = 0;
     std::uint64_t savedGen_ = 0;
     std::uint64_t savedId_ = 0;
     bool active_ = false;
@@ -194,6 +235,25 @@ class Tracer {
   /// The calling thread's current query under this tracer (set by a live
   /// QueryScope), or nullopt.
   [[nodiscard]] std::optional<std::uint64_t> currentThreadQuery() const;
+
+  // --- recompute-cost ledger ----------------------------------------------
+  // Per-thread, keyed by query id (the simulator interleaves many queries'
+  // spans on one OS thread, so thread identity alone is not enough). Open
+  // COMPUTE/IO_STALL spans share one nesting counter per query, so a stall
+  // nested inside a compute step is not double-counted: the ledger accrues
+  // the *union* of the two kinds' wall time.
+
+  /// Consume the accrued recompute cost of the calling thread's current
+  /// query (see QueryScope) and reset it to zero, so successive inserts
+  /// within one query each take only their incremental cost. Returns 0 when
+  /// no scope is live or nothing accrued. An open cost span contributes its
+  /// elapsed-so-far and restarts at now.
+  [[nodiscard]] double takeThreadQueryCost();
+
+  /// Drop the calling thread's cost ledger entry for `queryId` (query
+  /// retired without consuming it). QueryScope's destructor does this
+  /// automatically when cost accounting is on.
+  void dropThreadQueryCost(std::uint64_t queryId);
 
   /// Sentinel timestamp returned by begin/endSpan when disabled.
   static constexpr double kDisabledTs = -1.0;
@@ -232,7 +292,15 @@ class Tracer {
   Buffer* threadBuffer();
   Buffer* registerThread();
 
+  // Cost-ledger slow paths (out of line; only reached when cost accounting
+  // is on and the span kind is COMPUTE or IO_STALL).
+  void costBegin(std::uint64_t queryId);           ///< reads the clock itself
+  void costBeginAt(std::uint64_t queryId, double ts);
+  void costEnd(std::uint64_t queryId);             ///< reads the clock itself
+  void costEndAt(std::uint64_t queryId, double ts);
+
   std::atomic<bool> enabled_{true};
+  std::atomic<bool> costAccounting_{false};
   ClockFn clock_;
   void* clockCtx_ = nullptr;
   const std::uint64_t gen_;  ///< process-unique id (thread-local cache key)

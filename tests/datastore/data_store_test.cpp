@@ -83,7 +83,7 @@ TEST_F(DataStoreTest, LruEvictionWithListener) {
   DataStore ds(2 * blobBytes, &sem_);
   std::vector<BlobId> evicted;
   ds.setEvictionListener(
-      [&](BlobId id, const query::Predicate&) { evicted.push_back(id); });
+      [&](EvictedBlob blob) { evicted.push_back(blob.id); });
 
   const auto ida = ds.insert(a->clone(), {}, blobBytes);
   auto b = pred(Rect::ofSize(256, 0, 256, 256), 4);
@@ -173,7 +173,7 @@ TEST_F(DataStoreTest, LogicalBytesDriveBudgetNotPayload) {
 TEST_F(DataStoreTest, EraseFiresListener) {
   DataStore ds(1 << 20, &sem_);
   int fired = 0;
-  ds.setEvictionListener([&](BlobId, const query::Predicate&) { ++fired; });
+  ds.setEvictionListener([&](EvictedBlob) { ++fired; });
   auto a = pred(Rect::ofSize(0, 0, 128, 128), 4);
   const auto id = ds.insert(a->clone(), {}, outBytes(*a));
   ds.erase(*id);

@@ -1,0 +1,164 @@
+#include "datastore/spill_tier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::datastore {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+class SpillTierTest : public ::testing::Test {
+ protected:
+  SpillTierTest() {
+    dataset_ = sem_.addDataset(index::ChunkLayout(4096, 4096, 64));
+  }
+
+  query::PredicatePtr pred(Rect region, std::uint32_t zoom = 4) {
+    return std::make_unique<VMPredicate>(dataset_, region, zoom,
+                                         VMOp::Subsample);
+  }
+
+  static std::uint64_t outBytes(const query::Predicate& p) {
+    return vm::asVM(p).outBytes();
+  }
+
+  EvictedBlob blob(Rect region, double recomputeCostSec = 1.0,
+                   std::vector<std::byte> payload = {}) {
+    EvictedBlob b;
+    b.predicate = pred(region);
+    b.payload = std::move(payload);
+    b.logicalBytes = outBytes(*b.predicate);
+    b.recomputeCostSec = recomputeCostSec;
+    return b;
+  }
+
+  vm::VMSemantics sem_;
+  storage::DatasetId dataset_ = 0;
+};
+
+TEST_F(SpillTierTest, DemoteLookupCandidateRestore) {
+  SpillTier tier(1 << 24, &sem_);
+  auto b = blob(Rect::ofSize(0, 0, 256, 256), /*recomputeCostSec=*/2.5);
+  const std::uint64_t bytes = b.logicalBytes;
+  const auto sid = tier.demote(std::move(b));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(tier.residentEntries(), 1u);
+  EXPECT_EQ(tier.residentBytes(), bytes);
+
+  const auto q = pred(Rect::ofSize(0, 0, 256, 256));
+  const auto matches = tier.lookupTopK(*q, 4);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, *sid);
+  EXPECT_DOUBLE_EQ(matches[0].overlap, 1.0);
+
+  const auto cand = tier.candidate(*sid);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->logicalBytes, bytes);
+  EXPECT_DOUBLE_EQ(cand->recomputeCostSec, 2.5);
+  EXPECT_DOUBLE_EQ(cand->restoreCostSec, tier.restoreCostSec(bytes));
+  EXPECT_GT(cand->restoreCostSec, 0.0);
+
+  auto restored = tier.restore(*sid);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->id, *sid);
+  EXPECT_EQ(restored->logicalBytes, bytes);
+  EXPECT_DOUBLE_EQ(restored->recomputeCostSec, 2.5);
+  EXPECT_DOUBLE_EQ(sem_.overlap(*restored->predicate, *q), 1.0);
+
+  // The restore took the entry out: the tier is empty and every by-id
+  // operation on the spent id misses.
+  EXPECT_EQ(tier.residentEntries(), 0u);
+  EXPECT_EQ(tier.residentBytes(), 0u);
+  EXPECT_TRUE(tier.lookupTopK(*q, 4).empty());
+  EXPECT_FALSE(tier.candidate(*sid).has_value());
+  EXPECT_FALSE(tier.restore(*sid).has_value());
+
+  const auto stats = tier.stats();
+  EXPECT_EQ(stats.demoted, 1u);
+  EXPECT_EQ(stats.restored, 1u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST_F(SpillTierTest, OldestEntriesFifoDropUnderPressure) {
+  auto a = blob(Rect::ofSize(0, 0, 256, 256));
+  const std::uint64_t bytes = a.logicalBytes;
+  SpillTier tier(2 * bytes, &sem_);
+  const auto ida = tier.demote(std::move(a));
+  const auto idb = tier.demote(blob(Rect::ofSize(256, 0, 256, 256)));
+  ASSERT_TRUE(ida && idb);
+
+  std::vector<SpillId> dropped;
+  const auto idc =
+      tier.demote(blob(Rect::ofSize(512, 0, 256, 256)), &dropped);
+  ASSERT_TRUE(idc.has_value());
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], *ida);  // oldest first
+  EXPECT_EQ(tier.residentEntries(), 2u);
+  EXPECT_FALSE(tier.candidate(*ida).has_value());
+  EXPECT_TRUE(tier.candidate(*idb).has_value());
+  EXPECT_EQ(tier.stats().dropped, 1u);
+}
+
+TEST_F(SpillTierTest, OversizedBlobIsRejectedUntouched) {
+  auto b = blob(Rect::ofSize(0, 0, 256, 256));
+  SpillTier tier(b.logicalBytes - 1, &sem_);
+  std::vector<SpillId> dropped;
+  EXPECT_FALSE(tier.demote(std::move(b), &dropped).has_value());
+  EXPECT_TRUE(dropped.empty());
+  EXPECT_EQ(tier.residentEntries(), 0u);
+  EXPECT_EQ(tier.stats().demoted, 0u);
+  EXPECT_EQ(tier.stats().dropped, 1u);
+}
+
+TEST_F(SpillTierTest, RestoreCostScalesWithBytes) {
+  SpillTier tier(1 << 20, &sem_);
+  EXPECT_GT(tier.restoreCostSec(1 << 10), 0.0);
+  EXPECT_GT(tier.restoreCostSec(1 << 20), tier.restoreCostSec(1 << 10));
+}
+
+TEST_F(SpillTierTest, FileModePersistsPayloadAndCleansUpOnDestruction) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "mqs_spill_tier_test_dir";
+  fs::remove_all(dir);
+  ASSERT_FALSE(fs::exists(dir));
+
+  std::vector<std::byte> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  {
+    SpillTier tier(1 << 24, &sem_, dir.string());
+    const auto sid = tier.demote(
+        blob(Rect::ofSize(0, 0, 256, 256), 1.0, payload));
+    ASSERT_TRUE(sid.has_value());
+    tier.flush();
+    EXPECT_EQ(tier.stats().writeouts, 1u);
+    // The payload now lives in a spill file inside the tier's directory.
+    ASSERT_TRUE(fs::exists(dir));
+    std::size_t files = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      (void)e;
+      ++files;
+    }
+    EXPECT_EQ(files, 1u);
+
+    auto restored = tier.restore(*sid);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->payload, payload);
+  }
+  // The tier created the directory, so it removes it (and any files) on
+  // destruction — the reproduce.sh idempotency contract.
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+}  // namespace
+}  // namespace mqs::datastore

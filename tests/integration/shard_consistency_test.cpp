@@ -75,9 +75,7 @@ TEST_F(ShardConsistencyTest, SingleShardEvictsInGlobalLruOrder) {
   datastore::DataStore ds(4 * one, &sem_);
   std::vector<datastore::BlobId> evicted;
   ds.setEvictionListener(
-      [&](datastore::BlobId id, const query::Predicate&) {
-        evicted.push_back(id);
-      });
+      [&](datastore::EvictedBlob blob) { evicted.push_back(blob.id); });
   std::vector<datastore::BlobId> ids;
   for (int i = 0; i < 4; ++i) {
     auto p = pred(Rect::ofSize(i * 256, 0, 64, 64));

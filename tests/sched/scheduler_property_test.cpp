@@ -1,6 +1,6 @@
 // Property tests for the scheduler: a seeded random stream of arrivals,
-// dequeues, completions, swap-outs, and failures drives two schedulers in
-// lockstep — one with incremental neighborhood re-ranking (the production
+// dequeues, completions, swap-outs, restores, retirements, and failures
+// drives two schedulers in lockstep — one with incremental neighborhood re-ranking (the production
 // configuration, §4) and one recomputing every waiting rank from scratch.
 // They must make identical decisions; the graph must keep its structural
 // invariants; every edge must carry the Eq. 4 weight
@@ -53,7 +53,17 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
   Rng rng(0xfeedULL);
   std::vector<NodeId> executing;
   std::vector<NodeId> cached;
+  std::vector<NodeId> swapped;
   std::size_t waiting = 0;
+
+  // Uniform pick-and-remove from a node pool.
+  const auto take = [&rng](std::vector<NodeId>& pool) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+    const NodeId n = pool[i];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    return n;
+  };
 
   for (int step = 0; step < 600; ++step) {
     const double dice = rng.uniform01();
@@ -65,7 +75,7 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
       const NodeId b = full.submit(std::move(p));
       ASSERT_EQ(a, b);
       ++waiting;
-    } else if (dice < 0.70) {
+    } else if (dice < 0.65) {
       // Dispatch: THE property — both heaps must pick the same query.
       const auto a = inc.dequeue();
       const auto b = full.dequeue();
@@ -74,12 +84,9 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
         executing.push_back(*a);
         --waiting;
       }
-    } else if (dice < 0.85 && !executing.empty()) {
+    } else if (dice < 0.80 && !executing.empty()) {
       // Completion (or, 1 in 5, a failure) of a random executing query.
-      const std::size_t i = static_cast<std::size_t>(
-          rng.uniformInt(0, static_cast<std::int64_t>(executing.size()) - 1));
-      const NodeId n = executing[i];
-      executing.erase(executing.begin() + static_cast<std::ptrdiff_t>(i));
+      const NodeId n = take(executing);
       if (rng.uniform01() < 0.2) {
         inc.failed(n);
         full.failed(n);
@@ -88,14 +95,25 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
         full.completed(n);
         cached.push_back(n);
       }
-    } else if (!cached.empty()) {
-      // Swap-out of a random cached result.
-      const std::size_t i = static_cast<std::size_t>(
-          rng.uniformInt(0, static_cast<std::int64_t>(cached.size()) - 1));
-      const NodeId n = cached[i];
-      cached.erase(cached.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (dice < 0.88 && !cached.empty()) {
+      // Demotion of a random cached result (SWAPPED_OUT is retained).
+      const NodeId n = take(cached);
       inc.swappedOut(n);
       full.swappedOut(n);
+      swapped.push_back(n);
+    } else if (dice < 0.94 && !swapped.empty()) {
+      // Spill restore: SWAPPED_OUT -> CACHED, ranks must re-agree.
+      const NodeId n = take(swapped);
+      inc.restored(n);
+      full.restored(n);
+      cached.push_back(n);
+    } else if (!cached.empty() || !swapped.empty()) {
+      // Terminal retirement from either retained state.
+      const bool fromCached =
+          !cached.empty() && (swapped.empty() || rng.uniform01() < 0.5);
+      const NodeId n = take(fromCached ? cached : swapped);
+      inc.retired(n);
+      full.retired(n);
     }
 
     ASSERT_EQ(inc.waitingCount(), full.waitingCount());

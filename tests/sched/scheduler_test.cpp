@@ -81,8 +81,19 @@ TEST_F(SchedulerTest, StateMachineTransitions) {
   EXPECT_EQ(s.executingCount(), 1u);
   s.completed(n);
   EXPECT_EQ(s.stateOf(n), QueryState::Cached);
+  // Swap-out retains the node (the spill tier may bring it back) ...
   s.swappedOut(n);
+  EXPECT_EQ(s.stateOf(n), QueryState::SwappedOut);
+  // ... restore revives it ...
+  s.restored(n);
+  EXPECT_EQ(s.stateOf(n), QueryState::Cached);
+  // ... and retire is the terminal drop (from either CACHED or SWAPPED_OUT).
+  s.retired(n);
   EXPECT_FALSE(s.stateOf(n).has_value());
+  const auto st = s.stats();
+  EXPECT_EQ(st.swappedOutCount, 2u);  // explicit swap-out + retired-from-cached
+  EXPECT_EQ(st.restoredCount, 1u);
+  EXPECT_EQ(st.retiredCount, 1u);
 }
 
 TEST_F(SchedulerTest, IllegalTransitionsThrow) {

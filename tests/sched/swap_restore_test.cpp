@@ -1,0 +1,169 @@
+// SWAPPED_OUT as a *retained* state (DESIGN.md §13): a swapped-out node
+// keeps its vertex and overlap edges so a later restore can flip it back to
+// CACHED without rebuilding anything. These tests pin down the two
+// contracts the spill tier leans on, across every paper policy:
+//   * edge preservation — swappedOut()/restored() never change the graph's
+//     structure, only the state bit (and the waiting neighbors' ranks);
+//   * restore equivalence — a scheduler that swapped a node out and
+//     restored it ranks all subsequent work identically to one that never
+//     swapped it at all, under both incremental and full re-ranking.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::sched {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+class SwapRestoreTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  SwapRestoreTest() {
+    (void)sem_.addDataset(index::ChunkLayout(16384, 16384, 128));
+  }
+
+  query::PredicatePtr pred(Rect region, std::uint32_t zoom = 4) {
+    return std::make_unique<VMPredicate>(0, region, zoom, VMOp::Subsample);
+  }
+
+  query::PredicatePtr randomPred(Rng& rng) {
+    const std::uint32_t zoom = 1u << rng.uniformInt(1, 3);
+    const std::int64_t grid = 32;
+    const std::int64_t x = rng.uniformInt(0, 64) * grid;
+    const std::int64_t y = rng.uniformInt(0, 64) * grid;
+    const std::int64_t w = rng.uniformInt(2, 24) * grid;
+    const std::int64_t h = rng.uniformInt(2, 24) * grid;
+    return std::make_unique<VMPredicate>(0, Rect::ofSize(x, y, w, h), zoom,
+                                         VMOp::Subsample);
+  }
+
+  vm::VMSemantics sem_;
+};
+
+/// Snapshot of a node's adjacency for structural comparison.
+std::vector<Edge> edgesOf(const SchedulingGraph& g, NodeId n) {
+  std::vector<Edge> out;
+  for (const Edge& e : g.outEdges(n)) out.push_back(e);
+  return out;
+}
+
+TEST_P(SwapRestoreTest, EdgesSurviveSwapOutAndRestore) {
+  QueryScheduler s(&sem_, makePolicy(GetParam(), 0.2));
+
+  const NodeId a = s.submit(pred(Rect::ofSize(0, 0, 1024, 1024)));
+  const auto first = s.dequeue();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(*first, a);
+  s.completed(a);
+  ASSERT_EQ(s.stateOf(a), QueryState::Cached);
+
+  // A waiting neighbor that overlaps the cached result.
+  const NodeId b = s.submit(pred(Rect::ofSize(512, 512, 1024, 1024)));
+  const auto before = edgesOf(s.graphUnsafe(), a);
+  ASSERT_FALSE(before.empty());
+  ASSERT_TRUE(s.graphUnsafe().checkInvariants());
+
+  s.swappedOut(a);
+  EXPECT_EQ(s.stateOf(a), QueryState::SwappedOut);
+  EXPECT_EQ(s.stateOf(b), QueryState::Waiting);
+  {
+    const auto during = edgesOf(s.graphUnsafe(), a);
+    ASSERT_EQ(during.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(during[i].peer, before[i].peer);
+      EXPECT_DOUBLE_EQ(during[i].overlap, before[i].overlap);
+      EXPECT_DOUBLE_EQ(during[i].weight, before[i].weight);
+    }
+  }
+  EXPECT_TRUE(s.graphUnsafe().checkInvariants());
+
+  s.restored(a);
+  EXPECT_EQ(s.stateOf(a), QueryState::Cached);
+  {
+    const auto after = edgesOf(s.graphUnsafe(), a);
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after[i].peer, before[i].peer);
+      EXPECT_DOUBLE_EQ(after[i].overlap, before[i].overlap);
+      EXPECT_DOUBLE_EQ(after[i].weight, before[i].weight);
+    }
+  }
+  EXPECT_TRUE(s.graphUnsafe().checkInvariants());
+  EXPECT_EQ(s.stats().swappedOutCount, 1u);
+  EXPECT_EQ(s.stats().restoredCount, 1u);
+
+  // retired() from CACHED is the historical terminal swap-out: node gone,
+  // one more swappedOutCount tick.
+  s.retired(a);
+  EXPECT_FALSE(s.stateOf(a).has_value());
+  EXPECT_EQ(s.stats().swappedOutCount, 2u);
+  EXPECT_EQ(s.stats().retiredCount, 1u);
+  EXPECT_TRUE(s.graphUnsafe().checkInvariants());
+}
+
+TEST_P(SwapRestoreTest, RestoreRanksIdenticallyToNeverSwapped) {
+  for (const bool incremental : {true, false}) {
+    QueryScheduler swp(&sem_, makePolicy(GetParam(), 0.2), incremental);
+    QueryScheduler ref(&sem_, makePolicy(GetParam(), 0.2), incremental);
+
+    Rng rng(0x5e510ULL);
+    // A cached result both schedulers share...
+    auto seedPred = randomPred(rng);
+    const NodeId a = swp.submit(seedPred->clone());
+    ASSERT_EQ(ref.submit(std::move(seedPred)), a);
+    ASSERT_EQ(swp.dequeue(), ref.dequeue());
+    swp.completed(a);
+    ref.completed(a);
+
+    // ...that only one of them swaps out and restores.
+    swp.swappedOut(a);
+    swp.restored(a);
+
+    // Every subsequent ranking decision must be indistinguishable.
+    std::vector<NodeId> executing;
+    for (int step = 0; step < 200; ++step) {
+      const double dice = rng.uniform01();
+      if (dice < 0.5) {
+        auto p = randomPred(rng);
+        const NodeId x = swp.submit(p->clone());
+        ASSERT_EQ(ref.submit(std::move(p)), x);
+      } else if (dice < 0.8) {
+        const auto x = swp.dequeue();
+        const auto y = ref.dequeue();
+        ASSERT_EQ(x, y) << "policy " << GetParam() << " incremental "
+                        << incremental << " diverged at step " << step;
+        if (x) executing.push_back(*x);
+      } else if (!executing.empty()) {
+        const std::size_t i = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(executing.size()) - 1));
+        const NodeId n = executing[i];
+        executing.erase(executing.begin() + static_cast<std::ptrdiff_t>(i));
+        swp.completed(n);
+        ref.completed(n);
+      }
+    }
+    for (;;) {
+      const auto x = swp.dequeue();
+      const auto y = ref.dequeue();
+      ASSERT_EQ(x, y);
+      if (!x) break;
+      swp.failed(*x);
+      ref.failed(*y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, SwapRestoreTest,
+                         ::testing::ValuesIn(paperPolicyNames()),
+                         [](const auto& paramInfo) { return paramInfo.param; });
+
+}  // namespace
+}  // namespace mqs::sched

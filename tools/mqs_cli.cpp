@@ -4,13 +4,17 @@
 //              [--side 8192] [--ds 64MB] [--ps 32MB] [--prefetch 4]
 //              [--io-threads 4] [--reuse-sources 4]
 //              [--ds-shards 1] [--ps-shards 1]
+//              [--ds-eviction LRU] [--spill-bytes 0] [--spill-dir DIR]
 //              [--queue-limit 0] [--client-quota 0]
 //              [--client-byte-quota 0] [--deadline 0] [--shed]
 //              [--predictive-shed] [--trace-out serve.trace.json]
 //       Start a query server on synthetic slides and print the port;
 //       runs until stdin closes (pipe `sleep inf |` for a daemon).
 //       --queue-limit/--client-quota bound admission, --deadline + --shed
-//       drop doomed queries (DESIGN.md §11). --trace-out dumps the
+//       drop doomed queries (DESIGN.md §11). --ds-eviction picks the Data
+//       Store victim ranker (LRU|LFU|LARGEST|COST) and --spill-bytes > 0
+//       enables the disk spill tier (DESIGN.md §13; --spill-dir places the
+//       payload files, default in-memory). --trace-out dumps the
 //       lifecycle trace on shutdown.
 //
 //   mqs query  --port P [--dataset 0] [--x 0 --y 0] [--side 1024]
@@ -19,6 +23,7 @@
 //
 //   mqs experiment [--policy CF] [--threads 4] [--op subsample]
 //                  [--batch] [--ds 64MB] [--ps 32MB] [--full]
+//                  [--ds-eviction LRU] [--spill-bytes 0]
 //                  [--reuse-sources 4] [--trace-out run.trace.json]
 //                  [--query-csv queries.csv]
 //       Run the paper's client workload on the deterministic DES and
@@ -107,6 +112,11 @@ int cmdServe(const Options& opts) {
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
   cfg.dsShards = static_cast<int>(opts.getInt("ds-shards", cfg.dsShards));
   cfg.psShards = static_cast<int>(opts.getInt("ps-shards", cfg.psShards));
+  // Cost-aware caching and the spill tier (DESIGN.md §13).
+  cfg.dsEviction = opts.getString("ds-eviction", cfg.dsEviction);
+  cfg.spillBytes = opts.has("spill-bytes") ? opts.getBytes("spill-bytes", 0)
+                                           : cfg.spillBytes;
+  cfg.spillDir = opts.getString("spill-dir", cfg.spillDir);
   // Overload defenses (DESIGN.md §11) — all off by default.
   cfg.admissionQueueLimit =
       static_cast<std::size_t>(opts.getInt("queue-limit", 0));
@@ -193,6 +203,9 @@ int cmdExperiment(const Options& opts) {
   cfg.psBytes = opts.getBytes("ps", full ? 32 * MiB : 2 * MiB);
   cfg.ioModel = opts.getString("io", "kstream");
   cfg.prefetchPages = static_cast<int>(opts.getInt("prefetch", 0));
+  cfg.dsEviction = opts.getString("ds-eviction", cfg.dsEviction);
+  cfg.spillBytes = opts.has("spill-bytes") ? opts.getBytes("spill-bytes", 0)
+                                           : cfg.spillBytes;
   cfg.maxReuseSources =
       static_cast<int>(opts.getInt("reuse-sources", cfg.maxReuseSources));
   if (opts.has("trace-out")) {
@@ -238,6 +251,11 @@ int cmdExperiment(const Options& opts) {
   table.addRow({"fairness", formatDouble(result.summary.clientFairness, 3)});
   table.addRow({"device bytes", formatBytes(result.io.bytesRead)});
   table.addRow({"DES events", std::to_string(result.events)});
+  if (cfg.spillBytes > 0) {
+    table.addRow({"spill demoted / restored",
+                  std::to_string(result.spillStats.demoted) + " / " +
+                      std::to_string(result.spillStats.restored)});
+  }
   table.print(std::cout);
   return 0;
 }
