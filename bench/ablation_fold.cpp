@@ -1,0 +1,160 @@
+// Ablation: dynamic query folding (DESIGN.md §14).
+//
+// Sweeps overlap fraction x concurrency in the paper's batch mode (§5,
+// Figure 7 methodology: the whole workload is submitted at t=0) and runs
+// every cell with folding on and off. The Data Store budget is held below
+// a single result blob, so waiting on an executing source never pays off
+// (the blob is gone by the time the waiter wakes) — the configuration that
+// isolates what folding alone contributes: subscribers receive the shared
+// scan at the instant of publish instead of re-reading the region.
+//
+// --smoke runs the guard-rail variant used by the bench_smoke_fold ctest:
+// at the high-overlap/high-concurrency cell, folding-on must read strictly
+// fewer raw bytes than folding-off, must not degrade trimmed-mean
+// response, and FoldIntoScan must be visible end to end — fold hits at the
+// scan registry and at least one trace-derived plan shape containing 'F'.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "trace/analysis.hpp"
+
+using namespace mqs;
+
+namespace {
+
+/// Queries whose trace-derived plan shape folded into a shared scan.
+std::uint64_t tracedFoldShapes(const std::vector<trace::Event>& events) {
+  std::uint64_t n = 0;
+  for (const std::uint64_t qid : trace::queryIds(events)) {
+    const std::string shape =
+        trace::planShapeOf(trace::eventsForQuery(events, qid));
+    if (shape.find('F') != std::string::npos) ++n;
+  }
+  return n;
+}
+
+struct Overlap {
+  std::string label;
+  double browseProbability;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, "fold");
+  const bool smoke = ctx.options().getBool("smoke", false);
+  ctx.printHeader();
+
+  // Overlap axis: how often a client's next query revisits its previous
+  // neighborhood. In batch mode the whole stream is concurrent, so high
+  // browse probability means many in-flight queries want the same region
+  // at the same instant — the folding window.
+  const std::vector<Overlap> overlaps = {{"low", 0.15}, {"high", 0.90}};
+  const std::vector<std::int64_t> threads = ctx.options().getIntList(
+      "threads", std::vector<std::int64_t>{2, 8});
+
+  // (overlap, threads, fold) -> run, kept for the smoke assertions.
+  std::map<std::tuple<std::string, std::int64_t, bool>, driver::SimRunResult>
+      runs;
+  std::uint64_t smokeTracedF = 0;
+
+  Table table("Dynamic query folding x overlap x concurrency (CF, batch)");
+  table.setColumns({"overlap", "threads", "fold", "makespan(s)",
+                    "trimmed-response(s)", "scanned(MB)", "reused(MB)",
+                    "fold-hits"});
+  for (const Overlap& ov : overlaps) {
+    driver::WorkloadConfig wl = ctx.workload(vm::VMOp::Subsample);
+    wl.browseProbability = ov.browseProbability;
+    for (const std::int64_t t : threads) {
+      for (const bool fold : {false, true}) {
+        // DS label 2 MB is below one result blob at either scale, so the
+        // executing-source path degenerates to recompute and the sweep
+        // isolates folding; PS label 16 MB is below one scan's working
+        // set, so recomputed regions really re-read the device.
+        auto cfg = ctx.server("CF", static_cast<int>(t), 2 * MiB, 16 * MiB);
+        cfg.foldScans = fold;
+        const bool isSmokeCell =
+            fold && ov.label == "high" && t == threads.back();
+        bool traced = fold && ctx.attachTraceSink(cfg);
+        if (smoke && isSmokeCell && cfg.traceSink == nullptr) {
+          cfg.traceSink = std::make_shared<trace::Tracer>();
+          traced = true;
+        }
+
+        auto run = driver::SimExperiment::runBatch(wl, cfg);
+
+        if (traced) {
+          const std::uint64_t f = tracedFoldShapes(run.traceEvents);
+          if (isSmokeCell) smokeTracedF = f;
+          if (ctx.options().has("trace-out")) {
+            ctx.writeTraceEvents(run.traceEvents);
+          }
+        }
+        table.addRow(
+            {ov.label, std::to_string(t), fold ? "on" : "off",
+             formatDouble(run.summary.makespan, 3),
+             formatDouble(run.summary.trimmedResponse, 3),
+             formatDouble(static_cast<double>(run.io.bytesRead) /
+                              static_cast<double>(MiB),
+                          2),
+             formatDouble(static_cast<double>(run.summary.totalReusedBytes) /
+                              static_cast<double>(MiB),
+                          2),
+             std::to_string(run.scanStats.foldHits)});
+        runs.emplace(std::make_tuple(ov.label, t, fold), std::move(run));
+      }
+    }
+  }
+  ctx.emit(table);
+
+  if (!smoke) return 0;
+
+  // Guard rails (ISSUE 9 acceptance), at high overlap x max concurrency:
+  // folding must strictly reduce raw bytes scanned, must not be worse on
+  // trimmed-mean response, and must be visible end to end.
+  const std::int64_t t = threads.back();
+  const auto& on = runs.at({"high", t, true});
+  const auto& off = runs.at({"high", t, false});
+  bool ok = true;
+  if (on.io.bytesRead >= off.io.bytesRead) {
+    std::cerr << "SMOKE FAIL: folding-on scanned " << on.io.bytesRead
+              << " B, not strictly below folding-off's " << off.io.bytesRead
+              << " B\n";
+    ok = false;
+  }
+  if (on.summary.trimmedResponse > off.summary.trimmedResponse) {
+    std::cerr << "SMOKE FAIL: folding-on trimmed response "
+              << on.summary.trimmedResponse << " s worse than folding-off's "
+              << off.summary.trimmedResponse << " s\n";
+    ok = false;
+  }
+  if (on.scanStats.foldHits == 0) {
+    std::cerr << "SMOKE FAIL: no query folded into a shared scan\n";
+    ok = false;
+  }
+  if (off.scanStats.scansRegistered != 0 || off.scanStats.foldHits != 0) {
+    std::cerr << "SMOKE FAIL: folding-off touched the scan registry ("
+              << off.scanStats.scansRegistered << " scans, "
+              << off.scanStats.foldHits << " hits)\n";
+    ok = false;
+  }
+  if (smokeTracedF == 0) {
+    std::cerr << "SMOKE FAIL: no trace-derived plan shape contains a "
+                 "FoldIntoScan ('F') step\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::cout << "# smoke OK: scanned " << off.io.bytesRead << " -> "
+            << on.io.bytesRead << " B, trimmed "
+            << formatDouble(off.summary.trimmedResponse, 3) << " -> "
+            << formatDouble(on.summary.trimmedResponse, 3) << " s, "
+            << on.scanStats.foldHits << " fold hits, " << smokeTracedF
+            << " queries with 'F' shapes\n";
+  return 0;
+}

@@ -34,6 +34,16 @@ R5 unroundtripped-policy-enum
     cross the CLI, config structs, and exporters as strings; an enum
     without a tested round-trip grows silently divergent spellings.
 
+R6 unregistered-label
+    Every ctest label referenced by scripts/check.sh or
+    .github/workflows/ci.yml (a `for label in ...` matrix entry or a
+    literal `-L <label>` flag) must be registered by at least one test
+    in tests/CMakeLists.txt or bench/CMakeLists.txt. Without
+    --no-tests=error, `ctest -L <label>` matching zero tests exits 0,
+    so a renamed or never-registered label makes a whole suite group
+    silently vanish from the gate; this rule catches the registry side
+    of that failure even where the flag is missing.
+
 Usage
 -----
     lint_rules.py [--repo DIR]     lint the repository (default: cwd's repo)
@@ -76,6 +86,15 @@ UNRANKED_MUTEX_ALLOWLIST = {
 MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*(\{[^{}]*\})?\s*;")
 
 POLICY_ENUM_RE = re.compile(r"\benum\s+class\s+(\w*Policy)\b")
+
+# R6: label references in the gate scripts — a `for label in a b c; do`
+# matrix line, or a literal `-L label` / `-L "label"` flag. Shell
+# variables (`-L "$label"`) never match: `$` is not a label character.
+LABEL_LIST_RE = re.compile(r"\bfor\s+label\s+in\s+([^;]+);")
+LABEL_FLAG_RE = re.compile(r"-L\s+\"?([A-Za-z][\w-]*)\"?")
+# Label registrations in the CMake test lists: both mqs_test's
+# LABELS "a;b" argument and set_tests_properties(... LABELS "a;b").
+CMAKE_LABELS_RE = re.compile(r"\bLABELS\s+\"([^\"]+)\"")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -271,6 +290,41 @@ def check_policy_enum_roundtrip(repo: pathlib.Path) -> list[str]:
     return findings
 
 
+def check_label_registration(repo: pathlib.Path) -> list[str]:
+    registered: set[str] = set()
+    for rel in ("tests/CMakeLists.txt", "bench/CMakeLists.txt"):
+        path = repo / rel
+        if not path.is_file():
+            continue
+        for m in CMAKE_LABELS_RE.finditer(path.read_text()):
+            for label in m.group(1).split(";"):
+                label = label.strip()
+                if label and "$" not in label:
+                    registered.add(label)
+
+    findings = []
+    for rel in ("scripts/check.sh", ".github/workflows/ci.yml"):
+        path = repo / rel
+        if not path.is_file():
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            refs: list[str] = []
+            m = LABEL_LIST_RE.search(line)
+            if m:
+                refs.extend(m.group(1).split())
+            refs.extend(LABEL_FLAG_RE.findall(line))
+            for label in refs:
+                if "$" in label or label in registered:
+                    continue
+                findings.append(
+                    f"{rel}:{lineno}: unregistered-label: ctest label "
+                    f"'{label}' matches no test in tests/ or "
+                    f"bench/CMakeLists.txt, so that gate step would run "
+                    f"nothing — register the label or drop the reference"
+                )
+    return findings
+
+
 def lint(repo: pathlib.Path) -> list[str]:
     return (
         check_naked_sync(repo)
@@ -278,6 +332,7 @@ def lint(repo: pathlib.Path) -> list[str]:
         + check_test_registration(repo)
         + check_unranked_mutexes(repo)
         + check_policy_enum_roundtrip(repo)
+        + check_label_registration(repo)
     )
 
 
@@ -327,6 +382,16 @@ def self_test() -> int:
         (repo / "tests" / "scratch" / "bare_test.cpp").write_text("int y;\n")
         (repo / "tests" / "CMakeLists.txt").write_text(
             "mqs_test(bare_test scratch/bare_test.cpp)\n"
+            'mqs_test(labeled_test scratch/labeled_test.cpp LABELS "good")\n'
+        )
+        # R6: the gate's label matrix names one registered label and one
+        # ghost; the `-L "$label"` expansion inside the loop must NOT fire.
+        (repo / "scripts").mkdir()
+        (repo / "scripts" / "check.sh").write_text(
+            "#!/usr/bin/env bash\n"
+            "for label in good ghost; do\n"
+            '  ctest -L "$label" --no-tests=error\n'
+            "done\n"
         )
 
         findings = lint(repo)
@@ -337,12 +402,14 @@ def self_test() -> int:
             ("tests/scratch/bare_test.cpp", "no LABELS"),
             ("src/ranked.hpp:4", "unranked-mutex"),
             ("src/policy_scratch.hpp:4", "unroundtripped-policy-enum"),
+            ("scripts/check.sh:2", "unregistered-label"),
         ]
         for prefix, tag in expectations:
             if not any(prefix in f and tag in f for f in findings):
                 failures.append(f"missed seeded violation: {prefix} ({tag})")
         for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1",
-                       "ranked.hpp:2", "ranked.hpp:3", "policy_scratch.hpp:1"):
+                       "ranked.hpp:2", "ranked.hpp:3", "policy_scratch.hpp:1",
+                       "check.sh:3"):
             if any(banned in f for f in findings):
                 failures.append(f"false positive on clean line: {banned}")
         if len(findings) != len(expectations):

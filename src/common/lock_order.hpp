@@ -57,6 +57,11 @@ enum class Rank : std::uint16_t {
                         ///< maps). Same one-shard-at-a-time discipline as
                         ///< kDataStoreShard.
   kPageSpace = 50,      ///< pagespace::PageSpaceManager::mu_ (source registry)
+  kScanRegistry = 55,   ///< pagespace::ScanRegistry::mu_ (shared-scan table,
+                        ///< DESIGN.md §14). A leaf in practice: publish/fail
+                        ///< copy out under the lock and fire latches after
+                        ///< releasing it, so no subscriber wakes while the
+                        ///< registry is held.
   kStorageFaulty = 60,  ///< storage::FaultySource::mu_ (injection state)
   kStorageFile = 65,    ///< storage::FileSource::ioMutex_ (FILE* serialization)
   kBlockingQueue = 70,  ///< BlockingQueue<T>::mu_ (thread-pool / net queues)

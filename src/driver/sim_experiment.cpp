@@ -36,6 +36,7 @@ SimRunResult gather(const sim::Simulator& simr, const sim::SimServer& server) {
     r.spillStats = spill->stats();
   }
   r.psStats = server.pageCache().stats();
+  r.scanStats = server.scanRegistry().stats();
   r.schedStats = server.scheduler().stats();
   r.simulatedSeconds = simr.now();
   r.events = simr.processedEvents();

@@ -8,6 +8,7 @@
 #include "datastore/data_store.hpp"
 #include "driver/workload.hpp"
 #include "metrics/metrics.hpp"
+#include "pagespace/scan_registry.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/sim_server.hpp"
 #include "trace/trace.hpp"
@@ -22,6 +23,9 @@ struct SimRunResult {
   /// Spill-tier counters (all zero when SimConfig::spillBytes == 0).
   datastore::SpillTier::Stats spillStats;
   pagespace::PageCacheCore::Stats psStats;
+  /// Shared-scan registry counters (dynamic folding, DESIGN.md §14); all
+  /// zero when SimConfig::foldScans is off.
+  pagespace::ScanRegistry::Stats scanStats;
   sched::QueryScheduler::Stats schedStats;
   double simulatedSeconds = 0.0;  ///< virtual makespan of the run
   std::uint64_t events = 0;       ///< DES events processed

@@ -38,6 +38,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "pagespace/page_cache_core.hpp"
+#include "pagespace/scan_registry.hpp"
 #include "storage/data_source.hpp"
 #include "trace/trace.hpp"
 
@@ -167,6 +168,13 @@ class PageSpaceManager {
   /// Number of keys with outstanding prefetch claims.
   [[nodiscard]] std::size_t claimCount() const;
 
+  /// Shared-scan registry for dynamic query folding (DESIGN.md §14): the
+  /// page-level duplicate-request elimination above generalized to whole
+  /// remainder scans. The threaded server registers ComputeRemainder scans
+  /// here and later queries fold into them; the registry has its own lock
+  /// (rank kScanRegistry) and never touches the page cache state.
+  [[nodiscard]] ScanRegistry& scanRegistry() { return scanRegistry_; }
+
   /// Per-thread I/O accounting for per-query metrics: a query (and its
   /// sub-queries) runs on one query thread, so the server resets the
   /// counters before execution and reads them afterwards. Device bytes are
@@ -275,6 +283,9 @@ class PageSpaceManager {
   std::atomic<std::uint64_t> prefetchWasted_{0};
   std::atomic<std::uint64_t> readRetries_{0};
   std::atomic<std::uint64_t> readFailures_{0};
+
+  /// Scan-level folding state (own lock; independent of the shards).
+  ScanRegistry scanRegistry_;
 
   /// Declared last: destroyed first, joining the I/O workers while the
   /// shards above are still alive for their final bookkeeping.

@@ -1,0 +1,117 @@
+#include "pagespace/scan_registry.hpp"
+
+#include <utility>
+
+namespace mqs::pagespace {
+
+ScanRegistry::ScanGuard ScanRegistry::beginScan(const query::Predicate& pred,
+                                                std::uint64_t ownerNode,
+                                                std::uint64_t ownerSeq) {
+  auto scan = std::make_shared<Scan>();
+  scan->ownerNode = ownerNode;
+  scan->ownerSeq = ownerSeq;
+  scan->pred = pred.clone();
+  scan->done = scan->donePromise_.get_future().share();
+  {
+    MutexLock lock(mu_);
+    scan->id = nextId_++;
+    running_.emplace(scan->id, scan);
+  }
+  scansRegistered_.fetch_add(1, std::memory_order_relaxed);
+  return ScanGuard(this, std::move(scan));
+}
+
+ScanRegistry::ScanPtr ScanRegistry::subscribe(query::ScanId id) {
+  ScanPtr scan;
+  {
+    MutexLock lock(mu_);
+    const auto it = running_.find(id);
+    if (it == running_.end()) return nullptr;  // already published or failed
+    scan = it->second;
+    ++scan->subscribers_;
+  }
+  foldHits_.fetch_add(1, std::memory_order_relaxed);
+  return scan;
+}
+
+std::vector<query::FoldCandidate> ScanRegistry::candidatesFor(
+    std::uint64_t subscriberSeq, std::size_t max) const {
+  std::vector<query::FoldCandidate> out;
+  MutexLock lock(mu_);
+  for (const auto& [id, scan] : running_) {
+    if (out.size() >= max) break;
+    // The deadlock rule: fold only into strictly older executions, so fold
+    // waits — like executing-source waits — always point backwards in
+    // execution-sequence order and can never form a cycle.
+    if (scan->ownerSeq == 0 || subscriberSeq == 0 ||
+        scan->ownerSeq >= subscriberSeq) {
+      continue;
+    }
+    query::FoldCandidate c;
+    c.scanId = id;
+    c.pred = scan->pred->clone();
+    c.ownerNode = scan->ownerNode;
+    c.ownerSeq = scan->ownerSeq;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+int ScanRegistry::publish(Scan& scan, std::span<const std::byte> bytes) {
+  int subscribers = 0;
+  {
+    MutexLock lock(mu_);
+    if (scan.resolved_) return 0;
+    scan.resolved_ = true;
+    // Erasing the index entry first makes the subscriber count final: a
+    // subscribe() racing this publish either got in (and is counted) or
+    // finds no entry and recomputes on its own.
+    running_.erase(scan.id);
+    subscribers = scan.subscribers_;
+    scan.state = ScanState::Published;
+    if (subscribers > 0) {
+      // The single payload copy every subscriber shares. Skipped when the
+      // scan was never folded into — the common case stays copy-free.
+      scan.payload = std::make_shared<const std::vector<std::byte>>(
+          bytes.begin(), bytes.end());
+    }
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  bytesShared_.fetch_add(
+      static_cast<std::uint64_t>(subscribers) * bytes.size(),
+      std::memory_order_relaxed);
+  // Outside the lock: waking subscribers must not wake into the registry
+  // mutex (and set_value may run continuations inline).
+  scan.donePromise_.set_value();
+  return subscribers;
+}
+
+void ScanRegistry::fail(Scan& scan, std::string_view what) {
+  {
+    MutexLock lock(mu_);
+    if (scan.resolved_) return;
+    scan.resolved_ = true;
+    running_.erase(scan.id);
+    scan.state = ScanState::Failed;
+    scan.error.assign(what.begin(), what.end());
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  scan.donePromise_.set_value();
+}
+
+ScanRegistry::Stats ScanRegistry::stats() const {
+  Stats s;
+  s.scansRegistered = scansRegistered_.load(std::memory_order_relaxed);
+  s.published = published_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.foldHits = foldHits_.load(std::memory_order_relaxed);
+  s.bytesShared = bytesShared_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ScanRegistry::activeScans() const {
+  MutexLock lock(mu_);
+  return running_.size();
+}
+
+}  // namespace mqs::pagespace

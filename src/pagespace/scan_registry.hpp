@@ -1,0 +1,207 @@
+// Shared-scan registry for dynamic query folding (DESIGN.md §14).
+//
+// The Page Space Manager already merges concurrent requests for the *same
+// page* onto one device read. The ScanRegistry generalizes that one level
+// up: a query about to compute a ComputeRemainder region from raw data
+// first *registers* the scan here; queries planned while the scan is still
+// running can fold into it (a FoldIntoScan plan step) instead of decoding
+// the same pages again. When the owner finishes it publishes the scan's
+// result bytes once and every subscriber projects its own output from that
+// shared payload — the region is scanned and decoded exactly once.
+//
+// Lifecycle of one scan:
+//
+//   beginScan()   owner registers {pred, ownerNode, ownerSeq}; the scan is
+//                 Running and visible to candidatesFor().
+//   subscribe()   a later query joins while Running (its planner emitted a
+//                 FoldIntoScan step). Subscribing after publish/fail finds
+//                 nothing (the index entry is gone) and the subscriber
+//                 recomputes its share independently — never blocks.
+//   publish()     owner succeeded: the payload is copied for the
+//                 subscribers (skipped entirely when nobody subscribed) and
+//                 the done latch is released.
+//   fail()        owner's scan threw: subscribers wake, observe Failed, and
+//                 replan their covered parts from raw data independently —
+//                 the failure contract is "fail or replan every subscriber,
+//                 never hang one". The owner's own failure handling is
+//                 untouched.
+//
+// Deadlock freedom: candidatesFor(subscriberSeq) only returns scans whose
+// owner is *strictly older* by execution sequence, the same rule the
+// scheduler applies to wait-on-executing sources — every fold wait points
+// at a strictly older execution, so the wait graph stays acyclic no matter
+// how scans and executing-source waits interleave.
+//
+// Concurrency: one mutex (rank kScanRegistry, a leaf) guards the index and
+// per-scan bookkeeping; the done latch is released *after* unlocking, so a
+// subscriber never wakes into the registry lock. The payload is an
+// immutable shared_ptr — like pagespace::PagePtr, a subscriber holding it
+// keeps the bytes alive with no further coordination.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "query/fold.hpp"
+
+namespace mqs::pagespace {
+
+class ScanRegistry {
+ public:
+  /// Terminal states a subscriber can observe after the done latch opens.
+  /// (Running is never observable through a settled latch.)
+  enum class ScanState : std::uint8_t { Running = 0, Published, Failed };
+
+  /// One registered scan. Subscribers hold it by shared_ptr, so a scan
+  /// outlives its registry index entry (and the registry itself, if a
+  /// subscriber is slow). All fields except the latch are written before
+  /// the latch opens and read only after it opens — the promise/future
+  /// pair is the synchronization edge.
+  struct Scan {
+    query::ScanId id = 0;
+    std::uint64_t ownerNode = 0;
+    std::uint64_t ownerSeq = 0;
+    query::PredicatePtr pred;
+
+    /// Opened exactly once, by publish() or fail(), after the registry
+    /// lock is released.
+    std::shared_future<void> done;
+
+    /// Valid after `done`: Published or Failed.
+    ScanState state = ScanState::Running;
+    /// Published only, and only when at least one query subscribed: the
+    /// scan's result bytes (the owner's computed region at its zoom).
+    std::shared_ptr<const std::vector<std::byte>> payload;
+    /// Failed only: what the owner's scan threw.
+    std::string error;
+
+   private:
+    friend class ScanRegistry;
+    std::promise<void> donePromise_;
+    int subscribers_ = 0;     ///< guarded by the registry mutex
+    bool resolved_ = false;   ///< guarded by the registry mutex
+  };
+  using ScanPtr = std::shared_ptr<Scan>;
+
+  /// Move-only RAII handle the scan owner holds while computing. A guard
+  /// destroyed without publish()/fail() fails the scan (owner unwound —
+  /// e.g. a deadline QueryFailure between registration and compute), so a
+  /// subscriber can never be left waiting on an abandoned latch.
+  class ScanGuard {
+   public:
+    ScanGuard() = default;
+    ScanGuard(ScanGuard&& other) noexcept
+        : registry_(other.registry_), scan_(std::move(other.scan_)) {
+      other.registry_ = nullptr;
+    }
+    ScanGuard& operator=(ScanGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        registry_ = other.registry_;
+        scan_ = std::move(other.scan_);
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    ScanGuard(const ScanGuard&) = delete;
+    ScanGuard& operator=(const ScanGuard&) = delete;
+    ~ScanGuard() { release(); }
+
+    [[nodiscard]] bool active() const { return registry_ != nullptr; }
+    [[nodiscard]] query::ScanId id() const { return scan_ ? scan_->id : 0; }
+
+    /// Publish the scan's bytes to its subscribers and open the latch.
+    /// Returns the number of subscribers served (0 = nobody folded in and
+    /// the payload copy was skipped).
+    int publish(std::span<const std::byte> bytes) {
+      const int n = registry_ ? registry_->publish(*scan_, bytes) : 0;
+      registry_ = nullptr;
+      return n;
+    }
+
+    /// Fail the scan: subscribers wake, see Failed, and replan.
+    void fail(std::string_view what) {
+      if (registry_ != nullptr) registry_->fail(*scan_, what);
+      registry_ = nullptr;
+    }
+
+   private:
+    friend class ScanRegistry;
+    ScanGuard(ScanRegistry* registry, ScanPtr scan)
+        : registry_(registry), scan_(std::move(scan)) {}
+    void release() {
+      if (registry_ != nullptr) fail("scan owner unwound before publishing");
+    }
+
+    ScanRegistry* registry_ = nullptr;
+    ScanPtr scan_;
+  };
+
+  ScanRegistry() = default;
+  ScanRegistry(const ScanRegistry&) = delete;
+  ScanRegistry& operator=(const ScanRegistry&) = delete;
+
+  /// Register a scan over `pred` owned by the query at `ownerNode` with
+  /// execution sequence `ownerSeq`. Visible to candidatesFor() until
+  /// published or failed.
+  [[nodiscard]] ScanGuard beginScan(const query::Predicate& pred,
+                                    std::uint64_t ownerNode,
+                                    std::uint64_t ownerSeq) EXCLUDES(mu_);
+
+  /// Join a still-running scan. Returns nullptr when the scan already
+  /// published or failed (its index entry is erased at resolution) — the
+  /// caller then recomputes its covered parts independently. A non-null
+  /// return counts as one fold hit.
+  [[nodiscard]] ScanPtr subscribe(query::ScanId id) EXCLUDES(mu_);
+
+  /// Snapshot the running scans a query with execution sequence
+  /// `subscriberSeq` may fold into: owner strictly older (ownerSeq <
+  /// subscriberSeq — the deadlock rule), in registration order, at most
+  /// `max` entries. Predicates are cloned, so the snapshot stays valid
+  /// however the scans resolve afterwards.
+  [[nodiscard]] std::vector<query::FoldCandidate> candidatesFor(
+      std::uint64_t subscriberSeq, std::size_t max) const EXCLUDES(mu_);
+
+  struct Stats {
+    std::uint64_t scansRegistered = 0;
+    std::uint64_t published = 0;   ///< scans that completed
+    std::uint64_t failed = 0;      ///< scans that failed or were abandoned
+    std::uint64_t foldHits = 0;    ///< successful subscribe() calls
+    /// Payload bytes subscribers received without re-scanning: for each
+    /// publish with n subscribers, n * payload size.
+    std::uint64_t bytesShared = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Number of scans currently Running (tests / introspection).
+  [[nodiscard]] std::size_t activeScans() const EXCLUDES(mu_);
+
+ private:
+  int publish(Scan& scan, std::span<const std::byte> bytes) EXCLUDES(mu_);
+  void fail(Scan& scan, std::string_view what) EXCLUDES(mu_);
+
+  mutable Mutex mu_{lockorder::Rank::kScanRegistry, "ScanRegistry::mu_"};
+  /// Running scans only, keyed by id (ordered: candidatesFor iterates in
+  /// registration order). Resolution erases the entry, so subscribing to a
+  /// settled scan cleanly finds nothing.
+  std::map<query::ScanId, ScanPtr> running_ GUARDED_BY(mu_);
+  std::uint64_t nextId_ GUARDED_BY(mu_) = 1;
+
+  // Relaxed counters: stats() never contends with the scan paths.
+  std::atomic<std::uint64_t> scansRegistered_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> foldHits_{0};
+  std::atomic<std::uint64_t> bytesShared_{0};
+};
+
+}  // namespace mqs::pagespace

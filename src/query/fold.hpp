@@ -1,0 +1,36 @@
+// Dynamic query folding (DESIGN.md §14): merging the overlapping
+// ComputeRemainder work of concurrently in-flight queries into one shared
+// scan. The scan's owner registers its remainder region with the
+// pagespace::ScanRegistry before computing it from raw data; later queries
+// that are planned while the scan is still running receive it as a
+// FoldCandidate and may emit a FoldIntoScan plan step ('F' in plan shapes)
+// instead of re-scanning the same pages.
+//
+// This header is deliberately tiny: it is the only fold vocabulary shared
+// between the planner (src/query) and the scan registry (src/pagespace), so
+// neither layer needs the other's headers.
+#pragma once
+
+#include <cstdint>
+
+#include "query/predicate.hpp"
+
+namespace mqs::query {
+
+/// Unique id of one registered shared scan (pagespace::ScanRegistry).
+using ScanId = std::uint64_t;
+
+/// One still-running shared scan offered to the planner as a fold target.
+/// The engine snapshots these (ScanRegistry::candidatesFor) immediately
+/// before planning and is responsible for the deadlock rule: only scans
+/// whose owner has a *strictly smaller* execution sequence number than the
+/// subscribing query are offered, so fold waits — like executing-source
+/// waits — always point at strictly older executions and stay acyclic.
+struct FoldCandidate {
+  ScanId scanId = 0;
+  PredicatePtr pred;            ///< the scan's region/zoom/op predicate
+  std::uint64_t ownerNode = 0;  ///< scheduling-graph node of the scan owner
+  std::uint64_t ownerSeq = 0;   ///< owner's execution sequence number
+};
+
+}  // namespace mqs::query

@@ -16,9 +16,11 @@ namespace {
 struct Candidate {
   bool executing = false;
   bool spilled = false;
+  bool fold = false;
   datastore::BlobId blob = 0;
   sched::NodeId node = sched::kInvalidNode;
   datastore::SpillId spillId = 0;
+  ScanId scanId = 0;
   double restoreCostSec = 0.0;  ///< spilled candidates only
   PredicatePtr pred;
   double overlap = 0.0;  ///< vs the full query
@@ -70,6 +72,10 @@ std::string ReusePlan::shape() const {
         out += 'S';
         out += std::to_string(s.bytesCovered);
         break;
+      case PlanStep::Kind::FoldIntoScan:
+        out += 'F';
+        out += std::to_string(s.bytesCovered);
+        break;
       case PlanStep::Kind::ComputeRemainder:
         out += 'R';
         break;
@@ -89,7 +95,8 @@ Planner::Planner(const QuerySemantics* semantics, PlannerConfig cfg)
 ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
                         const sched::QueryScheduler* sched,
                         sched::NodeId node, int depth,
-                        datastore::SpillTier* spill) const {
+                        datastore::SpillTier* spill,
+                        std::span<const FoldCandidate> folds) const {
   ReusePlan plan;
 
   // Raw-compute fast path: reuse disabled, or the remainder recursion has
@@ -106,10 +113,13 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
 
   // --- candidate generation ----------------------------------------------
   // Cached candidates first (lookupTopK order: overlap desc, newer blob
-  // first), then executing candidates (overlap desc, older execution
-  // first), then spilled candidates. The greedy tie-break below prefers
-  // earlier candidates, so on equal marginal bytes a cached source beats
-  // waiting on an execution, and either beats paying a disk restore.
+  // first), then fold candidates (caller's registration order), then
+  // executing candidates (overlap desc, older execution first), then
+  // spilled candidates. The greedy tie-break below prefers earlier
+  // candidates, so on equal marginal bytes a cached source beats joining a
+  // scan (no wait at all), a scan beats waiting on an execution's
+  // completion (the scan publishes earlier and is eviction-immune), and
+  // any of them beats paying a disk restore.
   std::vector<Candidate> cands;
   const auto pool = static_cast<std::size_t>(
       std::max(cfg_.candidatePoolSize, cfg_.maxReuseSources));
@@ -127,6 +137,21 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
     c.pred = ds.predicate(m.id).clone();
     c.overlap = m.overlap;
     cands.push_back(std::move(c));
+  }
+  if (depth == 0 && cfg_.allowWaitOnExecuting) {
+    for (const FoldCandidate& f : folds) {
+      if (!f.pred) continue;
+      Candidate c;
+      c.fold = true;
+      c.scanId = f.scanId;
+      c.node = static_cast<sched::NodeId>(f.ownerNode);
+      c.pred = f.pred->clone();
+      // Eq. 4 via the semantics: zero unless same dataset+op and the scan's
+      // zoom projects cleanly onto the query, exactly like any other source.
+      c.overlap = sem_->overlap(*c.pred, q);
+      if (c.overlap <= 0.0) continue;
+      cands.push_back(std::move(c));
+    }
   }
   if (depth == 0 && cfg_.allowWaitOnExecuting && sched != nullptr &&
       node != sched::kInvalidNode) {
@@ -189,13 +214,15 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
     Candidate& cand = cands[bestIdx];
     cand.used = true;
     PlanStep step;
-    step.kind = cand.spilled ? PlanStep::Kind::RestoreFromSpill
+    step.kind = cand.fold      ? PlanStep::Kind::FoldIntoScan
+                : cand.spilled ? PlanStep::Kind::RestoreFromSpill
                 : cand.executing
                     ? PlanStep::Kind::WaitAndProjectFromExecuting
                     : PlanStep::Kind::ProjectFromCached;
     step.blob = cand.blob;
     step.node = cand.node;
     step.spillId = cand.spillId;
+    step.scanId = cand.scanId;
     step.restoreCostSec = cand.restoreCostSec;
     step.sourcePred = cand.pred->clone();
     step.overlap = cand.overlap;
@@ -224,7 +251,7 @@ ReusePlan Planner::plan(const Predicate& q, datastore::DataStore& ds,
     plan.planBytesCovered += step.bytesCovered;
     plan.primaryOverlap = std::max(plan.primaryOverlap, step.overlap);
     plan.steps.push_back(std::move(step));
-    if (!cand.executing && !cand.spilled) {
+    if (!cand.executing && !cand.spilled && !cand.fold) {
       ds.noteReuse(cand.blob, cand.overlap);
       if (cfg_.pinSources) plan.pins.push_back(std::move(cand.pin));
     }

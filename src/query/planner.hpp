@@ -19,6 +19,12 @@
 //                                      project it — selected only when the
 //                                      modeled restore cost beats the blob's
 //                                      traced recompute cost (DESIGN.md §13)
+//   FoldIntoScan{scanId}               subscribe to another in-flight
+//                                      query's still-running shared scan
+//                                      (pagespace::ScanRegistry), wait for it
+//                                      to publish, then project its bytes —
+//                                      the same work is scanned once and
+//                                      multicast (DESIGN.md §14)
 //   ComputeRemainder{pred}             compute an uncovered sub-query from
 //                                      raw data (recursively plannable up to
 //                                      maxNestedReuseDepth)
@@ -34,11 +40,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "datastore/data_store.hpp"
 #include "datastore/spill_tier.hpp"
+#include "query/fold.hpp"
 #include "query/predicate.hpp"
 #include "query/semantics.hpp"
 #include "sched/scheduler.hpp"
@@ -74,14 +82,18 @@ struct PlanStep {
     ProjectFromCached,
     WaitAndProjectFromExecuting,
     RestoreFromSpill,
+    FoldIntoScan,
     ComputeRemainder,
   };
   Kind kind = Kind::ComputeRemainder;
 
   // --- projection steps ---------------------------------------------------
   datastore::BlobId blob = 0;             ///< ProjectFromCached
-  sched::NodeId node = sched::kInvalidNode;  ///< WaitAndProjectFromExecuting
+  /// WaitAndProjectFromExecuting: the source node. FoldIntoScan: the scan
+  /// *owner's* node (for the scheduler's fold edge + trace attribution).
+  sched::NodeId node = sched::kInvalidNode;
   std::uint64_t spillId = 0;              ///< RestoreFromSpill
+  ScanId scanId = 0;                      ///< FoldIntoScan
   /// RestoreFromSpill: modeled cost of reading the blob back (the sim
   /// charges it as virtual delay; the planner already judged it cheaper
   /// than recomputing).
@@ -124,10 +136,10 @@ struct ReusePlan {
   [[nodiscard]] int reuseSources() const;
   [[nodiscard]] bool hasReuse() const { return reuseSources() > 0; }
   [[nodiscard]] bool fullyCovered() const;
-  /// Compact signature, e.g. "C49152|X4096|S8192|R" (C cached, X executing,
-  /// S restored-from-spill, R remainder; projection steps carry their
-  /// marginal bytes). Identical across engines for identical plans — the
-  /// equivalence test's currency.
+  /// Compact signature, e.g. "C49152|X4096|S8192|F4096|R" (C cached,
+  /// X executing, S restored-from-spill, F folded-into-scan, R remainder;
+  /// projection steps carry their marginal bytes). Identical across engines
+  /// for identical plans — the equivalence test's currency.
   [[nodiscard]] std::string shape() const;
 };
 
@@ -150,6 +162,14 @@ class Planner {
   /// RestoreFromSpill candidates; one is considered only when its modeled
   /// restore cost undercuts its traced recompute cost, and on equal
   /// marginal bytes loses to both cached and executing sources.
+  /// `folds` (optional, depth 0 only) supplies still-running shared scans
+  /// as FoldIntoScan candidates (DESIGN.md §14). The caller snapshots them
+  /// (ScanRegistry::candidatesFor) and must already have applied the
+  /// deadlock rule: every offered scan's owner is strictly older by
+  /// execution sequence than the query being planned. On equal marginal
+  /// bytes a fold loses to a cached source (no wait at all) but beats
+  /// waiting on an execution's *completion* — the scan publishes earlier
+  /// and its payload cannot be evicted out from under the plan.
   ///
   /// The plan's steps tile q's output exactly: projecting every projection
   /// step's source and computing every remainder step covers each output
@@ -157,7 +177,8 @@ class Planner {
   [[nodiscard]] ReusePlan plan(const Predicate& q, datastore::DataStore& ds,
                                const sched::QueryScheduler* sched,
                                sched::NodeId node, int depth = 0,
-                               datastore::SpillTier* spill = nullptr) const;
+                               datastore::SpillTier* spill = nullptr,
+                               std::span<const FoldCandidate> folds = {}) const;
 
  private:
   const QuerySemantics* sem_;

@@ -83,6 +83,8 @@ void SchedulingGraph::remove(NodeId n) {
   };
   for (const Edge& e : victim.out) dropPeerEdges(node(e.peer).in);
   for (const Edge& e : victim.in) dropPeerEdges(node(e.peer).out);
+  for (const NodeId peer : victim.foldOut) std::erase(node(peer).foldIn, n);
+  for (const NodeId peer : victim.foldIn) std::erase(node(peer).foldOut, n);
   const bool erased = spatial_.erase(victim.predicate->boundingBox(), n);
   MQS_DCHECK(erased);
   (void)erased;
@@ -115,6 +117,35 @@ const std::vector<Edge>& SchedulingGraph::outEdges(NodeId n) const {
 
 const std::vector<Edge>& SchedulingGraph::inEdges(NodeId n) const {
   return node(n).in;
+}
+
+bool SchedulingGraph::addFoldEdge(NodeId owner, NodeId subscriber) {
+  MQS_CHECK_MSG(owner != subscriber, "a query cannot fold into its own scan");
+  Node& o = node(owner);
+  Node& s = node(subscriber);
+  if (std::find(o.foldOut.begin(), o.foldOut.end(), subscriber) !=
+      o.foldOut.end()) {
+    return false;  // one edge per (owner, subscriber) pair
+  }
+  o.foldOut.push_back(subscriber);
+  s.foldIn.push_back(owner);
+  return true;
+}
+
+const std::vector<NodeId>& SchedulingGraph::foldSubscribers(
+    NodeId owner) const {
+  return node(owner).foldOut;
+}
+
+const std::vector<NodeId>& SchedulingGraph::foldOwners(
+    NodeId subscriber) const {
+  return node(subscriber).foldIn;
+}
+
+std::size_t SchedulingGraph::foldEdgeCount() const {
+  std::size_t total = 0;
+  for (const auto& [id, nd] : nodes_) total += nd.foldOut.size();
+  return total;
 }
 
 std::vector<NodeId> SchedulingGraph::neighbors(NodeId n) const {
@@ -171,6 +202,12 @@ void SchedulingGraph::writeDot(std::ostream& os) const {
          << std::setprecision(2) << e.overlap << " / "
          << static_cast<std::uint64_t>(e.weight) << "B\"];\n";
     }
+    // Fold edges (owner → subscriber) render dashed: shared-scan structure,
+    // not Eq. 4 reuse weight.
+    for (const NodeId sub : nodes_.at(id).foldOut) {
+      os << "  q" << id << " -> q" << sub
+         << " [style=dashed, color=gray40, label=\"fold\"];\n";
+    }
   }
   os << "}\n";
 }
@@ -192,6 +229,23 @@ bool SchedulingGraph::checkInvariants() const {
     }
     for (const Edge& e : nd.in) {
       if (!nodes_.contains(e.peer)) return false;
+    }
+    // Fold edges: no self-edges, peers resident, strict mirror symmetry.
+    for (const NodeId sub : nd.foldOut) {
+      if (sub == id) return false;
+      auto pit = nodes_.find(sub);
+      if (pit == nodes_.end()) return false;
+      const auto& peerIn = pit->second.foldIn;
+      if (std::find(peerIn.begin(), peerIn.end(), id) == peerIn.end()) {
+        return false;
+      }
+    }
+    for (const NodeId owner : nd.foldIn) {
+      if (owner == id || !nodes_.contains(owner)) return false;
+      const auto& peerOut = nodes_.at(owner).foldOut;
+      if (std::find(peerOut.begin(), peerOut.end(), id) == peerOut.end()) {
+        return false;
+      }
     }
   }
   return true;

@@ -63,6 +63,22 @@ class SchedulingGraph {
   /// Edges e(k, n): queries whose results n can reuse.
   [[nodiscard]] const std::vector<Edge>& inEdges(NodeId n) const;
 
+  /// Record a fold edge owner → subscriber (DESIGN.md §14): while both
+  /// queries were in flight, `subscriber` folded into a shared scan owned
+  /// by `owner`, so the scanned region's work exists once even though two
+  /// queries deliver it. Fold edges annotate the reuse edges (they carry no
+  /// weight and never feed Eq. 4 ranks directly); the scheduler uses them
+  /// so rank feedback attributes the shared scan to the owner exactly once,
+  /// with each subscriber reporting only its achieved reuse. Returns false
+  /// for a duplicate (owner, subscriber) pair — edges are deduplicated;
+  /// self-edges and unknown nodes are the caller's bug (checked).
+  bool addFoldEdge(NodeId owner, NodeId subscriber);
+  /// Subscribers folded into scans `owner` owns (insertion order).
+  [[nodiscard]] const std::vector<NodeId>& foldSubscribers(NodeId owner) const;
+  /// Owners of scans `subscriber` folded into (insertion order).
+  [[nodiscard]] const std::vector<NodeId>& foldOwners(NodeId subscriber) const;
+  [[nodiscard]] std::size_t foldEdgeCount() const;
+
   /// All nodes adjacent to n in either direction (deduplicated).
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
 
@@ -88,6 +104,8 @@ class SchedulingGraph {
     std::uint64_t arrival = 0;
     std::vector<Edge> out;  ///< e(n, k)
     std::vector<Edge> in;   ///< e(k, n)
+    std::vector<NodeId> foldOut;  ///< subscribers of scans this node owns
+    std::vector<NodeId> foldIn;   ///< owners of scans this node folded into
   };
 
   const Node& node(NodeId n) const;

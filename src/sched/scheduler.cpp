@@ -150,6 +150,18 @@ void QueryScheduler::restored(NodeId n) {
   afterEventLocked(n);
 }
 
+void QueryScheduler::noteFold(NodeId subscriber, NodeId owner) {
+  MutexLock lock(mu_);
+  drainFeedbackLocked();
+  // Tolerant: the fold already happened at the scan registry; if either
+  // endpoint has since left the graph there is nothing to annotate.
+  if (subscriber == owner) return;
+  if (!graph_.contains(subscriber) || !graph_.contains(owner)) return;
+  if (!graph_.addFoldEdge(owner, subscriber)) return;
+  ++stats_.foldEdges;
+  afterEventLocked(subscriber);
+}
+
 void QueryScheduler::retired(NodeId n) {
   MutexLock lock(mu_);
   drainFeedbackLocked();

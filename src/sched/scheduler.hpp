@@ -69,6 +69,20 @@ class QueryScheduler {
   /// result) and waiting neighbors are re-ranked, exactly as for swap-out.
   void failed(NodeId n);
 
+  /// Record that executing query `subscriber` folded into a shared scan
+  /// owned by executing query `owner` (a FoldIntoScan plan step,
+  /// DESIGN.md §14): a fold edge owner → subscriber is added to the graph
+  /// and the subscriber's waiting neighborhood is re-ranked (incremental
+  /// mode) or the waiting set recomputed (full mode) — the fold-edge
+  /// transition the scheduler property test drives in lockstep. Tolerant
+  /// by design: by the time a subscriber's fold step runs, the owner may
+  /// already have completed, failed, or been retired out of the graph —
+  /// the scan itself lives at the registry, so a missing endpoint is
+  /// simply not recorded. Rank feedback therefore sees shared work once:
+  /// the owner alone reports the scan's compute outcome; each subscriber
+  /// reports only its own achieved reuse.
+  void noteFold(NodeId subscriber, NodeId owner);
+
   /// Runtime feedback for self-tuning policies: the achieved Eq.-2 overlap
   /// of a finished query, and a normalized I/O-congestion signal. No-ops
   /// for the static policies.
@@ -132,6 +146,7 @@ class QueryScheduler {
     std::uint64_t restoredCount = 0;    ///< SWAPPED_OUT -> CACHED revivals
     std::uint64_t retiredCount = 0;     ///< terminal drops (retired())
     std::uint64_t failedCount = 0;
+    std::uint64_t foldEdges = 0;        ///< fold edges recorded (noteFold)
     std::uint64_t rankEvaluations = 0;  ///< policy->rank() calls
     std::uint64_t staleHeapPops = 0;
   };

@@ -341,11 +341,16 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
                                                 metrics::QueryRecord& rec) {
   const auto d8 = static_cast<std::uint8_t>(depth);
   // Raw fast path: a plan without projection steps is a single
-  // ComputeRemainder step covering `pred` — run the executor directly.
+  // ComputeRemainder step covering `pred` — run the executor directly
+  // (registered as a shared scan at depth 0, DESIGN.md §14).
   if (!plan.hasReuse()) {
     trace::SpanScope compute(tracer_, rec.queryId, trace::SpanKind::Compute,
                              d8);
-    return exec_->execute(pred, ps_);
+    pagespace::ScanRegistry::ScanGuard scan =
+        beginScanIfFolding(pred, rec, depth);
+    std::vector<std::byte> raw = exec_->execute(pred, ps_);
+    publishScan(scan, raw);
+    return raw;
   }
 
   std::vector<std::byte> out(sem_->qoutsize(pred));
@@ -461,12 +466,67 @@ std::vector<std::byte> QueryServer::executePlan(query::ReusePlan plan,
         }
         break;
       }
+      case query::PlanStep::Kind::FoldIntoScan: {
+        // The PROJECT span covers the whole step — including the fallback
+        // below — so depth-0 PROJECT count always equals reuseSources even
+        // when the scan resolved before we could join.
+        trace::SpanScope project(tracer_, rec.queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered, trace::kFlagFoldSource);
+        pagespace::ScanRegistry::ScanPtr scan =
+            ps_.scanRegistry().subscribe(step.scanId);
+        bool projected = false;
+        if (scan != nullptr) {
+          // The fold is real: annotate the graph (rank feedback sees the
+          // shared scan once, on the owner) and block on the scan latch —
+          // the owner is strictly older (candidatesFor enforced it), so
+          // this wait keeps the wait graph acyclic.
+          scheduler_.noteFold(rec.queryId, step.node);
+          if (tracer_ != nullptr) {
+            tracer_->counter(trace::CounterKind::FoldHit);
+          }
+          rec.reusedExecuting = true;
+          const double t0 = nowSeconds();
+          {
+            trace::SpanScope wait(tracer_, rec.queryId,
+                                  trace::SpanKind::WaitSource, d8);
+            scan->done.wait();
+          }
+          rec.blockedTime += nowSeconds() - t0;
+          checkDeadline(rec);
+          if (scan->state == pagespace::ScanRegistry::ScanState::Published &&
+              scan->payload != nullptr) {
+            exec_->project(*step.sourcePred, *scan->payload, pred, out);
+            rec.bytesReused += step.bytesCovered;
+            if (tracer_ != nullptr) {
+              tracer_->counter(trace::CounterKind::ScanBytesShared,
+                               static_cast<double>(scan->payload->size()));
+            }
+            projected = true;
+          }
+        }
+        if (!projected) {
+          // The scan settled before we joined, or its owner failed: replan
+          // this step's share independently from raw data (the §14 failure
+          // contract — a subscriber never hangs and never inherits the
+          // owner's failure when its own region is computable).
+          for (const query::PredicatePtr& cp : step.coveredParts) {
+            const std::vector<std::byte> sub =
+                computePart(*cp, depth + 1, rec);
+            exec_->project(*cp, sub, pred, out);
+          }
+        }
+        break;
+      }
       case query::PlanStep::Kind::ComputeRemainder: {
         trace::SpanScope compute(tracer_, rec.queryId,
                                  trace::SpanKind::Compute, d8,
                                  step.bytesCovered);
+        pagespace::ScanRegistry::ScanGuard scan =
+            beginScanIfFolding(*step.pred, rec, depth);
         const std::vector<std::byte> sub =
             computePart(*step.pred, depth + 1, rec);
+        publishScan(scan, sub);
         exec_->project(*step.pred, sub, pred, out);
         break;
       }
@@ -493,6 +553,23 @@ std::vector<std::byte> QueryServer::computePart(const query::Predicate& part,
   return out;
 }
 
+pagespace::ScanRegistry::ScanGuard QueryServer::beginScanIfFolding(
+    const query::Predicate& pred, const metrics::QueryRecord& rec,
+    int depth) {
+  if (!cfg_.foldScans || !cfg_.allowWaitOnExecuting || depth != 0) return {};
+  return ps_.scanRegistry().beginScan(pred, rec.queryId,
+                                      scheduler_.execSeq(rec.queryId));
+}
+
+void QueryServer::publishScan(pagespace::ScanRegistry::ScanGuard& scan,
+                              std::span<const std::byte> bytes) {
+  if (!scan.active()) return;
+  const int subscribers = scan.publish(bytes);
+  if (subscribers > 0 && tracer_ != nullptr) {
+    tracer_->counter(trace::CounterKind::FoldSubscribers, subscribers);
+  }
+}
+
 std::optional<datastore::BlobId> QueryServer::cacheResult(
     const query::Predicate& pred, std::span<const std::byte> out) {
   if (!cfg_.dataStoreEnabled) return std::nullopt;
@@ -505,11 +582,20 @@ std::vector<std::byte> QueryServer::computeQuery(sched::NodeId node,
                                                  const query::Predicate& pred,
                                                  metrics::QueryRecord& rec) {
   // All source selection happens in the shared planner; record the plan's
-  // accounting, then execute its steps.
+  // accounting, then execute its steps. Fold candidates are snapshotted
+  // before planning (cloned predicates), so the plan stays valid however
+  // the scans resolve afterwards — a settled scan just falls back at
+  // execution time.
+  std::vector<query::FoldCandidate> folds;
+  if (cfg_.foldScans && cfg_.allowWaitOnExecuting) {
+    folds = ps_.scanRegistry().candidatesFor(
+        scheduler_.execSeq(node),
+        static_cast<std::size_t>(std::max(8, 2 * cfg_.maxReuseSources)));
+  }
   query::ReusePlan plan = [&] {
     trace::SpanScope planSpan(tracer_, rec.queryId, trace::SpanKind::Plan);
     return planner_.plan(pred, ds_, &scheduler_, node, /*depth=*/0,
-                         spill_.get());
+                         spill_.get(), folds);
   }();
   rec.overlapUsed = plan.primaryOverlap;
   rec.reuseSources = plan.reuseSources();

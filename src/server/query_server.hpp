@@ -144,6 +144,14 @@ struct ServerConfig {
   bool cacheSubqueryResults = true;
   int maxNestedReuseDepth = 2;
   bool allowWaitOnExecuting = true;
+  /// Dynamic query folding (DESIGN.md §14): a query about to compute a
+  /// region from raw data registers the scan with the Page Space Manager's
+  /// ScanRegistry; queries planned while it is still running may fold into
+  /// it (FoldIntoScan) and project from the published payload instead of
+  /// scanning and decoding the same pages again. Fold waits obey the same
+  /// older-execution rule as waits on executing sources, so the wait graph
+  /// stays acyclic. Requires allowWaitOnExecuting.
+  bool foldScans = true;
   /// Reuse-plan projection-step budget (query::PlannerConfig); 1 restores
   /// the historic single-best-source behaviour.
   int maxReuseSources = 4;
@@ -235,6 +243,18 @@ class QueryServer {
                                      metrics::QueryRecord& rec);
   std::optional<datastore::BlobId> cacheResult(const query::Predicate& pred,
                                                std::span<const std::byte> out);
+  /// Register a shared scan over `pred` with the Page Space Manager's
+  /// ScanRegistry when folding is on and this is a depth-0 compute
+  /// (DESIGN.md §14); returns an inactive guard otherwise. The guard's
+  /// destructor fails the scan if the compute unwinds before publishScan.
+  [[nodiscard]] pagespace::ScanRegistry::ScanGuard beginScanIfFolding(
+      const query::Predicate& pred, const metrics::QueryRecord& rec,
+      int depth);
+  /// Publish the computed bytes to the scan's subscribers (no-op for an
+  /// inactive guard) and emit the FOLD_SUBSCRIBERS gauge when anybody
+  /// actually folded in.
+  void publishScan(pagespace::ScanRegistry::ScanGuard& scan,
+                   std::span<const std::byte> bytes);
   /// Throws QueryFailure if the query's deadline has passed (no-op when
   /// queryDeadlineSec == 0). Called at dispatch and after blocking waits;
   /// deadlines are cooperative — a query already inside the executor is

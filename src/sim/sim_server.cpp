@@ -236,6 +236,33 @@ Task<void> SimServer::computeRaw(query::PredicatePtr pred,
   --ioStreams_;
 }
 
+pagespace::ScanRegistry::ScanGuard SimServer::beginScanIfFolding(
+    const query::Predicate& pred, const metrics::QueryRecord& rec,
+    int depth) {
+  if (!cfg_.foldScans || !cfg_.allowWaitOnExecuting || depth != 0) return {};
+  pagespace::ScanRegistry::ScanGuard guard =
+      scans_.beginScan(pred, rec.queryId, scheduler_.execSeq(rec.queryId));
+  scanTrigger_.emplace(guard.id(), std::make_unique<Trigger>(*sim_));
+  return guard;
+}
+
+void SimServer::publishScan(pagespace::ScanRegistry::ScanGuard& scan) {
+  if (!scan.active()) return;
+  const query::ScanId id = scan.id();
+  // The simulator carries no result bytes: publish an empty payload (the
+  // registry state machine is what subscribers consult) and fire the
+  // Trigger — waiters resume as events at the current virtual time, after
+  // which the Trigger is dead weight and can be retired.
+  const int subscribers = scan.publish({});
+  if (subscribers > 0 && tracer_ != nullptr) {
+    tracer_->counter(trace::CounterKind::FoldSubscribers, subscribers);
+  }
+  if (const auto it = scanTrigger_.find(id); it != scanTrigger_.end()) {
+    it->second->fire();
+    scanTrigger_.erase(it);
+  }
+}
+
 Task<void> SimServer::executePlan(query::ReusePlan plan,
                                   query::PredicatePtr pred, int depth,
                                   metrics::QueryRecord* rec) {
@@ -246,7 +273,10 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
   if (!plan.hasReuse()) {
     trace::SpanScope compute(tracer_, rec->queryId, trace::SpanKind::Compute,
                              d8);
+    pagespace::ScanRegistry::ScanGuard scan =
+        beginScanIfFolding(*pred, *rec, depth);
     co_await computeRaw(std::move(pred), rec);
+    publishScan(scan);
     co_return;
   }
 
@@ -351,11 +381,66 @@ Task<void> SimServer::executePlan(query::ReusePlan plan,
         }
         break;
       }
+      case query::PlanStep::Kind::FoldIntoScan: {
+        // The PROJECT span covers the whole step — including the fallback
+        // below — so depth-0 PROJECT count always equals reuseSources even
+        // when the scan settled before this step ran.
+        trace::SpanScope project(tracer_, rec->queryId,
+                                 trace::SpanKind::Project, d8,
+                                 step.bytesCovered, trace::kFlagFoldSource);
+        pagespace::ScanRegistry::ScanPtr scan = scans_.subscribe(step.scanId);
+        bool projected = false;
+        if (scan != nullptr) {
+          // The fold is real: annotate the graph and suspend on the scan's
+          // Trigger (the owner is strictly older by execution sequence, so
+          // the wait graph stays acyclic). The slot stays occupied, same
+          // as a wait on an executing source.
+          scheduler_.noteFold(rec->queryId, step.node);
+          if (tracer_ != nullptr) {
+            tracer_->counter(trace::CounterKind::FoldHit);
+          }
+          rec->reusedExecuting = true;
+          const Time t0 = sim_->now();
+          {
+            trace::SpanScope wait(tracer_, rec->queryId,
+                                  trace::SpanKind::WaitSource, d8);
+            if (const auto tIt = scanTrigger_.find(scan->id);
+                tIt != scanTrigger_.end()) {
+              co_await tIt->second->wait();
+            }
+          }
+          rec->blockedTime += sim_->now() - t0;
+          if (scan->state == pagespace::ScanRegistry::ScanState::Published) {
+            // Shared payload: charge projection CPU only — the region's
+            // fetches and scan CPU happened once, on the owner.
+            co_await cpuRun(static_cast<double>(step.projectionBytes) *
+                            cfg_.cpuPerOutByteProject);
+            rec->bytesReused += step.bytesCovered;
+            if (tracer_ != nullptr) {
+              tracer_->counter(trace::CounterKind::ScanBytesShared,
+                               static_cast<double>(step.bytesCovered));
+            }
+            projected = true;
+          }
+        }
+        if (!projected) {
+          // The scan settled before we joined, or its owner failed: replan
+          // this step's share independently from raw data (the §14 failure
+          // contract — a subscriber never hangs).
+          for (query::PredicatePtr& cp : step.coveredParts) {
+            co_await computePart(std::move(cp), depth + 1, rec);
+          }
+        }
+        break;
+      }
       case query::PlanStep::Kind::ComputeRemainder: {
         trace::SpanScope compute(tracer_, rec->queryId,
                                  trace::SpanKind::Compute, d8,
                                  step.bytesCovered);
+        pagespace::ScanRegistry::ScanGuard scan =
+            beginScanIfFolding(*step.pred, *rec, depth);
         co_await computePart(std::move(step.pred), depth + 1, rec);
+        publishScan(scan);
         break;
       }
     }
@@ -399,9 +484,18 @@ Task<void> SimServer::queryTask(sched::NodeId node, metrics::QueryRecord rec) {
   co_await cpuRun(cfg_.planningOverheadSec);
 
   // All source selection happens in the shared planner; record the plan's
-  // accounting, then execute its steps with modeled costs.
+  // accounting, then execute its steps with modeled costs. Fold candidates
+  // are snapshotted before planning — in virtual time the owner's scan is
+  // still Running at the plan instant, so every emitted FoldIntoScan step
+  // deterministically finds its scan at execution.
+  std::vector<query::FoldCandidate> folds;
+  if (cfg_.foldScans && cfg_.allowWaitOnExecuting) {
+    folds = scans_.candidatesFor(
+        scheduler_.execSeq(node),
+        static_cast<std::size_t>(std::max(8, 2 * cfg_.maxReuseSources)));
+  }
   query::ReusePlan plan = planner_.plan(pred, ds_, &scheduler_, node,
-                                        /*depth=*/0, spill_.get());
+                                        /*depth=*/0, spill_.get(), folds);
   rec.overlapUsed = plan.primaryOverlap;
   rec.reuseSources = plan.reuseSources();
   rec.planBytesCovered = plan.planBytesCovered;

@@ -23,6 +23,7 @@
 #include "datastore/spill_tier.hpp"
 #include "metrics/metrics.hpp"
 #include "pagespace/page_cache_core.hpp"
+#include "pagespace/scan_registry.hpp"
 #include "query/planner.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/app_model.hpp"
@@ -82,6 +83,12 @@ struct SimConfig {
   bool cacheSubqueryResults = true;  ///< sub-query results become blobs too
   int maxNestedReuseDepth = 2;       ///< DS reuse inside sub-queries
   bool allowWaitOnExecuting = true;  ///< may block on an executing source
+  /// Dynamic query folding (DESIGN.md §14): queries planned while another
+  /// query's depth-0 scan is still running may fold into it (FoldIntoScan)
+  /// and charge only projection CPU instead of re-fetching and re-scanning
+  /// the shared region — the modeled mirror of the threaded server's
+  /// shared-payload multicast. Requires allowWaitOnExecuting.
+  bool foldScans = true;
   /// Reuse-plan projection-step budget (query::PlannerConfig); 1 restores
   /// the historic single-best-source behaviour.
   int maxReuseSources = 4;
@@ -131,6 +138,10 @@ class SimServer {
   [[nodiscard]] const pagespace::PageCacheCore& pageCache() const {
     return psCore_;
   }
+  /// Shared-scan registry (fold statistics; DESIGN.md §14).
+  [[nodiscard]] const pagespace::ScanRegistry& scanRegistry() const {
+    return scans_;
+  }
 
   struct IoStats {
     std::uint64_t pageReads = 0;    ///< device reads issued
@@ -162,6 +173,17 @@ class SimServer {
   /// Compute `pred` entirely from raw data: fetch + process each chunk of
   /// the application model's demand. No Data Store interaction.
   Task<void> computeRaw(query::PredicatePtr pred, metrics::QueryRecord* rec);
+  /// Register a shared scan over `pred` when folding is on and this is a
+  /// depth-0 compute (DESIGN.md §14); returns an inactive guard otherwise.
+  /// Pairs the scan with a Trigger so subscriber coroutines can await it
+  /// (a std::future wait would block the simulator's one OS thread).
+  [[nodiscard]] pagespace::ScanRegistry::ScanGuard beginScanIfFolding(
+      const query::Predicate& pred, const metrics::QueryRecord& rec,
+      int depth);
+  /// Publish the scan (the simulator carries no payload bytes — subscriber
+  /// savings are modeled as skipped fetches), fire + retire its Trigger,
+  /// and emit the FOLD_SUBSCRIBERS gauge when anybody folded in.
+  void publishScan(pagespace::ScanRegistry::ScanGuard& scan);
   /// Read-through page fetch; `rec` may be null (prefetch accounting).
   Task<void> fetchChunk(storage::PageKey key, std::size_t bytes,
                         metrics::QueryRecord* rec);
@@ -197,6 +219,11 @@ class SimServer {
                      storage::PageKeyHash>
       inflight_;
   std::unordered_map<sched::NodeId, std::unique_ptr<Trigger>> completion_;
+  /// Shared-scan registry (DESIGN.md §14) and the per-scan Triggers
+  /// subscribers await (fired and erased at publish; the simulator never
+  /// touches a Scan's std::future latch).
+  pagespace::ScanRegistry scans_;
+  std::unordered_map<query::ScanId, std::unique_ptr<Trigger>> scanTrigger_;
   /// Records of submitted-but-not-yet-dispatched queries.
   std::unordered_map<sched::NodeId, metrics::QueryRecord> pending_;
   std::unordered_map<sched::NodeId, datastore::BlobId> nodeBlob_;

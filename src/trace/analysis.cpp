@@ -97,9 +97,12 @@ std::string planShapeOf(const std::vector<Event>& queryEvents) {
     const SpanKind kind = e.spanKind();
     char c = 0;
     if (kind == SpanKind::Project) {
-      // Spill wins before the executing/cached split: a restore step is a
-      // projection, but sourced from the tier.
-      c = (e.flags & kFlagSpillSource) != 0      ? 'S'
+      // Fold wins first (a folded projection waits on the scan owner, so
+      // its span can also look executing-sourced), then spill before the
+      // executing/cached split: a restore step is a projection, but
+      // sourced from the tier.
+      c = (e.flags & kFlagFoldSource) != 0        ? 'F'
+          : (e.flags & kFlagSpillSource) != 0     ? 'S'
           : (e.flags & kFlagExecutingSource) != 0 ? 'X'
                                                   : 'C';
     } else if (kind == SpanKind::Compute) {

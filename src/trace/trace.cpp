@@ -103,6 +103,9 @@ std::string_view toString(CounterKind kind) {
     case CounterKind::DsSpill: return "ds_spill";
     case CounterKind::DsRestore: return "ds_restore";
     case CounterKind::DsSpillBytes: return "ds_spill_bytes";
+    case CounterKind::FoldHit: return "fold_hit";
+    case CounterKind::FoldSubscribers: return "fold_subscribers";
+    case CounterKind::ScanBytesShared: return "scan_bytes_shared";
   }
   return "unknown";
 }

@@ -91,6 +91,11 @@ enum class CounterKind : std::uint8_t {
   DsSpill,
   DsRestore,
   DsSpillBytes,
+  // Dynamic query folding (DESIGN.md §14). FOLD_SUBSCRIBERS is a gauge —
+  // its value is the subscriber count of the scan just published.
+  FoldHit,
+  FoldSubscribers,
+  ScanBytesShared,
 };
 
 [[nodiscard]] std::string_view toString(SpanKind kind);
@@ -106,6 +111,8 @@ inline constexpr std::uint8_t kFlagShed = 0x8;  ///< DELIVER of a SHED query
                                                 ///< (dropped pre-compute)
 inline constexpr std::uint8_t kFlagSpillSource = 0x10;  ///< PROJECT from the
                                                         ///< spill tier
+inline constexpr std::uint8_t kFlagFoldSource = 0x20;  ///< PROJECT from a
+                                                       ///< folded shared scan
 
 struct Event {
   double ts = 0.0;            ///< engine seconds (virtual in the simulator)

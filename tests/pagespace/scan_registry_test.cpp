@@ -1,0 +1,185 @@
+// ScanRegistry unit semantics (DESIGN.md §14): the shared-scan table's
+// lifecycle contract — candidate visibility obeys the older-owner rule,
+// subscribe only joins Running scans, publish multicasts one payload copy
+// to every subscriber (and skips the copy when nobody folded in), fail and
+// guard abandonment wake subscribers into the Failed state, never a hang.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pagespace/scan_registry.hpp"
+#include "vm/vm_predicate.hpp"
+#include "vm/vm_semantics.hpp"
+
+namespace mqs::pagespace {
+namespace {
+
+using vm::VMOp;
+using vm::VMPredicate;
+
+VMPredicate pred(std::int64_t x = 0, std::int64_t y = 0) {
+  return VMPredicate(0, Rect::ofSize(x, y, 256, 256), 4, VMOp::Subsample);
+}
+
+std::vector<std::byte> bytes(std::size_t n, std::byte fill = std::byte{7}) {
+  return std::vector<std::byte>(n, fill);
+}
+
+TEST(ScanRegistryTest, PublishDeliversOnePayloadToEverySubscriber) {
+  ScanRegistry reg;
+  auto guard = reg.beginScan(pred(), /*ownerNode=*/1, /*ownerSeq=*/1);
+  ASSERT_TRUE(guard.active());
+  EXPECT_EQ(reg.activeScans(), 1u);
+
+  const ScanRegistry::ScanPtr a = reg.subscribe(guard.id());
+  const ScanRegistry::ScanPtr b = reg.subscribe(guard.id());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a, b);  // one Scan object, shared
+
+  const auto payload = bytes(64);
+  EXPECT_EQ(guard.publish(payload), 2);
+  EXPECT_FALSE(guard.active());
+  EXPECT_EQ(reg.activeScans(), 0u);
+
+  a->done.wait();
+  EXPECT_EQ(a->state, ScanRegistry::ScanState::Published);
+  ASSERT_NE(a->payload, nullptr);
+  EXPECT_EQ(*a->payload, payload);
+
+  const auto stats = reg.stats();
+  EXPECT_EQ(stats.scansRegistered, 1u);
+  EXPECT_EQ(stats.published, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.foldHits, 2u);
+  EXPECT_EQ(stats.bytesShared, 2u * 64u);
+}
+
+TEST(ScanRegistryTest, PublishWithoutSubscribersSkipsThePayloadCopy) {
+  ScanRegistry reg;
+  auto guard = reg.beginScan(pred(), 1, 1);
+  EXPECT_EQ(guard.publish(bytes(1024)), 0);
+  EXPECT_EQ(reg.stats().bytesShared, 0u);
+  // Subscribing to a settled scan finds nothing: the index entry was
+  // erased under the same lock that finalized the subscriber count.
+  EXPECT_EQ(reg.subscribe(1), nullptr);
+  EXPECT_EQ(reg.stats().foldHits, 0u);
+}
+
+TEST(ScanRegistryTest, FailWakesSubscribersWithTheOwnersError) {
+  ScanRegistry reg;
+  auto guard = reg.beginScan(pred(), 3, 2);
+  const ScanRegistry::ScanPtr sub = reg.subscribe(guard.id());
+  ASSERT_NE(sub, nullptr);
+  guard.fail("device exploded");
+  sub->done.wait();
+  EXPECT_EQ(sub->state, ScanRegistry::ScanState::Failed);
+  EXPECT_EQ(sub->payload, nullptr);
+  EXPECT_EQ(sub->error, "device exploded");
+  EXPECT_EQ(reg.stats().failed, 1u);
+  EXPECT_EQ(reg.activeScans(), 0u);
+}
+
+TEST(ScanRegistryTest, AbandonedGuardFailsTheScanSoSubscribersNeverHang) {
+  ScanRegistry reg;
+  ScanRegistry::ScanPtr sub;
+  {
+    auto guard = reg.beginScan(pred(), 3, 2);
+    sub = reg.subscribe(guard.id());
+    ASSERT_NE(sub, nullptr);
+    // Guard unwinds without publish/fail — e.g. a deadline QueryFailure
+    // thrown between registration and the executor call.
+  }
+  sub->done.wait();
+  EXPECT_EQ(sub->state, ScanRegistry::ScanState::Failed);
+  EXPECT_NE(sub->error.find("unwound"), std::string::npos);
+  EXPECT_EQ(reg.stats().failed, 1u);
+}
+
+TEST(ScanRegistryTest, CandidatesObeyTheOlderOwnerRule) {
+  ScanRegistry reg;
+  auto g1 = reg.beginScan(pred(0, 0), /*ownerNode=*/10, /*ownerSeq=*/5);
+  auto g2 = reg.beginScan(pred(64, 0), /*ownerNode=*/11, /*ownerSeq=*/7);
+
+  // Only strictly older owners are eligible (the deadlock rule), and a
+  // subscriber with no execution sequence yet (0) gets nothing.
+  EXPECT_TRUE(reg.candidatesFor(/*subscriberSeq=*/5, 8).empty());
+  EXPECT_TRUE(reg.candidatesFor(/*subscriberSeq=*/0, 8).empty());
+
+  const auto some = reg.candidatesFor(/*subscriberSeq=*/6, 8);
+  ASSERT_EQ(some.size(), 1u);
+  EXPECT_EQ(some[0].ownerNode, 10u);
+  EXPECT_EQ(some[0].ownerSeq, 5u);
+  ASSERT_NE(some[0].pred, nullptr);
+
+  const auto all = reg.candidatesFor(/*subscriberSeq=*/8, 8);
+  ASSERT_EQ(all.size(), 2u);
+  // Registration order (scan id order) — deterministic for the planner.
+  EXPECT_EQ(all[0].ownerNode, 10u);
+  EXPECT_EQ(all[1].ownerNode, 11u);
+
+  // The max cap truncates the snapshot.
+  EXPECT_EQ(reg.candidatesFor(8, 1).size(), 1u);
+
+  // An owner with no recorded sequence (0) is never a candidate.
+  auto g3 = reg.beginScan(pred(128, 0), 12, /*ownerSeq=*/0);
+  EXPECT_EQ(reg.candidatesFor(100, 8).size(), 2u);
+
+  g1.publish({});
+  g2.publish({});
+  g3.publish({});
+  // Settled scans leave the candidate set at once.
+  EXPECT_TRUE(reg.candidatesFor(100, 8).empty());
+}
+
+TEST(ScanRegistryTest, SnapshotPredicatesSurviveScanResolution) {
+  ScanRegistry reg;
+  auto guard = reg.beginScan(pred(32, 32), 1, 1);
+  const auto cands = reg.candidatesFor(2, 8);
+  ASSERT_EQ(cands.size(), 1u);
+  guard.publish({});
+  // The snapshot cloned the predicate, so it outlives the scan.
+  EXPECT_EQ(cands[0].pred->boundingBox(), pred(32, 32).boundingBox());
+}
+
+TEST(ScanRegistryTest, ConcurrentSubscribersAllSeeThePublishedPayload) {
+  // Threaded smoke for the latch protocol (meaningful under TSan): many
+  // subscribers race subscribe + wait against the owner's publish.
+  ScanRegistry reg;
+  auto guard = reg.beginScan(pred(), 1, 1);
+  const query::ScanId id = guard.id();
+  const auto payload = bytes(256, std::byte{42});
+
+  std::vector<std::thread> threads;
+  std::atomic<int> hits{0};
+  std::atomic<int> misses{0};
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      const ScanRegistry::ScanPtr sub = reg.subscribe(id);
+      if (sub == nullptr) {
+        // Raced past the publish: the §14 contract says recompute
+        // independently, never wait.
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      sub->done.wait();
+      EXPECT_EQ(sub->state, ScanRegistry::ScanState::Published);
+      ASSERT_NE(sub->payload, nullptr);
+      EXPECT_EQ(*sub->payload, payload);
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  (void)guard.publish(payload);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load() + misses.load(), 8);
+  EXPECT_EQ(reg.stats().foldHits, static_cast<std::uint64_t>(hits.load()));
+}
+
+}  // namespace
+}  // namespace mqs::pagespace

@@ -84,6 +84,18 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
         executing.push_back(*a);
         --waiting;
       }
+    } else if (dice < 0.70 && executing.size() >= 2) {
+      // Fold: one executing query subscribes to another's shared scan
+      // (DESIGN.md §14). noteFold records the fold edge and re-ranks the
+      // subscriber's waiting neighborhood, so the incremental and full
+      // schedulers must keep agreeing through fold-edge transitions.
+      const std::size_t i = static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(executing.size()) - 1));
+      std::size_t j = static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(executing.size()) - 2));
+      if (j >= i) ++j;  // distinct owner
+      inc.noteFold(executing[i], executing[j]);
+      full.noteFold(executing[i], executing[j]);
     } else if (dice < 0.80 && !executing.empty()) {
       // Completion (or, 1 in 5, a failure) of a random executing query.
       const NodeId n = take(executing);
@@ -136,6 +148,10 @@ TEST_P(SchedulerPropertyTest, IncrementalMatchesFullRecompute) {
   }
   EXPECT_EQ(inc.stats().dequeued, full.stats().dequeued);
   EXPECT_EQ(inc.stats().failedCount, full.stats().failedCount);
+  // Both instances saw the identical fold stream, and the random walk must
+  // actually have exercised fold-edge transitions (not passed vacuously).
+  EXPECT_EQ(inc.stats().foldEdges, full.stats().foldEdges);
+  EXPECT_GT(inc.stats().foldEdges, 0u);
 }
 
 TEST_P(SchedulerPropertyTest, EdgeWeightsFollowEquationFour) {

@@ -1,0 +1,247 @@
+// Fold-under-fault property (DESIGN.md §14 failure contract): a device
+// fault inside a shared scan must fail the owner's query and either fail
+// every subscriber (their own regions hit the same fault on replan) or let
+// them replan and succeed independently — a subscriber is NEVER left
+// hanging on an abandoned scan, and never inherits a failure its own
+// region does not deserve. The conservation invariant across seeds:
+// offered == completed + failed, with every future settled.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/query_server.hpp"
+#include "storage/faulty_source.hpp"
+#include "storage/synthetic_source.hpp"
+#include "vm/image.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace mqs::server {
+namespace {
+
+using storage::FaultPlan;
+using storage::FaultySource;
+using vm::ImageRGB;
+using vm::VMOp;
+using vm::VMPredicate;
+
+constexpr std::uint64_t kSeed = 99;
+
+class FoldFaultTest : public ::testing::Test {
+ protected:
+  FoldFaultTest()
+      : layout_(1024, 1024, 96), slide_(layout_, kSeed), exec_(&sem_) {
+    dsid_ = sem_.addDataset(layout_);
+  }
+
+  ServerConfig config(int threads = 4) {
+    ServerConfig cfg;
+    cfg.threads = threads;
+    cfg.policy = "FIFO";
+    cfg.dsBytes = 2ULL << 20;  // tight: folding is the main sharing channel
+    cfg.psBytes = 2ULL << 20;
+    cfg.foldScans = true;
+    return cfg;
+  }
+
+  std::unique_ptr<QueryServer> makeServer(ServerConfig cfg,
+                                          const storage::DataSource& src) {
+    auto server = std::make_unique<QueryServer>(&sem_, &exec_, cfg);
+    server->attach(dsid_, &src);
+    return server;
+  }
+
+  void expectCorrect(const VMPredicate& q, const QueryResult& result) const {
+    const ImageRGB got =
+        ImageRGB::fromBytes(result.bytes, q.outWidth(), q.outHeight());
+    EXPECT_EQ(maxAbsDiff(got, renderReference(q, kSeed)), 0) << q.describe();
+  }
+
+  /// A chunk id whose rect intersects `region` (to poison it).
+  storage::PageId chunkIn(const Rect& region) const {
+    const auto chunks = layout_.chunksIntersecting(region);
+    EXPECT_FALSE(chunks.empty());
+    return chunks.front().id;
+  }
+
+  /// Wait (bounded) until the owner has registered its shared scan, so a
+  /// query submitted next deterministically sees the fold candidate.
+  static void awaitActiveScan(QueryServer& server) {
+    for (int i = 0; i < 2000; ++i) {
+      if (server.pageSpace().scanRegistry().activeScans() > 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  index::ChunkLayout layout_;
+  storage::SyntheticSlideSource slide_;
+  vm::VMSemantics sem_;
+  vm::VMExecutor exec_;
+  storage::DatasetId dsid_ = 0;
+};
+
+TEST_F(FoldFaultTest, FailedSharedScanFailsSubscribersWhoseRegionIsPoisoned) {
+  // The poisoned chunk sits at the END of the owner's scan order and every
+  // read pays a latency spike, so the scan stays Running long enough for
+  // the second identical query to fold into it. The owner fails; the
+  // subscriber replans its covered parts, hits the same permanent fault,
+  // and fails independently — same terminal fate, no hang.
+  const VMPredicate q(dsid_, Rect::ofSize(0, 0, 384, 384), 4, VMOp::Subsample);
+  FaultPlan plan;
+  const auto chunks = layout_.chunksIntersecting(q.region());
+  ASSERT_GT(chunks.size(), 1u);
+  plan.permanentPages = {chunks.back().id};
+  plan.latencySpikeRate = 1.0;
+  plan.latencySpikeSec = 0.002;
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(/*threads=*/2), faulty);
+
+  auto owner = server->submit(q.clone(), 0);
+  awaitActiveScan(*server);
+  auto subscriber = server->submit(q.clone(), 1);
+
+  EXPECT_THROW((void)owner.get(), QueryFailure);
+  EXPECT_THROW((void)subscriber.get(), QueryFailure);
+
+  // Both settled terminally; the scheduler holds nothing back.
+  const auto counts = server->admission().snapshot();
+  EXPECT_EQ(counts.offered, 2u);
+  EXPECT_EQ(counts.completed + counts.failed, counts.offered);
+  EXPECT_EQ(server->scheduler().waitingCount(), 0u);
+  EXPECT_EQ(server->scheduler().executingCount(), 0u);
+
+  // No scan left Running: the failing owner resolved it (guard fail or
+  // unwind), so later queries can never block on it.
+  EXPECT_EQ(server->pageSpace().scanRegistry().activeScans(), 0u);
+
+  // The same server still serves the healthy region, byte-perfect.
+  const VMPredicate good(dsid_, Rect::ofSize(512, 512, 256, 256), 4,
+                         VMOp::Subsample);
+  expectCorrect(good, server->execute(good.clone(), 2));
+}
+
+TEST_F(FoldFaultTest, SubscriberWithHealthyRegionReplansAndSucceeds) {
+  // A chunk LATE in the owner's scan order is poisoned (so the shared scan
+  // stays Running long enough to fold into), but the overlapping
+  // subscriber's own region avoids it. Whether the subscriber joined the
+  // scan before it failed or found it already settled, the §14 contract
+  // demands the same outcome: it replans its share from raw data and
+  // delivers byte-perfect results while the owner fails.
+  const VMPredicate owner(dsid_, Rect::ofSize(0, 0, 384, 384), 4,
+                          VMOp::Subsample);
+  const VMPredicate sub(dsid_, Rect::ofSize(192, 192, 192, 192), 4,
+                        VMOp::Subsample);
+  FaultPlan plan;
+  plan.permanentPages = {chunkIn(Rect::ofSize(0, 288, 96, 96))};
+  plan.latencySpikeRate = 1.0;
+  plan.latencySpikeSec = 0.002;
+  FaultySource faulty(slide_, plan);
+  auto server = makeServer(config(/*threads=*/2), faulty);
+
+  auto ownerFuture = server->submit(owner.clone(), 0);
+  awaitActiveScan(*server);
+  auto subFuture = server->submit(sub.clone(), 1);
+
+  EXPECT_THROW((void)ownerFuture.get(), QueryFailure);
+  expectCorrect(sub, subFuture.get());
+
+  const auto counts = server->admission().snapshot();
+  EXPECT_EQ(counts.offered, 2u);
+  EXPECT_EQ(counts.completed, 1u);
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(server->pageSpace().scanRegistry().activeScans(), 0u);
+}
+
+TEST_F(FoldFaultTest, ConservationHoldsAcrossSeedsWithFoldingOnAndOff) {
+  // Property sweep: randomized fault streams over an overlapping batch.
+  // Each query's terminal fate is determined by its own region against the
+  // permanent fault set — folding must not change WHO fails, only how the
+  // survivors share scans. Every future settles (offered == completed +
+  // failed) under both configurations, and the per-query outcomes match.
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    std::vector<std::vector<bool>> failedByConfig;
+    for (const bool foldScans : {true, false}) {
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.permanentPages = {chunkIn(Rect::ofSize(0, 0, 96, 96)),
+                             chunkIn(Rect::ofSize(480, 480, 96, 96))};
+      plan.transientRate = 0.1;  // absorbed by retries, adds timing noise
+      plan.maxConsecutiveTransient = 2;
+      FaultySource faulty(slide_, plan);
+      ServerConfig cfg = config(/*threads=*/4);
+      cfg.foldScans = foldScans;
+      cfg.ioRetryBackoffSec = 0.0;
+      auto server = makeServer(cfg, faulty);
+
+      // Overlapping grid batch: neighbors share most of their input.
+      std::vector<VMPredicate> queries;
+      for (int i = 0; i < 12; ++i) {
+        queries.emplace_back(
+            dsid_,
+            Rect::ofSize((i % 4) * 128, (i / 4) * 128, 256, 256), 4,
+            VMOp::Subsample);
+      }
+      std::vector<std::future<QueryResult>> futures;
+      futures.reserve(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        futures.push_back(
+            server->submit(queries[i].clone(), static_cast<int>(i)));
+      }
+      std::vector<bool> failed;
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+          const auto result = futures[i].get();
+          expectCorrect(queries[i], result);
+          failed.push_back(false);
+        } catch (const QueryFailure&) {
+          failed.push_back(true);
+        }
+      }
+      const auto counts = server->admission().snapshot();
+      EXPECT_EQ(counts.offered, queries.size());
+      EXPECT_EQ(counts.completed + counts.failed, counts.offered)
+          << "seed " << seed << " fold=" << foldScans;
+      EXPECT_EQ(server->pageSpace().scanRegistry().activeScans(), 0u);
+      failedByConfig.push_back(std::move(failed));
+    }
+    // Folding never changes a query's terminal fate.
+    EXPECT_EQ(failedByConfig[0], failedByConfig[1]) << "seed " << seed;
+  }
+}
+
+TEST_F(FoldFaultTest, TransientFaultsUnderFoldingStayByteCorrect) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.transientRate = 0.3;
+  plan.maxConsecutiveTransient = 2;  // < default ioRetryAttempts (3)
+  FaultySource faulty(slide_, plan);
+  ServerConfig cfg = config(/*threads=*/4);
+  cfg.ioRetryBackoffSec = 0.0;
+  auto server = makeServer(cfg, faulty);
+
+  std::vector<VMPredicate> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.emplace_back(dsid_, Rect::ofSize((i % 2) * 192, (i / 2) * 96,
+                                             384, 384),
+                         4, VMOp::Subsample);
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(
+        server->submit(queries[i].clone(), static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expectCorrect(queries[i], futures[i].get());
+  }
+  EXPECT_GT(faulty.stats().transientInjected, 0u);
+  EXPECT_EQ(server->pageSpace().stats().readFailures, 0u);
+  EXPECT_EQ(server->pageSpace().scanRegistry().activeScans(), 0u);
+}
+
+}  // namespace
+}  // namespace mqs::server
