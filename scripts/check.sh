@@ -43,6 +43,18 @@ cmake --build build -j
 echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# Whole-program lock-discipline analysis (DESIGN.md §15): the three
+# mqs-analyze checks over every TU in the compilation database, gated on
+# the committed baseline. `--target analyze` wraps the same invocation.
+echo "== mqs-analyze (lock graph, GUARDED_BY coverage, blocking-under-lock) =="
+build/tools/analyzer/mqs-analyze \
+  -p build/compile_commands.json \
+  --src-root src \
+  --design DESIGN.md \
+  --baseline tools/analyzer/baseline.txt \
+  --config tools/analyzer/analyze.conf \
+  --lockgraph-out results/lockgraph.json
+
 # Label matrix: each suite group must be runnable on its own, so a CI
 # job (or a bug hunt) can target just the static, fault, soak, fuzz,
 # planner, or trace tests. --no-tests=error: `ctest -L <label>` exits 0

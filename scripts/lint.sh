@@ -8,9 +8,11 @@
 #              from the merge base with origin/main, falling back to HEAD)
 #   --no-tidy  skip clang-tidy even if installed (custom rules still run)
 #
-# clang-tidy results are cached per (file content, .clang-tidy content) in
-# .cache/clang-tidy/, so a warm run fits the ~5 minute lint budget even
-# with --all.
+# clang-tidy results are cached per (file content, .clang-tidy content,
+# clang-tidy version) in .cache/clang-tidy/, so a warm run fits the ~5
+# minute lint budget even with --all. The version is part of the key
+# because a tool upgrade changes the finding set: stamps minted by an old
+# clang-tidy must not vouch for files under the new one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,7 +62,10 @@ fi
 
 cache_dir=.cache/clang-tidy
 mkdir -p "$cache_dir"
-config_hash=$(sha256sum .clang-tidy | cut -d' ' -f1)
+# Key = config + tool version; `clang-tidy --version` covers both the
+# release and the distro patch level.
+config_hash=$( (sha256sum .clang-tidy; clang-tidy --version) | sha256sum \
+              | cut -d' ' -f1)
 
 echo "== clang-tidy ($(echo "$files" | wc -w) file(s)) =="
 status=0

@@ -44,6 +44,13 @@ R6 unregistered-label
     silently vanish from the gate; this rule catches the registry side
     of that failure even where the flag is missing.
 
+R7 stale-todo
+    A dated TODO/FIXME older than 180 days fails the gate. R2 forces the
+    date on; this rule makes the date mean something — markers either
+    get resolved or get explicitly re-dated after a fresh look. The
+    reference date comes from MQS_LINT_TODAY (YYYY-MM-DD) when set, so
+    CI and the self-test are deterministic; otherwise the system clock.
+
 Usage
 -----
     lint_rules.py [--repo DIR]     lint the repository (default: cwd's repo)
@@ -56,6 +63,8 @@ Exit status: 0 clean, 1 findings, 2 usage/internal error.
 from __future__ import annotations
 
 import argparse
+import datetime
+import os
 import pathlib
 import re
 import sys
@@ -75,6 +84,8 @@ NAKED_SYNC_RE = re.compile(
 
 TODO_RE = re.compile(r"\b(TODO|FIXME)\b")
 DATED_TODO_RE = re.compile(r"\b(?:TODO|FIXME)\(\d{4}-\d{2}-\d{2}\)")
+DATED_TODO_CAPTURE_RE = re.compile(r"\b(?:TODO|FIXME)\((\d{4}-\d{2}-\d{2})\)")
+STALE_TODO_DAYS = 180
 
 UNRANKED_MUTEX_ALLOWLIST = {
     "src/common/thread_annotations.hpp",
@@ -196,6 +207,38 @@ def check_undated_todos(repo: pathlib.Path) -> list[str]:
                     findings.append(
                         f"{rel}:{lineno}: undated-todo: write "
                         f"TODO(YYYY-MM-DD): so staleness is checkable"
+                    )
+    return findings
+
+
+def check_stale_todos(repo: pathlib.Path, today: datetime.date) -> list[str]:
+    cutoff = today - datetime.timedelta(days=STALE_TODO_DAYS)
+    findings = []
+    roots = [repo / "src", repo / "tests", repo / "bench", repo / "scripts"]
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h", ".cc", ".py", ".sh"):
+                continue
+            if path.resolve() == pathlib.Path(__file__).resolve():
+                continue  # this file names the rule's own patterns
+            rel = path.relative_to(repo).as_posix()
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for m in DATED_TODO_CAPTURE_RE.finditer(line):
+                    try:
+                        stamped = datetime.date.fromisoformat(m.group(1))
+                    except ValueError:
+                        stamped = None  # e.g. 2026-13-99; R2 let it through
+                    if stamped is None or stamped < cutoff:
+                        age = ("unparseable date" if stamped is None else
+                               f"{(today - stamped).days} days old")
+                    else:
+                        continue
+                    findings.append(
+                        f"{rel}:{lineno}: stale-todo: marker dated "
+                        f"{m.group(1)} ({age}, limit {STALE_TODO_DAYS}) — "
+                        f"resolve it or re-date it after a fresh look"
                     )
     return findings
 
@@ -325,10 +368,17 @@ def check_label_registration(repo: pathlib.Path) -> list[str]:
     return findings
 
 
-def lint(repo: pathlib.Path) -> list[str]:
+def lint_today() -> datetime.date:
+    """R7's reference date: MQS_LINT_TODAY (YYYY-MM-DD) or the clock."""
+    stamp = os.environ.get("MQS_LINT_TODAY")
+    return datetime.date.fromisoformat(stamp) if stamp else datetime.date.today()
+
+
+def lint(repo: pathlib.Path, today: datetime.date | None = None) -> list[str]:
     return (
         check_naked_sync(repo)
         + check_undated_todos(repo)
+        + check_stale_todos(repo, today or lint_today())
         + check_test_registration(repo)
         + check_unranked_mutexes(repo)
         + check_policy_enum_roundtrip(repo)
@@ -352,9 +402,12 @@ def self_test() -> int:
             "std::mutex naked;  // line 3: the real violation\n"
         )
         # R2: an undated TODO (and a dated one that must pass).
+        # R7: a dated marker past the 180-day limit (line 3) against the
+        # pinned reference date below; line 1 is fresh and must NOT fire.
         (repo / "src" / "todo.hpp").write_text(
             "// TODO(2026-08-06): dated, fine\n"
             "// TODO: undated, line 2 must fire\n"
+            "// TODO(2026-01-01): stale, line 3 must fire\n"
         )
         # R4: an unranked Mutex member; the ranked one (multi-line
         # initializer) must NOT fire.
@@ -394,10 +447,13 @@ def self_test() -> int:
             "done\n"
         )
 
-        findings = lint(repo)
+        # Pin R7's reference date: the 2026-08-06 marker is 2 days old
+        # (fresh), the 2026-01-01 one is 219 days old (stale).
+        findings = lint(repo, today=datetime.date(2026, 8, 8))
         expectations = [
             ("src/scratch.cpp:3", "naked-sync-primitive"),
             ("src/todo.hpp:2", "undated-todo"),
+            ("src/todo.hpp:3", "stale-todo"),
             ("tests/scratch/orphan_test.cpp", "unregistered-test"),
             ("tests/scratch/bare_test.cpp", "no LABELS"),
             ("src/ranked.hpp:4", "unranked-mutex"),
@@ -407,7 +463,8 @@ def self_test() -> int:
         for prefix, tag in expectations:
             if not any(prefix in f and tag in f for f in findings):
                 failures.append(f"missed seeded violation: {prefix} ({tag})")
-        for banned in ("scratch.cpp:1", "scratch.cpp:2", "todo.hpp:1",
+        for banned in ("scratch.cpp:1", "scratch.cpp:2",
+                       "todo.hpp:1: undated", "todo.hpp:1: stale",
                        "ranked.hpp:2", "ranked.hpp:3", "policy_scratch.hpp:1",
                        "check.sh:3"):
             if any(banned in f for f in findings):

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Render the merged static lock graph (results/lockgraph.json).
+
+mqs-analyze emits the whole-program acquisition graph: one node per
+Mutex declaration, one edge per observed "acquire B while holding A"
+pair, each edge tagged with its source sites. This script turns that
+JSON into:
+
+    --dot FILE     Graphviz DOT (pipe through `dot -Tsvg` where graphviz
+                   is installed)
+    --svg FILE     a self-contained SVG rendered here (no graphviz
+                   needed): one row per mutex, sorted by rank so every
+                   legal edge points downward — an upward edge would be
+                   exactly the inversion mqs-analyze rejects
+
+CI and scripts/check.sh regenerate results/lockgraph.json on every run;
+docs/lockgraph.svg (embedded next to the DESIGN.md §9 rank table) is the
+committed rendering:
+
+    python3 scripts/lockgraph_dot.py --svg docs/lockgraph.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+ROW_H = 34
+NODE_W = 330
+NODE_H = 24
+MARGIN = 16
+CURVE_X = 110  # how far edge curves bow out to the right
+
+
+def load(path: pathlib.Path) -> tuple[list[dict], list[dict]]:
+    data = json.loads(path.read_text())
+    mutexes = sorted(data["mutexes"], key=lambda m: (m["rank"], m["path"]))
+    return mutexes, data["edges"]
+
+
+def to_dot(mutexes: list[dict], edges: list[dict]) -> str:
+    lines = [
+        "digraph lockgraph {",
+        "  rankdir=TB;",
+        '  node [shape=box, style=rounded, fontname="monospace", fontsize=10];',
+        '  edge [fontname="monospace", fontsize=8];',
+    ]
+    for m in mutexes:
+        label = f"{m['rank']:>3}  {m['path']}"
+        lines.append(f'  "{m["path"]}" [label="{label}"];')
+    for e in edges:
+        site = e["sites"][0] if e.get("sites") else ""
+        lines.append(
+            f'  "{e["from"]}" -> "{e["to"]}" [label="{site}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_svg(mutexes: list[dict], edges: list[dict]) -> str:
+    rows = {m["path"]: i for i, m in enumerate(mutexes)}
+    width = MARGIN * 2 + NODE_W + CURVE_X + 360
+    height = MARGIN * 2 + ROW_H * len(mutexes)
+
+    def node_y(i: int) -> int:
+        return MARGIN + i * ROW_H
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        "  <defs>",
+        '    <marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">',
+        '      <path d="M 0 0 L 10 5 L 0 10 z" fill="#444"/>',
+        "    </marker>",
+        "  </defs>",
+        f'  <rect x="0" y="0" width="{width}" height="{height}" '
+        'fill="white"/>',
+    ]
+
+    # Edges first (under the nodes): a cubic bowing right of the column.
+    # All edges in a clean graph point downward (ascending rank).
+    edge_x = MARGIN + NODE_W
+    for e in edges:
+        if e["from"] not in rows or e["to"] not in rows:
+            continue
+        y0 = node_y(rows[e["from"]]) + NODE_H // 2
+        y1 = node_y(rows[e["to"]]) + NODE_H // 2
+        bow = edge_x + CURVE_X
+        parts.append(
+            f'  <path d="M {edge_x} {y0} C {bow} {y0}, {bow} {y1}, '
+            f'{edge_x + 4} {y1}" fill="none" stroke="#444" '
+            'stroke-width="1.2" marker-end="url(#arrow)"/>'
+        )
+        site = e["sites"][0] if e.get("sites") else ""
+        site = site.split(" (")[0]  # file:line fits; the function doesn't
+        ymid = (y0 + y1) // 2
+        parts.append(
+            f'  <text x="{bow + 6}" y="{ymid + 4}" fill="#666" '
+            f'font-size="9">{html.escape(site)}</text>'
+        )
+
+    for m in mutexes:
+        y = node_y(rows[m["path"]])
+        ranked = m["rank"] > 0
+        fill = "#eef4fb" if ranked else "#f6f6f6"
+        parts.append(
+            f'  <rect x="{MARGIN}" y="{y}" rx="5" width="{NODE_W}" '
+            f'height="{NODE_H}" fill="{fill}" stroke="#335" '
+            'stroke-width="1"/>'
+        )
+        label = f"{m['rank']:>3}  {m['path']}" if ranked else m["path"]
+        parts.append(
+            f'  <text x="{MARGIN + 8}" y="{y + 16}">'
+            f"{html.escape(label)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--input", type=pathlib.Path,
+                        default=pathlib.Path("results/lockgraph.json"))
+    parser.add_argument("--dot", type=pathlib.Path)
+    parser.add_argument("--svg", type=pathlib.Path)
+    args = parser.parse_args()
+
+    if not args.input.is_file():
+        print(f"lockgraph_dot.py: {args.input} not found — run "
+              "`cmake --build build --target analyze` first", file=sys.stderr)
+        return 2
+    mutexes, edges = load(args.input)
+
+    if args.dot:
+        args.dot.write_text(to_dot(mutexes, edges))
+        print(f"wrote {args.dot}")
+    if args.svg:
+        args.svg.parent.mkdir(parents=True, exist_ok=True)
+        args.svg.write_text(to_svg(mutexes, edges))
+        print(f"wrote {args.svg}")
+    if not args.dot and not args.svg:
+        sys.stdout.write(to_dot(mutexes, edges))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -297,6 +297,8 @@ class DataStore {
   void reportEvictions(std::vector<EvictedBlob>& evicted) EXCLUDES(mu_);
   void guardReentry() const;
 
+  /// Set once before any worker thread exists (QueryServer's constructor
+  /// installs it before spawning workers); the pointee synchronizes itself.
   trace::Tracer* tracer_ = nullptr;
 
   const std::uint64_t capacity_;  ///< total budget across all shards
@@ -309,7 +311,7 @@ class DataStore {
   /// Immutable after construction (the vector; shard contents are guarded
   /// by their own locks).
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::size_t shardMask_ = 0;
+  std::size_t shardMask_ = 0;  ///< immutable after construction
   /// Budget bytes not currently assigned to any shard's slice. Invariant:
   /// sum(shard slices) + spare_ == capacity_ except inside a borrow.
   std::atomic<std::uint64_t> spare_{0};

@@ -30,13 +30,19 @@ SpillTier::~SpillTier() {
   // Idempotent cleanup (scripts/reproduce.sh reruns benches in place):
   // remove every payload file we persisted, then the directory itself if
   // this tier created it and nothing else moved in.
+  // Unlink outside the lock: fs::remove hits the disk, and mu_ is a
+  // shard-leaf rank that must never be held across blocking I/O (DESIGN.md
+  // §9; mqs-analyze blocking-under-lock).
+  std::vector<std::string> deadFiles;
   if (!dir_.empty()) {
     MutexLock lock(mu_);
     for (const auto& [id, entry] : entries_) {
-      if (!entry.persisted) continue;
-      std::error_code ec;
-      fs::remove(pathFor(id), ec);
+      if (entry.persisted) deadFiles.push_back(pathFor(id));
     }
+  }
+  for (const auto& path : deadFiles) {
+    std::error_code ec;
+    fs::remove(path, ec);
   }
   if (createdDir_) {
     std::error_code ec;
@@ -134,6 +140,7 @@ void SpillTier::writerLoop() {
                     payload.size();
       written = std::fclose(f) == 0 && written;
     }
+    bool orphaned = false;
     {
       MutexLock lock(mu_);
       auto it = entries_.find(id);
@@ -143,11 +150,16 @@ void SpillTier::writerLoop() {
         it->second.persisted = true;
         writeouts_.fetch_add(1, std::memory_order_relaxed);
       } else if (written) {
-        // The entry vanished while we wrote; the file is orphaned.
-        std::error_code ec;
-        fs::remove(path, ec);
+        // The entry vanished while we wrote; the file is orphaned. Unlink
+        // after dropping mu_ — this loop runs on the demote/restore hot
+        // path and must not hold a shard-leaf lock across disk I/O.
+        orphaned = true;
       }
       if (--pendingWrites_ == 0) drained_.notifyAll();
+    }
+    if (orphaned) {
+      std::error_code ec;
+      fs::remove(path, ec);
     }
   }
 }

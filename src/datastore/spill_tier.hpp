@@ -64,8 +64,13 @@ class SpillTier {
   SpillTier& operator=(const SpillTier&) = delete;
 
   /// DS_SPILL / DS_RESTORE counters and the DS_SPILL_BYTES gauge are
-  /// emitted through this tracer. Must outlive the tier.
-  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  /// emitted through this tracer. Must outlive the tier. Takes mu_: the
+  /// constructor already started the writer thread, which reads tracer_
+  /// under the lock, so an unsynchronized store here would race with it.
+  void setTracer(trace::Tracer* tracer) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    tracer_ = tracer;
+  }
 
   struct Match {
     SpillId id = 0;
@@ -145,9 +150,8 @@ class SpillTier {
   const storage::DiskModel disk_;
   bool createdDir_ = false;  ///< immutable after construction
 
-  trace::Tracer* tracer_ = nullptr;
-
   mutable Mutex mu_{lockorder::Rank::kSpillTier, "SpillTier::mu_"};
+  trace::Tracer* tracer_ GUARDED_BY(mu_) = nullptr;
   CondVar drained_;  ///< signaled when pendingWrites_ hits zero
   std::unordered_map<SpillId, Entry> entries_ GUARDED_BY(mu_);
   std::list<SpillId> fifo_ GUARDED_BY(mu_);  ///< front = oldest (drop first)

@@ -54,8 +54,10 @@ class NetServer {
   void serveConnection(int fd, int client);
 
   server::QueryServer& queryServer_;
-  const CodecRegistry* codecs_;
+  const CodecRegistry* codecs_;  ///< immutable after construction
   std::atomic<int> listenFd_{-1};
+  /// Set once before the acceptor thread launches (start() binds, reads
+  /// the port back, then spawns the acceptor).
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};

@@ -253,6 +253,8 @@ class PageSpaceManager {
   std::uint64_t borrowBudget(std::uint64_t want, const Shard& home);
   std::uint64_t takeFromSpare(std::uint64_t want);
 
+  /// Set once before any worker thread exists (QueryServer's constructor
+  /// installs it before spawning workers); the pointee synchronizes itself.
   trace::Tracer* tracer_ = nullptr;
 
   const std::uint64_t capacityBytes_;  ///< total budget across all shards
@@ -265,7 +267,7 @@ class PageSpaceManager {
   /// Immutable after construction (the vector; shard contents are guarded
   /// by their own locks).
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::size_t shardMask_ = 0;
+  std::size_t shardMask_ = 0;  ///< immutable after construction
   /// Budget bytes not currently assigned to any shard's slice. Invariant:
   /// sum(shard slice capacities) + spare_ == capacityBytes_ except inside
   /// a borrow (bytes in transit between a donor slice and the borrower).

@@ -201,6 +201,8 @@ class QueryScheduler {
   void drainFeedbackLocked(const FeedbackEvent* extra = nullptr)
       REQUIRES(mu_);
 
+  /// Set once before any worker thread exists (QueryServer's constructor
+  /// installs it before spawning workers); the pointee synchronizes itself.
   trace::Tracer* tracer_ = nullptr;
 
   mutable Mutex mu_{lockorder::Rank::kScheduler, "QueryScheduler::mu_"};

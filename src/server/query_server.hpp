@@ -280,28 +280,32 @@ class QueryServer {
   void retireSpilledLocked(datastore::SpillId sid) REQUIRES(mu_);
   std::shared_future<void> doneFutureOf(sched::NodeId node) EXCLUDES(mu_);
 
-  const query::QuerySemantics* sem_;
-  const query::QueryExecutor* exec_;
-  ServerConfig cfg_;
+  const query::QuerySemantics* sem_;   ///< immutable after construction
+  const query::QueryExecutor* exec_;   ///< immutable after construction
+  ServerConfig cfg_;                   ///< immutable after construction
   sched::QueryScheduler scheduler_;
   datastore::DataStore ds_;
-  std::unique_ptr<datastore::SpillTier> spill_;  ///< null when spillBytes == 0
+  /// Null when spillBytes == 0; the pointer is set once before the
+  /// workers spawn, and the tier synchronizes itself.
+  std::unique_ptr<datastore::SpillTier> spill_;
   pagespace::PageSpaceManager ps_;
-  query::Planner planner_;
+  query::Planner planner_;  ///< immutable after construction; plan() is const
   metrics::Collector collector_;
-  std::chrono::steady_clock::time_point epoch_;
-  trace::Tracer* tracer_ = nullptr;  ///< traceSink or ownedTracer_
+  std::chrono::steady_clock::time_point epoch_;  ///< immutable after construction
+  /// traceSink or ownedTracer_; set once before the workers spawn.
+  trace::Tracer* tracer_ = nullptr;
   /// Private, *disabled* tracer installed when cost-aware eviction or the
   /// spill tier needs per-query recompute-cost accounting but the caller
   /// attached no trace sink: spans on the query path accrue the cost
-  /// ledger without buffering any events.
+  /// ledger without buffering any events. Set once before the workers
+  /// spawn.
   std::unique_ptr<trace::Tracer> ownedTracer_;
   /// Process-wide lock-contention counters at construction; shutdown emits
   /// the per-run deltas as LOCK_WAIT_* trace counters (lock_stats is
   /// global, so the baseline isolates this server's run).
-  lockstats::Counts lockWaitBaseSched_;
-  lockstats::Counts lockWaitBaseDs_;
-  lockstats::Counts lockWaitBasePs_;
+  lockstats::Counts lockWaitBaseSched_;  ///< immutable after construction
+  lockstats::Counts lockWaitBaseDs_;   ///< immutable after construction
+  lockstats::Counts lockWaitBasePs_;   ///< immutable after construction
 
   /// Guards the maps below + dispatch state. Ranked above the scheduler
   /// lock: workers call scheduler_ methods while holding mu_ (dispatch),

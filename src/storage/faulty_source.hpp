@@ -90,7 +90,7 @@ class FaultySource final : public DataSource {
   };
 
   const DataSource& inner_;
-  FaultPlan plan_;
+  FaultPlan plan_;  ///< immutable after construction (validated in the ctor)
 
   /// Held only for the injection decision; the inner read and the latency
   /// spike sleep both run unlocked so faults never serialize other pages.

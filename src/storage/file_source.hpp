@@ -39,9 +39,10 @@ class FileSource final : public DataSource {
  private:
   [[nodiscard]] std::uint64_t pageOffset(PageId page) const;
 
-  std::filesystem::path path_;
-  index::ChunkLayout layout_;
-  std::vector<std::uint64_t> offsets_;  ///< byte offset of each page
+  std::filesystem::path path_;    ///< immutable after construction
+  index::ChunkLayout layout_;     ///< immutable after construction
+  /// Byte offset of each page; immutable after construction.
+  std::vector<std::uint64_t> offsets_;
   /// Serializes the seek+read pair on the one shared FILE handle. The
   /// pointer itself is set in the constructor and closed in the destructor;
   /// only the stream it points to needs the lock.

@@ -308,8 +308,9 @@ class Tracer {
 
   std::atomic<bool> enabled_{true};
   std::atomic<bool> costAccounting_{false};
+  /// Set once before the tracer is shared with other threads (setClock).
   ClockFn clock_;
-  void* clockCtx_ = nullptr;
+  void* clockCtx_ = nullptr;  ///< set once before sharing, with clock_
   const std::uint64_t gen_;  ///< process-unique id (thread-local cache key)
 
   /// Guards buffers_ + every Buffer's reader cursor and ownedChunks (the

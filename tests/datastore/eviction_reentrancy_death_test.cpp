@@ -30,13 +30,13 @@ class ThreadsafeDeathStyle : public ::testing::Environment {
 const auto* const kDeathStyle =
     ::testing::AddGlobalTestEnvironment(new ThreadsafeDeathStyle);
 
+#if MQS_LOCK_ORDER
+
 query::PredicatePtr pred(vm::VMSemantics&, storage::DatasetId dataset,
                          std::int64_t x) {
   return std::make_unique<VMPredicate>(dataset, Rect::ofSize(x, 0, 256, 256),
                                        4, VMOp::Subsample);
 }
-
-#if MQS_LOCK_ORDER
 
 TEST(EvictionReentrancyDeathTest, ListenerCallingBackIntoStoreAborts) {
   EXPECT_DEATH(

@@ -4,8 +4,10 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <thread>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "vm/vm_predicate.hpp"
 #include "vm/vm_semantics.hpp"
 
@@ -157,6 +159,33 @@ TEST_F(SpillTierTest, FileModePersistsPayloadAndCleansUpOnDestruction) {
   }
   // The tier created the directory, so it removes it (and any files) on
   // destruction — the reproduce.sh idempotency contract.
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+// Regression: SpillTier's constructor starts the writer thread, and
+// QueryServer installs the tracer afterwards — so setTracer must
+// synchronize with the writer loop's tracer_ reads. The unlocked setter
+// raced here (TSan caught it under the thread sanitizer preset).
+TEST_F(SpillTierTest, SetTracerRacesSafelyWithRunningWriter) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "mqs_spill_tier_tracer_race_dir";
+  fs::remove_all(dir);
+
+  trace::Tracer tracer;
+  std::vector<std::byte> payload(1024, std::byte{0x5a});
+  {
+    SpillTier tier(1 << 24, &sem_, dir.string());
+    std::thread installer([&] { tier.setTracer(&tracer); });
+    // Demotes run concurrently with the installer; the writer thread picks
+    // the writes up and emits counters through whatever tracer it sees.
+    for (int i = 0; i < 32; ++i) {
+      tier.demote(blob(Rect::ofSize(i * 300, 0, 256, 256), 1.0, payload));
+    }
+    installer.join();
+    tier.flush();
+    EXPECT_GE(tier.stats().writeouts, 1u);
+  }
   EXPECT_FALSE(fs::exists(dir));
 }
 

@@ -22,7 +22,9 @@ TEST(ZipfSampler, ProbabilitiesFormADecreasingDistribution) {
   double sum = 0.0;
   for (std::size_t k = 0; k < 100; ++k) {
     sum += zipf.probability(k);
-    if (k > 0) EXPECT_LT(zipf.probability(k), zipf.probability(k - 1));
+    if (k > 0) {
+      EXPECT_LT(zipf.probability(k), zipf.probability(k - 1));
+    }
   }
   EXPECT_NEAR(sum, 1.0, 1e-12);
 }

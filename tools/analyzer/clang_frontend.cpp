@@ -1,0 +1,117 @@
+// Optional Clang frontend for mqs-analyze, compiled only when CMake finds
+// the Clang development libraries (MQS_ANALYZE_HAVE_CLANG). Produces the
+// same LexedFile token stream as the built-in lexer — clang::Lexer in raw
+// mode with comment retention — and loads TU lists through the real
+// clang::tooling::JSONCompilationDatabase instead of the minimal built-in
+// scanner. The analysis core is identical either way.
+#if defined(MQS_ANALYZE_HAVE_CLANG)
+
+#include "clang/Basic/LangOptions.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/JSONCompilationDatabase.h"
+
+#include "analyzer.hpp"
+
+namespace mqs::analyze {
+
+namespace {
+
+std::string stripCommentMarkers(std::string s) {
+  if (s.rfind("//", 0) == 0) return s.substr(2);
+  if (s.rfind("/*", 0) == 0) {
+    s = s.substr(2);
+    if (s.size() >= 2 && s.compare(s.size() - 2, 2, "*/") == 0)
+      s = s.substr(0, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+LexedFile lexSourceClang(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+
+  clang::SourceManagerForFile smHolder(path, text);
+  clang::SourceManager& sm = smHolder.get();
+  const clang::FileID fid = sm.getMainFileID();
+  clang::LangOptions langOpts;
+  langOpts.CPlusPlus = 1;
+  langOpts.CPlusPlus11 = 1;
+  langOpts.CPlusPlus14 = 1;
+  langOpts.CPlusPlus17 = 1;
+  langOpts.LineComment = 1;
+
+  clang::Lexer lex(fid, sm.getBufferOrFake(fid), sm, langOpts);
+  lex.SetCommentRetentionState(true);
+
+  bool inDirective = false;
+  clang::Token tk;
+  while (true) {
+    lex.LexFromRawLexer(tk);
+    if (tk.is(clang::tok::eof)) break;
+    if (tk.isAtStartOfLine()) inDirective = false;
+    const int line =
+        static_cast<int>(sm.getSpellingLineNumber(tk.getLocation()));
+    const std::string spelling = clang::Lexer::getSpelling(tk, sm, langOpts);
+    if (tk.is(clang::tok::hash) && tk.isAtStartOfLine()) {
+      inDirective = true;  // skip the whole directive (continuations keep
+      continue;            // isAtStartOfLine false on following tokens)
+    }
+    if (inDirective) continue;
+    if (tk.is(clang::tok::comment)) {
+      auto& slot = out.comments[line];
+      if (!slot.empty()) slot += ' ';
+      slot += stripCommentMarkers(spelling);
+      continue;
+    }
+    Tok t;
+    t.line = line;
+    t.text = spelling;
+    if (tk.is(clang::tok::raw_identifier)) {
+      t.kind = Tok::Kind::Ident;
+    } else if (tk.is(clang::tok::numeric_constant)) {
+      t.kind = Tok::Kind::Number;
+    } else if (tk.is(clang::tok::string_literal) ||
+               tk.is(clang::tok::utf8_string_literal) ||
+               tk.is(clang::tok::wide_string_literal)) {
+      t.kind = Tok::Kind::String;
+      if (t.text.size() >= 2 && t.text.front() == '"')
+        t.text = t.text.substr(1, t.text.size() - 2);
+    } else if (tk.is(clang::tok::char_constant) ||
+               tk.is(clang::tok::wide_char_constant)) {
+      t.kind = Tok::Kind::Char;
+      if (t.text.size() >= 2 && t.text.front() == '\'')
+        t.text = t.text.substr(1, t.text.size() - 2);
+    } else {
+      t.kind = Tok::Kind::Punct;
+      // The built-in lexer splits every punctuator except `::` and `->`;
+      // normalize clang's combined punctuators the same way.
+      if (t.text != "::" && t.text != "->" && t.text.size() > 1) {
+        for (std::size_t i = 0; i < t.text.size(); ++i)
+          out.toks.push_back(
+              {Tok::Kind::Punct, std::string(1, t.text[i]), line});
+        continue;
+      }
+    }
+    out.toks.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<std::string> compileCommandsFilesClang(const std::string& dbPath) {
+  std::string err;
+  auto db = clang::tooling::JSONCompilationDatabase::loadFromFile(
+      dbPath, err, clang::tooling::JSONCommandLineSyntax::AutoDetect);
+  if (!db) {
+    // Fall back to the built-in scanner rather than failing outright.
+    return compileCommandsFiles(dbPath);
+  }
+  return db->getAllFiles();
+}
+
+}  // namespace mqs::analyze
+
+#endif  // MQS_ANALYZE_HAVE_CLANG

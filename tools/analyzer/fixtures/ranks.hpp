@@ -1,0 +1,16 @@
+// Fixture rank enum for the mqs-analyze self-test. Mirrors the shape of
+// src/common/lock_order.hpp so the analyzer's Rank harvesting is exercised
+// without depending on the real hierarchy.
+#pragma once
+
+namespace lockorder {
+
+enum class Rank : int {
+  kUnranked = 0,
+  kLow = 10,
+  kMid = 20,
+  kShard = 44,
+  kHigh = 50,
+};
+
+}  // namespace lockorder

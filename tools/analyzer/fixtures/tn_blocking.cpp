@@ -1,0 +1,33 @@
+// True negatives for blocking-under-lock: low-rank locks, released locks,
+// and CondVar::wait on the very mutex being held (which the wait releases).
+#include "ranks.hpp"
+
+namespace fx {
+
+class NonBlocker {
+ public:
+  void lowRank() {
+    MutexLock lock(lo_);
+    fwrite(nullptr, 1, 0, nullptr);  // ok: rank 20 < 44
+  }
+
+  void afterUnlock() {
+    {
+      MutexLock lock(hi_);
+    }
+    fwrite(nullptr, 1, 0, nullptr);  // ok: lock released at scope exit
+  }
+
+  void waiter() {
+    MutexLock lock(hi_);
+    while (pending_ > 0) cv_.wait(hi_);  // ok: waits on the held mutex
+  }
+
+ private:
+  Mutex lo_{lockorder::Rank::kMid, "fx.nb.lo"};
+  Mutex hi_{lockorder::Rank::kShard, "fx.nb.hi"};
+  CondVar cv_;
+  int pending_ GUARDED_BY(hi_) = 0;
+};
+
+}  // namespace fx

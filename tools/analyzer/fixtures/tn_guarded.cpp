@@ -1,0 +1,17 @@
+// True negatives for the GUARDED_BY check: a record with no Mutex is out
+// of scope, and a fully annotated record is clean.
+#include "ranks.hpp"
+
+namespace fx {
+
+struct WithoutMutex {
+  int x_ = 0;  // no Mutex in this record: not checked
+};
+
+class AllGood {
+ private:
+  Mutex mu_{lockorder::Rank::kMid, "fx.allgood"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// True negative: nested acquisition in ascending rank order is legal.
+#include "ranks.hpp"
+
+namespace fx {
+
+class OrderOwner {
+ public:
+  void good() {
+    MutexLock a(lo_);
+    MutexLock b(hi_);  // 10 then 50: ascending, fine
+  }
+
+ private:
+  Mutex lo_{lockorder::Rank::kLow, "fx.ord.lo"};
+  Mutex hi_{lockorder::Rank::kHigh, "fx.ord.hi"};
+};
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// True positive: file I/O while holding a shard-leaf rank (44 >= the
+// default --blocking-min-rank).
+#include "ranks.hpp"
+
+namespace fx {
+
+class Spiller {
+ public:
+  void writeOut() {
+    MutexLock lock(mu_);
+    fwrite(nullptr, 1, 0, nullptr);  // FINDING: blocking under rank 44
+  }
+
+ private:
+  Mutex mu_{lockorder::Rank::kShard, "fx.spill"};
+};
+
+}  // namespace fx

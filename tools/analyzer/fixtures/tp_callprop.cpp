@@ -1,0 +1,21 @@
+// True positive: no annotation anywhere — the inversion only falls out of
+// the call-summary fixpoint (outer holds hi_, calls inner, inner acquires
+// lo_).
+#include "ranks.hpp"
+
+namespace fx {
+
+class CallProp {
+ public:
+  void outer() {
+    MutexLock lock(hi_);
+    inner();
+  }
+  void inner() { MutexLock lock(lo_); }
+
+ private:
+  Mutex lo_{lockorder::Rank::kLow, "fx.cp.lo"};
+  Mutex hi_{lockorder::Rank::kHigh, "fx.cp.hi"};
+};
+
+}  // namespace fx

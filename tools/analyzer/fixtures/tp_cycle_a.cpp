@@ -1,0 +1,22 @@
+// True positive (half 1): ma_ -> mb_ in this TU, mb_ -> ma_ in
+// tp_cycle_b.cpp. Both mutexes are unranked, so only the merged cross-TU
+// graph can see the cycle — this is the case the per-TU fragment merge
+// exists for.
+#include "ranks.hpp"
+
+namespace fx {
+
+class CycA {
+ public:
+  void forward() {
+    MutexLock a(ma_);
+    MutexLock b(mb_);
+  }
+  void backward();  // defined in tp_cycle_b.cpp
+
+ private:
+  Mutex ma_{lockorder::Rank::kUnranked, "fx.cyc.ma"};
+  Mutex mb_{lockorder::Rank::kUnranked, "fx.cyc.mb"};
+};
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// True positive (half 2): the reverse order, in a different TU.
+#include "ranks.hpp"
+
+namespace fx {
+
+void CycA::backward() {
+  MutexLock b(mb_);
+  MutexLock a(ma_);
+}
+
+}  // namespace fx

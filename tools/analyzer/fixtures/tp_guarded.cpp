@@ -1,0 +1,19 @@
+// True positive: a mutable member of a mutex-owning record without
+// GUARDED_BY. The same record also carries every legal exemption as
+// in-file true negatives.
+#include "ranks.hpp"
+
+namespace fx {
+
+class Guarded {
+ private:
+  Mutex mu_{lockorder::Rank::kMid, "fx.guarded"};
+  int counter_ = 0;                    // FINDING: no annotation
+  int annotated_ GUARDED_BY(mu_) = 0;  // ok: annotated
+  const int limit_ = 8;                // ok: const
+  std::atomic<int> hits_{0};           // ok: atomic
+  // immutable after construction
+  int capacity_ = 64;                  // ok: exempting comment
+};
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// True positive: acquires a low rank while holding a high rank.
+#include "ranks.hpp"
+
+namespace fx {
+
+class InvOwner {
+ public:
+  void bad() {
+    MutexLock a(hi_);
+    MutexLock b(lo_);  // rank 10 under rank 50: inversion
+  }
+
+ private:
+  Mutex lo_{lockorder::Rank::kLow, "fx.inv.lo"};
+  Mutex hi_{lockorder::Rank::kHigh, "fx.inv.hi"};
+};
+
+}  // namespace fx

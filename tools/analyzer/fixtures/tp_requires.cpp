@@ -1,0 +1,24 @@
+// True positive: the inversion is only visible because REQUIRES(hi_)
+// seeds the helper's entry hold set — exactly the *Locked-helper idiom the
+// hold-set propagation exists for.
+#include "ranks.hpp"
+
+namespace fx {
+
+class ReqOwner {
+ public:
+  void entry() {
+    MutexLock lock(hi_);
+    helperLocked();
+  }
+
+ private:
+  void helperLocked() REQUIRES(hi_) {
+    MutexLock inner(lo_);  // FINDING: rank 10 with rank 50 held via REQUIRES
+  }
+
+  Mutex lo_{lockorder::Rank::kLow, "fx.req.lo"};
+  Mutex hi_{lockorder::Rank::kHigh, "fx.req.hi"};
+};
+
+}  // namespace fx

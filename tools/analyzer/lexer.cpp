@@ -1,0 +1,258 @@
+// Built-in C++ frontend for mqs-analyze: a raw lexer good enough for the
+// declaration/body patterns this codebase's lint rules already enforce.
+// Handles //, /* */, string/char literals (incl. raw strings), preprocessor
+// directives (skipped, continuations honored), and multi-char punctuation
+// the parser relies on (`::`, `->`, `>>`). Comment text is retained per
+// line for the `immutable after construction` member exemption.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analyzer.hpp"
+
+namespace mqs::analyze {
+
+std::string readFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mqs-analyze: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void addComment(LexedFile& out, int line, const std::string& text) {
+  auto& slot = out.comments[line];
+  if (!slot.empty()) slot += ' ';
+  slot += text;
+}
+
+}  // namespace
+
+LexedFile lexSource(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      addComment(out, line, text.substr(i + 2, j - (i + 2)));
+      i = j;
+      continue;
+    }
+    // Block comment (may span lines; text attributed line by line).
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      std::size_t segStart = j;
+      int l = line;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') {
+          addComment(out, l, text.substr(segStart, j - segStart));
+          ++l;
+          segStart = j + 1;
+        }
+        ++j;
+      }
+      addComment(out, l, text.substr(segStart, (j < n ? j : n) - segStart));
+      i = (j + 1 < n) ? j + 2 : n;
+      line = l;
+      continue;
+    }
+    // Preprocessor directive: skip to end of (continued) line.
+    if (c == '#') {
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (text[k] == '\n') ++line;
+      out.toks.push_back({Tok::Kind::String, "<raw>", line});
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string val;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          val += text[j + 1];
+          j += 2;
+        } else {
+          if (text[j] == '\n') ++line;  // unterminated; stay sane
+          val += text[j++];
+        }
+      }
+      out.toks.push_back(
+          {quote == '"' ? Tok::Kind::String : Tok::Kind::Char, val, line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (identStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && identChar(text[j])) ++j;
+      out.toks.push_back({Tok::Kind::Ident, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (incl. 0x..., digit separators, suffixes, floats).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (identChar(text[j]) || text[j] == '.' ||
+                       text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P'))))
+        ++j;
+      out.toks.push_back({Tok::Kind::Number, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the parser cares about.
+    if (c == ':' && peek(1) == ':') {
+      out.toks.push_back({Tok::Kind::Punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.toks.push_back({Tok::Kind::Punct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal compile_commands.json reader: an array of objects, each with a
+// "file" key (and optionally "directory" for relative paths). Quoting per
+// JSON; everything else in the entries is ignored.
+std::vector<std::string> compileCommandsFiles(const std::string& dbPath) {
+  const std::string text = readFileOrDie(dbPath);
+  std::vector<std::string> files;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto parseString = [&](std::size_t& p) -> std::string {
+    std::string out;
+    ++p;  // opening quote
+    while (p < n && text[p] != '"') {
+      if (text[p] == '\\' && p + 1 < n) {
+        const char e = text[p + 1];
+        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        p += 2;
+      } else {
+        out += text[p++];
+      }
+    }
+    ++p;  // closing quote
+    return out;
+  };
+  std::string directory, file;
+  auto flush = [&] {
+    if (file.empty()) return;
+    if (file[0] != '/' && !directory.empty())
+      file = directory + "/" + file;
+    files.push_back(file);
+    directory.clear();
+    file.clear();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '"') {
+      std::string key = parseString(i);
+      while (i < n && (std::isspace(static_cast<unsigned char>(text[i]))))
+        ++i;
+      if (i < n && text[i] == ':') {
+        ++i;
+        while (i < n && std::isspace(static_cast<unsigned char>(text[i])))
+          ++i;
+        if (i < n && text[i] == '"') {
+          std::string val = parseString(i);
+          if (key == "file") file = val;
+          else if (key == "directory") directory = val;
+        }
+      }
+    } else if (c == '}') {
+      flush();
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+  flush();
+  return files;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mqs::analyze

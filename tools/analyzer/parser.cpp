@@ -1,0 +1,884 @@
+// Declaration extraction for mqs-analyze: records (with data members and
+// their GUARDED_BY / const / atomic flags), Mutex declarations with their
+// lockorder::Rank, the Rank enum's numeric values, and function
+// definitions with REQUIRES/ACQUIRE annotations, parameter types, and body
+// token ranges for the hold-set walk in checks.cpp.
+//
+// This is a pattern parser, not a compiler: it leans on the lock idioms
+// scripts/lint_rules.py already enforces (all locking through the
+// annotated wrappers, every Mutex ranked in its initializer). Constructs
+// it cannot classify are skipped leniently — the analysis core treats
+// unresolved sites as coverage holes, not as proofs.
+#include <algorithm>
+#include <cassert>
+
+#include "analyzer.hpp"
+
+namespace mqs::analyze {
+
+namespace {
+
+const std::set<std::string> kAttrMacros = {
+    "CAPABILITY", "SCOPED_CAPABILITY", "MQS_THREAD_ANNOTATION", "alignas",
+    "final", "MQS_NODISCARD"};
+
+const std::set<std::string> kQualifierToks = {"mutable",  "static", "constexpr",
+                                              "inline",   "volatile",
+                                              "explicit", "virtual"};
+
+bool containsToken(const std::string& joined, const std::string& tok) {
+  std::size_t pos = 0;
+  while ((pos = joined.find(tok, pos)) != std::string::npos) {
+    const bool leftOk =
+        pos == 0 || !(isalnum(static_cast<unsigned char>(joined[pos - 1])) ||
+                      joined[pos - 1] == '_');
+    const std::size_t end = pos + tok.size();
+    const bool rightOk =
+        end >= joined.size() ||
+        !(isalnum(static_cast<unsigned char>(joined[end])) ||
+          joined[end] == '_');
+    if (leftOk && rightOk) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool commentSaysImmutable(const LexedFile& f, int line) {
+  // Accept the phrase on the member's own line (trailing comment) or
+  // anywhere in the contiguous doc-comment block immediately above it.
+  auto matches = [&](int l) {
+    auto it = f.comments.find(l);
+    if (it == f.comments.end()) return false;
+    std::string low = it->second;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return low.find("immutable after construction") != std::string::npos ||
+           low.find("set once before") != std::string::npos;
+  };
+  if (matches(line)) return true;
+  for (int l = line - 1; l >= 1 && f.comments.count(l) != 0U; --l)
+    if (matches(l)) return true;
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(const LexedFile& f, Program& prog) : f_(f), t_(f.toks), prog_(prog) {}
+
+  void run() {
+    while (i_ < t_.size()) parseDeclaration();
+    // Unbalanced braces (harmless for extraction) leave stale scopes.
+    scopes_.clear();
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kRecord, kBlock } kind;
+    std::string name;       // namespace segment or record name
+    std::string recPath;    // full record path for kRecord
+  };
+
+  const LexedFile& f_;
+  const std::vector<Tok>& t_;
+  Program& prog_;
+  std::size_t i_ = 0;
+  std::vector<Scope> scopes_;
+
+  // -- token helpers --------------------------------------------------------
+  [[nodiscard]] bool eof() const { return i_ >= t_.size(); }
+  [[nodiscard]] const Tok& cur() const { return t_[i_]; }
+  [[nodiscard]] bool isIdent(const char* s) const {
+    return !eof() && cur().kind == Tok::Kind::Ident && cur().text == s;
+  }
+  [[nodiscard]] bool isPunct(const char* s) const {
+    return !eof() && cur().kind == Tok::Kind::Punct && cur().text == s;
+  }
+  [[nodiscard]] bool peekPunct(std::size_t k, const char* s) const {
+    return i_ + k < t_.size() && t_[i_ + k].kind == Tok::Kind::Punct &&
+           t_[i_ + k].text == s;
+  }
+
+  void skipBalanced(const char* open, const char* close) {
+    // cur() is `open`; advances past the matching `close`.
+    int depth = 0;
+    while (!eof()) {
+      if (isPunct(open)) ++depth;
+      else if (isPunct(close)) {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  void skipAngles() {
+    // cur() is '<'; template argument lists (parens skipped wholesale).
+    int depth = 0;
+    while (!eof()) {
+      if (isPunct("<")) ++depth;
+      else if (isPunct(">")) {
+        --depth;
+        if (depth <= 0) {
+          ++i_;
+          return;
+        }
+      } else if (isPunct("(")) {
+        skipBalanced("(", ")");
+        continue;
+      } else if (isPunct(";")) {
+        return;  // never a template after all; bail out
+      }
+      ++i_;
+    }
+  }
+
+  void skipToSemicolon() {
+    while (!eof() && !isPunct(";")) {
+      if (isPunct("{")) {
+        skipBalanced("{", "}");
+        continue;
+      }
+      if (isPunct("(")) {
+        skipBalanced("(", ")");
+        continue;
+      }
+      ++i_;
+    }
+    if (!eof()) ++i_;
+  }
+
+  void skipAttr() {
+    // cur() is '[' of '[['; skip to matching ']]'.
+    int depth = 0;
+    while (!eof()) {
+      if (isPunct("[")) ++depth;
+      else if (isPunct("]")) {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] std::string nsPath() const {
+    std::string out;
+    for (const auto& s : scopes_) {
+      if (s.kind != Scope::kNamespace || s.name.empty() || s.name == "mqs")
+        continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string scopePath() const {
+    // Namespaces (minus the project root) + records.
+    std::string out;
+    for (const auto& s : scopes_) {
+      if (s.kind == Scope::kBlock) continue;
+      if (s.name.empty() || s.name == "mqs") continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  [[nodiscard]] RecordDecl* innermostRecord() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::kRecord) {
+        auto found = prog_.records.find(it->recPath);
+        return found == prog_.records.end() ? nullptr : &found->second;
+      }
+    return nullptr;
+  }
+
+  // -- declarations ---------------------------------------------------------
+  void parseDeclaration() {
+    if (eof()) return;
+    if (isPunct(";") || isPunct(",")) {
+      ++i_;
+      return;
+    }
+    if (isPunct("}")) {
+      if (!scopes_.empty()) scopes_.pop_back();
+      ++i_;
+      // `};` of a record consumed by the caller loop via the ';' branch.
+      return;
+    }
+    if (isPunct("{")) {  // stray block (extern "C", etc.)
+      scopes_.push_back({Scope::kBlock, "", ""});
+      ++i_;
+      return;
+    }
+    if (isPunct("[") && peekPunct(1, "[")) {
+      skipAttr();
+      return;
+    }
+    if (cur().kind != Tok::Kind::Ident) {
+      ++i_;
+      return;
+    }
+    const std::string& kw = cur().text;
+    if (kw == "template") {
+      ++i_;
+      if (isPunct("<")) skipAngles();
+      return;  // the templated declaration parses on the next iteration
+    }
+    if (kw == "namespace") {
+      parseNamespace();
+      return;
+    }
+    if (kw == "using" || kw == "typedef" || kw == "static_assert" ||
+        kw == "friend" || kw == "asm") {
+      skipToSemicolon();
+      return;
+    }
+    if (kw == "extern") {
+      // `extern "C" {` opens a transparent scope; otherwise a plain decl.
+      if (i_ + 2 < t_.size() && t_[i_ + 1].kind == Tok::Kind::String &&
+          t_[i_ + 2].kind == Tok::Kind::Punct && t_[i_ + 2].text == "{") {
+        scopes_.push_back({Scope::kNamespace, "", ""});
+        i_ += 3;
+        return;
+      }
+      ++i_;
+      return;
+    }
+    if (kw == "enum") {
+      parseEnum();
+      return;
+    }
+    if (kw == "class" || kw == "struct" || kw == "union") {
+      parseRecord();
+      return;
+    }
+    if ((kw == "public" || kw == "private" || kw == "protected") &&
+        peekPunct(1, ":")) {
+      i_ += 2;
+      return;
+    }
+    parseMemberOrFunction();
+  }
+
+  void parseNamespace() {
+    ++i_;  // 'namespace'
+    std::vector<std::string> segs;
+    while (!eof()) {
+      if (cur().kind == Tok::Kind::Ident) {
+        segs.push_back(cur().text);
+        ++i_;
+        if (isPunct("::")) {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    if (isPunct("=")) {  // namespace alias
+      skipToSemicolon();
+      return;
+    }
+    if (isPunct("{")) {
+      ++i_;
+      if (segs.empty()) segs.push_back("");  // anonymous
+      for (const auto& s : segs)
+        scopes_.push_back({Scope::kNamespace, s, ""});
+      // Matching '}' pops only one scope per parseDeclaration call; inject
+      // block scopes so nesting depth matches the single closing brace.
+      for (std::size_t k = 1; k < segs.size(); ++k)
+        scopes_.pop_back();  // collapse A::B::C to one scope frame
+      if (segs.size() > 1) {
+        std::string joined;
+        for (const auto& s : segs) {
+          if (!joined.empty()) joined += "::";
+          if (s != "mqs") joined += s;
+        }
+        scopes_.back().name = joined;
+      }
+    }
+  }
+
+  void parseEnum() {
+    ++i_;  // 'enum'
+    if (isIdent("class") || isIdent("struct")) ++i_;
+    std::string name;
+    if (!eof() && cur().kind == Tok::Kind::Ident) {
+      name = cur().text;
+      ++i_;
+    }
+    if (isPunct(":")) {  // underlying type
+      ++i_;
+      while (!eof() && !isPunct("{") && !isPunct(";")) ++i_;
+    }
+    if (isPunct(";")) {
+      ++i_;
+      return;  // forward declaration
+    }
+    if (!isPunct("{")) return;
+    ++i_;
+    // Enumerators; capture numeric values for the lock-rank enum.
+    long next = 0;
+    while (!eof() && !isPunct("}")) {
+      if (cur().kind == Tok::Kind::Ident) {
+        const std::string ename = cur().text;
+        ++i_;
+        long value = next;
+        if (isPunct("=")) {
+          ++i_;
+          if (!eof() && cur().kind == Tok::Kind::Number) {
+            value = std::strtol(cur().text.c_str(), nullptr, 0);
+            ++i_;
+          } else {
+            while (!eof() && !isPunct(",") && !isPunct("}")) ++i_;
+          }
+        }
+        if (name == "Rank")
+          prog_.rankValues[ename] = static_cast<int>(value);
+        next = value + 1;
+      }
+      if (isPunct(",")) ++i_;
+      else if (!isPunct("}")) ++i_;
+    }
+    if (!eof()) ++i_;  // '}'
+    if (isPunct(";")) ++i_;
+  }
+
+  void parseRecord() {
+    const int line = cur().line;
+    ++i_;  // class/struct/union
+    std::string name;
+    while (!eof()) {
+      if (isPunct("[") && peekPunct(1, "[")) {
+        skipAttr();
+        continue;
+      }
+      if (cur().kind == Tok::Kind::Ident) {
+        if (kAttrMacros.count(cur().text) != 0) {
+          ++i_;
+          if (isPunct("(")) skipBalanced("(", ")");
+          continue;
+        }
+        name = cur().text;
+        ++i_;
+        if (isPunct("<")) skipAngles();  // specialization
+        continue;  // keep scanning: `struct alignas(64) Foo` etc.
+      }
+      break;
+    }
+    if (isPunct(":")) {  // base clause
+      while (!eof() && !isPunct("{") && !isPunct(";")) {
+        if (isPunct("<")) {
+          skipAngles();
+          continue;
+        }
+        ++i_;
+      }
+    }
+    if (isPunct(";")) {
+      ++i_;
+      return;  // forward declaration
+    }
+    if (!isPunct("{")) return;  // `struct X x;` style; nothing to extract
+    ++i_;
+    if (name.empty()) name = "<anon>";
+    std::string path = scopePath();
+    path = path.empty() ? name : path + "::" + name;
+    if (prog_.records.find(path) == prog_.records.end()) {
+      RecordDecl rec;
+      rec.path = path;
+      rec.file = f_.path;
+      rec.line = line;
+      prog_.records.emplace(path, std::move(rec));
+    }
+    scopes_.push_back({Scope::kRecord, name, path});
+  }
+
+  // One member / variable / function declaration in a record or namespace.
+  void parseMemberOrFunction() {
+    std::vector<Tok> head;
+    const std::size_t start = i_;
+    bool sawOperator = false;
+    int angle = 0;
+    while (!eof()) {
+      if (isPunct("[") && peekPunct(1, "[")) {
+        skipAttr();
+        continue;
+      }
+      if (cur().kind == Tok::Kind::Ident) {
+        const std::string& s = cur().text;
+        if (s == "GUARDED_BY" || s == "PT_GUARDED_BY") {
+          emitMember(head, /*guarded=*/true);
+          return;
+        }
+        if (s == "operator") sawOperator = true;
+        if (s == "decltype" && peekPunct(1, "(")) {
+          head.push_back(cur());
+          ++i_;
+          skipBalanced("(", ")");
+          continue;
+        }
+      }
+      if (isPunct("<") && !head.empty() &&
+          (head.back().kind == Tok::Kind::Ident || head.back().text == ">")) {
+        ++angle;
+        head.push_back(cur());
+        ++i_;
+        continue;
+      }
+      if (isPunct(">") && angle > 0) {
+        --angle;
+        head.push_back(cur());
+        ++i_;
+        continue;
+      }
+      if (isPunct("(") && angle > 0) {  // fn type inside template args
+        const std::size_t from = i_;
+        skipBalanced("(", ")");
+        for (std::size_t k = from; k < i_; ++k) head.push_back(t_[k]);
+        continue;
+      }
+      if (isPunct("(") && angle == 0) {
+        if (sawOperator) {
+          parseOperatorFunction(head);
+          return;
+        }
+        if (!head.empty() && head.back().kind == Tok::Kind::Ident) {
+          parseFunction(head);
+          return;
+        }
+        // Unclassifiable `(…` (macro call at decl scope, etc.): skip stmt.
+        skipToSemicolon();
+        return;
+      }
+      if (angle == 0 && (isPunct(";") || isPunct("=") || isPunct("{"))) {
+        if (isPunct("=") && sawOperator) {  // `operator=` before its '('
+          head.push_back(cur());
+          ++i_;
+          continue;
+        }
+        emitMember(head, /*guarded=*/false);
+        return;
+      }
+      if (isPunct("}")) return;  // malformed; let the main loop close scope
+      head.push_back(cur());
+      ++i_;
+      if (i_ - start > 4096) {  // safety valve
+        skipToSemicolon();
+        return;
+      }
+    }
+  }
+
+  // cur() is '(' of an operator's parameter list, or the '(' of
+  // `operator()`. Treated as a function named "operator".
+  void parseOperatorFunction(const std::vector<Tok>& head) {
+    if (peekPunct(1, ")") && peekPunct(2, "(")) i_ += 2;  // operator()
+    std::vector<Tok> h = head;
+    h.push_back({Tok::Kind::Ident, "operator", eof() ? 0 : cur().line});
+    parseFunction(h);
+  }
+
+  // cur() is the '(' opening the parameter list; head ends with the name.
+  void parseFunction(const std::vector<Tok>& head) {
+    FuncDef fn;
+    fn.file = f_.path;
+    fn.line = cur().line;
+
+    // Name (+ optional A::B:: qualifier, + leading '~' for dtors).
+    std::size_t k = head.size();
+    std::string name = head[k - 1].text;
+    --k;
+    if (k > 0 && head[k - 1].text == "~") {
+      name = "~" + name;
+      --k;
+    }
+    std::vector<std::string> quals;
+    while (k >= 2 && head[k - 1].text == "::" &&
+           head[k - 2].kind == Tok::Kind::Ident) {
+      quals.insert(quals.begin(), head[k - 2].text);
+      k -= 2;
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!fn.returnTypeText.empty()) fn.returnTypeText += ' ';
+      fn.returnTypeText += head[j].text;
+    }
+
+    // Enclosing record: innermost record scope, or resolve the qualifier
+    // against known records (out-of-class definitions).
+    if (RecordDecl* rec = innermostRecord(); rec != nullptr) {
+      fn.record = rec->path;
+      if (!quals.empty()) {
+        std::string q = rec->path;
+        for (const auto& s : quals) q += "::" + s;
+        if (prog_.records.count(q) != 0) fn.record = q;
+      }
+    } else if (!quals.empty()) {
+      std::string q;
+      for (const auto& s : quals) {
+        if (!q.empty()) q += "::";
+        q += s;
+      }
+      const std::string ns = nsPath();
+      if (!ns.empty() && prog_.records.count(ns + "::" + q) != 0)
+        fn.record = ns + "::" + q;
+      else if (prog_.records.count(q) != 0)
+        fn.record = q;
+      else {
+        // Suffix match (qualifier written relative to a using/namespace).
+        for (const auto& [path, recDecl] : prog_.records) {
+          (void)recDecl;
+          if (path.size() >= q.size() &&
+              path.compare(path.size() - q.size(), q.size(), q) == 0 &&
+              (path.size() == q.size() ||
+               path[path.size() - q.size() - 1] == ':')) {
+            fn.record = path;
+            break;
+          }
+        }
+        if (fn.record.empty()) fn.record = q;  // best effort
+      }
+    }
+    if (!fn.record.empty())
+      fn.key = fn.record + "::" + name;
+    else {
+      const std::string ns = nsPath();
+      fn.key = ns.empty() ? name : ns + "::" + name;
+    }
+
+    parseParams(fn);
+    parseFunctionTail(fn);
+  }
+
+  void parseParams(FuncDef& fn) {
+    // cur() is '('; collect (type, name) per top-level comma group.
+    ++i_;
+    int depth = 1;
+    std::vector<Tok> group;
+    auto flush = [&] {
+      // name = trailing ident (ignoring a default value after '=').
+      std::vector<Tok> g;
+      for (const auto& tk : group) {
+        if (tk.kind == Tok::Kind::Punct && tk.text == "=") break;
+        g.push_back(tk);
+      }
+      if (g.size() < 2 || g.back().kind != Tok::Kind::Ident) return;
+      std::string pname = g.back().text;
+      std::string ptype;
+      for (std::size_t j = 0; j + 1 < g.size(); ++j) {
+        if (!ptype.empty()) ptype += ' ';
+        ptype += g[j].text;
+      }
+      fn.params.emplace_back(pname, ptype);
+    };
+    while (!eof() && depth > 0) {
+      if (isPunct("(")) ++depth;
+      else if (isPunct(")")) {
+        --depth;
+        if (depth == 0) {
+          flush();
+          ++i_;
+          break;
+        }
+      } else if (isPunct(",") && depth == 1) {
+        flush();
+        group.clear();
+        ++i_;
+        continue;
+      }
+      group.push_back(cur());
+      ++i_;
+    }
+  }
+
+  void captureAnnotationArgs(std::vector<std::string>& out) {
+    // cur() is '(' after REQUIRES/ACQUIRE; split top-level commas.
+    ++i_;
+    int depth = 1;
+    std::string expr;
+    while (!eof() && depth > 0) {
+      if (isPunct("(")) ++depth;
+      else if (isPunct(")")) {
+        --depth;
+        if (depth == 0) {
+          if (!expr.empty()) out.push_back(expr);
+          ++i_;
+          return;
+        }
+      } else if (isPunct(",") && depth == 1) {
+        if (!expr.empty()) out.push_back(expr);
+        expr.clear();
+        ++i_;
+        continue;
+      }
+      if (!expr.empty() && cur().kind == Tok::Kind::Ident &&
+          expr.back() != ':' && expr.back() != '.' && expr.back() != '>')
+        expr += ' ';
+      expr += cur().text;
+      ++i_;
+    }
+  }
+
+  void parseFunctionTail(FuncDef& fn) {
+    while (!eof()) {
+      if (cur().kind == Tok::Kind::Ident) {
+        const std::string& s = cur().text;
+        if (s == "const" || s == "override" || s == "final" ||
+            s == "mutable" || s == "try") {
+          ++i_;
+          continue;
+        }
+        if (s == "noexcept") {
+          ++i_;
+          if (isPunct("(")) skipBalanced("(", ")");
+          continue;
+        }
+        if (s == "REQUIRES") {
+          ++i_;
+          if (isPunct("(")) captureAnnotationArgs(fn.requiresExprs);
+          continue;
+        }
+        if (s == "ACQUIRE") {
+          ++i_;
+          if (isPunct("(")) captureAnnotationArgs(fn.acquireExprs);
+          continue;
+        }
+        if (s == "EXCLUDES" || s == "RELEASE" ||
+            s == "NO_THREAD_SAFETY_ANALYSIS" || s == "MQS_THREAD_ANNOTATION") {
+          ++i_;
+          if (isPunct("(")) skipBalanced("(", ")");
+          continue;
+        }
+        // Unknown ident (trailing return type piece, attribute macro).
+        ++i_;
+        continue;
+      }
+      if (isPunct("[") && peekPunct(1, "[")) {
+        skipAttr();
+        continue;
+      }
+      if (isPunct("&")) {
+        ++i_;
+        continue;
+      }
+      if (isPunct("->")) {  // trailing return type
+        ++i_;
+        while (!eof() && !isPunct("{") && !isPunct(";") && !isPunct("=")) {
+          if (isPunct("<")) {
+            skipAngles();
+            continue;
+          }
+          if (isPunct("(")) {
+            skipBalanced("(", ")");
+            continue;
+          }
+          ++i_;
+        }
+        continue;
+      }
+      if (isPunct("=")) {  // = default / = delete / = 0
+        skipToSemicolon();
+        recordDeclOnly(fn);
+        return;
+      }
+      if (isPunct(";")) {
+        ++i_;
+        recordDeclOnly(fn);
+        return;
+      }
+      if (isPunct(":")) {  // constructor initializer list
+        ++i_;
+        while (!eof() && !isPunct("{")) {
+          if (isPunct("(")) {
+            skipBalanced("(", ")");
+            continue;
+          }
+          if (isPunct("<")) {
+            skipAngles();
+            continue;
+          }
+          if (isPunct("{")) break;
+          // idents, '::', ',', '...' of the init list — but a '{' directly
+          // after an ident is a brace-init group, not the body.
+          if (cur().kind == Tok::Kind::Ident && peekPunct(1, "{")) {
+            ++i_;
+            skipBalanced("{", "}");
+            continue;
+          }
+          ++i_;
+        }
+        continue;
+      }
+      if (isPunct("{")) {  // the body
+        fn.hasBody = true;
+        fn.bodyBegin = i_ + 1;
+        std::size_t j = i_;
+        int depth = 0;
+        while (j < t_.size()) {
+          if (t_[j].kind == Tok::Kind::Punct) {
+            if (t_[j].text == "{") ++depth;
+            else if (t_[j].text == "}") {
+              --depth;
+              if (depth == 0) break;
+            }
+          }
+          ++j;
+        }
+        fn.bodyEnd = j;  // index of the matching '}'
+        i_ = j < t_.size() ? j + 1 : j;
+        prog_.funcs.push_back(std::move(fn));
+        return;
+      }
+      ++i_;  // lenient
+    }
+  }
+
+  void recordDeclOnly(const FuncDef& fn) {
+    if (fn.requiresExprs.empty() && fn.acquireExprs.empty()) return;
+    auto& slot = prog_.declRequires[fn.key];
+    for (const auto& e : fn.requiresExprs) slot.push_back(e);
+    for (const auto& e : fn.acquireExprs) slot.push_back(e);
+  }
+
+  // head holds the tokens of a data-member / variable declaration up to the
+  // name (cur() is the stop token: ';', '=', '{', or an annotation macro).
+  void emitMember(std::vector<Tok>& head, bool guarded) {
+    // Capture the brace/equals initializer (rank extraction) and advance
+    // past the statement.
+    std::string initText;
+    std::string nameLiteral;
+    bool sawGuardMacro = guarded;
+    while (!eof() && !isPunct(";")) {
+      if (cur().kind == Tok::Kind::Ident &&
+          (cur().text == "GUARDED_BY" || cur().text == "PT_GUARDED_BY")) {
+        sawGuardMacro = true;
+        ++i_;
+        if (isPunct("(")) skipBalanced("(", ")");
+        continue;
+      }
+      if (isPunct("{") || isPunct("(")) {
+        const char* open = isPunct("{") ? "{" : "(";
+        const char* close = isPunct("{") ? "}" : ")";
+        const std::size_t from = i_;
+        skipBalanced(open, close);
+        for (std::size_t j = from; j < i_ && j < t_.size(); ++j) {
+          if (t_[j].kind == Tok::Kind::String && nameLiteral.empty())
+            nameLiteral = t_[j].text;
+          if (!initText.empty()) initText += ' ';
+          initText += t_[j].text.empty() ? "?" : t_[j].text;
+        }
+        continue;
+      }
+      if (isPunct("=")) {
+        ++i_;
+        while (!eof() && !isPunct(";")) {
+          if (isPunct("{")) {
+            skipBalanced("{", "}");
+            continue;
+          }
+          if (isPunct("(")) {
+            skipBalanced("(", ")");
+            continue;
+          }
+          if (!initText.empty()) initText += ' ';
+          initText += cur().text;
+          ++i_;
+        }
+        break;
+      }
+      ++i_;
+    }
+    if (!eof()) ++i_;  // ';'
+
+    if (head.empty() || head.back().kind != Tok::Kind::Ident) return;
+    MemberDecl m;
+    m.name = head.back().text;
+    m.line = head.back().line;
+    m.isGuarded = sawGuardMacro;
+
+    bool isRef = false;
+    std::ptrdiff_t lastStar = -1, lastConst = -1;
+    bool sawConst = false, sawConstexpr = false;
+    for (std::size_t j = 0; j + 1 < head.size(); ++j) {
+      const Tok& tk = head[j];
+      if (tk.kind == Tok::Kind::Ident) {
+        if (tk.text == "static") m.isStatic = true;
+        if (tk.text == "constexpr") sawConstexpr = true;
+        if (tk.text == "const") {
+          sawConst = true;
+          lastConst = static_cast<std::ptrdiff_t>(j);
+        }
+        if (tk.text == "atomic") m.isAtomic = true;
+        if (kQualifierToks.count(tk.text) != 0) continue;
+      }
+      if (tk.kind == Tok::Kind::Punct) {
+        if (tk.text == "*") lastStar = static_cast<std::ptrdiff_t>(j);
+        if (tk.text == "&") isRef = true;
+      }
+      if (!m.typeText.empty()) m.typeText += ' ';
+      m.typeText += tk.text;
+    }
+    if (m.typeText.empty()) return;  // stray token, not a declaration
+    m.isConst = sawConstexpr || isRef ||
+                (sawConst && (lastStar < 0 || lastConst > lastStar));
+    m.hasImmutableComment = commentSaysImmutable(f_, m.line);
+
+    // A `Mutex&` member is an alias to someone else's mutex (MutexLock's
+    // own member, for instance), not a declaration.
+    const bool isMutex = containsToken(m.typeText, "Mutex") &&
+                         !containsToken(m.typeText, "MutexLock") && !isRef;
+
+    RecordDecl* rec = innermostRecord();
+    const bool inRecord =
+        rec != nullptr && !scopes_.empty() &&
+        scopes_.back().kind == Scope::kRecord;
+    if (inRecord) {
+      rec->members.push_back(m);
+      if (isMutex) rec->mutexMembers.push_back(m.name);
+    } else {
+      const std::string ns = nsPath();
+      const std::string qual = ns.empty() ? m.name : ns + "::" + m.name;
+      prog_.globals[qual] = m.typeText;
+    }
+
+    if (isMutex) {
+      MutexDecl md;
+      md.path = inRecord ? rec->path + "::" + m.name
+                         : (nsPath().empty() ? m.name
+                                             : nsPath() + "::" + m.name);
+      md.nameLiteral = nameLiteral;
+      md.file = f_.path;
+      md.line = m.line;
+      // Rank from the initializer: `lockorder::Rank::kX` / `Rank::kX`.
+      const std::size_t pos = initText.find("Rank");
+      if (pos != std::string::npos) {
+        // Tokens are space-joined; the enumerator is the next token that
+        // starts with 'k' ("Rank :: kSpillTier").
+        std::size_t p = initText.find(" k", pos + 4);
+        if (p != std::string::npos) {
+          ++p;
+          std::size_t e = p;
+          while (e < initText.size() &&
+                 (isalnum(static_cast<unsigned char>(initText[e])) ||
+                  initText[e] == '_'))
+            ++e;
+          md.rankName = initText.substr(p, e - p);
+        }
+      }
+      if (prog_.mutexIndex(md.path) < 0) prog_.mutexes.push_back(md);
+    }
+  }
+};
+
+}  // namespace
+
+void parseFile(const LexedFile& file, Program& prog) {
+  Parser(file, prog).run();
+}
+
+}  // namespace mqs::analyze
